@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the substrates (regression tracking).
+
+These time the pieces the experiment benches compose: the simulator's
+event loop, the max-min allocator, the heuristics, the analytic model and
+the generator.  Unlike the ``fig*`` benches they run several rounds, so
+pytest-benchmark statistics are meaningful.
+"""
+
+import random
+
+import pytest
+
+from repro.generator import assign_costs, random_graph_1, random_topology
+from repro.heuristics import critical_path_mapping, greedy_cpu, greedy_mem
+from repro.platform import CellPlatform
+from repro.simulator import FlowNetwork, SimConfig, simulate
+from repro.steady_state import Mapping, analyze, build_schedule
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph_1()
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CellPlatform.qs22()
+
+
+@pytest.fixture(scope="module")
+def mapping(graph, platform):
+    return greedy_cpu(graph, platform)
+
+
+@pytest.mark.benchmark(group="components")
+def test_simulator_event_rate(benchmark, mapping):
+    """Simulate 200 instances of the 50-task graph (≈10k compute events)."""
+    result = benchmark(simulate, mapping, 200, SimConfig.realistic())
+    assert result.n_instances == 200
+
+
+@pytest.mark.benchmark(group="components")
+def test_analytic_model(benchmark, mapping):
+    analysis = benchmark(analyze, mapping)
+    assert analysis.period > 0
+
+
+@pytest.mark.benchmark(group="components")
+def test_schedule_construction(benchmark, mapping):
+    schedule = benchmark(build_schedule, mapping)
+    assert schedule.period_length > 0
+
+
+@pytest.mark.benchmark(group="components")
+@pytest.mark.parametrize(
+    "heuristic", [greedy_cpu, greedy_mem, critical_path_mapping],
+    ids=["greedy_cpu", "greedy_mem", "critical_path"],
+)
+def test_heuristics(benchmark, graph, platform, heuristic):
+    mapping = benchmark(heuristic, graph, platform)
+    assert mapping.n_tasks_on_spes() >= 0
+
+
+@pytest.mark.benchmark(group="components")
+def test_generator(benchmark):
+    def build():
+        topo = random_topology(94, fat=0.45, density=0.18, jump=2, seed=1)
+        return assign_costs(topo, ccr=0.775, seed=1)
+
+    graph = benchmark(build)
+    assert graph.n_tasks == 94
+
+
+@pytest.mark.benchmark(group="components")
+def test_maxmin_allocator(benchmark):
+    rng = random.Random(7)
+    caps = {}
+    for pe in range(9):
+        caps[("out", pe)] = 25_000.0
+        caps[("in", pe)] = 25_000.0
+    net = FlowNetwork(caps)
+    for _ in range(40):
+        net.start_flow(
+            ("out", rng.randrange(9)), ("in", rng.randrange(9)), 1000.0
+        )
+    benchmark(net.allocate)
+    net.check_capacities()

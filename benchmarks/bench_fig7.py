@@ -1,0 +1,57 @@
+"""Benchmarks regenerating Fig. 7a/7b/7c — speed-up vs number of SPEs.
+
+One benchmark per graph (the paper's three sub-figures).  Artefacts:
+``fig7_<graph>.csv`` and ``fig7_<graph>.txt`` in ``benchmarks/results/``.
+
+Expected shape (paper §6.4.2): the MILP series climbs to ≈2–3.7× at 8
+SPEs and dominates; the greedy heuristics trail it and plateau early.
+"""
+
+import pytest
+
+from repro.experiments import ascii_plot, to_csv
+from repro.experiments.fig7_speedup import run_one
+from repro.generator import random_graph_1, random_graph_2, random_graph_3
+
+from conftest import N_INSTANCES, save_artifact
+
+GRAPHS = {
+    "graph1": random_graph_1,
+    "graph2": random_graph_2,
+    "graph3": random_graph_3,
+}
+
+
+@pytest.mark.benchmark(group="fig7")
+@pytest.mark.parametrize("graph_name", list(GRAPHS))
+def test_fig7_speedup(benchmark, results_dir, graph_name):
+    graph = GRAPHS[graph_name]()
+    result = benchmark.pedantic(
+        run_one,
+        kwargs=dict(graph=graph, n_instances=N_INSTANCES),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact(
+        results_dir, f"fig7_{graph_name}.csv", to_csv(result.points)
+    )
+    text = result.table() + "\n" + ascii_plot(
+        result.points, x_label="number of SPEs", y_label="speed-up"
+    )
+    save_artifact(results_dir, f"fig7_{graph_name}.txt", text)
+
+    series = result.series()
+    milp = dict(series["milp"])
+    benchmark.extra_info["milp_speedup_8spe"] = milp[8]
+    benchmark.extra_info["greedy_cpu_8spe"] = dict(series["greedy_cpu"])[8]
+    benchmark.extra_info["greedy_mem_8spe"] = dict(series["greedy_mem"])[8]
+
+    # Shape assertions from the paper:
+    # (a) with 0 SPEs everything is the PPE-only mapping;
+    assert milp[0] == pytest.approx(1.0, abs=0.1)
+    # (b) the MILP scales with SPEs...
+    assert milp[8] > 1.8
+    assert milp[8] >= milp[4] * 0.95 >= milp[0] * 0.95
+    # (c) ...and dominates both heuristics at full platform width.
+    for heuristic in ("greedy_cpu", "greedy_mem"):
+        assert milp[8] >= dict(series[heuristic])[8] - 0.05

@@ -1,0 +1,42 @@
+"""Benchmark regenerating Fig. 8 — speed-up of the MILP mapping vs CCR.
+
+All three graphs × the six CCR variants (0.775 … 4.6) on the 8-SPE QS22.
+Artefacts: ``fig8.csv`` / ``fig8.txt`` in ``benchmarks/results/``.
+
+Expected shape (paper §6.4.3): every series declines as the CCR grows —
+larger payloads inflate the §4.2 buffers, SPE local stores fill up, and
+the mapping degenerates toward the PPE (speed-up → 1).
+"""
+
+import pytest
+
+from repro.experiments import ascii_plot, to_csv
+from repro.experiments.fig8_ccr import run
+
+from conftest import N_INSTANCES, save_artifact
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_ccr_sweep(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run,
+        kwargs=dict(n_instances=N_INSTANCES),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact(results_dir, "fig8.csv", to_csv(result.points))
+    text = result.table() + "\n" + ascii_plot(
+        result.points, x_label="CCR", y_label="speed-up"
+    )
+    save_artifact(results_dir, "fig8.txt", text)
+
+    for name, series in result.series().items():
+        first, last = series[0][1], series[-1][1]
+        benchmark.extra_info[f"{name} @{series[0][0]}"] = round(first, 3)
+        benchmark.extra_info[f"{name} @{series[-1][0]}"] = round(last, 3)
+        # The paper's headline: high CCR kills the speed-up.
+        assert last < first, f"{name}: no decline across the CCR sweep"
+        # At the compute-bound end the MILP meaningfully beats the PPE.
+        assert first > 1.5
+        # At the communication-bound end it approaches the PPE-only policy.
+        assert last < first * 0.75

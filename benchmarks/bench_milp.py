@@ -1,0 +1,62 @@
+"""Benchmarks for the MILP itself: the §6 solve-time claim and ablations.
+
+* ``test_solve_time_table`` — the paper's 18 linear programs (3 graphs × 6
+  CCRs) at a 5 % gap; the paper reports < 60 s each (≈20 s typical) with
+  CPLEX on 2009 hardware.  Artefact: ``milp_solve_times.txt``.
+* ``test_beta_ablation`` — DESIGN.md's β-relaxation: continuous vs
+  integral edge variables must agree on the objective.
+* ``test_solve_single_graph`` — a repeatable single-solve timing for
+  regression tracking (multiple rounds).
+"""
+
+import pytest
+
+from repro.experiments.tables import (
+    beta_ablation_table,
+    format_solve_table,
+    solve_time_table,
+)
+from repro.generator import random_graph_1
+from repro.milp import solve_optimal_mapping
+from repro.platform import CellPlatform
+
+from conftest import save_artifact
+
+
+@pytest.mark.benchmark(group="milp")
+def test_solve_time_table(benchmark, results_dir):
+    records = benchmark.pedantic(
+        solve_time_table, rounds=1, iterations=1
+    )
+    text = format_solve_table(records)
+    save_artifact(results_dir, "milp_solve_times.txt", text)
+    worst = max(r.solve_time for r in records)
+    over_paper_budget = sum(1 for r in records if r.solve_time >= 60.0)
+    benchmark.extra_info["max_solve_time_s"] = round(worst, 2)
+    benchmark.extra_info["n_programs"] = len(records)
+    benchmark.extra_info["n_over_60s"] = over_paper_budget
+    assert len(records) == 18
+    # Every program returns a (gap- or limit-stopped) mapping within the
+    # solver budget; how many beat the paper's 60 s figure is reported in
+    # extra_info and EXPERIMENTS.md rather than hard-asserted — HiGHS and
+    # CPLEX trade blows differently across instances.
+    assert worst <= 95.0
+
+
+@pytest.mark.benchmark(group="milp")
+def test_beta_ablation(benchmark, results_dir):
+    text = benchmark.pedantic(beta_ablation_table, rounds=1, iterations=1)
+    save_artifact(results_dir, "milp_beta_ablation.txt", text)
+
+
+@pytest.mark.benchmark(group="milp")
+def test_solve_single_graph(benchmark):
+    graph = random_graph_1()
+    platform = CellPlatform.qs22()
+    result = benchmark.pedantic(
+        solve_optimal_mapping,
+        args=(graph, platform),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.period > 0

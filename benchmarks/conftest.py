@@ -1,0 +1,34 @@
+"""Benchmark configuration.
+
+Every figure/table of the paper's evaluation has one benchmark here.  The
+experiment benches run a single, full iteration (``pedantic`` mode) — the
+quantity of interest is the *reproduced artefact*, which each bench writes
+to ``benchmarks/results/`` as text/CSV; the timing pytest-benchmark records
+is the cost of regenerating it.
+
+Set ``REPRO_BENCH_INSTANCES`` to change the simulated stream length
+(default 1000; the paper used 5000–10000 — larger values sharpen the
+steady-state estimate but scale wall time linearly).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Simulated stream length used by the experiment benches.
+N_INSTANCES = int(os.environ.get("REPRO_BENCH_INSTANCES", "1000"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_artifact(results_dir: Path, name: str, text: str) -> Path:
+    path = results_dir / name
+    path.write_text(text)
+    return path

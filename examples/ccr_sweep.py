@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""The §6.4.3 mechanism, dissected: why speed-up collapses as CCR grows.
+
+Sweeps the six CCR variants of the chain graph (random graph 3) and, for
+each, reports what the MILP could do with the SPE local stores:
+
+* how many tasks fit on SPEs (buffer pressure from the §4.2 windows),
+* the resulting analytic speed-up,
+* the measured speed-up on the simulator.
+
+The three columns fall together: larger payloads → larger buffers → fewer
+tasks off-loaded → "eventually, the best policy is to map all tasks to the
+PPE" (paper, §6.4.3).
+
+Run:  python examples/ccr_sweep.py
+"""
+
+from repro import CellPlatform, Mapping, solve_optimal_mapping, speedup
+from repro.generator import PAPER_CCRS, ccr_variants
+from repro.simulator import SimConfig, simulate
+from repro.steady_state import spe_buffer_load
+
+N_INSTANCES = 1000
+
+
+def main() -> None:
+    platform = CellPlatform.qs22()
+    config = SimConfig.realistic()
+    variants = ccr_variants(3)  # the 50-task chain
+
+    print(f"{'CCR':>6}  {'tasks on SPEs':>13}  {'SPE buffer use':>14}  "
+          f"{'analytic':>8}  {'measured':>8}")
+    for ccr in PAPER_CCRS:
+        graph = variants[ccr]
+        result = solve_optimal_mapping(graph, platform, time_limit=90.0)
+        mapping = result.mapping
+
+        on_spes = mapping.n_tasks_on_spes()
+        buffers = spe_buffer_load(mapping)
+        used = sum(buffers.values())
+        budget = platform.buffer_budget * platform.n_spe
+        analytic = speedup(mapping)
+
+        baseline = simulate(
+            Mapping.all_on_ppe(graph, platform), N_INSTANCES, config
+        )
+        sim = simulate(mapping, N_INSTANCES, config)
+        measured = (
+            sim.steady_state_throughput() / baseline.steady_state_throughput()
+        )
+        print(
+            f"{ccr:6.3f}  {on_spes:10d}/50  {used / budget * 100:13.1f}%  "
+            f"{analytic:8.2f}  {measured:8.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""PlayStation 3 vs QS22, and what each extra SPE buys (Fig. 7's question).
+
+The paper ran the same experiments on a PS3 (6 usable SPEs) and a QS22
+(8 SPEs) and found identical behaviour at equal SPE counts.  This example
+verifies that claim on the simulator with the video pipeline, then sweeps
+the SPE count to show the scaling curve of the MILP mapping.
+
+Run:  python examples/platform_comparison.py
+"""
+
+from repro import CellPlatform, Mapping, solve_optimal_mapping
+from repro.apps import video_pipeline
+from repro.simulator import SimConfig, simulate
+
+N_INSTANCES = 800
+
+
+def measured_rate(graph, platform, config):
+    mapping = solve_optimal_mapping(graph, platform).mapping
+    return simulate(mapping, N_INSTANCES, config).steady_state_throughput()
+
+
+def main() -> None:
+    graph = video_pipeline(n_stripes=4)
+    config = SimConfig.realistic()
+
+    # --- PS3 vs QS22 at the same SPE count (paper §6.4: identical) ------ #
+    ps3 = CellPlatform.playstation3()
+    qs22_6 = CellPlatform.qs22().with_spes(6)
+    rate_ps3 = measured_rate(graph, ps3, config)
+    rate_qs22 = measured_rate(graph, qs22_6, config)
+    print("Same-SPE-count check (paper: results identical):")
+    print(f"  PS3  (6 SPEs): {rate_ps3 * 1e6:9.1f} frames/s")
+    print(f"  QS22 (6 SPEs): {rate_qs22 * 1e6:9.1f} frames/s")
+    print(f"  ratio: {rate_ps3 / rate_qs22:.3f}")
+    print()
+
+    # --- SPE scaling on the QS22 (Fig. 7's x-axis) ---------------------- #
+    base_platform = CellPlatform.qs22()
+    baseline = simulate(
+        Mapping.all_on_ppe(graph, base_platform), N_INSTANCES, config
+    ).steady_state_throughput()
+    print("MILP speed-up vs number of SPEs (QS22):")
+    for n_spe in range(0, 9):
+        rate = measured_rate(graph, base_platform.with_spes(n_spe), config)
+        bar = "#" * int(rate / baseline * 10)
+        print(f"  {n_spe} SPEs: {rate / baseline:5.2f}x  {bar}")
+
+
+if __name__ == "__main__":
+    main()

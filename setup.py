@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+The project metadata lives in ``pyproject.toml``; this file only enables
+legacy editable installs (``pip install -e . --no-use-pep517``) in offline
+environments that lack the ``wheel`` package required by PEP 660 builds.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""repro — Scheduling complex streaming applications on the Cell processor.
+
+A faithful, self-contained reproduction of Gallet, Jacquelin & Marchal
+(LIP RR-2009-29 / IPDPS-HeteroPar 2010): steady-state throughput
+maximisation of streaming task graphs on the heterogeneous Cell BE.
+
+Quickstart::
+
+    from repro import CellPlatform, solve_optimal_mapping
+    from repro.generator import random_graph_1
+
+    graph = random_graph_1()                  # 50-task DagGen app, CCR 0.775
+    platform = CellPlatform.qs22()            # 1 PPE + 8 SPEs
+    result = solve_optimal_mapping(graph, platform)
+    print(result.report())
+
+Subpackages
+-----------
+``repro.platform``      Cell BE model (PPE/SPE, EIB interfaces, DMA, stores)
+``repro.graph``         streaming task graphs (tasks, data edges, CCR)
+``repro.generator``     DagGen-style workloads + the paper's three graphs
+``repro.apps``          realistic example applications (audio encoder, ...)
+``repro.steady_state``  firstPeriod, buffers, analytic throughput, schedules
+``repro.lp``            LP/MILP modelling layer + HiGHS backend + B&B
+``repro.milp``          the paper's optimal-mapping MILP (§5)
+``repro.heuristics``    GreedyMem / GreedyCpu (§6.3) + extensions
+``repro.simulator``     discrete-event Cell simulator (the hardware stand-in)
+``repro.complexity``    NP-completeness reduction (Thm 1), FPTAS, brute force
+``repro.experiments``   harnesses regenerating every figure/table of §6
+"""
+
+from .errors import (
+    CycleError,
+    GraphError,
+    InfeasibleMappingError,
+    InfeasibleModelError,
+    MappingError,
+    PlatformError,
+    ReproError,
+    SimulationError,
+    SolverError,
+)
+from .graph import DataEdge, StreamGraph, Task, ccr, graph_stats
+from .heuristics import greedy_cpu, greedy_mem
+from .milp import PAPER_MIP_GAP, MilpResult, solve_optimal_mapping
+from .platform import CellPlatform, DmaCosts, PEKind
+from .steady_state import (
+    Mapping,
+    analyze,
+    build_schedule,
+    first_periods,
+    speedup,
+    throughput,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CycleError",
+    "GraphError",
+    "InfeasibleMappingError",
+    "InfeasibleModelError",
+    "MappingError",
+    "PlatformError",
+    "ReproError",
+    "SimulationError",
+    "SolverError",
+    "DataEdge",
+    "StreamGraph",
+    "Task",
+    "ccr",
+    "graph_stats",
+    "greedy_cpu",
+    "greedy_mem",
+    "PAPER_MIP_GAP",
+    "MilpResult",
+    "solve_optimal_mapping",
+    "CellPlatform",
+    "DmaCosts",
+    "PEKind",
+    "Mapping",
+    "analyze",
+    "build_schedule",
+    "first_periods",
+    "speedup",
+    "throughput",
+    "__version__",
+]

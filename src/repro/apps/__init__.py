@@ -1,0 +1,13 @@
+"""Realistic streaming applications (the workload classes of the paper's §1).
+
+* :func:`audio_encoder` — MPEG-1 Layer II–style encoder (the paper's
+  "real audio encoder");
+* :func:`video_pipeline` — motion-JPEG edit chain with preview branch;
+* :func:`crypto_pipeline` — real-time compress+encrypt+MAC stream.
+"""
+
+from .audio_encoder import build as audio_encoder
+from .crypto_pipeline import build as crypto_pipeline
+from .video_pipeline import build as video_pipeline
+
+__all__ = ["audio_encoder", "crypto_pipeline", "video_pipeline"]

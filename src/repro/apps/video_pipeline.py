@@ -1,0 +1,61 @@
+"""A motion-JPEG-style video filter pipeline (the paper's §1 motivation).
+
+One stream instance is one QVGA frame (320×240, YUV 4:2:0 = 115 200 B).
+The graph captures the classic edit-chain the paper's introduction cites
+(video edition software, VoD):
+
+* capture (reads a raw frame from main memory),
+* colour-space conversion (vectorisable),
+* temporal denoise that *peeks* two frames ahead,
+* per-stripe DCT + quantisation (data-parallel across ``n_stripes``),
+* entropy coding and muxing (branchy, PPE-friendly),
+* a preview branch (downscale + overlay) writing a thumbnail to memory.
+"""
+
+from __future__ import annotations
+
+from ..graph.edge import DataEdge
+from ..graph.stream_graph import StreamGraph
+from ..graph.task import Task
+
+__all__ = ["build", "FRAME_BYTES"]
+
+#: QVGA YUV 4:2:0 frame.
+FRAME_BYTES = 320 * 240 * 3 // 2
+
+
+def build(n_stripes: int = 4) -> StreamGraph:
+    """Build the pipeline with ``n_stripes`` parallel DCT stripes."""
+    if n_stripes < 1:
+        raise ValueError("n_stripes must be >= 1")
+    g = StreamGraph("video-pipeline")
+    stripe = FRAME_BYTES // n_stripes
+
+    g.add_task(Task("capture", wppe=80.0, wspe=150.0, read=FRAME_BYTES, ops=320.0))
+    g.add_task(Task("colourspace", wppe=520.0, wspe=170.0, ops=2080.0))
+    g.add_edge(DataEdge("capture", "colourspace", FRAME_BYTES))
+
+    # Temporal denoise: needs the two following frames (peek=2).
+    g.add_task(Task("denoise", wppe=640.0, wspe=240.0, peek=2, stateful=True, ops=2560.0))
+    g.add_edge(DataEdge("colourspace", "denoise", FRAME_BYTES))
+
+    for i in range(n_stripes):
+        g.add_task(Task(f"dct{i}", wppe=450.0, wspe=150.0, ops=1800.0))
+        g.add_edge(DataEdge("denoise", f"dct{i}", stripe))
+        g.add_task(Task(f"quant{i}", wppe=180.0, wspe=70.0, ops=720.0))
+        g.add_edge(DataEdge(f"dct{i}", f"quant{i}", stripe))
+
+    g.add_task(Task("entropy", wppe=300.0, wspe=780.0, stateful=True, ops=1200.0))
+    for i in range(n_stripes):
+        g.add_edge(DataEdge(f"quant{i}", "entropy", stripe // 4))
+    g.add_task(Task("mux", wppe=90.0, wspe=260.0, stateful=True, write=FRAME_BYTES // 8, ops=360.0))
+    g.add_edge(DataEdge("entropy", "mux", FRAME_BYTES // 8))
+
+    # Preview branch: cheap, stays wherever convenient.
+    g.add_task(Task("downscale", wppe=160.0, wspe=60.0, ops=640.0))
+    g.add_edge(DataEdge("colourspace", "downscale", FRAME_BYTES))
+    g.add_task(Task("overlay", wppe=70.0, wspe=130.0, write=80 * 60 * 2, ops=280.0))
+    g.add_edge(DataEdge("downscale", "overlay", 80 * 60 * 2))
+
+    g.validate()
+    return g

@@ -1,0 +1,212 @@
+"""Command-line interface.
+
+Three entry points (installed as console scripts):
+
+* ``repro-solve``      — compute a mapping (MILP or heuristic) for a graph;
+* ``repro-simulate``   — run the discrete-event simulator on a mapping;
+* ``repro-experiment`` — regenerate a figure/table of the paper.
+
+Graphs are referenced either by a built-in name (``graph1``, ``graph2``,
+``graph3``, ``audio``, ``video``, ``crypto``) or by a path to a JSON file
+produced by :func:`repro.graph.save`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from . import apps
+from .errors import ReproError
+from .generator.paper_graphs import (
+    random_graph_1,
+    random_graph_2,
+    random_graph_3,
+)
+from .generator.costs import rescale_ccr
+from .graph import io as graph_io
+from .graph.stream_graph import StreamGraph
+from .experiments import build_mapping, fig6_rampup, fig7_speedup, fig8_ccr, tables
+from .platform.cell import CellPlatform
+from .simulator import SimConfig, simulate
+from .steady_state.mapping import Mapping
+from .steady_state.throughput import analyze
+
+__all__ = ["main_solve", "main_simulate", "main_experiment"]
+
+_BUILTIN_GRAPHS = {
+    "graph1": random_graph_1,
+    "graph2": random_graph_2,
+    "graph3": random_graph_3,
+    "audio": apps.audio_encoder,
+    "video": apps.video_pipeline,
+    "crypto": apps.crypto_pipeline,
+}
+
+
+def _load_graph(spec: str, ccr: Optional[float]) -> StreamGraph:
+    if spec in _BUILTIN_GRAPHS:
+        graph = _BUILTIN_GRAPHS[spec]()
+    else:
+        try:
+            graph = graph_io.load(spec)
+        except OSError as exc:
+            raise ReproError(f"cannot read graph file {spec!r}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"malformed graph file {spec!r}: {exc}") from exc
+    if ccr is not None:
+        graph = rescale_ccr(graph, ccr)
+    return graph
+
+
+def _platform_from_args(args: argparse.Namespace) -> CellPlatform:
+    base = (
+        CellPlatform.playstation3()
+        if args.platform == "ps3"
+        else CellPlatform.qs22()
+    )
+    if args.spes is not None:
+        base = base.with_spes(args.spes)
+    return base
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "graph",
+        help="built-in graph name (graph1/graph2/graph3/audio/video/crypto) "
+        "or path to a JSON graph file",
+    )
+    parser.add_argument(
+        "--ccr", type=float, default=None, help="rescale the graph to this CCR"
+    )
+    parser.add_argument(
+        "--platform", choices=("qs22", "ps3"), default="qs22",
+        help="hardware preset (default qs22: 1 PPE + 8 SPEs)",
+    )
+    parser.add_argument(
+        "--spes", type=int, default=None, help="restrict the number of SPEs"
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=("milp", "greedy_cpu", "greedy_mem", "critical_path", "ppe"),
+        default="milp",
+        help="mapping strategy (default: the paper's MILP)",
+    )
+
+
+def _compute_mapping(args: argparse.Namespace) -> Mapping:
+    graph = _load_graph(args.graph, args.ccr)
+    platform = _platform_from_args(args)
+    if args.strategy == "ppe":
+        return Mapping.all_on_ppe(graph, platform)
+    return build_mapping(args.strategy, graph, platform)
+
+
+def main_solve(argv: Optional[list] = None) -> int:
+    """Compute and display a mapping; optionally dump it as JSON."""
+    parser = argparse.ArgumentParser(
+        prog="repro-solve", description=main_solve.__doc__
+    )
+    _add_common(parser)
+    parser.add_argument("--json", action="store_true", help="emit JSON")
+    parser.add_argument(
+        "--mapping-out", default=None, metavar="FILE",
+        help="write the computed mapping to FILE (reusable by repro-simulate)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        mapping = _compute_mapping(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.mapping_out:
+        with open(args.mapping_out, "w") as fh:
+            fh.write(mapping.to_json())
+    analysis = analyze(mapping)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "graph": mapping.graph.name,
+                    "platform": mapping.platform.name,
+                    "assignment": mapping.to_dict(),
+                    "period_us": analysis.period,
+                    "throughput_per_s": analysis.throughput * 1e6,
+                    "feasible": analysis.feasible,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(mapping.summary())
+        print(analysis.report())
+    return 0
+
+
+def main_simulate(argv: Optional[list] = None) -> int:
+    """Map a graph, then run the discrete-event Cell simulator on it."""
+    parser = argparse.ArgumentParser(
+        prog="repro-simulate", description=main_simulate.__doc__
+    )
+    _add_common(parser)
+    parser.add_argument(
+        "--instances", type=int, default=1000, help="stream length"
+    )
+    parser.add_argument(
+        "--ideal", action="store_true",
+        help="zero-overhead simulation (matches the analytic model)",
+    )
+    parser.add_argument(
+        "--mapping", default=None, metavar="FILE",
+        help="simulate a mapping saved by repro-solve --mapping-out "
+        "instead of computing one",
+    )
+    args = parser.parse_args(argv)
+    try:
+        if args.mapping:
+            graph = _load_graph(args.graph, args.ccr)
+            platform = _platform_from_args(args)
+            with open(args.mapping) as fh:
+                mapping = Mapping.from_json(graph, platform, fh.read())
+        else:
+            mapping = _compute_mapping(args)
+        config = SimConfig.ideal() if args.ideal else SimConfig.realistic()
+        result = simulate(mapping, args.instances, config)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(mapping.summary())
+    print(result.summary())
+    return 0
+
+
+def main_experiment(argv: Optional[list] = None) -> int:
+    """Regenerate a figure or table of the paper's evaluation (§6)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment", description=main_experiment.__doc__
+    )
+    parser.add_argument(
+        "which",
+        choices=("fig6", "fig7", "fig8", "tables"),
+        help="which artefact to regenerate",
+    )
+    parser.add_argument(
+        "--instances", type=int, default=None,
+        help="stream length per simulation (defaults per experiment)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        if args.which == "fig6":
+            fig6_rampup.main(n_instances=args.instances or 3000)
+        elif args.which == "fig7":
+            fig7_speedup.main(n_instances=args.instances or 1000)
+        elif args.which == "fig8":
+            fig8_ccr.main(n_instances=args.instances or 1000)
+        else:
+            tables.main()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0

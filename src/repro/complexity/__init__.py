@@ -1,0 +1,30 @@
+"""Complexity artefacts of §3, made executable.
+
+* :mod:`repro.complexity.reduction` — Theorem 1's reduction from 2-machine
+  Minimum Multiprocessor Scheduling, both directions;
+* :mod:`repro.complexity.fptas` — the Horowitz–Sahni FPTAS the paper cites;
+* :mod:`repro.complexity.brute_force` — enumeration oracle for Theorem 2.
+"""
+
+from .brute_force import optimal_mapping_brute_force
+from .fptas import exact_two_machines_dp, fptas_two_machines
+from .reduction import (
+    MultiprocessorInstance,
+    allocation_from_mapping,
+    mapping_from_allocation,
+    optimal_two_machine_makespan,
+    to_cell_mapping,
+    verify_equivalence,
+)
+
+__all__ = [
+    "optimal_mapping_brute_force",
+    "exact_two_machines_dp",
+    "fptas_two_machines",
+    "MultiprocessorInstance",
+    "allocation_from_mapping",
+    "mapping_from_allocation",
+    "optimal_two_machine_makespan",
+    "to_cell_mapping",
+    "verify_equivalence",
+]

@@ -1,0 +1,46 @@
+"""Exhaustive optimal mapping for tiny instances.
+
+Enumerates every task→PE assignment, keeps the feasible one with the
+smallest period.  Exponential (``n_pes ** n_tasks``) — strictly a test
+oracle to validate the MILP on graphs of ≤ ~8 tasks, witnessing Theorem 2.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Optional, Tuple
+
+from ..errors import GraphError
+from ..graph.stream_graph import StreamGraph
+from ..platform.cell import CellPlatform
+from ..steady_state.mapping import Mapping
+from ..steady_state.throughput import analyze
+
+__all__ = ["optimal_mapping_brute_force"]
+
+
+def optimal_mapping_brute_force(
+    graph: StreamGraph,
+    platform: CellPlatform,
+    max_tasks: int = 10,
+) -> Tuple[Mapping, float]:
+    """The provably optimal mapping and its period, by enumeration.
+
+    Raises :class:`GraphError` if the graph exceeds ``max_tasks`` (the
+    search space would explode).
+    """
+    names = graph.task_names()
+    if len(names) > max_tasks:
+        raise GraphError(
+            f"brute force refuses {len(names)} tasks (max {max_tasks}); "
+            "use repro.milp.solve_optimal_mapping instead"
+        )
+    best: Optional[Mapping] = None
+    best_period = float("inf")
+    for combo in product(range(platform.n_pes), repeat=len(names)):
+        mapping = Mapping(graph, platform, dict(zip(names, combo)))
+        analysis = analyze(mapping)
+        if analysis.feasible and analysis.period < best_period:
+            best, best_period = mapping, analysis.period
+    assert best is not None  # all-on-PPE is always feasible
+    return best, best_period

@@ -1,0 +1,138 @@
+"""Theorem 1's NP-completeness reduction, executable.
+
+The paper proves Cell-Mapping strongly NP-complete by reduction from
+Minimum Multiprocessor Scheduling on two machines: an instance with tasks
+of lengths ``l(k, i)`` (machine ``i ∈ {1, 2}``) and bound ``B'`` maps to a
+Cell with one PPE (machine 1) and one SPE (machine 2), a chain application
+with ``wPPE(T_k) = l(k,1)``, ``wSPE(T_k) = l(k,2)``, zero-size data, and
+throughput bound ``B = 1/B'``.
+
+This module materialises both directions of the proof so the test suite
+can check them on concrete instances: schedules map to mappings of the
+same objective value and vice versa.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ReproError
+from ..graph.edge import DataEdge
+from ..graph.stream_graph import StreamGraph
+from ..graph.task import Task
+from ..platform.cell import CellPlatform
+from ..steady_state.mapping import Mapping
+from ..steady_state.throughput import analyze
+
+__all__ = [
+    "MultiprocessorInstance",
+    "to_cell_mapping",
+    "mapping_from_allocation",
+    "allocation_from_mapping",
+    "optimal_two_machine_makespan",
+]
+
+
+@dataclass(frozen=True)
+class MultiprocessorInstance:
+    """A 2-machine Minimum Multiprocessor Scheduling instance.
+
+    ``lengths[k] = (l(k,1), l(k,2))`` — processing time of task ``k`` on
+    machine 1 / machine 2 (unrelated machines).
+    """
+
+    lengths: Tuple[Tuple[float, float], ...]
+    bound: float  # B': target makespan
+
+    def __post_init__(self) -> None:
+        if not self.lengths:
+            raise ReproError("instance needs at least one task")
+        for pair in self.lengths:
+            if len(pair) != 2 or any(l < 0 for l in pair):
+                raise ReproError("lengths must be non-negative pairs")
+        if self.bound <= 0:
+            raise ReproError("bound must be positive")
+
+    @classmethod
+    def from_lists(
+        cls, l1: Sequence[float], l2: Sequence[float], bound: float
+    ) -> "MultiprocessorInstance":
+        if len(l1) != len(l2):
+            raise ReproError("l1 and l2 must have equal length")
+        return cls(tuple(zip(map(float, l1), map(float, l2))), bound)
+
+    def makespan(self, allocation: Sequence[int]) -> float:
+        """Makespan of ``allocation[k] ∈ {1, 2}``."""
+        loads = {1: 0.0, 2: 0.0}
+        for k, machine in enumerate(allocation):
+            if machine not in (1, 2):
+                raise ReproError(f"allocation[{k}] must be 1 or 2")
+            loads[machine] += self.lengths[k][machine - 1]
+        return max(loads.values())
+
+
+def to_cell_mapping(
+    instance: MultiprocessorInstance,
+) -> Tuple[StreamGraph, CellPlatform, float]:
+    """The paper's polynomial construction of instance ``I2``.
+
+    Returns ``(graph, platform, B)`` where the question "is there a mapping
+    with throughput ≥ B" is equivalent to the original scheduling question.
+    """
+    graph = StreamGraph("thm1-reduction")
+    previous = None
+    for k, (l1, l2) in enumerate(instance.lengths):
+        name = f"T{k + 1}"
+        graph.add_task(Task(name, wppe=l1, wspe=l2))
+        if previous is not None:
+            graph.add_edge(DataEdge(previous, name, 0.0))  # data(k,k+1) = 0
+        previous = name
+    platform = CellPlatform(n_ppe=1, n_spe=1, name="thm1")
+    return graph, platform, 1.0 / instance.bound
+
+
+def mapping_from_allocation(
+    instance: MultiprocessorInstance, allocation: Sequence[int]
+) -> Mapping:
+    """Forward direction: a machine allocation becomes a Cell mapping."""
+    graph, platform, _ = to_cell_mapping(instance)
+    assignment: Dict[str, int] = {}
+    for k, machine in enumerate(allocation):
+        # Machine 1 -> the PPE (PE 0), machine 2 -> the SPE (PE 1).
+        assignment[f"T{k + 1}"] = 0 if machine == 1 else 1
+    return Mapping(graph, platform, assignment)
+
+
+def allocation_from_mapping(mapping: Mapping) -> List[int]:
+    """Backward direction: a Cell mapping becomes a machine allocation."""
+    allocation = []
+    for name in mapping.graph.task_names():
+        allocation.append(1 if mapping.pe_of(name) == 0 else 2)
+    return allocation
+
+
+def optimal_two_machine_makespan(instance: MultiprocessorInstance) -> float:
+    """Exact optimum by enumeration (test oracle; exponential)."""
+    n = len(instance.lengths)
+    if n > 20:
+        raise ReproError("enumeration oracle limited to 20 tasks")
+    best = float("inf")
+    for mask in range(1 << n):
+        allocation = [1 if mask & (1 << k) else 2 for k in range(n)]
+        best = min(best, instance.makespan(allocation))
+    return best
+
+
+def verify_equivalence(
+    instance: MultiprocessorInstance, allocation: Sequence[int]
+) -> bool:
+    """Check the proof's value correspondence on one allocation.
+
+    The makespan of the allocation equals the period of the corresponding
+    Cell mapping (communication is free in the reduction), so the decision
+    answers agree.
+    """
+    mapping = mapping_from_allocation(instance, allocation)
+    period = analyze(mapping).period
+    return abs(period - instance.makespan(allocation)) <= 1e-9 * max(1.0, period)

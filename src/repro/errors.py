@@ -1,0 +1,70 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError`, so user
+code can catch a single base class.  Sub-classes are grouped by subsystem.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "PlatformError",
+    "GraphError",
+    "CycleError",
+    "MappingError",
+    "InfeasibleMappingError",
+    "SolverError",
+    "InfeasibleModelError",
+    "UnboundedModelError",
+    "SimulationError",
+    "GeneratorError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by the :mod:`repro` library."""
+
+
+class PlatformError(ReproError):
+    """Invalid platform description (bad bandwidth, negative core counts...)."""
+
+
+class GraphError(ReproError):
+    """Invalid streaming task graph (unknown task, duplicate edge...)."""
+
+
+class CycleError(GraphError):
+    """The task graph contains a cycle and therefore is not a DAG."""
+
+
+class MappingError(ReproError):
+    """A mapping is malformed (task missing, unknown processing element...)."""
+
+
+class InfeasibleMappingError(MappingError):
+    """A mapping violates a hard platform constraint (memory or DMA slots)."""
+
+
+class SolverError(ReproError):
+    """The LP/MILP backend failed (numerical trouble, unexpected status)."""
+
+
+class InfeasibleModelError(SolverError):
+    """The LP/MILP model admits no feasible point."""
+
+
+class UnboundedModelError(SolverError):
+    """The LP/MILP model is unbounded in the optimisation direction."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class GeneratorError(ReproError):
+    """Invalid parameters passed to a workload generator."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

@@ -1,0 +1,37 @@
+"""Experiment harnesses regenerating every figure and table of §6.
+
+* :mod:`repro.experiments.fig6_rampup` — throughput vs #instances (Fig. 6);
+* :mod:`repro.experiments.fig7_speedup` — speed-up vs #SPEs (Fig. 7a–c);
+* :mod:`repro.experiments.fig8_ccr` — speed-up vs CCR (Fig. 8);
+* :mod:`repro.experiments.tables` — solve-time table and β ablation.
+
+Each module exposes ``run(...)`` returning structured results and
+``main(...)`` printing paper-style tables and ASCII plots.
+"""
+
+from . import fig6_rampup, fig7_speedup, fig8_ccr, tables
+from .common import (
+    PAPER_STRATEGIES,
+    STRATEGIES,
+    MeasuredPoint,
+    ascii_plot,
+    build_mapping,
+    measure_throughput,
+    measured_speedup,
+    to_csv,
+)
+
+__all__ = [
+    "fig6_rampup",
+    "fig7_speedup",
+    "fig8_ccr",
+    "tables",
+    "PAPER_STRATEGIES",
+    "STRATEGIES",
+    "MeasuredPoint",
+    "ascii_plot",
+    "build_mapping",
+    "measure_throughput",
+    "measured_speedup",
+    "to_csv",
+]

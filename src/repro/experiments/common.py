@@ -1,0 +1,147 @@
+"""Shared experiment utilities: strategies, measurement, reporting.
+
+Every figure of §6 compares *measured* throughputs (on hardware there, on
+the discrete-event simulator here), normalised to the measured throughput
+of the everything-on-the-PPE mapping.  This module provides that protocol
+plus CSV/ASCII reporting so each ``fig*`` module stays declarative.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ExperimentError
+from ..graph.stream_graph import StreamGraph
+from ..heuristics import critical_path_mapping, greedy_cpu, greedy_mem
+from ..milp import PAPER_MIP_GAP, solve_optimal_mapping
+from ..platform.cell import CellPlatform
+from ..steady_state.mapping import Mapping
+from ..simulator import SimConfig, SimulationResult, simulate
+
+__all__ = [
+    "STRATEGIES",
+    "PAPER_STRATEGIES",
+    "build_mapping",
+    "measure_throughput",
+    "measured_speedup",
+    "MeasuredPoint",
+    "ascii_plot",
+    "to_csv",
+]
+
+
+def _milp_strategy(graph: StreamGraph, platform: CellPlatform) -> Mapping:
+    # The paper's CPLEX setup: 5 % gap; solves "always below one minute".
+    # The time limit is a safety net for the hardest high-CCR variants —
+    # HiGHS then returns its best incumbent, exactly like a gap stop.
+    return solve_optimal_mapping(
+        graph, platform, mip_rel_gap=PAPER_MIP_GAP, time_limit=90.0
+    ).mapping
+
+
+#: All mapping strategies by name.  "milp" is the paper's contribution,
+#: "greedy_cpu"/"greedy_mem" its §6.3 baselines, "critical_path" our
+#: future-work heuristic.
+STRATEGIES: Dict[str, Callable[[StreamGraph, CellPlatform], Mapping]] = {
+    "milp": _milp_strategy,
+    "greedy_cpu": greedy_cpu,
+    "greedy_mem": greedy_mem,
+    "critical_path": critical_path_mapping,
+}
+
+#: The three strategies shown in the paper's Fig. 7.
+PAPER_STRATEGIES: Tuple[str, ...] = ("milp", "greedy_cpu", "greedy_mem")
+
+
+def build_mapping(
+    strategy: str, graph: StreamGraph, platform: CellPlatform
+) -> Mapping:
+    """Run one strategy by name."""
+    try:
+        builder = STRATEGIES[strategy]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown strategy {strategy!r}; pick from {sorted(STRATEGIES)}"
+        ) from None
+    return builder(graph, platform)
+
+
+def measure_throughput(
+    mapping: Mapping,
+    n_instances: int,
+    config: Optional[SimConfig] = None,
+) -> SimulationResult:
+    """Simulate and return the full result (steady-state rate inside)."""
+    return simulate(mapping, n_instances, config or SimConfig.realistic())
+
+
+def measured_speedup(
+    mapping: Mapping,
+    baseline: SimulationResult,
+    n_instances: int,
+    config: Optional[SimConfig] = None,
+) -> Tuple[float, SimulationResult]:
+    """Speed-up of ``mapping`` over a measured PPE-only baseline (§6.4)."""
+    result = measure_throughput(mapping, n_instances, config)
+    ratio = result.steady_state_throughput() / baseline.steady_state_throughput()
+    return ratio, result
+
+
+@dataclass(frozen=True)
+class MeasuredPoint:
+    """One data point of a figure: a labelled (x, y) with provenance."""
+
+    series: str
+    x: float
+    y: float
+    detail: str = ""
+
+
+def ascii_plot(
+    points: Sequence[MeasuredPoint],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Plain-text scatter plot of one or more series (terminal-friendly)."""
+    if not points:
+        return "(no data)"
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    y_lo = min(y_lo, 0.0) if y_lo > 0 else y_lo
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    series_names = list(dict.fromkeys(p.series for p in points))
+    for p in points:
+        col = int((p.x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((p.y - y_lo) / y_span * (height - 1))
+        marker = markers[series_names.index(p.series) % len(markers)]
+        grid[row][col] = marker
+    lines = [f"{y_label} (top={y_hi:.3g}, bottom={y_lo:.3g})"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_lo:.3g} .. {x_hi:.3g}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}"
+        for i, name in enumerate(series_names)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)
+
+
+def to_csv(points: Iterable[MeasuredPoint], header: Tuple[str, str, str] = ("series", "x", "y")) -> str:
+    """Render measured points as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(header) + ["detail"])
+    for p in points:
+        writer.writerow([p.series, p.x, p.y, p.detail])
+    return buffer.getvalue()

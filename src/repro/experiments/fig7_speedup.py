@@ -1,0 +1,125 @@
+"""Figure 7 — speed-up vs number of SPEs, per strategy.
+
+For each of the three §6.2 task graphs (CCR 0.775) and each number of SPEs
+0…8, map with {MILP, GREEDYCPU, GREEDYMEM} and measure the simulated
+steady-state throughput, normalised to the measured PPE-only throughput.
+The paper's result: MILP mappings scale to ≈2–3× at 8 SPEs while both
+greedy heuristics plateau near 1.3×.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..generator.paper_graphs import paper_suite
+from ..graph.stream_graph import StreamGraph
+from ..platform.cell import CellPlatform
+from ..simulator import SimConfig
+from ..steady_state.mapping import Mapping
+from .common import (
+    PAPER_STRATEGIES,
+    MeasuredPoint,
+    ascii_plot,
+    build_mapping,
+    measure_throughput,
+)
+
+__all__ = ["Fig7Result", "run", "main", "DEFAULT_SPE_COUNTS"]
+
+DEFAULT_SPE_COUNTS: Tuple[int, ...] = tuple(range(0, 9))
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Speed-up points for one graph: series keyed by strategy."""
+
+    graph_name: str
+    points: List[MeasuredPoint]
+
+    def series(self) -> Dict[str, List[Tuple[int, float]]]:
+        out: Dict[str, List[Tuple[int, float]]] = {}
+        for p in self.points:
+            out.setdefault(p.series, []).append((int(p.x), p.y))
+        for values in out.values():
+            values.sort()
+        return out
+
+    def table(self) -> str:
+        series = self.series()
+        strategies = sorted(series)
+        counts = sorted({x for pts in series.values() for x, _ in pts})
+        header = "nSPE  " + "  ".join(f"{s:>12}" for s in strategies)
+        rows = [f"Figure 7 — {self.graph_name}", header]
+        for count in counts:
+            cells = []
+            for s in strategies:
+                match = [y for x, y in series[s] if x == count]
+                cells.append(f"{match[0]:12.2f}" if match else " " * 12)
+            rows.append(f"{count:4d}  " + "  ".join(cells))
+        return "\n".join(rows)
+
+
+def run_one(
+    graph: StreamGraph,
+    spe_counts: Sequence[int] = DEFAULT_SPE_COUNTS,
+    strategies: Sequence[str] = PAPER_STRATEGIES,
+    n_instances: int = 1000,
+    config: Optional[SimConfig] = None,
+    base_platform: Optional[CellPlatform] = None,
+) -> Fig7Result:
+    """Speed-up sweep for one graph."""
+    config = config or SimConfig.realistic()
+    base_platform = base_platform or CellPlatform.qs22()
+    # The reference: everything on the PPE, measured once (§6.4: "the
+    # achieved throughput normalised to the throughput when using only the
+    # PPE").
+    ppe_only = Mapping.all_on_ppe(graph, base_platform.with_spes(0))
+    baseline = measure_throughput(ppe_only, n_instances, config)
+    base_rate = baseline.steady_state_throughput()
+
+    points: List[MeasuredPoint] = []
+    for n_spe in spe_counts:
+        platform = base_platform.with_spes(n_spe)
+        for strategy in strategies:
+            mapping = build_mapping(strategy, graph, platform)
+            result = measure_throughput(mapping, n_instances, config)
+            ratio = result.steady_state_throughput() / base_rate
+            points.append(
+                MeasuredPoint(
+                    series=strategy,
+                    x=float(n_spe),
+                    y=ratio,
+                    detail=f"{graph.name}",
+                )
+            )
+    return Fig7Result(graph_name=graph.name, points=points)
+
+
+def run(
+    spe_counts: Sequence[int] = DEFAULT_SPE_COUNTS,
+    strategies: Sequence[str] = PAPER_STRATEGIES,
+    n_instances: int = 1000,
+    config: Optional[SimConfig] = None,
+    graphs: Optional[Sequence[StreamGraph]] = None,
+) -> List[Fig7Result]:
+    """Regenerate Fig. 7a/7b/7c (all three graphs)."""
+    graphs = list(graphs) if graphs is not None else paper_suite()
+    return [
+        run_one(graph, spe_counts, strategies, n_instances, config)
+        for graph in graphs
+    ]
+
+
+def main(n_instances: int = 1000) -> List[Fig7Result]:
+    """CLI entry: print tables and plots for all three graphs."""
+    results = run(n_instances=n_instances)
+    for result in results:
+        print(result.table())
+        print(
+            ascii_plot(
+                result.points, x_label="number of SPEs", y_label="speed-up"
+            )
+        )
+        print()
+    return results

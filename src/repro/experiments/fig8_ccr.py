@@ -1,0 +1,99 @@
+"""Figure 8 — speed-up of the MILP mapping vs the CCR.
+
+For each of the three graphs and each of the six CCR variants
+(0.775 … 4.6), compute the MILP mapping on the 8-SPE QS22 and measure the
+simulated speed-up over the PPE-only mapping.  The paper's finding: the
+larger the CCR, the smaller the speed-up — big payloads mean big §4.2
+buffers, so fewer tasks fit the SPE local stores and the mapping
+degenerates toward the PPE ("eventually, the best policy is to map all
+tasks to the PPE").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..generator.paper_graphs import PAPER_CCRS, ccr_variants
+from ..platform.cell import CellPlatform
+from ..simulator import SimConfig
+from ..steady_state.mapping import Mapping
+from .common import MeasuredPoint, ascii_plot, build_mapping, measure_throughput
+
+__all__ = ["Fig8Result", "run", "main"]
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """Speed-up vs CCR, one series per graph."""
+
+    points: List[MeasuredPoint]
+
+    def series(self) -> Dict[str, List[Tuple[float, float]]]:
+        out: Dict[str, List[Tuple[float, float]]] = {}
+        for p in self.points:
+            out.setdefault(p.series, []).append((p.x, p.y))
+        for values in out.values():
+            values.sort()
+        return out
+
+    def table(self) -> str:
+        series = self.series()
+        names = sorted(series)
+        ccrs = sorted({x for pts in series.values() for x, _ in pts})
+        header = "  CCR  " + "  ".join(f"{n:>16}" for n in names)
+        rows = ["Figure 8 — speed-up vs CCR (MILP mapping, 8 SPEs)", header]
+        for ccr in ccrs:
+            cells = []
+            for name in names:
+                match = [y for x, y in series[name] if x == ccr]
+                cells.append(f"{match[0]:16.2f}" if match else " " * 16)
+            rows.append(f"{ccr:5.3f}  " + "  ".join(cells))
+        return "\n".join(rows)
+
+
+def run(
+    ccrs: Sequence[float] = PAPER_CCRS,
+    graph_ids: Sequence[int] = (1, 2, 3),
+    n_instances: int = 1000,
+    config: Optional[SimConfig] = None,
+    platform: Optional[CellPlatform] = None,
+    strategy: str = "milp",
+) -> Fig8Result:
+    """Regenerate Fig. 8 (optionally for another strategy/platform)."""
+    config = config or SimConfig.realistic()
+    platform = platform or CellPlatform.qs22()
+    points: List[MeasuredPoint] = []
+    for graph_id in graph_ids:
+        variants = ccr_variants(graph_id)
+        # Baseline: PPE-only throughput of the *base* variant.  Compute
+        # costs are CCR-invariant, but memory I/O scales, so measure the
+        # baseline per variant for fairness.
+        for ccr in ccrs:
+            graph = variants[ccr]
+            baseline = measure_throughput(
+                Mapping.all_on_ppe(graph, platform), n_instances, config
+            )
+            mapping = build_mapping(strategy, graph, platform)
+            result = measure_throughput(mapping, n_instances, config)
+            ratio = (
+                result.steady_state_throughput()
+                / baseline.steady_state_throughput()
+            )
+            points.append(
+                MeasuredPoint(
+                    series=f"random graph {graph_id}",
+                    x=ccr,
+                    y=ratio,
+                    detail=f"{mapping.n_tasks_on_spes()} tasks on SPEs",
+                )
+            )
+    return Fig8Result(points=points)
+
+
+def main(n_instances: int = 1000) -> Fig8Result:
+    """CLI entry: print the Fig. 8 table and plot."""
+    result = run(n_instances=n_instances)
+    print(result.table())
+    print(ascii_plot(result.points, x_label="CCR", y_label="speed-up"))
+    return result

@@ -1,0 +1,41 @@
+"""Workload generation: DagGen-style random DAGs, classic shapes, costs.
+
+* :func:`random_topology` — the DagGen parameter scheme (fat/regularity/
+  density/jump) used by the paper's §6.2 applications;
+* :func:`chain` / :func:`fork_join` / :func:`diamond` / :func:`butterfly`;
+* :func:`assign_costs` / :func:`rescale_ccr` — cost + CCR calibration;
+* :mod:`repro.generator.paper_graphs` — the three graphs of Fig. 5 with
+  their six CCR variants.
+"""
+
+from .costs import CostModel, assign_costs, rescale_ccr
+from .daggen import DagTopology, random_topology
+from .paper_graphs import (
+    BASE_CCR,
+    PAPER_CCRS,
+    ccr_variants,
+    paper_suite,
+    random_graph_1,
+    random_graph_2,
+    random_graph_3,
+)
+from .shapes import butterfly, chain, diamond, fork_join
+
+__all__ = [
+    "CostModel",
+    "assign_costs",
+    "rescale_ccr",
+    "DagTopology",
+    "random_topology",
+    "BASE_CCR",
+    "PAPER_CCRS",
+    "ccr_variants",
+    "paper_suite",
+    "random_graph_1",
+    "random_graph_2",
+    "random_graph_3",
+    "butterfly",
+    "chain",
+    "diamond",
+    "fork_join",
+]

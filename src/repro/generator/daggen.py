@@ -1,0 +1,107 @@
+"""DagGen-style random task-graph topology generator.
+
+The paper's random applications come from Suter's DagGen [19], which builds
+layered DAGs controlled by four shape parameters.  We reimplement that
+scheme (the original is a small C program):
+
+* ``fat`` — mean layer width is ``max(1, fat · sqrt(n))``; small values
+  give chain-like graphs, large values give wide, parallel graphs;
+* ``regularity`` — how uniform layer widths are (1 = all equal);
+* ``density`` — fraction of possible parents in the previous layers each
+  task connects to;
+* ``jump`` — edges may originate up to ``jump`` layers above the task's
+  layer (1 = strictly layer-to-layer).
+
+Topology only; costs/data are assigned by :mod:`repro.generator.costs`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import GeneratorError
+
+__all__ = ["DagTopology", "random_topology"]
+
+
+@dataclass(frozen=True)
+class DagTopology:
+    """A layered DAG skeleton: task ids per layer plus edges between ids."""
+
+    layers: List[List[int]]
+    edges: List[Tuple[int, int]]
+
+    @property
+    def n_tasks(self) -> int:
+        return sum(len(layer) for layer in self.layers)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+
+def random_topology(
+    n_tasks: int,
+    fat: float = 0.5,
+    regularity: float = 0.5,
+    density: float = 0.5,
+    jump: int = 1,
+    seed: int = 0,
+) -> DagTopology:
+    """Generate a DagGen-like layered topology with ``n_tasks`` tasks."""
+    if n_tasks < 1:
+        raise GeneratorError("n_tasks must be >= 1")
+    if fat <= 0:
+        raise GeneratorError("fat must be positive")
+    if not 0 <= regularity <= 1:
+        raise GeneratorError("regularity must be in [0, 1]")
+    if not 0 <= density <= 1:
+        raise GeneratorError("density must be in [0, 1]")
+    if jump < 1:
+        raise GeneratorError("jump must be >= 1")
+
+    rng = random.Random(seed)
+    mean_width = max(1.0, fat * math.sqrt(n_tasks))
+
+    # ---- layer sizes ---------------------------------------------------- #
+    layers: List[List[int]] = []
+    next_id = 0
+    while next_id < n_tasks:
+        spread = 1.0 - regularity
+        lo = max(1, int(round(mean_width * (1.0 - spread))))
+        hi = max(lo, int(round(mean_width * (1.0 + spread))))
+        width = min(rng.randint(lo, hi), n_tasks - next_id)
+        layers.append(list(range(next_id, next_id + width)))
+        next_id += width
+
+    # ---- edges ---------------------------------------------------------- #
+    edges: List[Tuple[int, int]] = []
+    seen = set()
+    for depth in range(1, len(layers)):
+        reachable: List[int] = []
+        for back in range(1, jump + 1):
+            if depth - back >= 0:
+                reachable.extend(layers[depth - back])
+        for task in layers[depth]:
+            # Every task keeps at least one parent so instances flow
+            # end-to-end; extra parents follow the density parameter.
+            n_parents = max(
+                1, int(round(density * len(reachable)))
+            )
+            n_parents = min(n_parents, len(reachable))
+            # Bias the mandatory parent towards the previous layer, as
+            # DagGen does: layer-skipping edges are the exception.
+            primary = rng.choice(layers[depth - 1])
+            parents = {primary}
+            while len(parents) < n_parents:
+                parents.add(rng.choice(reachable))
+            for parent in sorted(parents):
+                key = (parent, task)
+                if key not in seen:
+                    seen.add(key)
+                    edges.append(key)
+
+    return DagTopology(layers=layers, edges=edges)

@@ -1,0 +1,82 @@
+"""The three experiment task graphs of §6.2, regenerated.
+
+The paper evaluates on three DagGen graphs (Fig. 5):
+
+* **random graph 1** — 50 tasks, mostly sequential with occasional short
+  branches (Fig. 5a is a near-chain with a handful of parallel sections);
+* **random graph 2** — 94 tasks, wider and denser (Fig. 5b);
+* **random graph 3** — a simple chain of 50 tasks.
+
+The exact instances are unpublished, so we regenerate statistically
+similar graphs from fixed seeds (stable across runs and platforms) and six
+CCR variants of each, spanning the paper's range 0.775 … 4.6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..graph.stream_graph import StreamGraph
+from .costs import CostModel, assign_costs, rescale_ccr
+from .daggen import random_topology
+from .shapes import chain
+
+__all__ = [
+    "PAPER_CCRS",
+    "BASE_CCR",
+    "random_graph_1",
+    "random_graph_2",
+    "random_graph_3",
+    "paper_suite",
+    "ccr_variants",
+]
+
+#: The six CCR variants of §6.2: 0.775 (compute-intensive) … 4.6
+#: (communication-intensive).  The paper lists only the extremes; we space
+#: the intermediate points evenly.
+PAPER_CCRS: Tuple[float, ...] = (0.775, 1.54, 2.305, 3.07, 3.835, 4.6)
+
+#: The CCR used by the Fig. 6 and Fig. 7 experiments.
+BASE_CCR: float = 0.775
+
+
+def random_graph_1(ccr: float = BASE_CCR, seed: int = 11) -> StreamGraph:
+    """50 tasks, chain-like with short parallel branches (Fig. 5a)."""
+    topology = random_topology(
+        n_tasks=50, fat=0.28, regularity=0.4, density=0.4, jump=2, seed=seed
+    )
+    graph = assign_costs(topology, ccr=ccr, seed=seed, name="random-graph-1")
+    return graph
+
+
+def random_graph_2(ccr: float = BASE_CCR, seed: int = 22) -> StreamGraph:
+    """94 tasks, wider and denser (Fig. 5b)."""
+    topology = random_topology(
+        n_tasks=94, fat=0.45, regularity=0.5, density=0.18, jump=2, seed=seed
+    )
+    return assign_costs(topology, ccr=ccr, seed=seed, name="random-graph-2")
+
+
+def random_graph_3(ccr: float = BASE_CCR, seed: int = 33) -> StreamGraph:
+    """A simple chain of 50 tasks (§6.2)."""
+    topology = chain(50)
+    return assign_costs(topology, ccr=ccr, seed=seed, name="random-graph-3")
+
+
+def paper_suite(ccr: float = BASE_CCR) -> List[StreamGraph]:
+    """The three graphs at a common CCR, in paper order."""
+    return [random_graph_1(ccr), random_graph_2(ccr), random_graph_3(ccr)]
+
+
+def ccr_variants(which: int = 1) -> Dict[float, StreamGraph]:
+    """All six CCR variants of graph ``which`` (1, 2 or 3), §6.4.3 style.
+
+    Variants share topology and compute costs; only communication volume
+    changes, via :func:`repro.generator.costs.rescale_ccr`.
+    """
+    base = {1: random_graph_1, 2: random_graph_2, 3: random_graph_3}[which](
+        ccr=PAPER_CCRS[0]
+    )
+    return {
+        target: rescale_ccr(base, target) for target in PAPER_CCRS
+    }

@@ -1,0 +1,72 @@
+"""Deterministic classic topologies: chain, fork-join, diamond, butterfly.
+
+These complement the random DagGen graphs: the paper's third application is
+a plain 50-task chain (Fig. 2a generalised), and the regular shapes give
+the test-suite graphs whose optimal mappings are known by inspection.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import GeneratorError
+from .daggen import DagTopology
+
+__all__ = ["chain", "fork_join", "diamond", "butterfly"]
+
+
+def chain(n_tasks: int) -> DagTopology:
+    """A linear pipeline ``T1 -> T2 -> ... -> Tn`` (Fig. 2a)."""
+    if n_tasks < 1:
+        raise GeneratorError("n_tasks must be >= 1")
+    layers = [[i] for i in range(n_tasks)]
+    edges = [(i, i + 1) for i in range(n_tasks - 1)]
+    return DagTopology(layers=layers, edges=edges)
+
+
+def fork_join(n_branches: int, branch_length: int = 1) -> DagTopology:
+    """One source fanning out to ``n_branches`` parallel chains, then a sink."""
+    if n_branches < 1 or branch_length < 1:
+        raise GeneratorError("n_branches and branch_length must be >= 1")
+    layers: List[List[int]] = [[0]]
+    edges: List[Tuple[int, int]] = []
+    next_id = 1
+    branch_ends = []
+    columns = [[] for _ in range(branch_length)]
+    for _branch in range(n_branches):
+        prev = 0
+        for step in range(branch_length):
+            node = next_id
+            next_id += 1
+            columns[step].append(node)
+            edges.append((prev, node))
+            prev = node
+        branch_ends.append(prev)
+    layers.extend(columns)
+    sink = next_id
+    layers.append([sink])
+    for end in branch_ends:
+        edges.append((end, sink))
+    return DagTopology(layers=layers, edges=edges)
+
+
+def diamond(width: int) -> DagTopology:
+    """Source -> ``width`` parallel tasks -> sink (Fig. 2b's core motif)."""
+    return fork_join(width, branch_length=1)
+
+
+def butterfly(stages: int, width: int) -> DagTopology:
+    """``stages`` fully-connected layers of ``width`` tasks (FFT-like)."""
+    if stages < 1 or width < 1:
+        raise GeneratorError("stages and width must be >= 1")
+    layers = [
+        list(range(stage * width, (stage + 1) * width))
+        for stage in range(stages)
+    ]
+    edges = [
+        (a, b)
+        for stage in range(stages - 1)
+        for a in layers[stage]
+        for b in layers[stage + 1]
+    ]
+    return DagTopology(layers=layers, edges=edges)

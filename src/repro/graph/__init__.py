@@ -1,0 +1,44 @@
+"""Streaming application model (paper §2.2).
+
+* :class:`Task` — per-instance costs (unrelated machines), peek, memory I/O;
+* :class:`DataEdge` — per-instance payloads between tasks;
+* :class:`StreamGraph` — the validated DAG container;
+* analysis helpers — :func:`ccr`, :func:`graph_stats`, critical path;
+* :mod:`repro.graph.io` — JSON round-trip and DOT export.
+"""
+
+from .analysis import (
+    ELEMENT_BYTES,
+    GraphStats,
+    ccr,
+    critical_path_time,
+    graph_stats,
+    total_compute,
+    total_data_bytes,
+    total_elements,
+    total_operations,
+)
+from .edge import DataEdge
+from .io import from_dict, load, save, to_dict, to_dot
+from .stream_graph import StreamGraph
+from .task import Task
+
+__all__ = [
+    "ELEMENT_BYTES",
+    "GraphStats",
+    "ccr",
+    "critical_path_time",
+    "graph_stats",
+    "total_compute",
+    "total_data_bytes",
+    "total_elements",
+    "total_operations",
+    "DataEdge",
+    "from_dict",
+    "load",
+    "save",
+    "to_dict",
+    "to_dot",
+    "StreamGraph",
+    "Task",
+]

@@ -1,0 +1,133 @@
+"""Graph-level metrics: CCR, compute/communication totals, critical path.
+
+The paper (§6.2) defines the communication-to-computation ratio of a
+scenario as *"the total number of transferred elements divided by the number
+of operations on these elements"*.  Elements are 4-byte words
+(:data:`ELEMENT_BYTES`); the operation count of a task defaults to its PPE
+time in µs (see :attr:`repro.graph.task.Task.operation_count`), i.e. one
+abstract operation per microsecond of PPE work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .stream_graph import StreamGraph
+
+__all__ = [
+    "ELEMENT_BYTES",
+    "GraphStats",
+    "ccr",
+    "total_data_bytes",
+    "total_elements",
+    "total_operations",
+    "total_compute",
+    "critical_path_time",
+    "graph_stats",
+]
+
+#: Size of one stream element in bytes (single-precision word).
+ELEMENT_BYTES: float = 4.0
+
+
+def total_data_bytes(graph: StreamGraph) -> float:
+    """Sum of per-instance edge payloads, in bytes."""
+    return sum(edge.data for edge in graph.edges())
+
+
+def total_elements(graph: StreamGraph) -> float:
+    """Total transferred elements per instance (paper's CCR numerator)."""
+    return total_data_bytes(graph) / ELEMENT_BYTES
+
+
+def total_operations(graph: StreamGraph) -> float:
+    """Total abstract operations per instance (paper's CCR denominator)."""
+    return sum(task.operation_count for task in graph.tasks())
+
+
+def ccr(graph: StreamGraph) -> float:
+    """Communication-to-computation ratio of the application (§6.2)."""
+    ops = total_operations(graph)
+    if ops == 0:
+        return float("inf") if total_elements(graph) > 0 else 0.0
+    return total_elements(graph) / ops
+
+
+def total_compute(graph: StreamGraph, kind: str = "ppe") -> float:
+    """Total per-instance compute time (µs) if every task ran on ``kind``.
+
+    ``kind`` is ``"ppe"``, ``"spe"`` or ``"min"`` (per-task best class).
+    """
+    if kind == "ppe":
+        return sum(t.wppe for t in graph.tasks())
+    if kind == "spe":
+        return sum(t.wspe for t in graph.tasks())
+    if kind == "min":
+        return sum(min(t.wppe, t.wspe) for t in graph.tasks())
+    raise ValueError(f"kind must be 'ppe', 'spe' or 'min', got {kind!r}")
+
+
+def critical_path_time(graph: StreamGraph, kind: str = "min") -> float:
+    """Length (µs) of the heaviest path, using per-task ``kind`` costs.
+
+    For steady-state throughput the critical path does not bound the period
+    (pipelining hides it), but it bounds the *latency* of one instance and
+    the ramp-up length, and drives the critical-path heuristic.
+    """
+    cost: Dict[str, float] = {}
+    for task in graph.tasks():
+        if kind == "min":
+            cost[task.name] = min(task.wppe, task.wspe)
+        elif kind == "ppe":
+            cost[task.name] = task.wppe
+        elif kind == "spe":
+            cost[task.name] = task.wspe
+        else:
+            raise ValueError(f"kind must be 'ppe', 'spe' or 'min', got {kind!r}")
+    finish: Dict[str, float] = {}
+    for name in graph.topological_order():
+        start = max((finish[p] for p in graph.predecessors(name)), default=0.0)
+        finish[name] = start + cost[name]
+    return max(finish.values(), default=0.0)
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary of a streaming application's shape and weight."""
+
+    name: str
+    n_tasks: int
+    n_edges: int
+    depth: int
+    width: int
+    ccr: float
+    total_data_bytes: float
+    total_wppe: float
+    total_wspe: float
+    max_peek: int
+    n_stateful: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name}: {self.n_tasks} tasks / {self.n_edges} edges, "
+            f"depth {self.depth}, width {self.width}, CCR {self.ccr:.3f}, "
+            f"data {self.total_data_bytes:.0f} B/instance"
+        )
+
+
+def graph_stats(graph: StreamGraph) -> GraphStats:
+    """Compute the :class:`GraphStats` summary of ``graph``."""
+    return GraphStats(
+        name=graph.name,
+        n_tasks=graph.n_tasks,
+        n_edges=graph.n_edges,
+        depth=graph.depth(),
+        width=graph.width(),
+        ccr=ccr(graph),
+        total_data_bytes=total_data_bytes(graph),
+        total_wppe=total_compute(graph, "ppe"),
+        total_wspe=total_compute(graph, "spe"),
+        max_peek=max((t.peek for t in graph.tasks()), default=0),
+        n_stateful=sum(1 for t in graph.tasks() if t.stateful),
+    )

@@ -1,0 +1,58 @@
+"""Data dependencies between streaming tasks (paper §2.2).
+
+An edge ``D(k,l)`` states that instance ``i`` of task ``l`` consumes the
+instance-``i`` output of task ``k`` (plus ``peek_l`` following instances).
+``data`` is the payload size in bytes per instance; it determines both the
+communication time of cross-PE transfers and, multiplied by the steady-state
+window (§4.2), the buffer footprint on both endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from ..errors import GraphError
+
+__all__ = ["DataEdge"]
+
+
+@dataclass(frozen=True)
+class DataEdge:
+    """One edge of the streaming task graph.
+
+    Attributes
+    ----------
+    src, dst:
+        Names of the producing and consuming tasks.
+    data:
+        Bytes produced per instance (``data[k,l]`` in the paper).
+    """
+
+    src: str
+    dst: str
+    data: float
+
+    def __post_init__(self) -> None:
+        if not self.src or not self.dst:
+            raise GraphError("edge endpoints must be non-empty task names")
+        if self.src == self.dst:
+            raise GraphError(f"self-loop on task {self.src!r} is not allowed")
+        if self.data < 0:
+            raise GraphError(
+                f"edge {self.src!r}->{self.dst!r}: data size must be non-negative"
+            )
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """The ``(src, dst)`` pair identifying this edge in a graph."""
+        return (self.src, self.dst)
+
+    def scaled(self, data_factor: float) -> "DataEdge":
+        """A copy with the payload multiplied by ``data_factor``."""
+        if data_factor < 0:
+            raise GraphError("data_factor must be non-negative")
+        return replace(self, data=self.data * data_factor)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"D({self.src}->{self.dst}, {self.data:g} B)"

@@ -1,0 +1,115 @@
+"""Serialisation of streaming task graphs: JSON round-trip and DOT export.
+
+The JSON schema is a flat dictionary so graphs generated once (e.g. the
+paper-like random graphs) can be checked in and shared between experiments::
+
+    {
+      "name": "...",
+      "tasks": [{"name": ..., "wppe": ..., "wspe": ..., ...}, ...],
+      "edges": [{"src": ..., "dst": ..., "data": ...}, ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..errors import GraphError
+from .edge import DataEdge
+from .stream_graph import StreamGraph
+from .task import Task
+
+__all__ = ["to_dict", "from_dict", "dumps", "loads", "save", "load", "to_dot"]
+
+_SCHEMA_VERSION = 1
+
+
+def to_dict(graph: StreamGraph) -> Dict[str, Any]:
+    """JSON-serialisable dictionary form of ``graph``."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "name": graph.name,
+        "tasks": [
+            {
+                "name": t.name,
+                "wppe": t.wppe,
+                "wspe": t.wspe,
+                "read": t.read,
+                "write": t.write,
+                "peek": t.peek,
+                "stateful": t.stateful,
+                **({"ops": t.ops} if t.ops is not None else {}),
+            }
+            for t in graph.tasks()
+        ],
+        "edges": [
+            {"src": e.src, "dst": e.dst, "data": e.data} for e in graph.edges()
+        ],
+    }
+
+
+def from_dict(payload: Dict[str, Any]) -> StreamGraph:
+    """Rebuild a validated :class:`StreamGraph` from :func:`to_dict` output."""
+    try:
+        graph = StreamGraph(payload.get("name", "stream"))
+        for spec in payload["tasks"]:
+            graph.add_task(Task(**spec))
+        for spec in payload["edges"]:
+            graph.add_edge(DataEdge(**spec))
+    except (KeyError, TypeError) as exc:
+        raise GraphError(f"malformed graph payload: {exc}") from exc
+    graph.validate()
+    return graph
+
+
+def dumps(graph: StreamGraph, indent: int = 2) -> str:
+    """Serialise ``graph`` to a JSON string."""
+    return json.dumps(to_dict(graph), indent=indent, sort_keys=False)
+
+
+def loads(text: str) -> StreamGraph:
+    """Parse a graph from JSON text produced by :func:`dumps`."""
+    return from_dict(json.loads(text))
+
+
+def save(graph: StreamGraph, path: Union[str, Path]) -> Path:
+    """Write ``graph`` as JSON to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(dumps(graph))
+    return path
+
+
+def load(path: Union[str, Path]) -> StreamGraph:
+    """Read a graph from a JSON file written by :func:`save`."""
+    return loads(Path(path).read_text())
+
+
+def to_dot(graph: StreamGraph, mapping=None) -> str:
+    """GraphViz rendering; if ``mapping`` is given, colour tasks per PE.
+
+    ``mapping`` may be any object with a ``pe_of(task_name) -> int`` method
+    (e.g. :class:`repro.steady_state.mapping.Mapping`).
+    """
+    palette = [
+        "lightblue", "lightyellow", "lightpink", "lightgreen", "orange",
+        "cyan", "violet", "gold", "salmon", "palegreen", "khaki",
+    ]
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=TB;"]
+    for task in graph.tasks():
+        label = (
+            f"{task.name}\\nppe={task.wppe:g} spe={task.wspe:g}"
+            f"\\npeek={task.peek}{' stateful' if task.stateful else ''}"
+        )
+        colour = ""
+        if mapping is not None:
+            pe = mapping.pe_of(task.name)
+            colour = f', style=filled, fillcolor="{palette[pe % len(palette)]}"'
+        lines.append(f'  "{task.name}" [label="{label}"{colour}];')
+    for edge in graph.edges():
+        lines.append(
+            f'  "{edge.src}" -> "{edge.dst}" [label="{edge.data:g}B"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,286 @@
+"""The streaming application graph ``G_A = (V_A, E_A)`` (paper §2.2).
+
+:class:`StreamGraph` is a small purpose-built DAG container: insertion-ordered,
+validating (no dangling endpoints, no duplicate edges, no cycles on demand),
+with the handful of traversals the schedulers need.  ``networkx`` export is
+provided for interoperability but the library never requires it on hot paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import CycleError, GraphError
+from .edge import DataEdge
+from .task import Task
+
+__all__ = ["StreamGraph"]
+
+
+class StreamGraph:
+    """A directed acyclic graph of streaming tasks.
+
+    Tasks are identified by name.  Edges are identified by the
+    ``(src, dst)`` pair; parallel edges are not allowed (the paper's model
+    has a single data item ``D(k,l)`` per task pair).
+    """
+
+    def __init__(self, name: str = "stream") -> None:
+        self.name = name
+        self._tasks: Dict[str, Task] = {}
+        self._edges: Dict[Tuple[str, str], DataEdge] = {}
+        self._succ: Dict[str, List[str]] = {}
+        self._pred: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+
+    def add_task(self, task: Task) -> Task:
+        """Insert ``task``; raises :class:`GraphError` on duplicate names."""
+        if task.name in self._tasks:
+            raise GraphError(f"duplicate task name {task.name!r}")
+        self._tasks[task.name] = task
+        self._succ[task.name] = []
+        self._pred[task.name] = []
+        return task
+
+    def add_edge(self, edge: DataEdge) -> DataEdge:
+        """Insert ``edge``; both endpoints must already be tasks."""
+        for endpoint in (edge.src, edge.dst):
+            if endpoint not in self._tasks:
+                raise GraphError(
+                    f"edge {edge.src!r}->{edge.dst!r}: unknown task {endpoint!r}"
+                )
+        if edge.key in self._edges:
+            raise GraphError(f"duplicate edge {edge.src!r}->{edge.dst!r}")
+        self._edges[edge.key] = edge
+        self._succ[edge.src].append(edge.dst)
+        self._pred[edge.dst].append(edge.src)
+        return edge
+
+    def replace_task(self, task: Task) -> None:
+        """Swap the task of the same name, keeping all edges."""
+        if task.name not in self._tasks:
+            raise GraphError(f"unknown task {task.name!r}")
+        self._tasks[task.name] = task
+
+    def replace_edge(self, edge: DataEdge) -> None:
+        """Swap the edge with the same ``(src, dst)`` key."""
+        if edge.key not in self._edges:
+            raise GraphError(f"unknown edge {edge.src!r}->{edge.dst!r}")
+        self._edges[edge.key] = edge
+
+    # ------------------------------------------------------------------ #
+    # Queries
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._edges)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def task(self, name: str) -> Task:
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise GraphError(f"unknown task {name!r}") from None
+
+    def edge(self, src: str, dst: str) -> DataEdge:
+        try:
+            return self._edges[(src, dst)]
+        except KeyError:
+            raise GraphError(f"unknown edge {src!r}->{dst!r}") from None
+
+    def has_edge(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._edges
+
+    def tasks(self) -> Iterator[Task]:
+        """Tasks in insertion order."""
+        return iter(self._tasks.values())
+
+    def task_names(self) -> List[str]:
+        return list(self._tasks.keys())
+
+    def edges(self) -> Iterator[DataEdge]:
+        """Edges in insertion order."""
+        return iter(self._edges.values())
+
+    def successors(self, name: str) -> List[str]:
+        self.task(name)
+        return list(self._succ[name])
+
+    def predecessors(self, name: str) -> List[str]:
+        self.task(name)
+        return list(self._pred[name])
+
+    def out_edges(self, name: str) -> List[DataEdge]:
+        self.task(name)
+        return [self._edges[(name, dst)] for dst in self._succ[name]]
+
+    def in_edges(self, name: str) -> List[DataEdge]:
+        self.task(name)
+        return [self._edges[(src, name)] for src in self._pred[name]]
+
+    def out_degree(self, name: str) -> int:
+        self.task(name)
+        return len(self._succ[name])
+
+    def in_degree(self, name: str) -> int:
+        self.task(name)
+        return len(self._pred[name])
+
+    def sources(self) -> List[str]:
+        """Tasks with no predecessor (stream entry points)."""
+        return [t for t in self._tasks if not self._pred[t]]
+
+    def sinks(self) -> List[str]:
+        """Tasks with no successor (stream exit points)."""
+        return [t for t in self._tasks if not self._succ[t]]
+
+    # ------------------------------------------------------------------ #
+    # Traversals
+
+    def topological_order(self) -> List[str]:
+        """Kahn topological order; raises :class:`CycleError` on cycles."""
+        in_deg = {t: len(self._pred[t]) for t in self._tasks}
+        ready = [t for t in self._tasks if in_deg[t] == 0]
+        order: List[str] = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for succ in self._succ[node]:
+                in_deg[succ] -= 1
+                if in_deg[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self._tasks):
+            raise CycleError(f"graph {self.name!r} contains a cycle")
+        return order
+
+    def is_acyclic(self) -> bool:
+        try:
+            self.topological_order()
+        except CycleError:
+            return False
+        return True
+
+    def validate(self) -> None:
+        """Full structural validation; raises on any inconsistency."""
+        if not self._tasks:
+            raise GraphError(f"graph {self.name!r} has no task")
+        self.topological_order()  # raises CycleError on cycles
+
+    def depth(self) -> int:
+        """Number of tasks on the longest path (1 for edge-less graphs)."""
+        level: Dict[str, int] = {}
+        for node in self.topological_order():
+            preds = self._pred[node]
+            level[node] = 1 + max((level[p] for p in preds), default=0)
+        return max(level.values(), default=0)
+
+    def levels(self) -> Dict[str, int]:
+        """Longest-path level of each task, sources at level 0."""
+        level: Dict[str, int] = {}
+        for node in self.topological_order():
+            preds = self._pred[node]
+            level[node] = 1 + max((level[p] for p in preds), default=-1)
+        return level
+
+    def width(self) -> int:
+        """Maximum number of tasks sharing a level (graph parallelism)."""
+        counts: Dict[int, int] = {}
+        for lvl in self.levels().values():
+            counts[lvl] = counts.get(lvl, 0) + 1
+        return max(counts.values(), default=0)
+
+    # ------------------------------------------------------------------ #
+    # Derivation
+
+    def copy(self, name: Optional[str] = None) -> "StreamGraph":
+        out = StreamGraph(name or self.name)
+        for task in self.tasks():
+            out.add_task(task)
+        for edge in self.edges():
+            out.add_edge(edge)
+        return out
+
+    def scaled(
+        self,
+        compute_factor: float = 1.0,
+        data_factor: float = 1.0,
+        name: Optional[str] = None,
+    ) -> "StreamGraph":
+        """A copy with all compute costs / data sizes scaled uniformly."""
+        out = StreamGraph(name or self.name)
+        for task in self.tasks():
+            out.add_task(task.scaled(compute_factor))
+        for edge in self.edges():
+            out.add_edge(edge.scaled(data_factor))
+        return out
+
+    def to_networkx(self):
+        """Export as a :class:`networkx.DiGraph` (attributes on nodes/edges)."""
+        import networkx as nx
+
+        g = nx.DiGraph(name=self.name)
+        for task in self.tasks():
+            g.add_node(
+                task.name,
+                wppe=task.wppe,
+                wspe=task.wspe,
+                read=task.read,
+                write=task.write,
+                peek=task.peek,
+                stateful=task.stateful,
+            )
+        for edge in self.edges():
+            g.add_edge(edge.src, edge.dst, data=edge.data)
+        return g
+
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreamGraph):
+            return NotImplemented
+        return self._tasks == other._tasks and self._edges == other._edges
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamGraph({self.name!r}, {self.n_tasks} tasks, "
+            f"{self.n_edges} edges)"
+        )
+
+    @classmethod
+    def from_parts(
+        cls,
+        tasks: Iterable[Task],
+        edges: Iterable[DataEdge],
+        name: str = "stream",
+    ) -> "StreamGraph":
+        """Build and validate a graph from task and edge sequences."""
+        graph = cls(name)
+        for task in tasks:
+            graph.add_task(task)
+        for edge in edges:
+            graph.add_edge(edge)
+        graph.validate()
+        return graph
+
+    @classmethod
+    def chain_of(cls, tasks: Sequence[Task], data: Sequence[float], name: str = "chain") -> "StreamGraph":
+        """Convenience constructor for linear pipelines (Fig. 2a)."""
+        if len(data) != max(len(tasks) - 1, 0):
+            raise GraphError("chain_of needs len(data) == len(tasks) - 1")
+        graph = cls(name)
+        for task in tasks:
+            graph.add_task(task)
+        for (prev, nxt), size in zip(zip(tasks, tasks[1:]), data):
+            graph.add_edge(DataEdge(prev.name, nxt.name, size))
+        return graph

@@ -1,0 +1,88 @@
+"""Streaming tasks (paper §2.2).
+
+A task processes one *instance* of the stream per activation.  Costs follow
+the unrelated-machines model: ``wppe`` and ``wspe`` give the time (µs) for
+one instance on a PPE resp. an SPE, and neither dominates the other across
+tasks.  ``peek`` is the number of *future* instances of every input data the
+task must hold before it can process instance ``i`` (instances
+``i .. i+peek``), as in video encoders that look ahead.  ``read``/``write``
+are bytes exchanged with main memory per instance; they consume interface
+bandwidth like any communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..errors import GraphError
+from ..platform.elements import PEKind
+
+__all__ = ["Task"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One node of the streaming task graph.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within a graph.
+    wppe, wspe:
+        Time (µs) to process one instance on a PPE / an SPE.
+    read, write:
+        Bytes read from / written to main memory per instance.
+    peek:
+        Number of future instances of each input required ahead of time.
+    stateful:
+        Whether the task carries internal state between instances.  With
+        the paper's single-PE-per-task mappings this is informational (a
+        stateful task simply cannot be replicated, which no mapping here
+        does); generators label tasks to mirror the published graphs.
+    ops:
+        Abstract operation count per instance, used only for CCR
+        accounting (§6.2).  Defaults to ``wppe`` (1 op ≡ 1 µs of PPE work).
+    """
+
+    name: str
+    wppe: float
+    wspe: float
+    read: float = 0.0
+    write: float = 0.0
+    peek: int = 0
+    stateful: bool = False
+    ops: Optional[float] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GraphError("task name must be a non-empty string")
+        if self.wppe < 0 or self.wspe < 0:
+            raise GraphError(f"task {self.name!r}: costs must be non-negative")
+        if self.wppe == 0 and self.wspe == 0:
+            raise GraphError(f"task {self.name!r}: at least one cost must be positive")
+        if self.read < 0 or self.write < 0:
+            raise GraphError(f"task {self.name!r}: read/write must be non-negative")
+        if self.peek < 0 or int(self.peek) != self.peek:
+            raise GraphError(f"task {self.name!r}: peek must be a non-negative integer")
+        if self.ops is not None and self.ops < 0:
+            raise GraphError(f"task {self.name!r}: ops must be non-negative")
+
+    def cost_on(self, kind: PEKind) -> float:
+        """Per-instance processing time on a PE of class ``kind``."""
+        return self.wppe if kind is PEKind.PPE else self.wspe
+
+    @property
+    def operation_count(self) -> float:
+        """Operations per instance for CCR accounting (defaults to ``wppe``)."""
+        return self.wppe if self.ops is None else self.ops
+
+    def scaled(self, compute_factor: float = 1.0) -> "Task":
+        """A copy with compute costs multiplied by ``compute_factor``."""
+        if compute_factor <= 0:
+            raise GraphError("compute_factor must be positive")
+        return replace(
+            self,
+            wppe=self.wppe * compute_factor,
+            wspe=self.wspe * compute_factor,
+        )

@@ -1,0 +1,18 @@
+"""Mapping heuristics: the paper's baselines (§6.3) and extensions.
+
+* :func:`greedy_mem`, :func:`greedy_cpu` — the paper's GREEDYMEM/GREEDYCPU;
+* :func:`critical_path_mapping` — HEFT-style list scheduling (future work);
+* :func:`local_search` — move/swap refinement of any mapping;
+* :func:`random_mapping` — feasible random baseline.
+"""
+
+from .extra import critical_path_mapping, local_search, random_mapping
+from .greedy import greedy_cpu, greedy_mem
+
+__all__ = [
+    "critical_path_mapping",
+    "local_search",
+    "random_mapping",
+    "greedy_cpu",
+    "greedy_mem",
+]

@@ -1,0 +1,211 @@
+"""Mapping heuristics beyond the paper's two baselines.
+
+The paper's conclusion calls for "involved mapping heuristics which
+approach the optimal throughput"; these are our take on that future work:
+
+* :func:`critical_path_mapping` — HEFT-flavoured list scheduling adapted to
+  steady state: tasks in decreasing upward rank, each placed on the PE
+  minimising the resulting period, subject to the hard constraints;
+* :func:`local_search` — steepest-descent move/swap refinement of any
+  starting mapping under the analytic period;
+* :func:`random_mapping` — feasibility-aware random mapping (baseline and
+  test fixture).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..errors import MappingError
+from ..graph.stream_graph import StreamGraph
+from ..platform.cell import CellPlatform
+from ..steady_state.mapping import Mapping
+from ..steady_state.periods import buffer_requirements
+from ..steady_state.throughput import analyze
+
+__all__ = ["critical_path_mapping", "local_search", "random_mapping"]
+
+
+def _upward_rank(graph: StreamGraph) -> Dict[str, float]:
+    """HEFT upward rank with mean compute costs (communication excluded —
+    on the Cell the per-edge transfer time is negligible next to compute)."""
+    rank: Dict[str, float] = {}
+    for name in reversed(graph.topological_order()):
+        task = graph.task(name)
+        mean_cost = 0.5 * (task.wppe + task.wspe)
+        rank[name] = mean_cost + max(
+            (rank[s] for s in graph.successors(name)), default=0.0
+        )
+    return rank
+
+
+def critical_path_mapping(graph: StreamGraph, platform: CellPlatform) -> Mapping:
+    """List-schedule tasks by upward rank, greedily minimising the period.
+
+    For each task (most critical first), try every PE that keeps the hard
+    constraints satisfiable and keep the placement whose *resulting partial
+    period* — max over PE compute loads and interface loads so far — is
+    smallest.  Unlike GREEDYCPU this accounts for the unrelated costs and
+    the communication the placement creates.
+    """
+    need = buffer_requirements(graph)
+    budget = platform.buffer_budget
+    order = sorted(
+        graph.task_names(), key=lambda t: -_upward_rank(graph)[t]
+    )
+    mem_used: Dict[int, float] = {i: 0.0 for i in platform.spe_indices}
+    compute: Dict[int, float] = {i: 0.0 for i in range(platform.n_pes)}
+    comm_in: Dict[int, float] = {i: 0.0 for i in range(platform.n_pes)}
+    comm_out: Dict[int, float] = {i: 0.0 for i in range(platform.n_pes)}
+    dma_in: Dict[int, int] = {i: 0 for i in platform.spe_indices}
+    dma_proxy: Dict[int, int] = {i: 0 for i in platform.spe_indices}
+    assignment: Dict[str, int] = {}
+
+    def placement_cost(name: str, pe: int) -> Optional[float]:
+        """Partial period if ``name`` goes on ``pe``; None if infeasible."""
+        task = graph.task(name)
+        if platform.is_spe(pe):
+            if mem_used[pe] + need[name] > budget:
+                return None
+            new_dma_in = dma_in[pe]
+            new_dma_proxy = dma_proxy[pe]
+            for e in graph.in_edges(name):
+                src_pe = assignment.get(e.src)
+                if src_pe is not None and src_pe != pe:
+                    new_dma_in += 1
+            for e in graph.out_edges(name):
+                dst_pe = assignment.get(e.dst)
+                if dst_pe is not None and dst_pe != pe and platform.is_ppe(dst_pe):
+                    new_dma_proxy += 1
+            if new_dma_in > platform.dma_in_slots:
+                return None
+            if new_dma_proxy > platform.dma_proxy_slots:
+                return None
+        new_compute = compute[pe] + task.cost_on(platform.kind(pe))
+        in_bytes = task.read
+        out_bytes = task.write
+        for e in graph.in_edges(name):
+            src_pe = assignment.get(e.src)
+            if src_pe is not None and src_pe != pe:
+                in_bytes += e.data
+        for e in graph.out_edges(name):
+            dst_pe = assignment.get(e.dst)
+            if dst_pe is not None and dst_pe != pe:
+                out_bytes += e.data
+        new_in = comm_in[pe] + in_bytes / platform.bw
+        new_out = comm_out[pe] + out_bytes / platform.bw
+        partial = max(new_compute, new_in, new_out)
+        others = max(
+            (
+                max(compute[q], comm_in[q], comm_out[q])
+                for q in range(platform.n_pes)
+                if q != pe
+            ),
+            default=0.0,
+        )
+        return max(partial, others)
+
+    for name in order:
+        best_pe, best_cost = None, None
+        for pe in range(platform.n_pes):
+            cost = placement_cost(name, pe)
+            if cost is not None and (best_cost is None or cost < best_cost):
+                best_pe, best_cost = pe, cost
+        if best_pe is None:  # PPE is always feasible, so never happens
+            raise MappingError(f"no feasible PE for task {name!r}")
+        task = graph.task(name)
+        assignment[name] = best_pe
+        compute[best_pe] += task.cost_on(platform.kind(best_pe))
+        comm_in[best_pe] += task.read / platform.bw
+        comm_out[best_pe] += task.write / platform.bw
+        if platform.is_spe(best_pe):
+            mem_used[best_pe] += need[name]
+        for e in graph.in_edges(name):
+            src_pe = assignment.get(e.src)
+            if src_pe is not None and src_pe != best_pe:
+                comm_in[best_pe] += e.data / platform.bw
+                comm_out[src_pe] += e.data / platform.bw
+                if platform.is_spe(best_pe):
+                    dma_in[best_pe] += 1
+                if platform.is_spe(src_pe) and platform.is_ppe(best_pe):
+                    dma_proxy[src_pe] += 1
+        for e in graph.out_edges(name):
+            dst_pe = assignment.get(e.dst)
+            if dst_pe is not None and dst_pe != best_pe:
+                comm_out[best_pe] += e.data / platform.bw
+                comm_in[dst_pe] += e.data / platform.bw
+                if platform.is_spe(dst_pe):
+                    dma_in[dst_pe] += 1
+                if platform.is_spe(best_pe) and platform.is_ppe(dst_pe):
+                    dma_proxy[best_pe] += 1
+    return Mapping(graph, platform, assignment)
+
+
+def local_search(
+    mapping: Mapping,
+    max_rounds: int = 50,
+    try_swaps: bool = True,
+) -> Mapping:
+    """Steepest-descent refinement of ``mapping`` under the analytic period.
+
+    Each round evaluates every single-task move (and optionally every
+    task-pair swap) and applies the best strictly-improving *feasible* one;
+    stops at a local optimum or after ``max_rounds``.
+    """
+    current = mapping
+    current_analysis = analyze(current)
+    current_period = (
+        current_analysis.period if current_analysis.feasible else float("inf")
+    )
+    platform = mapping.platform
+    names = mapping.graph.task_names()
+
+    for _ in range(max_rounds):
+        best_candidate = None
+        best_period = current_period
+        for name in names:
+            origin = current.pe_of(name)
+            for pe in range(platform.n_pes):
+                if pe == origin:
+                    continue
+                candidate = current.with_assignment(name, pe)
+                analysis = analyze(candidate)
+                if analysis.feasible and analysis.period < best_period:
+                    best_candidate, best_period = candidate, analysis.period
+        if try_swaps:
+            for a_idx in range(len(names)):
+                for b_idx in range(a_idx + 1, len(names)):
+                    a, b = names[a_idx], names[b_idx]
+                    pe_a, pe_b = current.pe_of(a), current.pe_of(b)
+                    if pe_a == pe_b:
+                        continue
+                    candidate = current.with_assignment(a, pe_b).with_assignment(b, pe_a)
+                    analysis = analyze(candidate)
+                    if analysis.feasible and analysis.period < best_period:
+                        best_candidate, best_period = candidate, analysis.period
+        if best_candidate is None:
+            break
+        current, current_period = best_candidate, best_period
+    return current
+
+
+def random_mapping(
+    graph: StreamGraph,
+    platform: CellPlatform,
+    seed: int = 0,
+    require_feasible: bool = True,
+    max_attempts: int = 1000,
+) -> Mapping:
+    """A uniform random mapping; optionally rejection-sampled to feasibility."""
+    rng = random.Random(seed)
+    names = graph.task_names()
+    for _ in range(max_attempts):
+        assignment = {
+            name: rng.randrange(platform.n_pes) for name in names
+        }
+        mapping = Mapping(graph, platform, assignment)
+        if not require_feasible or analyze(mapping).feasible:
+            return mapping
+    # Fall back to the always-feasible PPE-only mapping.
+    return Mapping.all_on_ppe(graph, platform)

@@ -1,0 +1,68 @@
+"""The two reference heuristics of §6.3: GREEDYMEM and GREEDYCPU.
+
+Both walk the tasks once in topological order and never reconsider a
+placement.  They focus on the SPEs' scarce local store — the paper notes
+memory is "one of the most significant factors for performance" — and, for
+GREEDYCPU, on the compute load.  Neither reasons about data transfers or
+DMA queue limits, which is precisely why the paper's MILP outperforms them.
+
+* **GREEDYMEM** — among the SPEs with enough free memory for the task and
+  its buffers, pick the one with the least loaded memory; if none fits,
+  put the task on the PPE.
+* **GREEDYCPU** — among *all* PEs (PPE included) with enough memory, pick
+  the one with the smallest current computation load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..graph.stream_graph import StreamGraph
+from ..platform.cell import CellPlatform
+from ..steady_state.mapping import Mapping
+from ..steady_state.periods import buffer_requirements
+
+__all__ = ["greedy_mem", "greedy_cpu"]
+
+
+def greedy_mem(graph: StreamGraph, platform: CellPlatform) -> Mapping:
+    """GREEDYMEM (§6.3): balance SPE memory, overflow to the PPE."""
+    need = buffer_requirements(graph)
+    budget = platform.buffer_budget
+    mem_used: Dict[int, float] = {i: 0.0 for i in platform.spe_indices}
+    assignment: Dict[str, int] = {}
+    for name in graph.topological_order():
+        requirement = need[name]
+        candidates = [
+            spe for spe in platform.spe_indices
+            if mem_used[spe] + requirement <= budget
+        ]
+        if candidates:
+            target = min(candidates, key=lambda spe: (mem_used[spe], spe))
+            mem_used[target] += requirement
+            assignment[name] = target
+        else:
+            assignment[name] = 0  # the PPE (paper platforms have one)
+    return Mapping(graph, platform, assignment)
+
+
+def greedy_cpu(graph: StreamGraph, platform: CellPlatform) -> Mapping:
+    """GREEDYCPU (§6.3): balance compute load among memory-feasible PEs."""
+    need = buffer_requirements(graph)
+    budget = platform.buffer_budget
+    mem_used: Dict[int, float] = {i: 0.0 for i in platform.spe_indices}
+    cpu_load: Dict[int, float] = {i: 0.0 for i in range(platform.n_pes)}
+    assignment: Dict[str, int] = {}
+    for name in graph.topological_order():
+        task = graph.task(name)
+        requirement = need[name]
+        candidates = [
+            pe for pe in range(platform.n_pes)
+            if platform.is_ppe(pe) or mem_used[pe] + requirement <= budget
+        ]
+        target = min(candidates, key=lambda pe: (cpu_load[pe], pe))
+        cpu_load[target] += task.cost_on(platform.kind(target))
+        if platform.is_spe(target):
+            mem_used[target] += requirement
+        assignment[name] = target
+    return Mapping(graph, platform, assignment)

@@ -1,0 +1,25 @@
+"""LP/MILP substrate: modelling layer + HiGHS backend + reference B&B.
+
+* :class:`Model`, :class:`Var`, :class:`LinExpr`, :func:`lpsum` — build
+  mixed-integer linear programs declaratively;
+* :func:`solve` — compile to ``scipy.optimize.milp`` (HiGHS), the stand-in
+  for the paper's CPLEX;
+* :func:`solve_branch_bound` — pure-Python branch-and-bound used for
+  cross-validation on small models.
+"""
+
+from .branch_bound import BranchBoundStats, solve_branch_bound
+from .model import Constraint, LinExpr, Model, Var, lpsum
+from .scipy_backend import Solution, solve
+
+__all__ = [
+    "BranchBoundStats",
+    "solve_branch_bound",
+    "Constraint",
+    "LinExpr",
+    "Model",
+    "Var",
+    "lpsum",
+    "Solution",
+    "solve",
+]

@@ -1,0 +1,278 @@
+"""A small LP/MILP modelling layer.
+
+The MILP of §5 is much easier to audit when written as named variables and
+inequalities instead of raw coefficient matrices.  This module provides just
+enough of a modelling language for that:
+
+>>> m = Model("demo")
+>>> x = m.add_var("x", lb=0, ub=4)
+>>> y = m.add_var("y", integer=True, lb=0, ub=10)
+>>> m.add_constraint(2 * x + y <= 8, name="cap")
+>>> m.minimize(-x - 3 * y)
+
+Models are backend-agnostic; :mod:`repro.lp.scipy_backend` compiles them to
+``scipy.optimize.milp`` (HiGHS) and :mod:`repro.lp.branch_bound` is a
+pure-Python reference solver used for cross-checking.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..errors import SolverError
+
+__all__ = ["Var", "LinExpr", "Constraint", "Model", "lpsum"]
+
+Number = Union[int, float]
+
+
+class LinExpr:
+    """An affine expression ``sum(coeff_i * var_i) + constant``."""
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(self, terms: Optional[Dict[int, float]] = None, constant: float = 0.0):
+        self.terms: Dict[int, float] = terms if terms is not None else {}
+        self.constant = float(constant)
+
+    # -- construction helpers ------------------------------------------- #
+
+    @staticmethod
+    def _as_expr(value: Union["LinExpr", "Var", Number]) -> "LinExpr":
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, Var):
+            return LinExpr({value.index: 1.0})
+        if isinstance(value, (int, float)):
+            return LinExpr({}, float(value))
+        raise TypeError(f"cannot use {type(value).__name__} in a linear expression")
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(dict(self.terms), self.constant)
+
+    # -- arithmetic ------------------------------------------------------ #
+
+    def __add__(self, other) -> "LinExpr":
+        other = self._as_expr(other)
+        out = self.copy()
+        for idx, coeff in other.terms.items():
+            out.terms[idx] = out.terms.get(idx, 0.0) + coeff
+        out.constant += other.constant
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({i: -c for i, c in self.terms.items()}, -self.constant)
+
+    def __sub__(self, other) -> "LinExpr":
+        return self + (-self._as_expr(other))
+
+    def __rsub__(self, other) -> "LinExpr":
+        return self._as_expr(other) + (-self)
+
+    def __mul__(self, factor) -> "LinExpr":
+        if not isinstance(factor, (int, float)):
+            raise TypeError("linear expressions can only be scaled by numbers")
+        return LinExpr(
+            {i: c * factor for i, c in self.terms.items()},
+            self.constant * factor,
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, factor) -> "LinExpr":
+        return self * (1.0 / factor)
+
+    # -- relational operators build constraints --------------------------- #
+
+    def __le__(self, other) -> "Constraint":
+        return Constraint(self - self._as_expr(other), "<=")
+
+    def __ge__(self, other) -> "Constraint":
+        return Constraint(self._as_expr(other) - self, "<=")
+
+    def __eq__(self, other) -> "Constraint":  # type: ignore[override]
+        return Constraint(self - self._as_expr(other), "==")
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def value(self, solution_values: Sequence[float]) -> float:
+        """Evaluate the expression on a solution vector."""
+        return self.constant + sum(
+            coeff * solution_values[idx] for idx, coeff in self.terms.items()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{c:+g}*v{i}" for i, c in sorted(self.terms.items())]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return " ".join(parts)
+
+
+class Var:
+    """A decision variable; arithmetic promotes it to :class:`LinExpr`."""
+
+    __slots__ = ("name", "index", "lb", "ub", "integer")
+
+    def __init__(self, name: str, index: int, lb: float, ub: float, integer: bool):
+        self.name = name
+        self.index = index
+        self.lb = lb
+        self.ub = ub
+        self.integer = integer
+
+    def _expr(self) -> LinExpr:
+        return LinExpr({self.index: 1.0})
+
+    def __add__(self, other):
+        return self._expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._expr() - other
+
+    def __rsub__(self, other):
+        return LinExpr._as_expr(other) - self._expr()
+
+    def __neg__(self):
+        return -self._expr()
+
+    def __mul__(self, factor):
+        return self._expr() * factor
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, factor):
+        return self._expr() / factor
+
+    def __le__(self, other):
+        return self._expr() <= other
+
+    def __ge__(self, other):
+        return self._expr() >= other
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._expr() == other
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        marker = "int" if self.integer else "cont"
+        return f"Var({self.name}, {marker}, [{self.lb}, {self.ub}])"
+
+
+class Constraint:
+    """A normalised constraint ``expr <= 0`` or ``expr == 0``."""
+
+    __slots__ = ("expr", "sense", "name")
+
+    def __init__(self, expr: LinExpr, sense: str, name: str = ""):
+        if sense not in ("<=", "=="):
+            raise SolverError(f"unsupported constraint sense {sense!r}")
+        self.expr = expr
+        self.sense = sense
+        self.name = name
+
+    def violation(self, solution_values: Sequence[float]) -> float:
+        """How far the constraint is violated at a point (0 if satisfied)."""
+        value = self.expr.value(solution_values)
+        if self.sense == "<=":
+            return max(0.0, value)
+        return abs(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}{self.expr!r} {self.sense} 0"
+
+
+class Model:
+    """A mixed-integer linear program under construction."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self.variables: List[Var] = []
+        self.constraints: List[Constraint] = []
+        self.objective: Optional[LinExpr] = None
+        self.sense: str = "min"
+
+    # ------------------------------------------------------------------ #
+
+    def add_var(
+        self,
+        name: str,
+        lb: float = 0.0,
+        ub: float = math.inf,
+        integer: bool = False,
+    ) -> Var:
+        if lb > ub:
+            raise SolverError(f"variable {name!r}: lb {lb} > ub {ub}")
+        var = Var(name, len(self.variables), float(lb), float(ub), integer)
+        self.variables.append(var)
+        return var
+
+    def add_binary(self, name: str) -> Var:
+        return self.add_var(name, lb=0.0, ub=1.0, integer=True)
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        if not isinstance(constraint, Constraint):
+            raise SolverError(
+                "add_constraint expects a Constraint (use <=, >= or ==); "
+                f"got {type(constraint).__name__} — a bare bool usually means "
+                "both sides were numbers"
+            )
+        if name:
+            constraint.name = name
+        self.constraints.append(constraint)
+        return constraint
+
+    def minimize(self, expr: Union[LinExpr, Var]) -> None:
+        self.objective = LinExpr._as_expr(expr)
+        self.sense = "min"
+
+    def maximize(self, expr: Union[LinExpr, Var]) -> None:
+        self.objective = LinExpr._as_expr(expr)
+        self.sense = "max"
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_vars(self) -> int:
+        return len(self.variables)
+
+    @property
+    def n_integer_vars(self) -> int:
+        return sum(1 for v in self.variables if v.integer)
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self.constraints)
+
+    def is_mip(self) -> bool:
+        return self.n_integer_vars > 0
+
+    def stats(self) -> str:
+        return (
+            f"{self.name}: {self.n_vars} vars "
+            f"({self.n_integer_vars} integer), {self.n_constraints} constraints"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Model({self.stats()})"
+
+
+def lpsum(items: Iterable[Union[LinExpr, Var, Number]]) -> LinExpr:
+    """Sum an iterable of variables/expressions into one :class:`LinExpr`.
+
+    Builds the result in-place, avoiding the quadratic blow-up of
+    ``sum(...)`` on large models.
+    """
+    out = LinExpr()
+    for item in items:
+        expr = LinExpr._as_expr(item)
+        for idx, coeff in expr.terms.items():
+            out.terms[idx] = out.terms.get(idx, 0.0) + coeff
+        out.constant += expr.constant
+    return out

@@ -1,0 +1,18 @@
+"""Optimal mapping through mixed linear programming (paper §5).
+
+* :func:`build_formulation` — constraints (1a)–(1k) as a :class:`repro.lp.Model`;
+* :func:`solve_optimal_mapping` — the headline algorithm (HiGHS, 5 % gap);
+* :data:`PAPER_MIP_GAP` — the paper's CPLEX gap setting.
+"""
+
+from .formulation import MilpFormulation, build_formulation, ppe_only_period
+from .solve import PAPER_MIP_GAP, MilpResult, solve_optimal_mapping
+
+__all__ = [
+    "MilpFormulation",
+    "build_formulation",
+    "ppe_only_period",
+    "PAPER_MIP_GAP",
+    "MilpResult",
+    "solve_optimal_mapping",
+]

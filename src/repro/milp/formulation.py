@@ -1,0 +1,330 @@
+"""The mixed linear program of §5, constraints (1a)–(1k).
+
+Variables
+---------
+* ``alpha[k,i] ∈ {0,1}`` — task ``T_k`` is mapped on PE ``i``;
+* ``beta[k,l,i,j] ∈ [0,1]`` — data ``D(k,l)`` is transferred from PE ``i``
+  to PE ``j`` (``i == j`` means both endpoints share a PE);
+* ``T ≥ 0`` — the period, minimised.
+
+β-relaxation
+------------
+The paper declares β integer.  With α binary, constraints (1c)+(1d) force β
+to the integral product ``alpha[k,i]·alpha[l,j]`` anyway: (1d) zeroes every
+row of β except the one where ``T_k`` runs, (1b) caps that row's sum at 1,
+and (1c) demands the column where ``T_l`` runs to receive at least 1.  We
+therefore declare β continuous by default, shrinking the binaries from
+``O(|E|·n²)`` to ``K·n``; ``integral_beta=True`` restores the paper's
+literal formulation for the ablation benchmark.
+
+Constraint map (paper → method)
+-------------------------------
+==========  ====================================================
+(1a)        variable domains (``add_binary`` / bounds)
+(1b)        ``_each_task_mapped_once``
+(1c),(1d)   ``_link_alpha_beta``
+(1e),(1f)   ``_compute_within_period``
+(1g),(1h)   ``_communication_within_period``
+(1i)        ``_buffers_fit_local_store``
+(1j),(1k)   ``_dma_queue_limits``
+==========  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..graph.stream_graph import StreamGraph
+from ..lp.model import Model, Var, lpsum
+from ..platform.cell import CellPlatform
+from ..steady_state.periods import buffer_requirements
+
+__all__ = ["MilpFormulation", "build_formulation", "ppe_only_period"]
+
+
+def ppe_only_period(graph: StreamGraph, platform: CellPlatform) -> float:
+    """Period of the always-feasible all-on-PPE mapping (upper bound on T)."""
+    compute = sum(t.wppe for t in graph.tasks())
+    reads = sum(t.read for t in graph.tasks()) / platform.bw
+    writes = sum(t.write for t in graph.tasks()) / platform.bw
+    return max(compute, reads, writes)
+
+
+@dataclass
+class MilpFormulation:
+    """The built model plus the variable handles needed to read it back."""
+
+    model: Model
+    graph: StreamGraph
+    platform: CellPlatform
+    alpha: Dict[Tuple[str, int], Var]
+    beta: Dict[Tuple[str, str, int, int], Var]
+    T: Var
+
+    def mapping_from_values(self, values) -> Dict[str, int]:
+        """Decode α into a task→PE dictionary (argmax per task)."""
+        assignment: Dict[str, int] = {}
+        for task in self.graph.task_names():
+            best_pe, best_val = 0, -1.0
+            for pe in range(self.platform.n_pes):
+                val = values[self.alpha[(task, pe)].index]
+                if val > best_val:
+                    best_pe, best_val = pe, val
+            assignment[task] = best_pe
+        return assignment
+
+
+def build_formulation(
+    graph: StreamGraph,
+    platform: CellPlatform,
+    integral_beta: bool = False,
+    strengthen: bool = True,
+    symmetry_breaking: bool = False,
+    period_upper_bound: Optional[float] = None,
+) -> MilpFormulation:
+    """Build the §5 MILP for ``graph`` on ``platform``.
+
+    ``strengthen`` adds the (S1) valid lower bound on ``T`` — free and
+    optimum-preserving.  ``symmetry_breaking`` adds the (S2) lexicographic
+    SPE-load ordering; it is also optimum-preserving but measurably *slows
+    down* HiGHS (whose internal symmetry handling is better), so it is off
+    by default and kept for the ablation benchmark.
+
+    ``period_upper_bound`` tightens the domain of ``T``; pass the period
+    of any known feasible mapping (e.g. a greedy heuristic) — the optimum
+    can only be at most that, so the bound is optimum-preserving.
+    """
+    graph.validate()
+    model = Model(f"cell-mapping[{graph.name}]")
+    n = platform.n_pes
+    tasks = graph.task_names()
+    edges = [(e.src, e.dst, e.data) for e in graph.edges()]
+
+    t_upper = ppe_only_period(graph, platform)
+    if period_upper_bound is not None:
+        # Tiny head-room so the incumbent itself stays strictly feasible
+        # under floating-point round-off.
+        t_upper = min(t_upper, period_upper_bound * (1 + 1e-9))
+    T = model.add_var("T", lb=0.0, ub=t_upper)
+
+    alpha: Dict[Tuple[str, int], Var] = {}
+    for k in tasks:
+        for i in range(n):
+            alpha[(k, i)] = model.add_binary(f"alpha[{k},{i}]")
+
+    beta: Dict[Tuple[str, str, int, int], Var] = {}
+    for (k, l, _data) in edges:
+        for i in range(n):
+            for j in range(n):
+                name = f"beta[{k}->{l},{i},{j}]"
+                beta[(k, l, i, j)] = (
+                    model.add_binary(name)
+                    if integral_beta
+                    else model.add_var(name, lb=0.0, ub=1.0)
+                )
+
+    form = MilpFormulation(model, graph, platform, alpha, beta, T)
+    _each_task_mapped_once(form)
+    _link_alpha_beta(form)
+    _compute_within_period(form)
+    _communication_within_period(form)
+    _buffers_fit_local_store(form)
+    _dma_queue_limits(form)
+    if platform.n_cells > 1:
+        _intercell_links_within_period(form)
+    if strengthen:
+        _period_lower_bound(form)
+    if symmetry_breaking:
+        _spe_symmetry_breaking(form)
+    model.minimize(T)
+    return form
+
+
+# --------------------------------------------------------------------- #
+# Constraint builders
+
+
+def _each_task_mapped_once(f: MilpFormulation) -> None:
+    """(1b): every task runs on exactly one PE."""
+    n = f.platform.n_pes
+    for k in f.graph.task_names():
+        f.model.add_constraint(
+            lpsum(f.alpha[(k, i)] for i in range(n)) == 1,
+            name=f"(1b)[{k}]",
+        )
+
+
+def _link_alpha_beta(f: MilpFormulation) -> None:
+    """(1c)/(1d): transfers start where the producer runs and reach the consumer."""
+    n = f.platform.n_pes
+    for edge in f.graph.edges():
+        k, l = edge.src, edge.dst
+        for j in range(n):
+            f.model.add_constraint(
+                lpsum(f.beta[(k, l, i, j)] for i in range(n)) >= f.alpha[(l, j)],
+                name=f"(1c)[{k}->{l},{j}]",
+            )
+        for i in range(n):
+            f.model.add_constraint(
+                lpsum(f.beta[(k, l, i, j)] for j in range(n)) <= f.alpha[(k, i)],
+                name=f"(1d)[{k}->{l},{i}]",
+            )
+
+
+def _compute_within_period(f: MilpFormulation) -> None:
+    """(1e)/(1f): per-PE compute occupation fits in one period."""
+    for i in range(f.platform.n_pes):
+        kind_is_ppe = f.platform.is_ppe(i)
+        load = lpsum(
+            f.alpha[(t.name, i)] * (t.wppe if kind_is_ppe else t.wspe)
+            for t in f.graph.tasks()
+        )
+        tag = "(1e)" if kind_is_ppe else "(1f)"
+        f.model.add_constraint(
+            load <= f.T, name=f"{tag}[{f.platform.pe_name(i)}]"
+        )
+
+
+def _communication_within_period(f: MilpFormulation) -> None:
+    """(1g)/(1h): per-interface in/out bytes fit in ``T × bw``.
+
+    Memory reads/writes count against the same interfaces as inter-PE
+    transfers (§2.1); same-PE β terms (``i == j``) are excluded.
+    """
+    n = f.platform.n_pes
+    bw = f.platform.bw
+    for i in range(n):
+        incoming = lpsum(
+            f.alpha[(t.name, i)] * t.read for t in f.graph.tasks()
+        ) + lpsum(
+            f.beta[(e.src, e.dst, j, i)] * e.data
+            for e in f.graph.edges()
+            for j in range(n)
+            if j != i
+        )
+        f.model.add_constraint(
+            incoming <= f.T * bw, name=f"(1g)[{f.platform.pe_name(i)}]"
+        )
+        outgoing = lpsum(
+            f.alpha[(t.name, i)] * t.write for t in f.graph.tasks()
+        ) + lpsum(
+            f.beta[(e.src, e.dst, i, j)] * e.data
+            for e in f.graph.edges()
+            for j in range(n)
+            if j != i
+        )
+        f.model.add_constraint(
+            outgoing <= f.T * bw, name=f"(1h)[{f.platform.pe_name(i)}]"
+        )
+
+
+def _buffers_fit_local_store(f: MilpFormulation) -> None:
+    """(1i): input+output buffers of the tasks on each SPE fit its store."""
+    need = buffer_requirements(f.graph)
+    budget = f.platform.buffer_budget
+    for i in f.platform.spe_indices:
+        f.model.add_constraint(
+            lpsum(
+                f.alpha[(t, i)] * need[t] for t in f.graph.task_names()
+            )
+            <= budget,
+            name=f"(1i)[{f.platform.pe_name(i)}]",
+        )
+
+
+def _period_lower_bound(f: MilpFormulation) -> None:
+    """(S1) — constant, optimum-preserving lower bounds on ``T``.
+
+    The period is at least the best-class time of the slowest single task
+    (each task occupies one PE for that long) and at least the total
+    best-class work averaged over all PEs.
+    """
+    tasks = list(f.graph.tasks())
+    if not tasks:
+        return
+    single = max(min(t.wppe, t.wspe) for t in tasks)
+    total = sum(min(t.wppe, t.wspe) for t in tasks)
+    lower = max(single, total / f.platform.n_pes)
+    f.model.add_constraint(f.T >= lower, name="(S1)[T-lb]")
+
+
+def _spe_symmetry_breaking(f: MilpFormulation) -> None:
+    """(S2) — lexicographic symmetry breaking among each Cell's SPEs.
+
+    The SPEs of one Cell are interchangeable (identical compute, store,
+    DMA and bandwidth constraints), so demanding non-increasing compute
+    loads along their indices preserves at least one optimal solution.
+    Benchmarking shows HiGHS's built-in symmetry handling does better on
+    these instances, so the cut is opt-in (ablation material).
+    """
+    tasks = list(f.graph.tasks())
+    by_cell = {}
+    for i in f.platform.spe_indices:
+        by_cell.setdefault(f.platform.cell_of(i), []).append(i)
+    for _cell, spes in by_cell.items():
+        for i, j in zip(spes, spes[1:]):
+            load_i = lpsum(
+                f.alpha[(t.name, i)] * t.wspe for t in tasks
+            )
+            load_j = lpsum(
+                f.alpha[(t.name, j)] * t.wspe for t in tasks
+            )
+            f.model.add_constraint(
+                load_j <= load_i, name=f"(S2)[{f.platform.pe_name(j)}]"
+            )
+
+
+def _intercell_links_within_period(f: MilpFormulation) -> None:
+    """(X1): inter-Cell traffic fits the BIF link (future-work extension).
+
+    For every ordered Cell pair ``(c, c')``, the bytes of all transfers
+    whose producer sits on chip ``c`` and consumer on chip ``c'`` must move
+    within ``T × bif_bw`` — the directed FlexIO/BIF link is one more
+    bounded-multiport resource.
+    """
+    n = f.platform.n_pes
+    cells = range(f.platform.n_cells)
+    cell = [f.platform.cell_of(i) for i in range(n)]
+    for c_src in cells:
+        for c_dst in cells:
+            if c_src == c_dst:
+                continue
+            traffic = lpsum(
+                f.beta[(e.src, e.dst, i, j)] * e.data
+                for e in f.graph.edges()
+                for i in range(n)
+                if cell[i] == c_src
+                for j in range(n)
+                if cell[j] == c_dst
+            )
+            f.model.add_constraint(
+                traffic <= f.T * f.platform.bif_bw,
+                name=f"(X1)[{c_src}->{c_dst}]",
+            )
+
+
+def _dma_queue_limits(f: MilpFormulation) -> None:
+    """(1j)/(1k): at most 16 data received per SPE, 8 sent to PPEs per SPE."""
+    n = f.platform.n_pes
+    for j in f.platform.spe_indices:
+        f.model.add_constraint(
+            lpsum(
+                f.beta[(e.src, e.dst, i, j)]
+                for e in f.graph.edges()
+                for i in range(n)
+                if i != j
+            )
+            <= f.platform.dma_in_slots,
+            name=f"(1j)[{f.platform.pe_name(j)}]",
+        )
+    for i in f.platform.spe_indices:
+        f.model.add_constraint(
+            lpsum(
+                f.beta[(e.src, e.dst, i, j)]
+                for e in f.graph.edges()
+                for j in f.platform.ppe_indices
+            )
+            <= f.platform.dma_proxy_slots,
+            name=f"(1k)[{f.platform.pe_name(i)}]",
+        )

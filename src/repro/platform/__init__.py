@@ -1,0 +1,39 @@
+"""Cell BE platform substrate (paper §2.1).
+
+Public names:
+
+* :class:`CellPlatform` — the platform model with :meth:`~CellPlatform.playstation3`
+  and :meth:`~CellPlatform.qs22` presets;
+* :class:`ProcessingElement`, :class:`PEKind`, :class:`CommInterface`;
+* :class:`DmaCosts` and the DMA queue constants;
+* :func:`diagnose_fit` / :func:`check_platform` sanity helpers.
+"""
+
+from .cell import (
+    BYTES_PER_KB,
+    DEFAULT_CODE_BYTES,
+    EIB_BW,
+    INTERFACE_BW,
+    LOCAL_STORE_BYTES,
+    CellPlatform,
+)
+from .dma import SPE_MFC_QUEUE_SLOTS, SPE_PROXY_QUEUE_SLOTS, DmaCosts
+from .elements import CommInterface, PEKind, ProcessingElement
+from .validate import check_platform, diagnose_fit
+
+__all__ = [
+    "BYTES_PER_KB",
+    "DEFAULT_CODE_BYTES",
+    "EIB_BW",
+    "INTERFACE_BW",
+    "LOCAL_STORE_BYTES",
+    "CellPlatform",
+    "SPE_MFC_QUEUE_SLOTS",
+    "SPE_PROXY_QUEUE_SLOTS",
+    "DmaCosts",
+    "CommInterface",
+    "PEKind",
+    "ProcessingElement",
+    "check_platform",
+    "diagnose_fit",
+]

@@ -1,0 +1,245 @@
+"""The Cell BE platform model (§2.1 of the paper).
+
+A :class:`CellPlatform` bundles the processing elements, the per-interface
+bandwidth of the bounded-multiport model, the SPE local-store budget and the
+DMA queue limits.  Two presets mirror the hardware used in the paper's
+evaluation: the Sony PlayStation 3 (1 PPE + 6 usable SPEs) and the IBM QS22
+blade restricted to one Cell (1 PPE + 8 SPEs), the configuration all
+experiments of §6 use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+from ..errors import PlatformError
+from .dma import SPE_MFC_QUEUE_SLOTS, SPE_PROXY_QUEUE_SLOTS
+from .elements import CommInterface, PEKind, ProcessingElement
+
+__all__ = [
+    "CellPlatform",
+    "BYTES_PER_KB",
+    "LOCAL_STORE_BYTES",
+    "DEFAULT_CODE_BYTES",
+    "INTERFACE_BW",
+    "EIB_BW",
+]
+
+BYTES_PER_KB: int = 1024
+
+#: SPE local store size: 256 kB.
+LOCAL_STORE_BYTES: int = 256 * BYTES_PER_KB
+
+#: Default size of the replicated application code + runtime in each local
+#: store.  The paper replicates the whole application code in every SPE but
+#: does not publish its size; 64 kB is representative of their framework and
+#: leaves 192 kB for stream buffers.  Configurable per platform.
+DEFAULT_CODE_BYTES: int = 64 * BYTES_PER_KB
+
+#: Per-direction bandwidth of each EIB interface: 25 GB/s = 25 000 bytes/µs.
+INTERFACE_BW: float = 25_000.0
+
+#: Aggregated EIB ring bandwidth: 200 GB/s = 200 000 bytes/µs.  The paper
+#: assumes the ring itself is never the bottleneck (8 interfaces × 25 GB/s);
+#: the simulator can optionally enforce it for ablation.
+EIB_BW: float = 200_000.0
+
+#: Per-direction bandwidth of the coherent FlexIO/BIF link between the two
+#: Cells of a QS22 blade: ≈20 GB/s = 20 000 bytes/µs.  Only used by
+#: multi-Cell platforms (the paper's future-work configuration).
+BIF_BW: float = 20_000.0
+
+
+@dataclass(frozen=True)
+class CellPlatform:
+    """A (possibly multi-) Cell platform in the paper's theoretical model.
+
+    Attributes
+    ----------
+    n_ppe, n_spe:
+        Number of PPE and SPE cores.  PEs are globally indexed with PPEs
+        first: ``PE_0 .. PE_{nP-1}`` are PPEs, ``PE_{nP} .. PE_{nP+nS-1}``
+        are SPEs (paper convention).
+    bw:
+        Per-direction bandwidth of every PE interface, in bytes/µs.
+    eib_bw:
+        Aggregated ring bandwidth in bytes/µs (informational by default).
+    local_store:
+        SPE local store size in bytes.
+    code_size:
+        Bytes of each local store consumed by the replicated code; the
+        buffer budget of an SPE is ``local_store - code_size``.
+    dma_in_slots:
+        Max distinct data an SPE can receive per period (MFC queue, 16).
+    dma_proxy_slots:
+        Max distinct data an SPE can send to PPEs per period (proxy queue, 8).
+    """
+
+    n_ppe: int = 1
+    n_spe: int = 8
+    bw: float = INTERFACE_BW
+    eib_bw: float = EIB_BW
+    local_store: int = LOCAL_STORE_BYTES
+    code_size: int = DEFAULT_CODE_BYTES
+    dma_in_slots: int = SPE_MFC_QUEUE_SLOTS
+    dma_proxy_slots: int = SPE_PROXY_QUEUE_SLOTS
+    #: Number of Cell chips.  PEs are partitioned evenly: one PPE and
+    #: ``n_spe / n_cells`` SPEs per chip.  Transfers between chips cross
+    #: the FlexIO/BIF link of bandwidth ``bif_bw`` per direction — the
+    #: paper's future-work extension ("use both Cell processors of the
+    #: QS22").
+    n_cells: int = 1
+    bif_bw: float = BIF_BW
+    name: str = field(default="cell", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.n_ppe < 1:
+            raise PlatformError("a Cell platform needs at least one PPE")
+        if self.n_spe < 0:
+            raise PlatformError("n_spe must be non-negative")
+        if self.bw <= 0 or self.eib_bw <= 0:
+            raise PlatformError("bandwidths must be positive")
+        if self.local_store <= 0:
+            raise PlatformError("local_store must be positive")
+        if not 0 <= self.code_size < self.local_store:
+            raise PlatformError(
+                "code_size must satisfy 0 <= code_size < local_store "
+                f"(got {self.code_size} vs {self.local_store})"
+            )
+        if self.dma_in_slots < 1 or self.dma_proxy_slots < 1:
+            raise PlatformError("DMA queue sizes must be at least 1")
+        if self.n_cells < 1:
+            raise PlatformError("n_cells must be at least 1")
+        if self.bif_bw <= 0:
+            raise PlatformError("bif_bw must be positive")
+        if self.n_ppe % self.n_cells or self.n_spe % self.n_cells:
+            raise PlatformError(
+                f"PPEs ({self.n_ppe}) and SPEs ({self.n_spe}) must divide "
+                f"evenly across {self.n_cells} Cells"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Presets
+
+    @classmethod
+    def playstation3(cls, **overrides) -> "CellPlatform":
+        """Sony PlayStation 3: one Cell with 6 usable SPEs (§6)."""
+        params = dict(n_ppe=1, n_spe=6, name="ps3")
+        params.update(overrides)
+        return cls(**params)
+
+    @classmethod
+    def qs22(cls, **overrides) -> "CellPlatform":
+        """IBM QS22 restricted to one Cell: 1 PPE + 8 SPEs (§6).
+
+        The paper's experiments use a single Cell of the dual-Cell blade;
+        scheduling across both Cells is explicitly left as future work.
+        """
+        params = dict(n_ppe=1, n_spe=8, name="qs22")
+        params.update(overrides)
+        return cls(**params)
+
+    @classmethod
+    def qs22_dual(cls, **overrides) -> "CellPlatform":
+        """Both Cells of the QS22: 2 PPEs + 16 SPEs over the BIF link.
+
+        The paper leaves this configuration as future work; the extension
+        adds the inter-Cell link as one more bounded-multiport resource
+        (see DESIGN.md §5).
+        """
+        params = dict(n_ppe=2, n_spe=16, n_cells=2, name="qs22-dual")
+        params.update(overrides)
+        return cls(**params)
+
+    def with_spes(self, n_spe: int) -> "CellPlatform":
+        """A copy of this platform restricted to ``n_spe`` SPEs.
+
+        Used by the Fig. 7 sweep over the number of SPEs made available to
+        the scheduler.
+        """
+        return replace(self, n_spe=n_spe)
+
+    # ------------------------------------------------------------------ #
+    # Indexing helpers (paper convention: PPEs first, then SPEs)
+
+    @property
+    def n_pes(self) -> int:
+        """Total number of processing elements ``n = nP + nS``."""
+        return self.n_ppe + self.n_spe
+
+    @property
+    def ppe_indices(self) -> range:
+        return range(0, self.n_ppe)
+
+    @property
+    def spe_indices(self) -> range:
+        return range(self.n_ppe, self.n_pes)
+
+    def is_ppe(self, index: int) -> bool:
+        self._check_index(index)
+        return index < self.n_ppe
+
+    def is_spe(self, index: int) -> bool:
+        return not self.is_ppe(index)
+
+    def kind(self, index: int) -> PEKind:
+        return PEKind.PPE if self.is_ppe(index) else PEKind.SPE
+
+    def pe(self, index: int) -> ProcessingElement:
+        """The :class:`ProcessingElement` with global index ``index``."""
+        self._check_index(index)
+        return ProcessingElement(
+            index=index,
+            kind=self.kind(index),
+            interface=CommInterface(bw_in=self.bw, bw_out=self.bw),
+        )
+
+    def pes(self) -> Iterator[ProcessingElement]:
+        """Iterate over all PEs, PPEs first."""
+        for i in range(self.n_pes):
+            yield self.pe(i)
+
+    def pe_name(self, index: int) -> str:
+        """Paper-style name: ``PPE0``, ``SPE0`` .. ``SPE{nS-1}``."""
+        self._check_index(index)
+        if self.is_ppe(index):
+            return f"PPE{index}"
+        return f"SPE{index - self.n_ppe}"
+
+    @property
+    def buffer_budget(self) -> int:
+        """Bytes available for stream buffers in each SPE local store."""
+        return self.local_store - self.code_size
+
+    # ------------------------------------------------------------------ #
+    # Multi-Cell topology (future-work extension)
+
+    def cell_of(self, index: int) -> int:
+        """Which Cell chip hosts PE ``index`` (0 on single-Cell platforms).
+
+        PPE ``i`` belongs to chip ``i // (nP / n_cells)``; SPEs are split
+        into equal consecutive groups.
+        """
+        self._check_index(index)
+        if self.n_cells == 1:
+            return 0
+        if self.is_ppe(index):
+            return index // (self.n_ppe // self.n_cells)
+        return (index - self.n_ppe) // (self.n_spe // self.n_cells)
+
+    def is_cross_cell(self, pe_a: int, pe_b: int) -> bool:
+        """Whether a transfer between the two PEs crosses the BIF link."""
+        return self.cell_of(pe_a) != self.cell_of(pe_b)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.n_pes:
+            raise PlatformError(
+                f"PE index {index} out of range [0, {self.n_pes})"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CellPlatform({self.name}: {self.n_ppe} PPE + {self.n_spe} SPE, "
+            f"bw={self.bw:g} B/µs, LS={self.local_store} B)"
+        )

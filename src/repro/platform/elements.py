@@ -1,0 +1,81 @@
+"""Processing elements of the Cell platform model.
+
+The paper (§2.1) abstracts the Cell BE as a collection of *processing
+elements* (PEs): PPE cores (general-purpose, transparent access to main
+memory) and SPE cores (vector cores with a 256 kB local store reachable only
+through DMA).  Every PE owns a bidirectional communication interface with
+bandwidth ``bw`` in each direction — the only contention point of the model.
+
+Units across the library: time in microseconds (µs), data in bytes,
+bandwidth in bytes/µs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["PEKind", "ProcessingElement", "CommInterface"]
+
+
+class PEKind(enum.Enum):
+    """The two classes of cores of the Cell BE (unrelated-machines model)."""
+
+    PPE = "PPE"
+    SPE = "SPE"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class CommInterface:
+    """A bidirectional bounded-multiport communication interface.
+
+    ``bw_in``/``bw_out`` bound the *sum* of the bandwidths of concurrent
+    incoming (resp. outgoing) transfers, matching the paper's
+    bounded-multiport model with linear cost.
+    """
+
+    bw_in: float
+    bw_out: float
+
+    def __post_init__(self) -> None:
+        if self.bw_in <= 0 or self.bw_out <= 0:
+            raise ValueError("interface bandwidths must be positive")
+
+
+@dataclass(frozen=True)
+class ProcessingElement:
+    """One core of the platform.
+
+    Attributes
+    ----------
+    index:
+        Global index of the PE.  Following the paper's convention, PPEs come
+        first (``0 .. nP-1``) and SPEs afterwards (``nP .. nP+nS-1``).
+    kind:
+        :class:`PEKind.PPE` or :class:`PEKind.SPE`.
+    interface:
+        The bounded-multiport communication interface of this PE.
+    """
+
+    index: int
+    kind: PEKind
+    interface: CommInterface
+
+    @property
+    def is_spe(self) -> bool:
+        return self.kind is PEKind.SPE
+
+    @property
+    def is_ppe(self) -> bool:
+        return self.kind is PEKind.PPE
+
+    @property
+    def name(self) -> str:
+        """Human-readable name, e.g. ``PPE0`` or ``SPE3``."""
+        return f"{self.kind.value}{self.index}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

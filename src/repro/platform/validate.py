@@ -1,0 +1,69 @@
+"""Sanity checks tying platforms to applications.
+
+These helpers catch configuration errors early (e.g. a task graph whose
+single smallest buffer already exceeds an SPE local store) with messages
+that point at the offending task or edge, instead of letting the MILP come
+back "infeasible" with no explanation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from ..errors import PlatformError
+from .cell import CellPlatform
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graph.stream_graph import StreamGraph
+
+__all__ = ["check_platform", "diagnose_fit"]
+
+
+def check_platform(platform: CellPlatform) -> None:
+    """Re-validate a platform (useful after manual ``dataclasses.replace``)."""
+    # The dataclass __post_init__ performs the real checks; reconstructing
+    # triggers them on current field values.
+    CellPlatform(
+        n_ppe=platform.n_ppe,
+        n_spe=platform.n_spe,
+        bw=platform.bw,
+        eib_bw=platform.eib_bw,
+        local_store=platform.local_store,
+        code_size=platform.code_size,
+        dma_in_slots=platform.dma_in_slots,
+        dma_proxy_slots=platform.dma_proxy_slots,
+    )
+
+
+def diagnose_fit(graph: "StreamGraph", platform: CellPlatform) -> List[str]:
+    """Return human-readable warnings about tasks that can never fit an SPE.
+
+    A task whose input+output buffers exceed the SPE buffer budget is
+    PPE-only; that is legal (the PPE has no store limit) but often
+    unintentional, so we surface it.  Raises :class:`PlatformError` if the
+    platform has SPEs but *no* task fits on any SPE — the MILP would then
+    degenerate to the PPE-only mapping.
+    """
+    from ..steady_state.periods import buffer_requirements
+
+    warnings: List[str] = []
+    if platform.n_spe == 0:
+        return warnings
+    budget = platform.buffer_budget
+    need = buffer_requirements(graph)
+    none_fit = True
+    for task in graph.tasks():
+        requirement = need[task.name]
+        if requirement > budget:
+            warnings.append(
+                f"task {task.name!r} needs {requirement} B of buffers, more "
+                f"than the SPE budget of {budget} B: it is PPE-only"
+            )
+        else:
+            none_fit = False
+    if none_fit:
+        raise PlatformError(
+            "no task of the graph fits in an SPE local store; the mapping "
+            "problem degenerates to PPE-only (check data sizes / code_size)"
+        )
+    return warnings

@@ -1,0 +1,21 @@
+"""Discrete-event Cell BE simulator — the repository's hardware stand-in.
+
+* :func:`simulate` / :class:`Simulator` — run a mapped stream (Fig. 4 runtime);
+* :class:`SimConfig` — overheads and ablation switches;
+* :class:`SimulationResult` — throughput curves and efficiency vs the model;
+* :class:`FlowNetwork` — bounded-multiport max-min fair bandwidth sharing.
+"""
+
+from .config import SimConfig
+from .engine import Simulator, simulate
+from .flows import Flow, FlowNetwork
+from .trace import SimulationResult
+
+__all__ = [
+    "SimConfig",
+    "Simulator",
+    "simulate",
+    "Flow",
+    "FlowNetwork",
+    "SimulationResult",
+]

@@ -1,0 +1,213 @@
+"""Bounded-multiport bandwidth sharing for the Cell simulator.
+
+The paper models every PE interface as bidirectional bounded-multiport: any
+number of transfers may progress concurrently as long as the summed rates
+through each interface direction stay below ``bw`` (§2.1).  The classic
+fluid realisation of that model is **max-min fairness** (progressive
+filling): repeatedly find the most contended port, give its flows their
+fair share, freeze them, and continue with the residual capacities.
+
+Ports are ``("out", pe)`` / ``("in", pe)``; main memory is the unconstrained
+endpoint ``None`` (the paper does not model the memory controller as a
+bottleneck).  An optional aggregate EIB port reproduces the ring's 200 GB/s
+cap for ablation, and ``serial=True`` degrades the model to
+one-transfer-at-a-time per interface (store-and-forward comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+__all__ = ["Flow", "FlowNetwork"]
+
+Port = Tuple[str, int]  # ("out"|"in", pe index)
+
+#: Shared pseudo-port representing the EIB ring (used when eib_bw is set).
+_EIB_PORT: Hashable = ("eib", -1)
+
+
+@dataclass
+class Flow:
+    """One in-flight transfer between two interface ports."""
+
+    flow_id: int
+    src_port: Optional[Port]  # None = main memory (unconstrained)
+    dst_port: Optional[Port]
+    remaining: float  # bytes left to move
+    rate: float = 0.0  # bytes/µs, assigned by the allocator
+    #: Event-invalidation token: bumped whenever the rate changes.
+    epoch: int = 0
+    #: Arbitrary payload for the engine (edge key, instance...).
+    tag: object = None
+    #: FIFO rank used by the serial allocator.
+    arrival_order: int = field(default=0)
+    #: Additional shared ports the flow traverses (e.g. the inter-Cell BIF
+    #: link); each must respect its capacity like the endpoint interfaces.
+    extra_ports: Tuple[Hashable, ...] = ()
+
+
+class FlowNetwork:
+    """Tracks active flows and assigns max-min fair rates."""
+
+    def __init__(
+        self,
+        port_capacity: Dict[Port, float],
+        eib_bw: Optional[float] = None,
+        serial: bool = False,
+    ) -> None:
+        if any(c <= 0 for c in port_capacity.values()):
+            raise SimulationError("port capacities must be positive")
+        self.port_capacity = dict(port_capacity)
+        self.eib_bw = eib_bw
+        self.serial = serial
+        self.flows: Dict[int, Flow] = {}
+        self._next_id = 0
+        self._arrival_counter = 0
+
+    # ------------------------------------------------------------------ #
+
+    def start_flow(
+        self,
+        src_port: Optional[Port],
+        dst_port: Optional[Port],
+        size: float,
+        tag: object = None,
+        extra_ports: Tuple[Hashable, ...] = (),
+    ) -> Flow:
+        """Register a transfer of ``size`` bytes; rates must be reallocated."""
+        for port in (src_port, dst_port, *extra_ports):
+            if port is not None and port not in self.port_capacity:
+                raise SimulationError(f"unknown port {port!r}")
+        flow = Flow(
+            flow_id=self._next_id,
+            src_port=src_port,
+            dst_port=dst_port,
+            remaining=max(size, 0.0),
+            tag=tag,
+            arrival_order=self._arrival_counter,
+            extra_ports=tuple(extra_ports),
+        )
+        self._next_id += 1
+        self._arrival_counter += 1
+        self.flows[flow.flow_id] = flow
+        return flow
+
+    def finish_flow(self, flow_id: int) -> Flow:
+        """Remove a completed flow; rates must be reallocated."""
+        try:
+            return self.flows.pop(flow_id)
+        except KeyError:
+            raise SimulationError(f"unknown flow {flow_id}") from None
+
+    def advance(self, dt: float) -> None:
+        """Progress every active flow by ``dt`` µs at its current rate."""
+        if dt < 0:
+            raise SimulationError(f"time went backwards (dt={dt})")
+        for flow in self.flows.values():
+            flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+
+    # ------------------------------------------------------------------ #
+
+    def _ports_of(self, flow: Flow) -> List[Hashable]:
+        ports: List[Hashable] = []
+        if flow.src_port is not None:
+            ports.append(flow.src_port)
+        if flow.dst_port is not None:
+            ports.append(flow.dst_port)
+        ports.extend(flow.extra_ports)
+        if self.eib_bw is not None:
+            ports.append(_EIB_PORT)
+        return ports
+
+    def allocate(self) -> None:
+        """(Re)assign rates to all active flows and bump their epochs."""
+        if self.serial:
+            self._allocate_serial()
+        else:
+            self._allocate_maxmin()
+        for flow in self.flows.values():
+            flow.epoch += 1
+
+    def _capacity(self, port: Hashable) -> float:
+        if port == _EIB_PORT:
+            assert self.eib_bw is not None
+            return self.eib_bw
+        return self.port_capacity[port]
+
+    def _allocate_maxmin(self) -> None:
+        """Progressive filling: saturate the tightest port, freeze, repeat."""
+        active = {fid for fid, f in self.flows.items() if f.remaining > 0}
+        for fid, flow in self.flows.items():
+            flow.rate = 0.0
+        residual: Dict[Hashable, float] = {}
+        port_flows: Dict[Hashable, set] = {}
+        for fid in active:
+            for port in self._ports_of(self.flows[fid]):
+                port_flows.setdefault(port, set()).add(fid)
+                residual.setdefault(port, self._capacity(port))
+
+        while active:
+            # Fair share currently offered by each port still serving flows.
+            best_port, best_share = None, float("inf")
+            for port, fids in port_flows.items():
+                live = fids & active
+                if not live:
+                    continue
+                share = residual[port] / len(live)
+                if share < best_share:
+                    best_port, best_share = port, share
+            if best_port is None:
+                # No constrained port touches the remaining flows (memory to
+                # memory): they are rate-unlimited in the model; give them
+                # the largest port capacity as a finite stand-in.
+                fallback = max(self.port_capacity.values(), default=1.0)
+                for fid in active:
+                    self.flows[fid].rate = fallback
+                break
+            saturated = port_flows[best_port] & active
+            for fid in saturated:
+                flow = self.flows[fid]
+                flow.rate = best_share
+                for port in self._ports_of(flow):
+                    residual[port] -= best_share
+            active -= saturated
+
+    def _allocate_serial(self) -> None:
+        """One transfer at a time per port, FIFO — store-and-forward mode."""
+        for flow in self.flows.values():
+            flow.rate = 0.0
+        busy: set = set()
+        ordered = sorted(
+            (f for f in self.flows.values() if f.remaining > 0),
+            key=lambda f: f.arrival_order,
+        )
+        for flow in ordered:
+            ports = self._ports_of(flow)
+            if any(p in busy for p in ports):
+                continue
+            flow.rate = min(self._capacity(p) for p in ports) if ports else (
+                max(self.port_capacity.values(), default=1.0)
+            )
+            busy.update(ports)
+
+    # ------------------------------------------------------------------ #
+
+    def utilisation(self) -> Dict[Hashable, float]:
+        """Current rate through each port (diagnostics/tests)."""
+        usage: Dict[Hashable, float] = {}
+        for flow in self.flows.values():
+            for port in self._ports_of(flow):
+                usage[port] = usage.get(port, 0.0) + flow.rate
+        return usage
+
+    def check_capacities(self, tolerance: float = 1e-6) -> None:
+        """Raise if any port is driven above its capacity (invariant)."""
+        for port, used in self.utilisation().items():
+            cap = self._capacity(port)
+            if used > cap * (1 + tolerance):
+                raise SimulationError(
+                    f"port {port!r} over capacity: {used:g} > {cap:g}"
+                )

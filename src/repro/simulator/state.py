@@ -1,0 +1,154 @@
+"""Runtime state containers of the Cell simulator.
+
+These mirror the paper's runtime (§6.1): every data dependency gets an
+output buffer on the producer side and an input buffer on the consumer
+side, sized by the §4.2 window; cross-PE data moves by receiver-issued DMA
+gets; main-memory traffic is modelled as virtual edges to/from the
+unconstrained ``MEM`` endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["EdgeKind", "EdgeRuntime", "TaskRuntime", "PEState"]
+
+
+class EdgeKind:
+    """How an edge is realised at runtime."""
+
+    LOCAL = "local"  # endpoints share a PE: buffer hand-off, no transfer
+    REMOTE = "remote"  # inter-PE DMA (mfc_get / proxy get / memcpy)
+    MEM_READ = "mem_read"  # main memory -> task, per instance
+    MEM_WRITE = "mem_write"  # task -> main memory, per instance
+
+
+@dataclass
+class EdgeRuntime:
+    """Flow-control counters of one (possibly virtual) edge.
+
+    Counter semantics (all monotone, in instance units):
+
+    * ``produced`` — instances the producer has written to its out-buffer;
+    * ``arrived``  — instances fully landed in the consumer's in-buffer;
+    * ``consumed`` — instances released by the consumer;
+    * ``in_flight`` — DMA transfers currently queued or moving.
+
+    Invariants: ``consumed ≤ arrived ≤ arrived + in_flight ≤ produced`` for
+    real edges; the sender's out-buffer holds ``produced - arrived``
+    instances (DMA completion unlocks it, §6.1) and the receiver's
+    in-buffer holds ``arrived - consumed``.
+    """
+
+    key: Tuple[str, str]
+    kind: str
+    src_pe: Optional[int]  # None for MEM_READ
+    dst_pe: Optional[int]  # None for MEM_WRITE
+    data: float  # bytes per instance
+    window: int  # buffer capacity in instances (§4.2)
+    peek: int  # look-ahead of the consumer
+    produced: int = 0
+    arrived: int = 0
+    consumed: int = 0
+    in_flight: int = 0
+
+    # -- producer side ---------------------------------------------------- #
+
+    def can_produce(self, mem_write_window: int) -> bool:
+        """Is there a free slot for one more produced instance?"""
+        if self.kind == EdgeKind.LOCAL:
+            return self.produced - self.consumed < self.window
+        if self.kind == EdgeKind.MEM_WRITE:
+            return self.produced - self.arrived < mem_write_window
+        # REMOTE: the sender buffer is unlocked only when data has arrived.
+        return self.produced - self.arrived < self.window
+
+    # -- consumer side ---------------------------------------------------- #
+
+    def available(self) -> int:
+        """Instances visible to the consumer."""
+        if self.kind == EdgeKind.LOCAL:
+            return self.produced
+        return self.arrived
+
+    def input_ready(self, instance: int, last_instance: int) -> bool:
+        """Can the consumer process ``instance`` (peek included)?
+
+        Near the end of the stream the look-ahead truncates: the consumer
+        of instance ``i`` waits for instances ``i .. min(i+peek, last)``.
+        """
+        needed = min(instance + self.peek, last_instance)
+        return self.available() >= needed + 1
+
+    # -- transfer side ----------------------------------------------------- #
+
+    def wants_transfer(self, total_instances: int) -> bool:
+        """Does this edge have a transfer ready to be issued?"""
+        if self.kind == EdgeKind.LOCAL:
+            return False
+        if self.in_flight > 0:
+            # One get per data at a time, as in the paper's runtime.
+            return False
+        if self.kind == EdgeKind.MEM_READ:
+            # The stream in memory is always available.
+            if self.arrived >= total_instances:
+                return False
+            return self.arrived + self.in_flight - self.consumed < self.window
+        if self.kind == EdgeKind.MEM_WRITE:
+            return self.produced > self.arrived + self.in_flight
+        # REMOTE
+        if self.produced <= self.arrived + self.in_flight:
+            return False  # nothing new to ship
+        return self.arrived + self.in_flight - self.consumed < self.window
+
+
+@dataclass
+class TaskRuntime:
+    """Per-task progress and its incident runtime edges."""
+
+    name: str
+    pe: int
+    cost: float  # µs per instance on its PE
+    peek: int
+    is_sink: bool
+    next_instance: int = 0
+    in_edges: List[EdgeRuntime] = field(default_factory=list)
+    out_edges: List[EdgeRuntime] = field(default_factory=list)
+
+    def ready(self, total_instances: int, mem_write_window: int) -> bool:
+        """The Fig. 4 'wait for resources' predicate for the next instance."""
+        i = self.next_instance
+        if i >= total_instances:
+            return False
+        last = total_instances - 1
+        for edge in self.in_edges:
+            if not edge.input_ready(i, last):
+                return False
+        for edge in self.out_edges:
+            if not edge.can_produce(mem_write_window):
+                return False
+        return True
+
+
+@dataclass
+class PEState:
+    """Per-PE compute state: one instance executes at a time."""
+
+    index: int
+    name: str
+    is_spe: bool
+    tasks: List[TaskRuntime] = field(default_factory=list)
+    busy: bool = False
+    #: Round-robin pointer into ``tasks`` (Fig. 4 'select a task').
+    rr_next: int = 0
+    #: µs of DMA bookkeeping to charge before the next task activation.
+    overhead_debt: float = 0.0
+    #: Accumulated statistics.
+    busy_time: float = 0.0
+    overhead_time: float = 0.0
+    activations: int = 0
+    #: Concurrent DMA gets issued by this SPE (MFC queue, cap 16).
+    mfc_in_flight: int = 0
+    #: Concurrent PPE-issued gets on this SPE (proxy queue, cap 8).
+    proxy_in_flight: int = 0

@@ -1,0 +1,53 @@
+"""Steady-state scheduling core (paper §3–§4).
+
+* :class:`Mapping` — task→PE assignment, the optimisation object;
+* :func:`first_periods` / :func:`buffer_sizes` / :func:`buffer_requirements`
+  — the §4.2 timing and memory model;
+* :func:`analyze` / :func:`throughput` / :func:`speedup` — analytic period,
+  feasibility and throughput of a mapping;
+* :class:`PeriodicSchedule` — the explicit periodic schedule (Fig. 3).
+"""
+
+from .mapping import Mapping
+from .periods import (
+    buffer_requirements,
+    buffer_sizes,
+    first_periods,
+    spe_buffer_load,
+)
+from .schedule import (
+    ComputeEvent,
+    PeriodicSchedule,
+    TransferEvent,
+    build_schedule,
+)
+from .throughput import (
+    PeriodAnalysis,
+    ResourceLoad,
+    Violation,
+    analyze,
+    assert_feasible,
+    period,
+    speedup,
+    throughput,
+)
+
+__all__ = [
+    "Mapping",
+    "buffer_requirements",
+    "buffer_sizes",
+    "first_periods",
+    "spe_buffer_load",
+    "ComputeEvent",
+    "PeriodicSchedule",
+    "TransferEvent",
+    "build_schedule",
+    "PeriodAnalysis",
+    "ResourceLoad",
+    "Violation",
+    "analyze",
+    "assert_feasible",
+    "period",
+    "speedup",
+    "throughput",
+]

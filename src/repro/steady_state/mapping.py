@@ -1,0 +1,190 @@
+"""Task-to-PE mappings (paper §3.1).
+
+The paper restricts schedules to *simple mappings*: every instance of a task
+runs on the same processing element (general multi-PE mappings need flow
+control and larger buffers that do not fit the Cell, see the discussion in
+§3.1).  A mapping plus the periodic-schedule construction of §3.1 fully
+determines the throughput, so the mapping is the sole optimisation object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping as TMapping, Tuple
+
+from ..errors import MappingError
+from ..graph.edge import DataEdge
+from ..graph.stream_graph import StreamGraph
+from ..platform.cell import CellPlatform
+
+__all__ = ["Mapping"]
+
+
+class Mapping:
+    """An assignment of every task of a graph to a PE of a platform."""
+
+    def __init__(
+        self,
+        graph: StreamGraph,
+        platform: CellPlatform,
+        assignment: TMapping[str, int],
+    ) -> None:
+        self.graph = graph
+        self.platform = platform
+        self._assignment: Dict[str, int] = dict(assignment)
+        self._validate()
+
+    def _validate(self) -> None:
+        for name in self.graph.task_names():
+            if name not in self._assignment:
+                raise MappingError(f"task {name!r} is not mapped")
+        for name, pe in self._assignment.items():
+            if name not in self.graph:
+                raise MappingError(f"mapped task {name!r} is not in the graph")
+            if not isinstance(pe, int) or not 0 <= pe < self.platform.n_pes:
+                raise MappingError(
+                    f"task {name!r} mapped to invalid PE {pe!r} "
+                    f"(platform has {self.platform.n_pes} PEs)"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+
+    @classmethod
+    def all_on_ppe(cls, graph: StreamGraph, platform: CellPlatform, ppe: int = 0) -> "Mapping":
+        """The reference mapping of §6.4: every task on one PPE."""
+        if not platform.is_ppe(ppe):
+            raise MappingError(f"PE {ppe} is not a PPE")
+        return cls(graph, platform, {name: ppe for name in graph.task_names()})
+
+    @classmethod
+    def from_lists(
+        cls,
+        graph: StreamGraph,
+        platform: CellPlatform,
+        per_pe: Iterable[Iterable[str]],
+    ) -> "Mapping":
+        """Build from ``per_pe[i] = tasks hosted by PE i``."""
+        assignment: Dict[str, int] = {}
+        for pe, names in enumerate(per_pe):
+            for name in names:
+                if name in assignment:
+                    raise MappingError(f"task {name!r} assigned twice")
+                assignment[name] = pe
+        return cls(graph, platform, assignment)
+
+    def with_assignment(self, task: str, pe: int) -> "Mapping":
+        """A copy with one task moved to another PE."""
+        if task not in self.graph:
+            raise MappingError(f"unknown task {task!r}")
+        updated = dict(self._assignment)
+        updated[task] = pe
+        return Mapping(self.graph, self.platform, updated)
+
+    def copy(self) -> "Mapping":
+        return Mapping(self.graph, self.platform, self._assignment)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+
+    @classmethod
+    def from_json(
+        cls,
+        graph: StreamGraph,
+        platform: CellPlatform,
+        text: str,
+    ) -> "Mapping":
+        """Rebuild a mapping from :meth:`to_json` output.
+
+        The payload's graph/platform names are checked against the given
+        objects to catch mix-ups early.
+        """
+        import json
+
+        try:
+            payload = json.loads(text)
+            assignment = {k: int(v) for k, v in payload["assignment"].items()}
+        except (ValueError, KeyError, TypeError) as exc:
+            raise MappingError(f"malformed mapping payload: {exc}") from exc
+        if payload.get("graph") not in (None, graph.name):
+            raise MappingError(
+                f"mapping was computed for graph {payload['graph']!r}, "
+                f"not {graph.name!r}"
+            )
+        return cls(graph, platform, assignment)
+
+    def to_json(self) -> str:
+        """Serialise as JSON (round-trips through :meth:`from_json`)."""
+        import json
+
+        return json.dumps(
+            {
+                "graph": self.graph.name,
+                "platform": self.platform.name,
+                "assignment": self._assignment,
+            },
+            indent=2,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def pe_of(self, task: str) -> int:
+        try:
+            return self._assignment[task]
+        except KeyError:
+            raise MappingError(f"task {task!r} is not mapped") from None
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        return iter(self._assignment.items())
+
+    def to_dict(self) -> Dict[str, int]:
+        return dict(self._assignment)
+
+    def tasks_on(self, pe: int) -> List[str]:
+        """Tasks hosted by PE ``pe``, in graph insertion order."""
+        self.platform.pe(pe)  # index check
+        return [t for t in self.graph.task_names() if self._assignment[t] == pe]
+
+    def used_pes(self) -> List[int]:
+        """Sorted list of PEs hosting at least one task."""
+        return sorted(set(self._assignment.values()))
+
+    def is_cross_edge(self, edge: DataEdge) -> bool:
+        """True if the edge's endpoints sit on different PEs."""
+        return self._assignment[edge.src] != self._assignment[edge.dst]
+
+    def cross_edges(self) -> List[DataEdge]:
+        """Edges requiring an actual inter-PE transfer."""
+        return [e for e in self.graph.edges() if self.is_cross_edge(e)]
+
+    def n_tasks_on_spes(self) -> int:
+        return sum(
+            1 for pe in self._assignment.values() if self.platform.is_spe(pe)
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Mapping):
+            return NotImplemented
+        return (
+            self._assignment == other._assignment
+            and self.platform == other.platform
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        per_pe = {
+            self.platform.pe_name(pe): len(self.tasks_on(pe))
+            for pe in self.used_pes()
+        }
+        return f"Mapping({self.graph.name!r}, {per_pe})"
+
+    def summary(self) -> str:
+        """Multi-line human-readable description of the mapping."""
+        lines = [f"Mapping of {self.graph.name!r} on {self.platform.name}:"]
+        for pe in range(self.platform.n_pes):
+            tasks = self.tasks_on(pe)
+            if tasks:
+                lines.append(
+                    f"  {self.platform.pe_name(pe):>6}: {', '.join(tasks)}"
+                )
+        return "\n".join(lines)

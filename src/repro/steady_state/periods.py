@@ -1,0 +1,141 @@
+"""Steady-state timing: ``firstPeriod`` and buffer sizes (paper §4.2).
+
+In the periodic schedule induced by a mapping, the first instance of task
+``T_k`` is processed in period ``firstPeriod(T_k)``:
+
+* ``firstPeriod(T_k) = 0`` if ``T_k`` has no predecessor,
+* ``firstPeriod(T_k) = max_pred firstPeriod(T_j) + peek_k + 2`` otherwise —
+  one period for the predecessors to finish, ``peek_k`` periods to
+  accumulate the look-ahead instances, and one period for communication.
+
+The number of instances of data ``D(k,l)`` simultaneously alive is
+``firstPeriod(l) - firstPeriod(k)``, hence the buffer of that edge occupies
+``data[k,l] × (firstPeriod(l) - firstPeriod(k))`` bytes — allocated on
+*both* endpoints' local stores (the paper duplicates buffers even for
+same-PE neighbours; merging them is listed as future work and implemented
+here behind ``merge_same_pe_buffers``).
+
+Note: the paper's worked example (Fig. 3) states ``firstPeriod(3) = 4``
+while its own formula yields 3; we implement the formula as printed, which
+is also what the linear program's constant ``buff`` coefficients require
+(they must not depend on the mapping).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from ..graph.stream_graph import StreamGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .mapping import Mapping
+
+__all__ = [
+    "first_periods",
+    "buffer_sizes",
+    "buffer_requirements",
+    "spe_buffer_load",
+]
+
+
+def first_periods(
+    graph: StreamGraph,
+    mapping: Optional["Mapping"] = None,
+    elide_local_comm: bool = False,
+) -> Dict[str, int]:
+    """``firstPeriod`` of every task.
+
+    Parameters
+    ----------
+    graph:
+        The streaming application.
+    mapping, elide_local_comm:
+        With ``elide_local_comm=True`` (requires ``mapping``), the extra
+        communication period is skipped for edges whose endpoints share a
+        PE — the optimisation the paper leaves as future work.  The default
+        reproduces the paper exactly and is mapping-independent, which the
+        MILP requires (buffer sizes appear as constants in constraint (1i)).
+    """
+    if elide_local_comm and mapping is None:
+        raise ValueError("elide_local_comm=True requires a mapping")
+    fp: Dict[str, int] = {}
+    for name in graph.topological_order():
+        preds = graph.predecessors(name)
+        if not preds:
+            fp[name] = 0
+            continue
+        peek = graph.task(name).peek
+        if not elide_local_comm:
+            fp[name] = max(fp[p] for p in preds) + peek + 2
+        else:
+            assert mapping is not None
+            pe = mapping.pe_of(name)
+            fp[name] = (
+                max(
+                    fp[p] + 1 + (0 if mapping.pe_of(p) == pe else 1)
+                    for p in preds
+                )
+                + peek
+            )
+    return fp
+
+
+def buffer_sizes(
+    graph: StreamGraph,
+    mapping: Optional["Mapping"] = None,
+    elide_local_comm: bool = False,
+) -> Dict[Tuple[str, str], float]:
+    """Bytes of buffer needed for every edge: ``data × window`` (§4.2)."""
+    fp = first_periods(graph, mapping, elide_local_comm)
+    return {
+        edge.key: edge.data * (fp[edge.dst] - fp[edge.src])
+        for edge in graph.edges()
+    }
+
+
+def buffer_requirements(
+    graph: StreamGraph,
+    mapping: Optional["Mapping"] = None,
+    elide_local_comm: bool = False,
+    merge_same_pe_buffers: bool = False,
+) -> Dict[str, float]:
+    """Per-task local-store footprint: input + output edge buffers.
+
+    A PE hosting ``T_k`` allocates the buffers of all edges incident to
+    ``T_k``.  With ``merge_same_pe_buffers=True`` (requires ``mapping``)
+    the *input* buffer of an edge whose endpoints share a PE is not
+    duplicated — the producer's output buffer is reused, saving memory (the
+    paper's future-work optimisation).
+    """
+    if merge_same_pe_buffers and mapping is None:
+        raise ValueError("merge_same_pe_buffers=True requires a mapping")
+    buffers = buffer_sizes(graph, mapping, elide_local_comm)
+    need: Dict[str, float] = {task.name: 0.0 for task in graph.tasks()}
+    for edge in graph.edges():
+        size = buffers[edge.key]
+        need[edge.src] += size
+        if merge_same_pe_buffers and mapping is not None and (
+            mapping.pe_of(edge.src) == mapping.pe_of(edge.dst)
+        ):
+            continue  # consumer reads straight from the producer's buffer
+        need[edge.dst] += size
+    return need
+
+
+def spe_buffer_load(
+    mapping: "Mapping",
+    elide_local_comm: bool = False,
+    merge_same_pe_buffers: bool = False,
+) -> Dict[int, float]:
+    """Total buffer bytes hosted by each SPE under ``mapping``."""
+    need = buffer_requirements(
+        mapping.graph,
+        mapping if (elide_local_comm or merge_same_pe_buffers) else None,
+        elide_local_comm=elide_local_comm,
+        merge_same_pe_buffers=merge_same_pe_buffers,
+    )
+    load: Dict[int, float] = {i: 0.0 for i in mapping.platform.spe_indices}
+    for task_name, pe in mapping.items():
+        if mapping.platform.is_spe(pe):
+            load[pe] += need[task_name]
+    return load

@@ -1,0 +1,169 @@
+"""Construction of the periodic steady-state schedule (paper §3.1, Fig. 3).
+
+Once a mapping is fixed, the schedule is fully determined: during period
+``p``, the PE in charge of task ``T_k`` processes instance
+``p - firstPeriod(T_k)`` (when non-negative), sends the result of the
+previous instance to every successor's PE and receives the next instance
+from every predecessor's PE.  After ``max_k firstPeriod(T_k)`` warm-up
+periods every PE is active and a new instance completes every ``T``
+time-units, hence throughput ``1/T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .mapping import Mapping
+from .periods import first_periods
+from .throughput import analyze
+
+__all__ = ["ComputeEvent", "TransferEvent", "PeriodicSchedule", "build_schedule"]
+
+
+@dataclass(frozen=True)
+class ComputeEvent:
+    """Task ``task`` processes instance ``instance`` on PE ``pe``."""
+
+    period: int
+    pe: int
+    task: str
+    instance: int
+
+
+@dataclass(frozen=True)
+class TransferEvent:
+    """Instance ``instance`` of ``D(src,dst)`` moves between PEs."""
+
+    period: int
+    src_pe: int
+    dst_pe: int
+    src: str
+    dst: str
+    instance: int
+
+
+class PeriodicSchedule:
+    """The periodic schedule induced by a mapping."""
+
+    def __init__(self, mapping: Mapping, elide_local_comm: bool = False) -> None:
+        self.mapping = mapping
+        self.first_period: Dict[str, int] = first_periods(
+            mapping.graph,
+            mapping if elide_local_comm else None,
+            elide_local_comm=elide_local_comm,
+        )
+        self.analysis = analyze(mapping, elide_local_comm=elide_local_comm)
+        #: Duration of one period, in µs.
+        self.period_length: float = self.analysis.period
+
+    # ------------------------------------------------------------------ #
+    # Instance arithmetic
+
+    @property
+    def warmup_periods(self) -> int:
+        """Periods before every task is active (max ``firstPeriod``)."""
+        return max(self.first_period.values(), default=0)
+
+    def instance_of(self, task: str, period: int) -> Optional[int]:
+        """Instance processed by ``task`` during ``period`` (None if idle)."""
+        instance = period - self.first_period[task]
+        return instance if instance >= 0 else None
+
+    def period_of(self, task: str, instance: int) -> int:
+        """Period in which ``task`` processes ``instance``."""
+        if instance < 0:
+            raise ValueError("instance must be non-negative")
+        return self.first_period[task] + instance
+
+    def completion_time(self, task: str, instance: int) -> float:
+        """Upper bound (µs) on the completion of ``instance`` of ``task``."""
+        return (self.period_of(task, instance) + 1) * self.period_length
+
+    def stream_latency(self) -> float:
+        """Time (µs) between an instance entering and leaving the pipeline."""
+        last = max(self.first_period[s] for s in self.mapping.graph.sinks())
+        return (last + 1) * self.period_length
+
+    # ------------------------------------------------------------------ #
+    # Event enumeration
+
+    def compute_events(self, period: int) -> List[ComputeEvent]:
+        """All task activations during ``period``, in topological order."""
+        events: List[ComputeEvent] = []
+        for task in self.mapping.graph.topological_order():
+            instance = self.instance_of(task, period)
+            if instance is not None:
+                events.append(
+                    ComputeEvent(period, self.mapping.pe_of(task), task, instance)
+                )
+        return events
+
+    def transfer_events(self, period: int) -> List[TransferEvent]:
+        """Cross-PE transfers occurring during ``period``.
+
+        Instance ``i`` of ``D(k,l)`` is produced in period
+        ``firstPeriod(k) + i`` and shipped during the following period.
+        """
+        events: List[TransferEvent] = []
+        for edge in self.mapping.graph.edges():
+            if not self.mapping.is_cross_edge(edge):
+                continue
+            instance = period - 1 - self.first_period[edge.src]
+            if instance >= 0:
+                events.append(
+                    TransferEvent(
+                        period,
+                        self.mapping.pe_of(edge.src),
+                        self.mapping.pe_of(edge.dst),
+                        edge.src,
+                        edge.dst,
+                        instance,
+                    )
+                )
+        return events
+
+    def live_instances(self, src: str, dst: str, period: int) -> int:
+        """Instances of ``D(src,dst)`` buffered at the start of ``period``.
+
+        Instance ``i`` occupies the buffer from its production (end of
+        period ``firstPeriod(src) + i``) until consumed by the consumer's
+        instance ``i`` (end of period ``firstPeriod(dst) + i``).  The count
+        is bounded by ``firstPeriod(dst) - firstPeriod(src)``, which is the
+        window used to size buffers in §4.2.
+        """
+        fp_src, fp_dst = self.first_period[src], self.first_period[dst]
+        produced = period - fp_src  # instances 0 .. produced-1 exist
+        consumed = period - fp_dst  # instances 0 .. consumed-1 are gone
+        return max(0, produced) - max(0, consumed)
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+
+    def gantt_text(self, n_periods: int = 8, width: int = 10) -> str:
+        """ASCII rendering of the first ``n_periods`` periods (Fig. 3b)."""
+        platform = self.mapping.platform
+        header = "PE".ljust(8) + "".join(
+            f"| p={p}".ljust(width) for p in range(n_periods)
+        )
+        lines = [header, "-" * len(header)]
+        for pe in range(platform.n_pes):
+            tasks = self.mapping.tasks_on(pe)
+            if not tasks:
+                continue
+            row = platform.pe_name(pe).ljust(8)
+            for p in range(n_periods):
+                cell_parts = []
+                for task in tasks:
+                    instance = self.instance_of(task, p)
+                    if instance is not None:
+                        cell_parts.append(f"{task}#{instance}")
+                cell = "|" + ",".join(cell_parts)
+                row += cell[: width - 1].ljust(width)
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def build_schedule(mapping: Mapping, elide_local_comm: bool = False) -> PeriodicSchedule:
+    """Build the :class:`PeriodicSchedule` of ``mapping``."""
+    return PeriodicSchedule(mapping, elide_local_comm=elide_local_comm)

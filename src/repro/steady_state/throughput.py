@@ -1,0 +1,260 @@
+"""Analytic steady-state period, throughput and feasibility of a mapping.
+
+This is the evaluation side of the paper's model: given a mapping, the
+period ``T`` is the maximum occupation time over all resources —
+
+* compute time of each PE (constraints (1e)/(1f)),
+* incoming and outgoing communication time of each PE interface, memory
+  reads/writes included (constraints (1g)/(1h)),
+
+and the mapping is *feasible* iff every SPE's buffers fit its local store
+(1i) and the DMA queue limits hold ((1j)/(1k)).  The throughput of the
+induced periodic schedule is ``ρ = 1/T`` (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import InfeasibleMappingError
+from .mapping import Mapping
+from .periods import buffer_requirements
+
+__all__ = [
+    "ResourceLoad",
+    "LinkLoad",
+    "Violation",
+    "PeriodAnalysis",
+    "analyze",
+    "period",
+    "throughput",
+    "speedup",
+    "assert_feasible",
+]
+
+
+@dataclass(frozen=True)
+class ResourceLoad:
+    """Occupation time (µs/instance) of one PE's three resources."""
+
+    pe: int
+    pe_name: str
+    compute: float
+    comm_in: float
+    comm_out: float
+
+    @property
+    def busiest(self) -> Tuple[str, float]:
+        """The resource bounding this PE and its occupation time."""
+        loads = (
+            ("compute", self.compute),
+            ("comm_in", self.comm_in),
+            ("comm_out", self.comm_out),
+        )
+        return max(loads, key=lambda kv: kv[1])
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One violated hard constraint of a mapping."""
+
+    constraint: str  # "memory", "dma_in" or "dma_proxy"
+    pe: int
+    pe_name: str
+    actual: float
+    limit: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.constraint} violated on {self.pe_name}: "
+            f"{self.actual:g} > {self.limit:g}"
+        )
+
+
+@dataclass(frozen=True)
+class LinkLoad:
+    """Occupation time (µs/instance) of one inter-Cell BIF link direction."""
+
+    src_cell: int
+    dst_cell: int
+    time: float
+
+
+@dataclass(frozen=True)
+class PeriodAnalysis:
+    """Full steady-state analysis of a mapping."""
+
+    mapping: Mapping
+    loads: List[ResourceLoad]
+    buffer_bytes: Dict[int, float]
+    dma_in: Dict[int, int]
+    dma_proxy: Dict[int, int]
+    violations: List[Violation] = field(default_factory=list)
+    #: Inter-Cell link occupation (multi-Cell platforms only).
+    link_loads: List[LinkLoad] = field(default_factory=list)
+
+    @property
+    def period(self) -> float:
+        """The period ``T``: maximum occupation time over all resources."""
+        worst_pe = max(
+            max(l.compute, l.comm_in, l.comm_out) for l in self.loads
+        )
+        worst_link = max((l.time for l in self.link_loads), default=0.0)
+        return max(worst_pe, worst_link)
+
+    @property
+    def throughput(self) -> float:
+        """Steady-state throughput ``ρ = 1/T`` in instances/µs."""
+        t = self.period
+        return float("inf") if t == 0 else 1.0 / t
+
+    @property
+    def feasible(self) -> bool:
+        return not self.violations
+
+    @property
+    def bottleneck(self) -> Tuple[str, str]:
+        """``(pe_name, resource)`` of the binding resource."""
+        worst = max(
+            self.loads, key=lambda l: max(l.compute, l.comm_in, l.comm_out)
+        )
+        return worst.pe_name, worst.busiest[0]
+
+    def report(self) -> str:
+        """Multi-line textual breakdown (for CLI/examples)."""
+        lines = [
+            f"period T = {self.period:.3f} µs  "
+            f"(throughput {self.throughput * 1e6:.2f} instances/s)",
+            f"bottleneck: {self.bottleneck[0]} ({self.bottleneck[1]})",
+        ]
+        for load in self.loads:
+            tasks = self.mapping.tasks_on(load.pe)
+            if not tasks and load.compute == 0 and load.comm_in == 0:
+                continue
+            lines.append(
+                f"  {load.pe_name:>6}: compute {load.compute:9.3f}  "
+                f"in {load.comm_in:8.3f}  out {load.comm_out:8.3f}  "
+                f"({len(tasks)} tasks)"
+            )
+        for violation in self.violations:
+            lines.append(f"  !! {violation}")
+        return "\n".join(lines)
+
+
+def analyze(
+    mapping: Mapping,
+    elide_local_comm: bool = False,
+    merge_same_pe_buffers: bool = False,
+) -> PeriodAnalysis:
+    """Compute the :class:`PeriodAnalysis` of ``mapping`` (paper model)."""
+    graph, platform = mapping.graph, mapping.platform
+    n = platform.n_pes
+
+    compute = [0.0] * n
+    in_bytes = [0.0] * n
+    out_bytes = [0.0] * n
+
+    for task in graph.tasks():
+        pe = mapping.pe_of(task.name)
+        compute[pe] += task.cost_on(platform.kind(pe))
+        in_bytes[pe] += task.read
+        out_bytes[pe] += task.write
+
+    dma_in: Dict[int, int] = {i: 0 for i in platform.spe_indices}
+    dma_proxy: Dict[int, int] = {i: 0 for i in platform.spe_indices}
+    link_bytes: Dict[Tuple[int, int], float] = {}
+
+    for edge in graph.edges():
+        src_pe = mapping.pe_of(edge.src)
+        dst_pe = mapping.pe_of(edge.dst)
+        if src_pe == dst_pe:
+            continue
+        out_bytes[src_pe] += edge.data
+        in_bytes[dst_pe] += edge.data
+        if platform.is_spe(dst_pe):
+            dma_in[dst_pe] += 1
+        if platform.is_spe(src_pe) and platform.is_ppe(dst_pe):
+            dma_proxy[src_pe] += 1
+        if platform.n_cells > 1 and platform.is_cross_cell(src_pe, dst_pe):
+            key = (platform.cell_of(src_pe), platform.cell_of(dst_pe))
+            link_bytes[key] = link_bytes.get(key, 0.0) + edge.data
+
+    loads = [
+        ResourceLoad(
+            pe=i,
+            pe_name=platform.pe_name(i),
+            compute=compute[i],
+            comm_in=in_bytes[i] / platform.bw,
+            comm_out=out_bytes[i] / platform.bw,
+        )
+        for i in range(n)
+    ]
+
+    buffers = buffer_requirements(
+        graph,
+        mapping if (elide_local_comm or merge_same_pe_buffers) else None,
+        elide_local_comm=elide_local_comm,
+        merge_same_pe_buffers=merge_same_pe_buffers,
+    )
+    buffer_bytes: Dict[int, float] = {i: 0.0 for i in platform.spe_indices}
+    for name, pe in mapping.items():
+        if platform.is_spe(pe):
+            buffer_bytes[pe] += buffers[name]
+
+    violations: List[Violation] = []
+    for spe in platform.spe_indices:
+        pe_name = platform.pe_name(spe)
+        if buffer_bytes[spe] > platform.buffer_budget:
+            violations.append(
+                Violation("memory", spe, pe_name, buffer_bytes[spe], platform.buffer_budget)
+            )
+        if dma_in[spe] > platform.dma_in_slots:
+            violations.append(
+                Violation("dma_in", spe, pe_name, dma_in[spe], platform.dma_in_slots)
+            )
+        if dma_proxy[spe] > platform.dma_proxy_slots:
+            violations.append(
+                Violation("dma_proxy", spe, pe_name, dma_proxy[spe], platform.dma_proxy_slots)
+            )
+
+    link_loads = [
+        LinkLoad(src_cell=src, dst_cell=dst, time=bytes_ / platform.bif_bw)
+        for (src, dst), bytes_ in sorted(link_bytes.items())
+    ]
+
+    return PeriodAnalysis(
+        mapping=mapping,
+        loads=loads,
+        buffer_bytes=buffer_bytes,
+        dma_in=dma_in,
+        dma_proxy=dma_proxy,
+        violations=violations,
+        link_loads=link_loads,
+    )
+
+
+def period(mapping: Mapping, **kwargs) -> float:
+    """The period ``T`` (µs) of the steady-state schedule of ``mapping``."""
+    return analyze(mapping, **kwargs).period
+
+
+def throughput(mapping: Mapping, **kwargs) -> float:
+    """Steady-state throughput ``ρ = 1/T`` (instances/µs)."""
+    return analyze(mapping, **kwargs).throughput
+
+
+def speedup(mapping: Mapping, reference: Optional[Mapping] = None) -> float:
+    """Throughput of ``mapping`` normalised to the PPE-only mapping (§6.4)."""
+    if reference is None:
+        reference = Mapping.all_on_ppe(mapping.graph, mapping.platform)
+    return throughput(mapping) / throughput(reference)
+
+
+def assert_feasible(mapping: Mapping, **kwargs) -> PeriodAnalysis:
+    """Analyse and raise :class:`InfeasibleMappingError` on any violation."""
+    analysis = analyze(mapping, **kwargs)
+    if not analysis.feasible:
+        detail = "; ".join(str(v) for v in analysis.violations)
+        raise InfeasibleMappingError(f"infeasible mapping: {detail}")
+    return analysis

@@ -1,0 +1,66 @@
+"""Shared fixtures: platforms and small hand-made graphs with known answers."""
+
+import pytest
+
+from repro.graph import DataEdge, StreamGraph, Task
+from repro.platform import CellPlatform
+
+
+@pytest.fixture
+def qs22():
+    return CellPlatform.qs22()
+
+
+@pytest.fixture
+def tiny_platform():
+    """1 PPE + 2 SPEs — small enough for brute-force cross-checks."""
+    return CellPlatform(n_ppe=1, n_spe=2, name="tiny")
+
+
+@pytest.fixture
+def two_task_chain():
+    """a -> b with 1 kB of data; peeks zero."""
+    g = StreamGraph("two-chain")
+    g.add_task(Task("a", wppe=100.0, wspe=50.0))
+    g.add_task(Task("b", wppe=80.0, wspe=40.0))
+    g.add_edge(DataEdge("a", "b", 1024.0))
+    return g
+
+
+@pytest.fixture
+def peek_chain():
+    """a -> b -> c where b peeks 1 and c peeks 2 (the §4.2 worked shape)."""
+    g = StreamGraph("peek-chain")
+    g.add_task(Task("a", wppe=10.0, wspe=5.0))
+    g.add_task(Task("b", wppe=10.0, wspe=5.0, peek=1))
+    g.add_task(Task("c", wppe=10.0, wspe=5.0, peek=2))
+    g.add_edge(DataEdge("a", "b", 100.0))
+    g.add_edge(DataEdge("b", "c", 200.0))
+    return g
+
+
+@pytest.fixture
+def fig3_graph():
+    """The Fig. 3 example: T1 -> T2, T1 -> T3, with peek_3 = 1."""
+    g = StreamGraph("fig3")
+    g.add_task(Task("T1", wppe=10.0, wspe=10.0))
+    g.add_task(Task("T2", wppe=10.0, wspe=10.0))
+    g.add_task(Task("T3", wppe=10.0, wspe=10.0, peek=1))
+    g.add_edge(DataEdge("T1", "T2", 100.0))
+    g.add_edge(DataEdge("T1", "T3", 100.0))
+    return g
+
+
+@pytest.fixture
+def diamond_graph():
+    """a -> {b, c} -> d with distinct costs for mapping tests."""
+    g = StreamGraph("diamond")
+    g.add_task(Task("a", wppe=40.0, wspe=80.0))
+    g.add_task(Task("b", wppe=100.0, wspe=30.0))
+    g.add_task(Task("c", wppe=90.0, wspe=25.0))
+    g.add_task(Task("d", wppe=30.0, wspe=70.0))
+    g.add_edge(DataEdge("a", "b", 2048.0))
+    g.add_edge(DataEdge("a", "c", 2048.0))
+    g.add_edge(DataEdge("b", "d", 1024.0))
+    g.add_edge(DataEdge("c", "d", 1024.0))
+    return g

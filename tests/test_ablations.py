@@ -1,0 +1,140 @@
+"""Tests for the simulator's ablation switches and platform diagnostics.
+
+Each knob exists to answer a DESIGN.md question; these tests pin down the
+direction of its effect on small, controlled workloads.
+"""
+
+import pytest
+
+from repro.errors import PlatformError, SimulationError
+from repro.graph import DataEdge, StreamGraph, Task
+from repro.platform import CellPlatform, DmaCosts, diagnose_fit
+from repro.simulator import SimConfig, Simulator, simulate
+from repro.steady_state import Mapping
+
+
+def star_graph(n_leaves=6, data=100_000.0):
+    g = StreamGraph("star")
+    g.add_task(Task("hub", wppe=5.0, wspe=5.0))
+    for i in range(n_leaves):
+        g.add_task(Task(f"leaf{i}", wppe=5.0, wspe=5.0))
+        g.add_edge(DataEdge("hub", f"leaf{i}", data))
+    return g
+
+
+class TestEibAblation:
+    def test_eib_cap_slows_heavy_fanout(self, qs22):
+        # Six concurrent 100 kB transfers out of the hub; with the ring
+        # capped the aggregate cannot exceed 200 GB/s.
+        g = star_graph()
+        assignment = {"hub": 0}
+        assignment.update({f"leaf{i}": i + 1 for i in range(6)})
+        m = Mapping(g, qs22, assignment)
+        free = simulate(m, 10, SimConfig.ideal())
+        capped = simulate(m, 10, SimConfig(enforce_eib=True))
+        assert capped.makespan >= free.makespan - 1e-6
+
+    def test_paper_claim_single_flows_unaffected(self, qs22):
+        # One transfer at a time never reaches the ring limit (§2.1).
+        g = StreamGraph("pair")
+        g.add_task(Task("a", wppe=5.0, wspe=5.0))
+        g.add_task(Task("b", wppe=5.0, wspe=5.0))
+        g.add_edge(DataEdge("a", "b", 50_000.0))
+        m = Mapping(g, qs22, {"a": 1, "b": 2})
+        free = simulate(m, 20, SimConfig.ideal())
+        capped = simulate(m, 20, SimConfig(enforce_eib=True))
+        assert capped.makespan == pytest.approx(free.makespan)
+
+
+class TestMemoryDmaAblation:
+    def test_counting_memory_dma_throttles_spe_reads(self, qs22):
+        # 1 SPE task reading from memory: with count_memory_dma the read
+        # occupies an MFC slot; behaviour must stay correct either way.
+        g = StreamGraph("reader")
+        g.add_task(Task("r", wppe=5.0, wspe=5.0, read=10_000.0))
+        m = Mapping(g, qs22, {"r": 1})
+        for flag in (False, True):
+            result = simulate(m, 15, SimConfig(count_memory_dma=flag))
+            assert len(result.completion_times) == 15
+
+    def test_slot_pressure_with_memory_counted(self, qs22):
+        sim = Simulator(
+            Mapping(
+                StreamGraph.from_parts(
+                    [Task("r", wppe=1.0, wspe=1.0, read=1000.0)], [], name="r"
+                ),
+                qs22,
+                {"r": 1},
+            ),
+            SimConfig(count_memory_dma=True),
+        )
+        sim.run(5)
+        assert sim.pes[1].mfc_in_flight == 0
+
+
+class TestDmaSlotAblation:
+    def test_disabling_slots_allows_more_concurrency(self, qs22):
+        g = star_graph(n_leaves=7, data=200_000.0)
+        # All leaves on one SPE: 7 incoming gets compete for its queue.
+        assignment = {"hub": 0}
+        assignment.update({f"leaf{i}": 1 for i in range(7)})
+        m = Mapping(g, qs22, assignment)
+        throttled = simulate(m, 5, SimConfig.ideal())
+        free = simulate(m, 5, SimConfig(enforce_dma_slots=False))
+        assert free.makespan <= throttled.makespan + 1e-6
+
+
+class TestOverheadKnobs:
+    def test_each_overhead_increases_makespan(self, qs22, two_task_chain):
+        m = Mapping(two_task_chain, qs22, {"a": 0, "b": 1})
+        base = simulate(m, 30, SimConfig.ideal()).makespan
+        for costs in (
+            DmaCosts(issue_overhead=5.0),
+            DmaCosts(completion_overhead=5.0),
+            DmaCosts(signal_overhead=5.0),
+            DmaCosts(latency=5.0),
+        ):
+            slowed = simulate(m, 30, SimConfig(dma=costs)).makespan
+            assert slowed > base
+
+    def test_invalid_config(self):
+        with pytest.raises(SimulationError):
+            SimConfig(scheduler_overhead=-1.0)
+        with pytest.raises(SimulationError):
+            SimConfig(mem_write_window=0)
+        with pytest.raises(SimulationError):
+            SimConfig(max_events=0)
+
+    def test_max_events_guard(self, qs22, two_task_chain):
+        m = Mapping(two_task_chain, qs22, {"a": 0, "b": 1})
+        with pytest.raises(SimulationError):
+            simulate(m, 100, SimConfig(max_events=10))
+
+
+class TestDiagnoseFit:
+    def test_warns_on_oversized_task(self, qs22):
+        g = StreamGraph("fat")
+        g.add_task(Task("tiny", wppe=1.0, wspe=1.0))  # fits anywhere
+        g.add_task(Task("small", wppe=1.0, wspe=1.0))
+        g.add_task(Task("fat", wppe=1.0, wspe=1.0))
+        # The edge buffer (data × window 2) blows the budget on *both*
+        # endpoints — the §4.2 buffers live on producer and consumer.
+        g.add_edge(DataEdge("small", "fat", qs22.buffer_budget))
+        warnings = diagnose_fit(g, qs22)
+        assert any("'fat'" in w for w in warnings)
+        assert any("'small'" in w for w in warnings)
+
+    def test_raises_when_nothing_fits(self, qs22):
+        g = StreamGraph("all-fat")
+        g.add_task(Task("a", wppe=1.0, wspe=1.0))
+        g.add_task(Task("b", wppe=1.0, wspe=1.0))
+        g.add_edge(DataEdge("a", "b", qs22.buffer_budget * 2))
+        with pytest.raises(PlatformError):
+            diagnose_fit(g, qs22)
+
+    def test_silent_when_all_fit(self, qs22, two_task_chain):
+        assert diagnose_fit(two_task_chain, qs22) == []
+
+    def test_no_spes_no_warnings(self, two_task_chain):
+        platform = CellPlatform(n_ppe=1, n_spe=0)
+        assert diagnose_fit(two_task_chain, platform) == []

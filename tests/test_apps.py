@@ -1,0 +1,75 @@
+"""Tests for the realistic example applications."""
+
+import pytest
+
+from repro import apps
+from repro.graph import graph_stats
+from repro.heuristics import greedy_cpu
+from repro.platform import CellPlatform, diagnose_fit
+from repro.simulator import SimConfig, simulate
+from repro.steady_state import analyze, speedup
+
+
+@pytest.fixture(params=["audio", "video", "crypto"])
+def app_graph(request):
+    return {
+        "audio": apps.audio_encoder,
+        "video": apps.video_pipeline,
+        "crypto": apps.crypto_pipeline,
+    }[request.param]()
+
+
+class TestStructure:
+    def test_valid_dags(self, app_graph):
+        app_graph.validate()
+        assert app_graph.n_tasks >= 7
+
+    def test_single_stream_in_and_out(self, app_graph):
+        # Every app reads its stream from memory and writes results back.
+        reads = [t for t in app_graph.tasks() if t.read > 0]
+        writes = [t for t in app_graph.tasks() if t.write > 0]
+        assert reads and writes
+
+    def test_unrelated_costs_in_both_directions(self, app_graph):
+        ratios = [t.wspe / t.wppe for t in app_graph.tasks()]
+        assert any(r < 1 for r in ratios), "no SPE-friendly task"
+        assert any(r > 1 for r in ratios), "no PPE-friendly task"
+
+    def test_audio_has_peek(self):
+        g = apps.audio_encoder()
+        assert any(t.peek > 0 for t in g.tasks())  # psychoacoustic lookahead
+
+    def test_parametric_width(self):
+        assert apps.audio_encoder(n_filter_groups=8).n_tasks > apps.audio_encoder(
+            n_filter_groups=2
+        ).n_tasks
+        with pytest.raises(ValueError):
+            apps.audio_encoder(0)
+        with pytest.raises(ValueError):
+            apps.video_pipeline(0)
+        with pytest.raises(ValueError):
+            apps.crypto_pipeline(0)
+
+
+class TestSchedulability:
+    def test_greedy_feasible_on_qs22(self, app_graph, qs22):
+        mapping = greedy_cpu(app_graph, qs22)
+        analysis = analyze(mapping)
+        assert not [v for v in analysis.violations if v.constraint == "memory"]
+
+    def test_offload_gives_speedup(self, qs22):
+        g = apps.crypto_pipeline()
+        mapping = greedy_cpu(g, qs22)
+        assert speedup(mapping) > 1.2
+
+    def test_video_frames_do_not_fit_spes(self, qs22):
+        # A QVGA frame with its §4.2 window exceeds the 256 kB local store:
+        # the full-frame tasks are PPE-only — exactly why real Cell codecs
+        # process stripes.
+        warnings = diagnose_fit(apps.video_pipeline(), qs22)
+        assert any("denoise" in w for w in warnings)
+
+    def test_apps_simulate_end_to_end(self, app_graph, qs22):
+        mapping = greedy_cpu(app_graph, qs22)
+        result = simulate(mapping, 40, SimConfig.realistic())
+        assert len(result.completion_times) == 40

@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main_simulate, main_solve
+from repro.graph import save
+from repro.generator import assign_costs, random_topology
+
+
+@pytest.fixture
+def small_graph_file(tmp_path):
+    graph = assign_costs(random_topology(8, seed=21), ccr=0.775, seed=21)
+    return str(save(graph, tmp_path / "graph.json"))
+
+
+class TestSolveCli:
+    def test_greedy_on_builtin(self, capsys):
+        assert main_solve(["crypto", "--strategy", "greedy_cpu"]) == 0
+        out = capsys.readouterr().out
+        assert "period" in out and "Mapping" in out
+
+    def test_json_output(self, capsys, small_graph_file):
+        code = main_solve(
+            [small_graph_file, "--strategy", "greedy_mem", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["feasible"] is True
+        assert payload["throughput_per_s"] > 0
+        assert len(payload["assignment"]) == 8
+
+    def test_ppe_strategy(self, capsys, small_graph_file):
+        assert main_solve([small_graph_file, "--strategy", "ppe", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["assignment"].values()) == {0}
+
+    def test_spes_restriction(self, capsys, small_graph_file):
+        assert (
+            main_solve(
+                [small_graph_file, "--strategy", "greedy_mem", "--spes", "2", "--json"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert max(payload["assignment"].values()) <= 2
+
+    def test_ccr_rescale(self, capsys, small_graph_file):
+        assert (
+            main_solve(
+                [small_graph_file, "--strategy", "ppe", "--ccr", "4.6", "--json"]
+            )
+            == 0
+        )
+
+    def test_missing_file_errors(self, capsys):
+        assert main_solve(["/nonexistent/graph.json"]) == 1
+
+    def test_milp_on_file(self, capsys, small_graph_file):
+        assert main_solve([small_graph_file, "--strategy", "milp", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["feasible"] is True
+
+
+class TestSimulateCli:
+    def test_simulate_builtin(self, capsys):
+        code = main_simulate(
+            ["crypto", "--strategy", "greedy_cpu", "--instances", "50"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulated 50 instances" in out
+
+    def test_simulate_ideal(self, capsys, small_graph_file):
+        code = main_simulate(
+            [small_graph_file, "--strategy", "greedy_mem", "--instances",
+             "120", "--ideal"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "efficiency" in out
+
+    def test_ps3_platform(self, capsys, small_graph_file):
+        code = main_simulate(
+            [small_graph_file, "--strategy", "greedy_cpu", "--platform",
+             "ps3", "--instances", "40"]
+        )
+        assert code == 0
+
+    def test_mapping_round_trip(self, capsys, small_graph_file, tmp_path):
+        """repro-solve --mapping-out + repro-simulate --mapping compose."""
+        mapping_file = str(tmp_path / "mapping.json")
+        assert (
+            main_solve(
+                [small_graph_file, "--strategy", "greedy_cpu",
+                 "--mapping-out", mapping_file]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main_simulate(
+            [small_graph_file, "--mapping", mapping_file, "--instances", "60"]
+        )
+        assert code == 0
+        assert "simulated 60 instances" in capsys.readouterr().out
+
+    def test_mapping_graph_mismatch(self, capsys, small_graph_file, tmp_path):
+        mapping_file = tmp_path / "mapping.json"
+        mapping_file.write_text('{"graph": "other", "assignment": {}}')
+        code = main_simulate(
+            [small_graph_file, "--mapping", str(mapping_file)]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,122 @@
+"""Tests for the §3 complexity artefacts: reduction, FPTAS, brute force."""
+
+import pytest
+
+from repro.complexity import (
+    MultiprocessorInstance,
+    allocation_from_mapping,
+    exact_two_machines_dp,
+    fptas_two_machines,
+    mapping_from_allocation,
+    optimal_mapping_brute_force,
+    optimal_two_machine_makespan,
+    to_cell_mapping,
+    verify_equivalence,
+)
+from repro.errors import GraphError, ReproError
+from repro.graph import DataEdge, StreamGraph, Task
+from repro.milp import solve_optimal_mapping
+from repro.steady_state import analyze
+
+
+@pytest.fixture
+def instance():
+    return MultiprocessorInstance.from_lists(
+        [3, 5, 2, 7, 4], [4, 2, 6, 3, 5], bound=11
+    )
+
+
+class TestReduction:
+    def test_construction_shape(self, instance):
+        graph, platform, bound = to_cell_mapping(instance)
+        assert graph.n_tasks == 5
+        assert graph.n_edges == 4  # a chain
+        assert platform.n_ppe == 1 and platform.n_spe == 1
+        assert bound == pytest.approx(1 / 11)
+        # Zero-size data: the reduction neglects communication.
+        assert all(e.data == 0.0 for e in graph.edges())
+
+    def test_costs_transcribed(self, instance):
+        graph, _, _ = to_cell_mapping(instance)
+        assert graph.task("T1").wppe == 3 and graph.task("T1").wspe == 4
+        assert graph.task("T4").wppe == 7 and graph.task("T4").wspe == 3
+
+    def test_value_correspondence_both_ways(self, instance):
+        for allocation in ([1, 1, 1, 1, 1], [2, 2, 2, 2, 2], [1, 2, 1, 2, 1]):
+            assert verify_equivalence(instance, allocation)
+            mapping = mapping_from_allocation(instance, allocation)
+            assert allocation_from_mapping(mapping) == list(allocation)
+
+    def test_decision_equivalence_via_milp(self, instance):
+        # Solve the reduced Cell instance optimally and compare with the
+        # 2-machine enumeration optimum: the periods must coincide.
+        graph, platform, _ = to_cell_mapping(instance)
+        milp = solve_optimal_mapping(graph, platform, mip_rel_gap=None)
+        assert milp.period == pytest.approx(
+            optimal_two_machine_makespan(instance)
+        )
+
+    def test_makespan(self, instance):
+        assert instance.makespan([1] * 5) == pytest.approx(3 + 5 + 2 + 7 + 4)
+        with pytest.raises(ReproError):
+            instance.makespan([3, 1, 1, 1, 1])
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            MultiprocessorInstance((), 5.0)
+        with pytest.raises(ReproError):
+            MultiprocessorInstance(((1.0, 2.0),), 0.0)
+        with pytest.raises(ReproError):
+            MultiprocessorInstance.from_lists([1], [2, 3], 1.0)
+
+
+class TestFptas:
+    def test_epsilon_guarantee(self, instance):
+        opt = optimal_two_machine_makespan(instance)
+        for eps in (0.5, 0.1, 0.01):
+            value, allocation = fptas_two_machines(instance, eps)
+            assert value <= opt * (1 + eps) + 1e-9
+            # The returned allocation must realise the returned value.
+            assert instance.makespan(allocation) == pytest.approx(value)
+
+    def test_exact_dp_matches_enumeration(self, instance):
+        assert exact_two_machines_dp(instance) == pytest.approx(
+            optimal_two_machine_makespan(instance)
+        )
+
+    def test_bigger_instance_fptas_close(self):
+        import random
+
+        rng = random.Random(42)
+        lengths = [(rng.uniform(1, 20), rng.uniform(1, 20)) for _ in range(24)]
+        instance = MultiprocessorInstance(tuple(lengths), bound=100.0)
+        exact = exact_two_machines_dp(instance)
+        value, _ = fptas_two_machines(instance, 0.05)
+        assert value <= exact * 1.05 + 1e-9
+
+    def test_invalid_epsilon(self, instance):
+        with pytest.raises(ReproError):
+            fptas_two_machines(instance, 0.0)
+
+
+class TestBruteForce:
+    def test_refuses_large_graphs(self, qs22):
+        g = StreamGraph("big")
+        for i in range(12):
+            g.add_task(Task(f"t{i}", wppe=1.0, wspe=1.0))
+        with pytest.raises(GraphError):
+            optimal_mapping_brute_force(g, qs22, max_tasks=10)
+
+    def test_finds_known_optimum(self, tiny_platform):
+        g = StreamGraph("known")
+        g.add_task(Task("a", wppe=10.0, wspe=100.0))  # PPE-friendly
+        g.add_task(Task("b", wppe=100.0, wspe=10.0))  # SPE-friendly
+        g.add_edge(DataEdge("a", "b", 0.0))
+        mapping, period = optimal_mapping_brute_force(g, tiny_platform)
+        assert period == pytest.approx(10.0)
+        assert mapping.pe_of("a") == 0
+        assert tiny_platform.is_spe(mapping.pe_of("b"))
+
+    def test_result_is_feasible(self, tiny_platform, diamond_graph):
+        mapping, _ = optimal_mapping_brute_force(diamond_graph, tiny_platform)
+        assert analyze(mapping).feasible

@@ -1,0 +1,146 @@
+"""Tests for the experiment harnesses (scaled-down configurations)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    MeasuredPoint,
+    ascii_plot,
+    build_mapping,
+    measure_throughput,
+    measured_speedup,
+    to_csv,
+)
+from repro.experiments import fig6_rampup, fig7_speedup, fig8_ccr, tables
+from repro.generator import assign_costs, random_topology
+from repro.platform import CellPlatform
+from repro.simulator import SimConfig
+from repro.steady_state import Mapping
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return assign_costs(random_topology(12, fat=0.4, seed=17), ccr=0.775, seed=17)
+
+
+@pytest.fixture(scope="module")
+def small_platform():
+    return CellPlatform.qs22().with_spes(3)
+
+
+class TestCommon:
+    def test_build_mapping_strategies(self, small_graph, small_platform):
+        for strategy in ("greedy_cpu", "greedy_mem", "critical_path", "milp"):
+            mapping = build_mapping(strategy, small_graph, small_platform)
+            assert mapping.graph is small_graph
+        with pytest.raises(ExperimentError):
+            build_mapping("oracle", small_graph, small_platform)
+
+    def test_measured_speedup_protocol(self, small_graph, small_platform):
+        baseline = measure_throughput(
+            Mapping.all_on_ppe(small_graph, small_platform), 150, SimConfig.ideal()
+        )
+        mapping = build_mapping("greedy_cpu", small_graph, small_platform)
+        ratio, result = measured_speedup(mapping, baseline, 150, SimConfig.ideal())
+        assert ratio > 0.9
+        assert result.n_instances == 150
+
+    def test_ascii_plot_and_csv(self):
+        points = [
+            MeasuredPoint("a", 0, 1.0),
+            MeasuredPoint("a", 1, 2.0),
+            MeasuredPoint("b", 1, 1.5, detail="x"),
+        ]
+        plot = ascii_plot(points, width=20, height=5)
+        assert "o=a" in plot and "x=b" in plot
+        csv_text = to_csv(points)
+        assert csv_text.splitlines()[0].startswith("series,")
+        assert len(csv_text.splitlines()) == 4
+        assert ascii_plot([]) == "(no data)"
+
+
+class TestFig6:
+    def test_run_produces_expected_shape(self, small_graph, small_platform):
+        result = fig6_rampup.run(
+            n_instances=400,
+            graph=small_graph,
+            platform=small_platform,
+            config=SimConfig.realistic(),
+            window=50,
+        )
+        assert result.curve, "empty throughput curve"
+        # Ramp-up: early throughput below the steady plateau.
+        early = result.curve[2][1]
+        assert early <= result.steady * 1.1
+        # §6.4.1's headline: measured steady state close to the prediction.
+        assert 0.80 <= result.efficiency <= 1.01
+        assert result.points()
+        assert "theoretical" in result.table()
+
+
+class TestFig7:
+    def test_run_one_shape(self, small_graph, small_platform):
+        result = fig7_speedup.run_one(
+            small_graph,
+            spe_counts=(0, 3),
+            strategies=("milp", "greedy_cpu"),
+            n_instances=200,
+            config=SimConfig.ideal(),
+            base_platform=small_platform,
+        )
+        series = result.series()
+        assert set(series) == {"milp", "greedy_cpu"}
+        for name, points in series.items():
+            xs = [x for x, _ in points]
+            assert xs == [0, 3]
+        # With zero SPEs every strategy reduces to the PPE (speed-up 1).
+        for name in series:
+            assert series[name][0][1] == pytest.approx(1.0, abs=0.05)
+        # The MILP with 3 SPEs must beat the PPE-only reference.
+        assert series["milp"][1][1] > 1.1
+        assert "Figure 7" in result.table()
+
+
+class TestFig8:
+    def test_run_monotone_tendency(self, small_platform):
+        result = fig8_ccr.run(
+            ccrs=(0.775, 4.6),
+            graph_ids=(3,),
+            n_instances=250,
+            config=SimConfig.ideal(),
+            platform=small_platform,
+            strategy="greedy_cpu",
+        )
+        series = result.series()["random graph 3"]
+        assert len(series) == 2
+        low_ccr, high_ccr = series[0][1], series[1][1]
+        # §6.4.3: higher CCR -> lower (or equal) speed-up.
+        assert high_ccr <= low_ccr * 1.05
+        assert "Figure 8" in result.table()
+
+
+class TestTables:
+    def test_solve_time_records(self, small_platform):
+        records = tables.solve_time_table(
+            graph_ids=(3,), ccrs=(0.775,), platform=small_platform,
+            time_limit=60.0,
+        )
+        assert len(records) == 1
+        record = records[0]
+        assert record.solve_time < 60.0
+        assert record.n_vars > 0 and record.n_integer > 0
+        text = tables.format_solve_table(records)
+        assert "max solve time" in text
+
+    def test_beta_ablation(self, small_platform):
+        text = tables.beta_ablation_table(
+            graph_id=3, platform=small_platform, time_limit=120.0
+        )
+        assert "integral β" in text and "continuous β" in text
+
+    def test_strengthening_ablation(self, small_platform):
+        text = tables.strengthening_ablation_table(
+            graph_id=3, platform=small_platform, time_limit=120.0
+        )
+        assert "paper-literal" in text
+        assert "symmetry breaking" in text

@@ -1,0 +1,179 @@
+"""Tests for the bounded-multiport max-min fair flow model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator import FlowNetwork
+
+
+def net(bw=100.0, n=3, **kw):
+    caps = {}
+    for pe in range(n):
+        caps[("out", pe)] = bw
+        caps[("in", pe)] = bw
+    return FlowNetwork(caps, **kw)
+
+
+class TestMaxMin:
+    def test_single_flow_full_bandwidth(self):
+        network = net()
+        f = network.start_flow(("out", 0), ("in", 1), 1000.0)
+        network.allocate()
+        assert f.rate == pytest.approx(100.0)
+
+    def test_two_flows_share_receiver(self):
+        network = net()
+        f1 = network.start_flow(("out", 0), ("in", 2), 1000.0)
+        f2 = network.start_flow(("out", 1), ("in", 2), 1000.0)
+        network.allocate()
+        assert f1.rate == pytest.approx(50.0)
+        assert f2.rate == pytest.approx(50.0)
+
+    def test_max_min_not_proportional(self):
+        # Flows: A:0->1, B:0->2, C:3->2.  Port out0 is shared by A and B,
+        # port in2 by B and C.  Max-min: everyone 50, then A and C top up
+        # to their residual 50 -> A=50? No: out0 gives A 50, in2 gives C 50;
+        # A's in1 and C's out3 are free, so A and C rise to 50+residual.
+        network = net(n=4)
+        a = network.start_flow(("out", 0), ("in", 1), 1e6)
+        b = network.start_flow(("out", 0), ("in", 2), 1e6)
+        c = network.start_flow(("out", 3), ("in", 2), 1e6)
+        network.allocate()
+        # b is constrained on both ports to the fair share 50; a and c can
+        # then use the residual 50 on their private ports.
+        assert b.rate == pytest.approx(50.0)
+        assert a.rate == pytest.approx(50.0)
+        assert c.rate == pytest.approx(50.0)
+
+    def test_asymmetric_bottleneck(self):
+        caps = {("out", 0): 100.0, ("in", 1): 30.0}
+        network = FlowNetwork(caps)
+        f = network.start_flow(("out", 0), ("in", 1), 1000.0)
+        network.allocate()
+        assert f.rate == pytest.approx(30.0)
+
+    def test_memory_endpoint_unconstrained(self):
+        network = net()
+        f1 = network.start_flow(None, ("in", 0), 1000.0)  # MEM -> PE0
+        f2 = network.start_flow(("out", 0), None, 1000.0)  # PE0 -> MEM
+        network.allocate()
+        # Only the PE interface constrains each flow.
+        assert f1.rate == pytest.approx(100.0)
+        assert f2.rate == pytest.approx(100.0)
+
+    def test_capacities_never_exceeded(self):
+        network = net(bw=40.0)
+        import random
+
+        rng = random.Random(0)
+        for _ in range(20):
+            src = ("out", rng.randrange(3))
+            dst = ("in", rng.randrange(3))
+            network.start_flow(src, dst, 100.0)
+        network.allocate()
+        network.check_capacities()
+        usage = network.utilisation()
+        for port, used in usage.items():
+            assert used <= 40.0 * (1 + 1e-9)
+
+    def test_pareto_no_free_capacity_left(self):
+        # Max-min is Pareto: every flow touches at least one full port.
+        network = net(bw=60.0)
+        flows = [
+            network.start_flow(("out", 0), ("in", 1), 1e6),
+            network.start_flow(("out", 0), ("in", 2), 1e6),
+            network.start_flow(("out", 1), ("in", 2), 1e6),
+        ]
+        network.allocate()
+        usage = network.utilisation()
+        for f in flows:
+            ports = [p for p in (f.src_port, f.dst_port) if p is not None]
+            assert any(
+                usage[p] == pytest.approx(60.0) for p in ports
+            ), f"flow {f.flow_id} could still grow"
+
+    def test_epoch_bumped_on_allocate(self):
+        network = net()
+        f = network.start_flow(("out", 0), ("in", 1), 10.0)
+        before = f.epoch
+        network.allocate()
+        assert f.epoch == before + 1
+
+    def test_advance_decrements(self):
+        network = net()
+        f = network.start_flow(("out", 0), ("in", 1), 1000.0)
+        network.allocate()
+        network.advance(2.0)
+        assert f.remaining == pytest.approx(800.0)
+        network.advance(100.0)
+        assert f.remaining == 0.0
+        with pytest.raises(SimulationError):
+            network.advance(-1.0)
+
+    def test_finish_flow(self):
+        network = net()
+        f = network.start_flow(("out", 0), ("in", 1), 10.0)
+        network.finish_flow(f.flow_id)
+        assert not network.flows
+        with pytest.raises(SimulationError):
+            network.finish_flow(f.flow_id)
+
+    def test_unknown_port_rejected(self):
+        network = net()
+        with pytest.raises(SimulationError):
+            network.start_flow(("out", 99), ("in", 0), 10.0)
+
+
+class TestEib:
+    def test_eib_cap_binds_aggregate(self):
+        network = net(bw=100.0, n=4, eib_bw=150.0)
+        flows = [
+            network.start_flow(("out", i), ("in", i + 2), 1e6) for i in range(2)
+        ]
+        network.allocate()
+        total = sum(f.rate for f in flows)
+        assert total == pytest.approx(150.0)
+
+    def test_paper_claim_eib_never_binds_at_scale(self):
+        # 8 interfaces at 25 GB/s = the 200 GB/s ring: with one flow per
+        # interface pair the ring cannot be the bottleneck (§2.1).
+        caps = {}
+        for pe in range(8):
+            caps[("out", pe)] = 25_000.0
+            caps[("in", pe)] = 25_000.0
+        network = FlowNetwork(caps, eib_bw=200_000.0)
+        flows = [
+            network.start_flow(("out", i), ("in", (i + 1) % 8), 1e9)
+            for i in range(8)
+        ]
+        network.allocate()
+        for f in flows:
+            assert f.rate == pytest.approx(25_000.0)
+
+
+class TestSerial:
+    def test_one_flow_at_a_time_per_port(self):
+        network = net(serial=True)
+        f1 = network.start_flow(("out", 0), ("in", 1), 1e6)
+        f2 = network.start_flow(("out", 0), ("in", 2), 1e6)
+        network.allocate()
+        assert f1.rate == pytest.approx(100.0)  # FIFO head
+        assert f2.rate == 0.0
+
+    def test_disjoint_flows_run_concurrently(self):
+        network = net(serial=True)
+        f1 = network.start_flow(("out", 0), ("in", 1), 1e6)
+        f2 = network.start_flow(("out", 2), ("in", 0), 1e6)
+        network.allocate()
+        assert f1.rate > 0 and f2.rate > 0
+
+    def test_serial_never_faster_than_maxmin_total(self):
+        fair = net()
+        serial = net(serial=True)
+        for network in (fair, serial):
+            network.start_flow(("out", 0), ("in", 1), 1e6)
+            network.start_flow(("out", 0), ("in", 1), 1e6)
+            network.allocate()
+        assert sum(f.rate for f in serial.flows.values()) <= sum(
+            f.rate for f in fair.flows.values()
+        ) + 1e-9

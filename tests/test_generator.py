@@ -1,0 +1,216 @@
+"""Tests for the workload generators: DagGen topologies, shapes, costs."""
+
+import pytest
+
+from repro.errors import GeneratorError
+from repro.generator import (
+    BASE_CCR,
+    PAPER_CCRS,
+    CostModel,
+    assign_costs,
+    butterfly,
+    ccr_variants,
+    chain,
+    diamond,
+    fork_join,
+    paper_suite,
+    random_graph_1,
+    random_graph_2,
+    random_graph_3,
+    random_topology,
+    rescale_ccr,
+)
+from repro.graph import StreamGraph, ccr as graph_ccr
+
+
+class TestDagGen:
+    def test_task_count_exact(self):
+        for n in (1, 7, 50, 94):
+            topo = random_topology(n, seed=1)
+            assert topo.n_tasks == n
+
+    def test_every_non_root_has_parent(self):
+        topo = random_topology(40, seed=2)
+        children = {dst for _s, dst in topo.edges}
+        for layer in topo.layers[1:]:
+            for task in layer:
+                assert task in children
+
+    def test_edges_go_forward(self):
+        topo = random_topology(60, fat=0.6, jump=3, seed=3)
+        level = {}
+        for depth, layer in enumerate(topo.layers):
+            for task in layer:
+                level[task] = depth
+        for src, dst in topo.edges:
+            assert level[src] < level[dst]
+
+    def test_jump_bounds_edge_span(self):
+        topo = random_topology(60, fat=0.6, jump=2, seed=4)
+        level = {}
+        for depth, layer in enumerate(topo.layers):
+            for task in layer:
+                level[task] = depth
+        assert all(level[d] - level[s] <= 2 for s, d in topo.edges)
+
+    def test_fat_controls_width(self):
+        narrow = random_topology(64, fat=0.15, seed=5)
+        wide = random_topology(64, fat=1.5, seed=5)
+        assert max(len(l) for l in wide.layers) > max(
+            len(l) for l in narrow.layers
+        )
+
+    def test_deterministic_per_seed(self):
+        a = random_topology(30, seed=9)
+        b = random_topology(30, seed=9)
+        assert a.edges == b.edges and a.layers == b.layers
+        c = random_topology(30, seed=10)
+        assert a.edges != c.edges or a.layers != c.layers
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_tasks=0),
+            dict(n_tasks=5, fat=0),
+            dict(n_tasks=5, regularity=2),
+            dict(n_tasks=5, density=-0.1),
+            dict(n_tasks=5, jump=0),
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(GeneratorError):
+            random_topology(**kwargs)
+
+
+class TestShapes:
+    def test_chain(self):
+        topo = chain(5)
+        assert topo.n_tasks == 5 and topo.n_edges == 4
+        assert topo.edges == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_fork_join(self):
+        topo = fork_join(3, branch_length=2)
+        assert topo.n_tasks == 1 + 6 + 1
+        # Source fans out to 3, sink joins 3.
+        sources = [e for e in topo.edges if e[0] == 0]
+        assert len(sources) == 3
+
+    def test_diamond(self):
+        topo = diamond(4)
+        assert topo.n_tasks == 6
+
+    def test_butterfly(self):
+        topo = butterfly(3, 2)
+        assert topo.n_tasks == 6
+        assert topo.n_edges == 2 * 2 * 2  # full bipartite between stages
+
+    @pytest.mark.parametrize("builder,args", [(chain, (0,)), (fork_join, (0,)), (butterfly, (0, 1))])
+    def test_invalid(self, builder, args):
+        with pytest.raises(GeneratorError):
+            builder(*args)
+
+
+class TestCosts:
+    def test_target_ccr_hit_exactly(self):
+        topo = random_topology(30, seed=6)
+        for target in (0.5, 0.775, 2.0, 4.6):
+            graph = assign_costs(topo, ccr=target, seed=6)
+            assert graph_ccr(graph) == pytest.approx(target, rel=1e-9)
+
+    def test_cost_ranges(self):
+        model = CostModel(wppe_range=(10.0, 20.0), spe_ratio_range=(2.0, 3.0))
+        graph = assign_costs(random_topology(40, seed=7), ccr=1.0, seed=7, model=model)
+        for task in graph.tasks():
+            assert 10.0 <= task.wppe <= 20.0
+            assert 2.0 - 1e-9 <= task.wspe / task.wppe <= 3.0 + 1e-9
+
+    def test_ops_recorded(self):
+        model = CostModel(ops_per_us=4.0)
+        graph = assign_costs(random_topology(10, seed=8), ccr=1.0, seed=8, model=model)
+        for task in graph.tasks():
+            assert task.ops == pytest.approx(task.wppe * 4.0)
+
+    def test_sources_read_sinks_write(self):
+        graph = assign_costs(random_topology(25, seed=9), ccr=1.0, seed=9)
+        for name in graph.sources():
+            assert graph.task(name).read > 0
+        for name in graph.sinks():
+            assert graph.task(name).write > 0
+        interior = (
+            set(graph.task_names()) - set(graph.sources()) - set(graph.sinks())
+        )
+        for name in interior:
+            task = graph.task(name)
+            assert task.read == 0 and task.write == 0
+
+    def test_peek_from_choices(self):
+        model = CostModel(peek_choices=(3,))
+        graph = assign_costs(random_topology(10, seed=1), ccr=1.0, seed=1, model=model)
+        assert all(t.peek == 3 for t in graph.tasks())
+
+    def test_invalid_model(self):
+        with pytest.raises(GeneratorError):
+            CostModel(wppe_range=(5.0, 1.0))
+        with pytest.raises(GeneratorError):
+            CostModel(peek_choices=())
+        with pytest.raises(GeneratorError):
+            CostModel(ops_per_us=0.0)
+
+    def test_negative_ccr_rejected(self):
+        with pytest.raises(GeneratorError):
+            assign_costs(random_topology(5, seed=0), ccr=-1.0)
+
+
+class TestRescaleCCR:
+    def test_rescale_exact(self):
+        graph = assign_costs(random_topology(20, seed=3), ccr=1.0, seed=3)
+        scaled = rescale_ccr(graph, 3.0)
+        assert graph_ccr(scaled) == pytest.approx(3.0)
+
+    def test_compute_costs_unchanged(self):
+        graph = assign_costs(random_topology(20, seed=3), ccr=1.0, seed=3)
+        scaled = rescale_ccr(graph, 4.0)
+        for task in graph.tasks():
+            assert scaled.task(task.name).wppe == task.wppe
+            assert scaled.task(task.name).wspe == task.wspe
+
+    def test_memory_io_scales_with_payloads(self):
+        graph = assign_costs(random_topology(20, seed=3), ccr=1.0, seed=3)
+        scaled = rescale_ccr(graph, 2.0)
+        src = graph.sources()[0]
+        assert scaled.task(src).read == pytest.approx(graph.task(src).read * 2.0)
+
+
+class TestPaperGraphs:
+    def test_sizes(self):
+        assert random_graph_1().n_tasks == 50
+        assert random_graph_2().n_tasks == 94
+        g3 = random_graph_3()
+        assert g3.n_tasks == 50
+        assert g3.n_edges == 49  # a simple chain
+        assert g3.depth() == 50
+
+    def test_base_ccr(self):
+        for graph in paper_suite():
+            assert graph_ccr(graph) == pytest.approx(BASE_CCR)
+
+    def test_deterministic(self):
+        assert random_graph_1() == random_graph_1()
+
+    def test_ccr_variants(self):
+        variants = ccr_variants(3)
+        assert set(variants) == set(PAPER_CCRS)
+        for target, graph in variants.items():
+            assert graph_ccr(graph) == pytest.approx(target, rel=1e-9)
+        # Same topology and compute across variants.
+        base = variants[PAPER_CCRS[0]]
+        other = variants[PAPER_CCRS[-1]]
+        assert base.task_names() == other.task_names()
+        assert [e.key for e in base.edges()] == [e.key for e in other.edges()]
+        assert base.task("T5").wppe == other.task("T5").wppe
+
+    def test_paper_ccr_range(self):
+        # §6.2: CCR from 0.775 to 4.6.
+        assert PAPER_CCRS[0] == 0.775
+        assert PAPER_CCRS[-1] == 4.6
+        assert len(PAPER_CCRS) == 6

@@ -1,0 +1,187 @@
+"""Tests for repro.graph: tasks, edges, the StreamGraph container."""
+
+import pytest
+
+from repro.errors import CycleError, GraphError
+from repro.graph import DataEdge, StreamGraph, Task
+from repro.platform import PEKind
+
+
+def t(name, wppe=10.0, wspe=5.0, **kw):
+    return Task(name, wppe=wppe, wspe=wspe, **kw)
+
+
+class TestTask:
+    def test_cost_on(self):
+        task = t("a", wppe=7.0, wspe=3.0)
+        assert task.cost_on(PEKind.PPE) == 7.0
+        assert task.cost_on(PEKind.SPE) == 3.0
+
+    def test_operation_count_defaults_to_wppe(self):
+        assert t("a", wppe=12.0).operation_count == 12.0
+        assert t("a", wppe=12.0, ops=99.0).operation_count == 99.0
+
+    def test_scaled(self):
+        task = t("a", wppe=10.0, wspe=4.0).scaled(2.0)
+        assert task.wppe == 20.0 and task.wspe == 8.0
+        with pytest.raises(GraphError):
+            t("a").scaled(0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(name="", wppe=1, wspe=1),
+            dict(name="a", wppe=-1, wspe=1),
+            dict(name="a", wppe=0, wspe=0),
+            dict(name="a", wppe=1, wspe=1, read=-1),
+            dict(name="a", wppe=1, wspe=1, write=-1),
+            dict(name="a", wppe=1, wspe=1, peek=-1),
+            dict(name="a", wppe=1, wspe=1, ops=-1),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(GraphError):
+            Task(**kwargs)
+
+    def test_zero_cost_on_one_class_allowed(self):
+        # Unrelated machines: a task may be instantaneous on one class.
+        assert Task("a", wppe=0.0, wspe=1.0).wppe == 0.0
+
+
+class TestDataEdge:
+    def test_key_and_scale(self):
+        edge = DataEdge("a", "b", 100.0)
+        assert edge.key == ("a", "b")
+        assert edge.scaled(0.5).data == 50.0
+
+    @pytest.mark.parametrize(
+        "args", [("a", "a", 1.0), ("", "b", 1.0), ("a", "b", -1.0)]
+    )
+    def test_invalid(self, args):
+        with pytest.raises(GraphError):
+            DataEdge(*args)
+
+
+class TestStreamGraph:
+    def diamond(self):
+        g = StreamGraph("diamond")
+        for name in "abcd":
+            g.add_task(t(name))
+        g.add_edge(DataEdge("a", "b", 1.0))
+        g.add_edge(DataEdge("a", "c", 2.0))
+        g.add_edge(DataEdge("b", "d", 3.0))
+        g.add_edge(DataEdge("c", "d", 4.0))
+        return g
+
+    def test_counts(self):
+        g = self.diamond()
+        assert g.n_tasks == 4 and g.n_edges == 4
+        assert len(g) == 4
+        assert "a" in g and "z" not in g
+
+    def test_duplicate_task(self):
+        g = StreamGraph()
+        g.add_task(t("a"))
+        with pytest.raises(GraphError):
+            g.add_task(t("a"))
+
+    def test_duplicate_edge(self):
+        g = self.diamond()
+        with pytest.raises(GraphError):
+            g.add_edge(DataEdge("a", "b", 9.0))
+
+    def test_edge_with_unknown_endpoint(self):
+        g = StreamGraph()
+        g.add_task(t("a"))
+        with pytest.raises(GraphError):
+            g.add_edge(DataEdge("a", "ghost", 1.0))
+
+    def test_neighbours(self):
+        g = self.diamond()
+        assert set(g.successors("a")) == {"b", "c"}
+        assert set(g.predecessors("d")) == {"b", "c"}
+        assert g.in_degree("d") == 2 and g.out_degree("a") == 2
+        assert [e.key for e in g.out_edges("a")] == [("a", "b"), ("a", "c")]
+        assert g.edge("c", "d").data == 4.0
+        assert g.has_edge("a", "b") and not g.has_edge("b", "a")
+
+    def test_unknown_lookups(self):
+        g = self.diamond()
+        with pytest.raises(GraphError):
+            g.task("nope")
+        with pytest.raises(GraphError):
+            g.edge("a", "d")
+        with pytest.raises(GraphError):
+            g.successors("nope")
+
+    def test_sources_sinks(self):
+        g = self.diamond()
+        assert g.sources() == ["a"]
+        assert g.sinks() == ["d"]
+
+    def test_topological_order(self):
+        g = self.diamond()
+        order = g.topological_order()
+        pos = {n: i for i, n in enumerate(order)}
+        for e in g.edges():
+            assert pos[e.src] < pos[e.dst]
+
+    def test_cycle_detection(self):
+        g = StreamGraph()
+        for name in "abc":
+            g.add_task(t(name))
+        g.add_edge(DataEdge("a", "b", 1))
+        g.add_edge(DataEdge("b", "c", 1))
+        g.add_edge(DataEdge("c", "a", 1))
+        assert not g.is_acyclic()
+        with pytest.raises(CycleError):
+            g.topological_order()
+
+    def test_validate_empty(self):
+        with pytest.raises(GraphError):
+            StreamGraph().validate()
+
+    def test_depth_width_levels(self):
+        g = self.diamond()
+        assert g.depth() == 3
+        assert g.width() == 2
+        levels = g.levels()
+        assert levels == {"a": 0, "b": 1, "c": 1, "d": 2}
+
+    def test_copy_and_equality(self):
+        g = self.diamond()
+        h = g.copy()
+        assert g == h
+        h.replace_edge(DataEdge("a", "b", 42.0))
+        assert g != h
+
+    def test_scaled(self):
+        g = self.diamond().scaled(compute_factor=2.0, data_factor=10.0)
+        assert g.task("a").wppe == 20.0
+        assert g.edge("a", "b").data == 10.0
+
+    def test_replace_task(self):
+        g = self.diamond()
+        g.replace_task(t("a", wppe=99.0))
+        assert g.task("a").wppe == 99.0
+        with pytest.raises(GraphError):
+            g.replace_task(t("ghost"))
+
+    def test_chain_of(self):
+        tasks = [t(f"s{i}") for i in range(4)]
+        g = StreamGraph.chain_of(tasks, [1.0, 2.0, 3.0])
+        assert g.sources() == ["s0"] and g.sinks() == ["s3"]
+        assert g.depth() == 4 and g.width() == 1
+        with pytest.raises(GraphError):
+            StreamGraph.chain_of(tasks, [1.0])
+
+    def test_from_parts_validates(self):
+        with pytest.raises(GraphError):
+            StreamGraph.from_parts([], [])
+
+    def test_to_networkx(self):
+        nx_graph = self.diamond().to_networkx()
+        assert nx_graph.number_of_nodes() == 4
+        assert nx_graph.number_of_edges() == 4
+        assert nx_graph.nodes["a"]["wppe"] == 10.0
+        assert nx_graph.edges[("c", "d")]["data"] == 4.0

@@ -1,0 +1,120 @@
+"""Tests for repro.graph.analysis (CCR, critical path) and repro.graph.io."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    DataEdge,
+    StreamGraph,
+    Task,
+    ccr,
+    critical_path_time,
+    graph_stats,
+    total_compute,
+    total_data_bytes,
+    total_elements,
+    total_operations,
+)
+from repro.graph.analysis import ELEMENT_BYTES
+from repro.graph.io import dumps, from_dict, load, loads, save, to_dict, to_dot
+
+
+def simple_graph():
+    g = StreamGraph("g")
+    g.add_task(Task("a", wppe=10.0, wspe=5.0, read=64.0, peek=1))
+    g.add_task(Task("b", wppe=20.0, wspe=40.0, write=32.0, stateful=True))
+    g.add_edge(DataEdge("a", "b", 400.0))
+    return g
+
+
+class TestAnalysis:
+    def test_totals(self):
+        g = simple_graph()
+        assert total_data_bytes(g) == 400.0
+        assert total_elements(g) == 400.0 / ELEMENT_BYTES == 100.0
+        assert total_operations(g) == 30.0  # ops default to wppe
+        assert total_compute(g, "ppe") == 30.0
+        assert total_compute(g, "spe") == 45.0
+        assert total_compute(g, "min") == 25.0
+        with pytest.raises(ValueError):
+            total_compute(g, "avg")
+
+    def test_ccr_definition(self):
+        # §6.2: CCR = transferred elements / operations.
+        g = simple_graph()
+        assert ccr(g) == pytest.approx(100.0 / 30.0)
+
+    def test_ccr_uses_explicit_ops(self):
+        g = StreamGraph("g")
+        g.add_task(Task("a", wppe=10.0, wspe=5.0, ops=1000.0))
+        g.add_task(Task("b", wppe=10.0, wspe=5.0, ops=1000.0))
+        g.add_edge(DataEdge("a", "b", 8000.0))
+        assert ccr(g) == pytest.approx(2000.0 / 2000.0)
+
+    def test_ccr_degenerate(self):
+        g = StreamGraph("g")
+        g.add_task(Task("a", wppe=0.0, wspe=1.0, ops=0.0))
+        assert ccr(g) == 0.0
+
+    def test_critical_path(self):
+        g = StreamGraph("g")
+        for name, wppe, wspe in [("a", 10, 20), ("b", 30, 10), ("c", 5, 50)]:
+            g.add_task(Task(name, wppe=wppe, wspe=wspe))
+        g.add_edge(DataEdge("a", "b", 1))
+        g.add_edge(DataEdge("a", "c", 1))
+        # min costs: a=10, b=10, c=5 -> longest path a->b = 20
+        assert critical_path_time(g, "min") == 20.0
+        assert critical_path_time(g, "ppe") == 40.0  # a->b on PPE costs
+        with pytest.raises(ValueError):
+            critical_path_time(g, "nope")
+
+    def test_stats(self):
+        stats = graph_stats(simple_graph())
+        assert stats.n_tasks == 2 and stats.n_edges == 1
+        assert stats.depth == 2 and stats.width == 1
+        assert stats.max_peek == 1
+        assert stats.n_stateful == 1
+        assert "g:" in str(stats)
+
+
+class TestIO:
+    def test_round_trip_dict(self):
+        g = simple_graph()
+        assert from_dict(to_dict(g)) == g
+
+    def test_round_trip_text(self):
+        g = simple_graph()
+        assert loads(dumps(g)) == g
+
+    def test_round_trip_file(self, tmp_path):
+        g = simple_graph()
+        path = save(g, tmp_path / "graph.json")
+        assert load(path) == g
+
+    def test_ops_preserved(self):
+        g = StreamGraph("g")
+        g.add_task(Task("a", wppe=1.0, wspe=1.0, ops=123.0))
+        again = from_dict(to_dict(g))
+        assert again.task("a").ops == 123.0
+
+    def test_malformed_payload(self):
+        with pytest.raises(GraphError):
+            from_dict({"name": "x"})
+        with pytest.raises(GraphError):
+            from_dict({"tasks": [{"bogus": 1}], "edges": []})
+
+    def test_dot_output(self):
+        g = simple_graph()
+        dot = to_dot(g)
+        assert "digraph" in dot
+        assert '"a" -> "b"' in dot
+        assert "peek=1" in dot
+
+    def test_dot_with_mapping(self):
+        from repro.platform import CellPlatform
+        from repro.steady_state import Mapping
+
+        g = simple_graph()
+        mapping = Mapping.all_on_ppe(g, CellPlatform.qs22())
+        dot = to_dot(g, mapping)
+        assert "fillcolor" in dot

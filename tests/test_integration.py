@@ -1,0 +1,99 @@
+"""End-to-end integration tests: the full paper pipeline on small inputs."""
+
+import pytest
+
+from repro import CellPlatform, Mapping, analyze, solve_optimal_mapping
+from repro.generator import assign_costs, chain, random_topology, rescale_ccr
+from repro.graph import ccr as graph_ccr
+from repro.graph.io import loads, dumps
+from repro.heuristics import greedy_cpu, greedy_mem, local_search
+from repro.simulator import SimConfig, simulate
+from repro.steady_state import build_schedule
+
+
+@pytest.fixture(scope="module")
+def pipeline_graph():
+    return assign_costs(random_topology(18, fat=0.5, seed=42), ccr=0.775, seed=42)
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CellPlatform.qs22().with_spes(4)
+
+
+class TestFullPipeline:
+    def test_solve_simulate_verify(self, pipeline_graph, platform):
+        """The quickstart workflow: solve -> schedule -> simulate -> check."""
+        result = solve_optimal_mapping(pipeline_graph, platform)
+        schedule = build_schedule(result.mapping)
+        assert schedule.period_length == pytest.approx(result.period)
+
+        sim = simulate(result.mapping, 500, SimConfig.ideal())
+        assert sim.efficiency() == pytest.approx(1.0, abs=0.04)
+
+        real = simulate(result.mapping, 500, SimConfig.realistic())
+        assert 0.80 <= real.efficiency() <= 1.0
+
+    def test_strategy_ordering_measured(self, pipeline_graph, platform):
+        """MILP >= greedy on both the model and the simulator (§6.4.2)."""
+        config = SimConfig.realistic()
+        milp = solve_optimal_mapping(pipeline_graph, platform).mapping
+        rates = {}
+        for name, mapping in [
+            ("milp", milp),
+            ("greedy_cpu", greedy_cpu(pipeline_graph, platform)),
+            ("greedy_mem", greedy_mem(pipeline_graph, platform)),
+            ("ppe", Mapping.all_on_ppe(pipeline_graph, platform)),
+        ]:
+            rates[name] = simulate(
+                mapping, 400, config
+            ).steady_state_throughput()
+        assert rates["milp"] >= rates["greedy_cpu"] * 0.95
+        assert rates["milp"] >= rates["greedy_mem"] * 0.95
+        assert rates["milp"] > rates["ppe"]
+
+    def test_local_search_closes_gap(self, pipeline_graph, platform):
+        milp_period = solve_optimal_mapping(pipeline_graph, platform, mip_rel_gap=None).period
+        refined = local_search(
+            greedy_cpu(pipeline_graph, platform), max_rounds=30
+        )
+        refined_period = analyze(refined).period
+        greedy_period = analyze(greedy_cpu(pipeline_graph, platform)).period
+        assert milp_period <= refined_period + 1e-9 <= greedy_period + 1e-9
+
+    def test_json_round_trip_preserves_solution(self, pipeline_graph, platform):
+        clone = loads(dumps(pipeline_graph))
+        a = solve_optimal_mapping(pipeline_graph, platform, mip_rel_gap=None)
+        b = solve_optimal_mapping(clone, platform, mip_rel_gap=None)
+        assert a.period == pytest.approx(b.period)
+
+    def test_ccr_rescale_pipeline(self, platform):
+        base = assign_costs(chain(10), ccr=0.775, seed=3)
+        heavy = rescale_ccr(base, 4.6)
+        assert graph_ccr(heavy) == pytest.approx(4.6)
+        light_result = solve_optimal_mapping(base, platform, mip_rel_gap=None)
+        heavy_result = solve_optimal_mapping(heavy, platform, mip_rel_gap=None)
+        # More communication can never help: the optimal period cannot
+        # shrink when every payload grows.
+        assert heavy_result.period >= light_result.period - 1e-9
+
+    def test_peek_graph_full_stack(self, platform):
+        from repro.generator import CostModel
+
+        graph = assign_costs(
+            chain(8),
+            ccr=1.0,
+            seed=11,
+            model=CostModel(peek_choices=(2,)),
+        )
+        result = solve_optimal_mapping(graph, platform)
+        sim = simulate(result.mapping, 300, SimConfig.realistic())
+        assert len(sim.completion_times) == 300
+
+    def test_ps3_vs_qs22_same_spe_count(self, pipeline_graph):
+        """§6.4: results on the PS3 match the QS22 at 6 SPEs."""
+        ps3 = CellPlatform.playstation3()
+        qs22_6 = CellPlatform.qs22().with_spes(6)
+        r_ps3 = solve_optimal_mapping(pipeline_graph, ps3, mip_rel_gap=None)
+        r_qs22 = solve_optimal_mapping(pipeline_graph, qs22_6, mip_rel_gap=None)
+        assert r_ps3.period == pytest.approx(r_qs22.period, rel=1e-6)

@@ -1,0 +1,201 @@
+"""Tests for the LP/MILP substrate: modelling layer, HiGHS backend, B&B."""
+
+import math
+
+import pytest
+
+from repro.errors import InfeasibleModelError, SolverError, UnboundedModelError
+from repro.lp import Model, lpsum, solve, solve_branch_bound
+
+
+class TestModelLayer:
+    def test_expression_arithmetic(self):
+        m = Model()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        expr = 2 * x + 3 * y - 4 + x / 2
+        assert expr.terms[x.index] == pytest.approx(2.5)
+        assert expr.terms[y.index] == pytest.approx(3.0)
+        assert expr.constant == pytest.approx(-4.0)
+        neg = -expr
+        assert neg.terms[x.index] == pytest.approx(-2.5)
+        rsub = 10 - x
+        assert rsub.constant == 10 and rsub.terms[x.index] == -1
+
+    def test_expression_value(self):
+        m = Model()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        expr = 2 * x + y + 1
+        assert expr.value([3.0, 4.0]) == pytest.approx(11.0)
+
+    def test_nonlinear_rejected(self):
+        m = Model()
+        x = m.add_var("x")
+        with pytest.raises(TypeError):
+            x * x  # noqa: B018
+        with pytest.raises(TypeError):
+            (x + 1) * (x + 1)
+
+    def test_constraint_senses(self):
+        m = Model()
+        x = m.add_var("x")
+        le = x <= 5
+        ge = x >= 2
+        eq = x == 3
+        assert le.sense == "<=" and eq.sense == "=="
+        # x >= 2 is normalised to 2 - x <= 0.
+        assert ge.sense == "<=" and ge.expr.terms[x.index] == -1
+
+    def test_constraint_violation(self):
+        m = Model()
+        x = m.add_var("x")
+        c = x <= 5
+        assert c.violation([7.0]) == pytest.approx(2.0)
+        assert c.violation([4.0]) == 0.0
+        assert (x == 3).violation([5.0]) == pytest.approx(2.0)
+
+    def test_add_constraint_guards(self):
+        m = Model()
+        with pytest.raises(SolverError):
+            m.add_constraint(True)  # the classic number<=number mistake
+
+    def test_bad_bounds(self):
+        m = Model()
+        with pytest.raises(SolverError):
+            m.add_var("x", lb=3, ub=2)
+
+    def test_lpsum(self):
+        m = Model()
+        xs = [m.add_var(f"x{i}") for i in range(100)]
+        expr = lpsum(xs)
+        assert len(expr.terms) == 100
+        assert lpsum([]).constant == 0.0
+        assert lpsum([1, 2, 3]).constant == 6.0
+
+    def test_stats(self):
+        m = Model("demo")
+        m.add_var("x")
+        m.add_binary("b")
+        assert m.n_vars == 2 and m.n_integer_vars == 1
+        assert m.is_mip()
+        assert "demo" in m.stats()
+
+
+class TestScipyBackend:
+    def make_lp(self):
+        # max x + 2y s.t. x + y <= 4, x <= 3, y <= 2  -> optimum (2, 2) = 6.
+        m = Model("lp")
+        x = m.add_var("x", ub=3)
+        y = m.add_var("y", ub=2)
+        m.add_constraint(x + y <= 4)
+        m.maximize(x + 2 * y)
+        return m, x, y
+
+    def test_pure_lp(self):
+        m, x, y = self.make_lp()
+        sol = solve(m)
+        assert sol.objective == pytest.approx(6.0)
+        assert sol.value(y) == pytest.approx(2.0)
+        assert sol.value(x + y) == pytest.approx(4.0)
+
+    def test_knapsack_mip(self):
+        # Classic 0/1 knapsack: values 60,100,120; weights 10,20,30; cap 50.
+        m = Model("knapsack")
+        xs = [m.add_binary(f"x{i}") for i in range(3)]
+        m.add_constraint(10 * xs[0] + 20 * xs[1] + 30 * xs[2] <= 50)
+        m.maximize(60 * xs[0] + 100 * xs[1] + 120 * xs[2])
+        sol = solve(m)
+        assert sol.objective == pytest.approx(220.0)
+        assert [round(sol.value(x)) for x in xs] == [0, 1, 1]
+
+    def test_equality_constraints(self):
+        m = Model()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        m.add_constraint(x + y == 10)
+        m.minimize(x - y)
+        sol = solve(m)
+        assert sol.value(x) == pytest.approx(0.0)
+        assert sol.value(y) == pytest.approx(10.0)
+
+    def test_objective_constant(self):
+        m = Model()
+        x = m.add_var("x", lb=1, ub=5)
+        m.minimize(x + 100)
+        assert solve(m).objective == pytest.approx(101.0)
+
+    def test_infeasible(self):
+        m = Model()
+        x = m.add_var("x", ub=1)
+        m.add_constraint(x >= 2)
+        m.minimize(x)
+        with pytest.raises(InfeasibleModelError):
+            solve(m)
+
+    def test_unbounded(self):
+        m = Model()
+        x = m.add_var("x")
+        m.maximize(x)
+        with pytest.raises(UnboundedModelError):
+            solve(m)
+
+    def test_no_objective(self):
+        m = Model()
+        m.add_var("x")
+        with pytest.raises(SolverError):
+            solve(m)
+
+    def test_relax_integrality(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constraint(2 * x <= 1)
+        m.maximize(x)
+        assert solve(m).objective == pytest.approx(0.0)  # integral
+        assert solve(m, relax_integrality=True).objective == pytest.approx(0.5)
+
+    def test_mip_gap_option_accepted(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.maximize(x)
+        sol = solve(m, mip_rel_gap=0.05, time_limit=10)
+        assert sol.objective == pytest.approx(1.0)
+
+
+class TestBranchBound:
+    def test_agrees_with_highs_on_knapsack(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(5)]
+        weights = [3, 5, 7, 4, 6]
+        values = [8, 11, 14, 9, 13]
+        m.add_constraint(lpsum(w * x for w, x in zip(weights, xs)) <= 12)
+        m.maximize(lpsum(v * x for v, x in zip(values, xs)))
+        exact = solve(m)
+        bb, stats = solve_branch_bound(m)
+        assert bb.objective == pytest.approx(exact.objective)
+        assert stats.nodes_explored >= 1
+        assert stats.incumbents >= 1
+
+    def test_integer_bounds_respected(self):
+        m = Model()
+        x = m.add_var("x", lb=0, ub=10, integer=True)
+        m.add_constraint(2 * x <= 7)
+        m.maximize(x)
+        bb, _ = solve_branch_bound(m)
+        assert bb.objective == pytest.approx(3.0)
+
+    def test_infeasible_detected(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constraint(x >= 0.4)
+        m.add_constraint(x <= 0.6)
+        m.minimize(x)
+        with pytest.raises(InfeasibleModelError):
+            solve_branch_bound(m)
+
+    def test_continuous_only(self):
+        m = Model()
+        x = m.add_var("x", ub=2)
+        m.maximize(x)
+        bb, stats = solve_branch_bound(m)
+        assert bb.objective == pytest.approx(2.0)

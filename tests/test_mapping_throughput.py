@@ -1,0 +1,151 @@
+"""Tests for Mapping and the analytic throughput model (§3–§4)."""
+
+import pytest
+
+from repro.errors import InfeasibleMappingError, MappingError
+from repro.graph import DataEdge, StreamGraph, Task
+from repro.platform import CellPlatform
+from repro.steady_state import (
+    Mapping,
+    analyze,
+    assert_feasible,
+    period,
+    speedup,
+    throughput,
+)
+
+
+class TestMapping:
+    def test_requires_all_tasks(self, two_task_chain, qs22):
+        with pytest.raises(MappingError):
+            Mapping(two_task_chain, qs22, {"a": 0})
+
+    def test_rejects_unknown_task(self, two_task_chain, qs22):
+        with pytest.raises(MappingError):
+            Mapping(two_task_chain, qs22, {"a": 0, "b": 1, "ghost": 2})
+
+    def test_rejects_bad_pe(self, two_task_chain, qs22):
+        with pytest.raises(MappingError):
+            Mapping(two_task_chain, qs22, {"a": 0, "b": 99})
+
+    def test_all_on_ppe(self, two_task_chain, qs22):
+        m = Mapping.all_on_ppe(two_task_chain, qs22)
+        assert m.pe_of("a") == m.pe_of("b") == 0
+        assert m.used_pes() == [0]
+        with pytest.raises(MappingError):
+            Mapping.all_on_ppe(two_task_chain, qs22, ppe=3)  # PE 3 is an SPE
+
+    def test_from_lists(self, two_task_chain, qs22):
+        m = Mapping.from_lists(two_task_chain, qs22, [["a"], ["b"]])
+        assert m.pe_of("b") == 1
+        with pytest.raises(MappingError):
+            Mapping.from_lists(two_task_chain, qs22, [["a", "b"], ["b"]])
+
+    def test_with_assignment(self, two_task_chain, qs22):
+        m = Mapping.all_on_ppe(two_task_chain, qs22)
+        m2 = m.with_assignment("b", 4)
+        assert m.pe_of("b") == 0  # original untouched
+        assert m2.pe_of("b") == 4
+
+    def test_cross_edges(self, two_task_chain, qs22):
+        same = Mapping.all_on_ppe(two_task_chain, qs22)
+        assert same.cross_edges() == []
+        split = Mapping(two_task_chain, qs22, {"a": 0, "b": 1})
+        assert [e.key for e in split.cross_edges()] == [("a", "b")]
+        assert split.n_tasks_on_spes() == 1
+
+    def test_tasks_on_and_summary(self, two_task_chain, qs22):
+        m = Mapping(two_task_chain, qs22, {"a": 0, "b": 1})
+        assert m.tasks_on(0) == ["a"]
+        assert "SPE0" in m.summary()
+
+
+class TestAnalyticThroughput:
+    def test_ppe_only_period_is_total_compute(self, two_task_chain, qs22):
+        m = Mapping.all_on_ppe(two_task_chain, qs22)
+        assert period(m) == pytest.approx(180.0)
+        assert throughput(m) == pytest.approx(1 / 180.0)
+
+    def test_split_period_includes_comm(self, two_task_chain, qs22):
+        m = Mapping(two_task_chain, qs22, {"a": 0, "b": 1})
+        analysis = analyze(m)
+        # Compute: a on PPE = 100, b on SPE = 40.
+        loads = {l.pe_name: l for l in analysis.loads}
+        assert loads["PPE0"].compute == pytest.approx(100.0)
+        assert loads["SPE0"].compute == pytest.approx(40.0)
+        # Communication: 1024 B over 25000 B/µs in each direction.
+        assert loads["PPE0"].comm_out == pytest.approx(1024.0 / 25000.0)
+        assert loads["SPE0"].comm_in == pytest.approx(1024.0 / 25000.0)
+        assert analysis.period == pytest.approx(100.0)
+        assert analysis.bottleneck == ("PPE0", "compute")
+
+    def test_memory_io_counts_as_communication(self, qs22):
+        g = StreamGraph("io")
+        g.add_task(Task("src", wppe=1.0, wspe=1.0, read=50_000.0))
+        g.add_task(Task("dst", wppe=1.0, wspe=1.0, write=25_000.0))
+        g.add_edge(DataEdge("src", "dst", 0.0))
+        m = Mapping.all_on_ppe(g, qs22)
+        analysis = analyze(m)
+        load = analysis.loads[0]
+        assert load.comm_in == pytest.approx(2.0)  # 50 kB / 25 kB/µs
+        assert load.comm_out == pytest.approx(1.0)
+        assert analysis.period == pytest.approx(2.0)  # comm bound
+
+    def test_memory_violation(self, qs22):
+        g = StreamGraph("fat")
+        g.add_task(Task("a", wppe=1.0, wspe=1.0))
+        g.add_task(Task("b", wppe=1.0, wspe=1.0))
+        # Buffer = data * 2 on both sides; blow one local store.
+        g.add_edge(DataEdge("a", "b", qs22.buffer_budget))
+        m = Mapping(g, qs22, {"a": 1, "b": 2})
+        analysis = analyze(m)
+        assert not analysis.feasible
+        kinds = {v.constraint for v in analysis.violations}
+        assert kinds == {"memory"}
+        with pytest.raises(InfeasibleMappingError):
+            assert_feasible(m)
+
+    def test_dma_in_violation(self, qs22):
+        g = StreamGraph("fanin")
+        g.add_task(Task("sink", wppe=1.0, wspe=1.0))
+        for i in range(17):  # one above the 16-slot MFC queue
+            g.add_task(Task(f"s{i}", wppe=1.0, wspe=1.0))
+            g.add_edge(DataEdge(f"s{i}", "sink", 1.0))
+        assignment = {"sink": 1}
+        assignment.update({f"s{i}": 0 for i in range(17)})
+        analysis = analyze(Mapping(g, qs22, assignment))
+        assert any(v.constraint == "dma_in" for v in analysis.violations)
+
+    def test_dma_proxy_violation(self, qs22):
+        g = StreamGraph("fanout")
+        g.add_task(Task("src", wppe=1.0, wspe=1.0))
+        for i in range(9):  # one above the 8-slot proxy queue
+            g.add_task(Task(f"d{i}", wppe=1.0, wspe=1.0))
+            g.add_edge(DataEdge("src", f"d{i}", 1.0))
+        assignment = {"src": 1}
+        assignment.update({f"d{i}": 0 for i in range(9)})  # PPE consumers
+        analysis = analyze(Mapping(g, qs22, assignment))
+        assert any(v.constraint == "dma_proxy" for v in analysis.violations)
+
+    def test_dma_limits_do_not_count_local_edges(self, qs22):
+        g = StreamGraph("local-fanin")
+        g.add_task(Task("sink", wppe=1.0, wspe=1.0))
+        for i in range(20):
+            g.add_task(Task(f"s{i}", wppe=1.0, wspe=1.0))
+            g.add_edge(DataEdge(f"s{i}", "sink", 1.0))
+        everyone_on_spe0 = {name: 1 for name in g.task_names()}
+        analysis = analyze(Mapping(g, qs22, everyone_on_spe0))
+        assert not [v for v in analysis.violations if "dma" in v.constraint]
+
+    def test_speedup_of_reference_is_one(self, two_task_chain, qs22):
+        m = Mapping.all_on_ppe(two_task_chain, qs22)
+        assert speedup(m) == pytest.approx(1.0)
+
+    def test_speedup_improves_with_split(self, diamond_graph, qs22):
+        split = Mapping(diamond_graph, qs22, {"a": 0, "b": 1, "c": 2, "d": 0})
+        assert speedup(split) > 1.5
+
+    def test_report_text(self, two_task_chain, qs22):
+        analysis = analyze(Mapping.all_on_ppe(two_task_chain, qs22))
+        text = analysis.report()
+        assert "period" in text and "bottleneck" in text

@@ -1,0 +1,177 @@
+"""Tests for the §5 MILP: formulation structure and optimality (Theorem 2)."""
+
+import pytest
+
+from repro.complexity import optimal_mapping_brute_force
+from repro.graph import DataEdge, StreamGraph, Task
+from repro.milp import (
+    PAPER_MIP_GAP,
+    build_formulation,
+    ppe_only_period,
+    solve_optimal_mapping,
+)
+from repro.platform import CellPlatform
+from repro.steady_state import Mapping, analyze
+
+
+def small_graph():
+    g = StreamGraph("small")
+    g.add_task(Task("a", wppe=40.0, wspe=90.0))
+    g.add_task(Task("b", wppe=100.0, wspe=30.0))
+    g.add_task(Task("c", wppe=90.0, wspe=25.0))
+    g.add_task(Task("d", wppe=30.0, wspe=80.0, peek=1))
+    g.add_edge(DataEdge("a", "b", 2000.0))
+    g.add_edge(DataEdge("a", "c", 2000.0))
+    g.add_edge(DataEdge("b", "d", 1000.0))
+    g.add_edge(DataEdge("c", "d", 1000.0))
+    return g
+
+
+class TestFormulation:
+    def test_sizes(self, tiny_platform):
+        g = small_graph()
+        f = build_formulation(g, tiny_platform)
+        n = tiny_platform.n_pes
+        assert len(f.alpha) == g.n_tasks * n
+        assert len(f.beta) == g.n_edges * n * n
+        # Only α is integral by default (β-relaxation).
+        assert f.model.n_integer_vars == g.n_tasks * n
+
+    def test_integral_beta_option(self, tiny_platform):
+        g = small_graph()
+        f = build_formulation(g, tiny_platform, integral_beta=True)
+        n = tiny_platform.n_pes
+        assert f.model.n_integer_vars == g.n_tasks * n + g.n_edges * n * n
+
+    def test_constraint_families_present(self, tiny_platform):
+        g = small_graph()
+        f = build_formulation(g, tiny_platform)
+        names = [c.name for c in f.model.constraints]
+        for tag in ("(1b)", "(1c)", "(1d)", "(1e)", "(1f)", "(1g)", "(1h)", "(1i)", "(1j)", "(1k)"):
+            assert any(n.startswith(tag) for n in names), f"missing {tag}"
+
+    def test_ppe_only_period_upper_bound(self, tiny_platform):
+        g = small_graph()
+        assert ppe_only_period(g, tiny_platform) == pytest.approx(260.0)
+        # The T variable is bounded by the PPE-only period.
+        f = build_formulation(g, tiny_platform)
+        assert f.T.ub == pytest.approx(260.0)
+
+
+class TestSolve:
+    def test_matches_brute_force(self, tiny_platform):
+        g = small_graph()
+        brute, brute_period = optimal_mapping_brute_force(g, tiny_platform)
+        result = solve_optimal_mapping(g, tiny_platform, mip_rel_gap=None)
+        assert result.period == pytest.approx(brute_period, rel=1e-6)
+
+    def test_gap_solution_within_gap(self, tiny_platform):
+        g = small_graph()
+        _, brute_period = optimal_mapping_brute_force(g, tiny_platform)
+        result = solve_optimal_mapping(g, tiny_platform, mip_rel_gap=PAPER_MIP_GAP)
+        assert result.period <= brute_period * (1 + PAPER_MIP_GAP) + 1e-9
+
+    def test_decoded_mapping_feasible_and_consistent(self, tiny_platform):
+        g = small_graph()
+        result = solve_optimal_mapping(g, tiny_platform, mip_rel_gap=None)
+        analysis = analyze(result.mapping)
+        assert analysis.feasible
+        # Theorem 2 consistency: analytic period of the decoded mapping
+        # equals the solver's T (exact solve, no gap).
+        assert analysis.period == pytest.approx(result.solver_period, rel=1e-6)
+
+    def test_beta_integral_in_solution(self, tiny_platform):
+        g = small_graph()
+        result = solve_optimal_mapping(g, tiny_platform, mip_rel_gap=None)
+        # The β-relaxation argument: with binary α, (1c)+(1d) force β
+        # to 0/1 even though it is declared continuous.
+        for var in result.formulation.beta.values():
+            value = result.solution.value(var)
+            assert min(abs(value), abs(value - 1.0)) < 1e-6
+
+    def test_beta_matches_alpha_product(self, tiny_platform):
+        g = small_graph()
+        result = solve_optimal_mapping(g, tiny_platform, mip_rel_gap=None)
+        f = result.formulation
+        sol = result.solution
+        for edge in g.edges():
+            for i in range(tiny_platform.n_pes):
+                for j in range(tiny_platform.n_pes):
+                    beta = sol.value(f.beta[(edge.src, edge.dst, i, j)])
+                    alpha_prod = sol.value(f.alpha[(edge.src, i)]) * sol.value(
+                        f.alpha[(edge.dst, j)]
+                    )
+                    assert beta == pytest.approx(alpha_prod, abs=1e-6)
+
+    def test_never_worse_than_heuristics(self, qs22):
+        from repro.heuristics import greedy_cpu, greedy_mem
+
+        g = small_graph()
+        result = solve_optimal_mapping(g, qs22, mip_rel_gap=None)
+        for heuristic in (greedy_cpu, greedy_mem):
+            h_analysis = analyze(heuristic(g, qs22))
+            if h_analysis.feasible:
+                assert result.period <= h_analysis.period + 1e-9
+
+    def test_single_task(self, tiny_platform):
+        g = StreamGraph("one")
+        g.add_task(Task("only", wppe=50.0, wspe=10.0))
+        result = solve_optimal_mapping(g, tiny_platform, mip_rel_gap=None)
+        # Best PE is an SPE (cost 10).
+        assert result.period == pytest.approx(10.0)
+        assert tiny_platform.is_spe(result.mapping.pe_of("only"))
+
+    def test_memory_forces_ppe(self):
+        # A task whose buffers exceed the local store must stay on the PPE
+        # even though the SPE is faster (constraint (1i)).
+        platform = CellPlatform(n_ppe=1, n_spe=1, name="tight")
+        g = StreamGraph("fat")
+        g.add_task(Task("a", wppe=10.0, wspe=1.0))
+        g.add_task(Task("b", wppe=10.0, wspe=1.0))
+        g.add_edge(DataEdge("a", "b", platform.buffer_budget))
+        result = solve_optimal_mapping(g, platform, mip_rel_gap=None)
+        assert result.mapping.pe_of("a") == 0
+        assert result.mapping.pe_of("b") == 0
+
+    def test_dma_limit_respected(self, qs22):
+        # 20 producers feeding one fast consumer: at most 16 distinct data
+        # can reach an SPE per period (constraint (1j)).
+        g = StreamGraph("fanin")
+        g.add_task(Task("sink", wppe=200.0, wspe=10.0))
+        for i in range(20):
+            g.add_task(Task(f"s{i}", wppe=1.0, wspe=1000.0))
+            g.add_edge(DataEdge(f"s{i}", "sink", 10.0))
+        result = solve_optimal_mapping(g, qs22, mip_rel_gap=None)
+        analysis = analyze(result.mapping)
+        assert analysis.feasible
+        sink_pe = result.mapping.pe_of("sink")
+        if qs22.is_spe(sink_pe):
+            cross = sum(
+                1 for e in g.edges() if result.mapping.is_cross_edge(e)
+                and result.mapping.pe_of(e.dst) == sink_pe
+            )
+            assert cross <= qs22.dma_in_slots
+
+    def test_branch_bound_backend_agrees(self, tiny_platform):
+        g = StreamGraph("bb")
+        g.add_task(Task("a", wppe=30.0, wspe=60.0))
+        g.add_task(Task("b", wppe=50.0, wspe=20.0))
+        g.add_edge(DataEdge("a", "b", 500.0))
+        highs = solve_optimal_mapping(g, tiny_platform, mip_rel_gap=None)
+        bb = solve_optimal_mapping(
+            g, tiny_platform, mip_rel_gap=None, backend="branch-bound"
+        )
+        assert bb.period == pytest.approx(highs.period, rel=1e-6)
+
+    def test_unknown_backend(self, tiny_platform):
+        from repro.errors import SolverError
+
+        with pytest.raises(SolverError):
+            solve_optimal_mapping(
+                small_graph(), tiny_platform, backend="cplex"
+            )
+
+    def test_report_text(self, tiny_platform):
+        result = solve_optimal_mapping(small_graph(), tiny_platform)
+        assert "MILP mapping" in result.report()
+        assert result.throughput > 0

@@ -1,0 +1,126 @@
+"""Unit tests for smaller API corners: solution dicts, plots, presets."""
+
+import pytest
+
+from repro.experiments import MeasuredPoint, ascii_plot, to_csv
+from repro.generator import CostModel, assign_costs, random_topology
+from repro.graph import DataEdge, StreamGraph, Task, graph_stats
+from repro.lp import Model, lpsum, solve
+from repro.platform import CellPlatform
+from repro.steady_state import Mapping, analyze, first_periods
+
+
+class TestSolutionIntrospection:
+    def test_var_dict(self):
+        m = Model("demo")
+        x = m.add_var("width", ub=5)
+        y = m.add_var("height", ub=3)
+        m.maximize(x + y)
+        solution = solve(m)
+        values = solution.var_dict(m)
+        assert values == {"width": 5.0, "height": 3.0}
+
+    def test_value_type_error(self):
+        m = Model()
+        x = m.add_var("x", ub=1)
+        m.maximize(x)
+        solution = solve(m)
+        with pytest.raises(TypeError):
+            solution.value("x")  # must be Var or LinExpr
+
+    def test_lpsum_of_scaled_vars(self):
+        m = Model()
+        xs = [m.add_var(f"x{i}", ub=1) for i in range(3)]
+        m.maximize(lpsum(2 * x for x in xs))
+        assert solve(m).objective == pytest.approx(6.0)
+
+
+class TestAsciiPlot:
+    def test_single_point(self):
+        plot = ascii_plot([MeasuredPoint("s", 1.0, 2.0)], width=10, height=4)
+        assert "o=s" in plot
+
+    def test_constant_series(self):
+        points = [MeasuredPoint("flat", float(i), 5.0) for i in range(4)]
+        plot = ascii_plot(points, width=16, height=4)
+        assert "top=5" in plot
+
+    def test_many_series_markers_cycle(self):
+        points = [
+            MeasuredPoint(f"s{i}", float(i), float(i)) for i in range(10)
+        ]
+        plot = ascii_plot(points)
+        assert "s9" in plot
+
+    def test_csv_header_override(self):
+        text = to_csv(
+            [MeasuredPoint("a", 1, 2)], header=("strategy", "spes", "speedup")
+        )
+        assert text.startswith("strategy,spes,speedup")
+
+
+class TestPlatformPresetOverrides:
+    def test_ps3_with_custom_code_size(self):
+        plat = CellPlatform.playstation3(code_size=100 * 1024)
+        assert plat.n_spe == 6
+        assert plat.code_size == 100 * 1024
+
+    def test_qs22_override_name(self):
+        plat = CellPlatform.qs22(name="mine")
+        assert plat.name == "mine"
+
+    def test_dual_override_bif(self):
+        plat = CellPlatform.qs22_dual(bif_bw=5_000.0)
+        assert plat.bif_bw == 5_000.0
+
+
+class TestGraphStatsOnGenerated:
+    def test_stats_consistent_with_topology(self):
+        topo = random_topology(30, fat=0.6, seed=4)
+        graph = assign_costs(topo, ccr=1.0, seed=4)
+        stats = graph_stats(graph)
+        assert stats.n_tasks == topo.n_tasks == 30
+        assert stats.n_edges == topo.n_edges
+        assert stats.depth == len(topo.layers)
+
+    def test_zero_ccr_graph(self):
+        graph = assign_costs(random_topology(6, seed=2), ccr=0.0, seed=2)
+        assert all(e.data == 0.0 for e in graph.edges())
+        # Zero-size data still yields valid (zero-byte) buffers.
+        fp = first_periods(graph)
+        assert all(v >= 0 for v in fp.values())
+
+    def test_peek_zero_model(self):
+        model = CostModel(peek_choices=(0,), stateful_prob=0.0)
+        graph = assign_costs(
+            random_topology(10, seed=3), ccr=1.0, seed=3, model=model
+        )
+        assert all(t.peek == 0 and not t.stateful for t in graph.tasks())
+
+
+class TestMappingEdgeCases:
+    def test_single_pe_platform(self):
+        platform = CellPlatform(n_ppe=1, n_spe=0)
+        g = StreamGraph("solo")
+        g.add_task(Task("only", wppe=5.0, wspe=99.0))
+        mapping = Mapping.all_on_ppe(g, platform)
+        analysis = analyze(mapping)
+        assert analysis.feasible
+        assert analysis.period == pytest.approx(5.0)
+
+    def test_disconnected_components(self, qs22):
+        g = StreamGraph("two-islands")
+        g.add_task(Task("a1", wppe=10.0, wspe=10.0))
+        g.add_task(Task("a2", wppe=10.0, wspe=10.0))
+        g.add_task(Task("b1", wppe=10.0, wspe=10.0))
+        g.add_edge(DataEdge("a1", "a2", 100.0))
+        # b1 is an isolated task: simultaneously source and sink.
+        assert set(g.sources()) == {"a1", "b1"}
+        assert set(g.sinks()) == {"a2", "b1"}
+        mapping = Mapping(g, qs22, {"a1": 0, "a2": 1, "b1": 2})
+        assert analyze(mapping).feasible
+
+    def test_repr_does_not_crash(self, qs22, two_task_chain):
+        mapping = Mapping.all_on_ppe(two_task_chain, qs22)
+        assert "Mapping" in repr(mapping)
+        assert "two-chain" in repr(two_task_chain)

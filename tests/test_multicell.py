@@ -1,0 +1,185 @@
+"""Tests for the dual-Cell QS22 extension (the paper's future work).
+
+Scheduling across both Cells adds one resource class: the directed
+FlexIO/BIF link between the chips.  The extension threads it through the
+analytic model (LinkLoad), the MILP (constraint (X1)) and the simulator
+(a shared flow port)."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.graph import DataEdge, StreamGraph, Task
+from repro.milp import build_formulation, solve_optimal_mapping
+from repro.platform import CellPlatform
+from repro.platform.cell import BIF_BW
+from repro.simulator import SimConfig, simulate
+from repro.steady_state import Mapping, analyze
+
+
+@pytest.fixture
+def dual():
+    """A small dual-Cell platform: 2 PPEs + 4 SPEs (2 per chip)."""
+    return CellPlatform(n_ppe=2, n_spe=4, n_cells=2, name="dual-small")
+
+
+class TestPlatformTopology:
+    def test_qs22_dual_preset(self):
+        plat = CellPlatform.qs22_dual()
+        assert plat.n_ppe == 2 and plat.n_spe == 16 and plat.n_cells == 2
+        assert plat.bif_bw == BIF_BW
+
+    def test_cell_partition(self, dual):
+        # PPE0+SPE0,SPE1 on chip 0; PPE1+SPE2,SPE3 on chip 1.
+        assert [dual.cell_of(i) for i in range(dual.n_pes)] == [0, 1, 0, 0, 1, 1]
+
+    def test_single_cell_is_chip_zero(self, qs22):
+        assert all(qs22.cell_of(i) == 0 for i in range(qs22.n_pes))
+        assert not qs22.is_cross_cell(0, 5)
+
+    def test_cross_cell_predicate(self, dual):
+        assert dual.is_cross_cell(0, 1)
+        assert dual.is_cross_cell(2, 4)
+        assert not dual.is_cross_cell(2, 3)
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(PlatformError):
+            CellPlatform(n_ppe=1, n_spe=8, n_cells=2)
+        with pytest.raises(PlatformError):
+            CellPlatform(n_ppe=2, n_spe=7, n_cells=2)
+        with pytest.raises(PlatformError):
+            CellPlatform(n_ppe=1, n_spe=2, n_cells=0)
+        with pytest.raises(PlatformError):
+            CellPlatform(n_ppe=1, n_spe=2, bif_bw=0)
+
+
+class TestAnalyticLinkLoads:
+    def cross_graph(self, data=40_000.0):
+        g = StreamGraph("cross")
+        g.add_task(Task("a", wppe=10.0, wspe=5.0))
+        g.add_task(Task("b", wppe=10.0, wspe=5.0))
+        g.add_edge(DataEdge("a", "b", data))
+        return g
+
+    def test_cross_cell_edge_loads_link(self, dual):
+        g = self.cross_graph()
+        mapping = Mapping(g, dual, {"a": 2, "b": 4})  # chip 0 -> chip 1
+        analysis = analyze(mapping)
+        assert len(analysis.link_loads) == 1
+        link = analysis.link_loads[0]
+        assert (link.src_cell, link.dst_cell) == (0, 1)
+        assert link.time == pytest.approx(40_000.0 / dual.bif_bw)
+
+    def test_intra_cell_edge_does_not(self, dual):
+        g = self.cross_graph()
+        mapping = Mapping(g, dual, {"a": 2, "b": 3})  # both on chip 0
+        assert analyze(mapping).link_loads == []
+
+    def test_link_can_be_the_bottleneck(self, dual):
+        # 200 kB across the 20 GB/s link = 10 µs > the 5 µs compute.
+        g = self.cross_graph(data=200_000.0)
+        mapping = Mapping(g, dual, {"a": 2, "b": 4})
+        analysis = analyze(mapping)
+        assert analysis.period == pytest.approx(200_000.0 / dual.bif_bw)
+
+
+class TestMilpExtension:
+    def test_x1_constraints_present(self, dual):
+        g = self.two_chain()
+        f = build_formulation(g, dual)
+        names = [c.name for c in f.model.constraints]
+        assert any(n.startswith("(X1)") for n in names)
+        # Single-Cell platforms get no (X1).
+        single = CellPlatform.qs22()
+        f1 = build_formulation(g, single)
+        assert not any(
+            c.name.startswith("(X1)") for c in f1.model.constraints
+        )
+
+    def two_chain(self):
+        g = StreamGraph("chain2")
+        g.add_task(Task("a", wppe=10.0, wspe=30.0))
+        g.add_task(Task("b", wppe=10.0, wspe=30.0))
+        g.add_edge(DataEdge("a", "b", 1000.0))
+        return g
+
+    def test_milp_avoids_saturating_link(self, dual):
+        # Two PPE-friendly tasks joined by a huge edge: splitting across
+        # chips would cost 50 µs of link time; keeping them together wins.
+        g = StreamGraph("huge-edge")
+        g.add_task(Task("a", wppe=10.0, wspe=100.0))
+        g.add_task(Task("b", wppe=10.0, wspe=100.0))
+        g.add_edge(DataEdge("a", "b", 1_000_000.0))
+        result = solve_optimal_mapping(g, dual, mip_rel_gap=None)
+        assert not dual.is_cross_cell(
+            result.mapping.pe_of("a"), result.mapping.pe_of("b")
+        )
+        assert result.period == pytest.approx(20.0)
+
+    def test_dual_cell_beats_single_when_compute_bound(self, dual):
+        g = StreamGraph("par")
+        for i in range(8):
+            g.add_task(Task(f"t{i}", wppe=100.0, wspe=100.0))
+        single = CellPlatform(n_ppe=1, n_spe=2, name="single")
+        r_single = solve_optimal_mapping(g, single, mip_rel_gap=None)
+        r_dual = solve_optimal_mapping(g, dual, mip_rel_gap=None)
+        assert r_dual.period < r_single.period
+
+    def test_simulator_enforces_link(self, dual):
+        g = StreamGraph("pipe")
+        g.add_task(Task("a", wppe=10.0, wspe=10.0))
+        g.add_task(Task("b", wppe=10.0, wspe=10.0))
+        g.add_edge(DataEdge("a", "b", 100_000.0))
+        cross = Mapping(g, dual, {"a": 2, "b": 4})
+        result = simulate(cross, 30, SimConfig.ideal())
+        # 100 kB per instance over the 20 GB/s link = 5 µs per instance;
+        # the steady rate must match the analytic link-aware period.
+        assert result.efficiency() == pytest.approx(1.0, abs=0.03)
+        analysis = analyze(cross)
+        assert analysis.period >= 100_000.0 / dual.bif_bw
+
+
+class TestStrengtheningCuts:
+    def test_cuts_preserve_optimum(self, dual):
+        import random
+
+        from repro.generator import assign_costs, random_topology
+
+        for seed in (1, 5, 9):
+            graph = assign_costs(
+                random_topology(8, seed=seed), ccr=0.775, seed=seed
+            )
+            plain = solve_optimal_mapping(
+                graph, dual, mip_rel_gap=None, strengthen=False
+            )
+            cut = solve_optimal_mapping(
+                graph, dual, mip_rel_gap=None, strengthen=True
+            )
+            assert cut.period == pytest.approx(plain.period, rel=1e-6)
+
+    def test_cut_constraints_named(self, dual):
+        g = StreamGraph("s")
+        g.add_task(Task("a", wppe=5.0, wspe=7.0))
+        f = build_formulation(g, dual, strengthen=True, symmetry_breaking=True)
+        names = [c.name for c in f.model.constraints]
+        assert any(n.startswith("(S1)") for n in names)
+        assert any(n.startswith("(S2)") for n in names)
+        # Symmetry breaking stays within a chip: SPE1->SPE0 and SPE3->SPE2
+        # orderings only (never across the BIF).
+        s2 = [n for n in names if n.startswith("(S2)")]
+        assert len(s2) == 2
+        # Default build: no (S2), HiGHS handles symmetry better itself.
+        f_default = build_formulation(g, dual)
+        assert not any(
+            c.name.startswith("(S2)") for c in f_default.model.constraints
+        )
+
+    def test_symmetry_breaking_preserves_optimum(self, dual):
+        from repro.generator import assign_costs, random_topology
+        from repro.lp import solve
+
+        graph = assign_costs(random_topology(8, seed=3), ccr=0.775, seed=3)
+        plain = build_formulation(graph, dual)
+        broken = build_formulation(graph, dual, symmetry_breaking=True)
+        t_plain = solve(plain.model).value(plain.T)
+        t_broken = solve(broken.model).value(broken.T)
+        assert t_broken == pytest.approx(t_plain, rel=1e-6)

@@ -1,0 +1,143 @@
+"""Tests for repro.platform: elements, Cell presets, DMA model, validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform import (
+    BYTES_PER_KB,
+    DEFAULT_CODE_BYTES,
+    INTERFACE_BW,
+    LOCAL_STORE_BYTES,
+    SPE_MFC_QUEUE_SLOTS,
+    SPE_PROXY_QUEUE_SLOTS,
+    CellPlatform,
+    CommInterface,
+    DmaCosts,
+    PEKind,
+    ProcessingElement,
+    check_platform,
+)
+
+
+class TestElements:
+    def test_pe_kinds(self):
+        assert PEKind.PPE.value == "PPE"
+        assert PEKind.SPE.value == "SPE"
+
+    def test_interface_requires_positive_bandwidth(self):
+        with pytest.raises(ValueError):
+            CommInterface(bw_in=0, bw_out=1)
+        with pytest.raises(ValueError):
+            CommInterface(bw_in=1, bw_out=-2)
+
+    def test_processing_element_properties(self):
+        pe = ProcessingElement(
+            index=3, kind=PEKind.SPE, interface=CommInterface(1.0, 2.0)
+        )
+        assert pe.is_spe and not pe.is_ppe
+        assert pe.name == "SPE3"
+
+
+class TestDmaModel:
+    def test_paper_constants(self):
+        # §2.1: at most 16 simultaneous DMA calls per SPE, 8 from PPEs.
+        assert SPE_MFC_QUEUE_SLOTS == 16
+        assert SPE_PROXY_QUEUE_SLOTS == 8
+
+    def test_costs_validation(self):
+        with pytest.raises(ValueError):
+            DmaCosts(issue_overhead=-1)
+        assert DmaCosts.free().issue_overhead == 0.0
+        realistic = DmaCosts.realistic()
+        assert realistic.issue_overhead > 0
+        assert realistic.latency > 0
+
+
+class TestCellPlatform:
+    def test_qs22_preset(self):
+        plat = CellPlatform.qs22()
+        assert plat.n_ppe == 1 and plat.n_spe == 8
+        assert plat.n_pes == 9
+        assert plat.bw == INTERFACE_BW == 25_000.0
+        assert plat.local_store == LOCAL_STORE_BYTES == 256 * BYTES_PER_KB
+
+    def test_ps3_preset(self):
+        plat = CellPlatform.playstation3()
+        # §6: only 6 usable SPEs on the PlayStation 3.
+        assert plat.n_spe == 6
+
+    def test_indexing_convention(self):
+        # Paper convention: PPEs first, SPEs after.
+        plat = CellPlatform(n_ppe=2, n_spe=3)
+        assert list(plat.ppe_indices) == [0, 1]
+        assert list(plat.spe_indices) == [2, 3, 4]
+        assert plat.is_ppe(0) and plat.is_ppe(1)
+        assert plat.is_spe(2) and plat.is_spe(4)
+        assert plat.kind(0) is PEKind.PPE
+        assert plat.kind(4) is PEKind.SPE
+
+    def test_pe_names(self):
+        plat = CellPlatform.qs22()
+        assert plat.pe_name(0) == "PPE0"
+        assert plat.pe_name(1) == "SPE0"
+        assert plat.pe_name(8) == "SPE7"
+
+    def test_pe_objects(self):
+        plat = CellPlatform.qs22()
+        pes = list(plat.pes())
+        assert len(pes) == 9
+        assert pes[0].is_ppe and pes[1].is_spe
+        assert pes[0].interface.bw_in == plat.bw
+
+    def test_with_spes(self):
+        plat = CellPlatform.qs22().with_spes(3)
+        assert plat.n_spe == 3
+        assert plat.n_pes == 4
+        # Other fields survive the copy.
+        assert plat.bw == INTERFACE_BW
+
+    def test_buffer_budget(self):
+        plat = CellPlatform.qs22()
+        assert plat.buffer_budget == LOCAL_STORE_BYTES - DEFAULT_CODE_BYTES
+        small = CellPlatform.qs22(code_size=200 * BYTES_PER_KB)
+        assert small.buffer_budget == 56 * BYTES_PER_KB
+
+    def test_index_out_of_range(self):
+        plat = CellPlatform.qs22()
+        with pytest.raises(PlatformError):
+            plat.pe(9)
+        with pytest.raises(PlatformError):
+            plat.pe_name(-1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_ppe=0),
+            dict(n_spe=-1),
+            dict(bw=0),
+            dict(eib_bw=-5),
+            dict(local_store=0),
+            dict(code_size=LOCAL_STORE_BYTES),
+            dict(dma_in_slots=0),
+            dict(dma_proxy_slots=0),
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(PlatformError):
+            CellPlatform(**kwargs)
+
+    def test_replace_revalidates(self):
+        # Frozen dataclasses re-run __post_init__ on replace.
+        plat = CellPlatform.qs22()
+        with pytest.raises(PlatformError):
+            dataclasses.replace(plat, code_size=plat.local_store + 1)
+
+    def test_check_platform_accepts_valid(self):
+        check_platform(CellPlatform.qs22())  # no exception
+
+    def test_zero_spes_allowed(self):
+        plat = CellPlatform(n_ppe=1, n_spe=0)
+        assert plat.n_pes == 1
+        assert list(plat.spe_indices) == []

@@ -1,0 +1,89 @@
+"""Tests for the periodic schedule construction (§3.1, Fig. 3)."""
+
+import pytest
+
+from repro.steady_state import Mapping, build_schedule, first_periods
+
+
+@pytest.fixture
+def fig3_schedule(fig3_graph, qs22):
+    # T1 on the PPE, T2 and T3 on SPE0 — the Fig. 3 arrangement.
+    mapping = Mapping(fig3_graph, qs22, {"T1": 0, "T2": 1, "T3": 1})
+    return build_schedule(mapping)
+
+
+class TestPeriodicSchedule:
+    def test_first_instance_periods(self, fig3_schedule):
+        s = fig3_schedule
+        assert s.instance_of("T1", 0) == 0
+        assert s.instance_of("T2", 1) is None  # not started yet
+        assert s.instance_of("T2", 2) == 0
+        assert s.instance_of("T3", 3) == 0
+
+    def test_steady_state_one_instance_per_period(self, fig3_schedule):
+        s = fig3_schedule
+        for p in range(5, 10):
+            for task in ("T1", "T2", "T3"):
+                assert s.instance_of(task, p) == p - s.first_period[task]
+
+    def test_period_of_roundtrip(self, fig3_schedule):
+        s = fig3_schedule
+        for task in ("T1", "T2", "T3"):
+            for i in range(5):
+                assert s.instance_of(task, s.period_of(task, i)) == i
+        with pytest.raises(ValueError):
+            s.period_of("T1", -1)
+
+    def test_warmup(self, fig3_schedule):
+        assert fig3_schedule.warmup_periods == max(
+            fig3_schedule.first_period.values()
+        )
+
+    def test_compute_events_topological(self, fig3_schedule):
+        events = fig3_schedule.compute_events(5)
+        names = [e.task for e in events]
+        assert names.index("T1") < names.index("T2")
+        assert names.index("T1") < names.index("T3")
+        assert all(e.period == 5 for e in events)
+
+    def test_transfer_events_follow_production(self, fig3_schedule):
+        # Instance i of D(T1, .) is produced in period i, shipped in i+1.
+        events = fig3_schedule.transfer_events(1)
+        assert {(e.src, e.dst, e.instance) for e in events} == {
+            ("T1", "T2", 0),
+            ("T1", "T3", 0),
+        }
+        assert fig3_schedule.transfer_events(0) == []
+
+    def test_no_transfers_for_local_edges(self, fig3_graph, qs22):
+        mapping = Mapping.all_on_ppe(fig3_graph, qs22)
+        schedule = build_schedule(mapping)
+        assert schedule.transfer_events(3) == []
+
+    def test_live_instances_bounded_by_window(self, fig3_schedule):
+        s = fig3_schedule
+        fp = s.first_period
+        for p in range(0, 20):
+            for src, dst in (("T1", "T2"), ("T1", "T3")):
+                live = s.live_instances(src, dst, p)
+                assert 0 <= live <= fp[dst] - fp[src]
+        # In steady state the buffer holds exactly the window.
+        assert s.live_instances("T1", "T3", 15) == fp["T3"] - fp["T1"]
+
+    def test_completion_and_latency(self, fig3_schedule):
+        s = fig3_schedule
+        assert s.completion_time("T3", 0) == pytest.approx(
+            (s.first_period["T3"] + 1) * s.period_length
+        )
+        assert s.stream_latency() >= s.period_length
+
+    def test_gantt_text(self, fig3_schedule):
+        text = fig3_schedule.gantt_text(n_periods=6)
+        assert "PPE0" in text and "SPE0" in text
+        assert "T1#0" in text
+
+    def test_elide_local_comm_shortens_warmup(self, fig3_graph, qs22):
+        mapping = Mapping.all_on_ppe(fig3_graph, qs22)
+        default = build_schedule(mapping)
+        tight = build_schedule(mapping, elide_local_comm=True)
+        assert tight.warmup_periods < default.warmup_periods

@@ -1,0 +1,99 @@
+"""Tests for the simulator's distinct communication paths (§6.1).
+
+The paper's runtime uses three mechanisms — mfc_get (SPE→SPE),
+proxy gets (SPE→PPE) and memcpy (PPE↔memory/PPE) — which map to distinct
+slot-accounting rules in the simulator."""
+
+import pytest
+
+from repro.graph import DataEdge, StreamGraph, Task
+from repro.platform import CellPlatform
+from repro.simulator import SimConfig, Simulator
+from repro.steady_state import Mapping
+
+
+def pair_graph(data=10_000.0):
+    g = StreamGraph("pair")
+    g.add_task(Task("a", wppe=10.0, wspe=10.0))
+    g.add_task(Task("b", wppe=10.0, wspe=10.0))
+    g.add_edge(DataEdge("a", "b", data))
+    return g
+
+
+class TestTransferPaths:
+    def run_pair(self, platform, src_pe, dst_pe, config=None):
+        g = pair_graph()
+        sim = Simulator(
+            Mapping(g, platform, {"a": src_pe, "b": dst_pe}),
+            config or SimConfig.ideal(),
+        )
+        result = sim.run(10)
+        return sim, result
+
+    def test_spe_to_spe_uses_receiver_mfc(self, qs22):
+        sim, result = self.run_pair(qs22, 1, 2)
+        assert result.n_instances == 10
+        # Slots are all released at the end.
+        assert sim.pes[2].mfc_in_flight == 0
+        assert sim.pes[1].proxy_in_flight == 0
+
+    def test_spe_to_ppe_uses_proxy(self, qs22):
+        # During the run the source SPE's proxy queue is used; afterwards
+        # it must be drained.
+        sim, result = self.run_pair(qs22, 1, 0)
+        assert sim.pes[1].proxy_in_flight == 0
+        assert result.completion_times[-1] > 0
+
+    def test_ppe_to_spe_uses_spe_mfc(self, qs22):
+        sim, result = self.run_pair(qs22, 0, 1)
+        assert sim.pes[1].mfc_in_flight == 0
+
+    def test_ppe_to_ppe_memcpy_unthrottled(self):
+        platform = CellPlatform(n_ppe=2, n_spe=2, name="2ppe")
+        sim, result = self.run_pair(platform, 0, 1)
+        assert result.n_instances == 10
+        # No SPE slot involved at all.
+        for pe in sim.pes:
+            assert pe.mfc_in_flight == 0 and pe.proxy_in_flight == 0
+
+    def test_proxy_queue_throttles_spe_to_ppe_fanout(self, qs22):
+        # 10 SPE-resident producers all sending to the PPE from the same
+        # SPE exceeds the 8-slot proxy queue; the run must still finish.
+        g = StreamGraph("proxy-fanout")
+        g.add_task(Task("sink", wppe=1.0, wspe=1.0))
+        for i in range(10):
+            g.add_task(Task(f"s{i}", wppe=1.0, wspe=1.0))
+            g.add_edge(DataEdge(f"s{i}", "sink", 100_000.0))
+        assignment = {"sink": 0}
+        assignment.update({f"s{i}": 1 for i in range(10)})
+        sim = Simulator(Mapping(g, qs22, assignment), SimConfig.ideal())
+        result = sim.run(4)
+        assert result.n_instances == 4
+        assert sim.pes[1].proxy_in_flight == 0
+
+
+class TestBranchBoundLimits:
+    def test_node_limit_without_incumbent(self):
+        from repro.errors import SolverError
+        from repro.lp import Model, lpsum, solve_branch_bound
+
+        # A feasible but awkward MILP; with max_nodes=0 no node is
+        # explored and no incumbent exists.
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(6)]
+        m.add_constraint(lpsum(xs) == 3)
+        m.minimize(lpsum((i + 0.5) * x for i, x in enumerate(xs)))
+        with pytest.raises(SolverError):
+            solve_branch_bound(m, max_nodes=0)
+
+    def test_stats_log_incumbents(self):
+        from repro.lp import Model, lpsum, solve_branch_bound
+
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(4)]
+        m.add_constraint(lpsum(xs) <= 2)
+        m.maximize(lpsum((i + 1) * x for i, x in enumerate(xs)))
+        solution, stats = solve_branch_bound(m)
+        assert solution.objective == pytest.approx(7.0)  # x3 + x2
+        assert stats.incumbents >= 1
+        assert all("incumbent" in line for line in stats.log)

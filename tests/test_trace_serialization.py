@@ -1,0 +1,61 @@
+"""Tests for throughput curves (cumulative vs windowed) and mapping JSON."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.simulator import SimConfig, simulate
+from repro.steady_state import Mapping
+
+
+class TestThroughputCurve:
+    @pytest.fixture
+    def result(self, peek_chain, qs22):
+        mapping = Mapping(peek_chain, qs22, {"a": 1, "b": 2, "c": 3})
+        return simulate(mapping, 250, SimConfig.ideal())
+
+    def test_cumulative_monotone_ramp(self, result):
+        """The paper's Fig. 6 metric: cumulative rate rises to the plateau."""
+        curve = result.throughput_curve()  # cumulative mode
+        assert len(curve) == 250
+        rates = [r for _i, r in curve]
+        # Within noise, early cumulative rate is below the late one.
+        assert rates[5] < rates[-1]
+        # And the cumulative rate approaches (never exceeds) steady state.
+        steady = result.steady_state_throughput()
+        assert rates[-1] <= steady * 1.01
+
+    def test_windowed_mode(self, result):
+        windowed = result.throughput_curve(window=40)
+        assert len(windowed) == 249
+        # Late windowed rate matches the steady estimate.
+        assert windowed[-1][1] == pytest.approx(
+            result.steady_state_throughput(), rel=0.1
+        )
+
+    def test_instance_indices(self, result):
+        curve = result.throughput_curve()
+        assert curve[0][0] == 1
+        assert curve[-1][0] == 250
+
+
+class TestMappingJson:
+    def test_round_trip(self, two_task_chain, qs22):
+        mapping = Mapping(two_task_chain, qs22, {"a": 0, "b": 3})
+        clone = Mapping.from_json(two_task_chain, qs22, mapping.to_json())
+        assert clone == mapping
+
+    def test_graph_name_checked(self, two_task_chain, peek_chain, qs22):
+        mapping = Mapping.all_on_ppe(two_task_chain, qs22)
+        with pytest.raises(MappingError):
+            Mapping.from_json(peek_chain, qs22, mapping.to_json())
+
+    def test_malformed_payload(self, two_task_chain, qs22):
+        with pytest.raises(MappingError):
+            Mapping.from_json(two_task_chain, qs22, "not json")
+        with pytest.raises(MappingError):
+            Mapping.from_json(two_task_chain, qs22, "{}")
+
+    def test_unknown_task_rejected(self, two_task_chain, qs22):
+        payload = '{"graph": "two-chain", "assignment": {"a": 0, "b": 0, "ghost": 1}}'
+        with pytest.raises(MappingError):
+            Mapping.from_json(two_task_chain, qs22, payload)
