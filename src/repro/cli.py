@@ -28,7 +28,14 @@ from .generator.paper_graphs import (
 from .generator.costs import rescale_ccr
 from .graph import io as graph_io
 from .graph.stream_graph import StreamGraph
-from .experiments import build_mapping, fig6_rampup, fig7_speedup, fig8_ccr, tables
+from .experiments import (
+    STRATEGIES,
+    build_mapping,
+    fig6_rampup,
+    fig7_speedup,
+    fig8_ccr,
+    tables,
+)
 from .platform.cell import CellPlatform
 from .simulator import SimConfig, simulate
 from .steady_state.mapping import Mapping
@@ -90,7 +97,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--strategy",
-        choices=("milp", "greedy_cpu", "greedy_mem", "critical_path", "ppe"),
+        choices=tuple(sorted(STRATEGIES)) + ("ppe",),
         default="milp",
         help="mapping strategy (default: the paper's MILP)",
     )
@@ -196,14 +203,24 @@ def main_experiment(argv: Optional[list] = None) -> int:
         "--instances", type=int, default=None,
         help="stream length per simulation (defaults per experiment)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan sweep points over N worker processes "
+        "(default: serial; -1 = all CPU cores)",
+    )
     args = parser.parse_args(argv)
+    if args.which in ("fig6", "tables") and args.jobs not in (None, 0, 1):
+        print(
+            f"note: {args.which} has no sweep to fan out; --jobs ignored",
+            file=sys.stderr,
+        )
     try:
         if args.which == "fig6":
-            fig6_rampup.main(n_instances=args.instances or 3000)
+            fig6_rampup.main(n_instances=args.instances or 3000, jobs=args.jobs)
         elif args.which == "fig7":
-            fig7_speedup.main(n_instances=args.instances or 1000)
+            fig7_speedup.main(n_instances=args.instances or 1000, jobs=args.jobs)
         elif args.which == "fig8":
-            fig8_ccr.main(n_instances=args.instances or 1000)
+            fig8_ccr.main(n_instances=args.instances or 1000, jobs=args.jobs)
         else:
             tables.main()
     except ReproError as exc:

@@ -6,10 +6,12 @@
 * :mod:`repro.experiments.tables` — solve-time table and β ablation.
 
 Each module exposes ``run(...)`` returning structured results and
-``main(...)`` printing paper-style tables and ASCII plots.
+``main(...)`` printing paper-style tables and ASCII plots; the sweeping
+figures accept ``jobs=N`` to fan their points across worker processes
+(see :mod:`repro.experiments.parallel`).
 """
 
-from . import fig6_rampup, fig7_speedup, fig8_ccr, tables
+from . import fig6_rampup, fig7_speedup, fig8_ccr, parallel, tables
 from .common import (
     PAPER_STRATEGIES,
     STRATEGIES,
@@ -20,11 +22,14 @@ from .common import (
     measured_speedup,
     to_csv,
 )
+from .parallel import run_sweep
 
 __all__ = [
     "fig6_rampup",
     "fig7_speedup",
     "fig8_ccr",
+    "parallel",
+    "run_sweep",
     "tables",
     "PAPER_STRATEGIES",
     "STRATEGIES",

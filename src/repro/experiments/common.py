@@ -15,7 +15,13 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError
 from ..graph.stream_graph import StreamGraph
-from ..heuristics import critical_path_mapping, greedy_cpu, greedy_mem
+from ..heuristics import (
+    critical_path_mapping,
+    greedy_cpu,
+    greedy_mem,
+    simulated_annealing,
+    tabu_search,
+)
 from ..milp import PAPER_MIP_GAP, solve_optimal_mapping
 from ..platform.cell import CellPlatform
 from ..steady_state.mapping import Mapping
@@ -24,9 +30,12 @@ from ..simulator import SimConfig, SimulationResult, simulate
 __all__ = [
     "STRATEGIES",
     "PAPER_STRATEGIES",
+    "SEEDED_STRATEGIES",
     "build_mapping",
     "measure_throughput",
     "measured_speedup",
+    "rate_of_point",
+    "speedup_of_point",
     "MeasuredPoint",
     "ascii_plot",
     "to_csv",
@@ -44,28 +53,43 @@ def _milp_strategy(graph: StreamGraph, platform: CellPlatform) -> Mapping:
 
 #: All mapping strategies by name.  "milp" is the paper's contribution,
 #: "greedy_cpu"/"greedy_mem" its §6.3 baselines, "critical_path" our
-#: future-work heuristic.
+#: future-work heuristic, "simulated_annealing"/"tabu_search" the
+#: delta-evaluated metaheuristics (deterministic: fixed default seeds).
 STRATEGIES: Dict[str, Callable[[StreamGraph, CellPlatform], Mapping]] = {
     "milp": _milp_strategy,
     "greedy_cpu": greedy_cpu,
     "greedy_mem": greedy_mem,
     "critical_path": critical_path_mapping,
+    "simulated_annealing": simulated_annealing,
+    "tabu_search": tabu_search,
 }
 
 #: The three strategies shown in the paper's Fig. 7.
 PAPER_STRATEGIES: Tuple[str, ...] = ("milp", "greedy_cpu", "greedy_mem")
 
+#: Strategies whose search is driven by a PRNG and accept a ``seed`` kwarg.
+SEEDED_STRATEGIES: Tuple[str, ...] = ("simulated_annealing", "tabu_search")
+
 
 def build_mapping(
-    strategy: str, graph: StreamGraph, platform: CellPlatform
+    strategy: str,
+    graph: StreamGraph,
+    platform: CellPlatform,
+    seed: Optional[int] = None,
 ) -> Mapping:
-    """Run one strategy by name."""
+    """Run one strategy by name.
+
+    ``seed`` parameterises the randomized strategies (see
+    :data:`SEEDED_STRATEGIES`); the deterministic ones ignore it.
+    """
     try:
         builder = STRATEGIES[strategy]
     except KeyError:
         raise ExperimentError(
             f"unknown strategy {strategy!r}; pick from {sorted(STRATEGIES)}"
         ) from None
+    if seed is not None and strategy in SEEDED_STRATEGIES:
+        return builder(graph, platform, seed=seed)
     return builder(graph, platform)
 
 
@@ -88,6 +112,46 @@ def measured_speedup(
     result = measure_throughput(mapping, n_instances, config)
     ratio = result.steady_state_throughput() / baseline.steady_state_throughput()
     return ratio, result
+
+
+# ---------------------------------------------------------------------- #
+# Sweep-point workers.  Top-level (picklable) so `parallel.run_sweep` can
+# fan them across multiprocessing workers; each spec is a self-contained
+# (graph, platform, strategy, n_instances, config[, seed]) tuple, so the
+# result is independent of worker count and scheduling order.  The
+# optional per-point seed (see `parallel.point_seed`) parameterises the
+# randomized strategies.
+
+
+def _spec_mapping(spec) -> Mapping:
+    graph, platform, strategy, _n_instances, _config = spec[:5]
+    seed = spec[5] if len(spec) > 5 else None
+    if strategy == "ppe":
+        return Mapping.all_on_ppe(graph, platform)
+    return build_mapping(strategy, graph, platform, seed=seed)
+
+
+def rate_of_point(spec) -> float:
+    """Measured steady-state rate of one sweep point (``"ppe"`` = baseline)."""
+    _graph, _platform, _strategy, n_instances, config = spec[:5]
+    mapping = _spec_mapping(spec)
+    return measure_throughput(mapping, n_instances, config).steady_state_throughput()
+
+
+def speedup_of_point(spec) -> Tuple[float, int]:
+    """Speed-up of one sweep point over its own measured PPE-only baseline.
+
+    Returns ``(speedup, n_tasks_on_spes)``; used where the baseline is
+    per-point (e.g. Fig. 8, where memory I/O scales with the CCR).
+    """
+    graph, platform, _strategy, n_instances, config = spec[:5]
+    baseline = measure_throughput(
+        Mapping.all_on_ppe(graph, platform), n_instances, config
+    )
+    mapping = _spec_mapping(spec)
+    result = measure_throughput(mapping, n_instances, config)
+    ratio = result.steady_state_throughput() / baseline.steady_state_throughput()
+    return ratio, mapping.n_tasks_on_spes()
 
 
 @dataclass(frozen=True)

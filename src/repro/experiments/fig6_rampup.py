@@ -73,12 +73,17 @@ def run(
     config: Optional[SimConfig] = None,
     window: Optional[int] = None,
     mip_time_limit: Optional[float] = 120.0,
+    jobs: Optional[int] = None,
 ) -> Fig6Result:
     """Regenerate Fig. 6.  All knobs default to the paper's setup.
 
     ``window=None`` plots the cumulative achieved throughput (the paper's
     metric); an integer plots the instantaneous windowed rate instead.
+    ``jobs`` is accepted for CLI uniformity with the Fig. 7/8 sweeps but
+    ignored: this figure is a single (solve, simulate) point with nothing
+    to fan out (the CLI prints a note when it is passed).
     """
+    del jobs
     graph = graph or random_graph_1()
     platform = platform or CellPlatform.qs22()
     config = config or SimConfig.realistic()
@@ -99,9 +104,9 @@ def run(
     )
 
 
-def main(n_instances: int = 3000) -> Fig6Result:
-    """CLI entry: print the Fig. 6 table and plot."""
-    result = run(n_instances=n_instances)
+def main(n_instances: int = 3000, jobs: Optional[int] = None) -> Fig6Result:
+    """CLI entry: print the Fig. 6 table and plot (``jobs`` is a no-op)."""
+    result = run(n_instances=n_instances, jobs=jobs)
     print(f"Figure 6 — ramp-up to steady state ({result.graph_name})")
     print(
         ascii_plot(

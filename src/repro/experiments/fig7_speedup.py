@@ -16,14 +16,13 @@ from ..generator.paper_graphs import paper_suite
 from ..graph.stream_graph import StreamGraph
 from ..platform.cell import CellPlatform
 from ..simulator import SimConfig
-from ..steady_state.mapping import Mapping
 from .common import (
     PAPER_STRATEGIES,
     MeasuredPoint,
     ascii_plot,
-    build_mapping,
-    measure_throughput,
+    rate_of_point,
 )
+from .parallel import point_seed, run_sweep
 
 __all__ = ["Fig7Result", "run", "main", "DEFAULT_SPE_COUNTS"]
 
@@ -67,32 +66,34 @@ def run_one(
     n_instances: int = 1000,
     config: Optional[SimConfig] = None,
     base_platform: Optional[CellPlatform] = None,
+    jobs: Optional[int] = None,
 ) -> Fig7Result:
-    """Speed-up sweep for one graph."""
+    """Speed-up sweep for one graph, optionally fanned over ``jobs`` workers."""
     config = config or SimConfig.realistic()
     base_platform = base_platform or CellPlatform.qs22()
     # The reference: everything on the PPE, measured once (§6.4: "the
     # achieved throughput normalised to the throughput when using only the
-    # PPE").
-    ppe_only = Mapping.all_on_ppe(graph, base_platform.with_spes(0))
-    baseline = measure_throughput(ppe_only, n_instances, config)
-    base_rate = baseline.steady_state_throughput()
-
-    points: List[MeasuredPoint] = []
+    # PPE") — the first spec of the sweep.
+    specs = [(graph, base_platform.with_spes(0), "ppe", n_instances, config)]
+    keys: List[Tuple[int, str]] = []
     for n_spe in spe_counts:
         platform = base_platform.with_spes(n_spe)
         for strategy in strategies:
-            mapping = build_mapping(strategy, graph, platform)
-            result = measure_throughput(mapping, n_instances, config)
-            ratio = result.steady_state_throughput() / base_rate
-            points.append(
-                MeasuredPoint(
-                    series=strategy,
-                    x=float(n_spe),
-                    y=ratio,
-                    detail=f"{graph.name}",
-                )
-            )
+            seed = point_seed("fig7", graph.name, n_spe, strategy)
+            specs.append((graph, platform, strategy, n_instances, config, seed))
+            keys.append((n_spe, strategy))
+    rates = run_sweep(rate_of_point, specs, jobs=jobs)
+    base_rate = rates[0]
+
+    points = [
+        MeasuredPoint(
+            series=strategy,
+            x=float(n_spe),
+            y=rate / base_rate,
+            detail=f"{graph.name}",
+        )
+        for (n_spe, strategy), rate in zip(keys, rates[1:])
+    ]
     return Fig7Result(graph_name=graph.name, points=points)
 
 
@@ -102,18 +103,19 @@ def run(
     n_instances: int = 1000,
     config: Optional[SimConfig] = None,
     graphs: Optional[Sequence[StreamGraph]] = None,
+    jobs: Optional[int] = None,
 ) -> List[Fig7Result]:
     """Regenerate Fig. 7a/7b/7c (all three graphs)."""
     graphs = list(graphs) if graphs is not None else paper_suite()
     return [
-        run_one(graph, spe_counts, strategies, n_instances, config)
+        run_one(graph, spe_counts, strategies, n_instances, config, jobs=jobs)
         for graph in graphs
     ]
 
 
-def main(n_instances: int = 1000) -> List[Fig7Result]:
+def main(n_instances: int = 1000, jobs: Optional[int] = None) -> List[Fig7Result]:
     """CLI entry: print tables and plots for all three graphs."""
-    results = run(n_instances=n_instances)
+    results = run(n_instances=n_instances, jobs=jobs)
     for result in results:
         print(result.table())
         print(

@@ -17,8 +17,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..generator.paper_graphs import PAPER_CCRS, ccr_variants
 from ..platform.cell import CellPlatform
 from ..simulator import SimConfig
-from ..steady_state.mapping import Mapping
-from .common import MeasuredPoint, ascii_plot, build_mapping, measure_throughput
+from .common import MeasuredPoint, ascii_plot, speedup_of_point
+from .parallel import point_seed, run_sweep
 
 __all__ = ["Fig8Result", "run", "main"]
 
@@ -59,41 +59,42 @@ def run(
     config: Optional[SimConfig] = None,
     platform: Optional[CellPlatform] = None,
     strategy: str = "milp",
+    jobs: Optional[int] = None,
 ) -> Fig8Result:
-    """Regenerate Fig. 8 (optionally for another strategy/platform)."""
+    """Regenerate Fig. 8 (optionally for another strategy/platform).
+
+    Each (graph, CCR) point is independent — its own MILP solve plus two
+    simulations — so ``jobs`` fans them across worker processes.
+    """
     config = config or SimConfig.realistic()
     platform = platform or CellPlatform.qs22()
-    points: List[MeasuredPoint] = []
+    # Baseline: PPE-only throughput per variant.  Compute costs are
+    # CCR-invariant, but memory I/O scales, so the baseline is measured
+    # per point for fairness (inside the sweep worker).
+    specs = []
+    keys: List[Tuple[int, float]] = []
     for graph_id in graph_ids:
         variants = ccr_variants(graph_id)
-        # Baseline: PPE-only throughput of the *base* variant.  Compute
-        # costs are CCR-invariant, but memory I/O scales, so measure the
-        # baseline per variant for fairness.
         for ccr in ccrs:
-            graph = variants[ccr]
-            baseline = measure_throughput(
-                Mapping.all_on_ppe(graph, platform), n_instances, config
-            )
-            mapping = build_mapping(strategy, graph, platform)
-            result = measure_throughput(mapping, n_instances, config)
-            ratio = (
-                result.steady_state_throughput()
-                / baseline.steady_state_throughput()
-            )
-            points.append(
-                MeasuredPoint(
-                    series=f"random graph {graph_id}",
-                    x=ccr,
-                    y=ratio,
-                    detail=f"{mapping.n_tasks_on_spes()} tasks on SPEs",
-                )
-            )
+            seed = point_seed("fig8", graph_id, ccr, strategy)
+            specs.append((variants[ccr], platform, strategy, n_instances, config, seed))
+            keys.append((graph_id, ccr))
+    results = run_sweep(speedup_of_point, specs, jobs=jobs)
+    points = [
+        MeasuredPoint(
+            series=f"random graph {graph_id}",
+            x=ccr,
+            y=ratio,
+            detail=f"{n_on_spes} tasks on SPEs",
+        )
+        for (graph_id, ccr), (ratio, n_on_spes) in zip(keys, results)
+    ]
     return Fig8Result(points=points)
 
 
-def main(n_instances: int = 1000) -> Fig8Result:
+def main(n_instances: int = 1000, jobs: Optional[int] = None) -> Fig8Result:
     """CLI entry: print the Fig. 8 table and plot."""
-    result = run(n_instances=n_instances)
+    result = run(n_instances=n_instances, jobs=jobs)
     print(result.table())
     print(ascii_plot(result.points, x_label="CCR", y_label="speed-up"))
     return result

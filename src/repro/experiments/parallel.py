@@ -1,0 +1,70 @@
+"""Deterministic parallel sweep runner for the experiment drivers.
+
+Every figure of §6 is a sweep over independent (graph, platform, strategy)
+points; each point bundles everything its evaluation needs, so the points
+can be fanned across ``multiprocessing`` workers.  Three properties make
+the fan-out safe:
+
+* **order preservation** — ``Pool.map`` returns results in spec order, so
+  the assembled figures are identical for any worker count;
+* **self-contained specs** — workers never share mutable state; all
+  randomness is seeded inside the spec (strategies use fixed seeds,
+  :func:`point_seed` derives stable per-point seeds when one is needed);
+* **top-level workers** — the worker callables live in
+  :mod:`repro.experiments.common`, so they pickle by reference under both
+  fork and spawn start methods.
+
+``jobs`` semantics (shared by the ``fig*`` drivers and the CLI ``--jobs``
+flag): ``None``/``0``/``1`` run serially in-process, ``n > 1`` uses up to
+``n`` worker processes, and any negative value means "all CPU cores".
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import zlib
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+__all__ = ["effective_jobs", "point_seed", "run_sweep"]
+
+S = TypeVar("S")
+R = TypeVar("R")
+
+
+def effective_jobs(jobs: Optional[int], n_specs: int) -> int:
+    """The number of worker processes a sweep will actually use."""
+    if jobs is None or jobs == 0 or jobs == 1:
+        return 1
+    if jobs < 0:
+        jobs = os.cpu_count() or 1
+    return max(1, min(jobs, n_specs))
+
+
+def point_seed(*key) -> int:
+    """A stable 32-bit seed derived from a sweep-point key.
+
+    Unlike ``hash()`` this is stable across processes and interpreter
+    runs (no PYTHONHASHSEED dependence), so seeded strategies give the
+    same answer for the same point no matter which worker draws it.
+    """
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+def run_sweep(
+    worker: Callable[[S], R],
+    specs: Iterable[S],
+    jobs: Optional[int] = None,
+) -> List[R]:
+    """Evaluate ``worker`` over ``specs``, optionally across processes.
+
+    Results come back in spec order regardless of ``jobs``, and the serial
+    path (``jobs in (None, 0, 1)``, a single spec, or a nested call from
+    inside a pool worker) avoids process start-up entirely.
+    """
+    specs = list(specs)
+    n_workers = effective_jobs(jobs, len(specs))
+    if n_workers <= 1 or multiprocessing.current_process().daemon:
+        return [worker(spec) for spec in specs]
+    with multiprocessing.get_context().Pool(processes=n_workers) as pool:
+        return pool.map(worker, specs)

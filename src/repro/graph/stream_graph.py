@@ -31,6 +31,16 @@ class StreamGraph:
         self._edges: Dict[Tuple[str, str], DataEdge] = {}
         self._succ: Dict[str, List[str]] = {}
         self._pred: Dict[str, List[str]] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every structural or attribute change.
+
+        Derived caches (e.g. the memoized ``buffer_requirements``) key on
+        ``(graph, version)`` so they are invalidated by any mutation.
+        """
+        return self._version
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -42,6 +52,7 @@ class StreamGraph:
         self._tasks[task.name] = task
         self._succ[task.name] = []
         self._pred[task.name] = []
+        self._version += 1
         return task
 
     def add_edge(self, edge: DataEdge) -> DataEdge:
@@ -56,6 +67,7 @@ class StreamGraph:
         self._edges[edge.key] = edge
         self._succ[edge.src].append(edge.dst)
         self._pred[edge.dst].append(edge.src)
+        self._version += 1
         return edge
 
     def replace_task(self, task: Task) -> None:
@@ -63,12 +75,14 @@ class StreamGraph:
         if task.name not in self._tasks:
             raise GraphError(f"unknown task {task.name!r}")
         self._tasks[task.name] = task
+        self._version += 1
 
     def replace_edge(self, edge: DataEdge) -> None:
         """Swap the edge with the same ``(src, dst)`` key."""
         if edge.key not in self._edges:
             raise GraphError(f"unknown edge {edge.src!r}->{edge.dst!r}")
         self._edges[edge.key] = edge
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # Queries

@@ -2,17 +2,27 @@
 
 * :func:`greedy_mem`, :func:`greedy_cpu` — the paper's GREEDYMEM/GREEDYCPU;
 * :func:`critical_path_mapping` — HEFT-style list scheduling (future work);
-* :func:`local_search` — move/swap refinement of any mapping;
+* :func:`local_search` — move/swap refinement of any mapping, delta-evaluated;
+* :func:`simulated_annealing`, :func:`tabu_search` — metaheuristics built on
+  the incremental :class:`~repro.steady_state.delta.DeltaAnalyzer`;
 * :func:`random_mapping` — feasible random baseline.
 """
 
-from .extra import critical_path_mapping, local_search, random_mapping
+from .extra import (
+    critical_path_mapping,
+    local_search,
+    random_mapping,
+    simulated_annealing,
+    tabu_search,
+)
 from .greedy import greedy_cpu, greedy_mem
 
 __all__ = [
     "critical_path_mapping",
     "local_search",
     "random_mapping",
+    "simulated_annealing",
+    "tabu_search",
     "greedy_cpu",
     "greedy_mem",
 ]

@@ -7,24 +7,41 @@ approach the optimal throughput"; these are our take on that future work:
   steady state: tasks in decreasing upward rank, each placed on the PE
   minimising the resulting period, subject to the hard constraints;
 * :func:`local_search` — steepest-descent move/swap refinement of any
-  starting mapping under the analytic period;
+  starting mapping under the analytic period, evaluated incrementally by
+  :class:`~repro.steady_state.delta.DeltaAnalyzer` (O(deg) per candidate
+  instead of a full O(V+E) ``analyze`` pass);
+* :func:`simulated_annealing` / :func:`tabu_search` — metaheuristics that
+  only become tractable with delta evaluation: thousands of candidate
+  moves per run, each scored in O(deg);
 * :func:`random_mapping` — feasibility-aware random mapping (baseline and
   test fixture).
 """
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..errors import MappingError
 from ..graph.stream_graph import StreamGraph
 from ..platform.cell import CellPlatform
+from ..steady_state.delta import DeltaAnalyzer
 from ..steady_state.mapping import Mapping
 from ..steady_state.periods import buffer_requirements
 from ..steady_state.throughput import analyze
 
-__all__ = ["critical_path_mapping", "local_search", "random_mapping"]
+__all__ = [
+    "critical_path_mapping",
+    "local_search",
+    "simulated_annealing",
+    "tabu_search",
+    "random_mapping",
+]
+
+#: How many accepted metaheuristic moves between O(V+E) re-anchoring
+#: rebuilds of the incremental state (squashes float drift, see delta.py).
+_RESYNC_EVERY = 256
 
 
 def _upward_rank(graph: StreamGraph) -> Dict[str, float]:
@@ -51,9 +68,8 @@ def critical_path_mapping(graph: StreamGraph, platform: CellPlatform) -> Mapping
     """
     need = buffer_requirements(graph)
     budget = platform.buffer_budget
-    order = sorted(
-        graph.task_names(), key=lambda t: -_upward_rank(graph)[t]
-    )
+    rank = _upward_rank(graph)
+    order = sorted(graph.task_names(), key=lambda t: -rank[t])
     mem_used: Dict[int, float] = {i: 0.0 for i in platform.spe_indices}
     compute: Dict[int, float] = {i: 0.0 for i in range(platform.n_pes)}
     comm_in: Dict[int, float] = {i: 0.0 for i in range(platform.n_pes)}
@@ -146,13 +162,69 @@ def local_search(
     mapping: Mapping,
     max_rounds: int = 50,
     try_swaps: bool = True,
+    use_delta: bool = True,
 ) -> Mapping:
     """Steepest-descent refinement of ``mapping`` under the analytic period.
 
     Each round evaluates every single-task move (and optionally every
     task-pair swap) and applies the best strictly-improving *feasible* one;
     stops at a local optimum or after ``max_rounds``.
+
+    With ``use_delta=True`` (default) candidates are scored incrementally
+    by :class:`DeltaAnalyzer` in O(deg(task)) each; ``use_delta=False``
+    keeps the original full-``analyze`` evaluation (O(V+E) per candidate)
+    as a reference implementation for tests and benchmarks.  Both paths
+    visit candidates in the same order; their scores agree exactly for
+    integer-valued costs and to within one ulp otherwise (see delta.py),
+    so the returned mappings match unless two candidates tie that
+    tightly — in which case the resulting periods are equal to ulps.
     """
+    if not use_delta:
+        return _local_search_full(mapping, max_rounds, try_swaps)
+
+    state = DeltaAnalyzer(mapping)
+    current_period = state.period() if state.feasible else float("inf")
+    platform = mapping.platform
+    names = mapping.graph.task_names()
+    n_pes = platform.n_pes
+
+    for _ in range(max_rounds):
+        best: Optional[Tuple[str, ...]] = None
+        best_period = current_period
+        for name in names:
+            origin = state.pe_of(name)
+            for pe in range(n_pes):
+                if pe == origin:
+                    continue
+                score = state.score_move(name, pe)
+                if score.feasible and score.period < best_period:
+                    best, best_period = ("move", name, pe), score.period
+        if try_swaps:
+            for a_idx in range(len(names)):
+                for b_idx in range(a_idx + 1, len(names)):
+                    a, b = names[a_idx], names[b_idx]
+                    if state.pe_of(a) == state.pe_of(b):
+                        continue
+                    score = state.score_swap(a, b)
+                    if score.feasible and score.period < best_period:
+                        best, best_period = ("swap", a, b), score.period
+        if best is None:
+            break
+        if best[0] == "move":
+            state.apply_move(best[1], int(best[2]))
+        else:
+            state.apply_swap(best[1], best[2])
+        # One O(V+E) rebuild per round: re-anchors the incremental sums so
+        # the scores of the next round match a fresh analyze() exactly.
+        state.resync()
+        current_period = state.period() if state.feasible else float("inf")
+    return state.mapping()
+
+
+def _local_search_full(
+    mapping: Mapping, max_rounds: int, try_swaps: bool
+) -> Mapping:
+    """Reference steepest descent: full ``analyze`` per candidate (seed code)."""
     current = mapping
     current_analysis = analyze(current)
     current_period = (
@@ -188,6 +260,162 @@ def local_search(
             break
         current, current_period = best_candidate, best_period
     return current
+
+
+def _feasible_start(
+    graph: StreamGraph, platform: CellPlatform, start: Optional[Mapping]
+) -> Mapping:
+    """A feasible starting point: the given one, critical-path, or PPE-only."""
+    if start is None:
+        start = critical_path_mapping(graph, platform)
+    if not analyze(start).feasible:
+        start = Mapping.all_on_ppe(graph, platform)
+    return start
+
+
+def simulated_annealing(
+    graph: StreamGraph,
+    platform: CellPlatform,
+    start: Optional[Mapping] = None,
+    seed: int = 0,
+    iterations: Optional[int] = None,
+    initial_temperature: Optional[float] = None,
+    swap_prob: float = 0.25,
+) -> Mapping:
+    """Metropolis search over feasible mappings under the analytic period.
+
+    Random single-task moves (and, with probability ``swap_prob``,
+    task-pair swaps) are scored by :class:`DeltaAnalyzer`; improving
+    candidates are always accepted, worsening ones with probability
+    ``exp(-ΔT/temp)`` under a geometric cooling schedule.  Infeasible
+    candidates are rejected outright, and the best *feasible* state seen
+    is returned — starting from a feasible mapping (``start`` if feasible,
+    else the always-feasible PPE-only mapping), so the result is never
+    infeasible.
+    """
+    rng = random.Random(seed)
+    start = _feasible_start(graph, platform, start)
+    state = DeltaAnalyzer(start)
+    names = graph.task_names()
+    n_pes = platform.n_pes
+    if n_pes < 2 or len(names) < 1:
+        return start
+    n_iter = iterations if iterations is not None else max(1500, 60 * len(names))
+
+    current = state.period()
+    best_assignment = state.assignment()
+    best_period = current
+    # Clamp away zero/negative temperatures: 0 would divide by zero in the
+    # Metropolis test and negatives would invert it; 1e-9 µs is cold enough
+    # to behave as pure greedy acceptance.
+    temperature = max(
+        initial_temperature
+        if initial_temperature is not None
+        else 0.05 * current,
+        1e-9,
+    )
+    # Geometric schedule reaching 0.1 % of the initial temperature.
+    alpha = (1e-3) ** (1.0 / max(n_iter, 1))
+    applied = 0
+
+    for _ in range(n_iter):
+        if len(names) >= 2 and rng.random() < swap_prob:
+            a, b = rng.sample(names, 2)
+            if state.pe_of(a) == state.pe_of(b):
+                temperature *= alpha
+                continue
+            score = state.score_swap(a, b)
+            candidate = ("swap", a, b)
+        else:
+            name = names[rng.randrange(len(names))]
+            pe = rng.randrange(n_pes)
+            if pe == state.pe_of(name):
+                temperature *= alpha
+                continue
+            score = state.score_move(name, pe)
+            candidate = ("move", name, pe)
+        if score.feasible:
+            delta_t = score.period - current
+            if delta_t <= 0 or rng.random() < math.exp(-delta_t / temperature):
+                if candidate[0] == "move":
+                    state.apply_move(candidate[1], int(candidate[2]))
+                else:
+                    state.apply_swap(candidate[1], candidate[2])
+                applied += 1
+                if applied % _RESYNC_EVERY == 0:
+                    state.resync()
+                current = state.period()
+                if current < best_period:
+                    best_period = current
+                    best_assignment = state.assignment()
+        temperature *= alpha
+    return Mapping(graph, platform, best_assignment)
+
+
+def tabu_search(
+    graph: StreamGraph,
+    platform: CellPlatform,
+    start: Optional[Mapping] = None,
+    seed: int = 0,
+    rounds: Optional[int] = None,
+    tenure: Optional[int] = None,
+) -> Mapping:
+    """Tabu search over single-task moves under the analytic period.
+
+    Each round scores the full move neighbourhood with
+    :class:`DeltaAnalyzer` and applies the best feasible move — even a
+    worsening one, which lets the search climb out of the local optima
+    where :func:`local_search` stops.  Recently moved tasks are tabu for
+    ``tenure`` rounds unless the move beats the best period seen so far
+    (aspiration).  Starts feasible and only ever visits feasible states,
+    so the returned mapping is never infeasible.
+    """
+    rng = random.Random(seed)
+    start = _feasible_start(graph, platform, start)
+    state = DeltaAnalyzer(start)
+    names = graph.task_names()
+    n_pes = platform.n_pes
+    if n_pes < 2 or len(names) < 1:
+        return start
+    n_rounds = rounds if rounds is not None else max(40, 2 * len(names))
+    tabu_tenure = tenure if tenure is not None else max(4, len(names) // 4)
+
+    tabu_until: Dict[str, int] = {}
+    best_assignment = state.assignment()
+    best_period = state.period()
+    applied = 0
+
+    for rnd in range(n_rounds):
+        scan = list(names)
+        rng.shuffle(scan)  # deterministic per seed; diversifies tie wins
+        best_move: Optional[Tuple[str, int]] = None
+        best_move_period = float("inf")
+        for name in scan:
+            origin = state.pe_of(name)
+            is_tabu = tabu_until.get(name, 0) > rnd
+            for pe in range(n_pes):
+                if pe == origin:
+                    continue
+                score = state.score_move(name, pe)
+                if not score.feasible:
+                    continue
+                if is_tabu and score.period >= best_period:
+                    continue  # tabu, and no aspiration
+                if score.period < best_move_period:
+                    best_move, best_move_period = (name, pe), score.period
+        if best_move is None:
+            break  # neighbourhood exhausted (all tabu and non-aspiring)
+        name, pe = best_move
+        state.apply_move(name, pe)
+        applied += 1
+        if applied % _RESYNC_EVERY == 0:
+            state.resync()
+        tabu_until[name] = rnd + 1 + tabu_tenure
+        period = state.period()
+        if period < best_period:
+            best_period = period
+            best_assignment = state.assignment()
+    return Mapping(graph, platform, best_assignment)
 
 
 def random_mapping(

@@ -5,9 +5,12 @@
   — the §4.2 timing and memory model;
 * :func:`analyze` / :func:`throughput` / :func:`speedup` — analytic period,
   feasibility and throughput of a mapping;
+* :class:`DeltaAnalyzer` — incremental O(deg) re-evaluation of moves/swaps
+  (the engine behind the neighbourhood-search heuristics);
 * :class:`PeriodicSchedule` — the explicit periodic schedule (Fig. 3).
 """
 
+from .delta import DeltaAnalyzer, MoveScore
 from .mapping import Mapping
 from .periods import (
     buffer_requirements,
@@ -33,6 +36,8 @@ from .throughput import (
 )
 
 __all__ = [
+    "DeltaAnalyzer",
+    "MoveScore",
     "Mapping",
     "buffer_requirements",
     "buffer_sizes",

@@ -1,0 +1,505 @@
+"""Incremental (delta) steady-state evaluation of mapping moves.
+
+``throughput.analyze()`` walks the whole graph — O(V+E) — for every
+candidate mapping, which makes a neighbourhood search round
+O(n²·n_pes·(V+E)).  :class:`DeltaAnalyzer` holds the mutable load state of
+one mapping and re-evaluates a single-task move (or a task-pair swap) in
+O(deg(task) + n_pes), which is what lets ``local_search`` and the
+metaheuristics (`simulated_annealing`, `tabu_search`) scale past toy graph
+sizes.
+
+Each cached quantity corresponds to one family of constraints of the
+paper's program (1):
+
+===================  ====================================================
+cached state         paper constraint
+===================  ====================================================
+``compute[pe]``      (1e)/(1f) — compute occupation of each PPE/SPE
+``in_bytes[pe]``     (1g) — incoming interface occupation (reads + cross
+                     edges landing on the PE)
+``out_bytes[pe]``    (1h) — outgoing interface occupation (writes + cross
+                     edges leaving the PE)
+``buffer[spe]``      (1i) — §4.2 stream-buffer bytes hosted by the SPE's
+                     local store
+``dma_in[spe]``      (1j) — distinct data received per period (MFC queue)
+``dma_proxy[spe]``   (1k) — distinct data pushed to PPEs per period
+                     (proxy queue)
+``link_bytes``       the bounded-multiport extension of (1g)/(1h) to the
+                     inter-Cell BIF link of multi-Cell platforms
+===================  ====================================================
+
+The period is ``max`` occupation over all resources, exactly as in
+``analyze``; :meth:`DeltaAnalyzer.snapshot` rebuilds a full
+:class:`PeriodAnalysis` from the cached state, using the same accumulation
+order as ``analyze`` so the two agree bit-for-bit (for graphs whose costs
+and payloads are integer-valued floats the incremental updates are exact;
+otherwise agreement is within one ulp per update — call :meth:`resync`
+to squash any accumulated drift with one O(V+E) rebuild).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from ..errors import MappingError
+from .mapping import Mapping
+from .periods import buffer_requirements
+from .throughput import LinkLoad, PeriodAnalysis, ResourceLoad, Violation
+
+__all__ = ["DeltaAnalyzer", "MoveScore"]
+
+
+class MoveScore(NamedTuple):
+    """Cheap verdict on a candidate mapping (current or hypothetical)."""
+
+    period: float
+    feasible: bool
+    n_violations: int
+
+
+#: Internal bundle of per-resource deltas for a set of simultaneous moves:
+#: (moved, d_compute, d_in, d_out, d_buf, d_dma_in, d_dma_proxy,
+#:  d_link_bytes, d_link_count).
+_Deltas = Tuple[
+    Dict[str, int],
+    Dict[int, float],
+    Dict[int, float],
+    Dict[int, float],
+    Dict[int, float],
+    Dict[int, int],
+    Dict[int, int],
+    Dict[Tuple[int, int], float],
+    Dict[Tuple[int, int], int],
+]
+
+
+class DeltaAnalyzer:
+    """Mutable load state of a mapping with O(deg) move evaluation.
+
+    Matches ``analyze(mapping)`` with its default flags (no local-comm
+    elision, no same-PE buffer merging): buffer sizes are the
+    mapping-independent §4.2 constants, so a move only shifts which local
+    store hosts them.
+    """
+
+    def __init__(self, mapping: Mapping) -> None:
+        self.graph = mapping.graph
+        self.platform = mapping.platform
+        platform = self.platform
+        n = platform.n_pes
+        self._n_pes = n
+        self._bw = platform.bw
+        self._bif_bw = platform.bif_bw
+        self._budget = platform.buffer_budget
+        self._in_slots = platform.dma_in_slots
+        self._proxy_slots = platform.dma_proxy_slots
+        self._is_ppe: List[bool] = [platform.is_ppe(i) for i in range(n)]
+        self._is_spe: List[bool] = [not p for p in self._is_ppe]
+        self._cell: List[int] = [platform.cell_of(i) for i in range(n)]
+        self._multi = platform.n_cells > 1
+
+        self._assign: Dict[str, int] = mapping.to_dict()
+        # Per-task constants: (wppe, wspe, read, write).
+        self._tinfo: Dict[str, Tuple[float, float, float, float]] = {
+            t.name: (t.wppe, t.wspe, t.read, t.write)
+            for t in self.graph.tasks()
+        }
+        # Adjacency as (neighbour, payload) pairs for O(deg) edge walks.
+        self._in_adj: Dict[str, List[Tuple[str, float]]] = {
+            name: [(e.src, e.data) for e in self.graph.in_edges(name)]
+            for name in self._assign
+        }
+        self._out_adj: Dict[str, List[Tuple[str, float]]] = {
+            name: [(e.dst, e.data) for e in self.graph.out_edges(name)]
+            for name in self._assign
+        }
+        self._need: Dict[str, float] = buffer_requirements(self.graph)
+
+        # Mutable load state, filled by _rebuild().
+        self._compute: List[float] = []
+        self._in_bytes: List[float] = []
+        self._out_bytes: List[float] = []
+        self._peak: List[float] = []
+        self._buffer: Dict[int, float] = {}
+        self._dma_in: Dict[int, int] = {}
+        self._dma_proxy: Dict[int, int] = {}
+        self._link_bytes: Dict[Tuple[int, int], float] = {}
+        self._link_count: Dict[Tuple[int, int], int] = {}
+        self._n_violations = 0
+        self._rebuild()
+
+    # ------------------------------------------------------------------ #
+    # State construction
+
+    def _rebuild(self) -> None:
+        """Recompute all cached loads from scratch (same order as analyze)."""
+        platform = self.platform
+        assign = self._assign
+        n = self._n_pes
+        compute = [0.0] * n
+        in_bytes = [0.0] * n
+        out_bytes = [0.0] * n
+        for task in self.graph.tasks():
+            pe = assign[task.name]
+            compute[pe] += task.cost_on(platform.kind(pe))
+            in_bytes[pe] += task.read
+            out_bytes[pe] += task.write
+
+        dma_in = {i: 0 for i in platform.spe_indices}
+        dma_proxy = {i: 0 for i in platform.spe_indices}
+        link_bytes: Dict[Tuple[int, int], float] = {}
+        link_count: Dict[Tuple[int, int], int] = {}
+        is_spe, is_ppe, cell = self._is_spe, self._is_ppe, self._cell
+        for edge in self.graph.edges():
+            src_pe = assign[edge.src]
+            dst_pe = assign[edge.dst]
+            if src_pe == dst_pe:
+                continue
+            out_bytes[src_pe] += edge.data
+            in_bytes[dst_pe] += edge.data
+            if is_spe[dst_pe]:
+                dma_in[dst_pe] += 1
+            if is_spe[src_pe] and is_ppe[dst_pe]:
+                dma_proxy[src_pe] += 1
+            if self._multi and cell[src_pe] != cell[dst_pe]:
+                key = (cell[src_pe], cell[dst_pe])
+                link_bytes[key] = link_bytes.get(key, 0.0) + edge.data
+                link_count[key] = link_count.get(key, 0) + 1
+
+        buffer = {i: 0.0 for i in platform.spe_indices}
+        need = self._need
+        for name, pe in assign.items():
+            if is_spe[pe]:
+                buffer[pe] += need[name]
+
+        self._compute, self._in_bytes, self._out_bytes = compute, in_bytes, out_bytes
+        self._dma_in, self._dma_proxy = dma_in, dma_proxy
+        self._link_bytes, self._link_count = link_bytes, link_count
+        self._buffer = buffer
+        bw = self._bw
+        self._peak = [
+            max(compute[i], in_bytes[i] / bw, out_bytes[i] / bw)
+            for i in range(n)
+        ]
+        violations = 0
+        for spe in platform.spe_indices:
+            violations += buffer[spe] > self._budget
+            violations += dma_in[spe] > self._in_slots
+            violations += dma_proxy[spe] > self._proxy_slots
+        self._n_violations = violations
+
+    def resync(self) -> None:
+        """One O(V+E) rebuild, re-anchoring the incremental state exactly."""
+        self._rebuild()
+
+    # ------------------------------------------------------------------ #
+    # Queries
+
+    def pe_of(self, task: str) -> int:
+        try:
+            return self._assign[task]
+        except KeyError:
+            raise MappingError(f"task {task!r} is not mapped") from None
+
+    def assignment(self) -> Dict[str, int]:
+        """A copy of the current task → PE assignment."""
+        return dict(self._assign)
+
+    def mapping(self) -> Mapping:
+        """The current state as an immutable :class:`Mapping`."""
+        return Mapping(self.graph, self.platform, self._assign)
+
+    def period(self) -> float:
+        """Current period ``T`` (same value as ``analyze(...).period``)."""
+        worst = max(self._peak)
+        if self._multi:
+            for value in self._link_bytes.values():
+                time = value / self._bif_bw
+                if time > worst:
+                    worst = time
+        return worst
+
+    @property
+    def feasible(self) -> bool:
+        return self._n_violations == 0
+
+    def score(self) -> MoveScore:
+        """Score of the *current* state (no hypothetical move)."""
+        return MoveScore(
+            period=self.period(),
+            feasible=self._n_violations == 0,
+            n_violations=self._n_violations,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Delta machinery
+
+    def _deltas(self, changes: Dict[str, int]) -> Optional[_Deltas]:
+        """Per-resource deltas for applying ``changes`` simultaneously.
+
+        O(sum of degrees of the moved tasks).  Returns ``None`` when no
+        task actually changes PE.
+        """
+        assign = self._assign
+        n = self._n_pes
+        moved: Dict[str, int] = {}
+        for name, pe in changes.items():
+            if name not in assign:
+                raise MappingError(f"task {name!r} is not mapped")
+            if not 0 <= pe < n:
+                raise MappingError(
+                    f"task {name!r} moved to invalid PE {pe!r} "
+                    f"(platform has {n} PEs)"
+                )
+            if assign[name] != pe:
+                moved[name] = pe
+        if not moved:
+            return None
+
+        is_ppe, is_spe, cell = self._is_ppe, self._is_spe, self._cell
+        d_compute: Dict[int, float] = {}
+        d_in: Dict[int, float] = {}
+        d_out: Dict[int, float] = {}
+        d_buf: Dict[int, float] = {}
+        d_dma_in: Dict[int, int] = {}
+        d_dma_proxy: Dict[int, int] = {}
+        d_link: Dict[Tuple[int, int], float] = {}
+        d_link_n: Dict[Tuple[int, int], int] = {}
+        edges: Dict[Tuple[str, str], float] = {}
+
+        for name, new_pe in moved.items():
+            old_pe = assign[name]
+            wppe, wspe, read, write = self._tinfo[name]
+            d_compute[old_pe] = d_compute.get(old_pe, 0.0) - (
+                wppe if is_ppe[old_pe] else wspe
+            )
+            d_compute[new_pe] = d_compute.get(new_pe, 0.0) + (
+                wppe if is_ppe[new_pe] else wspe
+            )
+            d_in[old_pe] = d_in.get(old_pe, 0.0) - read
+            d_in[new_pe] = d_in.get(new_pe, 0.0) + read
+            d_out[old_pe] = d_out.get(old_pe, 0.0) - write
+            d_out[new_pe] = d_out.get(new_pe, 0.0) + write
+            need = self._need[name]
+            if is_spe[old_pe]:
+                d_buf[old_pe] = d_buf.get(old_pe, 0.0) - need
+            if is_spe[new_pe]:
+                d_buf[new_pe] = d_buf.get(new_pe, 0.0) + need
+            for src, data in self._in_adj[name]:
+                edges[(src, name)] = data
+            for dst, data in self._out_adj[name]:
+                edges[(name, dst)] = data
+
+        for (u, v), data in edges.items():
+            old_u, old_v = assign[u], assign[v]
+            new_u, new_v = moved.get(u, old_u), moved.get(v, old_v)
+            if old_u != old_v:  # retract the old cross-PE contribution
+                d_out[old_u] = d_out.get(old_u, 0.0) - data
+                d_in[old_v] = d_in.get(old_v, 0.0) - data
+                if is_spe[old_v]:
+                    d_dma_in[old_v] = d_dma_in.get(old_v, 0) - 1
+                if is_spe[old_u] and is_ppe[old_v]:
+                    d_dma_proxy[old_u] = d_dma_proxy.get(old_u, 0) - 1
+                if self._multi and cell[old_u] != cell[old_v]:
+                    key = (cell[old_u], cell[old_v])
+                    d_link[key] = d_link.get(key, 0.0) - data
+                    d_link_n[key] = d_link_n.get(key, 0) - 1
+            if new_u != new_v:  # add the new cross-PE contribution
+                d_out[new_u] = d_out.get(new_u, 0.0) + data
+                d_in[new_v] = d_in.get(new_v, 0.0) + data
+                if is_spe[new_v]:
+                    d_dma_in[new_v] = d_dma_in.get(new_v, 0) + 1
+                if is_spe[new_u] and is_ppe[new_v]:
+                    d_dma_proxy[new_u] = d_dma_proxy.get(new_u, 0) + 1
+                if self._multi and cell[new_u] != cell[new_v]:
+                    key = (cell[new_u], cell[new_v])
+                    d_link[key] = d_link.get(key, 0.0) + data
+                    d_link_n[key] = d_link_n.get(key, 0) + 1
+
+        return (
+            moved, d_compute, d_in, d_out, d_buf,
+            d_dma_in, d_dma_proxy, d_link, d_link_n,
+        )
+
+    def _violation_shift(
+        self,
+        d_buf: Dict[int, float],
+        d_dma_in: Dict[int, int],
+        d_dma_proxy: Dict[int, int],
+    ) -> int:
+        """Net change in the number of violated (1i)–(1k) constraints."""
+        shift = 0
+        budget, in_slots, proxy_slots = (
+            self._budget, self._in_slots, self._proxy_slots,
+        )
+        for spe, dv in d_buf.items():
+            old = self._buffer[spe]
+            shift += (old + dv > budget) - (old > budget)
+        for spe, dv in d_dma_in.items():
+            old = self._dma_in[spe]
+            shift += (old + dv > in_slots) - (old > in_slots)
+        for spe, dv in d_dma_proxy.items():
+            old = self._dma_proxy[spe]
+            shift += (old + dv > proxy_slots) - (old > proxy_slots)
+        return shift
+
+    def _score(self, deltas: Optional[_Deltas]) -> MoveScore:
+        if deltas is None:
+            return self.score()
+        (_moved, d_compute, d_in, d_out, d_buf,
+         d_dma_in, d_dma_proxy, d_link, _d_link_n) = deltas
+
+        bw = self._bw
+        compute, in_bytes, out_bytes = self._compute, self._in_bytes, self._out_bytes
+        peak = self._peak
+        touched = set(d_compute)
+        touched.update(d_in)
+        touched.update(d_out)
+        worst = 0.0
+        for pe in range(self._n_pes):
+            if pe in touched:
+                value = compute[pe] + d_compute.get(pe, 0.0)
+                comm = (in_bytes[pe] + d_in.get(pe, 0.0)) / bw
+                if comm > value:
+                    value = comm
+                comm = (out_bytes[pe] + d_out.get(pe, 0.0)) / bw
+                if comm > value:
+                    value = comm
+            else:
+                value = peak[pe]
+            if value > worst:
+                worst = value
+        if self._multi:
+            link = self._link_bytes
+            keys = set(link)
+            keys.update(d_link)
+            for key in keys:
+                time = (link.get(key, 0.0) + d_link.get(key, 0.0)) / self._bif_bw
+                if time > worst:
+                    worst = time
+
+        n_violations = self._n_violations + self._violation_shift(
+            d_buf, d_dma_in, d_dma_proxy
+        )
+        return MoveScore(
+            period=worst, feasible=n_violations == 0, n_violations=n_violations
+        )
+
+    def _apply(self, deltas: Optional[_Deltas]) -> None:
+        if deltas is None:
+            return
+        (moved, d_compute, d_in, d_out, d_buf,
+         d_dma_in, d_dma_proxy, d_link, d_link_n) = deltas
+
+        self._n_violations += self._violation_shift(d_buf, d_dma_in, d_dma_proxy)
+        for name, pe in moved.items():
+            self._assign[name] = pe
+        for pe, dv in d_compute.items():
+            self._compute[pe] += dv
+        for pe, dv in d_in.items():
+            self._in_bytes[pe] += dv
+        for pe, dv in d_out.items():
+            self._out_bytes[pe] += dv
+        for spe, dv in d_buf.items():
+            self._buffer[spe] += dv
+        for spe, dv in d_dma_in.items():
+            self._dma_in[spe] += dv
+        for spe, dv in d_dma_proxy.items():
+            self._dma_proxy[spe] += dv
+        for key, dv in d_link.items():
+            count = self._link_count.get(key, 0) + d_link_n[key]
+            if count:
+                self._link_count[key] = count
+                self._link_bytes[key] = self._link_bytes.get(key, 0.0) + dv
+            else:  # no cross-cell edge left on this link direction
+                self._link_count.pop(key, None)
+                self._link_bytes.pop(key, None)
+        bw = self._bw
+        touched = set(d_compute)
+        touched.update(d_in)
+        touched.update(d_out)
+        for pe in touched:
+            self._peak[pe] = max(
+                self._compute[pe],
+                self._in_bytes[pe] / bw,
+                self._out_bytes[pe] / bw,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Public move/swap API
+
+    def score_move(self, task: str, pe: int) -> MoveScore:
+        """Score of the mapping with ``task`` moved to ``pe`` — O(deg(task))."""
+        return self._score(self._deltas({task: pe}))
+
+    def score_swap(self, a: str, b: str) -> MoveScore:
+        """Score of the mapping with tasks ``a`` and ``b`` exchanging PEs."""
+        return self._score(self._deltas({a: self.pe_of(b), b: self.pe_of(a)}))
+
+    def apply_move(self, task: str, pe: int) -> None:
+        """Commit a single-task move into the cached state — O(deg(task))."""
+        self._apply(self._deltas({task: pe}))
+
+    def apply_swap(self, a: str, b: str) -> None:
+        """Commit a task-pair PE exchange into the cached state."""
+        self._apply(self._deltas({a: self.pe_of(b), b: self.pe_of(a)}))
+
+    # ------------------------------------------------------------------ #
+    # Full analysis
+
+    def snapshot(self) -> PeriodAnalysis:
+        """A full :class:`PeriodAnalysis` of the current state.
+
+        Field-for-field identical to ``analyze(self.mapping())`` (see the
+        module docstring for the exactness guarantee), built in O(V + n_pes)
+        without re-walking the edges.
+        """
+        platform = self.platform
+        bw = self._bw
+        loads = [
+            ResourceLoad(
+                pe=i,
+                pe_name=platform.pe_name(i),
+                compute=self._compute[i],
+                comm_in=self._in_bytes[i] / bw,
+                comm_out=self._out_bytes[i] / bw,
+            )
+            for i in range(self._n_pes)
+        ]
+        buffer_bytes = {i: self._buffer[i] for i in platform.spe_indices}
+        dma_in = {i: self._dma_in[i] for i in platform.spe_indices}
+        dma_proxy = {i: self._dma_proxy[i] for i in platform.spe_indices}
+        violations: List[Violation] = []
+        for spe in platform.spe_indices:
+            pe_name = platform.pe_name(spe)
+            if buffer_bytes[spe] > self._budget:
+                violations.append(
+                    Violation("memory", spe, pe_name, buffer_bytes[spe], self._budget)
+                )
+            if dma_in[spe] > self._in_slots:
+                violations.append(
+                    Violation("dma_in", spe, pe_name, dma_in[spe], self._in_slots)
+                )
+            if dma_proxy[spe] > self._proxy_slots:
+                violations.append(
+                    Violation("dma_proxy", spe, pe_name, dma_proxy[spe], self._proxy_slots)
+                )
+        link_loads = [
+            LinkLoad(src_cell=src, dst_cell=dst, time=bytes_ / self._bif_bw)
+            for (src, dst), bytes_ in sorted(self._link_bytes.items())
+        ]
+        return PeriodAnalysis(
+            mapping=self.mapping(),
+            loads=loads,
+            buffer_bytes=buffer_bytes,
+            dma_in=dma_in,
+            dma_proxy=dma_proxy,
+            violations=violations,
+            link_loads=link_loads,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DeltaAnalyzer({self.graph.name!r}, period={self.period():.3f}, "
+            f"violations={self._n_violations})"
+        )

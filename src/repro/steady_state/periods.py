@@ -23,6 +23,7 @@ is also what the linear program's constant ``buff`` coefficients require
 
 from __future__ import annotations
 
+import weakref
 from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from ..graph.stream_graph import StreamGraph
@@ -93,6 +94,31 @@ def buffer_sizes(
     }
 
 
+#: Memoized mapping-independent buffer requirements, keyed by ``id(graph)``
+#: and validated against a weak reference (id reuse) and the graph's
+#: mutation counter (staleness).  The default ``buffer_requirements`` call
+#: is mapping-independent and recomputed by every heuristic and every
+#: ``analyze()`` on the same graph, so caching it takes an O(V+E)
+#: traversal off the hot path of neighbourhood search.
+_REQUIREMENTS_CACHE: Dict[int, Tuple["weakref.ref", int, Dict[str, float]]] = {}
+
+
+def _cached_requirements(graph: StreamGraph) -> Dict[str, float]:
+    key = id(graph)
+    entry = _REQUIREMENTS_CACHE.get(key)
+    if entry is not None:
+        ref, version, need = entry
+        if ref() is graph and version == graph.version:
+            return need
+    need = _compute_requirements(graph, None, False, False)
+
+    def _evict(_ref, key=key):
+        _REQUIREMENTS_CACHE.pop(key, None)
+
+    _REQUIREMENTS_CACHE[key] = (weakref.ref(graph, _evict), graph.version, need)
+    return need
+
+
 def buffer_requirements(
     graph: StreamGraph,
     mapping: Optional["Mapping"] = None,
@@ -106,9 +132,25 @@ def buffer_requirements(
     the *input* buffer of an edge whose endpoints share a PE is not
     duplicated — the producer's output buffer is reused, saving memory (the
     paper's future-work optimisation).
+
+    The default (mapping-independent) case is memoized per graph and
+    invalidated by any graph mutation; callers get a private copy.
     """
     if merge_same_pe_buffers and mapping is None:
         raise ValueError("merge_same_pe_buffers=True requires a mapping")
+    if mapping is None and not elide_local_comm and not merge_same_pe_buffers:
+        return dict(_cached_requirements(graph))
+    return _compute_requirements(
+        graph, mapping, elide_local_comm, merge_same_pe_buffers
+    )
+
+
+def _compute_requirements(
+    graph: StreamGraph,
+    mapping: Optional["Mapping"],
+    elide_local_comm: bool,
+    merge_same_pe_buffers: bool,
+) -> Dict[str, float]:
     buffers = buffer_sizes(graph, mapping, elide_local_comm)
     need: Dict[str, float] = {task.name: 0.0 for task in graph.tasks()}
     for edge in graph.edges():

@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.cli import main_simulate, main_solve
+from repro import cli
+from repro.cli import main_experiment, main_simulate, main_solve
 from repro.graph import save
 from repro.generator import assign_costs, random_topology
 
@@ -61,6 +62,46 @@ class TestSolveCli:
         assert main_solve([small_graph_file, "--strategy", "milp", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["feasible"] is True
+
+    @pytest.mark.parametrize("strategy", ["simulated_annealing", "tabu_search"])
+    def test_metaheuristic_strategies(self, capsys, small_graph_file, strategy):
+        assert main_solve([small_graph_file, "--strategy", strategy, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["feasible"] is True
+        assert payload["throughput_per_s"] > 0
+
+
+class TestExperimentCli:
+    def test_jobs_flag_forwarded(self, monkeypatch):
+        called = {}
+
+        def fake_main(n_instances, jobs=None):
+            called.update(n=n_instances, jobs=jobs)
+
+        monkeypatch.setattr(cli.fig7_speedup, "main", fake_main)
+        assert main_experiment(["fig7", "--instances", "5", "--jobs", "3"]) == 0
+        assert called == {"n": 5, "jobs": 3}
+
+    def test_jobs_flag_default_serial(self, monkeypatch):
+        called = {}
+
+        def fake_main(n_instances, jobs=None):
+            called.update(jobs=jobs)
+
+        monkeypatch.setattr(cli.fig8_ccr, "main", fake_main)
+        assert main_experiment(["fig8", "--instances", "5"]) == 0
+        assert called == {"jobs": None}
+
+    def test_jobs_noop_warns_on_single_point_experiments(self, monkeypatch, capsys):
+        monkeypatch.setattr(cli.fig6_rampup, "main", lambda n_instances, jobs=None: None)
+        assert main_experiment(["fig6", "--jobs", "4"]) == 0
+        assert "--jobs ignored" in capsys.readouterr().err
+        monkeypatch.setattr(cli.tables, "main", lambda: None)
+        assert main_experiment(["tables", "--jobs", "4"]) == 0
+        assert "--jobs ignored" in capsys.readouterr().err
+        # no warning when serial anyway
+        assert main_experiment(["tables"]) == 0
+        assert "--jobs" not in capsys.readouterr().err
 
 
 class TestSimulateCli:

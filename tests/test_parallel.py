@@ -1,0 +1,103 @@
+"""Tests for the parallel sweep runner and the --jobs figure wiring."""
+
+import pytest
+
+from repro.experiments import fig7_speedup
+from repro.experiments.common import rate_of_point, speedup_of_point
+from repro.experiments.parallel import effective_jobs, point_seed, run_sweep
+from repro.generator import assign_costs, random_topology
+from repro.platform import CellPlatform
+from repro.simulator import SimConfig
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return assign_costs(random_topology(10, fat=0.4, seed=21), ccr=0.775, seed=21)
+
+
+@pytest.fixture(scope="module")
+def small_platform():
+    return CellPlatform.qs22().with_spes(2)
+
+
+class TestEffectiveJobs:
+    def test_serial_defaults(self):
+        assert effective_jobs(None, 10) == 1
+        assert effective_jobs(0, 10) == 1
+        assert effective_jobs(1, 10) == 1
+
+    def test_bounded_by_specs(self):
+        assert effective_jobs(8, 3) == 3
+        assert effective_jobs(2, 10) == 2
+
+    def test_negative_means_all_cores(self):
+        assert effective_jobs(-1, 1000) >= 1
+
+    def test_point_seed_stable_and_distinct(self):
+        assert point_seed("fig7", 1, "milp") == point_seed("fig7", 1, "milp")
+        assert point_seed("fig7", 1, "milp") != point_seed("fig7", 2, "milp")
+
+
+class TestRunSweep:
+    def test_serial_path(self, small_graph, small_platform):
+        config = SimConfig.ideal()
+        specs = [
+            (small_graph, small_platform, s, 60, config)
+            for s in ("ppe", "greedy_cpu", "greedy_mem")
+        ]
+        rates = run_sweep(rate_of_point, specs)
+        assert len(rates) == 3
+        assert all(rate > 0 for rate in rates)
+
+    def test_parallel_matches_serial(self, small_graph, small_platform):
+        config = SimConfig.ideal()
+        specs = [
+            (small_graph, small_platform, s, 60, config)
+            for s in ("ppe", "greedy_cpu", "critical_path")
+        ]
+        serial = run_sweep(rate_of_point, specs, jobs=None)
+        parallel = run_sweep(rate_of_point, specs, jobs=2)
+        assert parallel == serial
+
+    def test_speedup_worker(self, small_graph, small_platform):
+        ratio, n_on_spes = speedup_of_point(
+            (small_graph, small_platform, "greedy_cpu", 60, SimConfig.ideal())
+        )
+        assert ratio > 0
+        assert 0 <= n_on_spes <= small_graph.n_tasks
+
+    def test_seeded_spec_is_deterministic(self, small_graph, small_platform):
+        config = SimConfig.ideal()
+        seed = point_seed("test", "tabu_search")
+        spec = (small_graph, small_platform, "tabu_search", 60, config, seed)
+        assert rate_of_point(spec) == rate_of_point(spec)
+        # seedless 5-tuples remain supported (fixed strategy default seed)
+        assert rate_of_point(spec[:5]) == rate_of_point(spec[:5])
+
+    def test_build_mapping_forwards_seed_only_to_seeded_strategies(
+        self, small_graph, small_platform
+    ):
+        from repro.experiments.common import SEEDED_STRATEGIES, build_mapping
+
+        assert set(SEEDED_STRATEGIES) == {"simulated_annealing", "tabu_search"}
+        a = build_mapping("tabu_search", small_graph, small_platform, seed=7)
+        b = build_mapping("tabu_search", small_graph, small_platform, seed=7)
+        assert a == b
+        # deterministic strategies ignore the seed rather than rejecting it
+        c = build_mapping("greedy_cpu", small_graph, small_platform, seed=7)
+        d = build_mapping("greedy_cpu", small_graph, small_platform)
+        assert c == d
+
+
+class TestFigureJobs:
+    def test_fig7_jobs_equivalent(self, small_graph, small_platform):
+        kwargs = dict(
+            spe_counts=(0, 2),
+            strategies=("greedy_cpu",),
+            n_instances=60,
+            config=SimConfig.ideal(),
+            base_platform=small_platform,
+        )
+        serial = fig7_speedup.run_one(small_graph, **kwargs)
+        fanned = fig7_speedup.run_one(small_graph, jobs=2, **kwargs)
+        assert fanned.points == serial.points
