@@ -16,7 +16,7 @@ from repro.generator import assign_costs, random_graph_1, random_topology
 from repro.heuristics import critical_path_mapping, greedy_cpu, greedy_mem, local_search
 from repro.platform import CellPlatform
 from repro.simulator import FlowNetwork, SimConfig, simulate
-from repro.steady_state import DeltaAnalyzer, Mapping, analyze, build_schedule
+from repro.steady_state import DeltaAnalyzer, analyze, build_schedule
 
 
 @pytest.fixture(scope="module")

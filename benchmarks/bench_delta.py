@@ -1,0 +1,105 @@
+"""Delta-engine micro-benchmarks backing the CI benchmark-regression gate.
+
+Unlike the ``fig*`` artefact benches these are small, deterministic and
+fast (milliseconds per round), so pytest-benchmark statistics are stable
+enough to compare against the committed ``benchmarks/BENCH_baseline.json``
+with ``--benchmark-compare-fail=mean:25%``.  They cover the paths a
+performance regression would hurt most:
+
+* scoring a full move neighbourhood in the default (mapping-independent)
+  buffer model — the ``local_search`` / ``tabu_search`` hot path;
+* the same sweep under ``elide_local_comm`` + ``merge_same_pe_buffers``,
+  where the engine additionally maintains the mapping-dependent model;
+* an apply-heavy random walk (the ``simulated_annealing`` profile);
+* a small end-to-end ``genetic_algorithm`` run (clone + bulk crossover).
+
+Refreshing the baseline: run
+``PYTHONPATH=src python -m pytest benchmarks/bench_delta.py -q
+--benchmark-json=benchmarks/BENCH_baseline.json`` on the reference
+machine (or download the ``benchmark-results`` artifact of a green CI
+run) and commit the file.
+"""
+
+import random
+
+import pytest
+
+from repro.generator import random_graph_1
+from repro.heuristics import genetic_algorithm, greedy_cpu
+from repro.platform import CellPlatform
+from repro.steady_state import DeltaAnalyzer
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph_1()
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CellPlatform.qs22()
+
+
+@pytest.fixture(scope="module")
+def mapping(graph, platform):
+    return greedy_cpu(graph, platform)
+
+
+def _score_sweep(state, names, n_pes):
+    total = 0.0
+    for name in names:
+        for pe in range(n_pes):
+            total += state.score_move(name, pe).period
+    return total
+
+
+@pytest.mark.benchmark(group="delta")
+def test_score_neighbourhood_default(benchmark, graph, platform, mapping):
+    """Full move neighbourhood, mapping-independent buffers (PR 1 path)."""
+    state = DeltaAnalyzer(mapping)
+    names = graph.task_names()
+    total = benchmark(_score_sweep, state, names, platform.n_pes)
+    assert total > 0
+
+
+@pytest.mark.benchmark(group="delta")
+def test_score_neighbourhood_elide_merge(benchmark, graph, platform, mapping):
+    """Full move neighbourhood under the mapping-dependent buffer model."""
+    state = DeltaAnalyzer(
+        mapping, elide_local_comm=True, merge_same_pe_buffers=True
+    )
+    names = graph.task_names()
+    total = benchmark(_score_sweep, state, names, platform.n_pes)
+    assert total > 0
+
+
+@pytest.mark.benchmark(group="delta")
+def test_apply_walk_elide_merge(benchmark, graph, platform, mapping):
+    """Apply-heavy random walk (annealing profile), mapping-dependent."""
+    names = graph.task_names()
+    n_pes = platform.n_pes
+
+    def walk():
+        state = DeltaAnalyzer(
+            mapping, elide_local_comm=True, merge_same_pe_buffers=True
+        )
+        rng = random.Random(0)
+        for _ in range(300):
+            name = names[rng.randrange(len(names))]
+            state.apply_move(name, rng.randrange(n_pes))
+        return state.period()
+
+    assert benchmark(walk) > 0
+
+
+@pytest.mark.benchmark(group="delta")
+def test_genetic_algorithm_small(benchmark, graph, platform):
+    """End-to-end GA (clone, crossover, delta-scored mutation)."""
+
+    def run():
+        return genetic_algorithm(
+            graph, platform, seed=0, generations=4, population_size=8
+        )
+
+    result = benchmark(run)
+    assert result.graph is graph

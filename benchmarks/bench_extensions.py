@@ -44,7 +44,7 @@ def test_dual_cell(benchmark, results_dir):
     lines = [f"dual-Cell extension on {graph.name} ({n} instances)"]
     for label, period, speedup, links in rows:
         link_txt = ", ".join(
-            f"{l.src_cell}->{l.dst_cell}: {l.time:.2f}µs" for l in links
+            f"{ln.src_cell}->{ln.dst_cell}: {ln.time:.2f}µs" for ln in links
         ) or "unused"
         lines.append(
             f"  {label:>6}: T={period:9.1f} µs  speed-up {speedup:5.2f}x  "

@@ -51,7 +51,9 @@ def build(n_filter_groups: int = 4) -> StreamGraph:
     # Psychoacoustic branch: FFT (vector) then masking model (scalar);
     # the masking model looks one frame ahead (peek=1).
     g.add_task(Task("fft", wppe=380.0, wspe=120.0, ops=1520.0))
-    g.add_task(Task("psycho", wppe=250.0, wspe=520.0, peek=1, stateful=True, ops=1000.0))
+    g.add_task(
+        Task("psycho", wppe=250.0, wspe=520.0, peek=1, stateful=True, ops=1000.0)
+    )
     g.add_edge(DataEdge("framing", "fft", FRAME_BYTES))
     g.add_edge(DataEdge("fft", "psycho", 1024 * 4))
 

@@ -36,7 +36,9 @@ def build(n_stripes: int = 4) -> StreamGraph:
     g.add_edge(DataEdge("capture", "colourspace", FRAME_BYTES))
 
     # Temporal denoise: needs the two following frames (peek=2).
-    g.add_task(Task("denoise", wppe=640.0, wspe=240.0, peek=2, stateful=True, ops=2560.0))
+    g.add_task(
+        Task("denoise", wppe=640.0, wspe=240.0, peek=2, stateful=True, ops=2560.0)
+    )
     g.add_edge(DataEdge("colourspace", "denoise", FRAME_BYTES))
 
     for i in range(n_stripes):
@@ -48,7 +50,12 @@ def build(n_stripes: int = 4) -> StreamGraph:
     g.add_task(Task("entropy", wppe=300.0, wspe=780.0, stateful=True, ops=1200.0))
     for i in range(n_stripes):
         g.add_edge(DataEdge(f"quant{i}", "entropy", stripe // 4))
-    g.add_task(Task("mux", wppe=90.0, wspe=260.0, stateful=True, write=FRAME_BYTES // 8, ops=360.0))
+    g.add_task(
+        Task(
+            "mux", wppe=90.0, wspe=260.0, stateful=True,
+            write=FRAME_BYTES // 8, ops=360.0,
+        )
+    )
     g.add_edge(DataEdge("entropy", "mux", FRAME_BYTES // 8))
 
     # Preview branch: cheap, stays wherever convenient.

@@ -208,19 +208,58 @@ def main_experiment(argv: Optional[list] = None) -> int:
         help="fan sweep points over N worker processes "
         "(default: serial; -1 = all CPU cores)",
     )
+    parser.add_argument(
+        "--strategies", default=None, metavar="A,B,...",
+        help="comma-separated strategies to sweep for fig7/fig8 "
+        f"(default: the paper's; choose from {', '.join(sorted(STRATEGIES))})",
+    )
     args = parser.parse_args(argv)
     if args.which in ("fig6", "tables") and args.jobs not in (None, 0, 1):
         print(
             f"note: {args.which} has no sweep to fan out; --jobs ignored",
             file=sys.stderr,
         )
+    strategies = None
+    if args.strategies is not None:
+        strategies = tuple(
+            name.strip() for name in args.strategies.split(",") if name.strip()
+        )
+        if not strategies:
+            print(
+                "error: --strategies is empty; "
+                f"pick from {', '.join(sorted(STRATEGIES))}",
+                file=sys.stderr,
+            )
+            return 1
+        unknown = sorted(set(strategies) - set(STRATEGIES))
+        if unknown:
+            print(
+                f"error: unknown strategies {', '.join(unknown)}; "
+                f"pick from {', '.join(sorted(STRATEGIES))}",
+                file=sys.stderr,
+            )
+            return 1
+        if args.which in ("fig6", "tables"):
+            print(
+                f"note: {args.which} has a fixed strategy set; "
+                "--strategies ignored",
+                file=sys.stderr,
+            )
     try:
         if args.which == "fig6":
             fig6_rampup.main(n_instances=args.instances or 3000, jobs=args.jobs)
         elif args.which == "fig7":
-            fig7_speedup.main(n_instances=args.instances or 1000, jobs=args.jobs)
+            fig7_speedup.main(
+                n_instances=args.instances or 1000,
+                jobs=args.jobs,
+                strategies=strategies,
+            )
         elif args.which == "fig8":
-            fig8_ccr.main(n_instances=args.instances or 1000, jobs=args.jobs)
+            fig8_ccr.main(
+                n_instances=args.instances or 1000,
+                jobs=args.jobs,
+                strategies=strategies,
+            )
         else:
             tables.main()
     except ReproError as exc:

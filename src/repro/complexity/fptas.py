@@ -16,7 +16,7 @@ is a ``(1 + ε)``-approximation of the optimal makespan in time
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 from ..errors import ReproError
 from .reduction import MultiprocessorInstance
@@ -33,7 +33,12 @@ def _trim(points: List[Tuple[float, float]], delta: float) -> List[Tuple[float, 
     for a, b in points:
         if b >= best_b:  # dominated: same-or-larger a with larger b
             continue
-        if kept and last_a > 0 and a <= last_a * (1 + delta) and b >= kept[-1][1] / (1 + delta):
+        if (
+            kept
+            and last_a > 0
+            and a <= last_a * (1 + delta)
+            and b >= kept[-1][1] / (1 + delta)
+        ):
             # Within the δ-tube of the last kept point on both coordinates.
             best_b = min(best_b, b)
             continue
@@ -69,7 +74,11 @@ def fptas_two_machines(
         for a, b, mask in extended:
             if b >= best_b:
                 continue
-            if kept and a <= kept[-1][0] * (1 + delta) and b >= kept[-1][1] / (1 + delta):
+            if (
+                kept
+                and a <= kept[-1][0] * (1 + delta)
+                and b >= kept[-1][1] / (1 + delta)
+            ):
                 best_b = min(best_b, b)
                 continue
             kept.append((a, b, mask))

@@ -49,7 +49,7 @@ class MultiprocessorInstance:
         if not self.lengths:
             raise ReproError("instance needs at least one task")
         for pair in self.lengths:
-            if len(pair) != 2 or any(l < 0 for l in pair):
+            if len(pair) != 2 or any(length < 0 for length in pair):
                 raise ReproError("lengths must be non-negative pairs")
         if self.bound <= 0:
             raise ReproError("bound must be positive")

@@ -11,12 +11,13 @@ from __future__ import annotations
 import csv
 import io
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError
 from ..graph.stream_graph import StreamGraph
 from ..heuristics import (
     critical_path_mapping,
+    genetic_algorithm,
     greedy_cpu,
     greedy_mem,
     simulated_annealing,
@@ -53,8 +54,9 @@ def _milp_strategy(graph: StreamGraph, platform: CellPlatform) -> Mapping:
 
 #: All mapping strategies by name.  "milp" is the paper's contribution,
 #: "greedy_cpu"/"greedy_mem" its §6.3 baselines, "critical_path" our
-#: future-work heuristic, "simulated_annealing"/"tabu_search" the
-#: delta-evaluated metaheuristics (deterministic: fixed default seeds).
+#: future-work heuristic, "simulated_annealing"/"tabu_search"/
+#: "genetic_algorithm" the delta-evaluated metaheuristics (deterministic:
+#: fixed default seeds).
 STRATEGIES: Dict[str, Callable[[StreamGraph, CellPlatform], Mapping]] = {
     "milp": _milp_strategy,
     "greedy_cpu": greedy_cpu,
@@ -62,13 +64,18 @@ STRATEGIES: Dict[str, Callable[[StreamGraph, CellPlatform], Mapping]] = {
     "critical_path": critical_path_mapping,
     "simulated_annealing": simulated_annealing,
     "tabu_search": tabu_search,
+    "genetic_algorithm": genetic_algorithm,
 }
 
 #: The three strategies shown in the paper's Fig. 7.
 PAPER_STRATEGIES: Tuple[str, ...] = ("milp", "greedy_cpu", "greedy_mem")
 
 #: Strategies whose search is driven by a PRNG and accept a ``seed`` kwarg.
-SEEDED_STRATEGIES: Tuple[str, ...] = ("simulated_annealing", "tabu_search")
+SEEDED_STRATEGIES: Tuple[str, ...] = (
+    "simulated_annealing",
+    "tabu_search",
+    "genetic_algorithm",
+)
 
 
 def build_mapping(
@@ -201,7 +208,10 @@ def ascii_plot(
     return "\n".join(lines)
 
 
-def to_csv(points: Iterable[MeasuredPoint], header: Tuple[str, str, str] = ("series", "x", "y")) -> str:
+def to_csv(
+    points: Iterable[MeasuredPoint],
+    header: Tuple[str, str, str] = ("series", "x", "y"),
+) -> str:
     """Render measured points as CSV text."""
     buffer = io.StringIO()
     writer = csv.writer(buffer)

@@ -113,9 +113,17 @@ def run(
     ]
 
 
-def main(n_instances: int = 1000, jobs: Optional[int] = None) -> List[Fig7Result]:
+def main(
+    n_instances: int = 1000,
+    jobs: Optional[int] = None,
+    strategies: Optional[Sequence[str]] = None,
+) -> List[Fig7Result]:
     """CLI entry: print tables and plots for all three graphs."""
-    results = run(n_instances=n_instances, jobs=jobs)
+    results = run(
+        strategies=strategies or PAPER_STRATEGIES,
+        n_instances=n_instances,
+        jobs=jobs,
+    )
     for result in results:
         print(result.table())
         print(

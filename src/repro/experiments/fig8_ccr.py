@@ -92,9 +92,17 @@ def run(
     return Fig8Result(points=points)
 
 
-def main(n_instances: int = 1000, jobs: Optional[int] = None) -> Fig8Result:
-    """CLI entry: print the Fig. 8 table and plot."""
-    result = run(n_instances=n_instances, jobs=jobs)
-    print(result.table())
-    print(ascii_plot(result.points, x_label="CCR", y_label="speed-up"))
-    return result
+def main(
+    n_instances: int = 1000,
+    jobs: Optional[int] = None,
+    strategies: Optional[Sequence[str]] = None,
+) -> List[Fig8Result]:
+    """CLI entry: print the Fig. 8 table and plot (one per strategy)."""
+    results = []
+    for strategy in strategies or ("milp",):
+        result = run(n_instances=n_instances, jobs=jobs, strategy=strategy)
+        print(f"strategy: {strategy}")
+        print(result.table())
+        print(ascii_plot(result.points, x_label="CCR", y_label="speed-up"))
+        results.append(result)
+    return results

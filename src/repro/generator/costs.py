@@ -156,7 +156,9 @@ def assign_costs(
     return graph
 
 
-def rescale_ccr(graph: StreamGraph, target_ccr: float, name: Optional[str] = None) -> StreamGraph:
+def rescale_ccr(
+    graph: StreamGraph, target_ccr: float, name: Optional[str] = None
+) -> StreamGraph:
     """A copy of ``graph`` with payloads scaled to hit ``target_ccr`` exactly.
 
     This is how the paper derives its 6 CCR variants of each random graph:
@@ -170,7 +172,9 @@ def rescale_ccr(graph: StreamGraph, target_ccr: float, name: Optional[str] = Non
             return graph.copy(name)
         raise GeneratorError("cannot rescale a graph with no communication")
     factor = target_ccr / current
-    out = graph.scaled(data_factor=factor, name=name or f"{graph.name}@ccr{target_ccr:g}")
+    out = graph.scaled(
+        data_factor=factor, name=name or f"{graph.name}@ccr{target_ccr:g}"
+    )
     # Memory I/O is communication too: scale it with the payloads.
     for task in list(out.tasks()):
         if task.read or task.write:

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from ..graph.stream_graph import StreamGraph
-from .costs import CostModel, assign_costs, rescale_ccr
+from .costs import assign_costs, rescale_ccr
 from .daggen import random_topology
 from .shapes import chain
 

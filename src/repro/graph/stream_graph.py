@@ -288,7 +288,9 @@ class StreamGraph:
         return graph
 
     @classmethod
-    def chain_of(cls, tasks: Sequence[Task], data: Sequence[float], name: str = "chain") -> "StreamGraph":
+    def chain_of(
+        cls, tasks: Sequence[Task], data: Sequence[float], name: str = "chain"
+    ) -> "StreamGraph":
         """Convenience constructor for linear pipelines (Fig. 2a)."""
         if len(data) != max(len(tasks) - 1, 0):
             raise GraphError("chain_of needs len(data) == len(tasks) - 1")

@@ -5,11 +5,14 @@
 * :func:`local_search` — move/swap refinement of any mapping, delta-evaluated;
 * :func:`simulated_annealing`, :func:`tabu_search` — metaheuristics built on
   the incremental :class:`~repro.steady_state.delta.DeltaAnalyzer`;
+* :func:`genetic_algorithm` — population search with PE-assignment
+  crossover and delta-scored mutation on cloned analyzer states;
 * :func:`random_mapping` — feasible random baseline.
 """
 
 from .extra import (
     critical_path_mapping,
+    genetic_algorithm,
     local_search,
     random_mapping,
     simulated_annealing,
@@ -19,6 +22,7 @@ from .greedy import greedy_cpu, greedy_mem
 
 __all__ = [
     "critical_path_mapping",
+    "genetic_algorithm",
     "local_search",
     "random_mapping",
     "simulated_annealing",

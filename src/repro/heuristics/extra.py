@@ -13,15 +13,24 @@ approach the optimal throughput"; these are our take on that future work:
 * :func:`simulated_annealing` / :func:`tabu_search` — metaheuristics that
   only become tractable with delta evaluation: thousands of candidate
   moves per run, each scored in O(deg);
+* :func:`genetic_algorithm` — population search over feasible mappings:
+  PE-assignment crossover and delta-scored mutation on *cloned*
+  :class:`DeltaAnalyzer` states, so offspring are evaluated incrementally
+  instead of re-analysed from scratch;
 * :func:`random_mapping` — feasibility-aware random mapping (baseline and
   test fixture).
+
+Every search heuristic accepts ``elide_local_comm`` /
+``merge_same_pe_buffers`` and then optimises under the corresponding
+mapping-dependent buffer model (the paper's future-work optimisations),
+evaluated incrementally by the same delta engine.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import MappingError
 from ..graph.stream_graph import StreamGraph
@@ -30,9 +39,11 @@ from ..steady_state.delta import DeltaAnalyzer
 from ..steady_state.mapping import Mapping
 from ..steady_state.periods import buffer_requirements
 from ..steady_state.throughput import analyze
+from .greedy import greedy_cpu, greedy_mem
 
 __all__ = [
     "critical_path_mapping",
+    "genetic_algorithm",
     "local_search",
     "simulated_annealing",
     "tabu_search",
@@ -163,6 +174,8 @@ def local_search(
     max_rounds: int = 50,
     try_swaps: bool = True,
     use_delta: bool = True,
+    elide_local_comm: bool = False,
+    merge_same_pe_buffers: bool = False,
 ) -> Mapping:
     """Steepest-descent refinement of ``mapping`` under the analytic period.
 
@@ -178,11 +191,21 @@ def local_search(
     integer-valued costs and to within one ulp otherwise (see delta.py),
     so the returned mappings match unless two candidates tie that
     tightly — in which case the resulting periods are equal to ulps.
+
+    ``elide_local_comm`` / ``merge_same_pe_buffers`` switch both paths to
+    the corresponding mapping-dependent buffer model.
     """
     if not use_delta:
-        return _local_search_full(mapping, max_rounds, try_swaps)
+        return _local_search_full(
+            mapping, max_rounds, try_swaps,
+            elide_local_comm, merge_same_pe_buffers,
+        )
 
-    state = DeltaAnalyzer(mapping)
+    state = DeltaAnalyzer(
+        mapping,
+        elide_local_comm=elide_local_comm,
+        merge_same_pe_buffers=merge_same_pe_buffers,
+    )
     current_period = state.period() if state.feasible else float("inf")
     platform = mapping.platform
     names = mapping.graph.task_names()
@@ -222,11 +245,19 @@ def local_search(
 
 
 def _local_search_full(
-    mapping: Mapping, max_rounds: int, try_swaps: bool
+    mapping: Mapping,
+    max_rounds: int,
+    try_swaps: bool,
+    elide_local_comm: bool = False,
+    merge_same_pe_buffers: bool = False,
 ) -> Mapping:
     """Reference steepest descent: full ``analyze`` per candidate (seed code)."""
+    flags = dict(
+        elide_local_comm=elide_local_comm,
+        merge_same_pe_buffers=merge_same_pe_buffers,
+    )
     current = mapping
-    current_analysis = analyze(current)
+    current_analysis = analyze(current, **flags)
     current_period = (
         current_analysis.period if current_analysis.feasible else float("inf")
     )
@@ -242,7 +273,7 @@ def _local_search_full(
                 if pe == origin:
                     continue
                 candidate = current.with_assignment(name, pe)
-                analysis = analyze(candidate)
+                analysis = analyze(candidate, **flags)
                 if analysis.feasible and analysis.period < best_period:
                     best_candidate, best_period = candidate, analysis.period
         if try_swaps:
@@ -252,8 +283,10 @@ def _local_search_full(
                     pe_a, pe_b = current.pe_of(a), current.pe_of(b)
                     if pe_a == pe_b:
                         continue
-                    candidate = current.with_assignment(a, pe_b).with_assignment(b, pe_a)
-                    analysis = analyze(candidate)
+                    candidate = current.with_assignment(
+                        a, pe_b
+                    ).with_assignment(b, pe_a)
+                    analysis = analyze(candidate, **flags)
                     if analysis.feasible and analysis.period < best_period:
                         best_candidate, best_period = candidate, analysis.period
         if best_candidate is None:
@@ -263,12 +296,25 @@ def _local_search_full(
 
 
 def _feasible_start(
-    graph: StreamGraph, platform: CellPlatform, start: Optional[Mapping]
+    graph: StreamGraph,
+    platform: CellPlatform,
+    start: Optional[Mapping],
+    elide_local_comm: bool = False,
+    merge_same_pe_buffers: bool = False,
 ) -> Mapping:
-    """A feasible starting point: the given one, critical-path, or PPE-only."""
+    """A feasible starting point: the given one, critical-path, or PPE-only.
+
+    Feasibility is judged under the requested buffer model; the PPE-only
+    fallback hosts no SPE buffers, so it is feasible under every model.
+    """
     if start is None:
         start = critical_path_mapping(graph, platform)
-    if not analyze(start).feasible:
+    feasible = analyze(
+        start,
+        elide_local_comm=elide_local_comm,
+        merge_same_pe_buffers=merge_same_pe_buffers,
+    ).feasible
+    if not feasible:
         start = Mapping.all_on_ppe(graph, platform)
     return start
 
@@ -281,6 +327,8 @@ def simulated_annealing(
     iterations: Optional[int] = None,
     initial_temperature: Optional[float] = None,
     swap_prob: float = 0.25,
+    elide_local_comm: bool = False,
+    merge_same_pe_buffers: bool = False,
 ) -> Mapping:
     """Metropolis search over feasible mappings under the analytic period.
 
@@ -291,11 +339,18 @@ def simulated_annealing(
     candidates are rejected outright, and the best *feasible* state seen
     is returned — starting from a feasible mapping (``start`` if feasible,
     else the always-feasible PPE-only mapping), so the result is never
-    infeasible.
+    infeasible.  Feasibility follows the buffer model selected by
+    ``elide_local_comm`` / ``merge_same_pe_buffers``.
     """
     rng = random.Random(seed)
-    start = _feasible_start(graph, platform, start)
-    state = DeltaAnalyzer(start)
+    start = _feasible_start(
+        graph, platform, start, elide_local_comm, merge_same_pe_buffers
+    )
+    state = DeltaAnalyzer(
+        start,
+        elide_local_comm=elide_local_comm,
+        merge_same_pe_buffers=merge_same_pe_buffers,
+    )
     names = graph.task_names()
     n_pes = platform.n_pes
     if n_pes < 2 or len(names) < 1:
@@ -359,6 +414,8 @@ def tabu_search(
     seed: int = 0,
     rounds: Optional[int] = None,
     tenure: Optional[int] = None,
+    elide_local_comm: bool = False,
+    merge_same_pe_buffers: bool = False,
 ) -> Mapping:
     """Tabu search over single-task moves under the analytic period.
 
@@ -368,11 +425,19 @@ def tabu_search(
     where :func:`local_search` stops.  Recently moved tasks are tabu for
     ``tenure`` rounds unless the move beats the best period seen so far
     (aspiration).  Starts feasible and only ever visits feasible states,
-    so the returned mapping is never infeasible.
+    so the returned mapping is never infeasible.  Feasibility follows the
+    buffer model selected by ``elide_local_comm`` /
+    ``merge_same_pe_buffers``.
     """
     rng = random.Random(seed)
-    start = _feasible_start(graph, platform, start)
-    state = DeltaAnalyzer(start)
+    start = _feasible_start(
+        graph, platform, start, elide_local_comm, merge_same_pe_buffers
+    )
+    state = DeltaAnalyzer(
+        start,
+        elide_local_comm=elide_local_comm,
+        merge_same_pe_buffers=merge_same_pe_buffers,
+    )
     names = graph.task_names()
     n_pes = platform.n_pes
     if n_pes < 2 or len(names) < 1:
@@ -416,6 +481,169 @@ def tabu_search(
             best_period = period
             best_assignment = state.assignment()
     return Mapping(graph, platform, best_assignment)
+
+
+def genetic_algorithm(
+    graph: StreamGraph,
+    platform: CellPlatform,
+    start: Optional[Mapping] = None,
+    seed: int = 0,
+    generations: Optional[int] = None,
+    population_size: Optional[int] = None,
+    elite: int = 2,
+    crossover_prob: float = 0.9,
+    mutation_prob: float = 0.4,
+    tournament: int = 3,
+    elide_local_comm: bool = False,
+    merge_same_pe_buffers: bool = False,
+) -> Mapping:
+    """Population search over *feasible* mappings under the analytic period.
+
+    The genome is the task → PE assignment vector.  Every individual is
+    held as a :class:`DeltaAnalyzer`, so the genetic operators are cheap:
+
+    * **crossover** — clone one parent, inherit a random subset of the
+      PEs where the other parent differs, scored as one bulk
+      :meth:`~DeltaAnalyzer.score_changes`; if the blend is infeasible it
+      is repaired by re-applying the inherited genes one by one, keeping
+      only those that stay feasible (delta-scored repair);
+    * **mutation** — move a random task to a delta-scored feasible PE
+      (greedy-best half the time, uniform otherwise), O(deg) per try;
+    * **selection** — size-``tournament`` tournaments on the period, with
+      the ``elite`` best individuals cloned unchanged into the next
+      generation.
+
+    The population is seeded with the feasible members of {``start`` (or
+    the critical-path mapping), GREEDYCPU, GREEDYMEM} plus random feasible
+    immigrants, so the search starts from diverse, constraint-respecting
+    stock.  Every individual visited is feasible, the best-ever assignment
+    is tracked across generations, and the search is fully deterministic
+    for a given ``seed``.  Feasibility follows the buffer model selected
+    by ``elide_local_comm`` / ``merge_same_pe_buffers``.
+    """
+    rng = random.Random(seed)
+    flags = dict(
+        elide_local_comm=elide_local_comm,
+        merge_same_pe_buffers=merge_same_pe_buffers,
+    )
+    start = _feasible_start(
+        graph, platform, start, elide_local_comm, merge_same_pe_buffers
+    )
+    names = graph.task_names()
+    n_pes = platform.n_pes
+    if n_pes < 2 or not names:
+        return start
+    pop_size = population_size or min(24, max(8, 4 + len(names) // 2))
+    n_generations = (
+        generations if generations is not None else max(15, len(names))
+    )
+    n_elite = max(1, min(elite, pop_size - 1))
+
+    population: List[DeltaAnalyzer] = [DeltaAnalyzer(start, **flags)]
+    for builder in (greedy_cpu, greedy_mem, critical_path_mapping):
+        if len(population) >= pop_size:
+            break
+        try:
+            candidate = DeltaAnalyzer(builder(graph, platform), **flags)
+        except MappingError:
+            continue
+        if candidate.feasible:
+            population.append(candidate)
+    attempts = 0
+    while len(population) < pop_size and attempts < 20 * pop_size:
+        attempts += 1
+        assignment = {name: rng.randrange(n_pes) for name in names}
+        candidate = DeltaAnalyzer(
+            Mapping(graph, platform, assignment), **flags
+        )
+        if candidate.feasible:
+            population.append(candidate)
+
+    def mutate(state: DeltaAnalyzer, n_moves: int) -> None:
+        for _ in range(n_moves):
+            name = names[rng.randrange(len(names))]
+            origin = state.pe_of(name)
+            feasible: List[Tuple[int, float]] = []
+            for pe in range(n_pes):
+                if pe == origin:
+                    continue
+                verdict = state.score_move(name, pe)
+                if verdict.feasible:
+                    feasible.append((pe, verdict.period))
+            if not feasible:
+                continue
+            if rng.random() < 0.5:
+                target = min(feasible, key=lambda item: item[1])[0]
+            else:
+                target = feasible[rng.randrange(len(feasible))][0]
+            state.apply_move(name, target)
+
+    # Tight platforms can leave no feasible immigrants beyond the seeds;
+    # pad the population with mutated clones (mutation preserves
+    # feasibility, so the invariant holds).
+    while len(population) < pop_size:
+        parent = population[rng.randrange(len(population))]
+        child = parent.clone()
+        mutate(child, 2)
+        population.append(child)
+
+    def select() -> DeltaAnalyzer:
+        best = population[rng.randrange(len(population))]
+        for _ in range(max(1, tournament) - 1):
+            rival = population[rng.randrange(len(population))]
+            if rival.period() < best.period():
+                best = rival
+        return best
+
+    def crossover(a: DeltaAnalyzer, b: DeltaAnalyzer) -> DeltaAnalyzer:
+        child = a.clone()
+        inherited = {
+            name: b.pe_of(name)
+            for name in names
+            if a.pe_of(name) != b.pe_of(name) and rng.random() < 0.5
+        }
+        if not inherited:
+            return child
+        if child.try_apply_changes(inherited).feasible:
+            return child
+        for name, pe in inherited.items():  # delta-scored repair
+            if child.score_move(name, pe).feasible:
+                child.apply_move(name, pe)
+        return child
+
+    best_assignment = start.to_dict()
+    best_period = population[0].period()
+
+    def track(states: List[DeltaAnalyzer]) -> None:
+        nonlocal best_assignment, best_period
+        for state in states:
+            period = state.period()
+            if period < best_period:
+                best_period = period
+                best_assignment = state.assignment()
+
+    track(population)
+    for _generation in range(n_generations):
+        population.sort(key=lambda state: state.period())
+        offspring = [population[i].clone() for i in range(n_elite)]
+        while len(offspring) < pop_size:
+            parent = select()
+            if rng.random() < crossover_prob:
+                child = crossover(parent, select())
+            else:
+                child = parent.clone()
+            if rng.random() < mutation_prob:
+                mutate(child, 1 + rng.randrange(2))
+            offspring.append(child)
+        population = offspring
+        track(population)
+
+    best = Mapping(graph, platform, best_assignment)
+    # Guard against ulp-level drift on non-integer graphs misjudging
+    # feasibility: re-check with the reference model before returning.
+    if not analyze(best, **flags).feasible:
+        return start
+    return best
 
 
 def random_mapping(

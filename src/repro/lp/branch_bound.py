@@ -18,7 +18,6 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
-from scipy import sparse
 from scipy.optimize import linprog
 
 from ..errors import InfeasibleModelError, SolverError, UnboundedModelError

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 from scipy import sparse
@@ -85,7 +85,16 @@ def _build_arrays(model: Model):
     integrality = np.array(
         [1 if v.integer else 0 for v in model.variables], dtype=np.uint8
     )
-    return c, A_ub, np.asarray(b_ub, dtype=float), A_eq, np.asarray(b_eq, dtype=float), lb, ub, integrality
+    return (
+        c,
+        A_ub,
+        np.asarray(b_ub, dtype=float),
+        A_eq,
+        np.asarray(b_eq, dtype=float),
+        lb,
+        ub,
+        integrality,
+    )
 
 
 def solve(

@@ -33,7 +33,7 @@ Constraint map (paper → method)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..graph.stream_graph import StreamGraph
 from ..lp.model import Model, Var, lpsum
@@ -114,7 +114,7 @@ def build_formulation(
             alpha[(k, i)] = model.add_binary(f"alpha[{k},{i}]")
 
     beta: Dict[Tuple[str, str, int, int], Var] = {}
-    for (k, l, _data) in edges:
+    for (k, l, _data) in edges:  # noqa: E741 — the paper's D(k,l)
         for i in range(n):
             for j in range(n):
                 name = f"beta[{k}->{l},{i},{j}]"
@@ -159,7 +159,7 @@ def _link_alpha_beta(f: MilpFormulation) -> None:
     """(1c)/(1d): transfers start where the producer runs and reach the consumer."""
     n = f.platform.n_pes
     for edge in f.graph.edges():
-        k, l = edge.src, edge.dst
+        k, l = edge.src, edge.dst  # noqa: E741 — the paper's D(k,l)
         for j in range(n):
             f.model.add_constraint(
                 lpsum(f.beta[(k, l, i, j)] for i in range(n)) >= f.alpha[(l, j)],

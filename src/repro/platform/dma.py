@@ -62,7 +62,9 @@ class DmaCosts:
     latency: float = 0.0
 
     def __post_init__(self) -> None:
-        for field in ("issue_overhead", "completion_overhead", "signal_overhead", "latency"):
+        for field in (
+            "issue_overhead", "completion_overhead", "signal_overhead", "latency"
+        ):
             if getattr(self, field) < 0:
                 raise ValueError(f"{field} must be non-negative")
 

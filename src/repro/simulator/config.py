@@ -10,7 +10,6 @@ support an ablation called out in DESIGN.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from ..errors import SimulationError
 from ..platform.dma import DmaCosts

@@ -170,8 +170,10 @@ class SimulationResult:
             f"simulated {self.n_instances} instances of "
             f"{self.mapping.graph.name!r} in {self.makespan / 1e6:.4f} s",
             f"  overall throughput : {self.throughput * 1e6:10.2f} instances/s",
-            f"  steady-state       : {self.steady_state_throughput() * 1e6:10.2f} instances/s",
-            f"  model prediction   : {self.predicted_throughput * 1e6:10.2f} instances/s",
+            "  steady-state       : "
+            f"{self.steady_state_throughput() * 1e6:10.2f} instances/s",
+            "  model prediction   : "
+            f"{self.predicted_throughput * 1e6:10.2f} instances/s",
             f"  efficiency         : {self.efficiency() * 100:10.1f} %",
         ]
         for name, frac in sorted(self.utilisation().items()):

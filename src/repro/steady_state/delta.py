@@ -5,8 +5,8 @@ candidate mapping, which makes a neighbourhood search round
 O(n²·n_pes·(V+E)).  :class:`DeltaAnalyzer` holds the mutable load state of
 one mapping and re-evaluates a single-task move (or a task-pair swap) in
 O(deg(task) + n_pes), which is what lets ``local_search`` and the
-metaheuristics (`simulated_annealing`, `tabu_search`) scale past toy graph
-sizes.
+metaheuristics (`simulated_annealing`, `tabu_search`,
+`genetic_algorithm`) scale past toy graph sizes.
 
 Each cached quantity corresponds to one family of constraints of the
 paper's program (1):
@@ -35,15 +35,46 @@ order as ``analyze`` so the two agree bit-for-bit (for graphs whose costs
 and payloads are integer-valued floats the incremental updates are exact;
 otherwise agreement is within one ulp per update — call :meth:`resync`
 to squash any accumulated drift with one O(V+E) rebuild).
+
+Mapping-dependent buffer modes
+------------------------------
+
+With the paper's default §4.2 model, buffer sizes are mapping-independent
+constants and a move only shifts which local store hosts them.  The two
+future-work optimisations change that:
+
+* ``elide_local_comm=True`` — the communication period of a same-PE edge
+  is skipped, so ``firstPeriod`` (and with it every edge's buffer window
+  ``fp[dst] - fp[src]``) depends on the mapping.  A move can shift the
+  first periods of the moved task's downstream cone; the analyzer
+  propagates the change along a topologically-ordered worklist that stops
+  as soon as the values converge, so the cost is O(deg(task)) plus the
+  size of the actually-affected region (typically a handful of tasks —
+  the fp of a task only moves when the ±1 communication period changes
+  the maximum over its predecessors).
+
+* ``merge_same_pe_buffers=True`` — a consumer that shares its producer's
+  PE reads straight from the producer's output buffer, so the input copy
+  is not allocated.  A move flips the merge status only of the moved
+  task's incident edges: O(deg(task)).
+
+In both modes the analyzer keeps per-task footprints (``need``), per-edge
+buffer sizes and (under elision) the ``firstPeriod`` vector incrementally,
+and per-task footprints are *recomputed* from the incident-edge list in
+the same accumulation order as ``periods.buffer_requirements`` — so
+:meth:`snapshot` stays bit-identical to
+``analyze(..., elide_local_comm=..., merge_same_pe_buffers=...)`` under
+the same exactness contract as the default mode.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Optional, Tuple
+import heapq
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple
 
 from ..errors import MappingError
 from .mapping import Mapping
-from .periods import buffer_requirements
+from .periods import buffer_requirements, buffer_sizes, first_periods
 from .throughput import LinkLoad, PeriodAnalysis, ResourceLoad, Violation
 
 __all__ = ["DeltaAnalyzer", "MoveScore"]
@@ -57,9 +88,17 @@ class MoveScore(NamedTuple):
     n_violations: int
 
 
+#: Updates to the mapping-dependent buffer model for a set of moves:
+#: (fp_new, esize_new, need_new) — only the entries that change.
+_BufModel = Tuple[
+    Dict[str, int],
+    Dict[Tuple[str, str], float],
+    Dict[str, float],
+]
+
 #: Internal bundle of per-resource deltas for a set of simultaneous moves:
 #: (moved, d_compute, d_in, d_out, d_buf, d_dma_in, d_dma_proxy,
-#:  d_link_bytes, d_link_count).
+#:  d_link_bytes, d_link_count, bufmodel).
 _Deltas = Tuple[
     Dict[str, int],
     Dict[int, float],
@@ -70,21 +109,35 @@ _Deltas = Tuple[
     Dict[int, int],
     Dict[Tuple[int, int], float],
     Dict[Tuple[int, int], int],
+    Optional[_BufModel],
 ]
 
 
 class DeltaAnalyzer:
     """Mutable load state of a mapping with O(deg) move evaluation.
 
-    Matches ``analyze(mapping)`` with its default flags (no local-comm
-    elision, no same-PE buffer merging): buffer sizes are the
-    mapping-independent §4.2 constants, so a move only shifts which local
-    store hosts them.
+    With the default flags this matches ``analyze(mapping)``: buffer sizes
+    are the mapping-independent §4.2 constants, so a move only shifts
+    which local store hosts them.  With ``elide_local_comm`` and/or
+    ``merge_same_pe_buffers`` it matches
+    ``analyze(mapping, elide_local_comm=..., merge_same_pe_buffers=...)``
+    and additionally maintains the mapping-dependent buffer model
+    incrementally (see the module docstring).
     """
 
-    def __init__(self, mapping: Mapping) -> None:
+    def __init__(
+        self,
+        mapping: Mapping,
+        elide_local_comm: bool = False,
+        merge_same_pe_buffers: bool = False,
+    ) -> None:
         self.graph = mapping.graph
         self.platform = mapping.platform
+        self.elide_local_comm = bool(elide_local_comm)
+        self.merge_same_pe_buffers = bool(merge_same_pe_buffers)
+        self._mapping_dependent = (
+            self.elide_local_comm or self.merge_same_pe_buffers
+        )
         platform = self.platform
         n = platform.n_pes
         self._n_pes = n
@@ -113,7 +166,42 @@ class DeltaAnalyzer:
             name: [(e.dst, e.data) for e in self.graph.out_edges(name)]
             for name in self._assign
         }
-        self._need: Dict[str, float] = buffer_requirements(self.graph)
+
+        # Buffer model.  In the default mode ``need`` is the constant §4.2
+        # footprint; in the mapping-dependent modes it is mutable state,
+        # together with the per-edge sizes and (under elision) the first
+        # periods, and the static structures below support their O(deg)
+        # incremental maintenance.
+        self._fp: Optional[Dict[str, int]] = None
+        self._esize: Optional[Dict[Tuple[str, str], float]] = None
+        if self._mapping_dependent:
+            self._tindex: Optional[Dict[str, int]] = {
+                name: i
+                for i, name in enumerate(self.graph.topological_order())
+            }
+            self._peek: Optional[Dict[str, int]] = {
+                t.name: t.peek for t in self.graph.tasks()
+            }
+            inc: Dict[str, List[Tuple[str, str]]] = {
+                name: [] for name in self._assign
+            }
+            data: Dict[Tuple[str, str], float] = {}
+            for e in self.graph.edges():
+                inc[e.src].append(e.key)
+                inc[e.dst].append(e.key)
+                data[e.key] = e.data
+            #: Incident edge keys per task, in *global* edge insertion
+            #: order — the accumulation order ``buffer_requirements`` uses,
+            #: which is what makes recomputed ``need`` values bit-identical.
+            self._inc_keys: Optional[Dict[str, List[Tuple[str, str]]]] = inc
+            self._edge_data: Optional[Dict[Tuple[str, str], float]] = data
+            self._need: Dict[str, float] = {}
+        else:
+            self._tindex = None
+            self._peek = None
+            self._inc_keys = None
+            self._edge_data = None
+            self._need = buffer_requirements(self.graph)
 
         # Mutable load state, filled by _rebuild().
         self._compute: List[float] = []
@@ -136,6 +224,28 @@ class DeltaAnalyzer:
         platform = self.platform
         assign = self._assign
         n = self._n_pes
+
+        if self._mapping_dependent:
+            # Re-derive the mapping-dependent buffer model through the
+            # same code paths ``analyze`` uses, so every cached float is
+            # the exact value the reference computation produces.
+            mapping = Mapping(self.graph, platform, assign)
+            if self.elide_local_comm:
+                self._fp = first_periods(
+                    self.graph, mapping, elide_local_comm=True
+                )
+            self._esize = buffer_sizes(
+                self.graph,
+                mapping if self.elide_local_comm else None,
+                elide_local_comm=self.elide_local_comm,
+            )
+            self._need = buffer_requirements(
+                self.graph,
+                mapping,
+                elide_local_comm=self.elide_local_comm,
+                merge_same_pe_buffers=self.merge_same_pe_buffers,
+            )
+
         compute = [0.0] * n
         in_bytes = [0.0] * n
         out_bytes = [0.0] * n
@@ -192,6 +302,41 @@ class DeltaAnalyzer:
         """One O(V+E) rebuild, re-anchoring the incremental state exactly."""
         self._rebuild()
 
+    def clone(self) -> "DeltaAnalyzer":
+        """An independent copy sharing only the immutable structure.
+
+        O(V + E + n_pes) dictionary copies, no graph walk — much cheaper
+        than building a fresh analyzer and the enabler of population
+        metaheuristics (``genetic_algorithm`` clones a parent and applies
+        crossover/mutation moves incrementally).
+        """
+        new = DeltaAnalyzer.__new__(DeltaAnalyzer)
+        # Immutable/shared structure.
+        for attr in (
+            "graph", "platform", "elide_local_comm", "merge_same_pe_buffers",
+            "_mapping_dependent", "_n_pes", "_bw", "_bif_bw", "_budget",
+            "_in_slots", "_proxy_slots", "_is_ppe", "_is_spe", "_cell",
+            "_multi", "_tinfo", "_in_adj", "_out_adj", "_tindex", "_peek",
+            "_inc_keys", "_edge_data",
+        ):
+            setattr(new, attr, getattr(self, attr))
+        # Mutable state — private copies.
+        new._assign = dict(self._assign)
+        new._need = dict(self._need) if self._mapping_dependent else self._need
+        new._fp = dict(self._fp) if self._fp is not None else None
+        new._esize = dict(self._esize) if self._esize is not None else None
+        new._compute = list(self._compute)
+        new._in_bytes = list(self._in_bytes)
+        new._out_bytes = list(self._out_bytes)
+        new._peak = list(self._peak)
+        new._buffer = dict(self._buffer)
+        new._dma_in = dict(self._dma_in)
+        new._dma_proxy = dict(self._dma_proxy)
+        new._link_bytes = dict(self._link_bytes)
+        new._link_count = dict(self._link_count)
+        new._n_violations = self._n_violations
+        return new
+
     # ------------------------------------------------------------------ #
     # Queries
 
@@ -234,11 +379,153 @@ class DeltaAnalyzer:
     # ------------------------------------------------------------------ #
     # Delta machinery
 
+    def _buffer_deltas(
+        self, moved: Dict[str, int]
+    ) -> Tuple[_BufModel, Dict[int, float]]:
+        """Mapping-dependent buffer-model updates for applying ``moved``.
+
+        Returns ``((fp_new, esize_new, need_new), d_buf)`` with only the
+        entries that actually change.  Cost: O(sum of degrees of the moved
+        tasks) plus, under elision, the incident edges of the tasks whose
+        ``firstPeriod`` actually shifts.
+        """
+        assign = self._assign
+        is_spe = self._is_spe
+
+        def new_pe(name: str) -> int:
+            pe = moved.get(name)
+            return assign[name] if pe is None else pe
+
+        # 1. Propagate firstPeriod changes (elision only): a move flips
+        # the ±1 communication period on the moved tasks' incident edges;
+        # the topologically-ordered worklist re-evaluates each affected
+        # task once and stops where the values converge.
+        fp_new: Dict[str, int] = {}
+        if self.elide_local_comm:
+            fp = self._fp
+            assert fp is not None and self._tindex is not None
+            assert self._peek is not None
+            tindex, peek = self._tindex, self._peek
+            heap: List[Tuple[int, str]] = []
+            queued: Set[str] = set()
+
+            def push(name: str) -> None:
+                if name not in queued:
+                    queued.add(name)
+                    heapq.heappush(heap, (tindex[name], name))
+
+            for name in moved:
+                push(name)
+                for dst, _data in self._out_adj[name]:
+                    push(dst)
+            while heap:
+                _, name = heapq.heappop(heap)
+                preds = self._in_adj[name]
+                if not preds:
+                    value = 0
+                else:
+                    pe = new_pe(name)
+                    value = (
+                        max(
+                            fp_new.get(p, fp[p])
+                            + 1
+                            + (0 if new_pe(p) == pe else 1)
+                            for p, _data in preds
+                        )
+                        + peek[name]
+                    )
+                if value != fp[name]:
+                    fp_new[name] = value
+                    for dst, _data in self._out_adj[name]:
+                        push(dst)
+
+        # 2. Edge buffer sizes that change: only edges incident to a task
+        # whose firstPeriod shifted (a region that shifts uniformly keeps
+        # its interior windows — only the boundary edges change size).
+        esize_new: Dict[Tuple[str, str], float] = {}
+        if fp_new:
+            fp = self._fp
+            esize = self._esize
+            edge_data = self._edge_data
+            inc_keys = self._inc_keys
+            assert fp is not None and esize is not None
+            assert edge_data is not None and inc_keys is not None
+            for name in fp_new:
+                for key in inc_keys[name]:
+                    if key in esize_new:
+                        continue
+                    u, v = key
+                    size = edge_data[key] * (
+                        fp_new.get(v, fp[v]) - fp_new.get(u, fp[u])
+                    )
+                    if size != esize[key]:
+                        esize_new[key] = size
+
+        # 3. Per-task footprints to recompute: endpoints of resized edges,
+        # plus (under merging) the moved tasks and their consumers, whose
+        # same-PE merge status may flip.
+        dirty: Set[str] = set()
+        for u, v in esize_new:
+            dirty.add(u)
+            dirty.add(v)
+        if self.merge_same_pe_buffers:
+            for name in moved:
+                dirty.add(name)
+                for dst, _data in self._out_adj[name]:
+                    dirty.add(dst)
+
+        need = self._need
+        need_new: Dict[str, float] = {}
+        if dirty:
+            esize = self._esize
+            inc_keys = self._inc_keys
+            assert esize is not None and inc_keys is not None
+            merge = self.merge_same_pe_buffers
+            for name in dirty:
+                # Same accumulation order as buffer_requirements: incident
+                # edges in global edge order, producer side always counted,
+                # consumer side skipped when merged — bit-identical sums.
+                total = 0.0
+                for key in inc_keys[name]:
+                    u, v = key
+                    size = esize_new.get(key)
+                    if size is None:
+                        size = esize[key]
+                    if name == u:
+                        total += size
+                    else:
+                        if merge and new_pe(u) == new_pe(v):
+                            continue
+                        total += size
+                if total != need[name]:
+                    need_new[name] = total
+
+        # 4. Per-SPE buffer deltas: moved tasks change host, dirty
+        # residents change footprint in place.
+        d_buf: Dict[int, float] = {}
+        for name, pe in moved.items():
+            old_pe = assign[name]
+            old_need = need[name]
+            if is_spe[old_pe]:
+                d_buf[old_pe] = d_buf.get(old_pe, 0.0) - old_need
+            if is_spe[pe]:
+                d_buf[pe] = d_buf.get(pe, 0.0) + need_new.get(name, old_need)
+        for name, value in need_new.items():
+            if name in moved:
+                continue
+            pe = assign[name]
+            if is_spe[pe]:
+                d_buf[pe] = d_buf.get(pe, 0.0) + (value - need[name])
+
+        return (fp_new, esize_new, need_new), d_buf
+
     def _deltas(self, changes: Dict[str, int]) -> Optional[_Deltas]:
         """Per-resource deltas for applying ``changes`` simultaneously.
 
-        O(sum of degrees of the moved tasks).  Returns ``None`` when no
-        task actually changes PE.
+        O(sum of degrees of the moved tasks) — plus, under
+        ``elide_local_comm``, the affected downstream region (see the
+        module docstring).  Returns ``None`` when no task actually changes
+        PE.
         """
         assign = self._assign
         n = self._n_pes
@@ -280,11 +567,12 @@ class DeltaAnalyzer:
             d_in[new_pe] = d_in.get(new_pe, 0.0) + read
             d_out[old_pe] = d_out.get(old_pe, 0.0) - write
             d_out[new_pe] = d_out.get(new_pe, 0.0) + write
-            need = self._need[name]
-            if is_spe[old_pe]:
-                d_buf[old_pe] = d_buf.get(old_pe, 0.0) - need
-            if is_spe[new_pe]:
-                d_buf[new_pe] = d_buf.get(new_pe, 0.0) + need
+            if not self._mapping_dependent:
+                need = self._need[name]
+                if is_spe[old_pe]:
+                    d_buf[old_pe] = d_buf.get(old_pe, 0.0) - need
+                if is_spe[new_pe]:
+                    d_buf[new_pe] = d_buf.get(new_pe, 0.0) + need
             for src, data in self._in_adj[name]:
                 edges[(src, name)] = data
             for dst, data in self._out_adj[name]:
@@ -316,9 +604,13 @@ class DeltaAnalyzer:
                     d_link[key] = d_link.get(key, 0.0) + data
                     d_link_n[key] = d_link_n.get(key, 0) + 1
 
+        bufmodel: Optional[_BufModel] = None
+        if self._mapping_dependent:
+            bufmodel, d_buf = self._buffer_deltas(moved)
+
         return (
             moved, d_compute, d_in, d_out, d_buf,
-            d_dma_in, d_dma_proxy, d_link, d_link_n,
+            d_dma_in, d_dma_proxy, d_link, d_link_n, bufmodel,
         )
 
     def _violation_shift(
@@ -347,7 +639,7 @@ class DeltaAnalyzer:
         if deltas is None:
             return self.score()
         (_moved, d_compute, d_in, d_out, d_buf,
-         d_dma_in, d_dma_proxy, d_link, _d_link_n) = deltas
+         d_dma_in, d_dma_proxy, d_link, _d_link_n, _bufmodel) = deltas
 
         bw = self._bw
         compute, in_bytes, out_bytes = self._compute, self._in_bytes, self._out_bytes
@@ -389,11 +681,21 @@ class DeltaAnalyzer:
         if deltas is None:
             return
         (moved, d_compute, d_in, d_out, d_buf,
-         d_dma_in, d_dma_proxy, d_link, d_link_n) = deltas
+         d_dma_in, d_dma_proxy, d_link, d_link_n, bufmodel) = deltas
 
         self._n_violations += self._violation_shift(d_buf, d_dma_in, d_dma_proxy)
         for name, pe in moved.items():
             self._assign[name] = pe
+        if bufmodel is not None:
+            fp_new, esize_new, need_new = bufmodel
+            if fp_new:
+                assert self._fp is not None
+                self._fp.update(fp_new)
+            if esize_new:
+                assert self._esize is not None
+                self._esize.update(esize_new)
+            if need_new:
+                self._need.update(need_new)
         for pe, dv in d_compute.items():
             self._compute[pe] += dv
         for pe, dv in d_in.items():
@@ -436,6 +738,15 @@ class DeltaAnalyzer:
         """Score of the mapping with tasks ``a`` and ``b`` exchanging PEs."""
         return self._score(self._deltas({a: self.pe_of(b), b: self.pe_of(a)}))
 
+    def score_changes(self, changes: Dict[str, int]) -> MoveScore:
+        """Score of the mapping with all of ``changes`` applied at once.
+
+        ``changes`` maps task names to target PEs; tasks already on their
+        target are ignored.  This is the bulk interface population
+        metaheuristics use to evaluate crossover offspring in one pass.
+        """
+        return self._score(self._deltas(dict(changes)))
+
     def apply_move(self, task: str, pe: int) -> None:
         """Commit a single-task move into the cached state — O(deg(task))."""
         self._apply(self._deltas({task: pe}))
@@ -444,15 +755,34 @@ class DeltaAnalyzer:
         """Commit a task-pair PE exchange into the cached state."""
         self._apply(self._deltas({a: self.pe_of(b), b: self.pe_of(a)}))
 
+    def apply_changes(self, changes: Dict[str, int]) -> None:
+        """Commit a set of simultaneous task moves into the cached state."""
+        self._apply(self._deltas(dict(changes)))
+
+    def try_apply_changes(self, changes: Dict[str, int]) -> MoveScore:
+        """Score ``changes`` and commit them only when feasible.
+
+        One delta computation serves both the verdict and the commit —
+        half the cost of ``score_changes`` + ``apply_changes`` on the
+        population-search hot path.  Returns the score of the candidate
+        state whether or not it was committed.
+        """
+        deltas = self._deltas(dict(changes))
+        score = self._score(deltas)
+        if score.feasible:
+            self._apply(deltas)
+        return score
+
     # ------------------------------------------------------------------ #
     # Full analysis
 
     def snapshot(self) -> PeriodAnalysis:
         """A full :class:`PeriodAnalysis` of the current state.
 
-        Field-for-field identical to ``analyze(self.mapping())`` (see the
-        module docstring for the exactness guarantee), built in O(V + n_pes)
-        without re-walking the edges.
+        Field-for-field identical to ``analyze(self.mapping(),
+        elide_local_comm=..., merge_same_pe_buffers=...)`` with this
+        analyzer's flags (see the module docstring for the exactness
+        guarantee), built in O(V + n_pes) without re-walking the edges.
         """
         platform = self.platform
         bw = self._bw
@@ -482,7 +812,9 @@ class DeltaAnalyzer:
                 )
             if dma_proxy[spe] > self._proxy_slots:
                 violations.append(
-                    Violation("dma_proxy", spe, pe_name, dma_proxy[spe], self._proxy_slots)
+                    Violation(
+                        "dma_proxy", spe, pe_name, dma_proxy[spe], self._proxy_slots
+                    )
                 )
         link_loads = [
             LinkLoad(src_cell=src, dst_cell=dst, time=bytes_ / self._bif_bw)
@@ -499,7 +831,13 @@ class DeltaAnalyzer:
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flags = []
+        if self.elide_local_comm:
+            flags.append("elide_local_comm")
+        if self.merge_same_pe_buffers:
+            flags.append("merge_same_pe_buffers")
+        suffix = f", {'+'.join(flags)}" if flags else ""
         return (
             f"DeltaAnalyzer({self.graph.name!r}, period={self.period():.3f}, "
-            f"violations={self._n_violations})"
+            f"violations={self._n_violations}{suffix})"
         )

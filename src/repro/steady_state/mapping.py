@@ -50,7 +50,9 @@ class Mapping:
     # Constructors
 
     @classmethod
-    def all_on_ppe(cls, graph: StreamGraph, platform: CellPlatform, ppe: int = 0) -> "Mapping":
+    def all_on_ppe(
+        cls, graph: StreamGraph, platform: CellPlatform, ppe: int = 0
+    ) -> "Mapping":
         """The reference mapping of §6.4: every task on one PPE."""
         if not platform.is_ppe(ppe):
             raise MappingError(f"PE {ppe} is not a PPE")

@@ -12,7 +12,7 @@ time-units, hence throughput ``1/T``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from .mapping import Mapping
 from .periods import first_periods
@@ -164,6 +164,8 @@ class PeriodicSchedule:
         return "\n".join(lines)
 
 
-def build_schedule(mapping: Mapping, elide_local_comm: bool = False) -> PeriodicSchedule:
+def build_schedule(
+    mapping: Mapping, elide_local_comm: bool = False
+) -> PeriodicSchedule:
     """Build the :class:`PeriodicSchedule` of ``mapping``."""
     return PeriodicSchedule(mapping, elide_local_comm=elide_local_comm)

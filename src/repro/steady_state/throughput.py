@@ -98,9 +98,10 @@ class PeriodAnalysis:
     def period(self) -> float:
         """The period ``T``: maximum occupation time over all resources."""
         worst_pe = max(
-            max(l.compute, l.comm_in, l.comm_out) for l in self.loads
+            max(load.compute, load.comm_in, load.comm_out)
+            for load in self.loads
         )
-        worst_link = max((l.time for l in self.link_loads), default=0.0)
+        worst_link = max((link.time for link in self.link_loads), default=0.0)
         return max(worst_pe, worst_link)
 
     @property
@@ -117,7 +118,8 @@ class PeriodAnalysis:
     def bottleneck(self) -> Tuple[str, str]:
         """``(pe_name, resource)`` of the binding resource."""
         worst = max(
-            self.loads, key=lambda l: max(l.compute, l.comm_in, l.comm_out)
+            self.loads,
+            key=lambda load: max(load.compute, load.comm_in, load.comm_out),
         )
         return worst.pe_name, worst.busiest[0]
 
@@ -207,7 +209,9 @@ def analyze(
         pe_name = platform.pe_name(spe)
         if buffer_bytes[spe] > platform.buffer_budget:
             violations.append(
-                Violation("memory", spe, pe_name, buffer_bytes[spe], platform.buffer_budget)
+                Violation(
+                    "memory", spe, pe_name, buffer_bytes[spe], platform.buffer_budget
+                )
             )
         if dma_in[spe] > platform.dma_in_slots:
             violations.append(
@@ -215,7 +219,9 @@ def analyze(
             )
         if dma_proxy[spe] > platform.dma_proxy_slots:
             violations.append(
-                Violation("dma_proxy", spe, pe_name, dma_proxy[spe], platform.dma_proxy_slots)
+                Violation(
+                    "dma_proxy", spe, pe_name, dma_proxy[spe], platform.dma_proxy_slots
+                )
             )
 
     link_loads = [

@@ -3,9 +3,8 @@
 import pytest
 
 from repro import apps
-from repro.graph import graph_stats
 from repro.heuristics import greedy_cpu
-from repro.platform import CellPlatform, diagnose_fit
+from repro.platform import diagnose_fit
 from repro.simulator import SimConfig, simulate
 from repro.steady_state import analyze, speedup
 

@@ -75,7 +75,7 @@ class TestExperimentCli:
     def test_jobs_flag_forwarded(self, monkeypatch):
         called = {}
 
-        def fake_main(n_instances, jobs=None):
+        def fake_main(n_instances, jobs=None, strategies=None):
             called.update(n=n_instances, jobs=jobs)
 
         monkeypatch.setattr(cli.fig7_speedup, "main", fake_main)
@@ -85,15 +85,50 @@ class TestExperimentCli:
     def test_jobs_flag_default_serial(self, monkeypatch):
         called = {}
 
-        def fake_main(n_instances, jobs=None):
+        def fake_main(n_instances, jobs=None, strategies=None):
             called.update(jobs=jobs)
 
         monkeypatch.setattr(cli.fig8_ccr, "main", fake_main)
         assert main_experiment(["fig8", "--instances", "5"]) == 0
         assert called == {"jobs": None}
 
+    def test_strategies_flag_forwarded(self, monkeypatch):
+        called = {}
+
+        def fake_main(n_instances, jobs=None, strategies=None):
+            called.update(strategies=strategies)
+
+        monkeypatch.setattr(cli.fig7_speedup, "main", fake_main)
+        assert (
+            main_experiment(
+                ["fig7", "--strategies", "genetic_algorithm,greedy_cpu"]
+            )
+            == 0
+        )
+        assert called == {"strategies": ("genetic_algorithm", "greedy_cpu")}
+
+    def test_strategies_flag_rejects_empty(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            cli.fig7_speedup,
+            "main",
+            lambda n_instances, jobs=None, strategies=None: None,
+        )
+        assert main_experiment(["fig7", "--strategies", ","]) == 1
+        assert "--strategies is empty" in capsys.readouterr().err
+
+    def test_strategies_flag_rejects_unknown(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            cli.fig8_ccr,
+            "main",
+            lambda n_instances, jobs=None, strategies=None: None,
+        )
+        assert main_experiment(["fig8", "--strategies", "nope"]) == 1
+        assert "unknown strategies" in capsys.readouterr().err
+
     def test_jobs_noop_warns_on_single_point_experiments(self, monkeypatch, capsys):
-        monkeypatch.setattr(cli.fig6_rampup, "main", lambda n_instances, jobs=None: None)
+        monkeypatch.setattr(
+            cli.fig6_rampup, "main", lambda n_instances, jobs=None: None
+        )
         assert main_experiment(["fig6", "--jobs", "4"]) == 0
         assert "--jobs ignored" in capsys.readouterr().err
         monkeypatch.setattr(cli.tables, "main", lambda: None)

@@ -71,7 +71,9 @@ def integer_cost_graph(seed: int, n_min: int = 6, n_max: int = 24) -> StreamGrap
         if i:
             for p in rng.sample(range(i), k=min(i, rng.randint(1, 3))):
                 if rng.random() < 0.8 and not g.has_edge(names[p], name):
-                    g.add_edge(DataEdge(names[p], name, float(rng.randint(1, 80) * 128)))
+                    g.add_edge(
+                        DataEdge(names[p], name, float(rng.randint(1, 80) * 128))
+                    )
     if g.n_edges == 0:
         g.add_edge(DataEdge(names[0], names[1], 1024.0))
     return g
@@ -253,8 +255,11 @@ class TestMetaheuristics:
     @pytest.mark.parametrize("strategy", [simulated_annealing, tabu_search])
     def test_feasible_and_no_worse_than_start(self, strategy, qs22):
         g = integer_cost_graph(5, n_min=15, n_max=20)
-        result = strategy(g, qs22, iterations=600) if strategy is simulated_annealing \
+        result = (
+            strategy(g, qs22, iterations=600)
+            if strategy is simulated_annealing
             else strategy(g, qs22, rounds=30)
+        )
         analysis = analyze(result)
         assert analysis.feasible
         start = critical_path_mapping(g, qs22)

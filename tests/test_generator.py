@@ -20,7 +20,7 @@ from repro.generator import (
     random_topology,
     rescale_ccr,
 )
-from repro.graph import StreamGraph, ccr as graph_ccr
+from repro.graph import ccr as graph_ccr
 
 
 class TestDagGen:
@@ -56,8 +56,8 @@ class TestDagGen:
     def test_fat_controls_width(self):
         narrow = random_topology(64, fat=0.15, seed=5)
         wide = random_topology(64, fat=1.5, seed=5)
-        assert max(len(l) for l in wide.layers) > max(
-            len(l) for l in narrow.layers
+        assert max(len(layer) for layer in wide.layers) > max(
+            len(layer) for layer in narrow.layers
         )
 
     def test_deterministic_per_seed(self):
@@ -104,7 +104,10 @@ class TestShapes:
         assert topo.n_tasks == 6
         assert topo.n_edges == 2 * 2 * 2  # full bipartite between stages
 
-    @pytest.mark.parametrize("builder,args", [(chain, (0,)), (fork_join, (0,)), (butterfly, (0, 1))])
+    @pytest.mark.parametrize(
+        "builder,args",
+        [(chain, (0,)), (fork_join, (0,)), (butterfly, (0, 1))],
+    )
     def test_invalid(self, builder, args):
         with pytest.raises(GeneratorError):
             builder(*args)

@@ -1,0 +1,111 @@
+"""Audit: every StreamGraph mutation must bump ``version``.
+
+``StreamGraph.version`` is the invalidation key of the memoized
+``buffer_requirements`` (and any future derived cache); a mutator that
+forgets to bump it silently serves stale buffer footprints to every
+scheduler.  The harness here fingerprints the graph's internal structure
+around each mutator call and demands a version bump whenever the
+structure changed — and proves it *catches* a forgetful mutator by
+running a deliberately broken one through the same check.
+"""
+
+import pytest
+
+from repro.graph import DataEdge, StreamGraph, Task
+from repro.steady_state import buffer_requirements
+
+
+def structural_fingerprint(graph: StreamGraph):
+    """Hashable snapshot of every internal structure a mutator may touch."""
+    return (
+        tuple(graph._tasks.items()),
+        tuple(graph._edges.items()),
+        tuple((k, tuple(v)) for k, v in graph._succ.items()),
+        tuple((k, tuple(v)) for k, v in graph._pred.items()),
+    )
+
+
+def assert_mutation_bumps_version(graph: StreamGraph, mutate) -> None:
+    """Run ``mutate()``; if the structure changed, the version must too."""
+    before = structural_fingerprint(graph)
+    version_before = graph.version
+    mutate()
+    after = structural_fingerprint(graph)
+    if after != before:
+        assert graph.version > version_before, (
+            "graph structure changed without a version bump — derived "
+            "caches (memoized buffer_requirements) would go stale"
+        )
+
+
+def build() -> StreamGraph:
+    g = StreamGraph("audit")
+    g.add_task(Task("a", wppe=10.0, wspe=5.0))
+    g.add_task(Task("b", wppe=10.0, wspe=5.0, peek=1))
+    g.add_edge(DataEdge("a", "b", 100.0))
+    return g
+
+
+class TestMutatorAudit:
+    def test_every_public_mutator_bumps(self):
+        """One entry per public mutator of StreamGraph — extend this table
+        when adding a mutator, and the harness enforces the bump."""
+        g = build()
+        mutators = [
+            lambda: g.add_task(Task("c", wppe=1.0, wspe=1.0)),
+            lambda: g.add_edge(DataEdge("b", "c", 50.0)),
+            lambda: g.replace_task(Task("a", wppe=20.0, wspe=5.0)),
+            lambda: g.replace_edge(DataEdge("a", "b", 300.0)),
+        ]
+        for mutate in mutators:
+            assert_mutation_bumps_version(g, mutate)
+
+    def test_audit_table_is_complete(self):
+        """Fail when StreamGraph grows a public mutator the table above
+        does not exercise (crude but effective tripwire)."""
+        known_mutators = {"add_task", "add_edge", "replace_task", "replace_edge"}
+        # Public methods that return structure or derived values are
+        # explicitly read-only; everything else must be in the table.
+        read_only = {
+            "task", "edge", "has_edge", "tasks", "task_names", "edges",
+            "successors", "predecessors", "out_edges", "in_edges",
+            "out_degree", "in_degree", "sources", "sinks",
+            "topological_order", "is_acyclic", "validate", "depth",
+            "levels", "width", "copy", "scaled", "to_networkx",
+            "from_parts", "chain_of",
+        }
+        public = {
+            name
+            for name in dir(StreamGraph)
+            if not name.startswith("_")
+            and callable(getattr(StreamGraph, name))
+        }
+        unaccounted = public - known_mutators - read_only
+        assert not unaccounted, (
+            f"new public StreamGraph methods {sorted(unaccounted)}: classify "
+            "them read-only or add them to the mutator audit table"
+        )
+
+    def test_forgetful_mutator_is_caught(self):
+        """The harness must flag a mutator that skips the bump."""
+
+        class LeakyGraph(StreamGraph):
+            def sneaky_retag(self, task: Task) -> None:
+                # BUG on purpose: mutates without bumping _version.
+                self._tasks[task.name] = task
+
+        g = LeakyGraph("leaky")
+        g.add_task(Task("a", wppe=1.0, wspe=1.0))
+        with pytest.raises(AssertionError, match="version bump"):
+            assert_mutation_bumps_version(
+                g, lambda: g.sneaky_retag(Task("a", wppe=9.0, wspe=9.0))
+            )
+
+    def test_stale_cache_consequence(self):
+        """The functional reason for the audit: the memo must refresh."""
+        g = build()
+        before = buffer_requirements(g)
+        # peek drives the §4.2 window: bumping it must change the needs.
+        g.replace_task(Task("b", wppe=10.0, wspe=5.0, peek=3))
+        after = buffer_requirements(g)
+        assert after["a"] > before["a"]

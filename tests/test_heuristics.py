@@ -70,7 +70,7 @@ class TestGreedyCpu:
         g = wide_graph()
         mapping = greedy_cpu(g, qs22)
         analysis = analyze(mapping)
-        computes = [l.compute for l in analysis.loads if l.compute > 0]
+        computes = [ld.compute for ld in analysis.loads if ld.compute > 0]
         assert max(computes) <= sum(computes) / len(computes) * 2.5
 
     def test_uses_ppe_as_equal_citizen(self, qs22):

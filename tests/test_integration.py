@@ -53,7 +53,9 @@ class TestFullPipeline:
         assert rates["milp"] > rates["ppe"]
 
     def test_local_search_closes_gap(self, pipeline_graph, platform):
-        milp_period = solve_optimal_mapping(pipeline_graph, platform, mip_rel_gap=None).period
+        milp_period = solve_optimal_mapping(
+            pipeline_graph, platform, mip_rel_gap=None
+        ).period
         refined = local_search(
             greedy_cpu(pipeline_graph, platform), max_rounds=30
         )

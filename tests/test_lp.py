@@ -1,6 +1,5 @@
 """Tests for the LP/MILP substrate: modelling layer, HiGHS backend, B&B."""
 
-import math
 
 import pytest
 

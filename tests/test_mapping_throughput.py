@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import InfeasibleMappingError, MappingError
 from repro.graph import DataEdge, StreamGraph, Task
-from repro.platform import CellPlatform
 from repro.steady_state import (
     Mapping,
     analyze,
@@ -70,7 +69,7 @@ class TestAnalyticThroughput:
         m = Mapping(two_task_chain, qs22, {"a": 0, "b": 1})
         analysis = analyze(m)
         # Compute: a on PPE = 100, b on SPE = 40.
-        loads = {l.pe_name: l for l in analysis.loads}
+        loads = {load.pe_name: load for load in analysis.loads}
         assert loads["PPE0"].compute == pytest.approx(100.0)
         assert loads["SPE0"].compute == pytest.approx(40.0)
         # Communication: 1024 B over 25000 B/µs in each direction.

@@ -11,7 +11,7 @@ from repro.milp import (
     solve_optimal_mapping,
 )
 from repro.platform import CellPlatform
-from repro.steady_state import Mapping, analyze
+from repro.steady_state import analyze
 
 
 def small_graph():
@@ -47,7 +47,10 @@ class TestFormulation:
         g = small_graph()
         f = build_formulation(g, tiny_platform)
         names = [c.name for c in f.model.constraints]
-        for tag in ("(1b)", "(1c)", "(1d)", "(1e)", "(1f)", "(1g)", "(1h)", "(1i)", "(1j)", "(1k)"):
+        for tag in (
+            "(1b)", "(1c)", "(1d)", "(1e)", "(1f)",
+            "(1g)", "(1h)", "(1i)", "(1j)", "(1k)",
+        ):
             assert any(n.startswith(tag) for n in names), f"missing {tag}"
 
     def test_ppe_only_period_upper_bound(self, tiny_platform):

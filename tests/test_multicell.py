@@ -140,8 +140,6 @@ class TestMilpExtension:
 
 class TestStrengtheningCuts:
     def test_cuts_preserve_optimum(self, dual):
-        import random
-
         from repro.generator import assign_costs, random_topology
 
         for seed in (1, 5, 9):

@@ -79,7 +79,11 @@ class TestRunSweep:
     ):
         from repro.experiments.common import SEEDED_STRATEGIES, build_mapping
 
-        assert set(SEEDED_STRATEGIES) == {"simulated_annealing", "tabu_search"}
+        assert set(SEEDED_STRATEGIES) == {
+            "simulated_annealing",
+            "tabu_search",
+            "genetic_algorithm",
+        }
         a = build_mapping("tabu_search", small_graph, small_platform, seed=7)
         b = build_mapping("tabu_search", small_graph, small_platform, seed=7)
         assert a == b

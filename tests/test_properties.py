@@ -17,14 +17,13 @@ import math
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.generator import assign_costs, random_topology, CostModel
+from repro.generator import assign_costs, random_topology
 from repro.graph import ccr as graph_ccr
 from repro.heuristics import random_mapping
 from repro.milp import solve_optimal_mapping
 from repro.platform import CellPlatform
 from repro.simulator import FlowNetwork, SimConfig, simulate
 from repro.steady_state import (
-    Mapping,
     analyze,
     buffer_sizes,
     first_periods,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.steady_state import Mapping, build_schedule, first_periods
+from repro.steady_state import Mapping, build_schedule
 
 
 @pytest.fixture

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.graph import DataEdge, StreamGraph, Task
-from repro.platform import CellPlatform, DmaCosts
+from repro.platform import DmaCosts
 from repro.simulator import SimConfig, Simulator, simulate
 from repro.simulator.state import EdgeKind, EdgeRuntime
 from repro.steady_state import Mapping, analyze
