@@ -1,0 +1,147 @@
+"""Workload-layer benchmarks: delta-scored moves on multi-app composites.
+
+Two questions, answered on the canonical 3-app mix (audio encoder +
+video pipeline + crypto pipeline, 36 tasks):
+
+* how much does the per-app bookkeeping cost?  The same move-scoring
+  sweep runs on the composite (per-app sums maintained) and on an
+  *equivalent single graph* — a plain ``StreamGraph`` with the identical
+  tasks and edges but no application metadata — so the difference is
+  exactly the workload layer's overhead;
+* does delta scoring still clear the bar?  ``test_delta_speedup_guard``
+  times delta-scoring a candidate move against a full ``analyze()`` on
+  the composite and **fails** if the speed-up drops below 5× — the
+  acceptance guard for the co-scheduling refactor (the real ratio is
+  an order of magnitude higher; 5× leaves CI noise headroom).
+
+Run explicitly (benchmarks are not collected by the default test run)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_workload.py -q
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.apps import audio_encoder, crypto_pipeline, video_pipeline
+from repro.graph import Workload
+from repro.platform import CellPlatform
+from repro.steady_state import DeltaAnalyzer, Mapping, analyze, make_objective
+
+
+@pytest.fixture(scope="module")
+def composite():
+    workload = Workload("bench-mix")
+    workload.add_app("audio", audio_encoder(), weight=2.0)
+    workload.add_app("video", video_pipeline())
+    workload.add_app("crypto", crypto_pipeline())
+    return workload.compile()
+
+
+@pytest.fixture(scope="module")
+def single_equivalent(composite):
+    """The same tasks/edges as one plain graph (no app metadata)."""
+    return composite.copy("bench-single")
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CellPlatform.qs22()
+
+
+def spread_mapping(graph, platform, seed=0):
+    rng = random.Random(seed)
+    return Mapping(
+        graph,
+        platform,
+        {n: rng.randrange(platform.n_pes) for n in graph.task_names()},
+    )
+
+
+def _score_sweep(state, names, n_pes):
+    total = 0.0
+    for name in names:
+        for pe in range(n_pes):
+            total += state.score_move(name, pe).period
+    return total
+
+
+@pytest.mark.benchmark(group="workload")
+def test_score_neighbourhood_composite(benchmark, composite, platform):
+    """Full move neighbourhood on the 3-app composite (per-app tracking)."""
+    state = DeltaAnalyzer(spread_mapping(composite, platform))
+    total = benchmark(
+        _score_sweep, state, composite.task_names(), platform.n_pes
+    )
+    assert total > 0
+
+
+@pytest.mark.benchmark(group="workload")
+def test_score_neighbourhood_single_equivalent(
+    benchmark, single_equivalent, platform
+):
+    """The identical sweep without app metadata — the overhead baseline."""
+    state = DeltaAnalyzer(spread_mapping(single_equivalent, platform))
+    total = benchmark(
+        _score_sweep, state, single_equivalent.task_names(), platform.n_pes
+    )
+    assert total > 0
+
+
+@pytest.mark.benchmark(group="workload")
+def test_objective_sweep_weighted(benchmark, composite, platform):
+    """Move neighbourhood under the weighted objective (per-app periods
+    recomputed per candidate from cached peaks)."""
+    state = DeltaAnalyzer(spread_mapping(composite, platform))
+    obj = make_objective("weighted", composite)
+    names = composite.task_names()
+
+    def sweep():
+        total = 0.0
+        for name in names:
+            for pe in range(platform.n_pes):
+                total += state.evaluate_move(name, pe, obj).value
+        return total
+
+    assert benchmark(sweep) > 0
+
+
+def test_delta_speedup_guard(composite, platform):
+    """Delta-scoring a candidate on the composite must stay ≥5× faster
+    than a full analyze() — the acceptance guard of the workload PR."""
+    state = DeltaAnalyzer(spread_mapping(composite, platform))
+    names = composite.task_names()
+    n_pes = platform.n_pes
+    rng = random.Random(1)
+    candidates = [
+        (names[rng.randrange(len(names))], rng.randrange(n_pes))
+        for _ in range(300)
+    ]
+    mapping = state.mapping()
+
+    def time_best_of(fn, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def delta_pass():
+        for name, pe in candidates:
+            state.score_move(name, pe)
+
+    def analyze_pass():
+        for name, pe in candidates:
+            analyze(mapping.with_assignment(name, pe))
+
+    delta_time = time_best_of(delta_pass)
+    analyze_time = time_best_of(analyze_pass)
+    speedup = analyze_time / delta_time
+    assert speedup >= 5.0, (
+        f"delta scoring on the composite is only {speedup:.1f}x faster "
+        f"than analyze() ({delta_time * 1e3:.1f} ms vs "
+        f"{analyze_time * 1e3:.1f} ms for 300 candidates); the O(deg) "
+        "contract of the workload refactor is broken"
+    )

@@ -14,9 +14,14 @@ mapping pushes through the inter-chip link.
 
 Run:  python examples/dual_cell.py          (takes a couple of minutes —
                                              the dual-Cell MILP has 18 PEs)
+      python examples/dual_cell.py --quick  (small graph, short stream —
+                                             the mode the test suite runs)
 """
 
+import sys
+
 from repro import CellPlatform, Mapping, solve_optimal_mapping
+from repro.apps import crypto_pipeline
 from repro.generator import random_graph_2
 from repro.simulator import SimConfig, simulate
 from repro.steady_state import analyze
@@ -24,21 +29,24 @@ from repro.steady_state import analyze
 N_INSTANCES = 600
 
 
-def main() -> None:
-    graph = random_graph_2()
+def main(quick: bool = False) -> None:
+    if quick:
+        graph, n_instances, time_limit = crypto_pipeline(), 150, 20.0
+    else:
+        graph, n_instances, time_limit = random_graph_2(), N_INSTANCES, 180.0
     config = SimConfig.realistic()
 
     single = CellPlatform.qs22()
     dual = CellPlatform.qs22_dual()
 
     baseline = simulate(
-        Mapping.all_on_ppe(graph, single), N_INSTANCES, config
+        Mapping.all_on_ppe(graph, single), n_instances, config
     ).steady_state_throughput()
 
     for label, platform in [("single Cell (1+8)", single), ("dual Cell (2+16)", dual)]:
-        result = solve_optimal_mapping(graph, platform, time_limit=180)
+        result = solve_optimal_mapping(graph, platform, time_limit=time_limit)
         analysis = analyze(result.mapping)
-        sim = simulate(result.mapping, N_INSTANCES, config)
+        sim = simulate(result.mapping, n_instances, config)
         rate = sim.steady_state_throughput()
         print(f"=== {label} ===")
         print(f"  predicted period   : {result.period:10.1f} µs")
@@ -57,4 +65,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(quick="--quick" in sys.argv[1:])

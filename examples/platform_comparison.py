@@ -7,7 +7,12 @@ verifies that claim on the simulator with the video pipeline, then sweeps
 the SPE count to show the scaling curve of the MILP mapping.
 
 Run:  python examples/platform_comparison.py
+      python examples/platform_comparison.py --quick  (smaller pipeline,
+                                              short stream, 0-2 SPE sweep —
+                                              the mode the test suite runs)
 """
+
+import sys
 
 from repro import CellPlatform, Mapping, solve_optimal_mapping
 from repro.apps import video_pipeline
@@ -16,20 +21,23 @@ from repro.simulator import SimConfig, simulate
 N_INSTANCES = 800
 
 
-def measured_rate(graph, platform, config):
+def measured_rate(graph, platform, config, n_instances=N_INSTANCES):
     mapping = solve_optimal_mapping(graph, platform).mapping
-    return simulate(mapping, N_INSTANCES, config).steady_state_throughput()
+    return simulate(mapping, n_instances, config).steady_state_throughput()
 
 
-def main() -> None:
-    graph = video_pipeline(n_stripes=4)
+def main(quick: bool = False) -> None:
+    if quick:
+        graph, n_instances, spe_sweep = video_pipeline(n_stripes=2), 150, range(0, 3)
+    else:
+        graph, n_instances, spe_sweep = video_pipeline(n_stripes=4), N_INSTANCES, range(0, 9)
     config = SimConfig.realistic()
 
     # --- PS3 vs QS22 at the same SPE count (paper §6.4: identical) ------ #
     ps3 = CellPlatform.playstation3()
     qs22_6 = CellPlatform.qs22().with_spes(6)
-    rate_ps3 = measured_rate(graph, ps3, config)
-    rate_qs22 = measured_rate(graph, qs22_6, config)
+    rate_ps3 = measured_rate(graph, ps3, config, n_instances)
+    rate_qs22 = measured_rate(graph, qs22_6, config, n_instances)
     print("Same-SPE-count check (paper: results identical):")
     print(f"  PS3  (6 SPEs): {rate_ps3 * 1e6:9.1f} frames/s")
     print(f"  QS22 (6 SPEs): {rate_qs22 * 1e6:9.1f} frames/s")
@@ -39,14 +47,16 @@ def main() -> None:
     # --- SPE scaling on the QS22 (Fig. 7's x-axis) ---------------------- #
     base_platform = CellPlatform.qs22()
     baseline = simulate(
-        Mapping.all_on_ppe(graph, base_platform), N_INSTANCES, config
+        Mapping.all_on_ppe(graph, base_platform), n_instances, config
     ).steady_state_throughput()
     print("MILP speed-up vs number of SPEs (QS22):")
-    for n_spe in range(0, 9):
-        rate = measured_rate(graph, base_platform.with_spes(n_spe), config)
+    for n_spe in spe_sweep:
+        rate = measured_rate(
+            graph, base_platform.with_spes(n_spe), config, n_instances
+        )
         bar = "#" * int(rate / baseline * 10)
         print(f"  {n_spe} SPEs: {rate / baseline:5.2f}x  {bar}")
 
 
 if __name__ == "__main__":
-    main()
+    main(quick="--quick" in sys.argv[1:])

@@ -9,10 +9,15 @@ This walks the full pipeline of the paper in ~40 lines:
 4. execute everything on the discrete-event Cell simulator and report
    measured speed-ups, exactly like the paper's §6.4.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py          (full, paper-scale)
+      python examples/quickstart.py --quick  (small graph, short stream —
+                                              the mode the test suite runs)
 """
 
+import sys
+
 from repro import CellPlatform, Mapping, analyze, solve_optimal_mapping
+from repro.apps import audio_encoder
 from repro.generator import random_graph_1
 from repro.graph import graph_stats
 from repro.heuristics import greedy_cpu, greedy_mem
@@ -21,8 +26,11 @@ from repro.simulator import SimConfig, simulate
 N_INSTANCES = 1200
 
 
-def main() -> None:
-    graph = random_graph_1()  # 50 tasks, CCR 0.775, like Fig. 5a
+def main(quick: bool = False) -> None:
+    if quick:
+        graph, n_instances = audio_encoder(), 200  # 14 tasks, sub-second MILP
+    else:
+        graph, n_instances = random_graph_1(), N_INSTANCES  # 50 tasks (Fig. 5a)
     platform = CellPlatform.qs22()  # 1 PPE + 8 SPEs
     print(graph_stats(graph))
     print(platform)
@@ -36,7 +44,7 @@ def main() -> None:
 
     # --- measured comparison (the §6.4 protocol) ----------------------- #
     config = SimConfig.realistic()
-    baseline = simulate(Mapping.all_on_ppe(graph, platform), N_INSTANCES, config)
+    baseline = simulate(Mapping.all_on_ppe(graph, platform), n_instances, config)
     base_rate = baseline.steady_state_throughput()
     print(f"PPE-only reference: {base_rate * 1e6:8.2f} instances/s")
 
@@ -45,7 +53,7 @@ def main() -> None:
         ("GreedyCpu", greedy_cpu(graph, platform)),
         ("GreedyMem", greedy_mem(graph, platform)),
     ]:
-        sim = simulate(mapping, N_INSTANCES, config)
+        sim = simulate(mapping, n_instances, config)
         rate = sim.steady_state_throughput()
         predicted = analyze(mapping).throughput
         print(
@@ -56,4 +64,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(quick="--quick" in sys.argv[1:])

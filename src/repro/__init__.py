@@ -40,7 +40,14 @@ from .errors import (
     SimulationError,
     SolverError,
 )
-from .graph import DataEdge, StreamGraph, Task, ccr, graph_stats
+from .graph import (
+    DataEdge,
+    StreamGraph,
+    Task,
+    Workload,
+    ccr,
+    graph_stats,
+)
 from .heuristics import greedy_cpu, greedy_mem
 from .milp import PAPER_MIP_GAP, MilpResult, solve_optimal_mapping
 from .platform import CellPlatform, DmaCosts, PEKind
@@ -68,6 +75,7 @@ __all__ = [
     "DataEdge",
     "StreamGraph",
     "Task",
+    "Workload",
     "ccr",
     "graph_stats",
     "greedy_cpu",

@@ -31,11 +31,13 @@ from .graph.stream_graph import StreamGraph
 from .experiments import (
     STRATEGIES,
     build_mapping,
+    coschedule,
     fig6_rampup,
     fig7_speedup,
     fig8_ccr,
     tables,
 )
+from .steady_state.objective import OBJECTIVES
 from .platform.cell import CellPlatform
 from .simulator import SimConfig, simulate
 from .steady_state.mapping import Mapping
@@ -196,8 +198,9 @@ def main_experiment(argv: Optional[list] = None) -> int:
     )
     parser.add_argument(
         "which",
-        choices=("fig6", "fig7", "fig8", "tables"),
-        help="which artefact to regenerate",
+        choices=("fig6", "fig7", "fig8", "tables", "coschedule"),
+        help="which artefact to regenerate (coschedule: the workload-layer "
+        "experiment beyond the paper)",
     )
     parser.add_argument(
         "--instances", type=int, default=None,
@@ -210,13 +213,46 @@ def main_experiment(argv: Optional[list] = None) -> int:
     )
     parser.add_argument(
         "--strategies", default=None, metavar="A,B,...",
-        help="comma-separated strategies to sweep for fig7/fig8 "
+        help="comma-separated strategies to sweep for fig7/fig8/coschedule "
         f"(default: the paper's; choose from {', '.join(sorted(STRATEGIES))})",
+    )
+    parser.add_argument(
+        "--apps", default=None, metavar="A,B[=W],...",
+        help="coschedule only: comma-separated applications, each "
+        "optionally weighted as name=weight "
+        f"(default: {','.join(coschedule.DEFAULT_APPS)}; choose from "
+        f"{', '.join(sorted(coschedule.APP_BUILDERS))})",
+    )
+    parser.add_argument(
+        "--objective", choices=OBJECTIVES, default="period",
+        help="coschedule only: scheduling objective (default: period)",
+    )
+    parser.add_argument(
+        "--spe-counts", default=None, metavar="N,N,...",
+        help="coschedule only: SPE counts to sweep "
+        "(default: 0..8)",
     )
     args = parser.parse_args(argv)
     if args.which in ("fig6", "tables") and args.jobs not in (None, 0, 1):
         print(
             f"note: {args.which} has no sweep to fan out; --jobs ignored",
+            file=sys.stderr,
+        )
+    if args.which != "coschedule":
+        for flag, given in (
+            ("--apps", args.apps is not None),
+            ("--spe-counts", args.spe_counts is not None),
+            ("--objective", args.objective != "period"),
+        ):
+            if given:
+                print(
+                    f"note: {flag} only applies to coschedule; ignored",
+                    file=sys.stderr,
+                )
+    elif args.instances is not None:
+        print(
+            "note: coschedule is analytic (no simulation); "
+            "--instances ignored",
             file=sys.stderr,
         )
     strategies = None
@@ -245,6 +281,37 @@ def main_experiment(argv: Optional[list] = None) -> int:
                 "--strategies ignored",
                 file=sys.stderr,
             )
+    apps = None
+    if args.apps is not None:
+        apps = tuple(
+            name.strip() for name in args.apps.split(",") if name.strip()
+        )
+        if not apps:
+            print(
+                "error: --apps is empty; "
+                f"pick from {', '.join(sorted(coschedule.APP_BUILDERS))}",
+                file=sys.stderr,
+            )
+            return 1
+    spe_counts = None
+    if args.spe_counts is not None:
+        try:
+            spe_counts = tuple(
+                int(part) for part in args.spe_counts.split(",") if part.strip()
+            )
+        except ValueError:
+            print(
+                f"error: bad --spe-counts {args.spe_counts!r}; "
+                "want comma-separated integers",
+                file=sys.stderr,
+            )
+            return 1
+        if not spe_counts:
+            print(
+                "error: --spe-counts is empty; want comma-separated integers",
+                file=sys.stderr,
+            )
+            return 1
     try:
         if args.which == "fig6":
             fig6_rampup.main(n_instances=args.instances or 3000, jobs=args.jobs)
@@ -259,6 +326,14 @@ def main_experiment(argv: Optional[list] = None) -> int:
                 n_instances=args.instances or 1000,
                 jobs=args.jobs,
                 strategies=strategies,
+            )
+        elif args.which == "coschedule":
+            coschedule.main(
+                apps=apps,
+                objective=args.objective,
+                strategies=strategies,
+                spe_counts=spe_counts,
+                jobs=args.jobs,
             )
         else:
             tables.main()

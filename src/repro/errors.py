@@ -11,8 +11,10 @@ __all__ = [
     "PlatformError",
     "GraphError",
     "CycleError",
+    "WorkloadError",
     "MappingError",
     "InfeasibleMappingError",
+    "ObjectiveError",
     "SolverError",
     "InfeasibleModelError",
     "UnboundedModelError",
@@ -38,8 +40,16 @@ class CycleError(GraphError):
     """The task graph contains a cycle and therefore is not a DAG."""
 
 
+class WorkloadError(GraphError):
+    """Invalid multi-application workload (duplicate app, bad weight...)."""
+
+
 class MappingError(ReproError):
     """A mapping is malformed (task missing, unknown processing element...)."""
+
+
+class ObjectiveError(ReproError):
+    """Unknown or misconfigured scheduling objective."""
 
 
 class InfeasibleMappingError(MappingError):

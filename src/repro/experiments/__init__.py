@@ -3,7 +3,9 @@
 * :mod:`repro.experiments.fig6_rampup` — throughput vs #instances (Fig. 6);
 * :mod:`repro.experiments.fig7_speedup` — speed-up vs #SPEs (Fig. 7a–c);
 * :mod:`repro.experiments.fig8_ccr` — speed-up vs CCR (Fig. 8);
-* :mod:`repro.experiments.tables` — solve-time table and β ablation.
+* :mod:`repro.experiments.tables` — solve-time table and β ablation;
+* :mod:`repro.experiments.coschedule` — beyond the paper: several
+  applications co-scheduled on one platform (per-app period table).
 
 Each module exposes ``run(...)`` returning structured results and
 ``main(...)`` printing paper-style tables and ASCII plots; the sweeping
@@ -11,7 +13,7 @@ figures accept ``jobs=N`` to fan their points across worker processes
 (see :mod:`repro.experiments.parallel`).
 """
 
-from . import fig6_rampup, fig7_speedup, fig8_ccr, parallel, tables
+from . import coschedule, fig6_rampup, fig7_speedup, fig8_ccr, parallel, tables
 from .common import (
     PAPER_STRATEGIES,
     STRATEGIES,
@@ -21,10 +23,12 @@ from .common import (
     measure_throughput,
     measured_speedup,
     to_csv,
+    validate_strategies,
 )
 from .parallel import run_sweep
 
 __all__ = [
+    "coschedule",
     "fig6_rampup",
     "fig7_speedup",
     "fig8_ccr",
@@ -33,6 +37,7 @@ __all__ = [
     "tables",
     "PAPER_STRATEGIES",
     "STRATEGIES",
+    "validate_strategies",
     "MeasuredPoint",
     "ascii_plot",
     "build_mapping",

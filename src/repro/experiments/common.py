@@ -32,6 +32,8 @@ __all__ = [
     "STRATEGIES",
     "PAPER_STRATEGIES",
     "SEEDED_STRATEGIES",
+    "OBJECTIVE_STRATEGIES",
+    "validate_strategies",
     "build_mapping",
     "measure_throughput",
     "measured_speedup",
@@ -77,17 +79,60 @@ SEEDED_STRATEGIES: Tuple[str, ...] = (
     "genetic_algorithm",
 )
 
+#: Strategies that accept an ``objective`` kwarg (workload co-scheduling).
+#: The rest optimise the shared period regardless of the requested
+#: objective (still a valid — if objective-blind — co-scheduling baseline).
+OBJECTIVE_STRATEGIES: Tuple[str, ...] = (
+    "simulated_annealing",
+    "tabu_search",
+    "genetic_algorithm",
+)
+
+
+def validate_strategies(strategies: Iterable[str]) -> Tuple[str, ...]:
+    """Fail fast on unregistered strategy names.
+
+    Every sweep driver calls this before building its point specs, so a
+    typo surfaces immediately as an :class:`ExperimentError` listing the
+    registered :data:`STRATEGIES` — not as a bare ``KeyError`` from a
+    worker process deep in the sweep.
+    """
+    strategies = tuple(strategies)
+    if not strategies:
+        raise ExperimentError(
+            f"no strategies given; pick from {', '.join(sorted(STRATEGIES))}"
+        )
+    unknown = sorted(set(strategies) - set(STRATEGIES))
+    if unknown:
+        raise ExperimentError(
+            f"unknown strategies {', '.join(repr(s) for s in unknown)}; "
+            f"pick from {', '.join(sorted(STRATEGIES))}"
+        )
+    duplicates = sorted(
+        {s for s in strategies if strategies.count(s) > 1}
+    )
+    if duplicates:
+        raise ExperimentError(
+            f"duplicate strategies {', '.join(repr(s) for s in duplicates)}; "
+            "each sweep point would run twice"
+        )
+    return strategies
+
 
 def build_mapping(
     strategy: str,
     graph: StreamGraph,
     platform: CellPlatform,
     seed: Optional[int] = None,
+    objective: Optional[str] = None,
 ) -> Mapping:
     """Run one strategy by name.
 
     ``seed`` parameterises the randomized strategies (see
     :data:`SEEDED_STRATEGIES`); the deterministic ones ignore it.
+    ``objective`` selects the scheduling objective for the
+    objective-aware strategies (see :data:`OBJECTIVE_STRATEGIES`); the
+    others always optimise the shared period.
     """
     try:
         builder = STRATEGIES[strategy]
@@ -95,9 +140,12 @@ def build_mapping(
         raise ExperimentError(
             f"unknown strategy {strategy!r}; pick from {sorted(STRATEGIES)}"
         ) from None
+    kwargs = {}
     if seed is not None and strategy in SEEDED_STRATEGIES:
-        return builder(graph, platform, seed=seed)
-    return builder(graph, platform)
+        kwargs["seed"] = seed
+    if objective not in (None, "period") and strategy in OBJECTIVE_STRATEGIES:
+        kwargs["objective"] = objective
+    return builder(graph, platform, **kwargs)
 
 
 def measure_throughput(

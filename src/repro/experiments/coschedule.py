@@ -1,0 +1,242 @@
+"""Co-scheduling experiment: N concurrent applications vs SPE count.
+
+This is the workload-layer experiment the paper never ran (it maps one
+application per Cell): a mix of real applications (``repro.apps``) and
+generator graphs is compiled into one
+:class:`~repro.graph.workload.Workload` composite (namespaced task ids,
+no cross-application edges — see :mod:`repro.graph.workload` for the
+composite-graph semantics) and mapped onto a QS22 whose SPE count
+sweeps, once per requested strategy.
+
+For every ``(n_spe, strategy)`` point the driver reports the analytic
+shared-resource period of the composite mapping, each application's own
+period (``PeriodAnalysis.app_periods`` — its resource occupation alone,
+the stretch numerator), and the value of the requested objective
+(``period`` / ``weighted`` / ``max_stretch``; the objective-aware
+metaheuristics optimise it directly, the others co-schedule
+objective-blind and are evaluated under it).  Points are independent and
+self-contained, so ``jobs`` fans them across worker processes through
+:func:`repro.experiments.parallel.run_sweep` with deterministic,
+order-preserving results; seeded strategies draw stable per-point seeds
+from :func:`repro.experiments.parallel.point_seed`, making the whole
+table reproducible run to run and worker count to worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..apps import audio_encoder, crypto_pipeline, video_pipeline
+from ..errors import ExperimentError
+from ..generator.paper_graphs import (
+    random_graph_1,
+    random_graph_2,
+    random_graph_3,
+)
+from ..graph.stream_graph import StreamGraph
+from ..graph.workload import CompositeGraph, Workload
+from ..platform.cell import CellPlatform
+from ..steady_state.objective import OBJECTIVES, make_objective
+from ..steady_state.throughput import analyze
+from .common import build_mapping, validate_strategies
+from .parallel import point_seed, run_sweep
+
+__all__ = [
+    "APP_BUILDERS",
+    "DEFAULT_APPS",
+    "DEFAULT_SPE_COUNTS",
+    "CoschedulePoint",
+    "CoscheduleResult",
+    "build_workload",
+    "run",
+    "main",
+]
+
+#: Applications available to ``--apps``: the three realistic workloads
+#: plus the paper's three generator graphs.
+APP_BUILDERS: Dict[str, Callable[[], StreamGraph]] = {
+    "audio_encoder": audio_encoder,
+    "video_pipeline": video_pipeline,
+    "crypto_pipeline": crypto_pipeline,
+    "graph1": random_graph_1,
+    "graph2": random_graph_2,
+    "graph3": random_graph_3,
+}
+
+DEFAULT_APPS: Tuple[str, ...] = (
+    "audio_encoder",
+    "video_pipeline",
+    "crypto_pipeline",
+)
+
+DEFAULT_SPE_COUNTS: Tuple[int, ...] = tuple(range(0, 9))
+
+
+def build_workload(app_specs: Sequence[str]) -> Workload:
+    """Build a workload from app specs, each ``name`` or ``name=weight``.
+
+    Names must be registered in :data:`APP_BUILDERS`; repeating a name is
+    rejected (duplicate streams would need distinct identities).
+    """
+    if not app_specs:
+        raise ExperimentError(
+            f"no apps given; pick from {', '.join(sorted(APP_BUILDERS))}"
+        )
+    workload = Workload("coschedule")
+    for spec in app_specs:
+        name, _, weight_text = spec.partition("=")
+        name = name.strip()
+        if name not in APP_BUILDERS:
+            raise ExperimentError(
+                f"unknown app {name!r}; "
+                f"pick from {', '.join(sorted(APP_BUILDERS))}"
+            )
+        if name in workload:
+            raise ExperimentError(f"app {name!r} given twice")
+        try:
+            weight = float(weight_text) if weight_text else 1.0
+        except ValueError:
+            raise ExperimentError(
+                f"bad weight in app spec {spec!r} (want name or name=weight)"
+            ) from None
+        workload.add_app(name, APP_BUILDERS[name](), weight=weight)
+    return workload
+
+
+@dataclass(frozen=True)
+class CoschedulePoint:
+    """One (strategy, SPE count) point of the co-scheduling sweep."""
+
+    strategy: str
+    n_spe: int
+    period: float
+    app_periods: Dict[str, float]
+    value: float
+    feasible: bool
+    n_tasks_on_spes: int
+
+
+@dataclass(frozen=True)
+class CoscheduleResult:
+    """Per-app period table of one co-scheduling sweep."""
+
+    app_names: Tuple[str, ...]
+    objective: str
+    points: List[CoschedulePoint]
+
+    def table(self) -> str:
+        rows = [
+            "Co-schedule — shared and per-app periods (µs) vs #SPEs "
+            f"[objective: {self.objective}]"
+        ]
+        header = (
+            "strategy              nSPE    period  "
+            + "  ".join(f"{name:>16}" for name in self.app_names)
+            + f"  {self.objective:>12}"
+        )
+        rows.append(header)
+        for p in sorted(self.points, key=lambda p: (p.strategy, p.n_spe)):
+            cells = "  ".join(
+                f"{p.app_periods[name]:16.2f}" for name in self.app_names
+            )
+            flag = "" if p.feasible else "  !! infeasible"
+            rows.append(
+                f"{p.strategy:<20}  {p.n_spe:4d}  {p.period:8.2f}  "
+                f"{cells}  {p.value:12.2f}{flag}"
+            )
+        return "\n".join(rows)
+
+
+# ---------------------------------------------------------------------- #
+# Sweep worker: top-level so run_sweep can pickle it by reference; each
+# spec carries everything the point needs, so results are independent of
+# worker count and scheduling order.
+
+
+def coschedule_point(spec) -> Tuple[float, Dict[str, float], float, bool, int]:
+    """Evaluate one (composite, platform, strategy, objective, seed) spec."""
+    composite, platform, strategy, objective, seed = spec
+    mapping = build_mapping(
+        strategy, composite, platform, seed=seed, objective=objective
+    )
+    analysis = analyze(mapping)
+    obj = make_objective(objective, composite)
+    value = obj.value(analysis.period, analysis.app_periods)
+    return (
+        analysis.period,
+        dict(analysis.app_periods),
+        value,
+        analysis.feasible,
+        mapping.n_tasks_on_spes(),
+    )
+
+
+def run(
+    apps: Sequence[str] = DEFAULT_APPS,
+    spe_counts: Sequence[int] = DEFAULT_SPE_COUNTS,
+    strategies: Sequence[str] = ("genetic_algorithm",),
+    objective: str = "period",
+    base_platform: Optional[CellPlatform] = None,
+    jobs: Optional[int] = None,
+) -> CoscheduleResult:
+    """Sweep the co-scheduled workload over SPE counts and strategies."""
+    strategies = validate_strategies(strategies)  # fail fast, not in a worker
+    if objective not in OBJECTIVES:
+        raise ExperimentError(
+            f"unknown objective {objective!r}; "
+            f"pick from {', '.join(OBJECTIVES)}"
+        )
+    workload = build_workload(apps)
+    composite: CompositeGraph = workload.compile()
+    base_platform = base_platform or CellPlatform.qs22()
+
+    specs = []
+    keys: List[Tuple[str, int]] = []
+    for strategy in strategies:
+        for n_spe in spe_counts:
+            platform = base_platform.with_spes(n_spe)
+            seed = point_seed(
+                "coschedule", tuple(apps), n_spe, strategy, objective
+            )
+            specs.append((composite, platform, strategy, objective, seed))
+            keys.append((strategy, n_spe))
+    results = run_sweep(coschedule_point, specs, jobs=jobs)
+
+    points = [
+        CoschedulePoint(
+            strategy=strategy,
+            n_spe=n_spe,
+            period=period,
+            app_periods=app_periods,
+            value=value,
+            feasible=feasible,
+            n_tasks_on_spes=n_on_spes,
+        )
+        for (strategy, n_spe), (period, app_periods, value, feasible, n_on_spes)
+        in zip(keys, results)
+    ]
+    return CoscheduleResult(
+        app_names=tuple(composite.app_names),
+        objective=objective,
+        points=points,
+    )
+
+
+def main(
+    apps: Optional[Sequence[str]] = None,
+    objective: str = "period",
+    strategies: Optional[Sequence[str]] = None,
+    spe_counts: Optional[Sequence[int]] = None,
+    jobs: Optional[int] = None,
+) -> CoscheduleResult:
+    """CLI entry: print the deterministic per-app period table."""
+    result = run(
+        apps=tuple(apps) if apps else DEFAULT_APPS,
+        spe_counts=tuple(spe_counts) if spe_counts else DEFAULT_SPE_COUNTS,
+        strategies=tuple(strategies) if strategies else ("genetic_algorithm",),
+        objective=objective,
+        jobs=jobs,
+    )
+    print(result.table())
+    return result

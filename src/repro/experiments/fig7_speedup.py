@@ -21,6 +21,7 @@ from .common import (
     MeasuredPoint,
     ascii_plot,
     rate_of_point,
+    validate_strategies,
 )
 from .parallel import point_seed, run_sweep
 
@@ -69,6 +70,7 @@ def run_one(
     jobs: Optional[int] = None,
 ) -> Fig7Result:
     """Speed-up sweep for one graph, optionally fanned over ``jobs`` workers."""
+    strategies = validate_strategies(strategies)  # fail fast, not in a worker
     config = config or SimConfig.realistic()
     base_platform = base_platform or CellPlatform.qs22()
     # The reference: everything on the PPE, measured once (§6.4: "the

@@ -17,7 +17,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..generator.paper_graphs import PAPER_CCRS, ccr_variants
 from ..platform.cell import CellPlatform
 from ..simulator import SimConfig
-from .common import MeasuredPoint, ascii_plot, speedup_of_point
+from .common import (
+    MeasuredPoint,
+    ascii_plot,
+    speedup_of_point,
+    validate_strategies,
+)
 from .parallel import point_seed, run_sweep
 
 __all__ = ["Fig8Result", "run", "main"]
@@ -66,6 +71,7 @@ def run(
     Each (graph, CCR) point is independent — its own MILP solve plus two
     simulations — so ``jobs`` fans them across worker processes.
     """
+    (strategy,) = validate_strategies((strategy,))  # fail fast, not in a worker
     config = config or SimConfig.realistic()
     platform = platform or CellPlatform.qs22()
     # Baseline: PPE-only throughput per variant.  Compute costs are

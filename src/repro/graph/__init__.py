@@ -3,6 +3,8 @@
 * :class:`Task` — per-instance costs (unrelated machines), peek, memory I/O;
 * :class:`DataEdge` — per-instance payloads between tasks;
 * :class:`StreamGraph` — the validated DAG container;
+* :class:`Workload` / :class:`CompositeGraph` — co-scheduled
+  multi-application workloads compiled into one namespaced graph;
 * analysis helpers — :func:`ccr`, :func:`graph_stats`, critical path;
 * :mod:`repro.graph.io` — JSON round-trip and DOT export.
 """
@@ -22,6 +24,7 @@ from .edge import DataEdge
 from .io import from_dict, load, save, to_dict, to_dot
 from .stream_graph import StreamGraph
 from .task import Task
+from .workload import CompositeGraph, Workload, WorkloadApp
 
 __all__ = [
     "ELEMENT_BYTES",
@@ -41,4 +44,7 @@ __all__ = [
     "to_dot",
     "StreamGraph",
     "Task",
+    "CompositeGraph",
+    "Workload",
+    "WorkloadApp",
 ]

@@ -77,6 +77,10 @@ class Task:
         """Operations per instance for CCR accounting (defaults to ``wppe``)."""
         return self.wppe if self.ops is None else self.ops
 
+    def renamed(self, name: str) -> "Task":
+        """A copy under another name (workload namespacing)."""
+        return replace(self, name=name)
+
     def scaled(self, compute_factor: float = 1.0) -> "Task":
         """A copy with compute costs multiplied by ``compute_factor``."""
         if compute_factor <= 0:

@@ -1,0 +1,297 @@
+"""Co-scheduled multi-application workloads (beyond the paper: Benoit et
+al., *Resource Allocation for Multiple Concurrent In-Network
+Stream-Processing Applications*, 2009).
+
+The paper maps **one** streaming application per Cell.  A
+:class:`Workload` generalises this: an ordered collection of named
+:class:`~repro.graph.stream_graph.StreamGraph` applications, each with a
+throughput *weight* (its relative importance under the ``weighted``
+objective) and an optional *target period* (its QoS requirement, the
+reference of the ``max_stretch`` objective), co-scheduled on a single
+platform.
+
+Composite-graph semantics
+-------------------------
+
+:meth:`Workload.compile` flattens the member applications into **one**
+:class:`CompositeGraph` that every existing layer (``Mapping``,
+``analyze``, ``DeltaAnalyzer``, the MILP, every heuristic, the
+simulator) consumes unchanged:
+
+* **namespacing** — task ``t`` of application ``app`` becomes composite
+  task ``app:t``; the original name is never parsed back out of the
+  string, the composite carries an explicit ``app_of`` map instead (so
+  member task names may themselves contain ``:``);
+* **no cross-application edges** — member applications are independent
+  streams; the composite is their disjoint union, and each edge belongs
+  to exactly one application (its endpoints always share an app);
+* **per-app bookkeeping** — ``app_tasks`` / ``app_sources`` /
+  ``app_sinks`` record each application's composite task names, entry
+  points and exit points, and ``app_weights`` / ``app_targets`` carry
+  the scheduling metadata the objective layer consumes;
+* **shared steady state** — all applications advance in lock-step with
+  one instance of every application per period, so the composite's
+  analytic period is the shared-resource period and
+  ``analyze(...).app_periods`` reports, per application, the period it
+  would achieve under the same mapping without the other applications'
+  load (its resource occupation alone — the quantity stretch objectives
+  compare against).
+
+The compilation is memoized on :attr:`Workload.version`, which is
+derived from the member graphs' own mutation counters — mutating any
+member application (or the workload itself) invalidates the cached
+composite, exactly like ``StreamGraph.version`` invalidates the memoized
+``buffer_requirements``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import WorkloadError
+from .edge import DataEdge
+from .stream_graph import StreamGraph
+
+__all__ = ["CompositeGraph", "Workload", "WorkloadApp"]
+
+#: Separator between the application name and the task name in composite
+#: task ids.  Cosmetic only — ownership is tracked by ``app_of``, never
+#: by splitting the string.
+APP_SEP = ":"
+
+
+@dataclass(frozen=True)
+class WorkloadApp:
+    """One member application of a :class:`Workload`.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier of the application within the workload.
+    graph:
+        The application's streaming task graph (held by reference — the
+        workload sees later mutations through ``graph.version``).
+    weight:
+        Relative throughput importance under the ``weighted`` objective
+        (must be positive; 1.0 = equal share).
+    target_period:
+        Optional QoS requirement in µs: the period this application
+        considers nominal.  The ``max_stretch`` objective measures each
+        application's period relative to this target (or to a
+        graph-derived lower bound when unset).
+    """
+
+    name: str
+    graph: StreamGraph
+    weight: float = 1.0
+    target_period: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("application name must be a non-empty string")
+        if self.weight <= 0:
+            raise WorkloadError(
+                f"application {self.name!r}: weight must be positive "
+                f"(got {self.weight!r})"
+            )
+        if self.target_period is not None and self.target_period <= 0:
+            raise WorkloadError(
+                f"application {self.name!r}: target_period must be positive "
+                f"(got {self.target_period!r})"
+            )
+
+
+class CompositeGraph(StreamGraph):
+    """The flattened union of a workload's applications.
+
+    A plain :class:`StreamGraph` (every consumer works unchanged) plus
+    the per-application metadata the workload-aware layers use.  Built
+    by :meth:`Workload.compile`; not meant to be constructed directly.
+
+    Note that generic derivations (``copy()``, ``scaled()``) return
+    plain :class:`StreamGraph` objects and therefore drop the
+    application metadata — recompile from the workload instead.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        #: Application names in workload insertion order.
+        self.app_names: Tuple[str, ...] = ()
+        #: Composite task name → owning application name.
+        self.app_of: Dict[str, str] = {}
+        #: Application name → throughput weight.
+        self.app_weights: Dict[str, float] = {}
+        #: Application name → target period (``None`` when unset).
+        self.app_targets: Dict[str, Optional[float]] = {}
+        #: Application name → its composite task names, in member order.
+        self.app_tasks: Dict[str, List[str]] = {}
+        #: Application name → composite names of its stream entry points.
+        self.app_sources: Dict[str, List[str]] = {}
+        #: Application name → composite names of its stream exit points.
+        self.app_sinks: Dict[str, List[str]] = {}
+        #: The :attr:`Workload.version` this composite was compiled from.
+        self.workload_version: int = -1
+
+    def app_of_task(self, name: str) -> str:
+        """The application owning composite task ``name``."""
+        try:
+            return self.app_of[name]
+        except KeyError:
+            raise WorkloadError(f"unknown composite task {name!r}") from None
+
+
+class Workload:
+    """An ordered collection of named streaming applications to co-schedule.
+
+    Usage::
+
+        w = Workload("mix")
+        w.add_app("audio", audio_encoder(), weight=2.0)
+        w.add_app("video", video_pipeline(), target_period=900.0)
+        composite = w.compile()          # one StreamGraph, namespaced ids
+        mapping = genetic_algorithm(composite, platform,
+                                    objective="max_stretch")
+        analyze(mapping).app_periods     # {"audio": ..., "video": ...}
+    """
+
+    def __init__(self, name: str = "workload") -> None:
+        self.name = name
+        self._apps: Dict[str, WorkloadApp] = {}
+        self._version = 0
+        self._compiled: Optional[CompositeGraph] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+
+    def add_app(
+        self,
+        name: str,
+        graph: StreamGraph,
+        weight: float = 1.0,
+        target_period: Optional[float] = None,
+    ) -> WorkloadApp:
+        """Append an application; raises :class:`WorkloadError` on duplicates."""
+        if name in self._apps:
+            raise WorkloadError(f"duplicate application name {name!r}")
+        graph.validate()
+        app = WorkloadApp(
+            name=name, graph=graph, weight=weight, target_period=target_period
+        )
+        self._apps[name] = app
+        self._version += 1
+        return app
+
+    @classmethod
+    def from_graphs(
+        cls,
+        graphs: Iterable[StreamGraph],
+        name: str = "workload",
+        weights: Optional[Iterable[float]] = None,
+    ) -> "Workload":
+        """Build a workload from graphs, named after each graph's ``name``."""
+        workload = cls(name)
+        graphs = list(graphs)
+        weight_list = (
+            list(weights) if weights is not None else [1.0] * len(graphs)
+        )
+        if len(weight_list) != len(graphs):
+            raise WorkloadError(
+                f"{len(graphs)} graphs but {len(weight_list)} weights"
+            )
+        for graph, weight in zip(graphs, weight_list):
+            workload.add_app(graph.name, graph, weight=weight)
+        return workload
+
+    # ------------------------------------------------------------------ #
+    # Queries
+
+    @property
+    def version(self) -> int:
+        """Composite mutation counter.
+
+        Strictly increases whenever the workload itself mutates
+        (``add_app``) *or any member graph* mutates — each member bump
+        raises the sum, so derived caches (the compiled composite) can
+        key on this single integer.
+        """
+        return self._version + sum(
+            app.graph.version for app in self._apps.values()
+        )
+
+    @property
+    def n_apps(self) -> int:
+        return len(self._apps)
+
+    def __len__(self) -> int:
+        return len(self._apps)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._apps
+
+    def __iter__(self) -> Iterator[WorkloadApp]:
+        return iter(self._apps.values())
+
+    def app(self, name: str) -> WorkloadApp:
+        try:
+            return self._apps[name]
+        except KeyError:
+            raise WorkloadError(f"unknown application {name!r}") from None
+
+    def app_names(self) -> List[str]:
+        """Application names in insertion order."""
+        return list(self._apps.keys())
+
+    def n_tasks(self) -> int:
+        """Total task count across all applications."""
+        return sum(app.graph.n_tasks for app in self._apps.values())
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+
+    def compile(self) -> CompositeGraph:
+        """The namespaced composite graph (memoized on :attr:`version`)."""
+        if not self._apps:
+            raise WorkloadError(f"workload {self.name!r} has no application")
+        version = self.version
+        if (
+            self._compiled is not None
+            and self._compiled.workload_version == version
+        ):
+            return self._compiled
+        composite = CompositeGraph(self.name)
+        composite.app_names = tuple(self._apps.keys())
+        for app in self._apps.values():
+            prefix = app.name + APP_SEP
+            composite.app_weights[app.name] = app.weight
+            composite.app_targets[app.name] = app.target_period
+            names: List[str] = []
+            for task in app.graph.tasks():
+                qualified = prefix + task.name
+                composite.add_task(task.renamed(qualified))
+                composite.app_of[qualified] = app.name
+                names.append(qualified)
+            for edge in app.graph.edges():
+                composite.add_edge(
+                    DataEdge(prefix + edge.src, prefix + edge.dst, edge.data)
+                )
+            composite.app_tasks[app.name] = names
+            composite.app_sources[app.name] = [
+                prefix + t for t in app.graph.sources()
+            ]
+            composite.app_sinks[app.name] = [
+                prefix + t for t in app.graph.sinks()
+            ]
+        composite.validate()
+        composite.workload_version = version
+        self._compiled = composite
+        return composite
+
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        members = ", ".join(
+            f"{app.name}({app.graph.n_tasks}t, w={app.weight:g})"
+            for app in self._apps.values()
+        )
+        return f"Workload({self.name!r}, [{members}])"

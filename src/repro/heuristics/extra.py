@@ -24,6 +24,14 @@ Every search heuristic accepts ``elide_local_comm`` /
 ``merge_same_pe_buffers`` and then optimises under the corresponding
 mapping-dependent buffer model (the paper's future-work optimisations),
 evaluated incrementally by the same delta engine.
+
+Every search heuristic also accepts ``objective`` (``"period"`` —
+default — ``"weighted"`` or ``"max_stretch"``, see
+:mod:`repro.steady_state.objective`): on a multi-application
+:class:`~repro.graph.workload.Workload` composite the candidates are
+ranked by that objective instead of the raw shared period, while
+feasibility (the hard (1i)–(1k) constraints) is judged identically.  On
+plain single-application graphs all objectives collapse to the period.
 """
 
 from __future__ import annotations
@@ -37,8 +45,9 @@ from ..graph.stream_graph import StreamGraph
 from ..platform.cell import CellPlatform
 from ..steady_state.delta import DeltaAnalyzer
 from ..steady_state.mapping import Mapping
+from ..steady_state.objective import make_objective
 from ..steady_state.periods import buffer_requirements
-from ..steady_state.throughput import analyze
+from ..steady_state.throughput import PeriodAnalysis, analyze
 from .greedy import greedy_cpu, greedy_mem
 
 __all__ = [
@@ -169,6 +178,11 @@ def critical_path_mapping(graph: StreamGraph, platform: CellPlatform) -> Mapping
     return Mapping(graph, platform, assignment)
 
 
+def _analysis_value(objective, analysis: PeriodAnalysis) -> float:
+    """Objective value of a full ``analyze()`` result (reference path)."""
+    return objective.value(analysis.period, analysis.app_periods)
+
+
 def local_search(
     mapping: Mapping,
     max_rounds: int = 50,
@@ -176,8 +190,9 @@ def local_search(
     use_delta: bool = True,
     elide_local_comm: bool = False,
     merge_same_pe_buffers: bool = False,
+    objective: str = "period",
 ) -> Mapping:
-    """Steepest-descent refinement of ``mapping`` under the analytic period.
+    """Steepest-descent refinement of ``mapping`` under ``objective``.
 
     Each round evaluates every single-task move (and optionally every
     task-pair swap) and applies the best strictly-improving *feasible* one;
@@ -193,12 +208,15 @@ def local_search(
     tightly — in which case the resulting periods are equal to ulps.
 
     ``elide_local_comm`` / ``merge_same_pe_buffers`` switch both paths to
-    the corresponding mapping-dependent buffer model.
+    the corresponding mapping-dependent buffer model; ``objective``
+    switches the ranking on workload composites (see the module
+    docstring).
     """
+    obj = make_objective(objective, mapping.graph)
     if not use_delta:
         return _local_search_full(
             mapping, max_rounds, try_swaps,
-            elide_local_comm, merge_same_pe_buffers,
+            elide_local_comm, merge_same_pe_buffers, obj,
         )
 
     state = DeltaAnalyzer(
@@ -206,31 +224,31 @@ def local_search(
         elide_local_comm=elide_local_comm,
         merge_same_pe_buffers=merge_same_pe_buffers,
     )
-    current_period = state.period() if state.feasible else float("inf")
+    current_value = state.evaluate(obj).value if state.feasible else float("inf")
     platform = mapping.platform
     names = mapping.graph.task_names()
     n_pes = platform.n_pes
 
     for _ in range(max_rounds):
         best: Optional[Tuple[str, ...]] = None
-        best_period = current_period
+        best_value = current_value
         for name in names:
             origin = state.pe_of(name)
             for pe in range(n_pes):
                 if pe == origin:
                     continue
-                score = state.score_move(name, pe)
-                if score.feasible and score.period < best_period:
-                    best, best_period = ("move", name, pe), score.period
+                score = state.evaluate_move(name, pe, obj)
+                if score.feasible and score.value < best_value:
+                    best, best_value = ("move", name, pe), score.value
         if try_swaps:
             for a_idx in range(len(names)):
                 for b_idx in range(a_idx + 1, len(names)):
                     a, b = names[a_idx], names[b_idx]
                     if state.pe_of(a) == state.pe_of(b):
                         continue
-                    score = state.score_swap(a, b)
-                    if score.feasible and score.period < best_period:
-                        best, best_period = ("swap", a, b), score.period
+                    score = state.evaluate_swap(a, b, obj)
+                    if score.feasible and score.value < best_value:
+                        best, best_value = ("swap", a, b), score.value
         if best is None:
             break
         if best[0] == "move":
@@ -240,7 +258,9 @@ def local_search(
         # One O(V+E) rebuild per round: re-anchors the incremental sums so
         # the scores of the next round match a fresh analyze() exactly.
         state.resync()
-        current_period = state.period() if state.feasible else float("inf")
+        current_value = (
+            state.evaluate(obj).value if state.feasible else float("inf")
+        )
     return state.mapping()
 
 
@@ -250,23 +270,28 @@ def _local_search_full(
     try_swaps: bool,
     elide_local_comm: bool = False,
     merge_same_pe_buffers: bool = False,
+    obj=None,
 ) -> Mapping:
     """Reference steepest descent: full ``analyze`` per candidate (seed code)."""
+    if obj is None:
+        obj = make_objective("period", mapping.graph)
     flags = dict(
         elide_local_comm=elide_local_comm,
         merge_same_pe_buffers=merge_same_pe_buffers,
     )
     current = mapping
     current_analysis = analyze(current, **flags)
-    current_period = (
-        current_analysis.period if current_analysis.feasible else float("inf")
+    current_value = (
+        _analysis_value(obj, current_analysis)
+        if current_analysis.feasible
+        else float("inf")
     )
     platform = mapping.platform
     names = mapping.graph.task_names()
 
     for _ in range(max_rounds):
         best_candidate = None
-        best_period = current_period
+        best_value = current_value
         for name in names:
             origin = current.pe_of(name)
             for pe in range(platform.n_pes):
@@ -274,8 +299,9 @@ def _local_search_full(
                     continue
                 candidate = current.with_assignment(name, pe)
                 analysis = analyze(candidate, **flags)
-                if analysis.feasible and analysis.period < best_period:
-                    best_candidate, best_period = candidate, analysis.period
+                value = _analysis_value(obj, analysis)
+                if analysis.feasible and value < best_value:
+                    best_candidate, best_value = candidate, value
         if try_swaps:
             for a_idx in range(len(names)):
                 for b_idx in range(a_idx + 1, len(names)):
@@ -287,11 +313,12 @@ def _local_search_full(
                         a, pe_b
                     ).with_assignment(b, pe_a)
                     analysis = analyze(candidate, **flags)
-                    if analysis.feasible and analysis.period < best_period:
-                        best_candidate, best_period = candidate, analysis.period
+                    value = _analysis_value(obj, analysis)
+                    if analysis.feasible and value < best_value:
+                        best_candidate, best_value = candidate, value
         if best_candidate is None:
             break
-        current, current_period = best_candidate, best_period
+        current, current_value = best_candidate, best_value
     return current
 
 
@@ -329,20 +356,23 @@ def simulated_annealing(
     swap_prob: float = 0.25,
     elide_local_comm: bool = False,
     merge_same_pe_buffers: bool = False,
+    objective: str = "period",
 ) -> Mapping:
-    """Metropolis search over feasible mappings under the analytic period.
+    """Metropolis search over feasible mappings under ``objective``.
 
     Random single-task moves (and, with probability ``swap_prob``,
     task-pair swaps) are scored by :class:`DeltaAnalyzer`; improving
     candidates are always accepted, worsening ones with probability
-    ``exp(-ΔT/temp)`` under a geometric cooling schedule.  Infeasible
+    ``exp(-Δvalue/temp)`` under a geometric cooling schedule.  Infeasible
     candidates are rejected outright, and the best *feasible* state seen
     is returned — starting from a feasible mapping (``start`` if feasible,
     else the always-feasible PPE-only mapping), so the result is never
     infeasible.  Feasibility follows the buffer model selected by
-    ``elide_local_comm`` / ``merge_same_pe_buffers``.
+    ``elide_local_comm`` / ``merge_same_pe_buffers``; candidate ranking
+    follows ``objective`` (see the module docstring).
     """
     rng = random.Random(seed)
+    obj = make_objective(objective, graph)
     start = _feasible_start(
         graph, platform, start, elide_local_comm, merge_same_pe_buffers
     )
@@ -357,9 +387,9 @@ def simulated_annealing(
         return start
     n_iter = iterations if iterations is not None else max(1500, 60 * len(names))
 
-    current = state.period()
+    current = state.evaluate(obj).value
     best_assignment = state.assignment()
-    best_period = current
+    best_value = current
     # Clamp away zero/negative temperatures: 0 would divide by zero in the
     # Metropolis test and negatives would invert it; 1e-9 µs is cold enough
     # to behave as pure greedy acceptance.
@@ -379,7 +409,7 @@ def simulated_annealing(
             if state.pe_of(a) == state.pe_of(b):
                 temperature *= alpha
                 continue
-            score = state.score_swap(a, b)
+            score = state.evaluate_swap(a, b, obj)
             candidate = ("swap", a, b)
         else:
             name = names[rng.randrange(len(names))]
@@ -387,10 +417,10 @@ def simulated_annealing(
             if pe == state.pe_of(name):
                 temperature *= alpha
                 continue
-            score = state.score_move(name, pe)
+            score = state.evaluate_move(name, pe, obj)
             candidate = ("move", name, pe)
         if score.feasible:
-            delta_t = score.period - current
+            delta_t = score.value - current
             if delta_t <= 0 or rng.random() < math.exp(-delta_t / temperature):
                 if candidate[0] == "move":
                     state.apply_move(candidate[1], int(candidate[2]))
@@ -399,9 +429,9 @@ def simulated_annealing(
                 applied += 1
                 if applied % _RESYNC_EVERY == 0:
                     state.resync()
-                current = state.period()
-                if current < best_period:
-                    best_period = current
+                current = state.evaluate(obj).value
+                if current < best_value:
+                    best_value = current
                     best_assignment = state.assignment()
         temperature *= alpha
     return Mapping(graph, platform, best_assignment)
@@ -416,20 +446,22 @@ def tabu_search(
     tenure: Optional[int] = None,
     elide_local_comm: bool = False,
     merge_same_pe_buffers: bool = False,
+    objective: str = "period",
 ) -> Mapping:
-    """Tabu search over single-task moves under the analytic period.
+    """Tabu search over single-task moves under ``objective``.
 
     Each round scores the full move neighbourhood with
     :class:`DeltaAnalyzer` and applies the best feasible move — even a
     worsening one, which lets the search climb out of the local optima
     where :func:`local_search` stops.  Recently moved tasks are tabu for
-    ``tenure`` rounds unless the move beats the best period seen so far
+    ``tenure`` rounds unless the move beats the best value seen so far
     (aspiration).  Starts feasible and only ever visits feasible states,
     so the returned mapping is never infeasible.  Feasibility follows the
     buffer model selected by ``elide_local_comm`` /
-    ``merge_same_pe_buffers``.
+    ``merge_same_pe_buffers``; candidate ranking follows ``objective``.
     """
     rng = random.Random(seed)
+    obj = make_objective(objective, graph)
     start = _feasible_start(
         graph, platform, start, elide_local_comm, merge_same_pe_buffers
     )
@@ -447,27 +479,27 @@ def tabu_search(
 
     tabu_until: Dict[str, int] = {}
     best_assignment = state.assignment()
-    best_period = state.period()
+    best_value = state.evaluate(obj).value
     applied = 0
 
     for rnd in range(n_rounds):
         scan = list(names)
         rng.shuffle(scan)  # deterministic per seed; diversifies tie wins
         best_move: Optional[Tuple[str, int]] = None
-        best_move_period = float("inf")
+        best_move_value = float("inf")
         for name in scan:
             origin = state.pe_of(name)
             is_tabu = tabu_until.get(name, 0) > rnd
             for pe in range(n_pes):
                 if pe == origin:
                     continue
-                score = state.score_move(name, pe)
+                score = state.evaluate_move(name, pe, obj)
                 if not score.feasible:
                     continue
-                if is_tabu and score.period >= best_period:
+                if is_tabu and score.value >= best_value:
                     continue  # tabu, and no aspiration
-                if score.period < best_move_period:
-                    best_move, best_move_period = (name, pe), score.period
+                if score.value < best_move_value:
+                    best_move, best_move_value = (name, pe), score.value
         if best_move is None:
             break  # neighbourhood exhausted (all tabu and non-aspiring)
         name, pe = best_move
@@ -476,9 +508,9 @@ def tabu_search(
         if applied % _RESYNC_EVERY == 0:
             state.resync()
         tabu_until[name] = rnd + 1 + tabu_tenure
-        period = state.period()
-        if period < best_period:
-            best_period = period
+        value = state.evaluate(obj).value
+        if value < best_value:
+            best_value = value
             best_assignment = state.assignment()
     return Mapping(graph, platform, best_assignment)
 
@@ -496,8 +528,9 @@ def genetic_algorithm(
     tournament: int = 3,
     elide_local_comm: bool = False,
     merge_same_pe_buffers: bool = False,
+    objective: str = "period",
 ) -> Mapping:
-    """Population search over *feasible* mappings under the analytic period.
+    """Population search over *feasible* mappings under ``objective``.
 
     The genome is the task → PE assignment vector.  Every individual is
     held as a :class:`DeltaAnalyzer`, so the genetic operators are cheap:
@@ -519,9 +552,11 @@ def genetic_algorithm(
     stock.  Every individual visited is feasible, the best-ever assignment
     is tracked across generations, and the search is fully deterministic
     for a given ``seed``.  Feasibility follows the buffer model selected
-    by ``elide_local_comm`` / ``merge_same_pe_buffers``.
+    by ``elide_local_comm`` / ``merge_same_pe_buffers``; fitness follows
+    ``objective`` (see the module docstring).
     """
     rng = random.Random(seed)
+    obj = make_objective(objective, graph)
     flags = dict(
         elide_local_comm=elide_local_comm,
         merge_same_pe_buffers=merge_same_pe_buffers,
@@ -559,6 +594,13 @@ def genetic_algorithm(
         if candidate.feasible:
             population.append(candidate)
 
+    if obj.needs_app_periods:
+        def fitness(state: DeltaAnalyzer) -> float:
+            return state.evaluate(obj).value
+    else:  # period objective: skip the ObjectiveScore plumbing
+        def fitness(state: DeltaAnalyzer) -> float:
+            return state.period()
+
     def mutate(state: DeltaAnalyzer, n_moves: int) -> None:
         for _ in range(n_moves):
             name = names[rng.randrange(len(names))]
@@ -567,9 +609,9 @@ def genetic_algorithm(
             for pe in range(n_pes):
                 if pe == origin:
                     continue
-                verdict = state.score_move(name, pe)
+                verdict = state.evaluate_move(name, pe, obj)
                 if verdict.feasible:
-                    feasible.append((pe, verdict.period))
+                    feasible.append((pe, verdict.value))
             if not feasible:
                 continue
             if rng.random() < 0.5:
@@ -591,7 +633,7 @@ def genetic_algorithm(
         best = population[rng.randrange(len(population))]
         for _ in range(max(1, tournament) - 1):
             rival = population[rng.randrange(len(population))]
-            if rival.period() < best.period():
+            if fitness(rival) < fitness(best):
                 best = rival
         return best
 
@@ -612,19 +654,19 @@ def genetic_algorithm(
         return child
 
     best_assignment = start.to_dict()
-    best_period = population[0].period()
+    best_value = fitness(population[0])
 
     def track(states: List[DeltaAnalyzer]) -> None:
-        nonlocal best_assignment, best_period
+        nonlocal best_assignment, best_value
         for state in states:
-            period = state.period()
-            if period < best_period:
-                best_period = period
+            value = fitness(state)
+            if value < best_value:
+                best_value = value
                 best_assignment = state.assignment()
 
     track(population)
     for _generation in range(n_generations):
-        population.sort(key=lambda state: state.period())
+        population.sort(key=fitness)
         offspring = [population[i].clone() for i in range(n_elite)]
         while len(offspring) < pop_size:
             parent = select()

@@ -7,11 +7,15 @@
   feasibility and throughput of a mapping;
 * :class:`DeltaAnalyzer` — incremental O(deg) re-evaluation of moves/swaps
   (the engine behind the neighbourhood-search heuristics);
+* :mod:`~repro.steady_state.objective` — pluggable scheduling objectives
+  (shared period, weighted per-app periods, max stretch) for
+  multi-application workloads;
 * :class:`PeriodicSchedule` — the explicit periodic schedule (Fig. 3).
 """
 
-from .delta import DeltaAnalyzer, MoveScore
+from .delta import DeltaAnalyzer, MoveScore, ObjectiveScore
 from .mapping import Mapping
+from .objective import OBJECTIVES, make_objective
 from .periods import (
     buffer_requirements,
     buffer_sizes,
@@ -38,6 +42,9 @@ from .throughput import (
 __all__ = [
     "DeltaAnalyzer",
     "MoveScore",
+    "ObjectiveScore",
+    "OBJECTIVES",
+    "make_objective",
     "Mapping",
     "buffer_requirements",
     "buffer_sizes",

@@ -65,6 +65,23 @@ the same accumulation order as ``periods.buffer_requirements`` — so
 :meth:`snapshot` stays bit-identical to
 ``analyze(..., elide_local_comm=..., merge_same_pe_buffers=...)`` under
 the same exactness contract as the default mode.
+
+Multi-application workloads
+---------------------------
+
+On a :class:`~repro.graph.workload.CompositeGraph` (several applications
+co-scheduled, see :mod:`repro.graph.workload`) the analyzer additionally
+maintains **per-application** compute/communication sums and BIF-link
+bytes, mirroring the global ones delta for delta — a move updates both in
+the same O(deg) pass, and :meth:`app_periods` /
+:meth:`snapshot`'s ``app_periods`` reproduce
+``analyze(...).app_periods`` bit for bit under the usual exactness
+contract.  The ``evaluate_move`` / ``evaluate_swap`` /
+``evaluate_changes`` variants thread a pluggable objective
+(:mod:`repro.steady_state.objective`) over the same deltas: candidate
+per-app periods are derived from cached per-(app, PE) peaks in
+O(n_apps × n_pes), so ``weighted`` / ``max_stretch`` search stays
+incremental.  Plain single-application graphs skip all of this.
 """
 
 from __future__ import annotations
@@ -75,14 +92,35 @@ from typing import Dict, List, NamedTuple, Optional, Set, Tuple
 from ..errors import MappingError
 from .mapping import Mapping
 from .periods import buffer_requirements, buffer_sizes, first_periods
-from .throughput import LinkLoad, PeriodAnalysis, ResourceLoad, Violation
+from .throughput import (
+    LinkLoad,
+    PeriodAnalysis,
+    ResourceLoad,
+    Violation,
+    app_periods_from_loads,
+)
 
-__all__ = ["DeltaAnalyzer", "MoveScore"]
+__all__ = ["DeltaAnalyzer", "MoveScore", "ObjectiveScore"]
 
 
 class MoveScore(NamedTuple):
     """Cheap verdict on a candidate mapping (current or hypothetical)."""
 
+    period: float
+    feasible: bool
+    n_violations: int
+
+
+class ObjectiveScore(NamedTuple):
+    """A :class:`MoveScore` extended with a pluggable objective value.
+
+    ``value`` equals ``period`` under the default period objective; under
+    ``weighted`` / ``max_stretch`` it is the objective applied to the
+    candidate's per-application periods.  Search heuristics rank
+    candidates by ``value`` and gate on ``feasible`` exactly as before.
+    """
+
+    value: float
     period: float
     feasible: bool
     n_violations: int
@@ -96,9 +134,20 @@ _BufModel = Tuple[
     Dict[str, float],
 ]
 
+#: Per-application deltas of a set of moves (multi-app composites only):
+#: (d_app_compute, d_app_in, d_app_out keyed by (app, pe);
+#:  d_app_link, d_app_link_count keyed by (app, (src_cell, dst_cell))).
+_AppDeltas = Tuple[
+    Dict[Tuple[str, int], float],
+    Dict[Tuple[str, int], float],
+    Dict[Tuple[str, int], float],
+    Dict[Tuple[str, Tuple[int, int]], float],
+    Dict[Tuple[str, Tuple[int, int]], int],
+]
+
 #: Internal bundle of per-resource deltas for a set of simultaneous moves:
 #: (moved, d_compute, d_in, d_out, d_buf, d_dma_in, d_dma_proxy,
-#:  d_link_bytes, d_link_count, bufmodel).
+#:  d_link_bytes, d_link_count, bufmodel, appdeltas).
 _Deltas = Tuple[
     Dict[str, int],
     Dict[int, float],
@@ -110,6 +159,7 @@ _Deltas = Tuple[
     Dict[Tuple[int, int], float],
     Dict[Tuple[int, int], int],
     Optional[_BufModel],
+    Optional[_AppDeltas],
 ]
 
 
@@ -152,6 +202,18 @@ class DeltaAnalyzer:
         self._multi = platform.n_cells > 1
 
         self._assign: Dict[str, int] = mapping.to_dict()
+        # Multi-application composite graphs additionally get per-app
+        # occupation tracking (the basis of the weighted / max-stretch
+        # objectives); plain graphs pay nothing.
+        app_of = getattr(self.graph, "app_of", None) or None
+        self._app_of: Optional[Dict[str, str]] = (
+            dict(app_of) if app_of is not None else None
+        )
+        self._app_names: Tuple[str, ...] = (
+            tuple(getattr(self.graph, "app_names", ()))
+            if app_of is not None
+            else ()
+        )
         # Per-task constants: (wppe, wspe, read, write).
         self._tinfo: Dict[str, Tuple[float, float, float, float]] = {
             t.name: (t.wppe, t.wspe, t.read, t.write)
@@ -214,6 +276,13 @@ class DeltaAnalyzer:
         self._link_bytes: Dict[Tuple[int, int], float] = {}
         self._link_count: Dict[Tuple[int, int], int] = {}
         self._n_violations = 0
+        # Per-application mutable state (composites only).
+        self._app_compute: Dict[str, List[float]] = {}
+        self._app_in: Dict[str, List[float]] = {}
+        self._app_out: Dict[str, List[float]] = {}
+        self._app_peak: Dict[str, List[float]] = {}
+        self._app_link_bytes: Dict[Tuple[str, Tuple[int, int]], float] = {}
+        self._app_link_count: Dict[Tuple[str, Tuple[int, int]], int] = {}
         self._rebuild()
 
     # ------------------------------------------------------------------ #
@@ -246,14 +315,32 @@ class DeltaAnalyzer:
                 merge_same_pe_buffers=self.merge_same_pe_buffers,
             )
 
+        app_of = self._app_of
+        app_compute: Dict[str, List[float]] = {}
+        app_in: Dict[str, List[float]] = {}
+        app_out: Dict[str, List[float]] = {}
+        app_link_bytes: Dict[Tuple[str, Tuple[int, int]], float] = {}
+        app_link_count: Dict[Tuple[str, Tuple[int, int]], int] = {}
+        if app_of is not None:
+            for app in self._app_names:
+                app_compute[app] = [0.0] * n
+                app_in[app] = [0.0] * n
+                app_out[app] = [0.0] * n
+
         compute = [0.0] * n
         in_bytes = [0.0] * n
         out_bytes = [0.0] * n
         for task in self.graph.tasks():
             pe = assign[task.name]
-            compute[pe] += task.cost_on(platform.kind(pe))
+            cost = task.cost_on(platform.kind(pe))
+            compute[pe] += cost
             in_bytes[pe] += task.read
             out_bytes[pe] += task.write
+            if app_of is not None:
+                app = app_of[task.name]
+                app_compute[app][pe] += cost
+                app_in[app][pe] += task.read
+                app_out[app][pe] += task.write
 
         dma_in = {i: 0 for i in platform.spe_indices}
         dma_proxy = {i: 0 for i in platform.spe_indices}
@@ -267,6 +354,10 @@ class DeltaAnalyzer:
                 continue
             out_bytes[src_pe] += edge.data
             in_bytes[dst_pe] += edge.data
+            if app_of is not None:
+                app = app_of[edge.src]  # endpoints always share the app
+                app_out[app][src_pe] += edge.data
+                app_in[app][dst_pe] += edge.data
             if is_spe[dst_pe]:
                 dma_in[dst_pe] += 1
             if is_spe[src_pe] and is_ppe[dst_pe]:
@@ -275,6 +366,12 @@ class DeltaAnalyzer:
                 key = (cell[src_pe], cell[dst_pe])
                 link_bytes[key] = link_bytes.get(key, 0.0) + edge.data
                 link_count[key] = link_count.get(key, 0) + 1
+                if app_of is not None:
+                    akey = (app_of[edge.src], key)
+                    app_link_bytes[akey] = (
+                        app_link_bytes.get(akey, 0.0) + edge.data
+                    )
+                    app_link_count[akey] = app_link_count.get(akey, 0) + 1
 
         buffer = {i: 0.0 for i in platform.spe_indices}
         need = self._need
@@ -291,6 +388,23 @@ class DeltaAnalyzer:
             max(compute[i], in_bytes[i] / bw, out_bytes[i] / bw)
             for i in range(n)
         ]
+        if app_of is not None:
+            self._app_compute, self._app_in, self._app_out = (
+                app_compute, app_in, app_out,
+            )
+            self._app_link_bytes = app_link_bytes
+            self._app_link_count = app_link_count
+            self._app_peak = {
+                app: [
+                    max(
+                        app_compute[app][i],
+                        app_in[app][i] / bw,
+                        app_out[app][i] / bw,
+                    )
+                    for i in range(n)
+                ]
+                for app in self._app_names
+            }
         violations = 0
         for spe in platform.spe_indices:
             violations += buffer[spe] > self._budget
@@ -317,7 +431,7 @@ class DeltaAnalyzer:
             "_mapping_dependent", "_n_pes", "_bw", "_bif_bw", "_budget",
             "_in_slots", "_proxy_slots", "_is_ppe", "_is_spe", "_cell",
             "_multi", "_tinfo", "_in_adj", "_out_adj", "_tindex", "_peek",
-            "_inc_keys", "_edge_data",
+            "_inc_keys", "_edge_data", "_app_of", "_app_names",
         ):
             setattr(new, attr, getattr(self, attr))
         # Mutable state — private copies.
@@ -335,6 +449,12 @@ class DeltaAnalyzer:
         new._link_bytes = dict(self._link_bytes)
         new._link_count = dict(self._link_count)
         new._n_violations = self._n_violations
+        new._app_compute = {a: list(v) for a, v in self._app_compute.items()}
+        new._app_in = {a: list(v) for a, v in self._app_in.items()}
+        new._app_out = {a: list(v) for a, v in self._app_out.items()}
+        new._app_peak = {a: list(v) for a, v in self._app_peak.items()}
+        new._app_link_bytes = dict(self._app_link_bytes)
+        new._app_link_count = dict(self._app_link_count)
         return new
 
     # ------------------------------------------------------------------ #
@@ -374,6 +494,25 @@ class DeltaAnalyzer:
             period=self.period(),
             feasible=self._n_violations == 0,
             n_violations=self._n_violations,
+        )
+
+    def app_periods(self) -> Dict[str, float]:
+        """Per-application periods of the current state (see ``analyze``).
+
+        Empty for plain (single-application) graphs; for composites, the
+        same values ``analyze(self.mapping()).app_periods`` reports,
+        read from the incrementally-maintained per-app sums.
+        """
+        if self._app_of is None:
+            return {}
+        return app_periods_from_loads(
+            self._app_names,
+            self._app_compute,
+            self._app_in,
+            self._app_out,
+            self._app_link_bytes,
+            self._bw,
+            self._bif_bw,
         )
 
     # ------------------------------------------------------------------ #
@@ -544,6 +683,7 @@ class DeltaAnalyzer:
             return None
 
         is_ppe, is_spe, cell = self._is_ppe, self._is_spe, self._cell
+        app_of = self._app_of
         d_compute: Dict[int, float] = {}
         d_in: Dict[int, float] = {}
         d_out: Dict[int, float] = {}
@@ -553,20 +693,35 @@ class DeltaAnalyzer:
         d_link: Dict[Tuple[int, int], float] = {}
         d_link_n: Dict[Tuple[int, int], int] = {}
         edges: Dict[Tuple[str, str], float] = {}
+        # Per-application mirrors of the deltas above — only allocated on
+        # composites so plain graphs keep the original hot-path cost.
+        if app_of is not None:
+            da_compute: Dict[Tuple[str, int], float] = {}
+            da_in: Dict[Tuple[str, int], float] = {}
+            da_out: Dict[Tuple[str, int], float] = {}
+            da_link: Dict[Tuple[str, Tuple[int, int]], float] = {}
+            da_link_n: Dict[Tuple[str, Tuple[int, int]], int] = {}
 
         for name, new_pe in moved.items():
             old_pe = assign[name]
             wppe, wspe, read, write = self._tinfo[name]
-            d_compute[old_pe] = d_compute.get(old_pe, 0.0) - (
-                wppe if is_ppe[old_pe] else wspe
-            )
-            d_compute[new_pe] = d_compute.get(new_pe, 0.0) + (
-                wppe if is_ppe[new_pe] else wspe
-            )
+            old_cost = wppe if is_ppe[old_pe] else wspe
+            new_cost = wppe if is_ppe[new_pe] else wspe
+            d_compute[old_pe] = d_compute.get(old_pe, 0.0) - old_cost
+            d_compute[new_pe] = d_compute.get(new_pe, 0.0) + new_cost
             d_in[old_pe] = d_in.get(old_pe, 0.0) - read
             d_in[new_pe] = d_in.get(new_pe, 0.0) + read
             d_out[old_pe] = d_out.get(old_pe, 0.0) - write
             d_out[new_pe] = d_out.get(new_pe, 0.0) + write
+            if app_of is not None:
+                app = app_of[name]
+                ko, kn = (app, old_pe), (app, new_pe)
+                da_compute[ko] = da_compute.get(ko, 0.0) - old_cost
+                da_compute[kn] = da_compute.get(kn, 0.0) + new_cost
+                da_in[ko] = da_in.get(ko, 0.0) - read
+                da_in[kn] = da_in.get(kn, 0.0) + read
+                da_out[ko] = da_out.get(ko, 0.0) - write
+                da_out[kn] = da_out.get(kn, 0.0) + write
             if not self._mapping_dependent:
                 need = self._need[name]
                 if is_spe[old_pe]:
@@ -584,6 +739,11 @@ class DeltaAnalyzer:
             if old_u != old_v:  # retract the old cross-PE contribution
                 d_out[old_u] = d_out.get(old_u, 0.0) - data
                 d_in[old_v] = d_in.get(old_v, 0.0) - data
+                if app_of is not None:
+                    app = app_of[u]  # endpoints always share the app
+                    ku, kv = (app, old_u), (app, old_v)
+                    da_out[ku] = da_out.get(ku, 0.0) - data
+                    da_in[kv] = da_in.get(kv, 0.0) - data
                 if is_spe[old_v]:
                     d_dma_in[old_v] = d_dma_in.get(old_v, 0) - 1
                 if is_spe[old_u] and is_ppe[old_v]:
@@ -592,9 +752,18 @@ class DeltaAnalyzer:
                     key = (cell[old_u], cell[old_v])
                     d_link[key] = d_link.get(key, 0.0) - data
                     d_link_n[key] = d_link_n.get(key, 0) - 1
+                    if app_of is not None:
+                        akey = (app_of[u], key)
+                        da_link[akey] = da_link.get(akey, 0.0) - data
+                        da_link_n[akey] = da_link_n.get(akey, 0) - 1
             if new_u != new_v:  # add the new cross-PE contribution
                 d_out[new_u] = d_out.get(new_u, 0.0) + data
                 d_in[new_v] = d_in.get(new_v, 0.0) + data
+                if app_of is not None:
+                    app = app_of[u]
+                    ku, kv = (app, new_u), (app, new_v)
+                    da_out[ku] = da_out.get(ku, 0.0) + data
+                    da_in[kv] = da_in.get(kv, 0.0) + data
                 if is_spe[new_v]:
                     d_dma_in[new_v] = d_dma_in.get(new_v, 0) + 1
                 if is_spe[new_u] and is_ppe[new_v]:
@@ -603,14 +772,22 @@ class DeltaAnalyzer:
                     key = (cell[new_u], cell[new_v])
                     d_link[key] = d_link.get(key, 0.0) + data
                     d_link_n[key] = d_link_n.get(key, 0) + 1
+                    if app_of is not None:
+                        akey = (app_of[u], key)
+                        da_link[akey] = da_link.get(akey, 0.0) + data
+                        da_link_n[akey] = da_link_n.get(akey, 0) + 1
 
         bufmodel: Optional[_BufModel] = None
         if self._mapping_dependent:
             bufmodel, d_buf = self._buffer_deltas(moved)
 
+        appdeltas: Optional[_AppDeltas] = None
+        if app_of is not None:
+            appdeltas = (da_compute, da_in, da_out, da_link, da_link_n)
+
         return (
             moved, d_compute, d_in, d_out, d_buf,
-            d_dma_in, d_dma_proxy, d_link, d_link_n, bufmodel,
+            d_dma_in, d_dma_proxy, d_link, d_link_n, bufmodel, appdeltas,
         )
 
     def _violation_shift(
@@ -639,7 +816,8 @@ class DeltaAnalyzer:
         if deltas is None:
             return self.score()
         (_moved, d_compute, d_in, d_out, d_buf,
-         d_dma_in, d_dma_proxy, d_link, _d_link_n, _bufmodel) = deltas
+         d_dma_in, d_dma_proxy, d_link, _d_link_n, _bufmodel,
+         _appdeltas) = deltas
 
         bw = self._bw
         compute, in_bytes, out_bytes = self._compute, self._in_bytes, self._out_bytes
@@ -677,11 +855,83 @@ class DeltaAnalyzer:
             period=worst, feasible=n_violations == 0, n_violations=n_violations
         )
 
+    def _candidate_app_periods(
+        self, deltas: Optional[_Deltas]
+    ) -> Dict[str, float]:
+        """Per-app periods of the hypothetical state ``deltas`` describes.
+
+        O(n_apps × n_pes) worst case, but untouched (app, PE) pairs read
+        the cached per-app peak, so the common single-move case touches
+        a handful of entries.
+        """
+        if deltas is None or self._app_of is None:
+            return self.app_periods()
+        appdeltas = deltas[10]
+        assert appdeltas is not None
+        da_compute, da_in, da_out, da_link, _da_link_n = appdeltas
+        touched = set(da_compute)
+        touched.update(da_in)
+        touched.update(da_out)
+        bw = self._bw
+        out: Dict[str, float] = {}
+        for app in self._app_names:
+            compute = self._app_compute[app]
+            in_b, out_b = self._app_in[app], self._app_out[app]
+            peak = self._app_peak[app]
+            worst = 0.0
+            for pe in range(self._n_pes):
+                key = (app, pe)
+                if key in touched:
+                    value = max(
+                        compute[pe] + da_compute.get(key, 0.0),
+                        (in_b[pe] + da_in.get(key, 0.0)) / bw,
+                        (out_b[pe] + da_out.get(key, 0.0)) / bw,
+                    )
+                else:
+                    value = peak[pe]
+                if value > worst:
+                    worst = value
+            out[app] = worst
+        if self._multi:
+            link = self._app_link_bytes
+            keys = set(link)
+            keys.update(da_link)
+            for akey in keys:
+                app = akey[0]
+                time = (
+                    link.get(akey, 0.0) + da_link.get(akey, 0.0)
+                ) / self._bif_bw
+                if time > out[app]:
+                    out[app] = time
+        return out
+
+    def _evaluate(self, deltas: Optional[_Deltas], objective) -> ObjectiveScore:
+        score = self._score(deltas)
+        if objective is None or not getattr(
+            objective, "needs_app_periods", False
+        ):
+            value = (
+                score.period
+                if objective is None
+                else objective.value(score.period, None)
+            )
+        else:
+            value = objective.value(
+                score.period, self._candidate_app_periods(deltas)
+            )
+        return ObjectiveScore(
+            value=value,
+            period=score.period,
+            feasible=score.feasible,
+            n_violations=score.n_violations,
+        )
+
     def _apply(self, deltas: Optional[_Deltas]) -> None:
         if deltas is None:
             return
         (moved, d_compute, d_in, d_out, d_buf,
-         d_dma_in, d_dma_proxy, d_link, d_link_n, bufmodel) = deltas
+         d_dma_in, d_dma_proxy, d_link, d_link_n, bufmodel,
+         appdeltas) = deltas
 
         self._n_violations += self._violation_shift(d_buf, d_dma_in, d_dma_proxy)
         for name, pe in moved.items():
@@ -726,6 +976,33 @@ class DeltaAnalyzer:
                 self._in_bytes[pe] / bw,
                 self._out_bytes[pe] / bw,
             )
+        if appdeltas is not None:
+            da_compute, da_in, da_out, da_link, da_link_n = appdeltas
+            for (app, pe), dv in da_compute.items():
+                self._app_compute[app][pe] += dv
+            for (app, pe), dv in da_in.items():
+                self._app_in[app][pe] += dv
+            for (app, pe), dv in da_out.items():
+                self._app_out[app][pe] += dv
+            for akey, dv in da_link.items():
+                count = self._app_link_count.get(akey, 0) + da_link_n[akey]
+                if count:
+                    self._app_link_count[akey] = count
+                    self._app_link_bytes[akey] = (
+                        self._app_link_bytes.get(akey, 0.0) + dv
+                    )
+                else:
+                    self._app_link_count.pop(akey, None)
+                    self._app_link_bytes.pop(akey, None)
+            touched_app = set(da_compute)
+            touched_app.update(da_in)
+            touched_app.update(da_out)
+            for app, pe in touched_app:
+                self._app_peak[app][pe] = max(
+                    self._app_compute[app][pe],
+                    self._app_in[app][pe] / bw,
+                    self._app_out[app][pe] / bw,
+                )
 
     # ------------------------------------------------------------------ #
     # Public move/swap API
@@ -772,6 +1049,33 @@ class DeltaAnalyzer:
         if score.feasible:
             self._apply(deltas)
         return score
+
+    # ------------------------------------------------------------------ #
+    # Objective-aware evaluation (the pluggable-objective hot path)
+
+    def evaluate(self, objective=None) -> ObjectiveScore:
+        """Objective score of the *current* state.
+
+        ``objective`` is any object with a ``needs_app_periods`` flag and
+        a ``value(period, app_periods)`` method (see
+        :mod:`repro.steady_state.objective`); ``None`` means the plain
+        period objective.
+        """
+        return self._evaluate(None, objective)
+
+    def evaluate_move(self, task: str, pe: int, objective=None) -> ObjectiveScore:
+        """Objective score with ``task`` moved to ``pe`` — O(deg(task))."""
+        return self._evaluate(self._deltas({task: pe}), objective)
+
+    def evaluate_swap(self, a: str, b: str, objective=None) -> ObjectiveScore:
+        """Objective score with tasks ``a`` and ``b`` exchanging PEs."""
+        return self._evaluate(
+            self._deltas({a: self.pe_of(b), b: self.pe_of(a)}), objective
+        )
+
+    def evaluate_changes(self, changes: Dict[str, int], objective=None) -> ObjectiveScore:
+        """Objective score with all of ``changes`` applied at once."""
+        return self._evaluate(self._deltas(dict(changes)), objective)
 
     # ------------------------------------------------------------------ #
     # Full analysis
@@ -828,6 +1132,7 @@ class DeltaAnalyzer:
             dma_proxy=dma_proxy,
             violations=violations,
             link_loads=link_loads,
+            app_periods=self.app_periods(),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

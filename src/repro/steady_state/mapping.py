@@ -112,6 +112,13 @@ class Mapping:
                 f"mapping was computed for graph {payload['graph']!r}, "
                 f"not {graph.name!r}"
             )
+        unknown = sorted(name for name in assignment if name not in graph)
+        if unknown:
+            raise MappingError(
+                f"mapping payload names {len(unknown)} task(s) absent from "
+                f"graph {graph.name!r}: {', '.join(map(repr, unknown[:5]))}"
+                f"{', ...' if len(unknown) > 5 else ''}"
+            )
         return cls(graph, platform, assignment)
 
     def to_json(self) -> str:

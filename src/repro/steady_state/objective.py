@@ -1,0 +1,154 @@
+"""Pluggable scheduling objectives for multi-application workloads.
+
+The paper optimises a single quantity: the steady-state period ``T`` of
+the one application being mapped.  Once several applications share the
+platform (:class:`~repro.graph.workload.Workload`), "as fast as
+possible" stops being well-defined — Benoit, Rehn-Sonigo & Robert,
+*Multi-criteria scheduling of pipeline workflows* (2007) motivates the
+richer objective space this module implements:
+
+``period``
+    The shared-resource period of the whole composite — the paper's
+    objective, and the default everywhere.  Also the fallback for plain
+    (non-composite) graphs, where the other objectives degenerate to it.
+``weighted``
+    ``Σ_a weight_a · T_a`` over the member applications, where ``T_a``
+    is application ``a``'s own-resource period under the candidate
+    mapping (see ``PeriodAnalysis.app_periods``) and ``weight_a`` its
+    :class:`~repro.graph.workload.WorkloadApp` weight.  Favours the
+    important applications when they contend for the same SPEs.
+``max_stretch``
+    ``max_a T_a / ref_a``: the worst relative slowdown over the member
+    applications, the classic fairness objective.  ``ref_a`` is the
+    application's ``target_period`` when set, else a mapping-independent
+    lower bound derived from the graph (the largest
+    ``min(wppe, wspe)`` over its tasks — some PE must pay at least that
+    for the critical task).
+
+Every objective is **minimised**, evaluates deterministically (fixed
+application order), and is consumed by ``DeltaAnalyzer.evaluate_*``
+through the tiny duck-typed protocol ``(needs_app_periods,
+value(period, app_periods))`` — so candidate moves stay O(deg) plus, for
+the app-aware objectives, an O(n_apps × n_pes) max over cached per-app
+peaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import ObjectiveError
+from ..graph.stream_graph import StreamGraph
+
+__all__ = [
+    "OBJECTIVES",
+    "MaxStretchObjective",
+    "PeriodObjective",
+    "WeightedPeriodObjective",
+    "make_objective",
+    "reference_periods",
+]
+
+#: The registered objective names, in documentation order.
+OBJECTIVES: Tuple[str, ...] = ("period", "weighted", "max_stretch")
+
+
+@dataclass(frozen=True)
+class PeriodObjective:
+    """Minimise the shared-resource period (the paper's objective)."""
+
+    name: str = "period"
+    needs_app_periods: bool = field(default=False, init=False)
+
+    def value(
+        self, period: float, app_periods: Optional[Mapping[str, float]]
+    ) -> float:
+        return period
+
+
+@dataclass(frozen=True)
+class WeightedPeriodObjective:
+    """Minimise the weighted sum of per-application periods."""
+
+    app_order: Tuple[str, ...]
+    weights: Mapping[str, float]
+    name: str = "weighted"
+    needs_app_periods: bool = field(default=True, init=False)
+
+    def value(
+        self, period: float, app_periods: Optional[Mapping[str, float]]
+    ) -> float:
+        assert app_periods is not None
+        total = 0.0
+        for app in self.app_order:  # fixed order: deterministic float sum
+            total += self.weights[app] * app_periods[app]
+        return total
+
+
+@dataclass(frozen=True)
+class MaxStretchObjective:
+    """Minimise the worst per-application stretch ``T_a / ref_a``."""
+
+    app_order: Tuple[str, ...]
+    refs: Mapping[str, float]
+    name: str = "max_stretch"
+    needs_app_periods: bool = field(default=True, init=False)
+
+    def value(
+        self, period: float, app_periods: Optional[Mapping[str, float]]
+    ) -> float:
+        assert app_periods is not None
+        return max(app_periods[app] / self.refs[app] for app in self.app_order)
+
+
+def reference_periods(graph: StreamGraph) -> Dict[str, float]:
+    """The stretch reference ``ref_a`` of each application of a composite.
+
+    ``target_period`` when the workload declares one, else the largest
+    ``min(wppe, wspe)`` over the application's tasks — a cheap
+    mapping-independent lower bound on any achievable period (clamped
+    away from zero so stretches stay finite).
+    """
+    app_tasks = getattr(graph, "app_tasks", None)
+    if app_tasks is None:
+        raise ObjectiveError(
+            f"graph {graph.name!r} is not a workload composite"
+        )
+    targets = getattr(graph, "app_targets", {})
+    refs: Dict[str, float] = {}
+    for app, names in app_tasks.items():
+        target = targets.get(app)
+        if target is not None:
+            refs[app] = target
+            continue
+        bound = max(
+            (min(graph.task(n).wppe, graph.task(n).wspe) for n in names),
+            default=0.0,
+        )
+        refs[app] = max(bound, 1e-9)
+    return refs
+
+
+def make_objective(name: str, graph: StreamGraph):
+    """Build the objective ``name`` for ``graph``.
+
+    For plain (non-composite) graphs every objective collapses to the
+    period objective — there is exactly one application, so the weighted
+    sum and the max stretch are monotone in the shared period.
+    """
+    if name not in OBJECTIVES:
+        raise ObjectiveError(
+            f"unknown objective {name!r}; pick from {', '.join(OBJECTIVES)}"
+        )
+    app_names = tuple(getattr(graph, "app_names", ()))
+    if name == "period" or not app_names:
+        return PeriodObjective()
+    if name == "weighted":
+        weights = dict(getattr(graph, "app_weights", {}))
+        for app in app_names:
+            weights.setdefault(app, 1.0)
+        return WeightedPeriodObjective(app_order=app_names, weights=weights)
+    return MaxStretchObjective(
+        app_order=app_names, refs=reference_periods(graph)
+    )

@@ -10,6 +10,15 @@ period ``T`` is the maximum occupation time over all resources —
 and the mapping is *feasible* iff every SPE's buffers fit its local store
 (1i) and the DMA queue limits hold ((1j)/(1k)).  The throughput of the
 induced periodic schedule is ``ρ = 1/T`` (§3.1).
+
+On a multi-application :class:`~repro.graph.workload.CompositeGraph`
+(see :class:`~repro.graph.workload.Workload`) the same pass additionally
+reports :attr:`PeriodAnalysis.app_periods`: for each member application,
+the period it would achieve under the same mapping *without* the other
+applications' load — its own resource occupation alone.  The shared
+period never beats any per-app period, and the ratio
+``period / app_periods[a]`` is application ``a``'s *stretch*, the
+quantity the ``max_stretch`` objective minimises.
 """
 
 from __future__ import annotations
@@ -93,6 +102,10 @@ class PeriodAnalysis:
     violations: List[Violation] = field(default_factory=list)
     #: Inter-Cell link occupation (multi-Cell platforms only).
     link_loads: List[LinkLoad] = field(default_factory=list)
+    #: Per-application periods (multi-application composite graphs only):
+    #: each application's own resource occupation under this mapping,
+    #: ignoring the other applications' load.  Empty for plain graphs.
+    app_periods: Dict[str, float] = field(default_factory=dict)
 
     @property
     def period(self) -> float:
@@ -130,6 +143,14 @@ class PeriodAnalysis:
             f"(throughput {self.throughput * 1e6:.2f} instances/s)",
             f"bottleneck: {self.bottleneck[0]} ({self.bottleneck[1]})",
         ]
+        for app, app_period in self.app_periods.items():
+            stretch = (
+                self.period / app_period if app_period > 0 else float("inf")
+            )
+            lines.append(
+                f"  app {app:>12}: alone {app_period:9.3f} µs  "
+                f"stretch {stretch:6.2f}"
+            )
         for load in self.loads:
             tasks = self.mapping.tasks_on(load.pe)
             if not tasks and load.compute == 0 and load.comm_in == 0:
@@ -157,11 +178,31 @@ def analyze(
     in_bytes = [0.0] * n
     out_bytes = [0.0] * n
 
+    # Multi-application composites additionally get per-app occupation
+    # sums (same accumulation order as the global sums, so the delta
+    # engine can reproduce them bit for bit).
+    app_of = getattr(graph, "app_of", None) or None
+    app_compute: Dict[str, List[float]] = {}
+    app_in: Dict[str, List[float]] = {}
+    app_out: Dict[str, List[float]] = {}
+    app_link: Dict[Tuple[str, Tuple[int, int]], float] = {}
+    if app_of is not None:
+        for app in getattr(graph, "app_names", ()):
+            app_compute[app] = [0.0] * n
+            app_in[app] = [0.0] * n
+            app_out[app] = [0.0] * n
+
     for task in graph.tasks():
         pe = mapping.pe_of(task.name)
-        compute[pe] += task.cost_on(platform.kind(pe))
+        cost = task.cost_on(platform.kind(pe))
+        compute[pe] += cost
         in_bytes[pe] += task.read
         out_bytes[pe] += task.write
+        if app_of is not None:
+            app = app_of[task.name]
+            app_compute[app][pe] += cost
+            app_in[app][pe] += task.read
+            app_out[app][pe] += task.write
 
     dma_in: Dict[int, int] = {i: 0 for i in platform.spe_indices}
     dma_proxy: Dict[int, int] = {i: 0 for i in platform.spe_indices}
@@ -174,6 +215,10 @@ def analyze(
             continue
         out_bytes[src_pe] += edge.data
         in_bytes[dst_pe] += edge.data
+        if app_of is not None:
+            app = app_of[edge.src]  # endpoints always share the app
+            app_out[app][src_pe] += edge.data
+            app_in[app][dst_pe] += edge.data
         if platform.is_spe(dst_pe):
             dma_in[dst_pe] += 1
         if platform.is_spe(src_pe) and platform.is_ppe(dst_pe):
@@ -181,6 +226,9 @@ def analyze(
         if platform.n_cells > 1 and platform.is_cross_cell(src_pe, dst_pe):
             key = (platform.cell_of(src_pe), platform.cell_of(dst_pe))
             link_bytes[key] = link_bytes.get(key, 0.0) + edge.data
+            if app_of is not None:
+                akey = (app_of[edge.src], key)
+                app_link[akey] = app_link.get(akey, 0.0) + edge.data
 
     loads = [
         ResourceLoad(
@@ -229,6 +277,18 @@ def analyze(
         for (src, dst), bytes_ in sorted(link_bytes.items())
     ]
 
+    app_periods: Dict[str, float] = {}
+    if app_of is not None:
+        app_periods = app_periods_from_loads(
+            getattr(graph, "app_names", ()),
+            app_compute,
+            app_in,
+            app_out,
+            app_link,
+            platform.bw,
+            platform.bif_bw,
+        )
+
     return PeriodAnalysis(
         mapping=mapping,
         loads=loads,
@@ -237,7 +297,39 @@ def analyze(
         dma_proxy=dma_proxy,
         violations=violations,
         link_loads=link_loads,
+        app_periods=app_periods,
     )
+
+
+def app_periods_from_loads(
+    app_names,
+    app_compute: Dict[str, List[float]],
+    app_in: Dict[str, List[float]],
+    app_out: Dict[str, List[float]],
+    app_link: Dict[Tuple[str, Tuple[int, int]], float],
+    bw: float,
+    bif_bw: float,
+) -> Dict[str, float]:
+    """Per-application periods from per-app occupation sums.
+
+    Shared between :func:`analyze` and ``DeltaAnalyzer.snapshot()`` so
+    the two compute the final maxima through the exact same float
+    expressions (the sums they start from are maintained to be equal).
+    """
+    out: Dict[str, float] = {}
+    for app in app_names:
+        compute, in_b, out_b = app_compute[app], app_in[app], app_out[app]
+        worst = 0.0
+        for pe in range(len(compute)):
+            value = max(compute[pe], in_b[pe] / bw, out_b[pe] / bw)
+            if value > worst:
+                worst = value
+        out[app] = worst
+    for (app, _key), bytes_ in app_link.items():
+        time = bytes_ / bif_bw
+        if time > out[app]:
+            out[app] = time
+    return out
 
 
 def period(mapping: Mapping, **kwargs) -> float:

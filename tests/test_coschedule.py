@@ -1,0 +1,178 @@
+"""The co-scheduling experiment driver and its CLI subcommand."""
+
+import pytest
+
+from repro.cli import main_experiment
+from repro.errors import ExperimentError
+from repro.experiments import coschedule, fig7_speedup, fig8_ccr
+from repro.experiments.common import validate_strategies
+
+
+class TestBuildWorkload:
+    def test_default_mix(self):
+        workload = coschedule.build_workload(coschedule.DEFAULT_APPS)
+        assert workload.app_names() == list(coschedule.DEFAULT_APPS)
+
+    def test_weight_syntax(self):
+        workload = coschedule.build_workload(
+            ["audio_encoder=2.5", "crypto_pipeline"]
+        )
+        assert workload.app("audio_encoder").weight == 2.5
+        assert workload.app("crypto_pipeline").weight == 1.0
+
+    def test_unknown_app_fails_fast(self):
+        with pytest.raises(ExperimentError, match="unknown app 'nope'"):
+            coschedule.build_workload(["nope"])
+
+    def test_duplicate_app_rejected(self):
+        with pytest.raises(ExperimentError, match="twice"):
+            coschedule.build_workload(["crypto_pipeline", "crypto_pipeline"])
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ExperimentError, match="bad weight"):
+            coschedule.build_workload(["audio_encoder=heavy"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError, match="no apps"):
+            coschedule.build_workload([])
+
+
+class TestRun:
+    def test_deterministic_across_worker_counts(self):
+        kwargs = dict(
+            apps=("audio_encoder", "crypto_pipeline"),
+            spe_counts=(2, 4),
+            strategies=("tabu_search",),
+            objective="weighted",
+        )
+        serial = coschedule.run(jobs=None, **kwargs)
+        parallel = coschedule.run(jobs=2, **kwargs)
+        assert serial == parallel  # order-preserving, seed-stable
+        assert serial.app_names == ("audio_encoder", "crypto_pipeline")
+        assert len(serial.points) == 2
+        for point in serial.points:
+            assert point.feasible
+            assert set(point.app_periods) == set(serial.app_names)
+            assert point.value == pytest.approx(
+                sum(point.app_periods.values())  # weights all 1.0
+            )
+
+    def test_objective_blind_strategy_still_evaluated(self):
+        result = coschedule.run(
+            apps=("crypto_pipeline", "audio_encoder"),
+            spe_counts=(2,),
+            strategies=("greedy_cpu",),
+            objective="max_stretch",
+        )
+        (point,) = result.points
+        assert point.strategy == "greedy_cpu"
+        assert point.value > 0
+
+    def test_unknown_strategy_fails_fast(self):
+        with pytest.raises(ExperimentError, match="unknown strategies 'warp'"):
+            coschedule.run(strategies=("warp",))
+
+    def test_unknown_objective_fails_fast(self):
+        with pytest.raises(ExperimentError, match="unknown objective"):
+            coschedule.run(
+                strategies=("greedy_cpu",), objective="throughput"
+            )
+
+    def test_table_lists_every_app_column(self):
+        result = coschedule.run(
+            apps=("video_pipeline", "crypto_pipeline"),
+            spe_counts=(1,),
+            strategies=("greedy_mem",),
+        )
+        table = result.table()
+        assert "video_pipeline" in table
+        assert "crypto_pipeline" in table
+        assert "greedy_mem" in table
+
+
+class TestFailFastValidation:
+    """Satellite: sweep drivers reject unknown strategies up front."""
+
+    def test_validate_strategies_lists_registry(self):
+        with pytest.raises(ExperimentError, match="pick from.*milp"):
+            validate_strategies(("definitely_not_a_strategy",))
+        with pytest.raises(ExperimentError, match="no strategies"):
+            validate_strategies(())
+        assert validate_strategies(("milp", "greedy_cpu")) == (
+            "milp", "greedy_cpu",
+        )
+
+    def test_validate_strategies_rejects_duplicates(self):
+        with pytest.raises(ExperimentError, match="duplicate strategies"):
+            validate_strategies(("greedy_cpu", "greedy_cpu"))
+
+    def test_fig7_fails_before_sweeping(self, two_task_chain):
+        with pytest.raises(ExperimentError, match="unknown strategies"):
+            fig7_speedup.run_one(
+                two_task_chain, spe_counts=(1,), strategies=("typo",)
+            )
+
+    def test_fig8_fails_before_sweeping(self):
+        with pytest.raises(ExperimentError, match="unknown strategies"):
+            fig8_ccr.run(ccrs=(0.775,), graph_ids=(1,), strategy="typo")
+
+
+class TestCli:
+    def test_coschedule_subcommand(self, capsys):
+        rc = main_experiment(
+            [
+                "coschedule",
+                "--apps", "audio_encoder,crypto_pipeline",
+                "--objective", "weighted",
+                "--strategies", "greedy_cpu",
+                "--spe-counts", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "audio_encoder" in out
+        assert "weighted" in out
+
+    def test_coschedule_rejects_unknown_app(self, capsys):
+        rc = main_experiment(
+            ["coschedule", "--apps", "nope", "--strategies", "greedy_cpu"]
+        )
+        assert rc == 1
+        assert "unknown app" in capsys.readouterr().err
+
+    def test_coschedule_rejects_bad_spe_counts(self, capsys):
+        rc = main_experiment(["coschedule", "--spe-counts", "two"])
+        assert rc == 1
+        assert "--spe-counts" in capsys.readouterr().err
+
+    def test_coschedule_rejects_unknown_strategy(self, capsys):
+        rc = main_experiment(
+            ["coschedule", "--strategies", "warp", "--spe-counts", "2"]
+        )
+        assert rc == 1
+        assert "unknown strategies" in capsys.readouterr().err
+
+    def test_coschedule_rejects_explicitly_empty_lists(self, capsys):
+        """`--spe-counts ,` must not silently run the full default sweep."""
+        rc = main_experiment(["coschedule", "--spe-counts", ","])
+        assert rc == 1
+        assert "--spe-counts is empty" in capsys.readouterr().err
+        rc = main_experiment(["coschedule", "--apps", ","])
+        assert rc == 1
+        assert "--apps is empty" in capsys.readouterr().err
+
+    def test_objective_flag_noted_outside_coschedule(self, capsys):
+        """--objective on fig7 must at least warn, and --instances on
+        coschedule is analytic-only.  Use error paths to stay fast."""
+        rc = main_experiment(
+            ["fig7", "--objective", "weighted", "--strategies", "warp"]
+        )
+        err = capsys.readouterr().err
+        assert rc == 1  # unknown strategy still aborts
+        assert "--objective only applies to coschedule" in err
+        rc = main_experiment(
+            ["coschedule", "--instances", "500", "--strategies", "warp"]
+        )
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "--instances ignored" in err

@@ -1,0 +1,51 @@
+"""Smoke-run every example in quick mode so examples can't silently rot.
+
+Each ``examples/*.py`` script exposes ``main(quick=True)``: a scaled-down
+run (small graph, short simulated stream) of the exact same code path as
+the full demo.  Importing and executing them here means an API change
+that breaks an example fails the test suite instead of the next reader.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+QUICK_EXAMPLES = ("quickstart", "dual_cell", "platform_comparison")
+
+
+def load_example(name: str):
+    """Import ``examples/<name>.py`` as a standalone module."""
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+@pytest.mark.parametrize("name", QUICK_EXAMPLES)
+def test_example_runs_quick(name, capsys):
+    module = load_example(name)
+    module.main(quick=True)
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} printed nothing"
+
+
+def test_examples_all_covered():
+    """New examples must either join QUICK_EXAMPLES or opt out here."""
+    # ccr_sweep and audio_encoder_study predate the quick-mode protocol
+    # and run minutes-long artefact sweeps; they are exercised manually.
+    opted_out = {"ccr_sweep", "audio_encoder_study"}
+    present = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    unaccounted = present - set(QUICK_EXAMPLES) - opted_out
+    assert not unaccounted, (
+        f"examples {sorted(unaccounted)} are not smoke-tested: add a "
+        "main(quick=True) mode and list them in QUICK_EXAMPLES"
+    )

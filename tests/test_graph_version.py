@@ -11,7 +11,7 @@ running a deliberately broken one through the same check.
 
 import pytest
 
-from repro.graph import DataEdge, StreamGraph, Task
+from repro.graph import DataEdge, StreamGraph, Task, Workload
 from repro.steady_state import buffer_requirements
 
 
@@ -109,3 +109,64 @@ class TestMutatorAudit:
         g.replace_task(Task("b", wppe=10.0, wspe=5.0, peek=3))
         after = buffer_requirements(g)
         assert after["a"] > before["a"]
+
+
+class TestWorkloadVersionAudit:
+    """`Workload.version` is the invalidation key of the memoized
+    composite: it must change whenever the workload *or any member
+    graph* mutates, through every mutator of either."""
+
+    def build_workload(self):
+        w = Workload("audit")
+        w.add_app("one", build())
+        w.add_app("two", build())
+        return w
+
+    def test_every_member_mutator_bumps_workload_version(self):
+        w = self.build_workload()
+        for app_name in ("one", "two"):
+            g = w.app(app_name).graph
+            mutators = [
+                lambda g=g: g.add_task(Task("z", wppe=1.0, wspe=1.0)),
+                lambda g=g: g.add_edge(DataEdge("b", "z", 10.0)),
+                lambda g=g: g.replace_task(Task("a", wppe=3.0, wspe=3.0)),
+                lambda g=g: g.replace_edge(DataEdge("a", "b", 99.0)),
+            ]
+            for mutate in mutators:
+                before = w.version
+                mutate()
+                assert w.version > before, (
+                    "member graph mutated without a workload version "
+                    "change — the memoized composite would go stale"
+                )
+
+    def test_workload_mutator_bumps(self):
+        w = self.build_workload()
+        before = w.version
+        w.add_app("three", build())
+        assert w.version > before
+
+    def test_stale_composite_consequence(self):
+        """The functional reason: compile() must recompile after any
+        member mutation, and the fresh composite reflects it."""
+        w = self.build_workload()
+        first = w.compile()
+        assert w.compile() is first  # memoized while clean
+        w.app("one").graph.replace_edge(DataEdge("a", "b", 7777.0))
+        second = w.compile()
+        assert second is not first
+        assert second.edge("one:a", "one:b").data == 7777.0
+
+    def test_version_monotone_under_interleaving(self):
+        """Interleaved member/workload mutations never repeat a version
+        (sum-of-counters stays strictly increasing)."""
+        w = self.build_workload()
+        seen = {w.version}
+        w.app("one").graph.add_task(Task("m1", wppe=1.0, wspe=1.0))
+        assert w.version not in seen
+        seen.add(w.version)
+        w.app("two").graph.add_task(Task("m2", wppe=2.0, wspe=2.0))
+        assert w.version not in seen
+        seen.add(w.version)
+        w.add_app("late", build())
+        assert w.version not in seen

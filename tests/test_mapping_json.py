@@ -1,0 +1,132 @@
+"""Mapping JSON round-trip properties and payload validation.
+
+``Mapping.to_json`` / ``Mapping.from_json`` are the only way mappings
+cross process boundaries (``repro-solve --mapping-out`` →
+``repro-simulate --mapping``), so the round-trip must be exact for any
+graph/platform pair — including multi-Cell platforms whose PE indices
+exceed the single-Cell range — and a payload naming tasks the graph does
+not contain must be rejected with a clear :class:`MappingError`, not a
+generic validation failure.
+"""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MappingError
+from repro.graph import DataEdge, StreamGraph, Task
+from repro.platform import CellPlatform
+from repro.steady_state import Mapping
+
+#: Platforms whose PE index spaces differ: single Cell (0..8), dual Cell
+#: (0..17, PPEs 0-1), and a PPE-heavy synthetic one.
+PLATFORMS = (
+    CellPlatform.qs22(),
+    CellPlatform.qs22_dual(),
+    CellPlatform(n_ppe=2, n_spe=4, name="2ppe"),
+)
+
+
+def random_graph(seed: int, n_tasks: int) -> StreamGraph:
+    rng = random.Random(seed)
+    g = StreamGraph(f"rt{seed}")
+    names = [f"t{i}" for i in range(n_tasks)]
+    for i, name in enumerate(names):
+        g.add_task(
+            Task(
+                name,
+                wppe=float(rng.randint(1, 500)),
+                wspe=float(rng.randint(1, 500)),
+                peek=rng.choice([0, 0, 1]),
+            )
+        )
+        if i and rng.random() < 0.7:
+            g.add_edge(
+                DataEdge(
+                    names[rng.randrange(i)], name, float(rng.randint(1, 4096))
+                )
+            )
+    return g
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        n_tasks=st.integers(1, 25),
+        platform_idx=st.integers(0, len(PLATFORMS) - 1),
+    )
+    def test_roundtrip_property(self, seed, n_tasks, platform_idx):
+        """from_json(to_json(m)) == m for random graphs and assignments,
+        including dual-Cell PE indices beyond the single-Cell range."""
+        platform = PLATFORMS[platform_idx]
+        graph = random_graph(seed, n_tasks)
+        rng = random.Random(seed ^ 0x5EED)
+        mapping = Mapping(
+            graph,
+            platform,
+            {name: rng.randrange(platform.n_pes) for name in graph.task_names()},
+        )
+        rebuilt = Mapping.from_json(graph, platform, mapping.to_json())
+        assert rebuilt == mapping
+        assert rebuilt.to_dict() == mapping.to_dict()
+        # A second round-trip is a fixed point.
+        assert rebuilt.to_json() == mapping.to_json()
+
+    def test_roundtrip_uses_every_pe_of_dual_cell(self):
+        """Pin the multi-Cell case: every PE index 0..17 survives."""
+        platform = CellPlatform.qs22_dual()
+        graph = StreamGraph("all-pes")
+        for i in range(platform.n_pes):
+            graph.add_task(Task(f"t{i}", wppe=1.0, wspe=1.0))
+        mapping = Mapping(
+            graph, platform, {f"t{i}": i for i in range(platform.n_pes)}
+        )
+        rebuilt = Mapping.from_json(graph, platform, mapping.to_json())
+        assert rebuilt.to_dict() == {
+            f"t{i}": i for i in range(platform.n_pes)
+        }
+
+
+class TestRejection:
+    def make_payload(self, mapping: Mapping, extra: dict) -> str:
+        payload = json.loads(mapping.to_json())
+        payload["assignment"].update(extra)
+        return json.dumps(payload)
+
+    def test_unknown_task_rejected_clearly(self, two_task_chain, qs22):
+        mapping = Mapping.all_on_ppe(two_task_chain, qs22)
+        text = self.make_payload(mapping, {"ghost": 0})
+        with pytest.raises(MappingError, match="absent from graph.*'ghost'"):
+            Mapping.from_json(two_task_chain, qs22, text)
+
+    def test_many_unknown_tasks_truncated(self, two_task_chain, qs22):
+        mapping = Mapping.all_on_ppe(two_task_chain, qs22)
+        text = self.make_payload(
+            mapping, {f"ghost{i}": 0 for i in range(8)}
+        )
+        with pytest.raises(MappingError, match=r"8 task\(s\) absent.*\.\.\."):
+            Mapping.from_json(two_task_chain, qs22, text)
+
+    def test_missing_task_still_rejected(self, two_task_chain, qs22):
+        mapping = Mapping.all_on_ppe(two_task_chain, qs22)
+        payload = json.loads(mapping.to_json())
+        del payload["assignment"]["a"]
+        with pytest.raises(MappingError, match="not mapped"):
+            Mapping.from_json(two_task_chain, qs22, json.dumps(payload))
+
+    def test_wrong_graph_name_rejected(self, two_task_chain, qs22):
+        mapping = Mapping.all_on_ppe(two_task_chain, qs22)
+        payload = json.loads(mapping.to_json())
+        payload["graph"] = "someone-else"
+        with pytest.raises(MappingError, match="computed for graph"):
+            Mapping.from_json(two_task_chain, qs22, json.dumps(payload))
+
+    def test_malformed_payload_rejected(self, two_task_chain, qs22):
+        with pytest.raises(MappingError, match="malformed"):
+            Mapping.from_json(two_task_chain, qs22, "{not json")
+        with pytest.raises(MappingError, match="malformed"):
+            Mapping.from_json(two_task_chain, qs22, '{"no_assignment": 1}')
