@@ -1,0 +1,86 @@
+"""Online-runtime benchmarks: admission + remapping must stay delta-fast.
+
+The :class:`~repro.runtime.scheduler.OnlineScheduler` promises that
+per-candidate work (placing an arriving task, scoring a remapping move)
+is delta-scored in O(deg) — never a full ``analyze()`` per candidate.
+``use_delta=False`` swaps in the full-``analyze()`` reference evaluator,
+so replaying the *same* seeded scenario through both paths isolates
+exactly that contract:
+
+* ``test_online_delta_speedup_guard`` replays a 20-event scenario
+  (arrivals, departures, one SPE failure, non-zero migration budget)
+  and **fails** if the delta path is less than 5× faster than the
+  reference — the acceptance guard of the runtime PR (the real ratio is
+  far higher; 5× leaves CI noise headroom).  It also asserts the two
+  paths produce the identical report, so the speed-up never comes from
+  diverging decisions.
+
+Run explicitly (benchmarks are not collected by the default test run)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_online.py -q
+"""
+
+import time
+
+import pytest
+
+from repro.platform import CellPlatform
+from repro.runtime import OnlineScheduler, ScenarioGenerator
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CellPlatform.qs22()
+
+
+def make_events(platform, n_events=20):
+    return ScenarioGenerator(platform, seed=5, load=2.5).generate(n_events)
+
+
+def play(platform, events, use_delta):
+    scheduler = OnlineScheduler(
+        platform, migration_budget=3, use_delta=use_delta
+    )
+    return scheduler.run(events)
+
+
+@pytest.mark.benchmark(group="online")
+def test_online_runtime_delta(benchmark, platform):
+    """Full 20-event scenario through the delta-evaluated scheduler."""
+    events = make_events(platform)
+    report = benchmark(play, platform, events, True)
+    assert report.n_events == 20
+
+
+@pytest.mark.benchmark(group="online")
+def test_online_scenario_generation(benchmark, platform):
+    """Scenario generation alone (to attribute the runtime's cost)."""
+    events = benchmark(make_events, platform)
+    assert len(events) == 20
+
+
+def test_online_delta_speedup_guard(platform):
+    """Admission + remapping through the delta engine must stay ≥5×
+    faster than the full-analyze() reference path — the acceptance
+    guard of the online-runtime PR."""
+    events = make_events(platform)
+
+    def time_best_of(fn, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    delta_time = time_best_of(lambda: play(platform, events, True))
+    full_time = time_best_of(lambda: play(platform, events, False))
+    # Same decisions, so the ratio is pure evaluation cost.
+    assert play(platform, events, True) == play(platform, events, False)
+    speedup = full_time / delta_time
+    assert speedup >= 5.0, (
+        f"online scheduling via the delta engine is only {speedup:.1f}x "
+        f"faster than the full-analyze reference ({delta_time * 1e3:.1f} ms "
+        f"vs {full_time * 1e3:.1f} ms for a 20-event scenario); the O(deg) "
+        "per-candidate contract of the runtime is broken"
+    )

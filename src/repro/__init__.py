@@ -27,6 +27,8 @@ Subpackages
 ``repro.simulator``     discrete-event Cell simulator (the hardware stand-in)
 ``repro.complexity``    NP-completeness reduction (Thm 1), FPTAS, brute force
 ``repro.experiments``   harnesses regenerating every figure/table of §6
+``repro.runtime``       online scheduling: admission control, migration
+                        budgets, SPE failure handling (beyond the paper)
 """
 
 from .errors import (

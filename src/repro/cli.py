@@ -35,6 +35,7 @@ from .experiments import (
     fig6_rampup,
     fig7_speedup,
     fig8_ccr,
+    online,
     tables,
 )
 from .steady_state.objective import OBJECTIVES
@@ -198,9 +199,10 @@ def main_experiment(argv: Optional[list] = None) -> int:
     )
     parser.add_argument(
         "which",
-        choices=("fig6", "fig7", "fig8", "tables", "coschedule"),
+        choices=("fig6", "fig7", "fig8", "tables", "coschedule", "online"),
         help="which artefact to regenerate (coschedule: the workload-layer "
-        "experiment beyond the paper)",
+        "experiment beyond the paper; online: the dynamic "
+        "arrival/departure/failure runtime sweep)",
     )
     parser.add_argument(
         "--instances", type=int, default=None,
@@ -232,6 +234,26 @@ def main_experiment(argv: Optional[list] = None) -> int:
         help="coschedule only: SPE counts to sweep "
         "(default: 0..8)",
     )
+    parser.add_argument(
+        "--loads", default=None, metavar="L,L,...",
+        help="online only: offered loads (expected concurrently-resident "
+        "apps) to sweep "
+        f"(default: {','.join(map(str, online.DEFAULT_LOADS))})",
+    )
+    parser.add_argument(
+        "--budgets", default=None, metavar="B,B,...",
+        help="online only: migration budgets to sweep "
+        f"(default: {','.join(map(str, online.DEFAULT_BUDGETS))})",
+    )
+    parser.add_argument(
+        "--events", type=int, default=None, metavar="N",
+        help="online only: events per scenario "
+        f"(default: {online.DEFAULT_EVENTS})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="online only: base scenario seed (default: 0)",
+    )
     args = parser.parse_args(argv)
     if args.which in ("fig6", "tables") and args.jobs not in (None, 0, 1):
         print(
@@ -242,17 +264,40 @@ def main_experiment(argv: Optional[list] = None) -> int:
         for flag, given in (
             ("--apps", args.apps is not None),
             ("--spe-counts", args.spe_counts is not None),
-            ("--objective", args.objective != "period"),
         ):
             if given:
                 print(
                     f"note: {flag} only applies to coschedule; ignored",
                     file=sys.stderr,
                 )
+    if args.which not in ("coschedule", "online"):
+        if args.objective != "period":
+            print(
+                "note: --objective only applies to coschedule/online; "
+                "ignored",
+                file=sys.stderr,
+            )
     elif args.instances is not None:
         print(
-            "note: coschedule is analytic (no simulation); "
+            f"note: {args.which} is analytic (no simulation); "
             "--instances ignored",
+            file=sys.stderr,
+        )
+    if args.which != "online":
+        for flag, given in (
+            ("--loads", args.loads is not None),
+            ("--budgets", args.budgets is not None),
+            ("--events", args.events is not None),
+            ("--seed", args.seed != 0),
+        ):
+            if given:
+                print(
+                    f"note: {flag} only applies to online; ignored",
+                    file=sys.stderr,
+                )
+    elif args.strategies is not None:
+        print(
+            "note: online has no strategy sweep; --strategies ignored",
             file=sys.stderr,
         )
     strategies = None
@@ -293,6 +338,8 @@ def main_experiment(argv: Optional[list] = None) -> int:
                 file=sys.stderr,
             )
             return 1
+        # Duplicate app names fail fast too: build_workload raises a
+        # UsageError before any sweep work, printed by the handler below.
     spe_counts = None
     if args.spe_counts is not None:
         try:
@@ -312,6 +359,50 @@ def main_experiment(argv: Optional[list] = None) -> int:
                 file=sys.stderr,
             )
             return 1
+    loads = None
+    if args.loads is not None:
+        try:
+            loads = tuple(
+                float(part) for part in args.loads.split(",") if part.strip()
+            )
+        except ValueError:
+            print(
+                f"error: bad --loads {args.loads!r}; "
+                "want comma-separated positive numbers",
+                file=sys.stderr,
+            )
+            return 1
+        if not loads or any(load <= 0 for load in loads):
+            print(
+                "error: --loads wants one or more positive numbers",
+                file=sys.stderr,
+            )
+            return 1
+    budgets = None
+    if args.budgets is not None:
+        try:
+            budgets = tuple(
+                int(part) for part in args.budgets.split(",") if part.strip()
+            )
+        except ValueError:
+            print(
+                f"error: bad --budgets {args.budgets!r}; "
+                "want comma-separated non-negative integers",
+                file=sys.stderr,
+            )
+            return 1
+        if not budgets or any(budget < 0 for budget in budgets):
+            print(
+                "error: --budgets wants one or more non-negative integers",
+                file=sys.stderr,
+            )
+            return 1
+    if args.which == "online" and args.events is not None and args.events < 2:
+        print(
+            f"error: --events must be at least 2 (got {args.events})",
+            file=sys.stderr,
+        )
+        return 1
     try:
         if args.which == "fig6":
             fig6_rampup.main(n_instances=args.instances or 3000, jobs=args.jobs)
@@ -333,6 +424,15 @@ def main_experiment(argv: Optional[list] = None) -> int:
                 objective=args.objective,
                 strategies=strategies,
                 spe_counts=spe_counts,
+                jobs=args.jobs,
+            )
+        elif args.which == "online":
+            online.main(
+                loads=loads,
+                budgets=budgets,
+                n_events=args.events,
+                objective=args.objective,
+                seed=args.seed,
                 jobs=args.jobs,
             )
         else:

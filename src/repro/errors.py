@@ -21,6 +21,8 @@ __all__ = [
     "SimulationError",
     "GeneratorError",
     "ExperimentError",
+    "UsageError",
+    "OnlineSchedulingError",
 ]
 
 
@@ -78,3 +80,17 @@ class GeneratorError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class UsageError(ExperimentError):
+    """The user's invocation is self-contradictory (e.g. duplicate apps).
+
+    Subclasses :class:`ExperimentError` so existing ``except`` clauses and
+    the CLI's error printing keep working; the distinct type lets front
+    ends tell "you asked for something impossible" apart from "the harness
+    is misconfigured"."""
+
+
+class OnlineSchedulingError(ReproError):
+    """The online scheduling runtime was driven inconsistently
+    (malformed event timeline, failing an unknown or already-failed SPE...)."""

@@ -5,7 +5,10 @@
 * :mod:`repro.experiments.fig8_ccr` — speed-up vs CCR (Fig. 8);
 * :mod:`repro.experiments.tables` — solve-time table and β ablation;
 * :mod:`repro.experiments.coschedule` — beyond the paper: several
-  applications co-scheduled on one platform (per-app period table).
+  applications co-scheduled on one platform (per-app period table);
+* :mod:`repro.experiments.online` — beyond the paper: the online
+  scheduling runtime swept over offered load and migration budget
+  (acceptance rate + mean period table).
 
 Each module exposes ``run(...)`` returning structured results and
 ``main(...)`` printing paper-style tables and ASCII plots; the sweeping
@@ -13,7 +16,15 @@ figures accept ``jobs=N`` to fan their points across worker processes
 (see :mod:`repro.experiments.parallel`).
 """
 
-from . import coschedule, fig6_rampup, fig7_speedup, fig8_ccr, parallel, tables
+from . import (
+    coschedule,
+    fig6_rampup,
+    fig7_speedup,
+    fig8_ccr,
+    online,
+    parallel,
+    tables,
+)
 from .common import (
     PAPER_STRATEGIES,
     STRATEGIES,
@@ -32,6 +43,7 @@ __all__ = [
     "fig6_rampup",
     "fig7_speedup",
     "fig8_ccr",
+    "online",
     "parallel",
     "run_sweep",
     "tables",

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..apps import audio_encoder, crypto_pipeline, video_pipeline
-from ..errors import ExperimentError
+from ..errors import ExperimentError, UsageError
 from ..generator.paper_graphs import (
     random_graph_1,
     random_graph_2,
@@ -76,8 +76,10 @@ DEFAULT_SPE_COUNTS: Tuple[int, ...] = tuple(range(0, 9))
 def build_workload(app_specs: Sequence[str]) -> Workload:
     """Build a workload from app specs, each ``name`` or ``name=weight``.
 
-    Names must be registered in :data:`APP_BUILDERS`; repeating a name is
-    rejected (duplicate streams would need distinct identities).
+    Names must be registered in :data:`APP_BUILDERS`; repeating a name
+    raises a :class:`~repro.errors.UsageError` up front (duplicate streams
+    would need distinct identities) instead of surfacing later as a
+    confusing composite/namespace error.
     """
     if not app_specs:
         raise ExperimentError(
@@ -93,7 +95,10 @@ def build_workload(app_specs: Sequence[str]) -> Workload:
                 f"pick from {', '.join(sorted(APP_BUILDERS))}"
             )
         if name in workload:
-            raise ExperimentError(f"app {name!r} given twice")
+            raise UsageError(
+                f"app {name!r} given twice; each application may appear "
+                "only once (give it a weight with name=weight instead)"
+            )
         try:
             weight = float(weight_text) if weight_text else 1.0
         except ValueError:

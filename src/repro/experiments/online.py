@@ -1,0 +1,195 @@
+"""Online scheduling experiment: acceptance and period vs load and budget.
+
+The runtime-layer experiment the paper never ran (its scheduler is
+offline): seeded scenarios of arriving/departing applications with SPE
+failure injection (:class:`~repro.runtime.scenario.ScenarioGenerator`)
+are played through :class:`~repro.runtime.scheduler.OnlineScheduler`
+over a grid of **offered load** (expected concurrently-resident
+applications) × **migration budget** (max task migrations per
+re-optimisation pass).  Each point reports the admission acceptance
+rate, the mean shared period over the non-idle states, the migration
+count and the number of applications shed after failures — the axes of
+the admission-control/reconfiguration-cost trade.
+
+Points are independent and self-contained, so ``jobs`` fans them across
+worker processes through :func:`repro.experiments.parallel.run_sweep`
+with deterministic, order-preserving results.  The scenario seed of a
+point is derived from ``(seed, load, n_events)`` only — *not* from the
+budget — so every budget column of a load row replays the identical
+event timeline, isolating the budget's effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ExperimentError
+from ..platform.cell import CellPlatform
+from ..runtime.scenario import ScenarioGenerator
+from ..runtime.scheduler import OnlineScheduler
+from ..steady_state.objective import OBJECTIVES
+from .parallel import point_seed, run_sweep
+
+__all__ = [
+    "DEFAULT_LOADS",
+    "DEFAULT_BUDGETS",
+    "DEFAULT_EVENTS",
+    "OnlinePoint",
+    "OnlineResult",
+    "online_point",
+    "run",
+    "main",
+]
+
+#: Offered loads swept by default: under- to over-subscribed.
+DEFAULT_LOADS: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0)
+
+#: Migration budgets swept by default: frozen, cautious, generous.
+DEFAULT_BUDGETS: Tuple[int, ...] = (0, 2, 6)
+
+#: Timeline length per scenario (≥20 so every run sees failures).
+DEFAULT_EVENTS: int = 24
+
+
+@dataclass(frozen=True)
+class OnlinePoint:
+    """One (load, migration budget) point of the online sweep."""
+
+    load: float
+    budget: int
+    n_events: int
+    arrivals: int
+    accepted: int
+    acceptance_rate: float
+    mean_period: float
+    migrations: int
+    dropped: int
+    all_feasible: bool
+
+
+@dataclass(frozen=True)
+class OnlineResult:
+    """The acceptance/period table of one online sweep."""
+
+    objective: str
+    n_events: int
+    points: List[OnlinePoint]
+
+    def table(self) -> str:
+        rows = [
+            "Online scheduling — acceptance and mean period vs load and "
+            f"migration budget [objective: {self.objective}, "
+            f"{self.n_events} events/scenario]",
+            "    load  budget  accepted    rate  mean period  "
+            "migrations  dropped",
+        ]
+        for p in sorted(self.points, key=lambda p: (p.load, p.budget)):
+            flag = "" if p.all_feasible else "  !! infeasible state"
+            rows.append(
+                f"  {p.load:6.2f}  {p.budget:6d}  "
+                f"{p.accepted:3d}/{p.arrivals:<4d}  "
+                f"{100.0 * p.acceptance_rate:5.1f}%  {p.mean_period:11.2f}  "
+                f"{p.migrations:10d}  {p.dropped:7d}{flag}"
+            )
+        return "\n".join(rows)
+
+
+# ---------------------------------------------------------------------- #
+# Sweep worker: top-level so run_sweep can pickle it by reference; the
+# spec carries everything the point needs (scenario parameters, not the
+# scenario itself — graphs are rebuilt inside the worker), so results
+# are independent of worker count and scheduling order.
+
+
+def online_point(spec) -> OnlinePoint:
+    """Generate and play one (platform, load, budget, ...) scenario."""
+    platform, load, budget, n_events, objective, scenario_seed = spec
+    generator = ScenarioGenerator(platform, seed=scenario_seed, load=load)
+    events = generator.generate(n_events)
+    scheduler = OnlineScheduler(
+        platform, objective=objective, migration_budget=budget
+    )
+    report = scheduler.run(events)
+    return OnlinePoint(
+        load=load,
+        budget=budget,
+        n_events=report.n_events,
+        arrivals=report.n_arrivals,
+        accepted=report.n_accepted,
+        acceptance_rate=report.acceptance_rate,
+        mean_period=report.mean_period,
+        migrations=report.total_migrations,
+        dropped=len(report.dropped_apps),
+        all_feasible=report.all_feasible,
+    )
+
+
+def run(
+    loads: Sequence[float] = DEFAULT_LOADS,
+    budgets: Sequence[int] = DEFAULT_BUDGETS,
+    n_events: int = DEFAULT_EVENTS,
+    objective: str = "period",
+    base_platform: Optional[CellPlatform] = None,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+) -> OnlineResult:
+    """Sweep scenarios over offered loads and migration budgets."""
+    if not loads:
+        raise ExperimentError("no loads given; want positive floats")
+    if any(load <= 0 for load in loads):
+        raise ExperimentError(f"loads must be positive (got {tuple(loads)!r})")
+    if not budgets:
+        raise ExperimentError("no budgets given; want non-negative integers")
+    if any(budget < 0 for budget in budgets):
+        raise ExperimentError(
+            f"budgets must be non-negative (got {tuple(budgets)!r})"
+        )
+    if n_events < 2:
+        raise ExperimentError(
+            f"n_events must be at least 2 (got {n_events!r})"
+        )
+    if objective not in OBJECTIVES:
+        raise ExperimentError(
+            f"unknown objective {objective!r}; "
+            f"pick from {', '.join(OBJECTIVES)}"
+        )
+    platform = base_platform or CellPlatform.qs22()
+
+    specs = []
+    for load in loads:
+        # Budget-independent scenario seed: every budget column of this
+        # load row replays the identical event timeline.
+        scenario_seed = point_seed("online", seed, load, n_events)
+        for budget in budgets:
+            specs.append(
+                (platform, load, budget, n_events, objective, scenario_seed)
+            )
+    points = run_sweep(online_point, specs, jobs=jobs)
+    return OnlineResult(
+        objective=objective, n_events=n_events, points=list(points)
+    )
+
+
+def main(
+    loads: Optional[Sequence[float]] = None,
+    budgets: Optional[Sequence[int]] = None,
+    n_events: Optional[int] = None,
+    objective: str = "period",
+    seed: int = 0,
+    jobs: Optional[int] = None,
+) -> OnlineResult:
+    """CLI entry: print the deterministic acceptance/period table."""
+    # `is not None` (not falsiness): explicit-but-invalid values like
+    # n_events=0 or empty loads must reach run()'s validation, not be
+    # silently replaced by the defaults.
+    result = run(
+        loads=tuple(loads) if loads is not None else DEFAULT_LOADS,
+        budgets=tuple(budgets) if budgets is not None else DEFAULT_BUDGETS,
+        n_events=n_events if n_events is not None else DEFAULT_EVENTS,
+        objective=objective,
+        seed=seed,
+        jobs=jobs,
+    )
+    print(result.table())
+    return result

@@ -156,10 +156,33 @@ class Workload:
     """
 
     def __init__(self, name: str = "workload") -> None:
-        self.name = name
-        self._apps: Dict[str, WorkloadApp] = {}
         self._version = 0
+        self._apps: Dict[str, WorkloadApp] = {}
         self._compiled: Optional[CompositeGraph] = None
+        self.name = name  # via the guarded setter (validates + bumps)
+
+    @property
+    def name(self) -> str:
+        """Workload name (the compiled composite inherits it)."""
+        return self._name
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self.rename(value)
+
+    def rename(self, new_name: str) -> None:
+        """Rename the workload; guarded so the memoized composite refreshes.
+
+        The compiled :class:`CompositeGraph` carries the workload's name,
+        so a rename must bump :attr:`version` (invalidating the memo) or
+        ``compile()`` would keep serving a composite with the stale name.
+        """
+        if not new_name or not isinstance(new_name, str):
+            raise WorkloadError("workload name must be a non-empty string")
+        if new_name == getattr(self, "_name", None):
+            return
+        self._name = new_name
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -180,6 +203,24 @@ class Workload:
         )
         self._apps[name] = app
         self._version += 1
+        return app
+
+    def remove_app(self, name: str) -> WorkloadApp:
+        """Remove (and return) an application, e.g. when its stream ends.
+
+        Raises :class:`WorkloadError` when ``name`` is not a member.  The
+        removed application's graph leaves the :attr:`version` sum, so the
+        internal counter absorbs its last contribution plus one — the
+        derived version stays *strictly increasing* across the removal and
+        every cache keyed on it (the compiled composite) is invalidated.
+        """
+        try:
+            app = self._apps.pop(name)
+        except KeyError:
+            raise WorkloadError(f"unknown application {name!r}") from None
+        # The member's graph.version no longer contributes to the sum in
+        # `version`; fold it into the own counter (+1) so the total bumps.
+        self._version += app.graph.version + 1
         return app
 
     @classmethod

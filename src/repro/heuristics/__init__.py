@@ -7,10 +7,13 @@
   the incremental :class:`~repro.steady_state.delta.DeltaAnalyzer`;
 * :func:`genetic_algorithm` — population search with PE-assignment
   crossover and delta-scored mutation on cloned analyzer states;
+* :func:`budgeted_descent` — steepest descent with an explicit move
+  budget: the online runtime's remapping primitive;
 * :func:`random_mapping` — feasible random baseline.
 """
 
 from .extra import (
+    budgeted_descent,
     critical_path_mapping,
     genetic_algorithm,
     local_search,
@@ -21,6 +24,7 @@ from .extra import (
 from .greedy import greedy_cpu, greedy_mem
 
 __all__ = [
+    "budgeted_descent",
     "critical_path_mapping",
     "genetic_algorithm",
     "local_search",

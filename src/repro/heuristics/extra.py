@@ -51,6 +51,7 @@ from ..steady_state.throughput import PeriodAnalysis, analyze
 from .greedy import greedy_cpu, greedy_mem
 
 __all__ = [
+    "budgeted_descent",
     "critical_path_mapping",
     "genetic_algorithm",
     "local_search",
@@ -320,6 +321,64 @@ def _local_search_full(
             break
         current, current_value = best_candidate, best_value
     return current
+
+
+def budgeted_descent(
+    state,
+    objective=None,
+    budget: int = 1,
+    pes: Optional[List[int]] = None,
+    period_cap: float = math.inf,
+) -> int:
+    """Steepest descent with an explicit move budget — in place.
+
+    The remapping primitive of the online runtime
+    (:mod:`repro.runtime.scheduler`), exposed here because it is a
+    general neighbourhood-search building block: apply at most
+    ``budget`` strictly-improving feasible single-task moves to
+    ``state`` (a :class:`DeltaAnalyzer` or anything with its evaluation
+    surface), each chosen as the best ``(objective value, period)`` over
+    the whole move neighbourhood.  Unlike :func:`local_search` it
+    mutates the given state, counts every applied move against the
+    budget (each move is one task *migration* — a real reconfiguration
+    cost online), and restricts candidate target PEs to ``pes``
+    (default: all — pass the live subset to respect failed SPEs).
+
+    Moves never violate hard constraints, and never push the period
+    above ``period_cap`` unless the state is already past the cap — then
+    any period-reducing move is allowed (the repair descent after an SPE
+    failure).  ``objective`` is an objective *instance* (see
+    :func:`repro.steady_state.objective.make_objective`) or ``None`` for
+    the plain period.  Returns the number of moves applied.
+    """
+    if budget <= 0:
+        return 0
+    names = state.graph.task_names()
+    if pes is None:
+        pes = list(range(state.platform.n_pes))
+    moves = 0
+    while moves < budget:
+        current = state.evaluate(objective)
+        best: Optional[Tuple[str, int]] = None
+        best_key = (current.value, current.period)
+        for name in names:
+            origin = state.pe_of(name)
+            for pe in pes:
+                if pe == origin:
+                    continue
+                score = state.evaluate_move(name, pe, objective)
+                if not score.feasible:
+                    continue
+                if score.period > period_cap and score.period >= current.period:
+                    continue
+                key = (score.value, score.period)
+                if key < best_key:
+                    best, best_key = (name, pe), key
+        if best is None:
+            break
+        state.apply_move(best[0], best[1])
+        moves += 1
+    return moves
 
 
 def _feasible_start(

@@ -1,0 +1,49 @@
+"""Online scheduling runtime (beyond the paper: dynamic workloads).
+
+The offline layers map a fixed workload once; this subsystem keeps a
+platform's mapping alive while applications arrive and depart and SPEs
+fail and recover:
+
+* :mod:`~repro.runtime.events` — the event vocabulary
+  (:class:`AppArrival`, :class:`AppDeparture`, :class:`SpeFailure`,
+  :class:`SpeRecovery`) and timeline validation;
+* :mod:`~repro.runtime.scheduler` — :class:`OnlineScheduler`: admission
+  control by delta-scored incremental insertion, departure
+  re-optimisation within an explicit migration budget, failure
+  evacuation with lowest-weight load shedding;
+* :mod:`~repro.runtime.scenario` — :class:`ScenarioGenerator`: seeded
+  Poisson-ish arrival/departure/failure timelines over the realistic
+  applications;
+* :mod:`~repro.runtime.report` — :class:`RuntimeReport`: the
+  JSON-round-trippable per-event audit trail and its aggregate metrics.
+
+The experiment driver lives in :mod:`repro.experiments.online`
+(``repro-experiment online`` on the command line).
+"""
+
+from .events import (
+    AppArrival,
+    AppDeparture,
+    Event,
+    SpeFailure,
+    SpeRecovery,
+    validate_timeline,
+)
+from .report import EventRecord, RuntimeReport
+from .scenario import DEFAULT_BUILDERS, ScenarioGenerator, solo_period_bound
+from .scheduler import OnlineScheduler
+
+__all__ = [
+    "AppArrival",
+    "AppDeparture",
+    "Event",
+    "SpeFailure",
+    "SpeRecovery",
+    "validate_timeline",
+    "EventRecord",
+    "RuntimeReport",
+    "DEFAULT_BUILDERS",
+    "ScenarioGenerator",
+    "solo_period_bound",
+    "OnlineScheduler",
+]

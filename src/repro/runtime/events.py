@@ -1,0 +1,143 @@
+"""The event vocabulary of the online scheduling runtime.
+
+The paper (and PRs 0–3) schedule a *fixed* workload offline.  A real Cell
+deployment faces a dynamic mix: streaming applications arrive and finish,
+and SPEs fail and come back.  The runtime models that as a deterministic
+timeline of four event kinds consumed by
+:class:`~repro.runtime.scheduler.OnlineScheduler`:
+
+* :class:`AppArrival` — a new application asks to be admitted, carrying
+  its task graph, its throughput weight and an optional QoS target
+  period;
+* :class:`AppDeparture` — a resident application's stream ends and its
+  resources are freed;
+* :class:`SpeFailure` — an SPE drops out of service; every task it hosts
+  must be evacuated;
+* :class:`SpeRecovery` — a failed SPE returns to service.
+
+Events are plain frozen dataclasses ordered by ``time`` (µs of wall
+clock — distinct from the µs-per-instance steady-state period).  The
+scheduler only requires the timeline to be time-sorted;
+:func:`validate_timeline` checks that plus per-event sanity so a
+malformed scenario fails loudly before any state mutates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Union
+
+from ..errors import OnlineSchedulingError
+from ..graph.stream_graph import StreamGraph
+
+__all__ = [
+    "AppArrival",
+    "AppDeparture",
+    "SpeFailure",
+    "SpeRecovery",
+    "Event",
+    "validate_timeline",
+]
+
+
+@dataclass(frozen=True)
+class AppArrival:
+    """An application requests admission at ``time``.
+
+    ``name`` must be unique among resident applications (scenario
+    generators suffix a sequence number); ``app_kind`` records which
+    builder produced the graph, for reporting only.
+    """
+
+    time: float
+    name: str
+    graph: StreamGraph
+    weight: float = 1.0
+    target_period: Optional[float] = None
+    app_kind: str = ""
+
+    event_type = "arrival"
+
+    @property
+    def subject(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class AppDeparture:
+    """The stream of application ``name`` ends at ``time``.
+
+    Departures of applications that were never admitted (rejected at
+    arrival, or dropped after an SPE failure) are recorded as no-ops, so
+    a generator may emit arrival/departure pairs unconditionally.
+    """
+
+    time: float
+    name: str
+
+    event_type = "departure"
+
+    @property
+    def subject(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SpeFailure:
+    """SPE with global PE index ``spe`` drops out of service at ``time``."""
+
+    time: float
+    spe: int
+
+    event_type = "failure"
+
+    @property
+    def subject(self) -> str:
+        return f"PE{self.spe}"
+
+
+@dataclass(frozen=True)
+class SpeRecovery:
+    """SPE with global PE index ``spe`` returns to service at ``time``."""
+
+    time: float
+    spe: int
+
+    event_type = "recovery"
+
+    @property
+    def subject(self) -> str:
+        return f"PE{self.spe}"
+
+
+Event = Union[AppArrival, AppDeparture, SpeFailure, SpeRecovery]
+
+_EVENT_TYPES = (AppArrival, AppDeparture, SpeFailure, SpeRecovery)
+
+
+def validate_timeline(events: Iterable[Event]) -> List[Event]:
+    """Check a timeline is well-formed; returns it as a list.
+
+    Raises :class:`OnlineSchedulingError` on unknown event objects,
+    negative times, or out-of-order times.  Per-event semantic checks
+    (unknown SPE index, duplicate resident name...) are the scheduler's
+    job — they depend on its state.
+    """
+    timeline = list(events)
+    last = 0.0
+    for i, event in enumerate(timeline):
+        if not isinstance(event, _EVENT_TYPES):
+            raise OnlineSchedulingError(
+                f"timeline entry {i} is not a runtime event: {event!r}"
+            )
+        if event.time < 0:
+            raise OnlineSchedulingError(
+                f"timeline entry {i} has negative time {event.time!r}"
+            )
+        if event.time < last:
+            raise OnlineSchedulingError(
+                f"timeline entry {i} goes back in time "
+                f"({event.time:g} after {last:g}); sort events by time"
+            )
+        last = event.time
+    return timeline

@@ -1,0 +1,197 @@
+"""Runtime timeline reporting: one record per consumed event.
+
+:class:`RuntimeReport` is the audit trail of an
+:class:`~repro.runtime.scheduler.OnlineScheduler` run — what arrived,
+what was admitted or rejected (and why), how many tasks migrated, which
+applications were dropped after a failure, and the post-event period and
+objective value.  It is a plain-data object: JSON round-trippable
+(:meth:`RuntimeReport.to_json` / :meth:`RuntimeReport.from_json`) so a
+run can be archived and replayed/diffed without re-executing the
+scheduler, and the aggregate metrics the online experiment sweeps
+(acceptance rate, mean period, migration count) are derived properties.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import OnlineSchedulingError
+
+__all__ = ["EventRecord", "RuntimeReport"]
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """Outcome of one timeline event.
+
+    ``accepted`` is three-valued: ``True``/``False`` for arrivals,
+    ``None`` for every other event kind.  ``period``/``value``/
+    ``feasible`` describe the committed post-event state (0.0/0.0/True
+    when no application is resident).
+    """
+
+    seq: int
+    time: float
+    event: str  # "arrival" | "departure" | "failure" | "recovery"
+    subject: str  # application name or PE name
+    accepted: Optional[bool]
+    reason: str  # rejection reason or informational note
+    migrations: int
+    dropped: Tuple[str, ...]
+    period: float
+    value: float
+    feasible: bool
+    n_apps: int
+    n_tasks: int
+
+    def to_dict(self) -> Dict:
+        payload = asdict(self)
+        payload["dropped"] = list(self.dropped)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "EventRecord":
+        try:
+            return cls(
+                seq=int(payload["seq"]),
+                time=float(payload["time"]),
+                event=str(payload["event"]),
+                subject=str(payload["subject"]),
+                accepted=(
+                    None
+                    if payload["accepted"] is None
+                    else bool(payload["accepted"])
+                ),
+                reason=str(payload["reason"]),
+                migrations=int(payload["migrations"]),
+                dropped=tuple(payload["dropped"]),
+                period=float(payload["period"]),
+                value=float(payload["value"]),
+                feasible=bool(payload["feasible"]),
+                n_apps=int(payload["n_apps"]),
+                n_tasks=int(payload["n_tasks"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise OnlineSchedulingError(
+                f"malformed event record payload: {exc}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class RuntimeReport:
+    """The full, ordered timeline of one online scheduling run."""
+
+    platform: str
+    objective: str
+    migration_budget: int
+    records: List[EventRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Aggregates (the online experiment's figure axes)
+
+    @property
+    def n_events(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_arrivals(self) -> int:
+        return sum(1 for r in self.records if r.event == "arrival")
+
+    @property
+    def n_accepted(self) -> int:
+        return sum(1 for r in self.records if r.accepted is True)
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Admitted arrivals over all arrivals (1.0 when none arrived)."""
+        arrivals = self.n_arrivals
+        return self.n_accepted / arrivals if arrivals else 1.0
+
+    @property
+    def mean_period(self) -> float:
+        """Mean post-event shared period over the non-idle states."""
+        busy = [r.period for r in self.records if r.n_apps > 0]
+        return sum(busy) / len(busy) if busy else 0.0
+
+    @property
+    def total_migrations(self) -> int:
+        return sum(r.migrations for r in self.records)
+
+    @property
+    def dropped_apps(self) -> Tuple[str, ...]:
+        """Applications dropped by failure handling, in drop order."""
+        out: List[str] = []
+        for record in self.records:
+            out.extend(record.dropped)
+        return tuple(out)
+
+    @property
+    def all_feasible(self) -> bool:
+        return all(r.feasible for r in self.records)
+
+    # ------------------------------------------------------------------ #
+    # Serialization (replay/diff without re-running the scheduler)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(
+            {
+                "platform": self.platform,
+                "objective": self.objective,
+                "migration_budget": self.migration_budget,
+                "records": [r.to_dict() for r in self.records],
+            },
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RuntimeReport":
+        try:
+            payload = json.loads(text)
+            records = [
+                EventRecord.from_dict(entry) for entry in payload["records"]
+            ]
+            return cls(
+                platform=str(payload["platform"]),
+                objective=str(payload["objective"]),
+                migration_budget=int(payload["migration_budget"]),
+                records=records,
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise OnlineSchedulingError(
+                f"malformed runtime report payload: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+
+    def table(self) -> str:
+        """Human-readable timeline (CLI/notebook friendly)."""
+        rows = [
+            f"Online run on {self.platform} [objective: {self.objective}, "
+            f"migration budget: {self.migration_budget}]",
+            "  seq      time  event      subject              outcome      "
+            "migr    period  apps",
+        ]
+        for r in self.records:
+            if r.accepted is True:
+                outcome = "admitted"
+            elif r.accepted is False:
+                outcome = "rejected"
+            else:
+                outcome = "-"
+            detail = f" ({r.reason})" if r.reason else ""
+            drop = f" drop:{','.join(r.dropped)}" if r.dropped else ""
+            rows.append(
+                f"  {r.seq:3d}  {r.time:8.1f}  {r.event:<9}  "
+                f"{r.subject:<19}  {outcome:<9}  {r.migrations:4d}  "
+                f"{r.period:8.2f}  {r.n_apps:4d}{detail}{drop}"
+            )
+        rows.append(
+            f"  => acceptance {self.n_accepted}/{self.n_arrivals} "
+            f"({100.0 * self.acceptance_rate:.0f}%), "
+            f"mean period {self.mean_period:.2f} µs, "
+            f"{self.total_migrations} migrations, "
+            f"{len(self.dropped_apps)} dropped"
+        )
+        return "\n".join(rows)

@@ -1,0 +1,195 @@
+"""Seeded scenario generation for the online scheduling runtime.
+
+:class:`ScenarioGenerator` turns a seed into a deterministic event
+timeline: Poisson-ish application arrivals (exponential inter-arrival
+gaps, mean ``mean_service / load`` — so ``load`` is the offered number
+of concurrently-resident applications, Little's law), exponential
+service times (each arrival is paired with its departure), and SPE
+failure injection (each failure paired with a recovery after an
+exponential downtime, on distinct SPEs so windows may overlap safely).
+
+Arriving applications are drawn from the ``builders`` registry (the
+realistic ``repro.apps`` workloads by default), get a weight from
+``weight_choices`` and, with probability ``target_probability``, a QoS
+target period: the graph's mapping-independent lower bound (the largest
+``min(wppe, wspe)`` over its tasks — some PE must pay at least that)
+times a slack factor drawn from ``target_slack``.  Tight slacks make
+admission control bite; loose slacks wave everything through.
+
+Everything is driven by one ``random.Random(seed)`` in a fixed order,
+so a ``(seed, load, n_events)`` triple always produces the identical
+timeline — the reproducibility anchor of the online experiment sweep.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..apps import audio_encoder, crypto_pipeline, video_pipeline
+from ..errors import GeneratorError
+from ..graph.stream_graph import StreamGraph
+from ..platform.cell import CellPlatform
+from .events import AppArrival, AppDeparture, Event, SpeFailure, SpeRecovery
+
+__all__ = ["DEFAULT_BUILDERS", "ScenarioGenerator"]
+
+#: Default application pool: the three realistic workloads.
+DEFAULT_BUILDERS: Dict[str, Callable[[], StreamGraph]] = {
+    "audio_encoder": audio_encoder,
+    "video_pipeline": video_pipeline,
+    "crypto_pipeline": crypto_pipeline,
+}
+
+
+def solo_period_bound(graph: StreamGraph) -> float:
+    """Mapping-independent lower bound on any achievable period.
+
+    The largest ``min(wppe, wspe)`` over the graph's tasks: whichever PE
+    hosts the critical task pays at least that per instance.  Clamped
+    away from zero (a graph may be free on one PE kind) exactly like
+    ``objective.reference_periods``, so derived QoS targets stay valid
+    positive periods.
+    """
+    bound = max(min(t.wppe, t.wspe) for t in graph.tasks())
+    return max(bound, 1e-9)
+
+
+class ScenarioGenerator:
+    """Deterministic event-timeline generator (see the module docstring).
+
+    Parameters
+    ----------
+    platform:
+        Supplies the SPE indices failures may hit (no SPEs → no
+        failures are generated regardless of ``n_failures``).
+    seed:
+        Drives every random draw; equal seeds give equal timelines.
+    load:
+        Offered concurrency: the expected number of resident
+        applications (arrival rate × mean service time).
+    mean_service:
+        Mean application lifetime, in the timeline's wall-clock units.
+    target_probability / target_slack:
+        Probability an arrival declares a QoS target, and the uniform
+        slack-factor range applied to the graph's period lower bound.
+    weight_choices:
+        Pool of throughput weights (drop priority: lowest goes first).
+    n_failures:
+        SPE failure/recovery pairs to inject, each on a distinct SPE.
+    mean_downtime:
+        Mean failure duration (defaults to ``mean_service``).
+    """
+
+    def __init__(
+        self,
+        platform: CellPlatform,
+        seed: int = 0,
+        load: float = 2.0,
+        builders: Optional[Dict[str, Callable[[], StreamGraph]]] = None,
+        mean_service: float = 40.0,
+        target_probability: float = 0.7,
+        target_slack: Tuple[float, float] = (2.0, 8.0),
+        weight_choices: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+        n_failures: int = 1,
+        mean_downtime: Optional[float] = None,
+    ) -> None:
+        if load <= 0:
+            raise GeneratorError(f"load must be positive (got {load!r})")
+        if mean_service <= 0:
+            raise GeneratorError(
+                f"mean_service must be positive (got {mean_service!r})"
+            )
+        if not builders and builders is not None:
+            raise GeneratorError("builders must not be empty")
+        if n_failures < 0:
+            raise GeneratorError(
+                f"n_failures must be non-negative (got {n_failures!r})"
+            )
+        if not 0.0 <= target_probability <= 1.0:
+            raise GeneratorError(
+                "target_probability must be within [0, 1] "
+                f"(got {target_probability!r})"
+            )
+        lo, hi = target_slack
+        if lo <= 0 or hi < lo:
+            raise GeneratorError(
+                f"target_slack must be 0 < lo <= hi (got {target_slack!r})"
+            )
+        if not weight_choices:
+            raise GeneratorError("weight_choices must not be empty")
+        self.platform = platform
+        self.seed = int(seed)
+        self.load = float(load)
+        self.builders = dict(builders) if builders is not None else dict(
+            DEFAULT_BUILDERS
+        )
+        self.mean_service = float(mean_service)
+        self.target_probability = float(target_probability)
+        self.target_slack = (float(lo), float(hi))
+        self.weight_choices = tuple(weight_choices)
+        self.n_failures = int(n_failures)
+        self.mean_downtime = float(
+            mean_downtime if mean_downtime is not None else mean_service
+        )
+
+    def generate(self, n_events: int = 24) -> List[Event]:
+        """A time-sorted timeline of exactly ``n_events`` events.
+
+        Budgeting: each failure consumes two slots (failure + recovery),
+        the rest go to arrival/departure pairs — plus one unpaired
+        arrival when the remainder is odd.  At least one arrival is
+        always generated, so ``n_events`` must be ≥ 2.
+        """
+        if n_events < 2:
+            raise GeneratorError(
+                f"n_events must be at least 2 (got {n_events!r})"
+            )
+        rng = random.Random(self.seed)
+        spes = list(self.platform.spe_indices)
+        n_failures = min(self.n_failures, len(spes), (n_events - 2) // 2)
+        budget = n_events - 2 * n_failures
+        n_pairs, lone = divmod(budget, 2)
+
+        events: List[Event] = []
+        kinds = sorted(self.builders)
+        clock = 0.0
+        horizon = 0.0
+        for i in range(n_pairs + lone):
+            clock += rng.expovariate(self.load / self.mean_service)
+            kind = kinds[rng.randrange(len(kinds))]
+            graph = self.builders[kind]()
+            weight = self.weight_choices[
+                rng.randrange(len(self.weight_choices))
+            ]
+            target = None
+            if rng.random() < self.target_probability:
+                target = solo_period_bound(graph) * rng.uniform(
+                    *self.target_slack
+                )
+            events.append(
+                AppArrival(
+                    time=clock,
+                    name=f"{kind}#{i:03d}",
+                    graph=graph,
+                    weight=weight,
+                    target_period=target,
+                    app_kind=kind,
+                )
+            )
+            horizon = max(horizon, clock)
+            if i < n_pairs:
+                departure = clock + rng.expovariate(1.0 / self.mean_service)
+                events.append(AppDeparture(time=departure, name=f"{kind}#{i:03d}"))
+                horizon = max(horizon, departure)
+
+        if n_failures:
+            failed_spes = rng.sample(spes, n_failures)
+            for spe in failed_spes:
+                fail_at = rng.uniform(0.0, horizon or 1.0)
+                downtime = rng.expovariate(1.0 / self.mean_downtime)
+                events.append(SpeFailure(time=fail_at, spe=spe))
+                events.append(SpeRecovery(time=fail_at + downtime, spe=spe))
+
+        events.sort(key=lambda e: e.time)  # stable: generation order breaks ties
+        return events

@@ -1,0 +1,588 @@
+"""Event-driven online scheduler: admission, remapping, failure handling.
+
+The offline layers (PRs 0–3) map a *known* workload once.
+:class:`OnlineScheduler` keeps a :class:`~repro.graph.workload.Workload`
+and its mapping alive across a timeline of
+:mod:`~repro.runtime.events`, with three policies (Benoit et al.,
+*Resource Allocation for Multiple Concurrent In-Network
+Stream-Processing Applications*, motivates the admission setting;
+*Multi-criteria scheduling of pipeline workflows* the period-versus-
+reconfiguration-cost trade):
+
+**Admission control** (:class:`AppArrival`).  The arriving application
+is tentatively added to the workload and its tasks are placed by
+*delta-scored incremental insertion*: a fresh
+:class:`~repro.steady_state.delta.DeltaAnalyzer` is built once over the
+new composite (new tasks parked on the always-feasible PPE haven), then
+**cloned** per candidate insertion order, and every candidate placement
+is scored by ``evaluate_move`` in O(deg) — never a full ``analyze()``
+per candidate.  The best feasible result is admitted iff it also meets
+every resident QoS target: in the lock-step steady state every
+application advances once per shared period, so the QoS test is *shared
+period ≤ each declared target*.  Rejected applications leave no trace.
+
+**Departure re-optimisation** (:class:`AppDeparture`).  The departing
+application's load is freed and the surviving mapping is re-optimised by
+steepest-descent delta-scored moves **within a migration budget** — each
+move is one task migration (a real reconfiguration cost on the Cell:
+draining the task's buffers and re-loading its code on another PE), so
+the budget makes remapping cost explicit.  Moves never violate hard
+constraints or resident targets.
+
+**Failure handling** (:class:`SpeFailure` / :class:`SpeRecovery`).  All
+tasks on a failed SPE are evacuated in one bulk move to the PPE haven —
+always hard-feasible, since a PPE has no store/DMA limits and evacuating
+cannot raise any other SPE's constraint counts — then re-placed on live
+PEs by the same delta-scored insertion.  If the shrunken platform cannot
+meet the resident targets even after a budgeted remap, the scheduler
+sheds load: the **lowest-weight** application (ties: earliest resident)
+is dropped and the check repeats.  Recovery re-runs the budgeted
+remapping so load can spread back onto the returned SPE.
+
+Every committed (post-event) state is hard-feasible and meets all
+resident targets, and the analyzer is re-anchored (``resync``) at each
+commit, so its ``snapshot()`` is bit-identical to a fresh ``analyze()``
+of the surviving workload in every buffer-model mode.
+
+``use_delta=False`` swaps the incremental engine for
+:class:`_ReferenceState`, which evaluates every candidate with a full
+``analyze()`` — the slow reference path used by the equivalence tests
+and the ≥5× speed-up guard in ``benchmarks/bench_online.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import MappingError, ObjectiveError, OnlineSchedulingError
+from ..graph.workload import Workload
+from ..heuristics import budgeted_descent
+from ..platform.cell import CellPlatform
+from ..steady_state.delta import DeltaAnalyzer, ObjectiveScore
+from ..steady_state.mapping import Mapping
+from ..steady_state.objective import OBJECTIVES, make_objective
+from ..steady_state.throughput import PeriodAnalysis, analyze
+from .events import (
+    AppArrival,
+    AppDeparture,
+    Event,
+    SpeFailure,
+    SpeRecovery,
+    validate_timeline,
+)
+from .report import EventRecord, RuntimeReport
+
+__all__ = ["OnlineScheduler"]
+
+
+def _score_analysis(analysis: PeriodAnalysis, objective) -> ObjectiveScore:
+    """An :class:`ObjectiveScore` from a full analysis (reference path).
+
+    Mirrors ``DeltaAnalyzer._evaluate`` so the two paths rank candidates
+    by the exact same values.
+    """
+    if objective is None or not getattr(objective, "needs_app_periods", False):
+        value = (
+            analysis.period
+            if objective is None
+            else objective.value(analysis.period, None)
+        )
+    else:
+        value = objective.value(analysis.period, analysis.app_periods)
+    return ObjectiveScore(
+        value=value,
+        period=analysis.period,
+        feasible=analysis.feasible,
+        n_violations=len(analysis.violations),
+    )
+
+
+class _ReferenceState:
+    """Full-``analyze()`` stand-in for :class:`DeltaAnalyzer`.
+
+    Implements exactly the evaluation surface the scheduler uses, with
+    every query answered by a fresh O(V+E) analysis of the whole mapping
+    — the reference the delta path is checked (and benchmarked) against.
+    """
+
+    def __init__(
+        self,
+        mapping: Mapping,
+        elide_local_comm: bool = False,
+        merge_same_pe_buffers: bool = False,
+    ) -> None:
+        self.graph = mapping.graph
+        self.platform = mapping.platform
+        self.elide_local_comm = bool(elide_local_comm)
+        self.merge_same_pe_buffers = bool(merge_same_pe_buffers)
+        self._assign: Dict[str, int] = mapping.to_dict()
+
+    def _analyze(self, assign: Dict[str, int]) -> PeriodAnalysis:
+        return analyze(
+            Mapping(self.graph, self.platform, assign),
+            elide_local_comm=self.elide_local_comm,
+            merge_same_pe_buffers=self.merge_same_pe_buffers,
+        )
+
+    def pe_of(self, task: str) -> int:
+        try:
+            return self._assign[task]
+        except KeyError:
+            raise MappingError(f"task {task!r} is not mapped") from None
+
+    def assignment(self) -> Dict[str, int]:
+        return dict(self._assign)
+
+    def tasks_on(self, pe: int) -> List[str]:
+        if not 0 <= pe < self.platform.n_pes:
+            raise MappingError(
+                f"invalid PE {pe!r} (platform has {self.platform.n_pes} PEs)"
+            )
+        return [name for name, host in self._assign.items() if host == pe]
+
+    def mapping(self) -> Mapping:
+        return Mapping(self.graph, self.platform, self._assign)
+
+    def snapshot(self) -> PeriodAnalysis:
+        return self._analyze(self._assign)
+
+    def period(self) -> float:
+        return self.snapshot().period
+
+    @property
+    def feasible(self) -> bool:
+        return self.snapshot().feasible
+
+    def evaluate(self, objective=None) -> ObjectiveScore:
+        return _score_analysis(self.snapshot(), objective)
+
+    def evaluate_move(self, task: str, pe: int, objective=None) -> ObjectiveScore:
+        candidate = dict(self._assign)
+        candidate[task] = pe
+        return _score_analysis(self._analyze(candidate), objective)
+
+    def apply_move(self, task: str, pe: int) -> None:
+        self.pe_of(task)  # raises on unknown tasks, like the delta engine
+        self._assign[task] = pe
+
+    def apply_changes(self, changes: Dict[str, int]) -> None:
+        for task, pe in changes.items():
+            self.apply_move(task, pe)
+
+    def clone(self) -> "_ReferenceState":
+        return _ReferenceState(
+            self.mapping(),
+            elide_local_comm=self.elide_local_comm,
+            merge_same_pe_buffers=self.merge_same_pe_buffers,
+        )
+
+    def resync(self) -> None:  # always exact — nothing to re-anchor
+        pass
+
+
+#: Either evaluation engine; the scheduler only uses the shared surface.
+_State = Union[DeltaAnalyzer, _ReferenceState]
+
+
+class OnlineScheduler:
+    """Online admission, remapping and failure handling for one platform.
+
+    Parameters
+    ----------
+    platform:
+        The (fixed) Cell platform.  PE 0 is a PPE by the paper's indexing
+        convention; it doubles as the always-feasible evacuation haven.
+    objective:
+        Objective ranking candidate placements and remapping moves
+        (``period`` | ``weighted`` | ``max_stretch``, see
+        :mod:`repro.steady_state.objective`).
+    migration_budget:
+        Maximum number of task migrations per departure/recovery
+        re-optimisation pass (and per repair attempt after a failure).
+        0 disables re-optimisation entirely.
+    elide_local_comm / merge_same_pe_buffers:
+        Buffer-model flags, threaded through to the evaluation engine
+        exactly as in the offline heuristics.
+    use_delta:
+        ``True`` (default): incremental :class:`DeltaAnalyzer`
+        evaluation.  ``False``: the full-``analyze()`` reference path.
+    """
+
+    def __init__(
+        self,
+        platform: CellPlatform,
+        objective: str = "period",
+        migration_budget: int = 4,
+        elide_local_comm: bool = False,
+        merge_same_pe_buffers: bool = False,
+        use_delta: bool = True,
+        name: str = "online",
+    ) -> None:
+        if objective not in OBJECTIVES:
+            raise ObjectiveError(
+                f"unknown objective {objective!r}; "
+                f"pick from {', '.join(OBJECTIVES)}"
+            )
+        if migration_budget < 0:
+            raise OnlineSchedulingError(
+                f"migration_budget must be non-negative "
+                f"(got {migration_budget!r})"
+            )
+        self.platform = platform
+        self.objective = objective
+        self.migration_budget = int(migration_budget)
+        self.elide_local_comm = bool(elide_local_comm)
+        self.merge_same_pe_buffers = bool(merge_same_pe_buffers)
+        self.use_delta = bool(use_delta)
+        self.workload = Workload(name)
+        #: The PPE that absorbs evacuations and parks unplaced tasks: a
+        #: PPE has no local-store or DMA-queue constraints, so hosting
+        #: anything there is always hard-feasible.
+        self._haven = 0
+        assert platform.is_ppe(self._haven)
+        self._failed: set = set()
+        self._assign: Dict[str, int] = {}
+        self._state: Optional[_State] = None
+        self._obj = None
+        self._records: List[EventRecord] = []
+        self._time = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+
+    @property
+    def state(self) -> Optional[_State]:
+        """The committed evaluation state (``None`` while idle)."""
+        return self._state
+
+    @property
+    def time(self) -> float:
+        return self._time
+
+    @property
+    def failed_spes(self) -> frozenset:
+        return frozenset(self._failed)
+
+    def assignment(self) -> Dict[str, int]:
+        """The committed composite-task → PE assignment."""
+        return dict(self._assign)
+
+    def mapping(self) -> Optional[Mapping]:
+        return self._state.mapping() if self._state is not None else None
+
+    def snapshot(self) -> Optional[PeriodAnalysis]:
+        return self._state.snapshot() if self._state is not None else None
+
+    def report(self) -> RuntimeReport:
+        return RuntimeReport(
+            platform=self.platform.name,
+            objective=self.objective,
+            migration_budget=self.migration_budget,
+            records=list(self._records),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Event consumption
+
+    def run(self, events: Sequence[Event]) -> RuntimeReport:
+        """Consume a whole timeline and return the report."""
+        for event in validate_timeline(events):
+            self.process(event)
+        return self.report()
+
+    def process(self, event: Event) -> EventRecord:
+        """Consume one event; returns its outcome record."""
+        if event.time < self._time:
+            raise OnlineSchedulingError(
+                f"event at t={event.time:g} arrives after the scheduler "
+                f"reached t={self._time:g}; feed events in time order"
+            )
+        self._time = event.time
+        if isinstance(event, AppArrival):
+            return self._on_arrival(event)
+        if isinstance(event, AppDeparture):
+            return self._on_departure(event)
+        if isinstance(event, SpeFailure):
+            return self._on_failure(event)
+        if isinstance(event, SpeRecovery):
+            return self._on_recovery(event)
+        raise OnlineSchedulingError(f"unknown event {event!r}")
+
+    # ------------------------------------------------------------------ #
+    # Shared machinery
+
+    def _make_state(self, mapping: Mapping) -> _State:
+        cls = DeltaAnalyzer if self.use_delta else _ReferenceState
+        return cls(
+            mapping,
+            elide_local_comm=self.elide_local_comm,
+            merge_same_pe_buffers=self.merge_same_pe_buffers,
+        )
+
+    def _live_pes(self) -> List[int]:
+        """All PPEs plus the SPEs currently in service."""
+        return [
+            pe
+            for pe in range(self.platform.n_pes)
+            if not (self.platform.is_spe(pe) and pe in self._failed)
+        ]
+
+    def _target_cap(self) -> float:
+        """The tightest declared target among resident applications."""
+        targets = [
+            app.target_period
+            for app in self.workload
+            if app.target_period is not None
+        ]
+        return min(targets) if targets else math.inf
+
+    def _violated_targets(self, state: _State) -> List[str]:
+        """Resident apps whose declared target the shared period misses."""
+        period = state.period()
+        return [
+            app.name
+            for app in self.workload
+            if app.target_period is not None and period > app.target_period
+        ]
+
+    def _ok(self, state: _State) -> bool:
+        return state.feasible and not self._violated_targets(state)
+
+    def _insert_tasks(self, state: _State, tasks: Sequence[str], obj) -> None:
+        """Greedy delta-scored placement of ``tasks``, one at a time.
+
+        Each task moves from its current PE to the live PE minimising
+        ``(objective value, period)`` over the feasible candidates —
+        O(n_live × deg(task)) per task, staying put on ties.
+        """
+        live = self._live_pes()
+        for name in tasks:
+            origin = state.pe_of(name)
+            current = state.evaluate(obj)
+            best_pe: Optional[int] = None
+            best_key = (current.value, current.period)
+            for pe in live:
+                if pe == origin:
+                    continue
+                score = state.evaluate_move(name, pe, obj)
+                if not score.feasible:
+                    continue
+                key = (score.value, score.period)
+                if key < best_key:
+                    best_key, best_pe = key, pe
+            if best_pe is not None:
+                state.apply_move(name, best_pe)
+
+    def _reoptimize(self, state: _State, obj, budget: int) -> int:
+        """Budgeted steepest-descent remapping on the live PEs.
+
+        Delegates to :func:`repro.heuristics.budgeted_descent`: each
+        applied move is one task migration, moves stay hard-feasible and
+        never push the shared period past the tightest resident target
+        (unless the state is already past it — the failure-repair
+        descent).  Returns the number of migrations performed.
+        """
+        return budgeted_descent(
+            state,
+            objective=obj,
+            budget=budget,
+            pes=self._live_pes(),
+            period_cap=self._target_cap(),
+        )
+
+    def _rebuild(self, assign: Dict[str, int]) -> Optional[_State]:
+        """A fresh state over the current workload's composite.
+
+        ``assign`` provides the PEs of every surviving task (extra
+        entries — departed or dropped apps — are ignored).  Also refreshes
+        the cached objective, which is composite-bound.
+        """
+        if not len(self.workload):
+            self._obj = None
+            return None
+        composite = self.workload.compile()
+        surviving = {t: assign[t] for t in composite.task_names()}
+        self._obj = make_objective(self.objective, composite)
+        return self._make_state(Mapping(composite, self.platform, surviving))
+
+    def _commit(self, state: Optional[_State]) -> None:
+        if state is not None:
+            state.resync()  # re-anchor: snapshot == fresh analyze, bit for bit
+        self._state = state
+        self._assign = state.assignment() if state is not None else {}
+
+    def _record(
+        self,
+        event: Event,
+        accepted: Optional[bool] = None,
+        reason: str = "",
+        migrations: int = 0,
+        dropped: Tuple[str, ...] = (),
+    ) -> EventRecord:
+        state = self._state
+        if state is None:
+            period, value, feasible = 0.0, 0.0, True
+        else:
+            score = state.evaluate(self._obj)
+            period, value, feasible = score.period, score.value, score.feasible
+        record = EventRecord(
+            seq=len(self._records),
+            time=event.time,
+            event=event.event_type,
+            subject=event.subject,
+            accepted=accepted,
+            reason=reason,
+            migrations=migrations,
+            dropped=dropped,
+            period=period,
+            value=value,
+            feasible=feasible,
+            n_apps=len(self.workload),
+            n_tasks=len(self._assign),
+        )
+        self._records.append(record)
+        return record
+
+    # ------------------------------------------------------------------ #
+    # Event handlers
+
+    def _on_arrival(self, event: AppArrival) -> EventRecord:
+        if event.name in self.workload:
+            return self._record(
+                event, accepted=False, reason="duplicate-name"
+            )
+        self.workload.add_app(
+            event.name,
+            event.graph,
+            weight=event.weight,
+            target_period=event.target_period,
+        )
+        composite = self.workload.compile()
+        obj = make_objective(self.objective, composite)
+        new_tasks = list(composite.app_tasks[event.name])
+
+        # One analyzer build over the new composite (new tasks parked on
+        # the PPE haven keep it exactly as feasible as the committed
+        # state), then a clone per insertion order — candidate placements
+        # are delta-scored, never re-analysed.
+        assign = dict(self._assign)
+        for task in new_tasks:
+            assign[task] = self._haven
+        base = self._make_state(Mapping(composite, self.platform, assign))
+        heaviest_first = sorted(  # heaviest-first (SPE cost), name-stable
+            new_tasks,
+            key=lambda t: (-composite.task(t).wspe, t),
+        )
+        orders = (
+            (new_tasks,)  # member order; skip an identical second pass
+            if heaviest_first == new_tasks
+            else (new_tasks, heaviest_first)
+        )
+        best_state: Optional[_State] = None
+        best_key = None
+        for order in orders:
+            trial = base.clone()
+            self._insert_tasks(trial, order, obj)
+            score = trial.evaluate(obj)
+            key = (not trial.feasible, score.value, score.period)
+            if best_key is None or key < best_key:
+                best_state, best_key = trial, key
+        assert best_state is not None
+
+        if not best_state.feasible:
+            self.workload.remove_app(event.name)
+            return self._record(event, accepted=False, reason="infeasible")
+        migrations = 0
+        violated = self._violated_targets(best_state)
+        if violated:
+            # Pure insertion missed a target: try remapping resident
+            # tasks too, within the migration budget, before giving up.
+            migrations = self._reoptimize(
+                best_state, obj, self.migration_budget
+            )
+            violated = self._violated_targets(best_state)
+        if violated:
+            self.workload.remove_app(event.name)
+            return self._record(
+                event,
+                accepted=False,
+                reason="target-missed:" + ",".join(violated),
+            )
+        self._obj = obj
+        self._commit(best_state)
+        return self._record(event, accepted=True, migrations=migrations)
+
+    def _on_departure(self, event: AppDeparture) -> EventRecord:
+        if event.name not in self.workload:
+            # Rejected at arrival or dropped after a failure: a no-op.
+            return self._record(event, reason="not-resident")
+        self.workload.remove_app(event.name)
+        state = self._rebuild(self._assign)
+        migrations = 0
+        if state is not None:
+            migrations = self._reoptimize(
+                state, self._obj, self.migration_budget
+            )
+        self._commit(state)
+        return self._record(event, migrations=migrations)
+
+    def _on_failure(self, event: SpeFailure) -> EventRecord:
+        spe = event.spe
+        if not 0 <= spe < self.platform.n_pes or not self.platform.is_spe(spe):
+            raise OnlineSchedulingError(
+                f"cannot fail PE {spe!r}: not an SPE of {self.platform.name}"
+            )
+        if spe in self._failed:
+            raise OnlineSchedulingError(
+                f"SPE {spe} is already failed (no recovery seen since)"
+            )
+        self._failed.add(spe)
+        state = self._state
+        migrations = 0
+        dropped: List[str] = []
+        if state is not None:
+            evacuees = state.tasks_on(spe)
+            if evacuees:
+                # Bulk move to the PPE haven: always hard-feasible, and
+                # cannot raise any surviving SPE's constraint counts.
+                state.apply_changes({task: self._haven for task in evacuees})
+                migrations += len(evacuees)
+                self._insert_tasks(state, evacuees, self._obj)
+            # Shed load until the shrunken platform meets the resident
+            # targets again: budgeted repair first, lowest-weight drop
+            # when repair is not enough.
+            while not self._ok(state):
+                migrations += self._reoptimize(
+                    state, self._obj, self.migration_budget
+                )
+                if self._ok(state):
+                    break
+                victim = min(
+                    enumerate(self.workload),
+                    key=lambda pair: (pair[1].weight, pair[0]),
+                )[1].name
+                self.workload.remove_app(victim)
+                dropped.append(victim)
+                state = self._rebuild(state.assignment())
+                if state is None:
+                    break
+            self._commit(state)
+        return self._record(
+            event, migrations=migrations, dropped=tuple(dropped)
+        )
+
+    def _on_recovery(self, event: SpeRecovery) -> EventRecord:
+        spe = event.spe
+        if spe not in self._failed:
+            raise OnlineSchedulingError(
+                f"SPE {spe!r} is not failed; cannot recover it"
+            )
+        self._failed.discard(spe)
+        migrations = 0
+        if self._state is not None:
+            migrations = self._reoptimize(
+                self._state, self._obj, self.migration_budget
+            )
+            self._commit(self._state)
+        return self._record(event, migrations=migrations)

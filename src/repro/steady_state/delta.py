@@ -470,6 +470,19 @@ class DeltaAnalyzer:
         """A copy of the current task → PE assignment."""
         return dict(self._assign)
 
+    def tasks_on(self, pe: int) -> List[str]:
+        """Names of the tasks currently assigned to ``pe``.
+
+        Mirrors :meth:`Mapping.tasks_on` on the live state (assignment
+        order, O(V) scan) — e.g. the evacuation list when a PE drops out
+        of service.
+        """
+        if not 0 <= pe < self._n_pes:
+            raise MappingError(
+                f"invalid PE {pe!r} (platform has {self._n_pes} PEs)"
+            )
+        return [name for name, host in self._assign.items() if host == pe]
+
     def mapping(self) -> Mapping:
         """The current state as an immutable :class:`Mapping`."""
         return Mapping(self.graph, self.platform, self._assign)

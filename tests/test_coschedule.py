@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cli import main_experiment
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, UsageError
 from repro.experiments import coschedule, fig7_speedup, fig8_ccr
 from repro.experiments.common import validate_strategies
 
@@ -27,6 +27,11 @@ class TestBuildWorkload:
     def test_duplicate_app_rejected(self):
         with pytest.raises(ExperimentError, match="twice"):
             coschedule.build_workload(["crypto_pipeline", "crypto_pipeline"])
+
+    def test_duplicate_app_is_usage_error(self):
+        """Duplicates are a *usage* mistake, reported as such up front."""
+        with pytest.raises(UsageError, match="given twice"):
+            coschedule.build_workload(["audio_encoder=2", "audio_encoder=3"])
 
     def test_bad_weight_rejected(self):
         with pytest.raises(ExperimentError, match="bad weight"):
@@ -139,6 +144,23 @@ class TestCli:
         )
         assert rc == 1
         assert "unknown app" in capsys.readouterr().err
+
+    def test_coschedule_rejects_duplicate_apps_fast(self, capsys):
+        """Duplicates in --apps fail before any sweep work, weighted or
+        not, through build_workload's UsageError."""
+        rc = main_experiment(
+            ["coschedule", "--apps", "audio_encoder,audio_encoder",
+             "--strategies", "greedy_cpu", "--spe-counts", "2"]
+        )
+        assert rc == 1
+        assert "given twice" in capsys.readouterr().err
+        rc = main_experiment(
+            ["coschedule", "--apps", "crypto_pipeline=2,crypto_pipeline=3",
+             "--strategies", "greedy_cpu", "--spe-counts", "2"]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "given twice" in err and "crypto_pipeline" in err
 
     def test_coschedule_rejects_bad_spe_counts(self, capsys):
         rc = main_experiment(["coschedule", "--spe-counts", "two"])

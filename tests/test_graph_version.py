@@ -146,6 +146,71 @@ class TestWorkloadVersionAudit:
         w.add_app("three", build())
         assert w.version > before
 
+    def test_remove_app_bumps_despite_shrinking_member_sum(self):
+        """remove_app drops a member graph's counter from the version sum;
+        the workload must compensate so the version still increases."""
+        w = self.build_workload()
+        # Inflate the doomed member's counter so a naive sum would *drop*.
+        g = w.app("one").graph
+        for _ in range(5):
+            g.replace_task(Task("a", wppe=2.0, wspe=2.0))
+        before = w.version
+        removed = w.remove_app("one")
+        assert removed.name == "one"
+        assert "one" not in w
+        assert w.version > before
+
+    def test_remove_app_unknown_rejected(self):
+        from repro.errors import WorkloadError
+
+        w = self.build_workload()
+        with pytest.raises(WorkloadError, match="unknown application"):
+            w.remove_app("ghost")
+
+    def test_remove_app_invalidates_composite(self):
+        w = self.build_workload()
+        first = w.compile()
+        assert "one:a" in first
+        w.remove_app("one")
+        second = w.compile()
+        assert second is not first
+        assert "one:a" not in second
+        assert second.app_names == ("two",)
+
+    def test_readd_after_remove_is_fresh(self):
+        """Remove + re-add under the same name never repeats a version."""
+        w = self.build_workload()
+        seen = {w.version}
+        w.remove_app("one")
+        assert w.version not in seen
+        seen.add(w.version)
+        w.add_app("one", build())
+        assert w.version not in seen
+        assert w.compile().app_names == ("two", "one")  # appended at end
+
+    def test_rename_guard_bumps_and_validates(self):
+        from repro.errors import WorkloadError
+
+        w = self.build_workload()
+        first = w.compile()
+        before = w.version
+        w.rename("renamed")
+        assert w.version > before
+        second = w.compile()
+        assert second is not first
+        assert second.name == "renamed"
+        # Attribute assignment goes through the same guard.
+        before = w.version
+        w.name = "again"
+        assert w.version > before
+        assert w.compile().name == "again"
+        # No-op rename: no gratuitous invalidation.
+        cached = w.compile()
+        w.rename("again")
+        assert w.compile() is cached
+        with pytest.raises(WorkloadError, match="non-empty"):
+            w.rename("")
+
     def test_stale_composite_consequence(self):
         """The functional reason: compile() must recompile after any
         member mutation, and the fresh composite reflects it."""

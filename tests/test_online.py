@@ -1,0 +1,650 @@
+"""The online scheduling runtime: events, scenarios, scheduler, sweep.
+
+The acceptance bar of the runtime PR: a seeded end-to-end scenario of
+≥20 events (including at least one SPE failure) must be deterministic
+per seed, keep every intermediate (post-event) mapping feasible, and
+keep the scheduler's ``DeltaAnalyzer.snapshot()`` bit-identical to a
+fresh ``analyze()`` of the surviving workload in **all** buffer-model
+modes; the experiment sweep must give identical results serially and in
+parallel.
+"""
+
+import math
+
+import pytest
+
+from repro.cli import main_experiment
+from repro.errors import (
+    ExperimentError,
+    GeneratorError,
+    ObjectiveError,
+    OnlineSchedulingError,
+)
+from repro.experiments import online
+from repro.graph import StreamGraph, Task
+from repro.platform import CellPlatform
+from repro.runtime import (
+    AppArrival,
+    AppDeparture,
+    OnlineScheduler,
+    RuntimeReport,
+    ScenarioGenerator,
+    SpeFailure,
+    SpeRecovery,
+    validate_timeline,
+)
+from repro.runtime.scenario import solo_period_bound
+from repro.steady_state import Mapping, analyze
+
+#: The four buffer-model configurations the evaluation engine supports.
+ALL_MODES = (
+    {},
+    {"elide_local_comm": True},
+    {"merge_same_pe_buffers": True},
+    {"elide_local_comm": True, "merge_same_pe_buffers": True},
+)
+MODE_IDS = ("default", "elide", "merge", "elide+merge")
+
+
+def single_task_app(name: str, wppe: float, wspe: float) -> StreamGraph:
+    g = StreamGraph(name)
+    g.add_task(Task("work", wppe=wppe, wspe=wspe))
+    return g
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CellPlatform.qs22()
+
+
+# ---------------------------------------------------------------------- #
+# Events and timeline validation
+
+
+class TestTimeline:
+    def test_validate_accepts_sorted(self, platform):
+        events = ScenarioGenerator(platform, seed=1).generate(10)
+        assert validate_timeline(events) == list(events)
+        assert [e.time for e in events] == sorted(e.time for e in events)
+
+    def test_validate_rejects_unsorted(self):
+        g = single_task_app("a", 10.0, 5.0)
+        events = [
+            AppArrival(time=5.0, name="a", graph=g),
+            AppDeparture(time=1.0, name="a"),
+        ]
+        with pytest.raises(OnlineSchedulingError, match="back in time"):
+            validate_timeline(events)
+
+    def test_validate_rejects_negative_time_and_junk(self):
+        with pytest.raises(OnlineSchedulingError, match="negative time"):
+            validate_timeline([AppDeparture(time=-1.0, name="x")])
+        with pytest.raises(OnlineSchedulingError, match="not a runtime event"):
+            validate_timeline(["not-an-event"])
+
+    def test_scheduler_rejects_time_regression(self, platform):
+        sched = OnlineScheduler(platform)
+        sched.process(AppDeparture(time=10.0, name="ghost"))
+        with pytest.raises(OnlineSchedulingError, match="time order"):
+            sched.process(AppDeparture(time=5.0, name="ghost"))
+
+
+# ---------------------------------------------------------------------- #
+# Scenario generation
+
+
+class TestScenarioGenerator:
+    def test_deterministic_per_seed(self, platform):
+        a = ScenarioGenerator(platform, seed=4, load=2.0).generate(20)
+        b = ScenarioGenerator(platform, seed=4, load=2.0).generate(20)
+        assert len(a) == len(b) == 20
+        for x, y in zip(a, b):
+            assert type(x) is type(y)
+            assert x.time == y.time
+            assert x.subject == y.subject
+        c = ScenarioGenerator(platform, seed=5, load=2.0).generate(20)
+        assert [e.time for e in a] != [e.time for e in c]
+
+    def test_exact_event_count_and_failures(self, platform):
+        for n in (2, 3, 20, 25):
+            events = ScenarioGenerator(platform, seed=0, n_failures=2).generate(n)
+            assert len(events) == n
+        events = ScenarioGenerator(platform, seed=0, n_failures=2).generate(24)
+        failures = [e for e in events if isinstance(e, SpeFailure)]
+        recoveries = [e for e in events if isinstance(e, SpeRecovery)]
+        assert len(failures) == len(recoveries) == 2
+        # Distinct SPEs: overlapping windows can never double-fail one SPE.
+        assert len({e.spe for e in failures}) == 2
+
+    def test_no_failures_without_spes(self):
+        ppe_only = CellPlatform(n_ppe=1, n_spe=0)
+        events = ScenarioGenerator(ppe_only, seed=0, n_failures=3).generate(12)
+        assert not any(isinstance(e, (SpeFailure, SpeRecovery)) for e in events)
+        assert len(events) == 12
+
+    def test_targets_use_slack_over_bound(self, platform):
+        lo, hi = 3.0, 4.0
+        gen = ScenarioGenerator(
+            platform, seed=2, target_probability=1.0, target_slack=(lo, hi)
+        )
+        arrivals = [e for e in gen.generate(16) if isinstance(e, AppArrival)]
+        assert arrivals
+        for arrival in arrivals:
+            bound = solo_period_bound(arrival.graph)
+            assert lo * bound <= arrival.target_period <= hi * bound
+
+    def test_zero_bound_builder_gets_positive_targets(self, platform):
+        """A graph that is free on one PE kind must not produce a
+        target_period of 0 (WorkloadError at arrival); the bound is
+        clamped like objective.reference_periods."""
+        def free_app():
+            g = StreamGraph("free")
+            g.add_task(Task("noop", wppe=1.0, wspe=0.0))
+            return g
+
+        gen = ScenarioGenerator(
+            platform,
+            seed=1,
+            builders={"free": free_app},
+            target_probability=1.0,
+        )
+        events = gen.generate(10)
+        for event in events:
+            if isinstance(event, AppArrival):
+                assert event.target_period > 0
+        report = OnlineScheduler(platform).run(events)
+        assert report.all_feasible
+
+    def test_parameter_validation(self, platform):
+        with pytest.raises(GeneratorError, match="load"):
+            ScenarioGenerator(platform, load=0.0)
+        with pytest.raises(GeneratorError, match="mean_service"):
+            ScenarioGenerator(platform, mean_service=-1.0)
+        with pytest.raises(GeneratorError, match="target_slack"):
+            ScenarioGenerator(platform, target_slack=(2.0, 1.0))
+        with pytest.raises(GeneratorError, match="n_events"):
+            ScenarioGenerator(platform).generate(1)
+
+
+# ---------------------------------------------------------------------- #
+# The end-to-end acceptance bar
+
+
+class TestEndToEndAcceptance:
+    """≥20 events incl. ≥1 SPE failure: deterministic, always feasible,
+    snapshot bit-identical to a fresh analyze() in every buffer mode."""
+
+    @pytest.mark.parametrize("mode", ALL_MODES, ids=MODE_IDS)
+    def test_snapshot_bit_identical_every_event(self, platform, mode):
+        events = ScenarioGenerator(platform, seed=5, load=2.5).generate(22)
+        assert len(events) >= 20
+        assert any(isinstance(e, SpeFailure) for e in events)
+        sched = OnlineScheduler(platform, migration_budget=3, **mode)
+        for event in events:
+            record = sched.process(event)
+            # Every intermediate (post-event) mapping is feasible.
+            assert record.feasible
+            if sched.state is None:
+                continue
+            snap = sched.state.snapshot()
+            composite = sched.workload.compile()
+            full = analyze(
+                Mapping(composite, platform, sched.assignment()), **mode
+            )
+            assert snap.period == full.period
+            assert snap.app_periods == full.app_periods
+            assert snap.loads == full.loads
+            assert snap.buffer_bytes == full.buffer_bytes
+            assert snap.dma_in == full.dma_in
+            assert snap.dma_proxy == full.dma_proxy
+            assert snap.violations == full.violations
+            assert snap.link_loads == full.link_loads
+            assert snap.mapping == full.mapping
+
+    def test_deterministic_per_seed(self, platform):
+        def play(seed):
+            events = ScenarioGenerator(platform, seed=seed, load=2.0).generate(24)
+            return OnlineScheduler(platform, migration_budget=2).run(events)
+
+        assert play(11) == play(11)
+        assert play(11) != play(12)
+
+    def test_delta_matches_reference_path(self, platform):
+        """use_delta=False (full analyze per candidate) must take the
+        exact same decisions on integer-cost graphs."""
+        def play(use_delta):
+            events = ScenarioGenerator(platform, seed=5, load=2.5).generate(20)
+            sched = OnlineScheduler(
+                platform, migration_budget=2, use_delta=use_delta
+            )
+            report = sched.run(events)
+            return report, sched.assignment()
+
+        fast_report, fast_assign = play(True)
+        slow_report, slow_assign = play(False)
+        assert fast_report == slow_report
+        assert fast_assign == slow_assign
+
+    def test_multi_cell_platform(self):
+        """The runtime works unchanged on the dual-Cell platform (BIF
+        link loads included in the bit-identity check)."""
+        platform = CellPlatform.qs22_dual()
+        events = ScenarioGenerator(platform, seed=9, load=3.0).generate(20)
+        sched = OnlineScheduler(platform, migration_budget=2)
+        for event in events:
+            record = sched.process(event)
+            assert record.feasible
+            if sched.state is not None:
+                snap = sched.state.snapshot()
+                full = analyze(sched.state.mapping())
+                assert snap.period == full.period
+                assert snap.link_loads == full.link_loads
+
+    @pytest.mark.parametrize("objective", ("weighted", "max_stretch"))
+    def test_app_aware_objectives(self, platform, objective):
+        events = ScenarioGenerator(platform, seed=3, load=2.0).generate(20)
+        sched = OnlineScheduler(
+            platform, objective=objective, migration_budget=2
+        )
+        report = sched.run(events)
+        assert report.all_feasible
+        assert report.objective == objective
+
+
+# ---------------------------------------------------------------------- #
+# Admission control
+
+
+class TestAdmission:
+    def test_unreachable_target_rejected_cleanly(self, platform):
+        g = single_task_app("greedy", 50.0, 50.0)
+        sched = OnlineScheduler(platform)
+        record = sched.process(
+            AppArrival(time=0.0, name="greedy", graph=g, target_period=10.0)
+        )
+        assert record.accepted is False
+        assert "target-missed:greedy" in record.reason
+        # No trace: workload empty, no state, nothing mapped.
+        assert len(sched.workload) == 0
+        assert sched.state is None
+        assert sched.assignment() == {}
+
+    def test_admission_protects_resident_targets(self):
+        """An arrival that would push the shared period past a resident
+        app's target is rejected even if it has no target itself."""
+        platform = CellPlatform(n_ppe=1, n_spe=0, name="ppe-only")
+        sched = OnlineScheduler(platform)
+        first = sched.process(
+            AppArrival(
+                time=0.0,
+                name="resident",
+                graph=single_task_app("resident", 50.0, 50.0),
+                target_period=60.0,
+            )
+        )
+        assert first.accepted is True
+        second = sched.process(
+            AppArrival(
+                time=1.0,
+                name="intruder",
+                graph=single_task_app("intruder", 30.0, 30.0),
+            )
+        )
+        assert second.accepted is False
+        assert "target-missed:resident" in second.reason
+        assert sched.workload.app_names() == ["resident"]
+
+    def test_duplicate_resident_name_rejected(self, platform):
+        g = single_task_app("dup", 10.0, 5.0)
+        sched = OnlineScheduler(platform)
+        assert sched.process(
+            AppArrival(time=0.0, name="dup", graph=g)
+        ).accepted is True
+        record = sched.process(
+            AppArrival(time=1.0, name="dup", graph=single_task_app("dup2", 8.0, 4.0))
+        )
+        assert record.accepted is False
+        assert record.reason == "duplicate-name"
+        assert len(sched.workload) == 1
+
+    def test_budget_can_rescue_an_arrival(self):
+        """A tight target only reachable by remapping a resident task:
+        budget 0 rejects, budget ≥ 1 admits — the admission side of the
+        period-vs-reconfiguration trade."""
+        platform = CellPlatform(n_ppe=1, n_spe=1, name="tiny")
+
+        def play(budget):
+            sched = OnlineScheduler(platform, migration_budget=budget)
+            # Resident prefers the PPE (cheaper there), then the arrival
+            # needs the PPE to itself: only a resident migration to the
+            # SPE makes the target reachable.
+            sched.process(
+                AppArrival(
+                    time=0.0,
+                    name="resident",
+                    graph=single_task_app("resident", 20.0, 25.0),
+                )
+            )
+            # Without migrations: newcomer on PPE → 50, on SPE → 100,
+            # both past the 35 µs target.  Moving the resident to the
+            # SPE first gives max(25, 30) = 30 ≤ 35.
+            return sched.process(
+                AppArrival(
+                    time=1.0,
+                    name="newcomer",
+                    graph=single_task_app("newcomer", 30.0, 100.0),
+                    target_period=35.0,
+                )
+            )
+
+        rejected = play(0)
+        assert rejected.accepted is False
+        admitted = play(1)
+        assert admitted.accepted is True
+        assert admitted.migrations == 1
+
+
+# ---------------------------------------------------------------------- #
+# Departures and the migration budget
+
+
+class TestDeparture:
+    def test_departure_of_unadmitted_app_is_noop(self, platform):
+        sched = OnlineScheduler(platform)
+        record = sched.process(AppDeparture(time=0.0, name="never-arrived"))
+        assert record.accepted is None
+        assert record.reason == "not-resident"
+        assert sched.state is None
+
+    def test_departure_frees_and_reoptimizes_within_budget(self, platform):
+        events = ScenarioGenerator(platform, seed=7, load=3.0).generate(24)
+        budget = 2
+        sched = OnlineScheduler(platform, migration_budget=budget)
+        report = sched.run(events)
+        for record in report.records:
+            if record.event in ("departure", "recovery", "arrival"):
+                assert record.migrations <= budget
+        # Last departure of each admitted app eventually empties the mix.
+        assert report.records[-1].n_apps == len(sched.workload)
+
+    def test_zero_budget_never_migrates_outside_failures(self, platform):
+        events = ScenarioGenerator(platform, seed=7, load=3.0).generate(24)
+        report = OnlineScheduler(platform, migration_budget=0).run(events)
+        for record in report.records:
+            if record.event != "failure":
+                assert record.migrations == 0
+
+    def test_negative_budget_rejected(self, platform):
+        with pytest.raises(OnlineSchedulingError, match="migration_budget"):
+            OnlineScheduler(platform, migration_budget=-1)
+        with pytest.raises(ObjectiveError, match="unknown objective"):
+            OnlineScheduler(platform, objective="fastest")
+
+
+# ---------------------------------------------------------------------- #
+# SPE failure and recovery
+
+
+class TestFailure:
+    def test_failed_spe_is_fully_evacuated(self, platform):
+        events = ScenarioGenerator(
+            platform, seed=5, load=3.0, n_failures=1
+        ).generate(22)
+        sched = OnlineScheduler(platform, migration_budget=2)
+        saw_failure = False
+        for event in events:
+            sched.process(event)
+            if isinstance(event, SpeFailure):
+                saw_failure = True
+                assert event.spe in sched.failed_spes
+                assert all(
+                    pe != event.spe for pe in sched.assignment().values()
+                )
+            if isinstance(event, SpeRecovery):
+                assert event.spe not in sched.failed_spes
+        assert saw_failure
+
+    def test_failure_drops_lowest_weight_app(self):
+        platform = CellPlatform(n_ppe=1, n_spe=1, name="tiny")
+        sched = OnlineScheduler(platform, migration_budget=2)
+        heavy = sched.process(
+            AppArrival(
+                time=0.0,
+                name="heavy",
+                graph=single_task_app("heavy", 50.0, 50.0),
+                weight=2.0,
+                target_period=60.0,
+            )
+        )
+        light = sched.process(
+            AppArrival(
+                time=1.0,
+                name="light",
+                graph=single_task_app("light", 30.0, 30.0),
+                weight=0.5,
+                target_period=55.0,
+            )
+        )
+        assert heavy.accepted and light.accepted
+        # Both fit: one of them runs on the sole SPE (shared period 50).
+        assert sched.state.period() == 50.0
+        record = sched.process(SpeFailure(time=2.0, spe=1))
+        # PPE-only cannot hold both under their targets: the lightest
+        # goes, the survivor meets its target again.
+        assert record.dropped == ("light",)
+        assert record.feasible
+        assert sched.workload.app_names() == ["heavy"]
+        assert sched.state.period() == 50.0 <= 60.0
+
+    def test_failure_validation(self, platform):
+        sched = OnlineScheduler(platform)
+        with pytest.raises(OnlineSchedulingError, match="not an SPE"):
+            sched.process(SpeFailure(time=0.0, spe=0))  # PE 0 is the PPE
+        with pytest.raises(OnlineSchedulingError, match="not an SPE"):
+            sched.process(SpeFailure(time=0.0, spe=99))
+        sched.process(SpeFailure(time=1.0, spe=3))
+        with pytest.raises(OnlineSchedulingError, match="already failed"):
+            sched.process(SpeFailure(time=2.0, spe=3))
+        with pytest.raises(OnlineSchedulingError, match="not failed"):
+            sched.process(SpeRecovery(time=3.0, spe=4))
+
+    def test_arrival_during_outage_avoids_failed_spe(self, platform):
+        sched = OnlineScheduler(platform, migration_budget=2)
+        for spe in platform.spe_indices:
+            if spe != platform.spe_indices[0]:
+                sched.process(SpeFailure(time=0.0, spe=spe))
+        live_spe = platform.spe_indices[0]
+        record = sched.process(
+            AppArrival(
+                time=1.0,
+                name="app",
+                graph=single_task_app("app", 100.0, 10.0),
+            )
+        )
+        assert record.accepted is True
+        used = set(sched.assignment().values())
+        assert used <= {0, live_spe}
+
+
+# ---------------------------------------------------------------------- #
+# The shared primitives the runtime contributed to the offline layers
+
+
+class TestRuntimePrimitives:
+    def test_delta_tasks_on_mirrors_mapping(self, platform):
+        from repro.errors import MappingError
+        from repro.steady_state import DeltaAnalyzer
+
+        g = StreamGraph("two")
+        g.add_task(Task("a", wppe=10.0, wspe=5.0))
+        g.add_task(Task("b", wppe=10.0, wspe=5.0))
+        state = DeltaAnalyzer(Mapping(g, platform, {"a": 0, "b": 2}))
+        assert state.tasks_on(0) == ["a"]
+        assert state.tasks_on(2) == ["b"]
+        assert state.tasks_on(1) == []
+        state.apply_move("b", 0)
+        assert state.tasks_on(0) == ["a", "b"]
+        with pytest.raises(MappingError, match="invalid PE"):
+            state.tasks_on(platform.n_pes)
+
+    def test_budgeted_descent_respects_budget_and_pes(self, platform):
+        from repro.heuristics import budgeted_descent
+        from repro.steady_state import DeltaAnalyzer
+
+        g = StreamGraph("spread")
+        for i in range(4):
+            g.add_task(Task(f"t{i}", wppe=40.0, wspe=10.0))
+        start = Mapping.all_on_ppe(g, platform)  # period 160 on the PPE
+        state = DeltaAnalyzer(start)
+        moved = budgeted_descent(state, budget=2)
+        assert moved == 2  # improving moves exist beyond the budget
+        assert state.period() < 160.0
+        # Restricted to the PPE only, there is nowhere to go.
+        state2 = DeltaAnalyzer(start)
+        assert budgeted_descent(state2, budget=5, pes=[0]) == 0
+        assert budgeted_descent(state2, budget=0) == 0
+
+    def test_budgeted_descent_period_cap(self, platform):
+        """Under the cap, no move may cross it — even an objective-
+        improving one; above the cap, descent is allowed."""
+        from repro.heuristics import budgeted_descent
+        from repro.steady_state import DeltaAnalyzer
+
+        g = StreamGraph("capped")
+        for i in range(3):
+            g.add_task(Task(f"t{i}", wppe=30.0, wspe=10.0))
+        state = DeltaAnalyzer(Mapping.all_on_ppe(g, platform))  # period 90
+        # Cap far below: only period-reducing moves allowed — descent runs.
+        moved = budgeted_descent(state, budget=10, period_cap=1.0)
+        assert moved > 0
+        assert state.period() < 90.0
+
+
+# ---------------------------------------------------------------------- #
+# Report serialization
+
+
+class TestReport:
+    def test_json_round_trip(self, platform):
+        events = ScenarioGenerator(platform, seed=5, load=2.0).generate(20)
+        report = OnlineScheduler(platform, migration_budget=2).run(events)
+        assert report.n_events == 20
+        clone = RuntimeReport.from_json(report.to_json())
+        assert clone == report
+        assert clone.acceptance_rate == report.acceptance_rate
+        assert clone.mean_period == report.mean_period
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(OnlineSchedulingError, match="malformed"):
+            RuntimeReport.from_json("{not json")
+        with pytest.raises(OnlineSchedulingError, match="malformed"):
+            RuntimeReport.from_json('{"platform": "x"}')
+
+    def test_aggregates(self, platform):
+        report = RuntimeReport(platform="p", objective="period", migration_budget=1)
+        assert report.acceptance_rate == 1.0  # vacuous: nothing arrived
+        assert report.mean_period == 0.0
+        assert report.total_migrations == 0
+        assert report.all_feasible
+
+    def test_table_mentions_outcomes(self, platform):
+        events = ScenarioGenerator(platform, seed=5, load=2.0).generate(16)
+        report = OnlineScheduler(platform).run(events)
+        table = report.table()
+        assert "acceptance" in table
+        assert "mean period" in table
+
+
+# ---------------------------------------------------------------------- #
+# The experiment sweep
+
+
+class TestOnlineExperiment:
+    def test_serial_equals_parallel(self):
+        kwargs = dict(loads=(1.0, 2.0), budgets=(0, 2), n_events=12)
+        serial = online.run(jobs=None, **kwargs)
+        parallel = online.run(jobs=2, **kwargs)
+        assert serial == parallel
+        assert len(serial.points) == 4
+        for point in serial.points:
+            assert point.all_feasible
+            assert 0.0 <= point.acceptance_rate <= 1.0
+            assert math.isfinite(point.mean_period)
+
+    def test_budget_columns_share_the_timeline(self):
+        """Same load, different budgets: identical arrival streams, so
+        arrival counts match across the budget axis."""
+        result = online.run(loads=(2.0,), budgets=(0, 4), n_events=14)
+        by_budget = {p.budget: p for p in result.points}
+        assert by_budget[0].arrivals == by_budget[4].arrivals
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError, match="loads"):
+            online.run(loads=())
+        with pytest.raises(ExperimentError, match="loads"):
+            online.run(loads=(0.0,))
+        with pytest.raises(ExperimentError, match="budgets"):
+            online.run(budgets=(-1,))
+        with pytest.raises(ExperimentError, match="n_events"):
+            online.run(n_events=1)
+        with pytest.raises(ExperimentError, match="unknown objective"):
+            online.run(objective="throughput")
+
+    def test_main_surfaces_invalid_explicit_values(self):
+        """main() must not silently swap explicit-but-invalid values
+        (0 events, empty lists) for the defaults."""
+        with pytest.raises(ExperimentError, match="n_events"):
+            online.main(loads=(1.0,), budgets=(0,), n_events=0)
+        with pytest.raises(ExperimentError, match="loads"):
+            online.main(loads=())
+
+    def test_table_lists_points(self):
+        result = online.run(loads=(1.5,), budgets=(1,), n_events=8)
+        table = result.table()
+        assert "1.50" in table
+        assert "migration budget" in table or "migrations" in table
+
+
+class TestCli:
+    def test_online_subcommand(self, capsys):
+        rc = main_experiment(
+            ["online", "--events", "10", "--loads", "1.5",
+             "--budgets", "0,2", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "acceptance" in out.lower() or "rate" in out
+
+    def test_online_rejects_bad_loads(self, capsys):
+        rc = main_experiment(["online", "--loads", "fast"])
+        assert rc == 1
+        assert "--loads" in capsys.readouterr().err
+        rc = main_experiment(["online", "--loads", "0"])
+        assert rc == 1
+        assert "positive" in capsys.readouterr().err
+
+    def test_online_rejects_bad_budgets_and_events(self, capsys):
+        rc = main_experiment(["online", "--budgets", "-2"])
+        assert rc == 1
+        assert "--budgets" in capsys.readouterr().err
+        rc = main_experiment(["online", "--events", "1"])
+        assert rc == 1
+        assert "--events" in capsys.readouterr().err
+
+    def test_online_flags_noted_elsewhere(self, capsys):
+        rc = main_experiment(
+            ["fig7", "--loads", "1", "--budgets", "2", "--strategies", "warp"]
+        )
+        err = capsys.readouterr().err
+        assert rc == 1  # unknown strategy still aborts
+        assert "--loads only applies to online" in err
+        assert "--budgets only applies to online" in err
+
+    def test_online_objective_accepted(self, capsys):
+        rc = main_experiment(
+            ["online", "--events", "8", "--loads", "1",
+             "--budgets", "0", "--objective", "weighted"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "weighted" in out

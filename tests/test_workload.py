@@ -377,6 +377,41 @@ class TestObjectives:
         with pytest.raises(ObjectiveError, match="not a workload composite"):
             reference_periods(audio_encoder())
 
+    def test_reference_periods_mixed_targets(self):
+        """Apps with and without targets coexist: declared targets are
+        honoured verbatim, the rest fall back to the graph-derived lower
+        bound — the exact split admission control decides on."""
+        w = Workload("mixed")
+        w.add_app("qos", audio_encoder(), target_period=1234.5)
+        w.add_app("besteffort", video_pipeline())  # no target
+        w.add_app("tight", crypto_pipeline(), target_period=1.0)
+        refs = reference_periods(w.compile())
+        assert set(refs) == {"qos", "besteffort", "tight"}
+        assert refs["qos"] == 1234.5
+        assert refs["tight"] == 1.0  # even tighter than the lower bound
+        video = video_pipeline()
+        assert refs["besteffort"] == max(
+            min(t.wppe, t.wspe) for t in video.tasks()
+        )
+        assert all(ref > 0 for ref in refs.values())
+
+    def test_reference_periods_degenerate_bound_clamped(self):
+        """A zero-cost best-effort app still gets a positive (finite-
+        stretch) reference."""
+        g = StreamGraph("free")
+        # min(wppe, wspe) == 0: the naive lower bound degenerates to zero.
+        g.add_task(Task("noop", wppe=1.0, wspe=0.0))
+        w = Workload("clamp")
+        w.add_app("free", g)
+        w.add_app("paid", audio_encoder(), target_period=500.0)
+        refs = reference_periods(w.compile())
+        assert refs["free"] > 0  # clamped away from zero
+        assert refs["paid"] == 500.0
+        # The max_stretch objective stays finite with the clamped ref.
+        obj = make_objective("max_stretch", w.compile())
+        value = obj.value(0.0, {"free": 0.0, "paid": 250.0})
+        assert value == pytest.approx(0.5)
+
 
 # ---------------------------------------------------------------------- #
 # Objective-aware heuristics on composites
