@@ -14,10 +14,12 @@ performance regression would hurt most:
 * a small end-to-end ``genetic_algorithm`` run (clone + bulk crossover).
 
 Refreshing the baseline: run
-``PYTHONPATH=src python -m pytest benchmarks/bench_delta.py -q
+``PYTHONPATH=src python -m pytest benchmarks/bench_delta.py
+benchmarks/bench_kernel.py -q
 --benchmark-json=benchmarks/BENCH_baseline.json`` on the reference
-machine (or download the ``benchmark-results`` artifact of a green CI
-run) and commit the file.
+machine — the committed baseline carries both files' timings, and the CI
+gate compares both in one run (or download the ``benchmark-results``
+artifact of a green CI run) and commit the file.
 """
 
 import random

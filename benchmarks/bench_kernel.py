@@ -1,0 +1,156 @@
+"""Compiled-kernel benchmarks: batched neighbourhood scoring vs per-candidate.
+
+The compiled-kernel PR rewired ``DeltaAnalyzer`` onto integer-indexed
+graph arrays (:mod:`repro.steady_state.compiled`) and added the batched
+``score_moves`` / ``evaluate_moves`` / ``best_move`` API that every
+neighbourhood scan (local search, tabu rounds, GA mutation, the online
+runtime's admission and budgeted descent) now uses.  These benches pin
+the two claims down on the paper's 50-task benchmark graph:
+
+* the pytest-benchmark timings feed the CI ``benchmark-smoke``
+  regression gate (compared against ``benchmarks/BENCH_baseline.json``
+  with ``--benchmark-compare-fail=mean:25%``, exactly like
+  ``bench_delta.py``);
+* ``test_batched_speedup_guard`` **fails** if scoring the full move
+  neighbourhood through ``score_moves`` is less than 3× faster than the
+  equivalent per-candidate ``score_move`` loop — the acceptance bar of
+  the compiled-kernel PR (the measured ratio has headroom above it; see
+  ``benchmarks/profile_delta.py`` to see where the time goes).
+
+Run explicitly (benchmarks are not collected by the default test run)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernel.py -q
+
+Refreshing the baseline: rerun together with the delta benches on the
+reference machine, ``PYTHONPATH=src python -m pytest
+benchmarks/bench_delta.py benchmarks/bench_kernel.py -q
+--benchmark-json=benchmarks/BENCH_baseline.json``, and commit the file
+(or download the ``benchmark-results`` artifact of a green CI run).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.generator import random_graph_1
+from repro.heuristics import greedy_cpu
+from repro.platform import CellPlatform
+from repro.steady_state import DeltaAnalyzer, make_objective
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph_1()
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CellPlatform.qs22()
+
+
+@pytest.fixture(scope="module")
+def mapping(graph, platform):
+    return greedy_cpu(graph, platform)
+
+
+def _batched_sweep(state, names):
+    """Full move neighbourhood through the batched kernel."""
+    total = 0.0
+    for name in names:
+        for score in state.score_moves(name):
+            total += score.period
+    return total
+
+
+def _scalar_sweep(state, names, n_pes):
+    """The same neighbourhood, one ``score_move`` delta per candidate."""
+    total = 0.0
+    for name in names:
+        for pe in range(n_pes):
+            total += state.score_move(name, pe).period
+    return total
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_score_moves_full_neighbourhood(benchmark, graph, platform, mapping):
+    """Batched sweep: one shared precomputation per task, O(1) per PE."""
+    state = DeltaAnalyzer(mapping)
+    names = graph.task_names()
+    assert benchmark(_batched_sweep, state, names) > 0
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_score_move_per_candidate(benchmark, graph, platform, mapping):
+    """Reference loop: a fresh single-candidate scoring per (task, PE)."""
+    state = DeltaAnalyzer(mapping)
+    names = graph.task_names()
+    assert benchmark(_scalar_sweep, state, names, platform.n_pes) > 0
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_best_move_scan(benchmark, graph, platform, mapping):
+    """One ``best_move`` pass — the budgeted-descent/admission primitive."""
+    state = DeltaAnalyzer(mapping)
+    obj = make_objective("period", graph)
+
+    def scan():
+        return state.best_move(objective=obj)
+
+    benchmark(scan)
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_evaluate_moves_objective(benchmark, graph, platform, mapping):
+    """Objective-threaded batched sweep (the metaheuristics' inner loop)."""
+    state = DeltaAnalyzer(mapping)
+    names = graph.task_names()
+    obj = make_objective("period", graph)
+
+    def sweep():
+        total = 0.0
+        for name in names:
+            for score in state.evaluate_moves(name, objective=obj):
+                total += score.value
+        return total
+
+    assert benchmark(sweep) > 0
+
+
+def test_batched_speedup_guard(graph, platform, mapping):
+    """`score_moves` must sweep the full neighbourhood ≥3× faster than a
+    per-candidate `score_move` loop — the compiled-kernel acceptance bar.
+
+    Also cross-checks that the two paths agree verdict for verdict, so
+    the speed-up is not bought with a different answer.
+    """
+    state = DeltaAnalyzer(mapping)
+    names = graph.task_names()
+    n_pes = platform.n_pes
+
+    for name in names:
+        batched = state.score_moves(name)
+        for pe in range(n_pes):
+            assert batched[pe] == state.score_move(name, pe)
+
+    def time_best_of(fn, repeats=10):
+        fn()  # warm caches outside the timed region
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    scalar_time = time_best_of(lambda: _scalar_sweep(state, names, n_pes))
+    batched_time = time_best_of(lambda: _batched_sweep(state, names))
+    if os.environ.get("REPRO_BENCH_NO_TIMING_ASSERT"):
+        return  # noisy shared runners: correctness above still verified
+    speedup = scalar_time / batched_time
+    assert speedup >= 3.0, (
+        f"batched neighbourhood scoring is only {speedup:.1f}x faster "
+        f"than the per-candidate loop ({batched_time * 1e3:.2f} ms vs "
+        f"{scalar_time * 1e3:.2f} ms for {len(names) * n_pes} candidates) "
+        "on the 50-task benchmark graph; the compiled-kernel contract is "
+        "broken"
+    )

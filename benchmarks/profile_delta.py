@@ -1,0 +1,112 @@
+"""cProfile helper for the delta-engine hot paths.
+
+Answers "where does neighbourhood-search time actually go?" without
+setting up a benchmark run — profile one of the three canonical
+workloads on the paper's 50-task benchmark graph and print the top
+functions by cumulative time:
+
+``batched``
+    Full move-neighbourhood sweeps through ``score_moves`` (the
+    compiled-kernel hot path every search heuristic uses).
+``scalar``
+    The same sweeps through per-candidate ``score_move`` calls — the
+    pre-batching access pattern, kept as the comparison basis of
+    ``bench_kernel.py``'s ≥3× guard.
+``apply``
+    An apply-heavy random walk (the simulated-annealing profile),
+    including the mapping-dependent buffer models.
+
+Usage (see the README "Performance architecture" section)::
+
+    PYTHONPATH=src python benchmarks/profile_delta.py
+    PYTHONPATH=src python benchmarks/profile_delta.py --mode scalar --rounds 50
+    PYTHONPATH=src python benchmarks/profile_delta.py --mode apply --sort tottime
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import random
+
+from repro.generator import random_graph_1
+from repro.heuristics import greedy_cpu
+from repro.platform import CellPlatform
+from repro.steady_state import DeltaAnalyzer
+
+
+def _state(apply_modes: bool = False) -> DeltaAnalyzer:
+    graph = random_graph_1()
+    platform = CellPlatform.qs22()
+    mapping = greedy_cpu(graph, platform)
+    if apply_modes:
+        return DeltaAnalyzer(
+            mapping, elide_local_comm=True, merge_same_pe_buffers=True
+        )
+    return DeltaAnalyzer(mapping)
+
+
+def run_batched(rounds: int) -> float:
+    state = _state()
+    names = state.graph.task_names()
+    total = 0.0
+    for _ in range(rounds):
+        for name in names:
+            for score in state.score_moves(name):
+                total += score.period
+    return total
+
+
+def run_scalar(rounds: int) -> float:
+    state = _state()
+    names = state.graph.task_names()
+    n_pes = state.platform.n_pes
+    total = 0.0
+    for _ in range(rounds):
+        for name in names:
+            for pe in range(n_pes):
+                total += state.score_move(name, pe).period
+    return total
+
+
+def run_apply(rounds: int) -> float:
+    state = _state(apply_modes=True)
+    names = state.graph.task_names()
+    n_pes = state.platform.n_pes
+    rng = random.Random(0)
+    for _ in range(rounds * 100):
+        state.apply_move(names[rng.randrange(len(names))], rng.randrange(n_pes))
+    return state.period()
+
+
+MODES = {"batched": run_batched, "scalar": run_scalar, "apply": run_apply}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mode", choices=sorted(MODES), default="batched")
+    parser.add_argument(
+        "--rounds", type=int, default=20,
+        help="full-neighbourhood sweeps (or ×100 applies) to profile",
+    )
+    parser.add_argument(
+        "--sort", default="cumulative",
+        help="pstats sort key (cumulative, tottime, ncalls, ...)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=25, help="rows of the stats table"
+    )
+    args = parser.parse_args(argv)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    MODES[args.mode](args.rounds)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError
+from .parallel import sweep_common
 from ..graph.stream_graph import StreamGraph
 from ..heuristics import (
     critical_path_mapping,
@@ -33,6 +34,7 @@ __all__ = [
     "PAPER_STRATEGIES",
     "SEEDED_STRATEGIES",
     "OBJECTIVE_STRATEGIES",
+    "SweepRef",
     "validate_strategies",
     "build_mapping",
     "measure_throughput",
@@ -176,10 +178,40 @@ def measured_speedup(
 # result is independent of worker count and scheduling order.  The
 # optional per-point seed (see `parallel.point_seed`) parameterises the
 # randomized strategies.
+#
+# Heavy spec fields (graphs, platforms, sim configs) may be passed as
+# `SweepRef` keys into the sweep's `common` mapping instead of inline
+# objects: `run_sweep` ships the mapping once per worker through the pool
+# initializer, so a 50-task graph reused by 30 points is pickled once,
+# not 30 times.  `_resolve` makes both forms equivalent, so serial and
+# parallel sweeps — with or without a context — return identical results.
+
+
+@dataclass(frozen=True)
+class SweepRef:
+    """A reference to an entry of the sweep's shared ``common`` mapping."""
+
+    key: str
+
+
+def _resolve(value):
+    """``value`` itself, or the shared object a :class:`SweepRef` names."""
+    if not isinstance(value, SweepRef):
+        return value
+    common = sweep_common()
+    if common is None or value.key not in common:
+        raise ExperimentError(
+            f"sweep spec references common key {value.key!r} but the "
+            "sweep context does not provide it; pass `common=` to "
+            "run_sweep"
+        )
+    return common[value.key]
 
 
 def _spec_mapping(spec) -> Mapping:
-    graph, platform, strategy, _n_instances, _config = spec[:5]
+    graph, platform, strategy = (
+        _resolve(spec[0]), _resolve(spec[1]), spec[2],
+    )
     seed = spec[5] if len(spec) > 5 else None
     if strategy == "ppe":
         return Mapping.all_on_ppe(graph, platform)
@@ -188,7 +220,7 @@ def _spec_mapping(spec) -> Mapping:
 
 def rate_of_point(spec) -> float:
     """Measured steady-state rate of one sweep point (``"ppe"`` = baseline)."""
-    _graph, _platform, _strategy, n_instances, config = spec[:5]
+    n_instances, config = spec[3], _resolve(spec[4])
     mapping = _spec_mapping(spec)
     return measure_throughput(mapping, n_instances, config).steady_state_throughput()
 
@@ -199,7 +231,8 @@ def speedup_of_point(spec) -> Tuple[float, int]:
     Returns ``(speedup, n_tasks_on_spes)``; used where the baseline is
     per-point (e.g. Fig. 8, where memory I/O scales with the CCR).
     """
-    graph, platform, _strategy, n_instances, config = spec[:5]
+    graph, platform = _resolve(spec[0]), _resolve(spec[1])
+    n_instances, config = spec[3], _resolve(spec[4])
     baseline = measure_throughput(
         Mapping.all_on_ppe(graph, platform), n_instances, config
     )

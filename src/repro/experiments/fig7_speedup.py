@@ -19,6 +19,7 @@ from ..simulator import SimConfig
 from .common import (
     PAPER_STRATEGIES,
     MeasuredPoint,
+    SweepRef,
     ascii_plot,
     rate_of_point,
     validate_strategies,
@@ -73,18 +74,27 @@ def run_one(
     strategies = validate_strategies(strategies)  # fail fast, not in a worker
     config = config or SimConfig.realistic()
     base_platform = base_platform or CellPlatform.qs22()
+    # The graph and sim config are shared by every point of the sweep:
+    # ship them once per worker through the sweep context instead of
+    # re-pickling them into all |spe_counts| × |strategies| specs.
+    common = {"graph": graph, "config": config}
+    graph_ref, config_ref = SweepRef("graph"), SweepRef("config")
     # The reference: everything on the PPE, measured once (§6.4: "the
     # achieved throughput normalised to the throughput when using only the
     # PPE") — the first spec of the sweep.
-    specs = [(graph, base_platform.with_spes(0), "ppe", n_instances, config)]
+    specs = [
+        (graph_ref, base_platform.with_spes(0), "ppe", n_instances, config_ref)
+    ]
     keys: List[Tuple[int, str]] = []
     for n_spe in spe_counts:
         platform = base_platform.with_spes(n_spe)
         for strategy in strategies:
             seed = point_seed("fig7", graph.name, n_spe, strategy)
-            specs.append((graph, platform, strategy, n_instances, config, seed))
+            specs.append(
+                (graph_ref, platform, strategy, n_instances, config_ref, seed)
+            )
             keys.append((n_spe, strategy))
-    rates = run_sweep(rate_of_point, specs, jobs=jobs)
+    rates = run_sweep(rate_of_point, specs, jobs=jobs, common=common)
     base_rate = rates[0]
 
     points = [

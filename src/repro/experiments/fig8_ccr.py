@@ -19,6 +19,7 @@ from ..platform.cell import CellPlatform
 from ..simulator import SimConfig
 from .common import (
     MeasuredPoint,
+    SweepRef,
     ascii_plot,
     speedup_of_point,
     validate_strategies,
@@ -77,15 +78,27 @@ def run(
     # Baseline: PPE-only throughput per variant.  Compute costs are
     # CCR-invariant, but memory I/O scales, so the baseline is measured
     # per point for fairness (inside the sweep worker).
+    # The platform and sim config are shared by every point: ship them
+    # once per worker through the sweep context.  The CCR graph variants
+    # are *per point* (each used by exactly one spec), so they stay
+    # inline — putting them in `common` would ship the whole variant set
+    # to every worker instead of each variant to one.
+    common = {"platform": platform, "config": config}
+    platform_ref, config_ref = SweepRef("platform"), SweepRef("config")
     specs = []
     keys: List[Tuple[int, float]] = []
     for graph_id in graph_ids:
         variants = ccr_variants(graph_id)
         for ccr in ccrs:
             seed = point_seed("fig8", graph_id, ccr, strategy)
-            specs.append((variants[ccr], platform, strategy, n_instances, config, seed))
+            specs.append(
+                (
+                    variants[ccr], platform_ref, strategy,
+                    n_instances, config_ref, seed,
+                )
+            )
             keys.append((graph_id, ccr))
-    results = run_sweep(speedup_of_point, specs, jobs=jobs)
+    results = run_sweep(speedup_of_point, specs, jobs=jobs, common=common)
     points = [
         MeasuredPoint(
             series=f"random graph {graph_id}",

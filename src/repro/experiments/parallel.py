@@ -14,22 +14,58 @@ the fan-out safe:
   :mod:`repro.experiments.common`, so they pickle by reference under both
   fork and spawn start methods.
 
+Shared sweep context
+--------------------
+
+Specs used to carry their graph/platform objects inline, so every point
+re-pickled them into its worker.  ``run_sweep`` now accepts a ``common``
+mapping shipped **once per worker** through the pool initializer; specs
+reference entries by key (see ``experiments.common.SweepRef``) and
+workers resolve them via :func:`sweep_common`.  The serial path installs
+the same context in-process, so serial and parallel sweeps run the
+identical code and return identical results.
+
 ``jobs`` semantics (shared by the ``fig*`` drivers and the CLI ``--jobs``
 flag): ``None``/``0``/``1`` run serially in-process, ``n > 1`` uses up to
 ``n`` worker processes, and any negative value means "all CPU cores".
+``Pool.map`` is always given an explicit ``chunksize`` — by default the
+same ~4-chunks-per-worker split ``Pool.map`` would pick on its own, made
+explicit here so callers can see it and override it per sweep.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 import zlib
-from typing import Callable, Iterable, List, Optional, TypeVar
+from typing import Any, Callable, Dict, Iterable, List, Optional, TypeVar
 
-__all__ = ["effective_jobs", "point_seed", "run_sweep"]
+__all__ = [
+    "effective_jobs",
+    "point_seed",
+    "run_sweep",
+    "sweep_common",
+]
 
 S = TypeVar("S")
 R = TypeVar("R")
+
+#: The per-process shared sweep context (``None`` outside a sweep).  In
+#: worker processes it is installed by the pool initializer before any
+#: spec arrives; the serial path installs/restores it around the loop.
+_COMMON: Optional[Dict[str, Any]] = None
+
+
+def _init_worker(common: Optional[Dict[str, Any]]) -> None:
+    """Pool initializer: install the shared context once per worker."""
+    global _COMMON
+    _COMMON = common
+
+
+def sweep_common() -> Optional[Dict[str, Any]]:
+    """The shared context of the sweep driving this process, if any."""
+    return _COMMON
 
 
 def effective_jobs(jobs: Optional[int], n_specs: int) -> int:
@@ -55,16 +91,40 @@ def run_sweep(
     worker: Callable[[S], R],
     specs: Iterable[S],
     jobs: Optional[int] = None,
+    common: Optional[Dict[str, Any]] = None,
+    chunksize: Optional[int] = None,
 ) -> List[R]:
     """Evaluate ``worker`` over ``specs``, optionally across processes.
 
     Results come back in spec order regardless of ``jobs``, and the serial
     path (``jobs in (None, 0, 1)``, a single spec, or a nested call from
     inside a pool worker) avoids process start-up entirely.
+
+    ``common`` is a dict of shared objects (graphs, platforms, configs)
+    pickled **once per worker** via the pool initializer instead of once
+    per spec; specs reference entries through
+    :class:`repro.experiments.common.SweepRef` and workers read them back
+    with :func:`sweep_common`.  ``chunksize`` overrides the default
+    handed to ``Pool.map`` (the usual ~4-chunks-per-worker split,
+    computed explicitly here so it is visible and overridable).
     """
     specs = list(specs)
     n_workers = effective_jobs(jobs, len(specs))
     if n_workers <= 1 or multiprocessing.current_process().daemon:
-        return [worker(spec) for spec in specs]
-    with multiprocessing.get_context().Pool(processes=n_workers) as pool:
-        return pool.map(worker, specs)
+        if common is None:
+            return [worker(spec) for spec in specs]
+        global _COMMON
+        previous = _COMMON
+        _init_worker(common)
+        try:
+            return [worker(spec) for spec in specs]
+        finally:
+            _init_worker(previous)
+    if chunksize is None:
+        chunksize = max(1, math.ceil(len(specs) / (4 * n_workers)))
+    with multiprocessing.get_context().Pool(
+        processes=n_workers,
+        initializer=_init_worker,
+        initargs=(common,),
+    ) as pool:
+        return pool.map(worker, specs, chunksize=chunksize)

@@ -13,6 +13,14 @@ approach the optimal throughput"; these are our take on that future work:
 * :func:`simulated_annealing` / :func:`tabu_search` — metaheuristics that
   only become tractable with delta evaluation: thousands of candidate
   moves per run, each scored in O(deg);
+
+All full-neighbourhood scans (``local_search`` moves, every
+``tabu_search`` round, GA mutation, :func:`budgeted_descent`) go through
+the delta engine's **batched** ``evaluate_moves`` / ``best_move`` API:
+one shared O(deg + n_pes) precomputation per task, O(1) per target PE —
+not a fresh delta per candidate.  ``simulated_annealing`` proposes one
+random candidate at a time, so its ``evaluate_move`` calls hit the same
+compiled kernel with a single-target sweep.
 * :func:`genetic_algorithm` — population search over feasible mappings:
   PE-assignment crossover and delta-scored mutation on *cloned*
   :class:`DeltaAnalyzer` states, so offspring are evaluated incrementally
@@ -235,10 +243,13 @@ def local_search(
         best_value = current_value
         for name in names:
             origin = state.pe_of(name)
+            # One batched sweep per task: shared precomputation across
+            # all target PEs instead of a delta per candidate.
+            scores = state.evaluate_moves(name, objective=obj)
             for pe in range(n_pes):
                 if pe == origin:
                     continue
-                score = state.evaluate_move(name, pe, obj)
+                score = scores[pe]
                 if score.feasible and score.value < best_value:
                     best, best_value = ("move", name, pe), score.value
         if try_swaps:
@@ -358,25 +369,16 @@ def budgeted_descent(
         pes = list(range(state.platform.n_pes))
     moves = 0
     while moves < budget:
-        current = state.evaluate(objective)
-        best: Optional[Tuple[str, int]] = None
-        best_key = (current.value, current.period)
-        for name in names:
-            origin = state.pe_of(name)
-            for pe in pes:
-                if pe == origin:
-                    continue
-                score = state.evaluate_move(name, pe, objective)
-                if not score.feasible:
-                    continue
-                if score.period > period_cap and score.period >= current.period:
-                    continue
-                key = (score.value, score.period)
-                if key < best_key:
-                    best, best_key = (name, pe), key
-        if best is None:
+        # One batched neighbourhood scan per migration: `best_move`
+        # shares the per-task precomputation across all target PEs and
+        # applies the exact historical candidate ranking (strict
+        # (value, period) improvement, earliest tie wins).
+        found = state.best_move(
+            names, pes, objective, period_cap=period_cap
+        )
+        if found is None:
             break
-        state.apply_move(best[0], best[1])
+        state.apply_move(found[0], found[1])
         moves += 1
     return moves
 
@@ -549,10 +551,11 @@ def tabu_search(
         for name in scan:
             origin = state.pe_of(name)
             is_tabu = tabu_until.get(name, 0) > rnd
+            scores = state.evaluate_moves(name, objective=obj)  # batched
             for pe in range(n_pes):
                 if pe == origin:
                     continue
-                score = state.evaluate_move(name, pe, obj)
+                score = scores[pe]
                 if not score.feasible:
                     continue
                 if is_tabu and score.value >= best_value:
@@ -664,11 +667,12 @@ def genetic_algorithm(
         for _ in range(n_moves):
             name = names[rng.randrange(len(names))]
             origin = state.pe_of(name)
+            verdicts = state.evaluate_moves(name, objective=obj)  # batched
             feasible: List[Tuple[int, float]] = []
             for pe in range(n_pes):
                 if pe == origin:
                     continue
-                verdict = state.evaluate_move(name, pe, obj)
+                verdict = verdicts[pe]
                 if verdict.feasible:
                     feasible.append((pe, verdict.value))
             if not feasible:

@@ -162,6 +162,52 @@ class _ReferenceState:
         candidate[task] = pe
         return _score_analysis(self._analyze(candidate), objective)
 
+    def evaluate_moves(
+        self,
+        task: str,
+        pes: Optional[Sequence[int]] = None,
+        objective=None,
+    ) -> List[ObjectiveScore]:
+        """Reference mirror of the delta engine's batched sweep.
+
+        One full ``analyze()`` per candidate — no shared precomputation
+        to exploit here, but the surface matches so the scheduler and
+        ``budgeted_descent`` run unchanged on either engine.
+        """
+        if pes is None:
+            pes = range(self.platform.n_pes)
+        return [self.evaluate_move(task, pe, objective) for pe in pes]
+
+    def best_move(
+        self,
+        tasks: Optional[Sequence[str]] = None,
+        pes: Optional[Sequence[int]] = None,
+        objective=None,
+        period_cap: float = math.inf,
+    ) -> Optional[Tuple[str, int, ObjectiveScore]]:
+        """Reference mirror of :meth:`DeltaAnalyzer.best_move`."""
+        current = self.evaluate(objective)
+        if tasks is None:
+            tasks = self.graph.task_names()
+        if pes is None:
+            pes = range(self.platform.n_pes)
+        best: Optional[Tuple[str, int, ObjectiveScore]] = None
+        best_key = (current.value, current.period)
+        for name in tasks:
+            origin = self.pe_of(name)
+            for pe in pes:
+                if pe == origin:
+                    continue
+                score = self.evaluate_move(name, pe, objective)
+                if not score.feasible:
+                    continue
+                if score.period > period_cap and score.period >= current.period:
+                    continue
+                key = (score.value, score.period)
+                if key < best_key:
+                    best, best_key = (name, pe, score), key
+        return best
+
     def apply_move(self, task: str, pe: int) -> None:
         self.pe_of(task)  # raises on unknown tasks, like the delta engine
         self._assign[task] = pe
@@ -352,21 +398,22 @@ class OnlineScheduler:
     def _insert_tasks(self, state: _State, tasks: Sequence[str], obj) -> None:
         """Greedy delta-scored placement of ``tasks``, one at a time.
 
-        Each task moves from its current PE to the live PE minimising
-        ``(objective value, period)`` over the feasible candidates —
-        O(n_live × deg(task)) per task, staying put on ties.
+        Each task's live-PE candidates are scored by one batched
+        ``evaluate_moves`` sweep (shared precomputation on the delta
+        engine, O(deg + n_live) per task instead of a delta per
+        candidate); the task moves to the live PE minimising
+        ``(objective value, period)`` over the feasible candidates,
+        staying put on ties.
         """
         live = self._live_pes()
         for name in tasks:
             origin = state.pe_of(name)
             current = state.evaluate(obj)
+            scores = state.evaluate_moves(name, live, obj)
             best_pe: Optional[int] = None
             best_key = (current.value, current.period)
-            for pe in live:
-                if pe == origin:
-                    continue
-                score = state.evaluate_move(name, pe, obj)
-                if not score.feasible:
+            for pe, score in zip(live, scores):
+                if pe == origin or not score.feasible:
                     continue
                 key = (score.value, score.period)
                 if key < best_key:
@@ -542,6 +589,9 @@ class OnlineScheduler:
         migrations = 0
         dropped: List[str] = []
         if state is not None:
+            # The evacuation list comes from the engine's per-PE
+            # membership sets — O(tasks on the dead SPE), not an O(V)
+            # scan over the whole composite.
             evacuees = state.tasks_on(spe)
             if evacuees:
                 # Bulk move to the PPE haven: always hard-feasible, and

@@ -6,13 +6,19 @@
 * :func:`analyze` / :func:`throughput` / :func:`speedup` — analytic period,
   feasibility and throughput of a mapping;
 * :class:`DeltaAnalyzer` — incremental O(deg) re-evaluation of moves/swaps
-  (the engine behind the neighbourhood-search heuristics);
+  (the engine behind the neighbourhood-search heuristics), with batched
+  ``score_moves`` / ``evaluate_moves`` / ``best_move`` neighbourhood
+  scoring;
+* :class:`CompiledGraph` / :func:`compile_graph` — the memoized
+  integer-indexed graph arrays (CSR adjacency, flat cost tables) the
+  delta engine runs on;
 * :mod:`~repro.steady_state.objective` — pluggable scheduling objectives
   (shared period, weighted per-app periods, max stretch) for
   multi-application workloads;
 * :class:`PeriodicSchedule` — the explicit periodic schedule (Fig. 3).
 """
 
+from .compiled import CompiledGraph, compile_graph
 from .delta import DeltaAnalyzer, MoveScore, ObjectiveScore
 from .mapping import Mapping
 from .objective import OBJECTIVES, make_objective
@@ -40,6 +46,8 @@ from .throughput import (
 )
 
 __all__ = [
+    "CompiledGraph",
+    "compile_graph",
     "DeltaAnalyzer",
     "MoveScore",
     "ObjectiveScore",

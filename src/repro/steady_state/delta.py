@@ -8,6 +8,14 @@ O(deg(task) + n_pes), which is what lets ``local_search`` and the
 metaheuristics (`simulated_annealing`, `tabu_search`,
 `genetic_algorithm`) scale past toy graph sizes.
 
+Since the compiled-kernel refactor the analyzer keeps **no string-keyed
+state on the hot path**: construction compiles the graph once (memoized
+per :attr:`StreamGraph.version`, see
+:mod:`repro.steady_state.compiled`) into integer task ids, CSR
+adjacency and flat cost tables, and all bookkeeping below is indexed by
+``tid``/``pe``/``eid`` integers.  The public API stays string-keyed —
+names are translated at the boundary only.
+
 Each cached quantity corresponds to one family of constraints of the
 paper's program (1):
 
@@ -35,6 +43,23 @@ order as ``analyze`` so the two agree bit-for-bit (for graphs whose costs
 and payloads are integer-valued floats the incremental updates are exact;
 otherwise agreement is within one ulp per update — call :meth:`resync`
 to squash any accumulated drift with one O(V+E) rebuild).
+
+Batched neighbourhood scoring
+-----------------------------
+
+Search heuristics score *every* target PE for a task before picking one,
+so the per-candidate ``score_move`` loop repeats the same O(deg)
+neighbour walk ``n_pes`` times.  :meth:`score_moves` /
+:meth:`evaluate_moves` score the whole target set in **one pass**: the
+task's incident edges are aggregated by neighbour PE once (O(deg)), the
+two highest cached peaks outside the origin are found once (O(n_pes)),
+and each candidate then costs O(1) arithmetic — no dictionaries, no
+re-walk.  :meth:`best_move` applies the same kernel across a whole
+move neighbourhood (the ``budgeted_descent`` / online-admission
+primitive).  Under the mapping-dependent buffer models (below) a move's
+cost is inherently target-dependent (the ``firstPeriod`` cone shifts),
+so the batched entry points transparently fall back to the per-candidate
+delta path — same results, still integer-indexed.
 
 Mapping-dependent buffer modes
 ------------------------------
@@ -81,17 +106,23 @@ contract.  The ``evaluate_move`` / ``evaluate_swap`` /
 (:mod:`repro.steady_state.objective`) over the same deltas: candidate
 per-app periods are derived from cached per-(app, PE) peaks in
 O(n_apps × n_pes), so ``weighted`` / ``max_stretch`` search stays
-incremental.  Plain single-application graphs skip all of this.
+incremental (and batched: a move only perturbs its own application's
+sums, so :meth:`evaluate_moves` re-derives one application's period per
+candidate and reuses the cached periods of the rest).  Plain
+single-application graphs skip all of this.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, NamedTuple, Optional, Set, Tuple
+import math
+from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from ..errors import MappingError
+from .compiled import CompiledGraph, compile_graph
 from .mapping import Mapping
-from .periods import buffer_requirements, buffer_sizes, first_periods
+from .periods import buffer_sizes, first_periods
+from .periods import buffer_requirements as _buffer_requirements
 from .throughput import (
     LinkLoad,
     PeriodAnalysis,
@@ -127,29 +158,30 @@ class ObjectiveScore(NamedTuple):
 
 
 #: Updates to the mapping-dependent buffer model for a set of moves:
-#: (fp_new, esize_new, need_new) — only the entries that change.
+#: (fp_new by tid, esize_new by eid, need_new by tid) — only the entries
+#: that change.
 _BufModel = Tuple[
-    Dict[str, int],
-    Dict[Tuple[str, str], float],
-    Dict[str, float],
+    Dict[int, int],
+    Dict[int, float],
+    Dict[int, float],
 ]
 
 #: Per-application deltas of a set of moves (multi-app composites only):
-#: (d_app_compute, d_app_in, d_app_out keyed by (app, pe);
-#:  d_app_link, d_app_link_count keyed by (app, (src_cell, dst_cell))).
+#: (d_app_compute, d_app_in, d_app_out keyed by (app_idx, pe);
+#:  d_app_link, d_app_link_count keyed by (app_idx, (src_cell, dst_cell))).
 _AppDeltas = Tuple[
-    Dict[Tuple[str, int], float],
-    Dict[Tuple[str, int], float],
-    Dict[Tuple[str, int], float],
-    Dict[Tuple[str, Tuple[int, int]], float],
-    Dict[Tuple[str, Tuple[int, int]], int],
+    Dict[Tuple[int, int], float],
+    Dict[Tuple[int, int], float],
+    Dict[Tuple[int, int], float],
+    Dict[Tuple[int, Tuple[int, int]], float],
+    Dict[Tuple[int, Tuple[int, int]], int],
 ]
 
 #: Internal bundle of per-resource deltas for a set of simultaneous moves:
-#: (moved, d_compute, d_in, d_out, d_buf, d_dma_in, d_dma_proxy,
+#: (moved by tid, d_compute, d_in, d_out, d_buf, d_dma_in, d_dma_proxy,
 #:  d_link_bytes, d_link_count, bufmodel, appdeltas).
 _Deltas = Tuple[
-    Dict[str, int],
+    Dict[int, int],
     Dict[int, float],
     Dict[int, float],
     Dict[int, float],
@@ -173,6 +205,10 @@ class DeltaAnalyzer:
     ``analyze(mapping, elide_local_comm=..., merge_same_pe_buffers=...)``
     and additionally maintains the mapping-dependent buffer model
     incrementally (see the module docstring).
+
+    All internal state is integer-indexed over the memoized
+    :class:`~repro.steady_state.compiled.CompiledGraph` of the graph; the
+    public API speaks task names.
     """
 
     def __init__(
@@ -201,69 +237,26 @@ class DeltaAnalyzer:
         self._cell: List[int] = [platform.cell_of(i) for i in range(n)]
         self._multi = platform.n_cells > 1
 
-        self._assign: Dict[str, int] = mapping.to_dict()
-        # Multi-application composite graphs additionally get per-app
-        # occupation tracking (the basis of the weighted / max-stretch
-        # objectives); plain graphs pay nothing.
-        app_of = getattr(self.graph, "app_of", None) or None
-        self._app_of: Optional[Dict[str, str]] = (
-            dict(app_of) if app_of is not None else None
-        )
-        self._app_names: Tuple[str, ...] = (
-            tuple(getattr(self.graph, "app_names", ()))
-            if app_of is not None
-            else ()
-        )
-        # Per-task constants: (wppe, wspe, read, write).
-        self._tinfo: Dict[str, Tuple[float, float, float, float]] = {
-            t.name: (t.wppe, t.wspe, t.read, t.write)
-            for t in self.graph.tasks()
-        }
-        # Adjacency as (neighbour, payload) pairs for O(deg) edge walks.
-        self._in_adj: Dict[str, List[Tuple[str, float]]] = {
-            name: [(e.src, e.data) for e in self.graph.in_edges(name)]
-            for name in self._assign
-        }
-        self._out_adj: Dict[str, List[Tuple[str, float]]] = {
-            name: [(e.dst, e.data) for e in self.graph.out_edges(name)]
-            for name in self._assign
-        }
+        cg = compile_graph(self.graph)
+        self._cg: CompiledGraph = cg
+        assign = mapping.to_dict()
+        #: tid → hosting PE (the integer-indexed assignment).
+        self._pe: List[int] = [assign[name] for name in cg.names]
+        #: pe → set of hosted tids, maintained incrementally by ``_apply``
+        #: so :meth:`tasks_on` is O(tasks on the PE), not O(V).
+        self._members: List[Set[int]] = []
 
         # Buffer model.  In the default mode ``need`` is the constant §4.2
-        # footprint; in the mapping-dependent modes it is mutable state,
-        # together with the per-edge sizes and (under elision) the first
-        # periods, and the static structures below support their O(deg)
-        # incremental maintenance.
-        self._fp: Optional[Dict[str, int]] = None
-        self._esize: Optional[Dict[Tuple[str, str], float]] = None
+        # footprint table precompiled into the graph (shared read-only by
+        # every analyzer on this graph version); in the mapping-dependent
+        # modes it is private mutable state, together with the per-edge
+        # sizes and (under elision) the first periods.
+        self._fp: Optional[List[int]] = None
+        self._esize: Optional[List[float]] = None
         if self._mapping_dependent:
-            self._tindex: Optional[Dict[str, int]] = {
-                name: i
-                for i, name in enumerate(self.graph.topological_order())
-            }
-            self._peek: Optional[Dict[str, int]] = {
-                t.name: t.peek for t in self.graph.tasks()
-            }
-            inc: Dict[str, List[Tuple[str, str]]] = {
-                name: [] for name in self._assign
-            }
-            data: Dict[Tuple[str, str], float] = {}
-            for e in self.graph.edges():
-                inc[e.src].append(e.key)
-                inc[e.dst].append(e.key)
-                data[e.key] = e.data
-            #: Incident edge keys per task, in *global* edge insertion
-            #: order — the accumulation order ``buffer_requirements`` uses,
-            #: which is what makes recomputed ``need`` values bit-identical.
-            self._inc_keys: Optional[Dict[str, List[Tuple[str, str]]]] = inc
-            self._edge_data: Optional[Dict[Tuple[str, str], float]] = data
-            self._need: Dict[str, float] = {}
+            self._need: List[float] = []
         else:
-            self._tindex = None
-            self._peek = None
-            self._inc_keys = None
-            self._edge_data = None
-            self._need = buffer_requirements(self.graph)
+            self._need = cg.need_default
 
         # Mutable load state, filled by _rebuild().
         self._compute: List[float] = []
@@ -276,13 +269,14 @@ class DeltaAnalyzer:
         self._link_bytes: Dict[Tuple[int, int], float] = {}
         self._link_count: Dict[Tuple[int, int], int] = {}
         self._n_violations = 0
-        # Per-application mutable state (composites only).
-        self._app_compute: Dict[str, List[float]] = {}
-        self._app_in: Dict[str, List[float]] = {}
-        self._app_out: Dict[str, List[float]] = {}
-        self._app_peak: Dict[str, List[float]] = {}
-        self._app_link_bytes: Dict[Tuple[str, Tuple[int, int]], float] = {}
-        self._app_link_count: Dict[Tuple[str, Tuple[int, int]], int] = {}
+        # Per-application mutable state (composites only), indexed by the
+        # compiled application index.
+        self._app_compute: List[List[float]] = []
+        self._app_in: List[List[float]] = []
+        self._app_out: List[List[float]] = []
+        self._app_peak: List[List[float]] = []
+        self._app_link_bytes: Dict[Tuple[int, Tuple[int, int]], float] = {}
+        self._app_link_count: Dict[Tuple[int, Tuple[int, int]], int] = {}
         self._rebuild()
 
     # ------------------------------------------------------------------ #
@@ -291,120 +285,131 @@ class DeltaAnalyzer:
     def _rebuild(self) -> None:
         """Recompute all cached loads from scratch (same order as analyze)."""
         platform = self.platform
-        assign = self._assign
+        cg = self._cg
+        pe_list = self._pe
         n = self._n_pes
 
         if self._mapping_dependent:
             # Re-derive the mapping-dependent buffer model through the
             # same code paths ``analyze`` uses, so every cached float is
             # the exact value the reference computation produces.
-            mapping = Mapping(self.graph, platform, assign)
+            mapping = self.mapping()
             if self.elide_local_comm:
-                self._fp = first_periods(
+                fp = first_periods(
                     self.graph, mapping, elide_local_comm=True
                 )
-            self._esize = buffer_sizes(
+                self._fp = [fp[name] for name in cg.names]
+            esize = buffer_sizes(
                 self.graph,
                 mapping if self.elide_local_comm else None,
                 elide_local_comm=self.elide_local_comm,
             )
-            self._need = buffer_requirements(
+            self._esize = [esize[key] for key in cg.edge_keys]
+            need = _buffer_requirements(
                 self.graph,
                 mapping,
                 elide_local_comm=self.elide_local_comm,
                 merge_same_pe_buffers=self.merge_same_pe_buffers,
             )
+            self._need = [need[name] for name in cg.names]
 
-        app_of = self._app_of
-        app_compute: Dict[str, List[float]] = {}
-        app_in: Dict[str, List[float]] = {}
-        app_out: Dict[str, List[float]] = {}
-        app_link_bytes: Dict[Tuple[str, Tuple[int, int]], float] = {}
-        app_link_count: Dict[Tuple[str, Tuple[int, int]], int] = {}
-        if app_of is not None:
-            for app in self._app_names:
-                app_compute[app] = [0.0] * n
-                app_in[app] = [0.0] * n
-                app_out[app] = [0.0] * n
+        app_index = cg.app_index
+        n_apps = cg.n_apps
+        app_compute: List[List[float]] = []
+        app_in: List[List[float]] = []
+        app_out: List[List[float]] = []
+        app_link_bytes: Dict[Tuple[int, Tuple[int, int]], float] = {}
+        app_link_count: Dict[Tuple[int, Tuple[int, int]], int] = {}
+        if app_index is not None:
+            app_compute = [[0.0] * n for _ in range(n_apps)]
+            app_in = [[0.0] * n for _ in range(n_apps)]
+            app_out = [[0.0] * n for _ in range(n_apps)]
 
+        is_spe, is_ppe, cell = self._is_spe, self._is_ppe, self._cell
         compute = [0.0] * n
         in_bytes = [0.0] * n
         out_bytes = [0.0] * n
-        for task in self.graph.tasks():
-            pe = assign[task.name]
-            cost = task.cost_on(platform.kind(pe))
+        members: List[Set[int]] = [set() for _ in range(n)]
+        wppe, wspe, read, write = cg.wppe, cg.wspe, cg.read, cg.write
+        for t in range(cg.n):
+            pe = pe_list[t]
+            members[pe].add(t)
+            cost = wppe[t] if is_ppe[pe] else wspe[t]
             compute[pe] += cost
-            in_bytes[pe] += task.read
-            out_bytes[pe] += task.write
-            if app_of is not None:
-                app = app_of[task.name]
-                app_compute[app][pe] += cost
-                app_in[app][pe] += task.read
-                app_out[app][pe] += task.write
+            in_bytes[pe] += read[t]
+            out_bytes[pe] += write[t]
+            if app_index is not None:
+                a = app_index[t]
+                app_compute[a][pe] += cost
+                app_in[a][pe] += read[t]
+                app_out[a][pe] += write[t]
 
         dma_in = {i: 0 for i in platform.spe_indices}
         dma_proxy = {i: 0 for i in platform.spe_indices}
         link_bytes: Dict[Tuple[int, int], float] = {}
         link_count: Dict[Tuple[int, int], int] = {}
-        is_spe, is_ppe, cell = self._is_spe, self._is_ppe, self._cell
-        for edge in self.graph.edges():
-            src_pe = assign[edge.src]
-            dst_pe = assign[edge.dst]
+        edge_src, edge_dst, edge_data = cg.edge_src, cg.edge_dst, cg.edge_data
+        for e in range(cg.n_edges):
+            src_pe = pe_list[edge_src[e]]
+            dst_pe = pe_list[edge_dst[e]]
             if src_pe == dst_pe:
                 continue
-            out_bytes[src_pe] += edge.data
-            in_bytes[dst_pe] += edge.data
-            if app_of is not None:
-                app = app_of[edge.src]  # endpoints always share the app
-                app_out[app][src_pe] += edge.data
-                app_in[app][dst_pe] += edge.data
+            data = edge_data[e]
+            out_bytes[src_pe] += data
+            in_bytes[dst_pe] += data
+            if app_index is not None:
+                a = app_index[edge_src[e]]  # endpoints always share the app
+                app_out[a][src_pe] += data
+                app_in[a][dst_pe] += data
             if is_spe[dst_pe]:
                 dma_in[dst_pe] += 1
             if is_spe[src_pe] and is_ppe[dst_pe]:
                 dma_proxy[src_pe] += 1
             if self._multi and cell[src_pe] != cell[dst_pe]:
                 key = (cell[src_pe], cell[dst_pe])
-                link_bytes[key] = link_bytes.get(key, 0.0) + edge.data
+                link_bytes[key] = link_bytes.get(key, 0.0) + data
                 link_count[key] = link_count.get(key, 0) + 1
-                if app_of is not None:
-                    akey = (app_of[edge.src], key)
+                if app_index is not None:
+                    akey = (app_index[edge_src[e]], key)
                     app_link_bytes[akey] = (
-                        app_link_bytes.get(akey, 0.0) + edge.data
+                        app_link_bytes.get(akey, 0.0) + data
                     )
                     app_link_count[akey] = app_link_count.get(akey, 0) + 1
 
         buffer = {i: 0.0 for i in platform.spe_indices}
         need = self._need
-        for name, pe in assign.items():
+        for t in range(cg.n):
+            pe = pe_list[t]
             if is_spe[pe]:
-                buffer[pe] += need[name]
+                buffer[pe] += need[t]
 
         self._compute, self._in_bytes, self._out_bytes = compute, in_bytes, out_bytes
         self._dma_in, self._dma_proxy = dma_in, dma_proxy
         self._link_bytes, self._link_count = link_bytes, link_count
         self._buffer = buffer
+        self._members = members
         bw = self._bw
         self._peak = [
             max(compute[i], in_bytes[i] / bw, out_bytes[i] / bw)
             for i in range(n)
         ]
-        if app_of is not None:
+        if app_index is not None:
             self._app_compute, self._app_in, self._app_out = (
                 app_compute, app_in, app_out,
             )
             self._app_link_bytes = app_link_bytes
             self._app_link_count = app_link_count
-            self._app_peak = {
-                app: [
+            self._app_peak = [
+                [
                     max(
-                        app_compute[app][i],
-                        app_in[app][i] / bw,
-                        app_out[app][i] / bw,
+                        app_compute[a][i],
+                        app_in[a][i] / bw,
+                        app_out[a][i] / bw,
                     )
                     for i in range(n)
                 ]
-                for app in self._app_names
-            }
+                for a in range(n_apps)
+            ]
         violations = 0
         for spe in platform.spe_indices:
             violations += buffer[spe] > self._budget
@@ -419,26 +424,28 @@ class DeltaAnalyzer:
     def clone(self) -> "DeltaAnalyzer":
         """An independent copy sharing only the immutable structure.
 
-        O(V + E + n_pes) dictionary copies, no graph walk — much cheaper
+        O(V + E + n_pes) flat-list copies, no graph walk — much cheaper
         than building a fresh analyzer and the enabler of population
         metaheuristics (``genetic_algorithm`` clones a parent and applies
         crossover/mutation moves incrementally).
         """
         new = DeltaAnalyzer.__new__(DeltaAnalyzer)
-        # Immutable/shared structure.
+        # Immutable/shared structure (the compiled graph included).
         for attr in (
             "graph", "platform", "elide_local_comm", "merge_same_pe_buffers",
             "_mapping_dependent", "_n_pes", "_bw", "_bif_bw", "_budget",
             "_in_slots", "_proxy_slots", "_is_ppe", "_is_spe", "_cell",
-            "_multi", "_tinfo", "_in_adj", "_out_adj", "_tindex", "_peek",
-            "_inc_keys", "_edge_data", "_app_of", "_app_names",
+            "_multi", "_cg",
         ):
             setattr(new, attr, getattr(self, attr))
         # Mutable state — private copies.
-        new._assign = dict(self._assign)
-        new._need = dict(self._need) if self._mapping_dependent else self._need
-        new._fp = dict(self._fp) if self._fp is not None else None
-        new._esize = dict(self._esize) if self._esize is not None else None
+        new._pe = list(self._pe)
+        new._members = [set(s) for s in self._members]
+        new._need = (
+            list(self._need) if self._mapping_dependent else self._need
+        )
+        new._fp = list(self._fp) if self._fp is not None else None
+        new._esize = list(self._esize) if self._esize is not None else None
         new._compute = list(self._compute)
         new._in_bytes = list(self._in_bytes)
         new._out_bytes = list(self._out_bytes)
@@ -449,10 +456,10 @@ class DeltaAnalyzer:
         new._link_bytes = dict(self._link_bytes)
         new._link_count = dict(self._link_count)
         new._n_violations = self._n_violations
-        new._app_compute = {a: list(v) for a, v in self._app_compute.items()}
-        new._app_in = {a: list(v) for a, v in self._app_in.items()}
-        new._app_out = {a: list(v) for a, v in self._app_out.items()}
-        new._app_peak = {a: list(v) for a, v in self._app_peak.items()}
+        new._app_compute = [list(v) for v in self._app_compute]
+        new._app_in = [list(v) for v in self._app_in]
+        new._app_out = [list(v) for v in self._app_out]
+        new._app_peak = [list(v) for v in self._app_peak]
         new._app_link_bytes = dict(self._app_link_bytes)
         new._app_link_count = dict(self._app_link_count)
         return new
@@ -460,32 +467,38 @@ class DeltaAnalyzer:
     # ------------------------------------------------------------------ #
     # Queries
 
+    def _tid(self, task: str) -> int:
+        tid = self._cg.index.get(task)
+        if tid is None:
+            raise MappingError(f"task {task!r} is not mapped")
+        return tid
+
     def pe_of(self, task: str) -> int:
-        try:
-            return self._assign[task]
-        except KeyError:
-            raise MappingError(f"task {task!r} is not mapped") from None
+        return self._pe[self._tid(task)]
 
     def assignment(self) -> Dict[str, int]:
         """A copy of the current task → PE assignment."""
-        return dict(self._assign)
+        pe_list = self._pe
+        return {name: pe_list[t] for t, name in enumerate(self._cg.names)}
 
     def tasks_on(self, pe: int) -> List[str]:
         """Names of the tasks currently assigned to ``pe``.
 
-        Mirrors :meth:`Mapping.tasks_on` on the live state (assignment
-        order, O(V) scan) — e.g. the evacuation list when a PE drops out
-        of service.
+        Mirrors :meth:`Mapping.tasks_on` on the live state (graph
+        insertion order) — e.g. the evacuation list when a PE drops out
+        of service.  Served from the incrementally-maintained per-PE
+        membership sets: O(tasks on the PE), not an O(V) scan.
         """
         if not 0 <= pe < self._n_pes:
             raise MappingError(
                 f"invalid PE {pe!r} (platform has {self._n_pes} PEs)"
             )
-        return [name for name, host in self._assign.items() if host == pe]
+        names = self._cg.names
+        return [names[t] for t in sorted(self._members[pe])]
 
     def mapping(self) -> Mapping:
         """The current state as an immutable :class:`Mapping`."""
-        return Mapping(self.graph, self.platform, self._assign)
+        return Mapping(self.graph, self.platform, self.assignment())
 
     def period(self) -> float:
         """Current period ``T`` (same value as ``analyze(...).period``)."""
@@ -516,14 +529,19 @@ class DeltaAnalyzer:
         same values ``analyze(self.mapping()).app_periods`` reports,
         read from the incrementally-maintained per-app sums.
         """
-        if self._app_of is None:
+        cg = self._cg
+        if cg.app_index is None:
             return {}
+        app_names = cg.app_names
         return app_periods_from_loads(
-            self._app_names,
-            self._app_compute,
-            self._app_in,
-            self._app_out,
-            self._app_link_bytes,
+            app_names,
+            {app: self._app_compute[a] for a, app in enumerate(app_names)},
+            {app: self._app_in[a] for a, app in enumerate(app_names)},
+            {app: self._app_out[a] for a, app in enumerate(app_names)},
+            {
+                (app_names[a], key): v
+                for (a, key), v in self._app_link_bytes.items()
+            },
             self._bw,
             self._bif_bw,
         )
@@ -532,7 +550,7 @@ class DeltaAnalyzer:
     # Delta machinery
 
     def _buffer_deltas(
-        self, moved: Dict[str, int]
+        self, moved: Dict[int, int]
     ) -> Tuple[_BufModel, Dict[int, float]]:
         """Mapping-dependent buffer-model updates for applying ``moved``.
 
@@ -541,135 +559,160 @@ class DeltaAnalyzer:
         tasks) plus, under elision, the incident edges of the tasks whose
         ``firstPeriod`` actually shifts.
         """
-        assign = self._assign
+        cg = self._cg
+        pe_list = self._pe
         is_spe = self._is_spe
+        out_ptr, out_dst = cg.out_ptr, cg.out_dst
+        edge_src, edge_dst = cg.edge_src, cg.edge_dst
 
-        def new_pe(name: str) -> int:
-            pe = moved.get(name)
-            return assign[name] if pe is None else pe
+        def new_pe(t: int) -> int:
+            pe = moved.get(t)
+            return pe_list[t] if pe is None else pe
 
         # 1. Propagate firstPeriod changes (elision only): a move flips
         # the ±1 communication period on the moved tasks' incident edges;
         # the topologically-ordered worklist re-evaluates each affected
         # task once and stops where the values converge.
-        fp_new: Dict[str, int] = {}
+        fp_new: Dict[int, int] = {}
         if self.elide_local_comm:
             fp = self._fp
-            assert fp is not None and self._tindex is not None
-            assert self._peek is not None
-            tindex, peek = self._tindex, self._peek
-            heap: List[Tuple[int, str]] = []
-            queued: Set[str] = set()
+            assert fp is not None
+            topo, peek = cg.topo_index, cg.peek
+            in_ptr, in_src = cg.in_ptr, cg.in_src
+            heap: List[Tuple[int, int]] = []
+            queued: Set[int] = set()
 
-            def push(name: str) -> None:
-                if name not in queued:
-                    queued.add(name)
-                    heapq.heappush(heap, (tindex[name], name))
+            def push(t: int) -> None:
+                if t not in queued:
+                    queued.add(t)
+                    heapq.heappush(heap, (topo[t], t))
 
-            for name in moved:
-                push(name)
-                for dst, _data in self._out_adj[name]:
-                    push(dst)
+            for t in moved:
+                push(t)
+                for k in range(out_ptr[t], out_ptr[t + 1]):
+                    push(out_dst[k])
             while heap:
-                _, name = heapq.heappop(heap)
-                preds = self._in_adj[name]
-                if not preds:
+                _, t = heapq.heappop(heap)
+                lo, hi = in_ptr[t], in_ptr[t + 1]
+                if lo == hi:
                     value = 0
                 else:
-                    pe = new_pe(name)
-                    value = (
-                        max(
+                    pe = new_pe(t)
+                    best = -1
+                    for k in range(lo, hi):
+                        p = in_src[k]
+                        cand = (
                             fp_new.get(p, fp[p])
                             + 1
                             + (0 if new_pe(p) == pe else 1)
-                            for p, _data in preds
                         )
-                        + peek[name]
-                    )
-                if value != fp[name]:
-                    fp_new[name] = value
-                    for dst, _data in self._out_adj[name]:
-                        push(dst)
+                        if cand > best:
+                            best = cand
+                    value = best + peek[t]
+                if value != fp[t]:
+                    fp_new[t] = value
+                    for k in range(out_ptr[t], out_ptr[t + 1]):
+                        push(out_dst[k])
 
         # 2. Edge buffer sizes that change: only edges incident to a task
         # whose firstPeriod shifted (a region that shifts uniformly keeps
         # its interior windows — only the boundary edges change size).
-        esize_new: Dict[Tuple[str, str], float] = {}
+        esize_new: Dict[int, float] = {}
         if fp_new:
             fp = self._fp
             esize = self._esize
-            edge_data = self._edge_data
-            inc_keys = self._inc_keys
             assert fp is not None and esize is not None
-            assert edge_data is not None and inc_keys is not None
-            for name in fp_new:
-                for key in inc_keys[name]:
-                    if key in esize_new:
+            edge_data = cg.edge_data
+            inc_ptr, inc_eid = cg.inc_ptr, cg.inc_eid
+            for t in fp_new:
+                for k in range(inc_ptr[t], inc_ptr[t + 1]):
+                    e = inc_eid[k]
+                    if e in esize_new:
                         continue
-                    u, v = key
-                    size = edge_data[key] * (
+                    u, v = edge_src[e], edge_dst[e]
+                    size = edge_data[e] * (
                         fp_new.get(v, fp[v]) - fp_new.get(u, fp[u])
                     )
-                    if size != esize[key]:
-                        esize_new[key] = size
+                    if size != esize[e]:
+                        esize_new[e] = size
 
         # 3. Per-task footprints to recompute: endpoints of resized edges,
         # plus (under merging) the moved tasks and their consumers, whose
         # same-PE merge status may flip.
-        dirty: Set[str] = set()
-        for u, v in esize_new:
-            dirty.add(u)
-            dirty.add(v)
+        dirty: Set[int] = set()
+        for e in esize_new:
+            dirty.add(edge_src[e])
+            dirty.add(edge_dst[e])
         if self.merge_same_pe_buffers:
-            for name in moved:
-                dirty.add(name)
-                for dst, _data in self._out_adj[name]:
-                    dirty.add(dst)
+            for t in moved:
+                dirty.add(t)
+                for k in range(out_ptr[t], out_ptr[t + 1]):
+                    dirty.add(out_dst[k])
 
         need = self._need
-        need_new: Dict[str, float] = {}
+        need_new: Dict[int, float] = {}
         if dirty:
             esize = self._esize
-            inc_keys = self._inc_keys
-            assert esize is not None and inc_keys is not None
+            assert esize is not None
+            inc_ptr, inc_eid = cg.inc_ptr, cg.inc_eid
             merge = self.merge_same_pe_buffers
-            for name in dirty:
+            for t in dirty:
                 # Same accumulation order as buffer_requirements: incident
                 # edges in global edge order, producer side always counted,
                 # consumer side skipped when merged — bit-identical sums.
                 total = 0.0
-                for key in inc_keys[name]:
-                    u, v = key
-                    size = esize_new.get(key)
+                for k in range(inc_ptr[t], inc_ptr[t + 1]):
+                    e = inc_eid[k]
+                    size = esize_new.get(e)
                     if size is None:
-                        size = esize[key]
-                    if name == u:
+                        size = esize[e]
+                    u = edge_src[e]
+                    if t == u:
                         total += size
                     else:
-                        if merge and new_pe(u) == new_pe(v):
+                        if merge and new_pe(u) == new_pe(edge_dst[e]):
                             continue
                         total += size
-                if total != need[name]:
-                    need_new[name] = total
+                if total != need[t]:
+                    need_new[t] = total
 
         # 4. Per-SPE buffer deltas: moved tasks change host, dirty
         # residents change footprint in place.
         d_buf: Dict[int, float] = {}
-        for name, pe in moved.items():
-            old_pe = assign[name]
-            old_need = need[name]
+        for t, pe in moved.items():
+            old_pe = pe_list[t]
+            old_need = need[t]
             if is_spe[old_pe]:
                 d_buf[old_pe] = d_buf.get(old_pe, 0.0) - old_need
             if is_spe[pe]:
-                d_buf[pe] = d_buf.get(pe, 0.0) + need_new.get(name, old_need)
-        for name, value in need_new.items():
-            if name in moved:
+                d_buf[pe] = d_buf.get(pe, 0.0) + need_new.get(t, old_need)
+        for t, value in need_new.items():
+            if t in moved:
                 continue
-            pe = assign[name]
+            pe = pe_list[t]
             if is_spe[pe]:
-                d_buf[pe] = d_buf.get(pe, 0.0) + (value - need[name])
+                d_buf[pe] = d_buf.get(pe, 0.0) + (value - need[t])
 
         return (fp_new, esize_new, need_new), d_buf
+
+    def _to_moved(self, changes: Dict[str, int]) -> Dict[int, int]:
+        """Validate ``changes`` and translate to a tid-keyed move set."""
+        index = self._cg.index
+        pe_list = self._pe
+        n = self._n_pes
+        moved: Dict[int, int] = {}
+        for name, pe in changes.items():
+            tid = index.get(name)
+            if tid is None:
+                raise MappingError(f"task {name!r} is not mapped")
+            if not 0 <= pe < n:
+                raise MappingError(
+                    f"task {name!r} moved to invalid PE {pe!r} "
+                    f"(platform has {n} PEs)"
+                )
+            if pe_list[tid] != pe:
+                moved[tid] = pe
+        return moved
 
     def _deltas(self, changes: Dict[str, int]) -> Optional[_Deltas]:
         """Per-resource deltas for applying ``changes`` simultaneously.
@@ -679,24 +722,18 @@ class DeltaAnalyzer:
         module docstring).  Returns ``None`` when no task actually changes
         PE.
         """
-        assign = self._assign
-        n = self._n_pes
-        moved: Dict[str, int] = {}
-        for name, pe in changes.items():
-            if name not in assign:
-                raise MappingError(f"task {name!r} is not mapped")
-            if not 0 <= pe < n:
-                raise MappingError(
-                    f"task {name!r} moved to invalid PE {pe!r} "
-                    f"(platform has {n} PEs)"
-                )
-            if assign[name] != pe:
-                moved[name] = pe
+        moved = self._to_moved(changes)
         if not moved:
             return None
+        return self._deltas_ids(moved)
 
+    def _deltas_ids(self, moved: Dict[int, int]) -> _Deltas:
+        """Deltas for a non-empty, pre-validated tid → PE move set."""
+        cg = self._cg
+        pe_list = self._pe
         is_ppe, is_spe, cell = self._is_ppe, self._is_spe, self._cell
-        app_of = self._app_of
+        app_index = cg.app_index
+        wppe, wspe, read, write = cg.wppe, cg.wspe, cg.read, cg.write
         d_compute: Dict[int, float] = {}
         d_in: Dict[int, float] = {}
         d_out: Dict[int, float] = {}
@@ -705,56 +742,59 @@ class DeltaAnalyzer:
         d_dma_proxy: Dict[int, int] = {}
         d_link: Dict[Tuple[int, int], float] = {}
         d_link_n: Dict[Tuple[int, int], int] = {}
-        edges: Dict[Tuple[str, str], float] = {}
+        eids: Dict[int, None] = {}
         # Per-application mirrors of the deltas above — only allocated on
         # composites so plain graphs keep the original hot-path cost.
-        if app_of is not None:
-            da_compute: Dict[Tuple[str, int], float] = {}
-            da_in: Dict[Tuple[str, int], float] = {}
-            da_out: Dict[Tuple[str, int], float] = {}
-            da_link: Dict[Tuple[str, Tuple[int, int]], float] = {}
-            da_link_n: Dict[Tuple[str, Tuple[int, int]], int] = {}
+        if app_index is not None:
+            da_compute: Dict[Tuple[int, int], float] = {}
+            da_in: Dict[Tuple[int, int], float] = {}
+            da_out: Dict[Tuple[int, int], float] = {}
+            da_link: Dict[Tuple[int, Tuple[int, int]], float] = {}
+            da_link_n: Dict[Tuple[int, Tuple[int, int]], int] = {}
 
-        for name, new_pe in moved.items():
-            old_pe = assign[name]
-            wppe, wspe, read, write = self._tinfo[name]
-            old_cost = wppe if is_ppe[old_pe] else wspe
-            new_cost = wppe if is_ppe[new_pe] else wspe
+        in_ptr, in_eid = cg.in_ptr, cg.in_eid
+        out_ptr, out_eid = cg.out_ptr, cg.out_eid
+        for t, new_pe in moved.items():
+            old_pe = pe_list[t]
+            old_cost = wppe[t] if is_ppe[old_pe] else wspe[t]
+            new_cost = wppe[t] if is_ppe[new_pe] else wspe[t]
             d_compute[old_pe] = d_compute.get(old_pe, 0.0) - old_cost
             d_compute[new_pe] = d_compute.get(new_pe, 0.0) + new_cost
-            d_in[old_pe] = d_in.get(old_pe, 0.0) - read
-            d_in[new_pe] = d_in.get(new_pe, 0.0) + read
-            d_out[old_pe] = d_out.get(old_pe, 0.0) - write
-            d_out[new_pe] = d_out.get(new_pe, 0.0) + write
-            if app_of is not None:
-                app = app_of[name]
-                ko, kn = (app, old_pe), (app, new_pe)
+            d_in[old_pe] = d_in.get(old_pe, 0.0) - read[t]
+            d_in[new_pe] = d_in.get(new_pe, 0.0) + read[t]
+            d_out[old_pe] = d_out.get(old_pe, 0.0) - write[t]
+            d_out[new_pe] = d_out.get(new_pe, 0.0) + write[t]
+            if app_index is not None:
+                a = app_index[t]
+                ko, kn = (a, old_pe), (a, new_pe)
                 da_compute[ko] = da_compute.get(ko, 0.0) - old_cost
                 da_compute[kn] = da_compute.get(kn, 0.0) + new_cost
-                da_in[ko] = da_in.get(ko, 0.0) - read
-                da_in[kn] = da_in.get(kn, 0.0) + read
-                da_out[ko] = da_out.get(ko, 0.0) - write
-                da_out[kn] = da_out.get(kn, 0.0) + write
+                da_in[ko] = da_in.get(ko, 0.0) - read[t]
+                da_in[kn] = da_in.get(kn, 0.0) + read[t]
+                da_out[ko] = da_out.get(ko, 0.0) - write[t]
+                da_out[kn] = da_out.get(kn, 0.0) + write[t]
             if not self._mapping_dependent:
-                need = self._need[name]
+                need = self._need[t]
                 if is_spe[old_pe]:
                     d_buf[old_pe] = d_buf.get(old_pe, 0.0) - need
                 if is_spe[new_pe]:
                     d_buf[new_pe] = d_buf.get(new_pe, 0.0) + need
-            for src, data in self._in_adj[name]:
-                edges[(src, name)] = data
-            for dst, data in self._out_adj[name]:
-                edges[(name, dst)] = data
+            for k in range(in_ptr[t], in_ptr[t + 1]):
+                eids[in_eid[k]] = None
+            for k in range(out_ptr[t], out_ptr[t + 1]):
+                eids[out_eid[k]] = None
 
-        for (u, v), data in edges.items():
-            old_u, old_v = assign[u], assign[v]
+        edge_src, edge_dst, edge_data = cg.edge_src, cg.edge_dst, cg.edge_data
+        for e in eids:
+            u, v, data = edge_src[e], edge_dst[e], edge_data[e]
+            old_u, old_v = pe_list[u], pe_list[v]
             new_u, new_v = moved.get(u, old_u), moved.get(v, old_v)
             if old_u != old_v:  # retract the old cross-PE contribution
                 d_out[old_u] = d_out.get(old_u, 0.0) - data
                 d_in[old_v] = d_in.get(old_v, 0.0) - data
-                if app_of is not None:
-                    app = app_of[u]  # endpoints always share the app
-                    ku, kv = (app, old_u), (app, old_v)
+                if app_index is not None:
+                    a = app_index[u]  # endpoints always share the app
+                    ku, kv = (a, old_u), (a, old_v)
                     da_out[ku] = da_out.get(ku, 0.0) - data
                     da_in[kv] = da_in.get(kv, 0.0) - data
                 if is_spe[old_v]:
@@ -765,16 +805,16 @@ class DeltaAnalyzer:
                     key = (cell[old_u], cell[old_v])
                     d_link[key] = d_link.get(key, 0.0) - data
                     d_link_n[key] = d_link_n.get(key, 0) - 1
-                    if app_of is not None:
-                        akey = (app_of[u], key)
+                    if app_index is not None:
+                        akey = (app_index[u], key)
                         da_link[akey] = da_link.get(akey, 0.0) - data
                         da_link_n[akey] = da_link_n.get(akey, 0) - 1
             if new_u != new_v:  # add the new cross-PE contribution
                 d_out[new_u] = d_out.get(new_u, 0.0) + data
                 d_in[new_v] = d_in.get(new_v, 0.0) + data
-                if app_of is not None:
-                    app = app_of[u]
-                    ku, kv = (app, new_u), (app, new_v)
+                if app_index is not None:
+                    a = app_index[u]
+                    ku, kv = (a, new_u), (a, new_v)
                     da_out[ku] = da_out.get(ku, 0.0) + data
                     da_in[kv] = da_in.get(kv, 0.0) + data
                 if is_spe[new_v]:
@@ -785,8 +825,8 @@ class DeltaAnalyzer:
                     key = (cell[new_u], cell[new_v])
                     d_link[key] = d_link.get(key, 0.0) + data
                     d_link_n[key] = d_link_n.get(key, 0) + 1
-                    if app_of is not None:
-                        akey = (app_of[u], key)
+                    if app_index is not None:
+                        akey = (app_index[u], key)
                         da_link[akey] = da_link.get(akey, 0.0) + data
                         da_link_n[akey] = da_link_n.get(akey, 0) + 1
 
@@ -795,7 +835,7 @@ class DeltaAnalyzer:
             bufmodel, d_buf = self._buffer_deltas(moved)
 
         appdeltas: Optional[_AppDeltas] = None
-        if app_of is not None:
+        if app_index is not None:
             appdeltas = (da_compute, da_in, da_out, da_link, da_link_n)
 
         return (
@@ -877,7 +917,7 @@ class DeltaAnalyzer:
         the cached per-app peak, so the common single-move case touches
         a handful of entries.
         """
-        if deltas is None or self._app_of is None:
+        if deltas is None or self._cg.app_index is None:
             return self.app_periods()
         appdeltas = deltas[10]
         assert appdeltas is not None
@@ -886,14 +926,15 @@ class DeltaAnalyzer:
         touched.update(da_in)
         touched.update(da_out)
         bw = self._bw
+        app_names = self._cg.app_names
         out: Dict[str, float] = {}
-        for app in self._app_names:
-            compute = self._app_compute[app]
-            in_b, out_b = self._app_in[app], self._app_out[app]
-            peak = self._app_peak[app]
+        for a, app in enumerate(app_names):
+            compute = self._app_compute[a]
+            in_b, out_b = self._app_in[a], self._app_out[a]
+            peak = self._app_peak[a]
             worst = 0.0
             for pe in range(self._n_pes):
-                key = (app, pe)
+                key = (a, pe)
                 if key in touched:
                     value = max(
                         compute[pe] + da_compute.get(key, 0.0),
@@ -910,7 +951,7 @@ class DeltaAnalyzer:
             keys = set(link)
             keys.update(da_link)
             for akey in keys:
-                app = akey[0]
+                app = app_names[akey[0]]
                 time = (
                     link.get(akey, 0.0) + da_link.get(akey, 0.0)
                 ) / self._bif_bw
@@ -947,18 +988,28 @@ class DeltaAnalyzer:
          appdeltas) = deltas
 
         self._n_violations += self._violation_shift(d_buf, d_dma_in, d_dma_proxy)
-        for name, pe in moved.items():
-            self._assign[name] = pe
+        pe_list = self._pe
+        members = self._members
+        for t, pe in moved.items():
+            members[pe_list[t]].discard(t)
+            members[pe].add(t)
+            pe_list[t] = pe
         if bufmodel is not None:
             fp_new, esize_new, need_new = bufmodel
             if fp_new:
-                assert self._fp is not None
-                self._fp.update(fp_new)
+                fp = self._fp
+                assert fp is not None
+                for t, value in fp_new.items():
+                    fp[t] = value
             if esize_new:
-                assert self._esize is not None
-                self._esize.update(esize_new)
+                esize = self._esize
+                assert esize is not None
+                for e, value in esize_new.items():
+                    esize[e] = value
             if need_new:
-                self._need.update(need_new)
+                need = self._need
+                for t, value in need_new.items():
+                    need[t] = value
         for pe, dv in d_compute.items():
             self._compute[pe] += dv
         for pe, dv in d_in.items():
@@ -991,12 +1042,12 @@ class DeltaAnalyzer:
             )
         if appdeltas is not None:
             da_compute, da_in, da_out, da_link, da_link_n = appdeltas
-            for (app, pe), dv in da_compute.items():
-                self._app_compute[app][pe] += dv
-            for (app, pe), dv in da_in.items():
-                self._app_in[app][pe] += dv
-            for (app, pe), dv in da_out.items():
-                self._app_out[app][pe] += dv
+            for (a, pe), dv in da_compute.items():
+                self._app_compute[a][pe] += dv
+            for (a, pe), dv in da_in.items():
+                self._app_in[a][pe] += dv
+            for (a, pe), dv in da_out.items():
+                self._app_out[a][pe] += dv
             for akey, dv in da_link.items():
                 count = self._app_link_count.get(akey, 0) + da_link_n[akey]
                 if count:
@@ -1010,19 +1061,394 @@ class DeltaAnalyzer:
             touched_app = set(da_compute)
             touched_app.update(da_in)
             touched_app.update(da_out)
-            for app, pe in touched_app:
-                self._app_peak[app][pe] = max(
-                    self._app_compute[app][pe],
-                    self._app_in[app][pe] / bw,
-                    self._app_out[app][pe] / bw,
+            for a, pe in touched_app:
+                self._app_peak[a][pe] = max(
+                    self._app_compute[a][pe],
+                    self._app_in[a][pe] / bw,
+                    self._app_out[a][pe] / bw,
                 )
+
+    # ------------------------------------------------------------------ #
+    # Batched neighbourhood kernel
+
+    def _check_pes(self, pes: Sequence[int]) -> None:
+        n = self._n_pes
+        for pe in pes:
+            if not 0 <= pe < n:
+                raise MappingError(
+                    f"invalid PE {pe!r} (platform has {n} PEs)"
+                )
+
+    def _sweep(self, tid: int, pes: Sequence[int], objective, as_objective: bool):
+        """Score moving task ``tid`` to every PE in ``pes`` in one pass.
+
+        The batched hot path (default buffer model): the task's incident
+        edges are aggregated by neighbour PE once, the two highest cached
+        peaks outside the origin are found once, and each candidate then
+        costs O(1) arithmetic — identical verdicts to the per-candidate
+        ``_deltas`` + ``_score`` path (bit-identical on integer-valued
+        graphs, within the usual ulp contract otherwise).  Entries whose
+        target equals the origin hold the current-state score.
+
+        With ``as_objective`` the entries are :class:`ObjectiveScore`
+        (``objective=None`` meaning the plain period objective), else
+        :class:`MoveScore`.  Mapping-dependent modes never reach this —
+        the public wrappers fall back to the per-candidate path first.
+        """
+        cg = self._cg
+        pe_list = self._pe
+        o = pe_list[tid]
+        n = self._n_pes
+        is_ppe, is_spe, cell = self._is_ppe, self._is_spe, self._cell
+        bw = self._bw
+        compute, in_bytes, out_bytes = (
+            self._compute, self._in_bytes, self._out_bytes,
+        )
+        peak = self._peak
+        read, write = cg.read[tid], cg.write[tid]
+        t_wppe, t_wspe = cg.wppe[tid], cg.wspe[tid]
+        cost_o = t_wppe if is_ppe[o] else t_wspe
+
+        # O(deg): incident edges aggregated by neighbour PE.
+        F: Dict[int, float] = {}  # producer PE -> bytes into the task
+        C: Dict[int, int] = {}  # producer PE -> edge count
+        T: Dict[int, float] = {}  # consumer PE -> bytes out of the task
+        U: Dict[int, int] = {}  # consumer PE -> edge count
+        tin = 0.0
+        cin = 0
+        in_src, in_data = cg.in_src, cg.in_data
+        for k in range(cg.in_ptr[tid], cg.in_ptr[tid + 1]):
+            q = pe_list[in_src[k]]
+            d = in_data[k]
+            F[q] = F.get(q, 0.0) + d
+            C[q] = C.get(q, 0) + 1
+            tin += d
+            cin += 1
+        tout = 0.0
+        up_cnt = 0  # out-edges whose consumer sits on a PPE (proxy load)
+        out_dst, out_data = cg.out_dst, cg.out_data
+        for k in range(cg.out_ptr[tid], cg.out_ptr[tid + 1]):
+            q = pe_list[out_dst[k]]
+            d = out_data[k]
+            T[q] = T.get(q, 0.0) + d
+            U[q] = U.get(q, 0) + 1
+            tout += d
+            if is_ppe[q]:
+                up_cnt += 1
+        # SPEs hosting producers of the task: their proxy queues flip when
+        # the task changes PE *kind* (to-PPE pushes appear/disappear).
+        spe_srcs = [(q, c) for q, c in C.items() if is_spe[q]]
+
+        # O(n_pes): the two highest cached peaks outside the origin — the
+        # "rest" maximum for any candidate is top1 unless the candidate
+        # *is* top1's PE, then top2.
+        top1 = top2 = 0.0
+        top1_pe = -1
+        for pe in range(n):
+            if pe == o:
+                continue
+            v = peak[pe]
+            if v > top1:
+                top2 = top1
+                top1, top1_pe = v, pe
+            elif v > top2:
+                top2 = v
+        # After-removal loads at the origin — identical for every target.
+        o_compute = compute[o] - cost_o
+        o_in = in_bytes[o] - read - (tin - F.get(o, 0.0)) + T.get(o, 0.0)
+        o_out = out_bytes[o] - write - (tout - T.get(o, 0.0)) + F.get(o, 0.0)
+        val_o = max(o_compute, o_in / bw, o_out / bw)
+
+        need_t = self._need[tid]
+        multi = self._multi
+        if multi:
+            cell_o = cell[o]
+            FCell: Dict[int, float] = {}
+            TCell: Dict[int, float] = {}
+            for q, b in F.items():
+                c = cell[q]
+                FCell[c] = FCell.get(c, 0.0) + b
+            for q, b in T.items():
+                c = cell[q]
+                TCell[c] = TCell.get(c, 0.0) + b
+            link = self._link_bytes
+            bif_bw = self._bif_bw
+
+        app_index = cg.app_index
+        track_app = (
+            as_objective
+            and objective is not None
+            and getattr(objective, "needs_app_periods", False)
+            and app_index is not None
+        )
+        if track_app:
+            a = app_index[tid]
+            app_name = cg.app_names[a]
+            base_app_periods = self.app_periods()
+            a_compute, a_in, a_out = (
+                self._app_compute[a], self._app_in[a], self._app_out[a],
+            )
+            a_peak = self._app_peak[a]
+            atop1 = atop2 = 0.0
+            atop1_pe = -1
+            for pe in range(n):
+                if pe == o:
+                    continue
+                v = a_peak[pe]
+                if v > atop1:
+                    atop2 = atop1
+                    atop1, atop1_pe = v, pe
+                elif v > atop2:
+                    atop2 = v
+            ao_compute = a_compute[o] - cost_o
+            ao_in = a_in[o] - read - (tin - F.get(o, 0.0)) + T.get(o, 0.0)
+            ao_out = a_out[o] - write - (tout - T.get(o, 0.0)) + F.get(o, 0.0)
+            aval_o = max(ao_compute, ao_in / bw, ao_out / bw)
+            if multi:
+                a_links = [
+                    (key, v)
+                    for (ai, key), v in self._app_link_bytes.items()
+                    if ai == a
+                ]
+                a_link_keys = {key for key, _v in a_links}
+
+        budget, in_slots, proxy_slots = (
+            self._budget, self._in_slots, self._proxy_slots,
+        )
+        buffer, dmain, dproxy = self._buffer, self._dma_in, self._dma_proxy
+        base_viol = self._n_violations
+        o_is_spe = is_spe[o]
+        o_is_ppe = is_ppe[o]
+        # PEs hosting any neighbour of the task: everything off this set
+        # takes the constant-delta fast path below.
+        nbr = set(F)
+        nbr.update(T)
+        rt = read + tin  # total new inbound bytes at a non-neighbour target
+        wt = write + tout  # total new outbound bytes likewise
+        s_flip = -1 if o_is_ppe else 1  # the only possible kind change
+
+        # Origin-side violation shift — constant across same-kind targets,
+        # and a second constant across kind-flipping targets.
+        def _origin_shift(s: int) -> int:
+            shift = 0
+            if o_is_spe:
+                old = buffer[o]
+                shift += (old - need_t > budget) - (old > budget)
+                old = dmain[o]
+                dv = C.get(o, 0) - cin + U.get(o, 0)
+                shift += (old + dv > in_slots) - (old > in_slots)
+                dv = -up_cnt + (s * C.get(o, 0) if s else 0)
+                old = dproxy[o]
+                shift += (old + dv > proxy_slots) - (old > proxy_slots)
+            return shift
+
+        base_same = base_viol + _origin_shift(0)
+        base_flip: Optional[int] = None  # built lazily with the flip total
+
+        results: list = []
+        results_append = results.append
+        Fget, Tget, Cget, Uget = F.get, T.get, C.get, U.get
+        current = None  # lazily-built current score for target == origin
+        for p in pes:
+            if p == o:
+                if current is None:
+                    current = (
+                        self._evaluate(None, objective)
+                        if as_objective
+                        else self.score()
+                    )
+                results_append(current)
+                continue
+            p_is_ppe = is_ppe[p]
+            in_nbr = p in nbr
+            if in_nbr:
+                ft = Fget(p, 0.0) + Tget(p, 0.0)
+                p_in = in_bytes[p] + rt - ft
+                p_out = out_bytes[p] + wt - ft
+            else:
+                p_in = in_bytes[p] + rt
+                p_out = out_bytes[p] + wt
+            val_p = compute[p] + (t_wppe if p_is_ppe else t_wspe)
+            v = p_in / bw
+            if v > val_p:
+                val_p = v
+            v = p_out / bw
+            if v > val_p:
+                val_p = v
+            worst = top2 if top1_pe == p else top1
+            if val_o > worst:
+                worst = val_o
+            if val_p > worst:
+                worst = val_p
+            if multi:
+                cell_p = cell[p]
+                d_link: Dict[Tuple[int, int], float] = {}
+                for c, b in FCell.items():
+                    if c != cell_o:
+                        key = (c, cell_o)
+                        d_link[key] = d_link.get(key, 0.0) - b
+                    if c != cell_p:
+                        key = (c, cell_p)
+                        d_link[key] = d_link.get(key, 0.0) + b
+                for c, b in TCell.items():
+                    if c != cell_o:
+                        key = (cell_o, c)
+                        d_link[key] = d_link.get(key, 0.0) - b
+                    if c != cell_p:
+                        key = (cell_p, c)
+                        d_link[key] = d_link.get(key, 0.0) + b
+                keys = set(link)
+                keys.update(d_link)
+                for key in keys:
+                    time = (link.get(key, 0.0) + d_link.get(key, 0.0)) / bif_bw
+                    if time > worst:
+                        worst = time
+
+            # Violation shift, dictionary-free: buffers and MFC queues
+            # change only at the origin and the target, plus the proxy
+            # flip at producer-hosting SPEs on a PPE↔SPE kind change.
+            flip = p_is_ppe != o_is_ppe
+            if flip:
+                if base_flip is None:
+                    base_flip = base_viol + _origin_shift(s_flip)
+                    for q, c in spe_srcs:
+                        if q == o:
+                            continue  # combined into the origin term
+                        old = dproxy[q]
+                        base_flip += (old + s_flip * c > proxy_slots) - (
+                            old > proxy_slots
+                        )
+                nviol = base_flip
+            else:
+                nviol = base_same
+            if not p_is_ppe:
+                if need_t:
+                    old = buffer[p]
+                    nviol += (old + need_t > budget) - (old > budget)
+                if in_nbr:
+                    cp, up = Cget(p, 0), Uget(p, 0)
+                    dv = cin - cp - up
+                    if dv:
+                        old = dmain[p]
+                        nviol += (old + dv > in_slots) - (old > in_slots)
+                    old = dproxy[p]
+                    dv = up_cnt + (s_flip * cp if flip else 0)
+                    if dv:
+                        nviol += (old + dv > proxy_slots) - (old > proxy_slots)
+                    if flip and cp:
+                        # base_flip already counted p's standalone flip
+                        # term; replace it with the combined term above.
+                        nviol -= (old + s_flip * cp > proxy_slots) - (
+                            old > proxy_slots
+                        )
+                else:
+                    if cin:
+                        old = dmain[p]
+                        nviol += (old + cin > in_slots) - (old > in_slots)
+                    if up_cnt:
+                        old = dproxy[p]
+                        nviol += (old + up_cnt > proxy_slots) - (
+                            old > proxy_slots
+                        )
+
+            feasible = nviol == 0
+            if not as_objective:
+                results.append(MoveScore(worst, feasible, nviol))
+                continue
+            if objective is None:
+                value = worst
+            elif not track_app:
+                value = objective.value(worst, None)
+            else:
+                ap_compute = a_compute[p] + (t_wppe if p_is_ppe else t_wspe)
+                if in_nbr:
+                    aft = Fget(p, 0.0) + Tget(p, 0.0)
+                    ap_in = a_in[p] + rt - aft
+                    ap_out = a_out[p] + wt - aft
+                else:
+                    ap_in = a_in[p] + rt
+                    ap_out = a_out[p] + wt
+                aval_p = max(ap_compute, ap_in / bw, ap_out / bw)
+                aworst = atop2 if atop1_pe == p else atop1
+                if aval_o > aworst:
+                    aworst = aval_o
+                if aval_p > aworst:
+                    aworst = aval_p
+                if multi:
+                    for key, b in a_links:
+                        time = (b + d_link.get(key, 0.0)) / bif_bw
+                        if time > aworst:
+                            aworst = time
+                    for key, dv2 in d_link.items():
+                        if key in a_link_keys:
+                            continue
+                        time = dv2 / bif_bw
+                        if time > aworst:
+                            aworst = time
+                app_periods = dict(base_app_periods)
+                app_periods[app_name] = aworst
+                value = objective.value(worst, app_periods)
+            results.append(ObjectiveScore(value, worst, feasible, nviol))
+        return results
+
+    def _sweep_fallback(
+        self, tid: int, pes: Sequence[int], objective, as_objective: bool
+    ):
+        """Per-candidate scoring for the mapping-dependent buffer modes.
+
+        The firstPeriod cone a move shifts depends on the *target* PE, so
+        there is no shared precomputation to exploit — each candidate runs
+        the (integer-indexed) delta path.  Same result types as
+        :meth:`_sweep`.
+        """
+        pe_list = self._pe
+        origin = pe_list[tid]
+        out = []
+        for pe in pes:
+            deltas = None if pe == origin else self._deltas_ids({tid: pe})
+            out.append(
+                self._evaluate(deltas, objective)
+                if as_objective
+                else self._score(deltas)
+            )
+        return out
 
     # ------------------------------------------------------------------ #
     # Public move/swap API
 
     def score_move(self, task: str, pe: int) -> MoveScore:
         """Score of the mapping with ``task`` moved to ``pe`` — O(deg(task))."""
-        return self._score(self._deltas({task: pe}))
+        tid = self._tid(task)
+        if not 0 <= pe < self._n_pes:
+            raise MappingError(
+                f"task {task!r} moved to invalid PE {pe!r} "
+                f"(platform has {self._n_pes} PEs)"
+            )
+        if self._mapping_dependent:
+            if pe == self._pe[tid]:
+                return self.score()
+            return self._score(self._deltas_ids({tid: pe}))
+        return self._sweep(tid, (pe,), None, False)[0]
+
+    def score_moves(
+        self, task: str, pes: Optional[Sequence[int]] = None
+    ) -> List[MoveScore]:
+        """Scores of moving ``task`` to each PE in ``pes``, in one pass.
+
+        ``pes`` defaults to every PE of the platform, so the result is
+        indexable by PE number; the entry for the task's current PE holds
+        the score of the unchanged state.  One O(deg + n_pes) shared
+        precomputation plus O(1) per candidate — the full-neighbourhood
+        hot path of the search heuristics (see the module docstring).
+        """
+        tid = self._tid(task)
+        if pes is None:
+            pes = range(self._n_pes)
+        else:
+            self._check_pes(pes)
+        if self._mapping_dependent:
+            return self._sweep_fallback(tid, pes, None, False)
+        return self._sweep(tid, pes, None, False)
 
     def score_swap(self, a: str, b: str) -> MoveScore:
         """Score of the mapping with tasks ``a`` and ``b`` exchanging PEs."""
@@ -1078,7 +1504,41 @@ class DeltaAnalyzer:
 
     def evaluate_move(self, task: str, pe: int, objective=None) -> ObjectiveScore:
         """Objective score with ``task`` moved to ``pe`` — O(deg(task))."""
-        return self._evaluate(self._deltas({task: pe}), objective)
+        tid = self._tid(task)
+        if not 0 <= pe < self._n_pes:
+            raise MappingError(
+                f"task {task!r} moved to invalid PE {pe!r} "
+                f"(platform has {self._n_pes} PEs)"
+            )
+        if self._mapping_dependent:
+            deltas = (
+                None if pe == self._pe[tid] else self._deltas_ids({tid: pe})
+            )
+            return self._evaluate(deltas, objective)
+        return self._sweep(tid, (pe,), objective, True)[0]
+
+    def evaluate_moves(
+        self,
+        task: str,
+        pes: Optional[Sequence[int]] = None,
+        objective=None,
+    ) -> List[ObjectiveScore]:
+        """Objective scores of moving ``task`` to each PE in ``pes``.
+
+        The objective-aware sibling of :meth:`score_moves` — one shared
+        precomputation, O(1) per candidate (plus O(n_apps) dictionary
+        assembly when the objective consumes per-application periods —
+        a move only perturbs its own application, so the others' cached
+        periods are reused verbatim).
+        """
+        tid = self._tid(task)
+        if pes is None:
+            pes = range(self._n_pes)
+        else:
+            self._check_pes(pes)
+        if self._mapping_dependent:
+            return self._sweep_fallback(tid, pes, objective, True)
+        return self._sweep(tid, pes, objective, True)
 
     def evaluate_swap(self, a: str, b: str, objective=None) -> ObjectiveScore:
         """Objective score with tasks ``a`` and ``b`` exchanging PEs."""
@@ -1089,6 +1549,46 @@ class DeltaAnalyzer:
     def evaluate_changes(self, changes: Dict[str, int], objective=None) -> ObjectiveScore:
         """Objective score with all of ``changes`` applied at once."""
         return self._evaluate(self._deltas(dict(changes)), objective)
+
+    def best_move(
+        self,
+        tasks: Optional[Sequence[str]] = None,
+        pes: Optional[Sequence[int]] = None,
+        objective=None,
+        period_cap: float = math.inf,
+    ) -> Optional[Tuple[str, int, ObjectiveScore]]:
+        """The best feasible single-task move over a whole neighbourhood.
+
+        Scans ``tasks`` (default: all) × ``pes`` (default: all) through
+        the batched kernel and returns ``(task, pe, score)`` for the
+        candidate minimising ``(value, period)`` *strictly below* the
+        current state's — or ``None`` at a local optimum.  Candidates
+        whose period exceeds ``period_cap`` are skipped unless they still
+        reduce the current period (the failure-repair descent rule of the
+        online runtime).  Ties keep the earliest candidate in visit
+        order, matching the historical per-candidate loops move for move.
+        """
+        current = self.evaluate(objective)
+        if tasks is None:
+            tasks = self._cg.names
+        if pes is None:
+            pes = range(self._n_pes)
+        best: Optional[Tuple[str, int, ObjectiveScore]] = None
+        best_key = (current.value, current.period)
+        cap = period_cap
+        cur_period = current.period
+        for name in tasks:
+            origin = self._pe[self._tid(name)]
+            scores = self.evaluate_moves(name, pes, objective)
+            for pe, score in zip(pes, scores):
+                if pe == origin or not score.feasible:
+                    continue
+                if score.period > cap and score.period >= cur_period:
+                    continue
+                key = (score.value, score.period)
+                if key < best_key:
+                    best, best_key = (name, pe, score), key
+        return best
 
     # ------------------------------------------------------------------ #
     # Full analysis

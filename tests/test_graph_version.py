@@ -111,6 +111,49 @@ class TestMutatorAudit:
         assert after["a"] > before["a"]
 
 
+class TestCompiledGraphAudit:
+    """`compile_graph` memoizes on ``StreamGraph.version`` exactly like
+    the memoized ``buffer_requirements``: every mutator that bumps the
+    version must force a recompilation, and the fresh compilation must
+    reflect the mutation (a stale hit would feed every DeltaAnalyzer
+    wrong cost/adjacency arrays)."""
+
+    def test_every_public_mutator_recompiles(self):
+        from repro.steady_state import compile_graph
+
+        g = build()
+        mutators = [
+            lambda: g.add_task(Task("c", wppe=1.0, wspe=1.0)),
+            lambda: g.add_edge(DataEdge("b", "c", 50.0)),
+            lambda: g.replace_task(Task("a", wppe=20.0, wspe=5.0)),
+            lambda: g.replace_edge(DataEdge("a", "b", 300.0)),
+        ]
+        for mutate in mutators:
+            before = compile_graph(g)
+            assert before is compile_graph(g)  # memo hit while unchanged
+            mutate()
+            after = compile_graph(g)
+            assert after is not before, (
+                "graph version bumped without a recompilation — the "
+                "compiled arrays would go stale"
+            )
+            assert after.version == g.version
+
+    def test_recompilation_reflects_the_mutation(self):
+        from repro.steady_state import compile_graph
+
+        g = build()
+        compile_graph(g)
+        g.replace_task(Task("a", wppe=77.0, wspe=5.0))
+        cg = compile_graph(g)
+        assert cg.wppe[cg.index["a"]] == 77.0
+        g.add_task(Task("c", wppe=1.0, wspe=1.0))
+        g.add_edge(DataEdge("b", "c", 64.0))
+        cg = compile_graph(g)
+        assert cg.n == 3 and cg.n_edges == 2
+        assert cg.names[cg.edge_dst[1]] == "c"
+
+
 class TestWorkloadVersionAudit:
     """`Workload.version` is the invalidation key of the memoized
     composite: it must change whenever the workload *or any member

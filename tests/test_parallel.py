@@ -93,6 +93,63 @@ class TestRunSweep:
         assert c == d
 
 
+class TestSweepCommon:
+    """The shared-context path: objects shipped once per worker via the
+    pool initializer must give bit-identical results to inline specs,
+    serially and in parallel."""
+
+    def test_refs_resolve_in_serial_and_parallel(
+        self, small_graph, small_platform
+    ):
+        from repro.experiments.common import SweepRef
+
+        config = SimConfig.ideal()
+        common = {"g": small_graph, "p": small_platform, "cfg": config}
+        ref_specs = [
+            (SweepRef("g"), SweepRef("p"), s, 60, SweepRef("cfg"))
+            for s in ("ppe", "greedy_cpu", "greedy_mem")
+        ]
+        inline_specs = [
+            (small_graph, small_platform, s, 60, config)
+            for s in ("ppe", "greedy_cpu", "greedy_mem")
+        ]
+        inline = run_sweep(rate_of_point, inline_specs)
+        serial = run_sweep(rate_of_point, ref_specs, common=common)
+        parallel = run_sweep(rate_of_point, ref_specs, jobs=2, common=common)
+        assert serial == inline
+        assert parallel == inline
+
+    def test_serial_context_is_restored(self, small_graph, small_platform):
+        from repro.experiments.parallel import sweep_common
+
+        config = SimConfig.ideal()
+        common = {"g": small_graph, "p": small_platform, "cfg": config}
+        from repro.experiments.common import SweepRef
+
+        specs = [(SweepRef("g"), SweepRef("p"), "ppe", 60, SweepRef("cfg"))]
+        assert sweep_common() is None
+        run_sweep(rate_of_point, specs, common=common)
+        assert sweep_common() is None
+
+    def test_missing_common_key_fails_fast(self, small_platform):
+        from repro.errors import ExperimentError
+        from repro.experiments.common import SweepRef
+
+        spec = (SweepRef("absent"), small_platform, "ppe", 60, SimConfig.ideal())
+        with pytest.raises(ExperimentError, match="absent"):
+            run_sweep(rate_of_point, [spec])
+
+    def test_explicit_chunksize_passthrough(self, small_graph, small_platform):
+        config = SimConfig.ideal()
+        specs = [
+            (small_graph, small_platform, s, 60, config)
+            for s in ("ppe", "greedy_cpu", "greedy_mem", "critical_path")
+        ]
+        serial = run_sweep(rate_of_point, specs)
+        chunked = run_sweep(rate_of_point, specs, jobs=2, chunksize=3)
+        assert chunked == serial
+
+
 class TestFigureJobs:
     def test_fig7_jobs_equivalent(self, small_graph, small_platform):
         kwargs = dict(
