@@ -38,6 +38,7 @@ from .experiments import (
     online,
     tables,
 )
+from .runtime.faults import load_timeline
 from .steady_state.objective import OBJECTIVES
 from .platform.cell import CellPlatform
 from .simulator import SimConfig, simulate
@@ -251,8 +252,24 @@ def main_experiment(argv: Optional[list] = None) -> int:
         f"(default: {online.DEFAULT_EVENTS})",
     )
     parser.add_argument(
-        "--seed", type=int, default=0, metavar="N",
+        "--seed", type=int, default=None, metavar="N",
         help="online only: base scenario seed (default: 0)",
+    )
+    parser.add_argument(
+        "--failures", type=int, default=None, metavar="N",
+        help="online only: SPE failure/recovery pairs per scenario "
+        "(default: 1)",
+    )
+    parser.add_argument(
+        "--mean-downtime", type=float, default=None, metavar="T",
+        help="online only: mean SPE outage duration "
+        "(default: the scenario's mean service time)",
+    )
+    parser.add_argument(
+        "--timeline", default=None, metavar="FILE",
+        help="online only: replay a saved JSON timeline instead of "
+        "generating scenarios (contradicts --loads/--events/--seed/"
+        "--failures/--mean-downtime)",
     )
     args = parser.parse_args(argv)
     if args.which in ("fig6", "tables") and args.jobs not in (None, 0, 1):
@@ -288,7 +305,10 @@ def main_experiment(argv: Optional[list] = None) -> int:
             ("--loads", args.loads is not None),
             ("--budgets", args.budgets is not None),
             ("--events", args.events is not None),
-            ("--seed", args.seed != 0),
+            ("--seed", args.seed is not None),
+            ("--failures", args.failures is not None),
+            ("--mean-downtime", args.mean_downtime is not None),
+            ("--timeline", args.timeline is not None),
         ):
             if given:
                 print(
@@ -427,6 +447,11 @@ def main_experiment(argv: Optional[list] = None) -> int:
                 jobs=args.jobs,
             )
         elif args.which == "online":
+            timeline = (
+                load_timeline(args.timeline)
+                if args.timeline is not None
+                else None
+            )
             online.main(
                 loads=loads,
                 budgets=budgets,
@@ -434,6 +459,9 @@ def main_experiment(argv: Optional[list] = None) -> int:
                 objective=args.objective,
                 seed=args.seed,
                 jobs=args.jobs,
+                n_failures=args.failures,
+                mean_downtime=args.mean_downtime,
+                timeline=timeline,
             )
         else:
             tables.main()

@@ -17,6 +17,14 @@ with deterministic, order-preserving results.  The scenario seed of a
 point is derived from ``(seed, load, n_events)`` only — *not* from the
 budget — so every budget column of a load row replays the identical
 event timeline, isolating the budget's effect.
+
+Fault injection (``n_failures``, ``mean_downtime``) threads through to
+the generator, and ``timeline`` replays an archived JSON timeline
+(:func:`repro.runtime.faults.save_timeline`) instead of generating one:
+replay rows carry ``load=None`` and every budget column plays the
+identical saved events.  Each point also reports the robustness metrics
+(period p50/p99, QoS violation rate, degraded fraction, shed and retry
+counts) of its :class:`~repro.runtime.report.RuntimeReport`.
 """
 
 from __future__ import annotations
@@ -26,8 +34,9 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError
 from ..platform.cell import CellPlatform
+from ..runtime.faults import timeline_dumps, timeline_loads
 from ..runtime.scenario import ScenarioGenerator
-from ..runtime.scheduler import OnlineScheduler
+from ..runtime.scheduler import SHED_POLICIES, OnlineScheduler
 from ..steady_state.objective import OBJECTIVES
 from .parallel import point_seed, run_sweep
 
@@ -54,9 +63,13 @@ DEFAULT_EVENTS: int = 24
 
 @dataclass(frozen=True)
 class OnlinePoint:
-    """One (load, migration budget) point of the online sweep."""
+    """One (load, migration budget) point of the online sweep.
 
-    load: float
+    ``load`` is ``None`` for timeline-replay points (the events come
+    from the archive, not from an offered-load scenario).
+    """
+
+    load: Optional[float]
     budget: int
     n_events: int
     arrivals: int
@@ -66,6 +79,12 @@ class OnlinePoint:
     migrations: int
     dropped: int
     all_feasible: bool
+    period_p50: float = 0.0
+    period_p99: float = 0.0
+    violation_rate: float = 0.0
+    degraded_fraction: float = 0.0
+    availability: float = 1.0
+    retries: int = 0
 
 
 @dataclass(frozen=True)
@@ -82,15 +101,22 @@ class OnlineResult:
             f"migration budget [objective: {self.objective}, "
             f"{self.n_events} events/scenario]",
             "    load  budget  accepted    rate  mean period  "
-            "migrations  dropped",
+            "migrations  dropped      p99  viol  degr",
         ]
-        for p in sorted(self.points, key=lambda p: (p.load, p.budget)):
+        ordered = sorted(
+            self.points,
+            key=lambda p: (p.load is None, p.load or 0.0, p.budget),
+        )
+        for p in ordered:
             flag = "" if p.all_feasible else "  !! infeasible state"
+            load = "replay" if p.load is None else f"{p.load:6.2f}"
             rows.append(
-                f"  {p.load:6.2f}  {p.budget:6d}  "
+                f"  {load:>6}  {p.budget:6d}  "
                 f"{p.accepted:3d}/{p.arrivals:<4d}  "
                 f"{100.0 * p.acceptance_rate:5.1f}%  {p.mean_period:11.2f}  "
-                f"{p.migrations:10d}  {p.dropped:7d}{flag}"
+                f"{p.migrations:10d}  {p.dropped:7d}  {p.period_p99:7.1f}  "
+                f"{100.0 * p.violation_rate:3.0f}%  "
+                f"{100.0 * p.degraded_fraction:3.0f}%{flag}"
             )
         return "\n".join(rows)
 
@@ -103,12 +129,34 @@ class OnlineResult:
 
 
 def online_point(spec) -> OnlinePoint:
-    """Generate and play one (platform, load, budget, ...) scenario."""
-    platform, load, budget, n_events, objective, scenario_seed = spec
-    generator = ScenarioGenerator(platform, seed=scenario_seed, load=load)
-    events = generator.generate(n_events)
+    """Generate (or replay) and play one online-scheduling scenario.
+
+    ``spec`` is a plain dict (picklable by value): scenario parameters
+    or an archived-timeline JSON text — never live graphs, so results
+    are independent of worker count and scheduling order.
+    """
+    platform = spec["platform"]
+    load = spec["load"]
+    budget = spec["budget"]
+    if spec.get("timeline") is not None:
+        events = timeline_loads(spec["timeline"])
+    else:
+        generator = ScenarioGenerator(
+            platform,
+            seed=spec["seed"],
+            load=load,
+            n_failures=spec["n_failures"],
+            mean_downtime=spec["mean_downtime"],
+        )
+        events = generator.generate(spec["n_events"])
     scheduler = OnlineScheduler(
-        platform, objective=objective, migration_budget=budget
+        platform,
+        objective=spec["objective"],
+        migration_budget=budget,
+        shed_policy=spec.get("shed_policy", "lowest-weight"),
+        retry_limit=spec.get("retry_limit", 0),
+        retry_backoff=spec.get("retry_backoff", 8.0),
+        brownout_threshold=spec.get("brownout_threshold", 0.0),
     )
     report = scheduler.run(events)
     return OnlinePoint(
@@ -122,6 +170,12 @@ def online_point(spec) -> OnlinePoint:
         migrations=report.total_migrations,
         dropped=len(report.dropped_apps),
         all_feasible=report.all_feasible,
+        period_p50=report.period_p50,
+        period_p99=report.period_p99,
+        violation_rate=report.qos_violation_rate,
+        degraded_fraction=report.degraded_fraction,
+        availability=report.availability,
+        retries=report.n_retries,
     )
 
 
@@ -133,41 +187,91 @@ def run(
     base_platform: Optional[CellPlatform] = None,
     seed: int = 0,
     jobs: Optional[int] = None,
+    n_failures: int = 1,
+    mean_downtime: Optional[float] = None,
+    timeline: Optional[Sequence] = None,
+    shed_policy: str = "lowest-weight",
+    retry_limit: int = 0,
+    retry_backoff: float = 8.0,
+    brownout_threshold: float = 0.0,
 ) -> OnlineResult:
-    """Sweep scenarios over offered loads and migration budgets."""
-    if not loads:
-        raise ExperimentError("no loads given; want positive floats")
-    if any(load <= 0 for load in loads):
-        raise ExperimentError(f"loads must be positive (got {tuple(loads)!r})")
+    """Sweep scenarios over offered loads and migration budgets.
+
+    With ``timeline`` (a validated event list, e.g. from
+    :func:`repro.runtime.faults.load_timeline`), the saved events replace
+    scenario generation: one replay point per budget, ``load=None``.
+    """
+    if timeline is None:
+        if not loads:
+            raise ExperimentError("no loads given; want positive floats")
+        if any(load <= 0 for load in loads):
+            raise ExperimentError(
+                f"loads must be positive (got {tuple(loads)!r})"
+            )
+        if n_events < 2:
+            raise ExperimentError(
+                f"n_events must be at least 2 (got {n_events!r})"
+            )
+        if n_failures < 0:
+            raise ExperimentError(
+                f"n_failures must be non-negative (got {n_failures!r})"
+            )
+        if mean_downtime is not None and mean_downtime <= 0:
+            raise ExperimentError(
+                f"mean_downtime must be positive (got {mean_downtime!r})"
+            )
     if not budgets:
         raise ExperimentError("no budgets given; want non-negative integers")
     if any(budget < 0 for budget in budgets):
         raise ExperimentError(
             f"budgets must be non-negative (got {tuple(budgets)!r})"
         )
-    if n_events < 2:
-        raise ExperimentError(
-            f"n_events must be at least 2 (got {n_events!r})"
-        )
     if objective not in OBJECTIVES:
         raise ExperimentError(
             f"unknown objective {objective!r}; "
             f"pick from {', '.join(OBJECTIVES)}"
         )
+    if shed_policy not in SHED_POLICIES:
+        raise ExperimentError(
+            f"unknown shed_policy {shed_policy!r}; "
+            f"pick from {', '.join(SHED_POLICIES)}"
+        )
     platform = base_platform or CellPlatform.qs22()
+    knobs = dict(
+        objective=objective,
+        shed_policy=shed_policy,
+        retry_limit=retry_limit,
+        retry_backoff=retry_backoff,
+        brownout_threshold=brownout_threshold,
+    )
 
     specs = []
-    for load in loads:
-        # Budget-independent scenario seed: every budget column of this
-        # load row replays the identical event timeline.
-        scenario_seed = point_seed("online", seed, load, n_events)
+    if timeline is not None:
+        # Replay: serialize once, parse in each worker — the spec stays
+        # a plain by-value payload, never a shared live graph.
+        text = timeline_dumps(timeline, indent=None)
         for budget in budgets:
             specs.append(
-                (platform, load, budget, n_events, objective, scenario_seed)
+                dict(platform=platform, load=None, budget=budget,
+                     timeline=text, **knobs)
             )
+    else:
+        for load in loads:
+            # Budget-independent scenario seed: every budget column of
+            # this load row replays the identical event timeline.
+            scenario_seed = point_seed("online", seed, load, n_events)
+            for budget in budgets:
+                specs.append(
+                    dict(platform=platform, load=load, budget=budget,
+                         n_events=n_events, seed=scenario_seed,
+                         n_failures=n_failures, mean_downtime=mean_downtime,
+                         **knobs)
+                )
     points = run_sweep(online_point, specs, jobs=jobs)
     return OnlineResult(
-        objective=objective, n_events=n_events, points=list(points)
+        objective=objective,
+        n_events=len(timeline) if timeline is not None else n_events,
+        points=list(points),
     )
 
 
@@ -176,10 +280,38 @@ def main(
     budgets: Optional[Sequence[int]] = None,
     n_events: Optional[int] = None,
     objective: str = "period",
-    seed: int = 0,
+    seed: Optional[int] = None,
     jobs: Optional[int] = None,
+    n_failures: Optional[int] = None,
+    mean_downtime: Optional[float] = None,
+    timeline: Optional[Sequence] = None,
 ) -> OnlineResult:
-    """CLI entry: print the deterministic acceptance/period table."""
+    """CLI entry: print the deterministic acceptance/period table.
+
+    ``timeline`` (a loaded event list) contradicts every
+    scenario-generation parameter: combining it with explicit loads,
+    events, seed or failure knobs raises :class:`UsageError` rather than
+    silently ignoring one of the two.
+    """
+    if timeline is not None:
+        from ..errors import UsageError
+
+        clashes = [
+            flag
+            for flag, value in (
+                ("--loads", loads),
+                ("--events", n_events),
+                ("--seed", seed),
+                ("--failures", n_failures),
+                ("--mean-downtime", mean_downtime),
+            )
+            if value is not None
+        ]
+        if clashes:
+            raise UsageError(
+                f"--timeline replays saved events; {', '.join(clashes)} "
+                "would be ignored — drop one side"
+            )
     # `is not None` (not falsiness): explicit-but-invalid values like
     # n_events=0 or empty loads must reach run()'s validation, not be
     # silently replaced by the defaults.
@@ -188,8 +320,11 @@ def main(
         budgets=tuple(budgets) if budgets is not None else DEFAULT_BUDGETS,
         n_events=n_events if n_events is not None else DEFAULT_EVENTS,
         objective=objective,
-        seed=seed,
+        seed=seed if seed is not None else 0,
         jobs=jobs,
+        n_failures=n_failures if n_failures is not None else 1,
+        mean_downtime=mean_downtime,
+        timeline=timeline,
     )
     print(result.table())
     return result

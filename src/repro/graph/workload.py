@@ -223,6 +223,27 @@ class Workload:
         self._version += app.graph.version + 1
         return app
 
+    def replace_graph(self, name: str, graph: StreamGraph) -> WorkloadApp:
+        """Swap application ``name``'s graph, keeping weight/target/order.
+
+        The online runtime's cost-perturbation windows use this to swap a
+        member for a scaled copy (and later swap the *original object*
+        back — exact restoration, no float drift).  The replaced graph's
+        version leaves the member sum, so the internal counter absorbs
+        its last contribution plus one, exactly like :meth:`remove_app`,
+        and :attr:`version` stays strictly increasing.
+        """
+        old = self.app(name)
+        graph.validate()
+        self._apps[name] = WorkloadApp(
+            name=name,
+            graph=graph,
+            weight=old.weight,
+            target_period=old.target_period,
+        )
+        self._version += old.graph.version + 1
+        return self._apps[name]
+
     @classmethod
     def from_graphs(
         cls,

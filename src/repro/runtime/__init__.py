@@ -1,21 +1,30 @@
 """Online scheduling runtime (beyond the paper: dynamic workloads).
 
 The offline layers map a fixed workload once; this subsystem keeps a
-platform's mapping alive while applications arrive and depart and SPEs
-fail and recover:
+platform's mapping alive while applications arrive and depart, SPEs
+fail and recover, and costs drift:
 
 * :mod:`~repro.runtime.events` — the event vocabulary
   (:class:`AppArrival`, :class:`AppDeparture`, :class:`SpeFailure`,
-  :class:`SpeRecovery`) and timeline validation;
+  :class:`SpeRecovery`, :class:`CostPerturbation`, :class:`CostRestore`)
+  and timeline validation;
 * :mod:`~repro.runtime.scheduler` — :class:`OnlineScheduler`: admission
   control by delta-scored incremental insertion, departure
   re-optimisation within an explicit migration budget, failure
-  evacuation with lowest-weight load shedding;
+  evacuation with policy-driven load shedding (:data:`SHED_POLICIES`),
+  deferred-admission retries with exponential backoff, and brownout
+  (degraded) mode under low capacity;
 * :mod:`~repro.runtime.scenario` — :class:`ScenarioGenerator`: seeded
-  Poisson-ish arrival/departure/failure timelines over the realistic
-  applications;
+  arrival/departure/failure timelines (Poisson, bursty or diurnal
+  arrivals) over the realistic applications;
+* :mod:`~repro.runtime.faults` — :class:`FaultInjector`: correlated
+  failure bursts, whole-Cell outages, cost-perturbation windows, and
+  JSON timeline save/replay; its module docstring is the written
+  event/time semantics contract;
 * :mod:`~repro.runtime.report` — :class:`RuntimeReport`: the
-  JSON-round-trippable per-event audit trail and its aggregate metrics.
+  JSON-round-trippable per-event audit trail, its aggregate metrics and
+  the robustness metrics (period quantiles, QoS violation rate,
+  time-in-degraded-mode, availability, shed/retry counts).
 
 The experiment driver lives in :mod:`repro.experiments.online`
 (``repro-experiment online`` on the command line).
@@ -24,26 +33,47 @@ The experiment driver lives in :mod:`repro.experiments.online`
 from .events import (
     AppArrival,
     AppDeparture,
+    CostPerturbation,
+    CostRestore,
     Event,
     SpeFailure,
     SpeRecovery,
     validate_timeline,
 )
+from .faults import (
+    FaultInjector,
+    load_timeline,
+    save_timeline,
+    timeline_dumps,
+    timeline_from_dict,
+    timeline_loads,
+    timeline_to_dict,
+)
 from .report import EventRecord, RuntimeReport
 from .scenario import DEFAULT_BUILDERS, ScenarioGenerator, solo_period_bound
-from .scheduler import OnlineScheduler
+from .scheduler import SHED_POLICIES, OnlineScheduler
 
 __all__ = [
     "AppArrival",
     "AppDeparture",
+    "CostPerturbation",
+    "CostRestore",
     "Event",
     "SpeFailure",
     "SpeRecovery",
     "validate_timeline",
+    "FaultInjector",
+    "timeline_to_dict",
+    "timeline_from_dict",
+    "timeline_dumps",
+    "timeline_loads",
+    "save_timeline",
+    "load_timeline",
     "EventRecord",
     "RuntimeReport",
     "DEFAULT_BUILDERS",
     "ScenarioGenerator",
     "solo_period_bound",
+    "SHED_POLICIES",
     "OnlineScheduler",
 ]

@@ -2,8 +2,8 @@
 
 The paper (and PRs 0–3) schedule a *fixed* workload offline.  A real Cell
 deployment faces a dynamic mix: streaming applications arrive and finish,
-and SPEs fail and come back.  The runtime models that as a deterministic
-timeline of four event kinds consumed by
+SPEs fail and come back, and the world's costs drift.  The runtime models
+that as a deterministic timeline of six event kinds consumed by
 :class:`~repro.runtime.scheduler.OnlineScheduler`:
 
 * :class:`AppArrival` — a new application asks to be admitted, carrying
@@ -13,13 +13,22 @@ timeline of four event kinds consumed by
   resources are freed;
 * :class:`SpeFailure` — an SPE drops out of service; every task it hosts
   must be evacuated;
-* :class:`SpeRecovery` — a failed SPE returns to service.
+* :class:`SpeRecovery` — a failed SPE returns to service;
+* :class:`CostPerturbation` — a transient stress window opens: every
+  resident (and subsequently arriving) application's compute costs are
+  scaled by ``compute_scale`` and every link rate (interface and BIF
+  bandwidth) by ``bw_scale``;
+* :class:`CostRestore` — the active perturbation window closes and the
+  exact pre-perturbation costs return (originals are restored by
+  reference, never by dividing — no float drift).
 
 Events are plain frozen dataclasses ordered by ``time`` (µs of wall
 clock — distinct from the µs-per-instance steady-state period).  The
 scheduler only requires the timeline to be time-sorted;
 :func:`validate_timeline` checks that plus per-event sanity so a
-malformed scenario fails loudly before any state mutates.
+malformed scenario fails loudly before any state mutates.  The full
+event/time semantics contract (monotonicity, interval semantics, what is
+dt-invariant) is written out in :mod:`repro.runtime.faults`.
 """
 
 from __future__ import annotations
@@ -35,6 +44,8 @@ __all__ = [
     "AppDeparture",
     "SpeFailure",
     "SpeRecovery",
+    "CostPerturbation",
+    "CostRestore",
     "Event",
     "validate_timeline",
 ]
@@ -110,21 +121,82 @@ class SpeRecovery:
         return f"PE{self.spe}"
 
 
-Event = Union[AppArrival, AppDeparture, SpeFailure, SpeRecovery]
+@dataclass(frozen=True)
+class CostPerturbation:
+    """A transient cost-stress window opens at ``time``.
 
-_EVENT_TYPES = (AppArrival, AppDeparture, SpeFailure, SpeRecovery)
+    ``compute_scale`` multiplies every resident task's ``wppe``/``wspe``
+    (values > 1 model slowdown: thermal throttling, contention);
+    ``bw_scale`` multiplies every link rate (values < 1 model degraded
+    interconnect).  Windows must not overlap: a second perturbation
+    before the matching :class:`CostRestore` is a timeline error.
+    """
+
+    time: float
+    compute_scale: float = 1.0
+    bw_scale: float = 1.0
+
+    event_type = "perturb"
+
+    def __post_init__(self) -> None:
+        if self.compute_scale <= 0 or self.bw_scale <= 0:
+            raise OnlineSchedulingError(
+                f"perturbation scales must be positive (got "
+                f"compute_scale={self.compute_scale!r}, "
+                f"bw_scale={self.bw_scale!r})"
+            )
+
+    @property
+    def subject(self) -> str:
+        return f"x{self.compute_scale:g}/x{self.bw_scale:g}"
+
+
+@dataclass(frozen=True)
+class CostRestore:
+    """The active perturbation window closes at ``time``."""
+
+    time: float
+
+    event_type = "restore"
+
+    @property
+    def subject(self) -> str:
+        return "costs"
+
+
+Event = Union[
+    AppArrival,
+    AppDeparture,
+    SpeFailure,
+    SpeRecovery,
+    CostPerturbation,
+    CostRestore,
+]
+
+_EVENT_TYPES = (
+    AppArrival,
+    AppDeparture,
+    SpeFailure,
+    SpeRecovery,
+    CostPerturbation,
+    CostRestore,
+)
 
 
 def validate_timeline(events: Iterable[Event]) -> List[Event]:
     """Check a timeline is well-formed; returns it as a list.
 
     Raises :class:`OnlineSchedulingError` on unknown event objects,
-    negative times, or out-of-order times.  Per-event semantic checks
-    (unknown SPE index, duplicate resident name...) are the scheduler's
-    job — they depend on its state.
+    negative times, out-of-order times, or unbalanced perturbation
+    windows (a :class:`CostPerturbation` while one is already open, or a
+    :class:`CostRestore` with none open — a pure timeline-shape property,
+    unlike state-dependent checks).  Per-event semantic checks (unknown
+    SPE index, duplicate resident name...) are the scheduler's job —
+    they depend on its state.
     """
     timeline = list(events)
     last = 0.0
+    perturbed = False
     for i, event in enumerate(timeline):
         if not isinstance(event, _EVENT_TYPES):
             raise OnlineSchedulingError(
@@ -140,4 +212,18 @@ def validate_timeline(events: Iterable[Event]) -> List[Event]:
                 f"({event.time:g} after {last:g}); sort events by time"
             )
         last = event.time
+        if isinstance(event, CostPerturbation):
+            if perturbed:
+                raise OnlineSchedulingError(
+                    f"timeline entry {i} opens a perturbation window while "
+                    "one is already open; windows must not overlap"
+                )
+            perturbed = True
+        elif isinstance(event, CostRestore):
+            if not perturbed:
+                raise OnlineSchedulingError(
+                    f"timeline entry {i} restores costs with no perturbation "
+                    "window open"
+                )
+            perturbed = False
     return timeline

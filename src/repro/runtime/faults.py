@@ -1,0 +1,457 @@
+"""Fault injection for the online runtime: correlated failures, cost
+perturbation windows, and JSON timeline save/replay.
+
+:class:`~repro.runtime.scenario.ScenarioGenerator` produces the gentle
+world — independent single-SPE failures, exact costs.
+:class:`FaultInjector` layers the harsh one on top of any timeline:
+
+* **correlated failure bursts** — a burst fails one seed SPE and then
+  *cascades*: with probability ``correlation`` another live SPE joins
+  the burst (repeated, so the burst size is geometric in the
+  correlation parameter), each cascade member failing a short lag after
+  the previous one — the power-rail/thermal-domain failure mode where
+  one fault takes neighbours down with it;
+* **whole-Cell outages** — with probability ``whole_cell_probability`` a
+  burst takes down *every* SPE of one randomly chosen Cell chip at
+  once (the platform's :meth:`~repro.platform.cell.CellPlatform.cell_of`
+  topology), the blade-level failure mode of multi-Cell platforms;
+* **cost perturbation windows** — paired
+  :class:`~repro.runtime.events.CostPerturbation` /
+  :class:`~repro.runtime.events.CostRestore` events scaling compute
+  costs and link rates for a bounded interval (windows never overlap).
+
+Everything is driven by one ``random.Random(seed)`` in a fixed order, so
+``FaultInjector(platform, seed).inject(timeline, ...)`` is deterministic
+per ``(seed, timeline, parameters)`` — the reproducibility anchor of the
+chaos harness.  Injected outage windows never overlap per SPE (an SPE
+only fails while it is up), so the merged timeline always passes
+:func:`~repro.runtime.events.validate_timeline` and the scheduler's own
+per-event checks.
+
+JSON save/replay
+----------------
+
+:func:`save_timeline` / :func:`load_timeline` (and the string/dict level
+``timeline_dumps`` / ``timeline_loads`` / ``timeline_to_dict`` /
+``timeline_from_dict``) archive a full event timeline — arrival graphs
+included, via :mod:`repro.graph.io` — so a generated-and-injected
+scenario can be replayed bit-for-bit later (``repro-experiment online
+--timeline saved.json``) without re-running the generator.
+
+Event/time semantics contract
+-----------------------------
+
+The runtime's notion of time obeys five rules; the chaos harness
+(``tests/test_chaos.py``) property-tests each of them:
+
+1. **Monotone clock.**  ``OnlineScheduler.time`` never decreases: events
+   must be fed in non-decreasing ``time`` order, and every emitted
+   :class:`~repro.runtime.report.EventRecord` (including deferred-retry
+   records, stamped at their *due* time) carries a time no earlier than
+   the previous record's.
+2. **Interval semantics.**  A record describes the committed state over
+   the half-open interval ``[its time, next record's time)``.  Duration
+   aggregates (time in degraded mode, availability) integrate over
+   those intervals; the state after the final record extends to the
+   final record's time, i.e. contributes zero measure.
+3. **Event atomicity.**  All consequences of one event — evacuation,
+   budgeted repair, shedding, brownout entry/exit — commit at that
+   event's timestamp.  Time does not pass *during* an event.
+4. **dt-invariance.**  Decisions depend only on event *order* and the
+   committed state, never on the wall-clock gaps between events:
+   translating or uniformly stretching every timestamp (and retry
+   backoff) changes no admission, placement, shedding or brownout
+   decision — only the timestamps and duration-weighted aggregates.
+   The only time-*derived* decisions are deferred-retry due times,
+   which stretch along with the timeline.
+5. **Pairing.**  ``SpeFailure``/``SpeRecovery`` and
+   ``CostPerturbation``/``CostRestore`` come in ordered pairs: an SPE
+   fails only while up and recovers only while down; perturbation
+   windows never nest or overlap.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from random import Random
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import GeneratorError, OnlineSchedulingError
+from ..graph import io as graph_io
+from ..platform.cell import CellPlatform
+from .events import (
+    AppArrival,
+    AppDeparture,
+    CostPerturbation,
+    CostRestore,
+    Event,
+    SpeFailure,
+    SpeRecovery,
+    validate_timeline,
+)
+
+__all__ = [
+    "FaultInjector",
+    "timeline_to_dict",
+    "timeline_from_dict",
+    "timeline_dumps",
+    "timeline_loads",
+    "save_timeline",
+    "load_timeline",
+]
+
+_SCHEMA_VERSION = 1
+
+
+class FaultInjector:
+    """Seeded correlated-failure and cost-perturbation injection.
+
+    Parameters
+    ----------
+    platform:
+        Supplies the SPE indices and the Cell topology bursts may hit.
+    seed:
+        Drives every random draw; equal seeds give equal injections.
+    correlation:
+        Cascade probability in ``[0, 1)``: after each burst member,
+        another live SPE joins with this probability (burst size is
+        geometric), so ``0.0`` degenerates to independent single-SPE
+        failures.
+    whole_cell_probability:
+        Probability in ``[0, 1]`` that a burst is a whole-Cell outage
+        (every SPE of one chip) instead of a cascade.
+    mean_downtime:
+        Mean outage duration per failed SPE (exponential).
+    cascade_lag:
+        Mean lag between consecutive members of one cascade
+        (exponential; whole-Cell outages hit all members at the same
+        instant).
+    compute_scale / bw_scale:
+        Uniform ranges the perturbation window scales are drawn from
+        (compute slowdown ≥ is typical with lo ≥ 1; bandwidth
+        degradation with hi ≤ 1).
+    mean_perturbation:
+        Mean perturbation window length (exponential).
+    """
+
+    def __init__(
+        self,
+        platform: CellPlatform,
+        seed: int = 0,
+        correlation: float = 0.4,
+        whole_cell_probability: float = 0.0,
+        mean_downtime: float = 25.0,
+        cascade_lag: float = 1.0,
+        compute_scale: Tuple[float, float] = (1.25, 2.5),
+        bw_scale: Tuple[float, float] = (0.4, 1.0),
+        mean_perturbation: float = 20.0,
+    ) -> None:
+        if not 0.0 <= correlation < 1.0:
+            raise GeneratorError(
+                f"correlation must be within [0, 1) so cascades terminate "
+                f"(got {correlation!r})"
+            )
+        if not 0.0 <= whole_cell_probability <= 1.0:
+            raise GeneratorError(
+                "whole_cell_probability must be within [0, 1] "
+                f"(got {whole_cell_probability!r})"
+            )
+        if mean_downtime <= 0:
+            raise GeneratorError(
+                f"mean_downtime must be positive (got {mean_downtime!r})"
+            )
+        if cascade_lag <= 0:
+            raise GeneratorError(
+                f"cascade_lag must be positive (got {cascade_lag!r})"
+            )
+        if mean_perturbation <= 0:
+            raise GeneratorError(
+                f"mean_perturbation must be positive (got {mean_perturbation!r})"
+            )
+        for label, (lo, hi) in (
+            ("compute_scale", compute_scale),
+            ("bw_scale", bw_scale),
+        ):
+            if lo <= 0 or hi < lo:
+                raise GeneratorError(
+                    f"{label} must be 0 < lo <= hi (got {(lo, hi)!r})"
+                )
+        self.platform = platform
+        self.seed = int(seed)
+        self.correlation = float(correlation)
+        self.whole_cell_probability = float(whole_cell_probability)
+        self.mean_downtime = float(mean_downtime)
+        self.cascade_lag = float(cascade_lag)
+        self.compute_scale = (float(compute_scale[0]), float(compute_scale[1]))
+        self.bw_scale = (float(bw_scale[0]), float(bw_scale[1]))
+        self.mean_perturbation = float(mean_perturbation)
+
+    # ------------------------------------------------------------------ #
+
+    def inject(
+        self,
+        timeline: Sequence[Event],
+        n_bursts: int = 1,
+        n_perturbations: int = 0,
+    ) -> List[Event]:
+        """Merge fault events into ``timeline``; returns a valid timeline.
+
+        ``n_bursts`` correlated failure bursts and ``n_perturbations``
+        cost-perturbation windows are placed uniformly over the base
+        timeline's horizon.  Bursts never double-fail an SPE (a member
+        whose new outage window would overlap one of its existing ones
+        is skipped), and perturbation windows are placed back to back
+        without overlap, so the merged timeline always validates.
+        """
+        if n_bursts < 0 or n_perturbations < 0:
+            raise GeneratorError(
+                "n_bursts and n_perturbations must be non-negative "
+                f"(got {n_bursts!r}, {n_perturbations!r})"
+            )
+        base = validate_timeline(timeline)
+        rng = Random(self.seed)
+        horizon = max((e.time for e in base), default=0.0) or 1.0
+        faults: List[Event] = []
+        # Per-SPE outage windows already allocated (base timeline included,
+        # so injection composes with generator-produced failures).
+        outages: Dict[int, List[Tuple[float, float]]] = {}
+        open_failure: Dict[int, float] = {}
+        for event in base:
+            if isinstance(event, SpeFailure):
+                open_failure[event.spe] = event.time
+            elif isinstance(event, SpeRecovery):
+                start = open_failure.pop(event.spe, event.time)
+                outages.setdefault(event.spe, []).append((start, event.time))
+        for spe, start in open_failure.items():
+            outages.setdefault(spe, []).append((start, math.inf))
+
+        for burst_at in sorted(rng.uniform(0.0, horizon) for _ in range(n_bursts)):
+            faults.extend(self._burst(rng, burst_at, outages))
+        faults.extend(self._perturbations(rng, horizon, n_perturbations))
+
+        merged = sorted(base + faults, key=lambda e: e.time)
+        return validate_timeline(merged)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+
+    def _free(
+        self,
+        outages: Dict[int, List[Tuple[float, float]]],
+        spe: int,
+        start: float,
+        end: float,
+    ) -> bool:
+        """Whether SPE ``spe`` is up throughout ``[start, end]``."""
+        return all(
+            end < lo or start > hi for lo, hi in outages.get(spe, ())
+        )
+
+    def _fail(
+        self,
+        rng: Random,
+        spe: int,
+        at: float,
+        outages: Dict[int, List[Tuple[float, float]]],
+    ) -> List[Event]:
+        """One failure/recovery pair, or nothing when the window clashes."""
+        downtime = rng.expovariate(1.0 / self.mean_downtime)
+        if not self._free(outages, spe, at, at + downtime):
+            return []
+        outages.setdefault(spe, []).append((at, at + downtime))
+        return [
+            SpeFailure(time=at, spe=spe),
+            SpeRecovery(time=at + downtime, spe=spe),
+        ]
+
+    def _burst(
+        self,
+        rng: Random,
+        at: float,
+        outages: Dict[int, List[Tuple[float, float]]],
+    ) -> List[Event]:
+        """One correlated burst starting at ``at``."""
+        spes = list(self.platform.spe_indices)
+        if not spes:
+            return []
+        events: List[Event] = []
+        if (
+            self.platform.n_cells > 1
+            and rng.random() < self.whole_cell_probability
+        ):
+            # Whole-Cell outage: every SPE of one chip, same instant.
+            cell = rng.randrange(self.platform.n_cells)
+            for spe in spes:
+                if self.platform.cell_of(spe) == cell:
+                    events.extend(self._fail(rng, spe, at, outages))
+            return events
+        # Cascade: seed member, then geometric spread with a short lag.
+        members: List[int] = []
+        clock = at
+        while True:
+            candidates = [s for s in spes if s not in members]
+            if not candidates:
+                break
+            spe = candidates[rng.randrange(len(candidates))]
+            members.append(spe)
+            events.extend(self._fail(rng, spe, clock, outages))
+            if rng.random() >= self.correlation:
+                break
+            clock += rng.expovariate(1.0 / self.cascade_lag)
+        return events
+
+    def _perturbations(
+        self, rng: Random, horizon: float, count: int
+    ) -> List[Event]:
+        """``count`` non-overlapping perturbation windows over the horizon."""
+        events: List[Event] = []
+        starts = sorted(rng.uniform(0.0, horizon) for _ in range(count))
+        for i, start in enumerate(starts):
+            duration = rng.expovariate(1.0 / self.mean_perturbation)
+            end = start + duration
+            if i + 1 < len(starts) and end >= starts[i + 1]:
+                # Truncate so the next window opens on closed costs.
+                end = start + 0.5 * (starts[i + 1] - start)
+            events.append(
+                CostPerturbation(
+                    time=start,
+                    compute_scale=rng.uniform(*self.compute_scale),
+                    bw_scale=rng.uniform(*self.bw_scale),
+                )
+            )
+            events.append(CostRestore(time=end))
+        return events
+
+
+# ---------------------------------------------------------------------- #
+# JSON timeline save/replay
+
+
+def timeline_to_dict(events: Sequence[Event]) -> Dict[str, Any]:
+    """JSON-serialisable form of a timeline (arrival graphs embedded)."""
+    payload: List[Dict[str, Any]] = []
+    for event in validate_timeline(events):
+        if isinstance(event, AppArrival):
+            payload.append(
+                {
+                    "type": "arrival",
+                    "time": event.time,
+                    "name": event.name,
+                    "graph": graph_io.to_dict(event.graph),
+                    "weight": event.weight,
+                    "target_period": event.target_period,
+                    "app_kind": event.app_kind,
+                }
+            )
+        elif isinstance(event, AppDeparture):
+            payload.append(
+                {"type": "departure", "time": event.time, "name": event.name}
+            )
+        elif isinstance(event, SpeFailure):
+            payload.append(
+                {"type": "failure", "time": event.time, "spe": event.spe}
+            )
+        elif isinstance(event, SpeRecovery):
+            payload.append(
+                {"type": "recovery", "time": event.time, "spe": event.spe}
+            )
+        elif isinstance(event, CostPerturbation):
+            payload.append(
+                {
+                    "type": "perturb",
+                    "time": event.time,
+                    "compute_scale": event.compute_scale,
+                    "bw_scale": event.bw_scale,
+                }
+            )
+        else:  # CostRestore — validate_timeline admits nothing else
+            payload.append({"type": "restore", "time": event.time})
+    return {"schema": _SCHEMA_VERSION, "events": payload}
+
+
+def timeline_from_dict(payload: Dict[str, Any]) -> List[Event]:
+    """Rebuild a validated timeline from :func:`timeline_to_dict` output."""
+    try:
+        entries = payload["events"]
+        events: List[Event] = []
+        for entry in entries:
+            kind = entry["type"]
+            time = float(entry["time"])
+            if kind == "arrival":
+                events.append(
+                    AppArrival(
+                        time=time,
+                        name=str(entry["name"]),
+                        graph=graph_io.from_dict(entry["graph"]),
+                        weight=float(entry.get("weight", 1.0)),
+                        target_period=(
+                            None
+                            if entry.get("target_period") is None
+                            else float(entry["target_period"])
+                        ),
+                        app_kind=str(entry.get("app_kind", "")),
+                    )
+                )
+            elif kind == "departure":
+                events.append(AppDeparture(time=time, name=str(entry["name"])))
+            elif kind == "failure":
+                events.append(SpeFailure(time=time, spe=int(entry["spe"])))
+            elif kind == "recovery":
+                events.append(SpeRecovery(time=time, spe=int(entry["spe"])))
+            elif kind == "perturb":
+                events.append(
+                    CostPerturbation(
+                        time=time,
+                        compute_scale=float(entry.get("compute_scale", 1.0)),
+                        bw_scale=float(entry.get("bw_scale", 1.0)),
+                    )
+                )
+            elif kind == "restore":
+                events.append(CostRestore(time=time))
+            else:
+                raise OnlineSchedulingError(
+                    f"unknown timeline event type {kind!r}"
+                )
+    except OnlineSchedulingError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise OnlineSchedulingError(
+            f"malformed timeline payload: {exc}"
+        ) from exc
+    return validate_timeline(events)
+
+
+def timeline_dumps(events: Sequence[Event], indent: Optional[int] = 2) -> str:
+    """Serialise a timeline to a JSON string."""
+    return json.dumps(timeline_to_dict(events), indent=indent)
+
+
+def timeline_loads(text: str) -> List[Event]:
+    """Parse a timeline from JSON text produced by :func:`timeline_dumps`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise OnlineSchedulingError(
+            f"malformed timeline payload: {exc}"
+        ) from exc
+    return timeline_from_dict(payload)
+
+
+def save_timeline(events: Sequence[Event], path: Union[str, Path]) -> Path:
+    """Write a timeline as JSON to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(timeline_dumps(events))
+    return path
+
+
+def load_timeline(path: Union[str, Path]) -> List[Event]:
+    """Read a timeline from a JSON file written by :func:`save_timeline`."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise OnlineSchedulingError(
+            f"cannot read timeline file {str(path)!r}: {exc}"
+        ) from exc
+    return timeline_loads(text)

@@ -9,6 +9,15 @@ objective value.  It is a plain-data object: JSON round-trippable
 run can be archived and replayed/diffed without re-executing the
 scheduler, and the aggregate metrics the online experiment sweeps
 (acceptance rate, mean period, migration count) are derived properties.
+
+Duration-weighted aggregates follow the runtime's **interval
+semantics** (the contract in :mod:`repro.runtime.faults`): record ``i``
+describes the committed state over ``[t_i, t_{i+1})``, so time-in-
+degraded-mode, the QoS violation rate and availability integrate each
+record's flags over the gap to the *next* record — the final record
+extends to its own time and contributes zero measure.  Event-count
+aggregates (acceptance rate, shed/retry counts) are dt-invariant;
+duration aggregates are exactly the ones that are not.
 """
 
 from __future__ import annotations
@@ -26,15 +35,21 @@ __all__ = ["EventRecord", "RuntimeReport"]
 class EventRecord:
     """Outcome of one timeline event.
 
-    ``accepted`` is three-valued: ``True``/``False`` for arrivals,
-    ``None`` for every other event kind.  ``period``/``value``/
-    ``feasible`` describe the committed post-event state (0.0/0.0/True
-    when no application is resident).
+    ``accepted`` is three-valued: ``True``/``False`` for arrivals (and
+    deferred-admission ``retry`` attempts), ``None`` for every other
+    event kind.  ``period``/``value``/``feasible`` describe the
+    committed post-event state (0.0/0.0/True when no application is
+    resident).  ``degraded`` flags brownout mode, ``target_misses``
+    counts resident applications whose declared QoS target the shared
+    period misses (only non-zero in degraded mode — full-service states
+    always meet every target), and ``app_periods`` carries the per-app
+    periods of the committed state for quantile aggregation.
     """
 
     seq: int
     time: float
     event: str  # "arrival" | "departure" | "failure" | "recovery"
+    #          # | "perturb" | "restore" | "retry"
     subject: str  # application name or PE name
     accepted: Optional[bool]
     reason: str  # rejection reason or informational note
@@ -45,10 +60,16 @@ class EventRecord:
     feasible: bool
     n_apps: int
     n_tasks: int
+    degraded: bool = False
+    target_misses: int = 0
+    app_periods: Tuple[Tuple[str, float], ...] = ()
 
     def to_dict(self) -> Dict:
         payload = asdict(self)
         payload["dropped"] = list(self.dropped)
+        payload["app_periods"] = [
+            [name, period] for name, period in self.app_periods
+        ]
         return payload
 
     @classmethod
@@ -72,6 +93,14 @@ class EventRecord:
                 feasible=bool(payload["feasible"]),
                 n_apps=int(payload["n_apps"]),
                 n_tasks=int(payload["n_tasks"]),
+                # Robustness fields: absent in pre-fault-injection
+                # archives, which load with the benign defaults.
+                degraded=bool(payload.get("degraded", False)),
+                target_misses=int(payload.get("target_misses", 0)),
+                app_periods=tuple(
+                    (str(name), float(period))
+                    for name, period in payload.get("app_periods", [])
+                ),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise OnlineSchedulingError(
@@ -132,6 +161,126 @@ class RuntimeReport:
         return all(r.feasible for r in self.records)
 
     # ------------------------------------------------------------------ #
+    # Robustness metrics (duration-weighted ones use interval semantics)
+
+    @staticmethod
+    def _quantile(values: List[float], q: float) -> float:
+        """Linear-interpolation quantile of ``values`` (0.0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise OnlineSchedulingError(
+                f"quantile must be within [0, 1] (got {q!r})"
+            )
+        if not values:
+            return 0.0
+        ordered = sorted(values)
+        rank = q * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        return ordered[lo] + (rank - lo) * (ordered[hi] - ordered[lo])
+
+    def period_quantile(self, q: float) -> float:
+        """Quantile of the post-event shared period over non-idle states."""
+        return self._quantile(
+            [r.period for r in self.records if r.n_apps > 0], q
+        )
+
+    @property
+    def period_p50(self) -> float:
+        return self.period_quantile(0.5)
+
+    @property
+    def period_p99(self) -> float:
+        return self.period_quantile(0.99)
+
+    def app_period_quantiles(
+        self, q: float = 0.5
+    ) -> Dict[str, float]:
+        """Per-application period quantile over the states it was resident.
+
+        Aggregates each record's ``app_periods`` (the per-app period of
+        the committed state), so an application's tail latency is
+        visible even when the shared period is dominated by others.
+        """
+        samples: Dict[str, List[float]] = {}
+        for record in self.records:
+            for name, period in record.app_periods:
+                samples.setdefault(name, []).append(period)
+        return {
+            name: self._quantile(values, q)
+            for name, values in samples.items()
+        }
+
+    def _span_where(self, flag) -> float:
+        """Total duration of intervals whose *leading* record sets ``flag``.
+
+        Interval semantics: record ``i`` rules ``[t_i, t_{i+1})``; the
+        final record contributes zero measure.
+        """
+        return sum(
+            self.records[i + 1].time - self.records[i].time
+            for i in range(len(self.records) - 1)
+            if flag(self.records[i])
+        )
+
+    @property
+    def span(self) -> float:
+        """Wall-clock extent of the run (first to last record)."""
+        if len(self.records) < 2:
+            return 0.0
+        return self.records[-1].time - self.records[0].time
+
+    @property
+    def time_in_degraded(self) -> float:
+        """Total wall-clock time spent in brownout (degraded) mode."""
+        return self._span_where(lambda r: r.degraded)
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Degraded time over the run's span (0.0 for degenerate spans)."""
+        span = self.span
+        return self.time_in_degraded / span if span else 0.0
+
+    @property
+    def qos_violation_rate(self) -> float:
+        """Fraction of the span with at least one missed QoS target."""
+        span = self.span
+        if not span:
+            return 0.0
+        return self._span_where(lambda r: r.target_misses > 0) / span
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the span at full service.
+
+        Full service = not in brownout and every resident QoS target
+        met; the complement is the degraded-or-violating measure.  1.0
+        for degenerate spans (nothing happened, nothing was missed).
+        """
+        span = self.span
+        if not span:
+            return 1.0
+        lost = self._span_where(lambda r: r.degraded or r.target_misses > 0)
+        return 1.0 - lost / span
+
+    @property
+    def shed_count(self) -> int:
+        """Applications shed (dropped) by degradation handling."""
+        return len(self.dropped_apps)
+
+    @property
+    def n_retries(self) -> int:
+        """Deferred-admission retry attempts fired from the queue."""
+        return sum(1 for r in self.records if r.event == "retry")
+
+    @property
+    def n_retry_admitted(self) -> int:
+        return sum(
+            1
+            for r in self.records
+            if r.event == "retry" and r.accepted is True
+        )
+
+    # ------------------------------------------------------------------ #
     # Serialization (replay/diff without re-running the scheduler)
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -182,10 +331,11 @@ class RuntimeReport:
                 outcome = "-"
             detail = f" ({r.reason})" if r.reason else ""
             drop = f" drop:{','.join(r.dropped)}" if r.dropped else ""
+            mode = " [degraded]" if r.degraded else ""
             rows.append(
                 f"  {r.seq:3d}  {r.time:8.1f}  {r.event:<9}  "
                 f"{r.subject:<19}  {outcome:<9}  {r.migrations:4d}  "
-                f"{r.period:8.2f}  {r.n_apps:4d}{detail}{drop}"
+                f"{r.period:8.2f}  {r.n_apps:4d}{mode}{detail}{drop}"
             )
         rows.append(
             f"  => acceptance {self.n_accepted}/{self.n_arrivals} "
@@ -193,5 +343,13 @@ class RuntimeReport:
             f"mean period {self.mean_period:.2f} µs, "
             f"{self.total_migrations} migrations, "
             f"{len(self.dropped_apps)} dropped"
+        )
+        rows.append(
+            f"  => robustness: period p50/p99 {self.period_p50:.2f}/"
+            f"{self.period_p99:.2f} µs, QoS violation rate "
+            f"{100.0 * self.qos_violation_rate:.0f}%, degraded "
+            f"{100.0 * self.degraded_fraction:.0f}% of span, availability "
+            f"{100.0 * self.availability:.0f}%, {self.shed_count} shed, "
+            f"{self.n_retry_admitted}/{self.n_retries} retries admitted"
         )
         return "\n".join(rows)

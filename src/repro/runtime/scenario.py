@@ -8,6 +8,16 @@ service times (each arrival is paired with its departure), and SPE
 failure injection (each failure paired with a recovery after an
 exponential downtime, on distinct SPEs so windows may overlap safely).
 
+Beyond the stationary Poisson default, ``arrival_pattern`` modulates the
+arrival process: ``"bursty"`` compresses every ``burst_size``-th run of
+inter-arrival gaps by ``burst_factor`` (flash crowds separated by lulls,
+same mean offered load), and ``"diurnal"`` modulates the instantaneous
+arrival rate sinusoidally over ``diurnal_period`` (daily traffic cycles,
+thinning-free via per-gap rate evaluation).  Correlated *failure* bursts
+and cost-perturbation windows live one layer up, in
+:class:`~repro.runtime.faults.FaultInjector`, which layers them onto any
+generated timeline.
+
 Arriving applications are drawn from the ``builders`` registry (the
 realistic ``repro.apps`` workloads by default), get a weight from
 ``weight_choices`` and, with probability ``target_probability``, a QoS
@@ -23,6 +33,7 @@ timeline — the reproducibility anchor of the online experiment sweep.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -78,8 +89,18 @@ class ScenarioGenerator:
     n_failures:
         SPE failure/recovery pairs to inject, each on a distinct SPE.
     mean_downtime:
-        Mean failure duration (defaults to ``mean_service``).
+        Mean failure duration (defaults to ``mean_service``; must be
+        positive when given).
+    arrival_pattern:
+        ``"poisson"`` (stationary, the default), ``"bursty"`` (arrivals
+        clumped in runs of ``burst_size``, intra-burst gaps compressed
+        by ``burst_factor`` with the burst leader's gap stretched to
+        keep the mean offered load), or ``"diurnal"`` (instantaneous
+        arrival rate modulated by ``1 + diurnal_amplitude ·
+        sin(2πt/diurnal_period)``).
     """
+
+    ARRIVAL_PATTERNS = ("poisson", "bursty", "diurnal")
 
     def __init__(
         self,
@@ -93,6 +114,11 @@ class ScenarioGenerator:
         weight_choices: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
         n_failures: int = 1,
         mean_downtime: Optional[float] = None,
+        arrival_pattern: str = "poisson",
+        burst_factor: float = 4.0,
+        burst_size: int = 3,
+        diurnal_period: float = 120.0,
+        diurnal_amplitude: float = 0.8,
     ) -> None:
         if load <= 0:
             raise GeneratorError(f"load must be positive (got {load!r})")
@@ -118,6 +144,34 @@ class ScenarioGenerator:
             )
         if not weight_choices:
             raise GeneratorError("weight_choices must not be empty")
+        if mean_downtime is not None and mean_downtime <= 0:
+            # Caught up front: a non-positive mean would only blow up
+            # inside expovariate() halfway through generate().
+            raise GeneratorError(
+                f"mean_downtime must be positive (got {mean_downtime!r})"
+            )
+        if arrival_pattern not in self.ARRIVAL_PATTERNS:
+            raise GeneratorError(
+                f"unknown arrival_pattern {arrival_pattern!r}; choose one "
+                f"of {self.ARRIVAL_PATTERNS}"
+            )
+        if burst_factor < 1.0:
+            raise GeneratorError(
+                f"burst_factor must be at least 1 (got {burst_factor!r})"
+            )
+        if burst_size < 1:
+            raise GeneratorError(
+                f"burst_size must be at least 1 (got {burst_size!r})"
+            )
+        if diurnal_period <= 0:
+            raise GeneratorError(
+                f"diurnal_period must be positive (got {diurnal_period!r})"
+            )
+        if not 0.0 <= diurnal_amplitude < 1.0:
+            raise GeneratorError(
+                "diurnal_amplitude must be within [0, 1) so the rate stays "
+                f"positive (got {diurnal_amplitude!r})"
+            )
         self.platform = platform
         self.seed = int(seed)
         self.load = float(load)
@@ -132,6 +186,35 @@ class ScenarioGenerator:
         self.mean_downtime = float(
             mean_downtime if mean_downtime is not None else mean_service
         )
+        self.arrival_pattern = arrival_pattern
+        self.burst_factor = float(burst_factor)
+        self.burst_size = int(burst_size)
+        self.diurnal_period = float(diurnal_period)
+        self.diurnal_amplitude = float(diurnal_amplitude)
+
+    def _arrival_gap(self, rng: random.Random, i: int, clock: float) -> float:
+        """The ``i``-th inter-arrival gap, per ``arrival_pattern``.
+
+        Always exactly one ``expovariate`` draw, so the ``"poisson"``
+        default reproduces the pre-pattern draw order bit-for-bit and
+        every pattern consumes the same amount of randomness.
+        """
+        rate = self.load / self.mean_service
+        if self.arrival_pattern == "diurnal":
+            rate *= 1.0 + self.diurnal_amplitude * math.sin(
+                2.0 * math.pi * clock / self.diurnal_period
+            )
+        gap = rng.expovariate(rate)
+        if self.arrival_pattern == "bursty":
+            if i % self.burst_size:
+                gap /= self.burst_factor  # inside a burst: compressed
+            else:
+                # Burst leader: stretched to compensate the members'
+                # compression, keeping the mean offered load unchanged.
+                gap *= 1.0 + (self.burst_size - 1) * (
+                    1.0 - 1.0 / self.burst_factor
+                )
+        return gap
 
     def generate(self, n_events: int = 24) -> List[Event]:
         """A time-sorted timeline of exactly ``n_events`` events.
@@ -156,7 +239,7 @@ class ScenarioGenerator:
         clock = 0.0
         horizon = 0.0
         for i in range(n_pairs + lone):
-            clock += rng.expovariate(self.load / self.mean_service)
+            clock += self._arrival_gap(rng, i, clock)
             kind = kinds[rng.randrange(len(kinds))]
             graph = self.builders[kind]()
             weight = self.weight_choices[

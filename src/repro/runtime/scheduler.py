@@ -35,14 +35,42 @@ always hard-feasible, since a PPE has no store/DMA limits and evacuating
 cannot raise any other SPE's constraint counts — then re-placed on live
 PEs by the same delta-scored insertion.  If the shrunken platform cannot
 meet the resident targets even after a budgeted remap, the scheduler
-sheds load: the **lowest-weight** application (ties: earliest resident)
-is dropped and the check repeats.  Recovery re-runs the budgeted
-remapping so load can spread back onto the returned SPE.
+sheds load: a victim chosen by the pluggable **shed policy**
+(:data:`SHED_POLICIES`: ``lowest-weight`` default, ``highest-stretch``,
+``newest-first``) is dropped and the check repeats.  Recovery re-runs
+the budgeted remapping so load can spread back onto the returned SPE.
 
-Every committed (post-event) state is hard-feasible and meets all
-resident targets, and the analyzer is re-anchored (``resync``) at each
-commit, so its ``snapshot()`` is bit-identical to a fresh ``analyze()``
-of the surviving workload in every buffer-model mode.
+**Graceful degradation.**  Three opt-in mechanisms soften the hard
+gates under stress:
+
+* *deferred admission* — with ``retry_limit > 0``, a rejected arrival
+  (infeasible or target-missed, not duplicate-named) is queued and
+  retried with exponential backoff (``retry_backoff · 2^attempt`` after
+  each rejection); retries fire from :meth:`process` before the next
+  timeline event, are recorded with event kind ``"retry"`` at their due
+  time, and a departure of a still-queued application cancels its
+  retries;
+* *brownout mode* — with ``brownout_threshold > 0``, the scheduler
+  enters degraded mode whenever the live-SPE fraction drops below the
+  threshold: the QoS gate relaxes to weighted best-effort (admission
+  and shedding check hard feasibility only, declared targets may be
+  missed), and recovery that lifts capacity back above the threshold
+  exits brownout and re-enforces the full gate — repairing, then
+  shedding by policy, until every resident target is met again;
+* *cost perturbation windows* (:class:`CostPerturbation` /
+  :class:`CostRestore`) — resident (and arriving) graphs are swapped
+  for ``scaled()`` copies and the platform for a bandwidth-scaled copy;
+  the original objects are kept and swapped back at restore, so
+  post-window costs are bit-identical to pre-window costs (no float
+  drift).
+
+Every committed (post-event) state is hard-feasible — and meets all
+resident targets outside brownout — and the analyzer is re-anchored
+(``resync``) at each commit, so its ``snapshot()`` is bit-identical to
+a fresh ``analyze()`` of the surviving workload in every buffer-model
+mode (during a perturbation window: against the scaled graphs and
+platform, i.e. ``scheduler.platform``).  The full event/time semantics
+contract lives in :mod:`repro.runtime.faults`.
 
 ``use_delta=False`` swaps the incremental engine for
 :class:`_ReferenceState`, which evaluates every candidate with a full
@@ -53,9 +81,11 @@ and the ≥5× speed-up guard in ``benchmarks/bench_online.py``.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import MappingError, ObjectiveError, OnlineSchedulingError
+from ..graph.stream_graph import StreamGraph
 from ..graph.workload import Workload
 from ..heuristics import budgeted_descent
 from ..platform.cell import CellPlatform
@@ -66,14 +96,17 @@ from ..steady_state.throughput import PeriodAnalysis, analyze
 from .events import (
     AppArrival,
     AppDeparture,
+    CostPerturbation,
+    CostRestore,
     Event,
     SpeFailure,
     SpeRecovery,
     validate_timeline,
 )
 from .report import EventRecord, RuntimeReport
+from .scenario import solo_period_bound
 
-__all__ = ["OnlineScheduler"]
+__all__ = ["OnlineScheduler", "SHED_POLICIES"]
 
 
 def _score_analysis(analysis: PeriodAnalysis, objective) -> ObjectiveScore:
@@ -231,6 +264,82 @@ class _ReferenceState:
 _State = Union[DeltaAnalyzer, _ReferenceState]
 
 
+# ---------------------------------------------------------------------- #
+# Shed policies: who goes first when the platform cannot carry everyone.
+# Each policy maps (scheduler, state) -> the victim application's name;
+# the workload is guaranteed non-empty when a policy is consulted.
+
+
+def _shed_lowest_weight(sched: "OnlineScheduler", state: _State) -> str:
+    """Lowest throughput weight goes first (ties: earliest resident)."""
+    return min(
+        enumerate(sched.workload),
+        key=lambda pair: (pair[1].weight, pair[0]),
+    )[1].name
+
+
+def _shed_highest_stretch(sched: "OnlineScheduler", state: _State) -> str:
+    """Worst period-versus-reference ratio goes first.
+
+    Each application's reference is its declared target period, or the
+    graph's mapping-independent period lower bound when it declared
+    none — the same reference the ``max_stretch`` objective uses.  The
+    shared period divided by the reference is the application's
+    stretch; the most-stretched (ties: earliest resident) is shed, on
+    the reasoning that it is the furthest from useful service anyway.
+    """
+    period = state.period()
+
+    def stretch(pair):
+        index, app = pair
+        ref = (
+            app.target_period
+            if app.target_period is not None
+            else solo_period_bound(app.graph)
+        )
+        return (period / ref, -index)
+
+    return max(enumerate(sched.workload), key=stretch)[1].name
+
+
+def _shed_newest_first(sched: "OnlineScheduler", state: _State) -> str:
+    """Most recently admitted goes first (LIFO: protect seniority)."""
+    return list(sched.workload)[-1].name
+
+
+#: Pluggable shed policies for degradation handling (``shed_policy=``).
+SHED_POLICIES: Dict[str, Callable[["OnlineScheduler", _State], str]] = {
+    "lowest-weight": _shed_lowest_weight,
+    "highest-stretch": _shed_highest_stretch,
+    "newest-first": _shed_newest_first,
+}
+
+
+@dataclass
+class _PendingRetry:
+    """One queued deferred-admission attempt."""
+
+    due: float
+    seq: int  # enqueue order: the due-time tie-breaker
+    event: AppArrival  # the original arrival (unscaled graph)
+    attempt: int  # 1-based attempt number this firing represents
+
+
+@dataclass
+class _ActivePerturbation:
+    """Bookkeeping of the open cost-perturbation window.
+
+    ``saved`` maps each resident application to its *original* graph
+    object; restore swaps these back by reference (bit-identical costs,
+    no divide-back drift).  Applications that depart or are shed during
+    the window are evicted from the map.
+    """
+
+    event: CostPerturbation
+    base_platform: CellPlatform
+    saved: Dict[str, StreamGraph] = field(default_factory=dict)
+
+
 class OnlineScheduler:
     """Online admission, remapping and failure handling for one platform.
 
@@ -253,6 +362,16 @@ class OnlineScheduler:
     use_delta:
         ``True`` (default): incremental :class:`DeltaAnalyzer`
         evaluation.  ``False``: the full-``analyze()`` reference path.
+    shed_policy:
+        Victim selection when load must be dropped (:data:`SHED_POLICIES`:
+        ``lowest-weight`` | ``highest-stretch`` | ``newest-first``).
+    retry_limit / retry_backoff:
+        Deferred admission: up to ``retry_limit`` retries per rejected
+        arrival, the ``k``-th (0-based) ``retry_backoff · 2^k`` after
+        its rejection.  ``retry_limit=0`` (default) disables the queue.
+    brownout_threshold:
+        Live-SPE fraction below which the scheduler enters brownout
+        (degraded) mode; ``0.0`` (default) never browns out.
     """
 
     def __init__(
@@ -264,6 +383,10 @@ class OnlineScheduler:
         merge_same_pe_buffers: bool = False,
         use_delta: bool = True,
         name: str = "online",
+        shed_policy: str = "lowest-weight",
+        retry_limit: int = 0,
+        retry_backoff: float = 8.0,
+        brownout_threshold: float = 0.0,
     ) -> None:
         if objective not in OBJECTIVES:
             raise ObjectiveError(
@@ -275,6 +398,26 @@ class OnlineScheduler:
                 f"migration_budget must be non-negative "
                 f"(got {migration_budget!r})"
             )
+        if shed_policy not in SHED_POLICIES:
+            raise OnlineSchedulingError(
+                f"unknown shed_policy {shed_policy!r}; "
+                f"pick from {', '.join(SHED_POLICIES)}"
+            )
+        if retry_limit < 0:
+            raise OnlineSchedulingError(
+                f"retry_limit must be non-negative (got {retry_limit!r})"
+            )
+        if retry_backoff <= 0:
+            raise OnlineSchedulingError(
+                f"retry_backoff must be positive (got {retry_backoff!r})"
+            )
+        if not 0.0 <= brownout_threshold <= 1.0:
+            raise OnlineSchedulingError(
+                "brownout_threshold must be within [0, 1] "
+                f"(got {brownout_threshold!r})"
+            )
+        #: The platform in effect — swapped for a bandwidth-scaled copy
+        #: inside a perturbation window, swapped back at restore.
         self.platform = platform
         self.objective = objective
         self.migration_budget = int(migration_budget)
@@ -287,12 +430,20 @@ class OnlineScheduler:
         #: anything there is always hard-feasible.
         self._haven = 0
         assert platform.is_ppe(self._haven)
+        self.shed_policy = shed_policy
+        self.retry_limit = int(retry_limit)
+        self.retry_backoff = float(retry_backoff)
+        self.brownout_threshold = float(brownout_threshold)
         self._failed: set = set()
         self._assign: Dict[str, int] = {}
         self._state: Optional[_State] = None
         self._obj = None
         self._records: List[EventRecord] = []
         self._time = 0.0
+        self._pending: List[_PendingRetry] = []
+        self._retry_seq = 0
+        self._perturbation: Optional[_ActivePerturbation] = None
+        self._degraded = False
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -309,6 +460,29 @@ class OnlineScheduler:
     @property
     def failed_spes(self) -> frozenset:
         return frozenset(self._failed)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the scheduler is currently in brownout mode."""
+        return self._degraded
+
+    @property
+    def perturbed(self) -> bool:
+        """Whether a cost-perturbation window is currently open."""
+        return self._perturbation is not None
+
+    @property
+    def pending_retries(self) -> Tuple[Tuple[float, str, int], ...]:
+        """Queued deferred admissions as ``(due, name, attempt)`` triples.
+
+        Retries fire from :meth:`process` before the next timeline
+        event; entries still queued when the timeline ends simply never
+        fire (the run is over).
+        """
+        return tuple(
+            (p.due, p.event.name, p.attempt)
+            for p in sorted(self._pending, key=lambda p: (p.due, p.seq))
+        )
 
     def assignment(self) -> Dict[str, int]:
         """The committed composite-task → PE assignment."""
@@ -338,12 +512,18 @@ class OnlineScheduler:
         return self.report()
 
     def process(self, event: Event) -> EventRecord:
-        """Consume one event; returns its outcome record."""
+        """Consume one event; returns its outcome record.
+
+        Deferred-admission retries that fell due before ``event.time``
+        fire first (in due order, each recorded at its own due time),
+        so the record stream stays time-monotone.
+        """
         if event.time < self._time:
             raise OnlineSchedulingError(
                 f"event at t={event.time:g} arrives after the scheduler "
                 f"reached t={self._time:g}; feed events in time order"
             )
+        self._drain_retries(event.time)
         self._time = event.time
         if isinstance(event, AppArrival):
             return self._on_arrival(event)
@@ -353,7 +533,26 @@ class OnlineScheduler:
             return self._on_failure(event)
         if isinstance(event, SpeRecovery):
             return self._on_recovery(event)
+        if isinstance(event, CostPerturbation):
+            return self._on_perturb(event)
+        if isinstance(event, CostRestore):
+            return self._on_restore(event)
         raise OnlineSchedulingError(f"unknown event {event!r}")
+
+    def _drain_retries(self, upto: float) -> None:
+        """Fire every queued retry due at or before ``upto``, in due order."""
+        while self._pending:
+            self._pending.sort(key=lambda p: (p.due, p.seq))
+            head = self._pending[0]
+            if head.due > upto:
+                break
+            self._pending.pop(0)
+            self._time = head.due  # due > its rejection time: monotone
+            self._on_arrival(
+                replace(head.event, time=head.due),
+                attempt=head.attempt,
+                kind="retry",
+            )
 
     # ------------------------------------------------------------------ #
     # Shared machinery
@@ -393,7 +592,54 @@ class OnlineScheduler:
         ]
 
     def _ok(self, state: _State) -> bool:
-        return state.feasible and not self._violated_targets(state)
+        """The committed-state gate: what every event must restore.
+
+        Hard feasibility always; declared QoS targets only outside
+        brownout (degraded mode is weighted best-effort by design).
+        """
+        if not state.feasible:
+            return False
+        return self._degraded or not self._violated_targets(state)
+
+    def _live_spe_fraction(self) -> float:
+        """Fraction of the platform's SPEs currently in service."""
+        total = self.platform.n_spe
+        if not total:
+            return 1.0
+        return (total - len(self._failed)) / total
+
+    def _update_degraded(self) -> Tuple[bool, bool]:
+        """Refresh brownout mode from live capacity; returns (was, now)."""
+        was = self._degraded
+        self._degraded = self._live_spe_fraction() < self.brownout_threshold
+        return was, self._degraded
+
+    def _enforce(
+        self, state: Optional[_State]
+    ) -> Tuple[Optional[_State], int, List[str]]:
+        """Repair-then-shed until the committed gate passes.
+
+        Budgeted remapping first; when that is not enough, the shed
+        policy picks a victim, the victim is dropped, and the loop
+        repeats on the rebuilt state.  Returns the surviving state
+        (``None`` when everything was shed), the migrations spent and
+        the victims in drop order.
+        """
+        migrations = 0
+        dropped: List[str] = []
+        while state is not None and not self._ok(state):
+            migrations += self._reoptimize(
+                state, self._obj, self.migration_budget
+            )
+            if self._ok(state):
+                break
+            victim = SHED_POLICIES[self.shed_policy](self, state)
+            self.workload.remove_app(victim)
+            if self._perturbation is not None:
+                self._perturbation.saved.pop(victim, None)
+            dropped.append(victim)
+            state = self._rebuild(state.assignment())
+        return state, migrations, dropped
 
     def _insert_tasks(self, state: _State, tasks: Sequence[str], obj) -> None:
         """Greedy delta-scored placement of ``tasks``, one at a time.
@@ -466,17 +712,23 @@ class OnlineScheduler:
         reason: str = "",
         migrations: int = 0,
         dropped: Tuple[str, ...] = (),
+        kind: Optional[str] = None,
     ) -> EventRecord:
         state = self._state
         if state is None:
             period, value, feasible = 0.0, 0.0, True
+            misses = 0
+            app_periods: Tuple[Tuple[str, float], ...] = ()
         else:
             score = state.evaluate(self._obj)
             period, value, feasible = score.period, score.value, score.feasible
+            misses = len(self._violated_targets(state))
+            per_app = getattr(state.snapshot(), "app_periods", None) or {}
+            app_periods = tuple(sorted(per_app.items()))
         record = EventRecord(
             seq=len(self._records),
             time=event.time,
-            event=event.event_type,
+            event=kind or event.event_type,
             subject=event.subject,
             accepted=accepted,
             reason=reason,
@@ -487,6 +739,9 @@ class OnlineScheduler:
             feasible=feasible,
             n_apps=len(self.workload),
             n_tasks=len(self._assign),
+            degraded=self._degraded,
+            target_misses=misses,
+            app_periods=app_periods,
         )
         self._records.append(record)
         return record
@@ -494,14 +749,42 @@ class OnlineScheduler:
     # ------------------------------------------------------------------ #
     # Event handlers
 
-    def _on_arrival(self, event: AppArrival) -> EventRecord:
+    def _maybe_retry(self, event: AppArrival, attempt: int, reason: str) -> str:
+        """Queue the next deferred-admission attempt; returns the reason.
+
+        ``attempt`` is how many attempts have now failed; the next one
+        fires ``retry_backoff · 2^(attempt-1)`` after this rejection
+        (strictly later than now — the retry records stay monotone).
+        """
+        if not self.retry_limit or attempt > self.retry_limit:
+            return reason
+        due = self._time + self.retry_backoff * (2.0 ** (attempt - 1))
+        self._pending.append(
+            _PendingRetry(
+                due=due, seq=self._retry_seq, event=event, attempt=attempt + 1
+            )
+        )
+        self._retry_seq += 1
+        return reason + ";retry-queued"
+
+    def _on_arrival(
+        self,
+        event: AppArrival,
+        attempt: int = 1,
+        kind: Optional[str] = None,
+    ) -> EventRecord:
         if event.name in self.workload:
             return self._record(
-                event, accepted=False, reason="duplicate-name"
+                event, accepted=False, reason="duplicate-name", kind=kind
             )
+        graph = event.graph
+        if self._perturbation is not None:
+            # Admission under an open window sees the stressed costs; the
+            # original graph is saved on admission so restore is exact.
+            graph = graph.scaled(self._perturbation.event.compute_scale)
         self.workload.add_app(
             event.name,
-            event.graph,
+            graph,
             weight=event.weight,
             target_period=event.target_period,
         )
@@ -539,9 +822,15 @@ class OnlineScheduler:
 
         if not best_state.feasible:
             self.workload.remove_app(event.name)
-            return self._record(event, accepted=False, reason="infeasible")
+            return self._record(
+                event,
+                accepted=False,
+                reason=self._maybe_retry(event, attempt, "infeasible"),
+                kind=kind,
+            )
         migrations = 0
-        violated = self._violated_targets(best_state)
+        # Brownout admission is weighted best-effort: feasibility only.
+        violated = [] if self._degraded else self._violated_targets(best_state)
         if violated:
             # Pure insertion missed a target: try remapping resident
             # tasks too, within the migration budget, before giving up.
@@ -554,17 +843,33 @@ class OnlineScheduler:
             return self._record(
                 event,
                 accepted=False,
-                reason="target-missed:" + ",".join(violated),
+                reason=self._maybe_retry(
+                    event, attempt, "target-missed:" + ",".join(violated)
+                ),
+                kind=kind,
             )
+        if self._perturbation is not None:
+            self._perturbation.saved[event.name] = event.graph
         self._obj = obj
         self._commit(best_state)
-        return self._record(event, accepted=True, migrations=migrations)
+        return self._record(
+            event, accepted=True, migrations=migrations, kind=kind
+        )
 
     def _on_departure(self, event: AppDeparture) -> EventRecord:
         if event.name not in self.workload:
+            if any(p.event.name == event.name for p in self._pending):
+                # The stream ended while its admission was still queued:
+                # retrying it would admit a departed application.
+                self._pending = [
+                    p for p in self._pending if p.event.name != event.name
+                ]
+                return self._record(event, reason="retry-cancelled")
             # Rejected at arrival or dropped after a failure: a no-op.
             return self._record(event, reason="not-resident")
         self.workload.remove_app(event.name)
+        if self._perturbation is not None:
+            self._perturbation.saved.pop(event.name, None)
         state = self._rebuild(self._assign)
         migrations = 0
         if state is not None:
@@ -585,6 +890,8 @@ class OnlineScheduler:
                 f"SPE {spe} is already failed (no recovery seen since)"
             )
         self._failed.add(spe)
+        was, now = self._update_degraded()
+        reason = "brownout-enter" if now and not was else ""
         state = self._state
         migrations = 0
         dropped: List[str] = []
@@ -599,27 +906,15 @@ class OnlineScheduler:
                 state.apply_changes({task: self._haven for task in evacuees})
                 migrations += len(evacuees)
                 self._insert_tasks(state, evacuees, self._obj)
-            # Shed load until the shrunken platform meets the resident
-            # targets again: budgeted repair first, lowest-weight drop
-            # when repair is not enough.
-            while not self._ok(state):
-                migrations += self._reoptimize(
-                    state, self._obj, self.migration_budget
-                )
-                if self._ok(state):
-                    break
-                victim = min(
-                    enumerate(self.workload),
-                    key=lambda pair: (pair[1].weight, pair[0]),
-                )[1].name
-                self.workload.remove_app(victim)
-                dropped.append(victim)
-                state = self._rebuild(state.assignment())
-                if state is None:
-                    break
+            # Shed load until the shrunken platform passes the gate
+            # again: budgeted repair first, policy-picked drops when
+            # repair is not enough.
+            state, migrations_, dropped = self._enforce(state)
+            migrations += migrations_
             self._commit(state)
         return self._record(
-            event, migrations=migrations, dropped=tuple(dropped)
+            event, migrations=migrations, dropped=tuple(dropped),
+            reason=reason,
         )
 
     def _on_recovery(self, event: SpeRecovery) -> EventRecord:
@@ -629,10 +924,76 @@ class OnlineScheduler:
                 f"SPE {spe!r} is not failed; cannot recover it"
             )
         self._failed.discard(spe)
+        was, now = self._update_degraded()
+        reason = "brownout-exit" if was and not now else ""
         migrations = 0
-        if self._state is not None:
+        dropped: Tuple[str, ...] = ()
+        state = self._state
+        if state is not None:
             migrations = self._reoptimize(
-                self._state, self._obj, self.migration_budget
+                state, self._obj, self.migration_budget
             )
-            self._commit(self._state)
-        return self._record(event, migrations=migrations)
+            if was and not now:
+                # Leaving brownout: the full QoS gate applies again —
+                # repair, then shed by policy, until targets are met.
+                state, migrations_, dropped_ = self._enforce(state)
+                migrations += migrations_
+                dropped = tuple(dropped_)
+            self._commit(state)
+        return self._record(
+            event, migrations=migrations, dropped=dropped, reason=reason
+        )
+
+    def _on_perturb(self, event: CostPerturbation) -> EventRecord:
+        if self._perturbation is not None:
+            raise OnlineSchedulingError(
+                "a perturbation window is already open; restore costs "
+                "before opening another"
+            )
+        self._perturbation = _ActivePerturbation(
+            event=event,
+            base_platform=self.platform,
+            saved={app.name: app.graph for app in self.workload},
+        )
+        # Bandwidth degradation scales every link rate of the platform
+        # copy; compute slowdown scales each member graph's task costs.
+        self.platform = replace(
+            self.platform,
+            bw=self.platform.bw * event.bw_scale,
+            eib_bw=self.platform.eib_bw * event.bw_scale,
+            bif_bw=self.platform.bif_bw * event.bw_scale,
+        )
+        migrations = 0
+        dropped: List[str] = []
+        if len(self.workload):
+            for name, graph in self._perturbation.saved.items():
+                self.workload.replace_graph(
+                    name, graph.scaled(event.compute_scale)
+                )
+            state = self._rebuild(self._assign)
+            state, migrations, dropped = self._enforce(state)
+            self._commit(state)
+        return self._record(
+            event, migrations=migrations, dropped=tuple(dropped)
+        )
+
+    def _on_restore(self, event: CostRestore) -> EventRecord:
+        pert = self._perturbation
+        if pert is None:
+            raise OnlineSchedulingError(
+                "no perturbation window is open; nothing to restore"
+            )
+        self._perturbation = None
+        self.platform = pert.base_platform  # the very object: exact restore
+        migrations = 0
+        dropped: List[str] = []
+        if len(self.workload):
+            for name, graph in pert.saved.items():
+                if name in self.workload:
+                    self.workload.replace_graph(name, graph)
+            state = self._rebuild(self._assign)
+            state, migrations, dropped = self._enforce(state)
+            self._commit(state)
+        return self._record(
+            event, migrations=migrations, dropped=tuple(dropped)
+        )

@@ -1,0 +1,268 @@
+"""Chaos property harness: randomized fault timelines vs the runtime.
+
+The robustness acceptance bar: **≥200 randomized fault timelines**
+(seeded scenarios with correlated failure bursts, cost-perturbation
+windows, bursty/diurnal arrivals, retries and brownout enabled) played
+through :class:`~repro.runtime.scheduler.OnlineScheduler` in all four
+buffer-model modes, asserting after *every* event:
+
+* the committed state is hard-feasible (``record.feasible``);
+* ``snapshot()`` is bit-identical to a fresh ``analyze()`` of the
+  scheduler's *current* workload and platform — ``sched.platform``, not
+  the base platform, because a perturbation window swaps in a scaled
+  copy;
+* the record clock is monotone (retry firings included);
+* no orphaned tasks: the assignment keys are exactly the compiled
+  composite's task names;
+
+plus whole-run properties: determinism per seed, and JSON replay
+equivalence (a saved/reloaded timeline produces the identical report).
+
+Scale: ``CHAOS_TIMELINES`` (default 200) seeded cases; the nightly CI
+job raises it.  Cases use small synthetic applications so each
+per-event full ``analyze()`` stays cheap.
+
+Structural properties of the fault layer (injector output always
+validates, quantiles are ordered and bounded, timelines survive JSON)
+are driven by hypothesis when it is installed, and skipped otherwise.
+"""
+
+import os
+
+import pytest
+
+from repro.graph import DataEdge, StreamGraph, Task
+from repro.platform import CellPlatform
+from repro.runtime import (
+    FaultInjector,
+    OnlineScheduler,
+    ScenarioGenerator,
+    timeline_dumps,
+    timeline_loads,
+)
+from repro.steady_state import Mapping, analyze
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis ships in CI
+    HAVE_HYPOTHESIS = False
+
+#: The four buffer-model configurations the evaluation engine supports.
+ALL_MODES = (
+    {},
+    {"elide_local_comm": True},
+    {"merge_same_pe_buffers": True},
+    {"elide_local_comm": True, "merge_same_pe_buffers": True},
+)
+
+#: Total randomized timelines thrown at the scheduler (the acceptance
+#: bar is >= 200; the nightly chaos job raises it via the env var).
+N_TIMELINES = int(os.environ.get("CHAOS_TIMELINES", "200"))
+
+SHED_POLICIES = ("lowest-weight", "highest-stretch", "newest-first")
+PATTERNS = ("poisson", "bursty", "diurnal")
+
+
+def tiny_pipeline() -> StreamGraph:
+    g = StreamGraph("tiny-pipeline")
+    g.add_task(Task("src", wppe=14.0, wspe=9.0))
+    g.add_task(Task("sink", wppe=11.0, wspe=6.0))
+    g.add_edge(DataEdge("src", "sink", 768.0))
+    return g
+
+
+def tiny_fork() -> StreamGraph:
+    g = StreamGraph("tiny-fork")
+    g.add_task(Task("in", wppe=10.0, wspe=7.0))
+    g.add_task(Task("left", wppe=8.0, wspe=5.0))
+    g.add_task(Task("right", wppe=9.0, wspe=4.0))
+    g.add_edge(DataEdge("in", "left", 512.0))
+    g.add_edge(DataEdge("in", "right", 640.0))
+    return g
+
+
+def solo_task() -> StreamGraph:
+    g = StreamGraph("solo")
+    g.add_task(Task("work", wppe=16.0, wspe=10.0))
+    return g
+
+
+BUILDERS = {"pipe": tiny_pipeline, "fork": tiny_fork, "solo": solo_task}
+
+
+def chaos_timeline(platform, seed):
+    """One seeded fault timeline: scenario + injected bursts/windows."""
+    generator = ScenarioGenerator(
+        platform,
+        seed=seed,
+        load=1.5 + (seed % 5) * 0.7,
+        builders=BUILDERS,
+        n_failures=seed % 3,
+        arrival_pattern=PATTERNS[seed % len(PATTERNS)],
+        target_probability=0.6,
+    )
+    base = generator.generate(12 + (seed % 5))
+    injector = FaultInjector(
+        platform,
+        seed=seed + 1,
+        correlation=0.2 + 0.15 * (seed % 4),
+        mean_downtime=8.0 + (seed % 3) * 10.0,
+    )
+    return injector.inject(
+        base, n_bursts=1 + seed % 3, n_perturbations=seed % 2
+    )
+
+
+def chaos_scheduler(platform, seed, mode):
+    return OnlineScheduler(
+        platform,
+        migration_budget=seed % 4,
+        shed_policy=SHED_POLICIES[seed % len(SHED_POLICIES)],
+        retry_limit=seed % 3,
+        retry_backoff=4.0,
+        brownout_threshold=(0.0, 0.3, 0.6)[seed % 3],
+        **mode,
+    )
+
+
+def assert_invariants(sched, mode, last_time):
+    """The per-event chaos invariants; returns the advanced clock."""
+    if sched.state is not None:
+        snap = sched.state.snapshot()
+        composite = sched.workload.compile()
+        # The reference must be built against the scheduler's *current*
+        # platform: inside a perturbation window that is a scaled copy.
+        full = analyze(
+            Mapping(composite, sched.platform, sched.assignment()), **mode
+        )
+        assert snap.period == full.period
+        assert snap.app_periods == full.app_periods
+        assert snap.loads == full.loads
+        assert snap.buffer_bytes == full.buffer_bytes
+        assert snap.dma_in == full.dma_in
+        assert snap.dma_proxy == full.dma_proxy
+        assert snap.violations == full.violations
+        assert snap.link_loads == full.link_loads
+        assert snap.mapping == full.mapping
+        # No orphans: every composite task is placed, nothing else is.
+        assert set(sched.assignment()) == set(composite.task_names())
+        # Failed SPEs hold nothing.
+        assert not (set(sched.assignment().values()) & sched.failed_spes)
+    else:
+        assert sched.assignment() == {}
+    record = sched.report().records[-1]
+    assert record.feasible
+    assert record.time >= last_time
+    return record.time
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CellPlatform.qs22()
+
+
+@pytest.mark.parametrize("case", range(N_TIMELINES))
+def test_chaos_invariants(platform, case):
+    """One randomized timeline, one buffer mode: every committed state
+    feasible, snapshot bit-identical, clock monotone, no orphans."""
+    mode = ALL_MODES[case % len(ALL_MODES)]
+    events = chaos_timeline(platform, case)
+    sched = chaos_scheduler(platform, case, mode)
+    clock = 0.0
+    for event in events:
+        sched.process(event)
+        clock = assert_invariants(sched, mode, clock)
+    report = sched.report()
+    times = [r.time for r in report.records]
+    assert times == sorted(times)
+    assert report.all_feasible
+    assert 0.0 <= report.availability <= 1.0
+    assert 0.0 <= report.degraded_fraction <= 1.0
+
+
+@pytest.mark.parametrize("seed", range(0, N_TIMELINES, 25))
+def test_chaos_deterministic_per_seed(platform, seed):
+    """Replaying the same seeded chaos case reproduces the identical
+    report — fault handling introduces no hidden nondeterminism."""
+    def play():
+        events = chaos_timeline(platform, seed)
+        return chaos_scheduler(platform, seed, ALL_MODES[0]).run(events)
+
+    assert play() == play()
+
+
+@pytest.mark.parametrize("seed", range(0, N_TIMELINES, 40))
+def test_chaos_json_replay_equivalence(platform, seed):
+    """A timeline that went through JSON produces the identical run."""
+    events = chaos_timeline(platform, seed)
+    clone = timeline_loads(timeline_dumps(events))
+    play = lambda evs: chaos_scheduler(  # noqa: E731
+        platform, seed, ALL_MODES[1]
+    ).run(evs)
+    assert play(clone) == play(events)
+
+
+def test_chaos_covers_the_fault_surface(platform):
+    """The case grid actually exercises faults: across the sweep there
+    are failures, perturbations, retries, sheds and brownout entries —
+    a guard against the harness silently degenerating to arrivals."""
+    saw = {"failure": 0, "perturb": 0, "retry": 0, "shed": 0, "degraded": 0}
+    for case in range(0, min(N_TIMELINES, 40)):
+        events = chaos_timeline(platform, case)
+        saw["failure"] += sum(e.event_type == "failure" for e in events)
+        saw["perturb"] += sum(e.event_type == "perturb" for e in events)
+        report = chaos_scheduler(
+            platform, case, ALL_MODES[case % len(ALL_MODES)]
+        ).run(events)
+        saw["retry"] += report.n_retries
+        saw["shed"] += report.shed_count
+        saw["degraded"] += sum(r.degraded for r in report.records)
+    assert all(count > 0 for count in saw.values()), saw
+
+
+if HAVE_HYPOTHESIS:
+
+    class TestStructuralProperties:
+        @settings(max_examples=25, deadline=None)
+        @given(
+            seed=st.integers(0, 10_000),
+            correlation=st.floats(0.0, 0.95),
+            n_bursts=st.integers(0, 4),
+            n_perturbations=st.integers(0, 3),
+        )
+        def test_injector_output_always_validates(
+            self, seed, correlation, n_bursts, n_perturbations
+        ):
+            from repro.runtime import validate_timeline
+
+            platform = CellPlatform.qs22()
+            base = ScenarioGenerator(
+                platform, seed=seed % 7, load=2.0, builders=BUILDERS,
+                n_failures=seed % 2,
+            ).generate(8)
+            merged = FaultInjector(
+                platform, seed=seed, correlation=correlation
+            ).inject(
+                base, n_bursts=n_bursts, n_perturbations=n_perturbations
+            )
+            validate_timeline(merged)
+            assert timeline_loads(timeline_dumps(merged)) is not None
+
+        @settings(max_examples=50, deadline=None)
+        @given(
+            values=st.lists(
+                st.floats(0.0, 1e6, allow_nan=False), min_size=1, max_size=30
+            ),
+            q=st.floats(0.0, 1.0),
+        )
+        def test_quantile_is_bounded_and_monotone(self, values, q):
+            from repro.runtime.report import RuntimeReport
+
+            quant = RuntimeReport._quantile
+            assert min(values) <= quant(values, q) <= max(values)
+            assert quant(values, 0.0) == min(values)
+            assert quant(values, 1.0) == max(values)
+            assert quant(values, q) <= quant(values, min(1.0, q + 0.1))

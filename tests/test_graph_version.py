@@ -203,6 +203,36 @@ class TestWorkloadVersionAudit:
         assert "one" not in w
         assert w.version > before
 
+    def test_replace_graph_bumps_despite_shrinking_member_sum(self):
+        """replace_graph swaps a member graph (the runtime's
+        cost-perturbation windows): the outgoing graph's counter leaves
+        the version sum, so the workload must compensate — and the fresh
+        composite must carry the new costs while keeping order/metadata."""
+        w = Workload("audit")
+        w.add_app("one", build(), weight=2.0, target_period=99.0)
+        w.add_app("two", build())
+        # Inflate the outgoing member's counter so a naive sum would drop.
+        g = w.app("one").graph
+        for _ in range(5):
+            g.replace_task(Task("a", wppe=2.0, wspe=2.0))
+        first = w.compile()
+        before = w.version
+        w.replace_graph("one", g.scaled(3.0))
+        assert w.version > before
+        second = w.compile()
+        assert second is not first
+        assert second.task("one:a").wppe == 6.0
+        assert second.app_names == ("one", "two")  # order preserved
+        assert w.app("one").weight == 2.0
+        assert w.app("one").target_period == 99.0
+
+    def test_replace_graph_unknown_rejected(self):
+        from repro.errors import WorkloadError
+
+        w = self.build_workload()
+        with pytest.raises(WorkloadError, match="unknown application"):
+            w.replace_graph("ghost", build())
+
     def test_remove_app_unknown_rejected(self):
         from repro.errors import WorkloadError
 

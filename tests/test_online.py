@@ -26,11 +26,19 @@ from repro.platform import CellPlatform
 from repro.runtime import (
     AppArrival,
     AppDeparture,
+    CostPerturbation,
+    CostRestore,
+    EventRecord,
+    FaultInjector,
     OnlineScheduler,
     RuntimeReport,
     ScenarioGenerator,
     SpeFailure,
     SpeRecovery,
+    load_timeline,
+    save_timeline,
+    timeline_dumps,
+    timeline_loads,
     validate_timeline,
 )
 from repro.runtime.scenario import solo_period_bound
@@ -648,3 +656,745 @@ class TestCli:
         out = capsys.readouterr().out
         assert rc == 0
         assert "weighted" in out
+
+
+# ---------------------------------------------------------------------- #
+# Arrival patterns (bursty / diurnal load modulation)
+
+
+class TestArrivalPatterns:
+    def test_every_pattern_generates_valid_deterministic_timelines(
+        self, platform
+    ):
+        for pattern in ScenarioGenerator.ARRIVAL_PATTERNS:
+            kwargs = dict(seed=7, load=2.0, arrival_pattern=pattern)
+            a = ScenarioGenerator(platform, **kwargs).generate(18)
+            b = ScenarioGenerator(platform, **kwargs).generate(18)
+            validate_timeline(a)
+            assert len(a) == 18
+            assert [(e.time, e.subject) for e in a] == [
+                (e.time, e.subject) for e in b
+            ]
+
+    def test_patterns_reshape_arrivals_without_changing_their_count(
+        self, platform
+    ):
+        def arrival_times(pattern):
+            events = ScenarioGenerator(
+                platform, seed=7, load=2.0, arrival_pattern=pattern
+            ).generate(18)
+            return [e.time for e in events if isinstance(e, AppArrival)]
+
+        poisson = arrival_times("poisson")
+        bursty = arrival_times("bursty")
+        diurnal = arrival_times("diurnal")
+        assert len(poisson) == len(bursty) == len(diurnal)
+        assert poisson != bursty
+        assert poisson != diurnal
+
+    def test_diurnal_with_zero_amplitude_is_poisson(self, platform):
+        """Amplitude 0 leaves the rate untouched, and every pattern
+        consumes exactly one draw per gap — so the timelines coincide
+        bit for bit."""
+        flat = ScenarioGenerator(
+            platform, seed=7, load=2.0, arrival_pattern="diurnal",
+            diurnal_amplitude=0.0,
+        ).generate(18)
+        poisson = ScenarioGenerator(platform, seed=7, load=2.0).generate(18)
+        assert [e.time for e in flat] == [e.time for e in poisson]
+
+    def test_pattern_parameter_validation(self, platform):
+        with pytest.raises(GeneratorError, match="arrival_pattern"):
+            ScenarioGenerator(platform, arrival_pattern="fractal")
+        with pytest.raises(GeneratorError, match="burst_factor"):
+            ScenarioGenerator(
+                platform, arrival_pattern="bursty", burst_factor=0.5
+            )
+        with pytest.raises(GeneratorError, match="burst_size"):
+            ScenarioGenerator(platform, arrival_pattern="bursty", burst_size=0)
+        with pytest.raises(GeneratorError, match="diurnal_period"):
+            ScenarioGenerator(
+                platform, arrival_pattern="diurnal", diurnal_period=0.0
+            )
+        with pytest.raises(GeneratorError, match="diurnal_amplitude"):
+            ScenarioGenerator(
+                platform, arrival_pattern="diurnal", diurnal_amplitude=1.0
+            )
+
+    def test_mean_downtime_validated_up_front(self, platform):
+        with pytest.raises(GeneratorError, match="mean_downtime"):
+            ScenarioGenerator(platform, mean_downtime=0.0)
+        with pytest.raises(GeneratorError, match="mean_downtime"):
+            ScenarioGenerator(platform, mean_downtime=-3.0)
+
+
+# ---------------------------------------------------------------------- #
+# Fault injection (correlated bursts, whole-Cell outages, perturbations)
+
+
+class TestFaultInjector:
+    def base(self, platform, seed=3, n=12):
+        return ScenarioGenerator(
+            platform, seed=seed, load=2.0, n_failures=0
+        ).generate(n)
+
+    def test_deterministic_and_valid(self, platform):
+        base = self.base(platform)
+        make = lambda: FaultInjector(  # noqa: E731
+            platform, seed=11, correlation=0.6
+        ).inject(base, n_bursts=3, n_perturbations=2)
+        a, b = make(), make()
+        validate_timeline(a)
+        assert [(e.time, e.event_type, e.subject) for e in a] == [
+            (e.time, e.event_type, e.subject) for e in b
+        ]
+        assert sum(e.event_type == "failure" for e in a) >= 3
+        assert sum(e.event_type == "perturb" for e in a) == 2
+
+    def test_never_double_fails_an_spe(self, platform):
+        """Injection composes with generator-produced failures: scanning
+        the merged timeline, a failure only hits an SPE that is up."""
+        base = ScenarioGenerator(
+            platform, seed=3, load=2.0, n_failures=2
+        ).generate(16)
+        merged = FaultInjector(platform, seed=1, correlation=0.7).inject(
+            base, n_bursts=4
+        )
+        down = set()
+        for event in merged:
+            if isinstance(event, SpeFailure):
+                assert event.spe not in down
+                down.add(event.spe)
+            elif isinstance(event, SpeRecovery):
+                assert event.spe in down
+                down.discard(event.spe)
+
+    def test_whole_cell_outage_fails_one_chip_at_once(self):
+        platform = CellPlatform.qs22_dual()
+        base = ScenarioGenerator(
+            platform, seed=3, load=2.0, n_failures=0
+        ).generate(10)
+        merged = FaultInjector(
+            platform, seed=2, whole_cell_probability=1.0
+        ).inject(base, n_bursts=1)
+        failures = [e for e in merged if isinstance(e, SpeFailure)]
+        cells = {platform.cell_of(e.spe) for e in failures}
+        assert len(cells) == 1
+        assert len({e.time for e in failures}) == 1
+        (cell,) = cells
+        expect = {s for s in platform.spe_indices if platform.cell_of(s) == cell}
+        assert {e.spe for e in failures} == expect
+
+    def test_zero_correlation_bursts_are_singletons(self, platform):
+        merged = FaultInjector(platform, seed=5, correlation=0.0).inject(
+            self.base(platform), n_bursts=2
+        )
+        n_failures = sum(isinstance(e, SpeFailure) for e in merged)
+        assert 1 <= n_failures <= 2  # a clashing window may skip a burst
+
+    def test_injected_timeline_plays_cleanly(self, platform):
+        merged = FaultInjector(platform, seed=11, correlation=0.6).inject(
+            self.base(platform, n=14), n_bursts=2, n_perturbations=1
+        )
+        report = OnlineScheduler(
+            platform, migration_budget=2, retry_limit=1,
+            brownout_threshold=0.3,
+        ).run(merged)
+        assert report.all_feasible
+
+    def test_parameter_validation(self, platform):
+        with pytest.raises(GeneratorError, match="correlation"):
+            FaultInjector(platform, correlation=1.0)
+        with pytest.raises(GeneratorError, match="whole_cell_probability"):
+            FaultInjector(platform, whole_cell_probability=2.0)
+        with pytest.raises(GeneratorError, match="mean_downtime"):
+            FaultInjector(platform, mean_downtime=0.0)
+        with pytest.raises(GeneratorError, match="cascade_lag"):
+            FaultInjector(platform, cascade_lag=-1.0)
+        with pytest.raises(GeneratorError, match="bw_scale"):
+            FaultInjector(platform, bw_scale=(0.0, 1.0))
+        with pytest.raises(GeneratorError, match="compute_scale"):
+            FaultInjector(platform, compute_scale=(2.0, 1.0))
+        with pytest.raises(GeneratorError, match="n_bursts"):
+            FaultInjector(platform).inject([], n_bursts=-1)
+
+
+class TestTimelineJson:
+    def make(self, platform):
+        base = ScenarioGenerator(
+            platform, seed=4, load=2.0, n_failures=1
+        ).generate(14)
+        return FaultInjector(platform, seed=6).inject(
+            base, n_bursts=1, n_perturbations=1
+        )
+
+    def test_round_trip_replays_identically(self, platform):
+        timeline = self.make(platform)
+        clone = timeline_loads(timeline_dumps(timeline))
+        assert [(e.time, e.event_type, e.subject) for e in clone] == [
+            (e.time, e.event_type, e.subject) for e in timeline
+        ]
+        play = lambda events: OnlineScheduler(  # noqa: E731
+            platform, migration_budget=2
+        ).run(events)
+        assert play(clone) == play(timeline)
+
+    def test_save_and_load_file(self, platform, tmp_path):
+        timeline = self.make(platform)
+        path = save_timeline(timeline, tmp_path / "timeline.json")
+        clone = load_timeline(path)
+        assert [(e.time, e.event_type) for e in clone] == [
+            (e.time, e.event_type) for e in timeline
+        ]
+
+    def test_malformed_payloads_rejected(self, tmp_path):
+        with pytest.raises(OnlineSchedulingError, match="malformed timeline"):
+            timeline_loads("{not json")
+        with pytest.raises(OnlineSchedulingError, match="malformed timeline"):
+            timeline_loads('{"version": 1}')
+        with pytest.raises(OnlineSchedulingError, match="unknown timeline"):
+            timeline_loads(
+                '{"version": 1, "events": [{"type": "meteor", "time": 0}]}'
+            )
+        with pytest.raises(OnlineSchedulingError, match="cannot read"):
+            load_timeline(tmp_path / "absent.json")
+
+
+# ---------------------------------------------------------------------- #
+# Cost perturbation windows
+
+
+class TestPerturbation:
+    def test_window_scales_and_restores_exactly(self, platform):
+        g_a = single_task_app("a", 40.0, 20.0)
+        sched = OnlineScheduler(platform, migration_budget=2)
+        sched.process(AppArrival(time=0.0, name="a", graph=g_a))
+        assert sched.state.period() == 20.0
+        record = sched.process(
+            CostPerturbation(time=1.0, compute_scale=2.0, bw_scale=0.5)
+        )
+        assert record.feasible
+        assert sched.perturbed
+        assert sched.state.period() == 40.0
+        assert sched.platform is not platform
+        assert sched.platform.bw == pytest.approx(0.5 * platform.bw)
+        # Arrival inside the window is admitted at the inflated costs...
+        g_b = single_task_app("b", 10.0, 6.0)
+        sched.process(AppArrival(time=2.0, name="b", graph=g_b))
+        assert sched.workload.app("b").graph is not g_b
+        sched.process(CostRestore(time=3.0))
+        # ...and the restore puts back the *original* objects: the
+        # platform and every resident graph, bit-identical by identity.
+        assert not sched.perturbed
+        assert sched.platform is platform
+        assert sched.workload.app("a").graph is g_a
+        assert sched.workload.app("b").graph is g_b
+        assert sched.state.period() == 20.0
+
+    @pytest.mark.parametrize("mode", ALL_MODES, ids=MODE_IDS)
+    def test_snapshot_bit_identical_inside_window(self, platform, mode):
+        """During a window the analyze() reference must use the
+        scheduler's *scaled* platform and graphs, and still match."""
+        events = [
+            AppArrival(time=0.0, name="a", graph=single_task_app("a", 40, 20)),
+            CostPerturbation(time=1.0, compute_scale=1.7, bw_scale=0.6),
+            AppArrival(time=2.0, name="b", graph=single_task_app("b", 30, 25)),
+        ]
+        sched = OnlineScheduler(platform, migration_budget=2, **mode)
+        for event in events:
+            sched.process(event)
+        snap = sched.state.snapshot()
+        full = analyze(
+            Mapping(
+                sched.workload.compile(), sched.platform, sched.assignment()
+            ),
+            **mode,
+        )
+        assert snap.period == full.period
+        assert snap.buffer_bytes == full.buffer_bytes
+        assert snap.link_loads == full.link_loads
+
+    def test_window_pairing_enforced(self, platform):
+        sched = OnlineScheduler(platform)
+        with pytest.raises(OnlineSchedulingError, match="no perturbation"):
+            sched.process(CostRestore(time=0.0))
+        sched.process(CostPerturbation(time=1.0, compute_scale=1.5))
+        with pytest.raises(OnlineSchedulingError, match="already open"):
+            sched.process(CostPerturbation(time=2.0, compute_scale=1.5))
+        with pytest.raises(OnlineSchedulingError, match="positive"):
+            CostPerturbation(time=0.0, compute_scale=0.0)
+        with pytest.raises(OnlineSchedulingError, match="already open"):
+            validate_timeline(
+                [
+                    CostPerturbation(time=0.0, compute_scale=2.0),
+                    CostPerturbation(time=1.0, compute_scale=2.0),
+                ]
+            )
+        with pytest.raises(OnlineSchedulingError, match="no perturbation"):
+            validate_timeline([CostRestore(time=0.0)])
+
+
+# ---------------------------------------------------------------------- #
+# Degradation policies: shedding, deferred admission, brownout
+
+
+class TestShedPolicies:
+    def admit_pair(self, sched, first, second):
+        a = sched.process(AppArrival(time=0.0, **first))
+        b = sched.process(AppArrival(time=1.0, **second))
+        assert a.accepted and b.accepted
+        return sched.process(SpeFailure(time=2.0, spe=1))
+
+    def test_newest_first_ignores_weight(self):
+        platform = CellPlatform(n_ppe=1, n_spe=1, name="tiny")
+        sched = OnlineScheduler(
+            platform, migration_budget=2, shed_policy="newest-first"
+        )
+        record = self.admit_pair(
+            sched,
+            dict(name="light", graph=single_task_app("light", 30, 30),
+                 weight=0.5, target_period=55.0),
+            dict(name="heavy", graph=single_task_app("heavy", 50, 50),
+                 weight=2.0, target_period=60.0),
+        )
+        assert record.dropped == ("heavy",)
+        assert sched.workload.app_names() == ["light"]
+
+    def test_highest_stretch_sheds_the_tightest_target(self):
+        platform = CellPlatform(n_ppe=1, n_spe=1, name="tiny")
+        sched = OnlineScheduler(
+            platform, migration_budget=2, shed_policy="highest-stretch"
+        )
+        record = self.admit_pair(
+            sched,
+            dict(name="tight", graph=single_task_app("tight", 50, 50),
+                 target_period=55.0),
+            dict(name="loose", graph=single_task_app("loose", 30, 30),
+                 target_period=70.0),
+        )
+        # Post-failure the PPE-only period misses both targets; the
+        # worst period/target ratio (80/55 > 80/70) is shed first.
+        assert record.dropped == ("tight",)
+        assert sched.workload.app_names() == ["loose"]
+
+    def test_unknown_policy_rejected(self, platform):
+        with pytest.raises(OnlineSchedulingError, match="shed_policy"):
+            OnlineScheduler(platform, shed_policy="coin-flip")
+        assert set(online.SHED_POLICIES if hasattr(online, "SHED_POLICIES")
+                   else ()) or True  # registry lives in repro.runtime
+        from repro.runtime import SHED_POLICIES
+
+        assert set(SHED_POLICIES) == {
+            "lowest-weight", "highest-stretch", "newest-first"
+        }
+
+
+class TestRetryQueue:
+    def test_rejected_arrival_retries_after_backoff(self):
+        platform = CellPlatform(n_ppe=1, n_spe=0, name="ppe-only")
+        sched = OnlineScheduler(platform, retry_limit=2, retry_backoff=5.0)
+        big = sched.process(
+            AppArrival(time=0.0, name="big",
+                       graph=single_task_app("big", 50, 50),
+                       target_period=60.0)
+        )
+        assert big.accepted
+        second = sched.process(
+            AppArrival(time=1.0, name="second",
+                       graph=single_task_app("second", 30, 30),
+                       target_period=100.0)
+        )
+        assert second.accepted is False
+        assert second.reason.endswith(";retry-queued")
+        assert sched.pending_retries == ((6.0, "second", 2),)
+        sched.process(AppDeparture(time=3.0, name="big"))
+        # The next event drains the queue first: the retry fires at its
+        # due time (monotone clock), not at the event's.
+        sched.process(AppDeparture(time=10.0, name="ghost"))
+        report = sched.report()
+        retries = [r for r in report.records if r.event == "retry"]
+        assert len(retries) == 1
+        assert retries[0].time == 6.0
+        assert retries[0].accepted is True
+        assert "second" in sched.workload
+        assert report.n_retries == 1
+        assert report.n_retry_admitted == 1
+        times = [r.time for r in report.records]
+        assert times == sorted(times)
+
+    def test_retry_limit_exhausts(self):
+        platform = CellPlatform(n_ppe=1, n_spe=0, name="ppe-only")
+        sched = OnlineScheduler(platform, retry_limit=2, retry_backoff=5.0)
+        sched.process(
+            AppArrival(time=0.0, name="hog",
+                       graph=single_task_app("hog", 50, 50))
+        )
+        rec = sched.process(
+            AppArrival(time=1.0, name="wants",
+                       graph=single_task_app("wants", 30, 30),
+                       target_period=10.0)  # unreachable even alone
+        )
+        assert rec.accepted is False and "retry-queued" in rec.reason
+        sched.process(AppDeparture(time=40.0, name="ghost"))
+        report = sched.report()
+        retries = [r for r in report.records if r.event == "retry"]
+        # retry_limit=2: exactly two deferred attempts fire (backoff
+        # 5 then 10), both rejected, and the queue is then empty.
+        assert [r.time for r in retries] == [6.0, 16.0]
+        assert all(r.accepted is False for r in retries)
+        assert sched.pending_retries == ()
+        assert report.n_retry_admitted == 0
+
+    def test_departure_cancels_queued_retries(self):
+        platform = CellPlatform(n_ppe=1, n_spe=0, name="ppe-only")
+        sched = OnlineScheduler(platform, retry_limit=3, retry_backoff=5.0)
+        sched.process(
+            AppArrival(time=0.0, name="hog",
+                       graph=single_task_app("hog", 50, 50),
+                       target_period=60.0)
+        )
+        sched.process(
+            AppArrival(time=1.0, name="later",
+                       graph=single_task_app("later", 30, 30),
+                       target_period=100.0)
+        )
+        assert sched.pending_retries != ()
+        record = sched.process(AppDeparture(time=2.0, name="later"))
+        assert record.reason == "retry-cancelled"
+        assert sched.pending_retries == ()
+        # The cancelled app never fires, even long after its due time.
+        sched.process(AppDeparture(time=50.0, name="ghost"))
+        assert "later" not in sched.workload
+        assert sched.report().n_retries == 0
+
+    def test_retry_knob_validation(self, platform):
+        with pytest.raises(OnlineSchedulingError, match="retry_limit"):
+            OnlineScheduler(platform, retry_limit=-1)
+        with pytest.raises(OnlineSchedulingError, match="retry_backoff"):
+            OnlineScheduler(platform, retry_backoff=0.0)
+        with pytest.raises(OnlineSchedulingError, match="brownout_threshold"):
+            OnlineScheduler(platform, brownout_threshold=1.5)
+
+
+class TestBrownout:
+    def duo(self):
+        return CellPlatform(n_ppe=1, n_spe=2, name="duo")
+
+    def test_enter_relax_exit_reenforce(self):
+        platform = self.duo()
+        sched = OnlineScheduler(
+            platform, migration_budget=2, brownout_threshold=0.6
+        )
+        sched.process(
+            AppArrival(time=0.0, name="a",
+                       graph=single_task_app("a", 50, 50))
+        )
+        failure = sched.process(SpeFailure(time=1.0, spe=1))
+        # 1 of 2 SPEs live (0.5 < 0.6): brownout entered.
+        assert sched.degraded
+        assert failure.reason == "brownout-enter"
+        assert failure.degraded and failure.feasible
+        # Under brownout the QoS gate relaxes to feasibility: an app
+        # whose target is unreachable is still admitted best-effort.
+        arrival = sched.process(
+            AppArrival(time=2.0, name="b",
+                       graph=single_task_app("b", 50, 50),
+                       weight=0.5, target_period=10.0)
+        )
+        assert arrival.accepted is True
+        assert arrival.target_misses >= 1
+        assert arrival.feasible
+        recovery = sched.process(SpeRecovery(time=3.0, spe=1))
+        # Exit re-enforces the full QoS gate: the unreachable target
+        # cannot stand, so the (lowest-weight) violator is shed.
+        assert not sched.degraded
+        assert recovery.reason == "brownout-exit"
+        assert recovery.dropped == ("b",)
+        assert sched.workload.app_names() == ["a"]
+        # Duration-weighted robustness metrics (interval semantics).
+        report = sched.report()
+        assert report.time_in_degraded == pytest.approx(2.0)
+        assert report.degraded_fraction == pytest.approx(2.0 / 3.0)
+        assert report.qos_violation_rate == pytest.approx(1.0 / 3.0)
+        assert report.availability == pytest.approx(1.0 / 3.0)
+        assert "[degraded]" in report.table()
+
+    def test_threshold_zero_never_degrades(self):
+        platform = self.duo()
+        sched = OnlineScheduler(platform, migration_budget=2)
+        sched.process(SpeFailure(time=0.0, spe=1))
+        sched.process(SpeFailure(time=1.0, spe=2))
+        assert not sched.degraded
+        assert sched.report().time_in_degraded == 0.0
+
+
+# ---------------------------------------------------------------------- #
+# Failure edge cases (the satellite scenarios)
+
+
+class TestFailureEdgeCases:
+    def test_all_spes_down_leaves_ppe_haven(self, platform):
+        sched = OnlineScheduler(platform, migration_budget=2)
+        sched.process(
+            AppArrival(time=0.0, name="app",
+                       graph=single_task_app("app", 40, 20))
+        )
+        last = None
+        for i, spe in enumerate(platform.spe_indices):
+            last = sched.process(SpeFailure(time=1.0 + i, spe=spe))
+            assert last.feasible
+        # Every task survives on the PPE haven; no app was shed.
+        assert last.dropped == ()
+        assert set(sched.assignment().values()) <= set(platform.ppe_indices)
+        # Arrivals during the total outage still land (PPE-only)...
+        record = sched.process(
+            AppArrival(time=50.0, name="late",
+                       graph=single_task_app("late", 15, 5))
+        )
+        assert record.accepted is True
+        assert set(sched.assignment().values()) <= set(platform.ppe_indices)
+        # ...and full recovery restores SPE placements.
+        for i, spe in enumerate(platform.spe_indices):
+            sched.process(SpeRecovery(time=60.0 + i, spe=spe))
+        assert sched.failed_spes == frozenset()
+        snap = sched.state.snapshot()
+        full = analyze(
+            Mapping(
+                sched.workload.compile(), platform, sched.assignment()
+            )
+        )
+        assert snap.period == full.period
+
+    def test_recovery_of_never_failed_spe_is_an_error_not_a_corruption(
+        self, platform
+    ):
+        sched = OnlineScheduler(platform, migration_budget=2)
+        sched.process(
+            AppArrival(time=0.0, name="app",
+                       graph=single_task_app("app", 40, 20))
+        )
+        before = sched.assignment()
+        with pytest.raises(OnlineSchedulingError, match="not failed"):
+            sched.process(SpeRecovery(time=1.0, spe=platform.spe_indices[0]))
+        # The scheduler survives the bad event untouched and keeps going.
+        assert sched.assignment() == before
+        record = sched.process(AppDeparture(time=2.0, name="app"))
+        assert record.feasible
+
+    def test_departure_of_app_shed_during_outage_is_noop(self):
+        platform = CellPlatform(n_ppe=1, n_spe=1, name="tiny")
+        sched = OnlineScheduler(platform, migration_budget=2)
+        sched.process(
+            AppArrival(time=0.0, name="heavy",
+                       graph=single_task_app("heavy", 50, 50),
+                       weight=2.0, target_period=60.0)
+        )
+        sched.process(
+            AppArrival(time=1.0, name="light",
+                       graph=single_task_app("light", 30, 30),
+                       weight=0.5, target_period=55.0)
+        )
+        shed = sched.process(SpeFailure(time=2.0, spe=1))
+        assert shed.dropped == ("light",)
+        # The app's own (late) departure event must not crash or double
+        # free: it is a recorded no-op.
+        record = sched.process(AppDeparture(time=3.0, name="light"))
+        assert record.reason == "not-resident"
+        assert record.feasible
+        assert sched.workload.app_names() == ["heavy"]
+
+
+# ---------------------------------------------------------------------- #
+# Robustness metrics
+
+
+class TestRobustnessMetrics:
+    @staticmethod
+    def rec(seq, time, *, degraded=False, misses=0, period=0.0, n_apps=1):
+        return EventRecord(
+            seq=seq, time=time, event="arrival", subject=f"s{seq}",
+            accepted=True, reason="", migrations=0, dropped=(),
+            period=period, value=period, feasible=True, n_apps=n_apps,
+            n_tasks=n_apps, degraded=degraded, target_misses=misses,
+            app_periods=(("app", period),) if n_apps else (),
+        )
+
+    def report(self, records):
+        return RuntimeReport(
+            platform="p", objective="period", migration_budget=0,
+            records=records,
+        )
+
+    def test_interval_semantics_of_duration_metrics(self):
+        report = self.report([
+            self.rec(0, 0.0, degraded=True, misses=1, period=10.0),
+            self.rec(1, 10.0, period=20.0),
+            self.rec(2, 30.0, degraded=True, period=30.0),
+            self.rec(3, 40.0, period=40.0),
+        ])
+        assert report.span == 40.0
+        # Record i rules [t_i, t_{i+1}); the final record has zero
+        # measure even though it is itself clean.
+        assert report.time_in_degraded == pytest.approx(20.0)
+        assert report.degraded_fraction == pytest.approx(0.5)
+        assert report.qos_violation_rate == pytest.approx(0.25)
+        assert report.availability == pytest.approx(0.5)
+
+    def test_period_quantiles(self):
+        report = self.report([
+            self.rec(i, float(i), period=p)
+            for i, p in enumerate((10.0, 20.0, 30.0, 40.0))
+        ])
+        assert report.period_p50 == pytest.approx(25.0)
+        assert report.period_quantile(0.0) == 10.0
+        assert report.period_quantile(1.0) == 40.0
+        assert report.app_period_quantiles(0.5)["app"] == pytest.approx(25.0)
+        with pytest.raises(OnlineSchedulingError, match="quantile"):
+            report.period_quantile(1.5)
+
+    def test_degenerate_reports(self):
+        empty = self.report([])
+        assert empty.span == 0.0
+        assert empty.period_p99 == 0.0
+        assert empty.qos_violation_rate == 0.0
+        assert empty.availability == 1.0
+        assert empty.app_period_quantiles() == {}
+
+    def test_new_fields_round_trip_and_default(self, platform):
+        events = FaultInjector(platform, seed=6).inject(
+            ScenarioGenerator(
+                platform, seed=4, load=2.0, n_failures=1
+            ).generate(14),
+            n_bursts=1, n_perturbations=1,
+        )
+        report = OnlineScheduler(
+            platform, migration_budget=2, retry_limit=1,
+            brownout_threshold=0.3,
+        ).run(events)
+        clone = RuntimeReport.from_json(report.to_json())
+        assert clone == report
+        assert clone.availability == report.availability
+        assert clone.period_p99 == report.period_p99
+        # Pre-fault-injection archives (no robustness keys) still load.
+        import json as _json
+
+        payload = _json.loads(report.to_json())
+        for entry in payload["records"]:
+            entry.pop("degraded")
+            entry.pop("target_misses")
+            entry.pop("app_periods")
+        old = RuntimeReport.from_json(_json.dumps(payload))
+        assert old.time_in_degraded == 0.0
+        assert all(r.app_periods == () for r in old.records)
+
+
+# ---------------------------------------------------------------------- #
+# Experiment sweep and CLI: fault knobs and timeline replay
+
+
+class TestOnlineExperimentFaults:
+    def timeline(self, platform):
+        base = ScenarioGenerator(
+            platform, seed=4, load=2.0, n_failures=1
+        ).generate(12)
+        return FaultInjector(platform, seed=6).inject(base, n_bursts=1)
+
+    def test_replay_serial_equals_parallel(self, platform):
+        timeline = self.timeline(platform)
+        kwargs = dict(budgets=(0, 2), timeline=timeline, retry_limit=1,
+                      brownout_threshold=0.3)
+        serial = online.run(jobs=None, **kwargs)
+        parallel = online.run(jobs=2, **kwargs)
+        assert serial == parallel
+        assert len(serial.points) == 2
+        for point in serial.points:
+            assert point.load is None
+            # Retry firings append records beyond the replayed events.
+            assert point.n_events >= len(timeline)
+            assert 0.0 <= point.availability <= 1.0
+        assert "replay" in serial.table()
+
+    def test_failure_knobs_thread_through(self):
+        result = online.run(
+            loads=(2.0,), budgets=(2,), n_events=14, n_failures=2,
+            mean_downtime=10.0,
+        )
+        (point,) = result.points
+        assert point.all_feasible
+        assert 0.0 <= point.degraded_fraction <= 1.0
+
+    def test_knob_validation(self):
+        with pytest.raises(ExperimentError, match="n_failures"):
+            online.run(n_failures=-1)
+        with pytest.raises(ExperimentError, match="mean_downtime"):
+            online.run(mean_downtime=0.0)
+        with pytest.raises(ExperimentError, match="shed_policy"):
+            online.run(shed_policy="coin-flip")
+
+    def test_main_rejects_contradictory_replay_flags(self, platform):
+        from repro.errors import UsageError
+
+        timeline = self.timeline(platform)
+        with pytest.raises(UsageError, match="--timeline replays"):
+            online.main(timeline=timeline, loads=(1.0,))
+        with pytest.raises(UsageError, match="--seed"):
+            online.main(timeline=timeline, seed=3)
+        with pytest.raises(UsageError, match="--mean-downtime"):
+            online.main(timeline=timeline, mean_downtime=5.0)
+
+
+class TestCliFaults:
+    def save(self, platform, tmp_path):
+        base = ScenarioGenerator(
+            platform, seed=4, load=2.0, n_failures=1
+        ).generate(10)
+        return save_timeline(base, tmp_path / "timeline.json")
+
+    def test_failure_flags_accepted(self, capsys):
+        rc = main_experiment(
+            ["online", "--events", "10", "--loads", "1.5", "--budgets", "0",
+             "--failures", "2", "--mean-downtime", "10"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "p99" in out
+
+    def test_timeline_replay(self, capsys, platform, tmp_path):
+        path = self.save(platform, tmp_path)
+        rc = main_experiment(["online", "--timeline", str(path),
+                              "--budgets", "0,2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "replay" in out
+
+    def test_timeline_clashes_rejected(self, capsys, platform, tmp_path):
+        path = self.save(platform, tmp_path)
+        rc = main_experiment(["online", "--timeline", str(path),
+                              "--loads", "1"])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "--timeline replays saved events" in err
+        assert "--loads" in err
+        rc = main_experiment(["online", "--timeline", str(path),
+                              "--failures", "2"])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "--failures" in err
+
+    def test_missing_timeline_file_is_a_clean_error(self, capsys, tmp_path):
+        rc = main_experiment(
+            ["online", "--timeline", str(tmp_path / "nope.json")]
+        )
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "cannot read timeline" in err
+
+    def test_fault_flags_noted_elsewhere(self, capsys):
+        rc = main_experiment(
+            ["fig7", "--failures", "1", "--mean-downtime", "5",
+             "--strategies", "warp"]
+        )
+        err = capsys.readouterr().err
+        assert rc == 1  # unknown strategy still aborts
+        assert "--failures only applies to online" in err
+        assert "--mean-downtime only applies to online" in err
