@@ -30,7 +30,11 @@ def main(quick: bool = False) -> None:
     if quick:
         graph, n_instances, spe_sweep = video_pipeline(n_stripes=2), 150, range(0, 3)
     else:
-        graph, n_instances, spe_sweep = video_pipeline(n_stripes=4), N_INSTANCES, range(0, 9)
+        graph, n_instances, spe_sweep = (
+            video_pipeline(n_stripes=4),
+            N_INSTANCES,
+            range(0, 9),
+        )
     config = SimConfig.realistic()
 
     # --- PS3 vs QS22 at the same SPE count (paper §6.4: identical) ------ #

@@ -14,6 +14,7 @@ __all__ = [
     "WorkloadError",
     "MappingError",
     "InfeasibleMappingError",
+    "KernelBackendError",
     "ObjectiveError",
     "SolverError",
     "InfeasibleModelError",
@@ -52,6 +53,14 @@ class MappingError(ReproError):
 
 class ObjectiveError(ReproError):
     """Unknown or misconfigured scheduling objective."""
+
+
+class KernelBackendError(ReproError):
+    """Unknown or unavailable delta-kernel backend.
+
+    Raised when ``REPRO_KERNEL_BACKEND`` (or an explicit ``backend=``
+    argument) names a backend the library does not know, or requests
+    ``numpy`` in an environment where numpy cannot be imported."""
 
 
 class InfeasibleMappingError(MappingError):

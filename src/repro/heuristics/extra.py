@@ -14,13 +14,19 @@ approach the optimal throughput"; these are our take on that future work:
   only become tractable with delta evaluation: thousands of candidate
   moves per run, each scored in O(deg);
 
-All full-neighbourhood scans (``local_search`` moves, every
-``tabu_search`` round, GA mutation, :func:`budgeted_descent`) go through
-the delta engine's **batched** ``evaluate_moves`` / ``best_move`` API:
-one shared O(deg + n_pes) precomputation per task, O(1) per target PE —
-not a fresh delta per candidate.  ``simulated_annealing`` proposes one
-random candidate at a time, so its ``evaluate_move`` calls hit the same
-compiled kernel with a single-target sweep.
+All full-neighbourhood scans (``local_search`` moves and swaps, every
+``tabu_search`` round, :func:`budgeted_descent`) go through the delta
+engine's **whole-neighbourhood** batch API — ``evaluate_all_moves`` /
+``evaluate_swaps`` / ``best_move`` — so under the numpy kernel backend
+each round is a handful of dense matrix passes instead of a Python loop
+over candidates; the GA scores random immigrants and whole generations
+through the population-level ``score_assignments`` /
+``evaluate_assignments`` pass the same way.  ``simulated_annealing``
+proposes one random candidate at a time, so its ``evaluate_move`` calls
+hit the scalar kernel with a single-target sweep.  Every entry point
+accepts ``backend`` (``"python"`` | ``"numpy"`` | ``None`` for
+auto-detection, see :func:`repro.steady_state.resolve_backend`) and
+returns the same mapping under either backend.
 * :func:`genetic_algorithm` — population search over feasible mappings:
   PE-assignment crossover and delta-scored mutation on *cloned*
   :class:`DeltaAnalyzer` states, so offspring are evaluated incrementally
@@ -200,6 +206,7 @@ def local_search(
     elide_local_comm: bool = False,
     merge_same_pe_buffers: bool = False,
     objective: str = "period",
+    backend: Optional[str] = None,
 ) -> Mapping:
     """Steepest-descent refinement of ``mapping`` under ``objective``.
 
@@ -219,7 +226,8 @@ def local_search(
     ``elide_local_comm`` / ``merge_same_pe_buffers`` switch both paths to
     the corresponding mapping-dependent buffer model; ``objective``
     switches the ranking on workload composites (see the module
-    docstring).
+    docstring); ``backend`` selects the delta engine's kernel backend
+    (the result is backend-independent).
     """
     obj = make_objective(objective, mapping.graph)
     if not use_delta:
@@ -232,6 +240,7 @@ def local_search(
         mapping,
         elide_local_comm=elide_local_comm,
         merge_same_pe_buffers=merge_same_pe_buffers,
+        backend=backend,
     )
     current_value = state.evaluate(obj).value if state.feasible else float("inf")
     platform = mapping.platform
@@ -241,11 +250,13 @@ def local_search(
     for _ in range(max_rounds):
         best: Optional[Tuple[str, ...]] = None
         best_value = current_value
-        for name in names:
+        # One dense pass over the whole move neighbourhood (every task ×
+        # every PE): a single masked cost-matrix kernel call under the
+        # numpy backend, per-task batched sweeps under the scalar one.
+        all_scores = state.evaluate_all_moves(objective=obj)
+        for i, name in enumerate(names):
             origin = state.pe_of(name)
-            # One batched sweep per task: shared precomputation across
-            # all target PEs instead of a delta per candidate.
-            scores = state.evaluate_moves(name, objective=obj)
+            scores = all_scores[i]
             for pe in range(n_pes):
                 if pe == origin:
                     continue
@@ -253,14 +264,18 @@ def local_search(
                 if score.feasible and score.value < best_value:
                     best, best_value = ("move", name, pe), score.value
         if try_swaps:
-            for a_idx in range(len(names)):
-                for b_idx in range(a_idx + 1, len(names)):
-                    a, b = names[a_idx], names[b_idx]
-                    if state.pe_of(a) == state.pe_of(b):
-                        continue
-                    score = state.evaluate_swap(a, b, obj)
-                    if score.feasible and score.value < best_value:
-                        best, best_value = ("swap", a, b), score.value
+            # Same deal for the swap neighbourhood: all distinct-PE
+            # pairs scored by one pairwise kernel pass, in the exact
+            # (a_idx < b_idx) visit order of the reference loops.
+            pairs = [
+                (names[a_idx], names[b_idx])
+                for a_idx in range(len(names))
+                for b_idx in range(a_idx + 1, len(names))
+                if state.pe_of(names[a_idx]) != state.pe_of(names[b_idx])
+            ]
+            for pair, score in zip(pairs, state.evaluate_swaps(pairs, obj)):
+                if score.feasible and score.value < best_value:
+                    best, best_value = ("swap", *pair), score.value
         if best is None:
             break
         if best[0] == "move":
@@ -418,6 +433,7 @@ def simulated_annealing(
     elide_local_comm: bool = False,
     merge_same_pe_buffers: bool = False,
     objective: str = "period",
+    backend: Optional[str] = None,
 ) -> Mapping:
     """Metropolis search over feasible mappings under ``objective``.
 
@@ -441,6 +457,7 @@ def simulated_annealing(
         start,
         elide_local_comm=elide_local_comm,
         merge_same_pe_buffers=merge_same_pe_buffers,
+        backend=backend,
     )
     names = graph.task_names()
     n_pes = platform.n_pes
@@ -508,6 +525,7 @@ def tabu_search(
     elide_local_comm: bool = False,
     merge_same_pe_buffers: bool = False,
     objective: str = "period",
+    backend: Optional[str] = None,
 ) -> Mapping:
     """Tabu search over single-task moves under ``objective``.
 
@@ -530,6 +548,7 @@ def tabu_search(
         start,
         elide_local_comm=elide_local_comm,
         merge_same_pe_buffers=merge_same_pe_buffers,
+        backend=backend,
     )
     names = graph.task_names()
     n_pes = platform.n_pes
@@ -548,10 +567,13 @@ def tabu_search(
         rng.shuffle(scan)  # deterministic per seed; diversifies tie wins
         best_move: Optional[Tuple[str, int]] = None
         best_move_value = float("inf")
-        for name in scan:
+        # The whole round's neighbourhood in one dense pass, rows in the
+        # shuffled scan order so tie wins match the per-task loops.
+        all_scores = state.evaluate_all_moves(scan, objective=obj)
+        for i, name in enumerate(scan):
             origin = state.pe_of(name)
             is_tabu = tabu_until.get(name, 0) > rnd
-            scores = state.evaluate_moves(name, objective=obj)  # batched
+            scores = all_scores[i]
             for pe in range(n_pes):
                 if pe == origin:
                     continue
@@ -591,6 +613,7 @@ def genetic_algorithm(
     elide_local_comm: bool = False,
     merge_same_pe_buffers: bool = False,
     objective: str = "period",
+    backend: Optional[str] = None,
 ) -> Mapping:
     """Population search over *feasible* mappings under ``objective``.
 
@@ -608,6 +631,12 @@ def genetic_algorithm(
       the ``elite`` best individuals cloned unchanged into the next
       generation.
 
+    Random-immigrant seeding and each generation's fitness ranking go
+    through the population-level ``score_assignments`` /
+    ``evaluate_assignments`` batch (one dense pass over K candidate
+    mappings under the numpy kernel backend, selected by ``backend``);
+    a per-generation cache keeps the tournament/sort lookups O(1).
+
     The population is seeded with the feasible members of {``start`` (or
     the critical-path mapping), GREEDYCPU, GREEDYMEM} plus random feasible
     immigrants, so the search starts from diverse, constraint-respecting
@@ -623,6 +652,7 @@ def genetic_algorithm(
         elide_local_comm=elide_local_comm,
         merge_same_pe_buffers=merge_same_pe_buffers,
     )
+    dflags = dict(flags, backend=backend)
     start = _feasible_start(
         graph, platform, start, elide_local_comm, merge_same_pe_buffers
     )
@@ -636,32 +666,61 @@ def genetic_algorithm(
     )
     n_elite = max(1, min(elite, pop_size - 1))
 
-    population: List[DeltaAnalyzer] = [DeltaAnalyzer(start, **flags)]
+    population: List[DeltaAnalyzer] = [DeltaAnalyzer(start, **dflags)]
+    # All population-batch scoring runs against this never-mutated state;
+    # the change sets always cover every task, so its own assignment is
+    # irrelevant to the scores.
+    scorer = population[0]
     for builder in (greedy_cpu, greedy_mem, critical_path_mapping):
         if len(population) >= pop_size:
             break
         try:
-            candidate = DeltaAnalyzer(builder(graph, platform), **flags)
+            candidate = DeltaAnalyzer(builder(graph, platform), **dflags)
         except MappingError:
             continue
         if candidate.feasible:
             population.append(candidate)
     attempts = 0
-    while len(population) < pop_size and attempts < 20 * pop_size:
-        attempts += 1
-        assignment = {name: rng.randrange(n_pes) for name in names}
-        candidate = DeltaAnalyzer(
-            Mapping(graph, platform, assignment), **flags
-        )
-        if candidate.feasible:
-            population.append(candidate)
+    max_attempts = 20 * pop_size
+    while len(population) < pop_size and attempts < max_attempts:
+        # Draw a batch of immigrants and score them in one population
+        # pass; analyzers are built only for the feasible draws.  The
+        # batch never exceeds the open slots, so the rng draw sequence
+        # matches the historical one-at-a-time loop exactly.
+        batch = min(pop_size - len(population), max_attempts - attempts)
+        draws = [
+            {name: rng.randrange(n_pes) for name in names}
+            for _ in range(batch)
+        ]
+        attempts += batch
+        for assignment, verdict in zip(draws, scorer.score_assignments(draws)):
+            if verdict.feasible:
+                population.append(
+                    DeltaAnalyzer(Mapping(graph, platform, assignment), **dflags)
+                )
+
+    fitness_cache: Dict[int, float] = {}
 
     if obj.needs_app_periods:
+        def batch_fitness(states: List[DeltaAnalyzer]) -> List[float]:
+            scores = scorer.evaluate_assignments(
+                [st.assignment() for st in states], obj
+            )
+            return [score.value for score in scores]
+
         def fitness(state: DeltaAnalyzer) -> float:
-            return state.evaluate(obj).value
+            value = fitness_cache.get(id(state))
+            return state.evaluate(obj).value if value is None else value
     else:  # period objective: skip the ObjectiveScore plumbing
+        def batch_fitness(states: List[DeltaAnalyzer]) -> List[float]:
+            scores = scorer.score_assignments(
+                [st.assignment() for st in states]
+            )
+            return [score.period for score in scores]
+
         def fitness(state: DeltaAnalyzer) -> float:
-            return state.period()
+            value = fitness_cache.get(id(state))
+            return state.period() if value is None else value
 
     def mutate(state: DeltaAnalyzer, n_moves: int) -> None:
         for _ in range(n_moves):
@@ -717,12 +776,16 @@ def genetic_algorithm(
         return child
 
     best_assignment = start.to_dict()
-    best_value = fitness(population[0])
+    best_value = math.inf
 
     def track(states: List[DeltaAnalyzer]) -> None:
+        """Batch-score a fresh generation, refresh the fitness cache and
+        the best-ever assignment."""
         nonlocal best_assignment, best_value
-        for state in states:
-            value = fitness(state)
+        values = batch_fitness(states)
+        fitness_cache.clear()
+        for state, value in zip(states, values):
+            fitness_cache[id(state)] = value
             if value < best_value:
                 best_value = value
                 best_assignment = state.assignment()

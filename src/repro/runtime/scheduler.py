@@ -362,6 +362,11 @@ class OnlineScheduler:
     use_delta:
         ``True`` (default): incremental :class:`DeltaAnalyzer`
         evaluation.  ``False``: the full-``analyze()`` reference path.
+    backend:
+        Kernel backend for the delta engine (``"python"`` | ``"numpy"``
+        | ``None`` for auto-detection, see
+        :func:`repro.steady_state.resolve_backend`).  Ignored under
+        ``use_delta=False``.
     shed_policy:
         Victim selection when load must be dropped (:data:`SHED_POLICIES`:
         ``lowest-weight`` | ``highest-stretch`` | ``newest-first``).
@@ -382,6 +387,7 @@ class OnlineScheduler:
         elide_local_comm: bool = False,
         merge_same_pe_buffers: bool = False,
         use_delta: bool = True,
+        backend: Optional[str] = None,
         name: str = "online",
         shed_policy: str = "lowest-weight",
         retry_limit: int = 0,
@@ -424,6 +430,7 @@ class OnlineScheduler:
         self.elide_local_comm = bool(elide_local_comm)
         self.merge_same_pe_buffers = bool(merge_same_pe_buffers)
         self.use_delta = bool(use_delta)
+        self.backend = backend
         self.workload = Workload(name)
         #: The PPE that absorbs evacuations and parks unplaced tasks: a
         #: PPE has no local-store or DMA-queue constraints, so hosting
@@ -558,8 +565,14 @@ class OnlineScheduler:
     # Shared machinery
 
     def _make_state(self, mapping: Mapping) -> _State:
-        cls = DeltaAnalyzer if self.use_delta else _ReferenceState
-        return cls(
+        if self.use_delta:
+            return DeltaAnalyzer(
+                mapping,
+                elide_local_comm=self.elide_local_comm,
+                merge_same_pe_buffers=self.merge_same_pe_buffers,
+                backend=self.backend,
+            )
+        return _ReferenceState(
             mapping,
             elide_local_comm=self.elide_local_comm,
             merge_same_pe_buffers=self.merge_same_pe_buffers,
@@ -644,28 +657,18 @@ class OnlineScheduler:
     def _insert_tasks(self, state: _State, tasks: Sequence[str], obj) -> None:
         """Greedy delta-scored placement of ``tasks``, one at a time.
 
-        Each task's live-PE candidates are scored by one batched
-        ``evaluate_moves`` sweep (shared precomputation on the delta
-        engine, O(deg + n_live) per task instead of a delta per
-        candidate); the task moves to the live PE minimising
-        ``(objective value, period)`` over the feasible candidates,
-        staying put on ties.
+        Each task's live-PE candidates go through one
+        :meth:`~DeltaAnalyzer.best_move` neighbourhood scan (shared
+        precomputation on the delta engine, O(deg + n_live) per task
+        instead of a delta per candidate); the task moves to the live PE
+        minimising ``(objective value, period)`` over the feasible
+        candidates, staying put on ties.
         """
         live = self._live_pes()
         for name in tasks:
-            origin = state.pe_of(name)
-            current = state.evaluate(obj)
-            scores = state.evaluate_moves(name, live, obj)
-            best_pe: Optional[int] = None
-            best_key = (current.value, current.period)
-            for pe, score in zip(live, scores):
-                if pe == origin or not score.feasible:
-                    continue
-                key = (score.value, score.period)
-                if key < best_key:
-                    best_key, best_pe = key, pe
-            if best_pe is not None:
-                state.apply_move(name, best_pe)
+            found = state.best_move([name], live, obj)
+            if found is not None:
+                state.apply_move(found[0], found[1])
 
     def _reoptimize(self, state: _State, obj, budget: int) -> int:
         """Budgeted steepest-descent remapping on the live PEs.

@@ -12,12 +12,22 @@
 * :class:`CompiledGraph` / :func:`compile_graph` — the memoized
   integer-indexed graph arrays (CSR adjacency, flat cost tables) the
   delta engine runs on;
+* :func:`resolve_backend` / :func:`available_backends` /
+  :func:`numpy_available` — kernel-backend selection (scalar reference
+  kernel vs the vectorized numpy kernels, ``REPRO_KERNEL_BACKEND``);
 * :mod:`~repro.steady_state.objective` — pluggable scheduling objectives
   (shared period, weighted per-app periods, max stretch) for
   multi-application workloads;
 * :class:`PeriodicSchedule` — the explicit periodic schedule (Fig. 3).
 """
 
+from .backend import (
+    BACKEND_ENV_VAR,
+    KERNEL_BACKENDS,
+    available_backends,
+    numpy_available,
+    resolve_backend,
+)
 from .compiled import CompiledGraph, compile_graph
 from .delta import DeltaAnalyzer, MoveScore, ObjectiveScore
 from .mapping import Mapping
@@ -46,6 +56,11 @@ from .throughput import (
 )
 
 __all__ = [
+    "BACKEND_ENV_VAR",
+    "KERNEL_BACKENDS",
+    "available_backends",
+    "numpy_available",
+    "resolve_backend",
     "CompiledGraph",
     "compile_graph",
     "DeltaAnalyzer",

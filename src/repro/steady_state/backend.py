@@ -1,0 +1,108 @@
+"""Kernel-backend selection for the delta engine.
+
+PR 5 compiled graphs into integer CSR arrays (:mod:`.compiled`); the
+neighbourhood arithmetic itself can now run on two interchangeable
+backends behind the same :class:`~repro.steady_state.delta.DeltaAnalyzer`
+API:
+
+``python``
+    The scalar reference kernel — pure-Python loops over the CSR
+    arrays.  Always available, and the semantics oracle: every other
+    backend must reproduce its results bit for bit on integer-valued
+    cost graphs (and within one ulp otherwise, where summation order
+    differs).
+``numpy``
+    Dense array kernels (:mod:`.backend_numpy`): one masked cost-matrix
+    pass per neighbourhood (all tasks × all PEs), a pairwise
+    swap-neighbourhood kernel, and a population-level "score K
+    assignments at once" pass for the GA.  Requires numpy at runtime.
+
+Selection precedence (highest first):
+
+1. an explicit ``backend=`` argument to ``DeltaAnalyzer`` /
+   ``OnlineScheduler`` / the strategy entry points;
+2. the ``REPRO_KERNEL_BACKEND`` environment variable
+   (``python`` | ``numpy`` | ``auto``);
+3. ``auto`` — numpy when importable, else the scalar kernel.
+
+Requesting ``numpy`` explicitly (argument or env var) in an environment
+without numpy raises :class:`~repro.errors.KernelBackendError`; ``auto``
+silently falls back to ``python``.  The mapping-dependent buffer modes
+(``elide_local_comm`` / ``merge_same_pe_buffers``) always evaluate on
+the scalar kernel regardless of the selected backend — the vectorized
+passes cover the default buffer model, where candidate footprints are
+mapping-independent.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+from ..errors import KernelBackendError
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "KERNEL_BACKENDS",
+    "available_backends",
+    "numpy_available",
+    "resolve_backend",
+]
+
+#: Environment variable consulted when no explicit backend is passed.
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: The recognised backend names (``auto`` additionally accepted as a
+#: selector meaning "pick for me").
+KERNEL_BACKENDS: Tuple[str, ...] = ("python", "numpy")
+
+_NUMPY_OK: Optional[bool] = None
+
+
+def numpy_available() -> bool:
+    """Whether the numpy kernel backend can be used in this process."""
+    global _NUMPY_OK
+    if _NUMPY_OK is None:
+        try:
+            import numpy  # noqa: F401
+
+            _NUMPY_OK = True
+        except ImportError:  # pragma: no cover - exercised via stubbing
+            _NUMPY_OK = False
+    return _NUMPY_OK
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The backend names usable in this process, scalar kernel first."""
+    if numpy_available():
+        return KERNEL_BACKENDS
+    return ("python",)  # pragma: no cover - exercised via stubbing
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve a backend request to a concrete backend name.
+
+    ``backend`` is the explicit argument (wins when given); ``None``
+    defers to ``REPRO_KERNEL_BACKEND``, and an unset/``auto`` selection
+    auto-detects.  Returns ``"python"`` or ``"numpy"``.
+    """
+    source = "backend argument"
+    choice = backend
+    if choice is None:
+        choice = os.environ.get(BACKEND_ENV_VAR) or "auto"
+        source = f"{BACKEND_ENV_VAR} environment variable"
+    choice = choice.strip().lower()
+    if choice == "auto":
+        return "numpy" if numpy_available() else "python"
+    if choice not in KERNEL_BACKENDS:
+        names = ", ".join(KERNEL_BACKENDS + ("auto",))
+        raise KernelBackendError(
+            f"unknown kernel backend {choice!r} (from {source}); "
+            f"pick from {names}"
+        )
+    if choice == "numpy" and not numpy_available():
+        raise KernelBackendError(
+            f"kernel backend 'numpy' requested via {source} "
+            "but numpy is not importable in this environment"
+        )
+    return choice

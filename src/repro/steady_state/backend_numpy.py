@@ -1,0 +1,839 @@
+"""Dense numpy kernels for the delta engine (the ``numpy`` backend).
+
+Where the scalar kernel (:meth:`DeltaAnalyzer._sweep` and friends) walks
+the compiled CSR arrays in Python, these kernels score whole
+*neighbourhoods* — every (task, target-PE) pair at once — plus the two
+batched shapes PR 5 deferred: the pairwise swap neighbourhood and the
+population-level "score K assignments at once" pass the GA uses.  The
+idiom follows the masked cost-matrix/argmin pattern of SNIPPETS.md
+Snippet 1: aggregate the incident-edge structure into dense per-task ×
+per-PE matrices with order-preserving ``bincount`` passes, then express
+each candidate's period and violation count as elementwise arithmetic
+over broadcast matrices.
+
+Exactness contract (enforced by the cross-check suites): identical
+*verdicts* to the scalar kernel everywhere, **bit-identical** floats on
+integer-valued cost graphs, and within the usual ulp contract otherwise
+— the only divergence source is float summation order in the dense
+aggregations, which is exact on integers.  Three properties keep the
+vectorized formulas unconditionally valid where the scalar code
+branches:
+
+* ``x - 0.0 == x`` and ``x + 0.0 == x`` bitwise for every non-negative
+  IEEE double, so "non-neighbour" candidates can run the neighbour
+  formula with zero aggregates;
+* ``np.bincount`` accumulates weights in input order, reproducing the
+  scalar accumulation order along each edge slice;
+* ``max`` is exact and order-free, so peak/period reductions match
+  regardless of evaluation shape.
+
+Only the **default buffer model** is vectorized; the mapping-dependent
+modes (``elide_local_comm``/``merge_same_pe_buffers``) re-derive
+per-task footprints per candidate and always take the scalar fallback
+inside the public ``DeltaAnalyzer`` entry points (same convention as
+PR 5's batched kernel).
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["NumpyKernel", "build_graph_arrays"]
+
+_I64 = np.int64
+_F64 = np.float64
+
+
+def build_graph_arrays(cg) -> SimpleNamespace:
+    """Mapping-independent numpy mirrors of a :class:`CompiledGraph`.
+
+    Built once per graph version (cached on the compiled graph) and
+    shared read-only by every numpy-backend analyzer: cost tables, edge
+    endpoint/byte arrays, static per-task in/out totals, and the sorted
+    direct-edge pair table (``pair_keys``/``pair_bytes``/``pair_counts``)
+    the swap kernel resolves a↔b adjacency against.
+    """
+    n, m = cg.n, cg.n_edges
+    g = SimpleNamespace()
+    g.n, g.n_edges = n, m
+    g.wppe = np.asarray(cg.wppe, _F64)
+    g.wspe = np.asarray(cg.wspe, _F64)
+    g.read = np.asarray(cg.read, _F64)
+    g.write = np.asarray(cg.write, _F64)
+    g.need_default = np.asarray(cg.need_default, _F64)
+    g.edge_src = np.asarray(cg.edge_src, _I64)
+    g.edge_dst = np.asarray(cg.edge_dst, _I64)
+    g.edge_data = np.asarray(cg.edge_data, _F64)
+    # Static per-task totals: bincount accumulates in edge order — the
+    # exact order the scalar kernel's in/out-slice walks use.
+    g.tin = np.bincount(g.edge_dst, weights=g.edge_data, minlength=n)
+    g.tout = np.bincount(g.edge_src, weights=g.edge_data, minlength=n)
+    g.cin = np.bincount(g.edge_dst, minlength=n).astype(_I64)
+    g.cout = np.bincount(g.edge_src, minlength=n).astype(_I64)
+    # Sorted direct-edge pair table: bytes/edge-count between each
+    # ordered task pair with at least one edge (swap kernel lookups).
+    if m:
+        key = g.edge_src * n + g.edge_dst
+        order = np.argsort(key, kind="stable")
+        sorted_keys = key[order]
+        uniq, start = np.unique(sorted_keys, return_index=True)
+        g.pair_keys = uniq
+        g.pair_bytes = np.add.reduceat(g.edge_data[order], start)
+        g.pair_counts = np.diff(np.append(start, m)).astype(_I64)
+    else:
+        g.pair_keys = np.zeros(0, _I64)
+        g.pair_bytes = np.zeros(0, _F64)
+        g.pair_counts = np.zeros(0, _I64)
+    if cg.app_index is not None:
+        g.app_index = np.asarray(cg.app_index, _I64)
+    else:
+        g.app_index = None
+    return g
+
+
+def _shift(old, dv, limit):
+    """Vectorized ``(old + dv > limit) - (old > limit)`` as int64."""
+    return ((old + dv) > limit).astype(_I64) - (old > limit).astype(_I64)
+
+
+def _top3_rows(vals):
+    """Per-row top-3 ``(values, positions)`` with first-index tie wins.
+
+    Padded with ``(0.0, -1)`` below three columns — matching the scalar
+    scan's ``top = 0.0`` initialisation, so the "rest of the platform"
+    maximum degenerates to 0.0 exactly like the reference loop.
+    """
+    r, nn = vals.shape
+    idx = np.argsort(-vals, axis=1, kind="stable")[:, :3]
+    rows = np.arange(r)[:, None]
+    topv = vals[rows, idx]
+    topp = idx.astype(_I64)
+    if nn < 3:
+        pad = 3 - nn
+        topv = np.concatenate([topv, np.zeros((r, pad), _F64)], axis=1)
+        topp = np.concatenate([topp, np.full((r, pad), -1, _I64)], axis=1)
+    return topv, topp
+
+
+def _rest_max(topv, topp, excl_a, excl_b):
+    """Max of ``topv`` whose position is in neither exclusion (k×m).
+
+    ``topv``/``topp`` are (rows, 3); ``excl_a`` broadcasts as (k, 1) and
+    ``excl_b`` as (1, m) (or any compatible shapes).  At most two
+    positions are excluded, so the answer is always within the top 3.
+    """
+    ok0 = (topp[:, 0:1] != excl_a) & (topp[:, 0:1] != excl_b)
+    ok1 = (topp[:, 1:2] != excl_a) & (topp[:, 1:2] != excl_b)
+    return np.where(
+        ok0, topv[:, 0:1], np.where(ok1, topv[:, 1:2], topv[:, 2:3])
+    )
+
+
+class NumpyKernel:
+    """Dense kernels bound to one :class:`DeltaAnalyzer`.
+
+    The scalar ``apply`` path stays the single source of truth for
+    mutations; the kernel mirrors the analyzer's flat-list load state
+    into dense ndarrays on demand and memoizes the mirror against the
+    analyzer's ``_state_version`` counter, so back-to-back passes over
+    one state (the shape of every search loop) pay the O(V + E)
+    conversion once.
+    """
+
+    def __init__(self, analyzer) -> None:
+        self.an = analyzer
+        cg = analyzer._cg
+        self.cg = cg
+        self.g = cg.arrays()
+        self.n = cg.n
+        self.n_pes = analyzer._n_pes
+        self.is_ppe = np.asarray(analyzer._is_ppe, bool)
+        self.is_spe = np.asarray(analyzer._is_spe, bool)
+        self.cell = np.asarray(analyzer._cell, _I64)
+        self.n_cells = int(self.cell.max()) + 1 if self.n_pes else 0
+        self.multi = analyzer._multi
+        self.bw = analyzer._bw
+        self.bif_bw = analyzer._bif_bw
+        self.budget = analyzer._budget
+        self.in_slots = analyzer._in_slots
+        self.proxy_slots = analyzer._proxy_slots
+        self._ar = np.arange(max(self.n, self.n_pes) + 1)
+        self._cache = None
+        self._cache_version = -1
+        # Static (mapping-independent) candidate-side tables.
+        g = self.g
+        self.cost_full = np.where(
+            self.is_ppe[None, :], g.wppe[:, None], g.wspe[:, None]
+        )
+        self.rt_full = g.read + g.tin
+        self.wt_full = g.write + g.tout
+
+    # ------------------------------------------------------------------ #
+    # State mirrors
+
+    def _state(self):
+        """The dense state mirror of the analyzer's *current* state.
+
+        Besides the raw load arrays this precomputes every *origin-side*
+        per-task term (after-removal loads, violation bases, proxy-flip
+        sums) — pure functions of the state, the vectorized analogue of
+        the per-PE loads the scalar engine keeps incrementally.  The
+        candidate-side (task × target) matrices are computed per call.
+        """
+        version = self.an._state_version
+        if self._cache is None or self._cache_version != version:
+            s = self._loads()
+            s.F, s.C, s.T, s.U, s.up = self._neighbour_mats(s)
+            s.ft = s.F + s.T
+            s.topv, s.topp = _top3_rows(s.peak[None, :])
+            self._origin_terms(s)
+            s.app = None  # lazy per-application mirror (_app_state)
+            self._cache, self._cache_version = s, version
+        return self._cache
+
+    def _origin_terms(self, s) -> None:
+        """Per-task origin-side terms of ``s``, all shaped (n,)."""
+        g, bw, nn = self.g, self.bw, self.n_pes
+        rows = self._ar[: self.n]
+        o = s.pe
+        o_is_ppe = self.is_ppe[o]
+        o_is_spe = self.is_spe[o]
+        s.o_is_ppe = o_is_ppe
+        s.cost_o = np.where(o_is_ppe, g.wppe, g.wspe)
+        F_o, T_o = s.F[rows, o], s.T[rows, o]
+        C_o, U_o = s.C[rows, o], s.U[rows, o]
+        s.F_o, s.T_o = F_o, T_o
+        o_compute = s.compute[o] - s.cost_o
+        o_in = s.in_bytes[o] - g.read - (g.tin - F_o) + T_o
+        o_out = s.out_bytes[o] - g.write - (g.tout - T_o) + F_o
+        s.val_o = np.maximum(o_compute, np.maximum(o_in / bw, o_out / bw))
+        # Violation bases: the buffer and DMA-in origin shifts are
+        # kind-independent; only the proxy-queue term differs between
+        # same-kind and flipped targets.
+        s_flip = 1 - 2 * o_is_ppe.astype(_I64)
+        s.s_flip = s_flip
+        sh_fixed = ((s.buffer[o] - s.need) > self.budget).astype(np.int8)
+        sh_fixed -= s.viol_buf[o]
+        sh_fixed += (
+            (s.dma_in[o] + (C_o - g.cin + U_o)) > self.in_slots
+        ).astype(np.int8)
+        sh_fixed -= s.viol_in[o]
+        dprox_o = s.dma_proxy[o]
+        bp_o = s.viol_proxy[o]
+        sh_same = sh_fixed + (
+            ((dprox_o - s.up) > self.proxy_slots).astype(np.int8) - bp_o
+        )
+        sh_flip = sh_fixed + (
+            ((dprox_o - s.up + s_flip * C_o) > self.proxy_slots).astype(
+                np.int8
+            )
+            - bp_o
+        )
+        base_viol = self.an._n_violations
+        s.base_same = base_viol + np.where(o_is_spe, sh_same, 0).astype(
+            _I64
+        )
+        # Producer-hosting SPEs flip their proxy queues on a kind change.
+        flip_terms = (
+            (s.dma_proxy[None, :] + s_flip[:, None] * s.C)
+            > self.proxy_slots
+        ).astype(np.int8) - s.viol_proxy[None, :]
+        flip_mask_q = self.is_spe[None, :] & (
+            self._ar[None, :nn] != o[:, None]
+        )
+        s.base_flip = (
+            base_viol
+            + np.where(o_is_spe, sh_flip, 0).astype(_I64)
+            + (flip_terms * flip_mask_q).sum(axis=1)
+        )
+        if self.multi:
+            s.FCell, s.TCell = self._cell_aggregates(s.F, s.T)
+            s.lm = self._link_max(s.link, s.FCell, s.TCell, self.cell[o])
+
+    def _app_state(self, s):
+        """Lazy per-application dense mirror (composites only)."""
+        if s.app is None:
+            an, g, bw = self.an, self.g, self.bw
+            a = SimpleNamespace()
+            a.compute = np.asarray(an._app_compute, _F64)
+            a.in_bytes = np.asarray(an._app_in, _F64)
+            a.out_bytes = np.asarray(an._app_out, _F64)
+            apk = np.asarray(an._app_peak, _F64)
+            a.topv, a.topp = _top3_rows(apk)
+            a_idx, o = g.app_index, s.pe
+            ao_compute = a.compute[a_idx, o] - s.cost_o
+            ao_in = a.in_bytes[a_idx, o] - g.read - (g.tin - s.F_o) + s.T_o
+            ao_out = (
+                a.out_bytes[a_idx, o] - g.write - (g.tout - s.T_o) + s.F_o
+            )
+            a.val_o = np.maximum(
+                ao_compute, np.maximum(ao_in / bw, ao_out / bw)
+            )
+            if self.multi:
+                n_c = self.n_cells
+                lapp = np.zeros((self.cg.n_apps, n_c, n_c), _F64)
+                for (ai, (c1, c2)), v in an._app_link_bytes.items():
+                    lapp[ai, c1, c2] = v
+                a.lm = self._link_max(
+                    lapp[a_idx], s.FCell, s.TCell, self.cell[o]
+                )
+            s.app = a
+        return s.app
+
+    def _loads(self):
+        an = self.an
+        nn = self.n_pes
+        s = SimpleNamespace()
+        s.pe = np.asarray(an._pe, _I64)
+        s.compute = np.asarray(an._compute, _F64)
+        s.in_bytes = np.asarray(an._in_bytes, _F64)
+        s.out_bytes = np.asarray(an._out_bytes, _F64)
+        s.peak = np.asarray(an._peak, _F64)
+        buf = np.zeros(nn, _F64)
+        for pe, v in an._buffer.items():
+            buf[pe] = v
+        dmain = np.zeros(nn, _I64)
+        for pe, v in an._dma_in.items():
+            dmain[pe] = v
+        dproxy = np.zeros(nn, _I64)
+        for pe, v in an._dma_proxy.items():
+            dproxy[pe] = v
+        s.buffer, s.dma_in, s.dma_proxy = buf, dmain, dproxy
+        # Per-PE violation baselines: ``old > limit`` as int8, so each
+        # threshold shift costs one fresh compare instead of two.
+        s.viol_buf = (buf > self.budget).astype(np.int8)
+        s.viol_in = (dmain > self.in_slots).astype(np.int8)
+        s.viol_proxy = (dproxy > self.proxy_slots).astype(np.int8)
+        need = an._need
+        if need is self.cg.need_default:
+            s.need = self.g.need_default
+        else:  # pragma: no cover - kernels run in default mode only
+            s.need = np.asarray(need, _F64)
+        if self.multi:
+            link = np.zeros((self.n_cells, self.n_cells), _F64)
+            for (c1, c2), v in an._link_bytes.items():
+                link[c1, c2] = v
+            s.link = link
+        return s
+
+    def _neighbour_mats(self, s):
+        """Dense (n, n_pes) incident-edge aggregates under mapping ``s.pe``.
+
+        ``F``/``C``: bytes/edge-count into each task by producer PE;
+        ``T``/``U``: bytes/edge-count out of each task by consumer PE;
+        ``up``: out-edge count whose consumer sits on a PPE.  Bincount
+        accumulates in global edge order — each task's in/out slice order.
+        """
+        g, nn = self.g, self.n_pes
+        size = self.n * nn
+        src_pe = s.pe[g.edge_src]
+        dst_pe = s.pe[g.edge_dst]
+        idx_in = g.edge_dst * nn + src_pe
+        idx_out = g.edge_src * nn + dst_pe
+        F = np.bincount(idx_in, weights=g.edge_data, minlength=size)
+        C = np.bincount(idx_in, minlength=size).astype(_I64)
+        T = np.bincount(idx_out, weights=g.edge_data, minlength=size)
+        U = np.bincount(idx_out, minlength=size).astype(_I64)
+        up = np.bincount(
+            g.edge_src[self.is_ppe[dst_pe]], minlength=self.n
+        ).astype(_I64)
+        return (
+            F.reshape(self.n, nn),
+            C.reshape(self.n, nn),
+            T.reshape(self.n, nn),
+            U.reshape(self.n, nn),
+            up,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Move-neighbourhood kernel
+
+    def move_matrix(
+        self,
+        tids: Sequence[int],
+        pes: Sequence[int],
+        track_app: bool = False,
+    ) -> SimpleNamespace:
+        """Score moving every task in ``tids`` to every PE in ``pes``.
+
+        One masked cost-matrix pass: returns ``worst`` (periods, k×m),
+        ``nviol`` (violation counts, k×m), ``origin`` (mask of entries
+        whose target equals the task's current PE — left for the caller
+        to substitute the current score into, exactly as the scalar
+        kernel does) and, with ``track_app``, ``aworst`` (the moved
+        task's own-application period per candidate).  ``tids=None`` /
+        ``pes=None`` mean "all tasks" / "all PEs" and skip the subset
+        gathers entirely — the full-neighbourhood hot path.
+        """
+        g = self.g
+        s = self._state()
+        nn = self.n_pes
+        bw = self.bw
+
+        # Origin-side per-task terms: cached full, gathered on subsets.
+        if tids is None:
+            o = s.pe
+            val_o, base_same, base_flip = s.val_o, s.base_same, s.base_flip
+            o_is_ppe, s_flip = s.o_is_ppe, s.s_flip
+            need_t, up_t, cin_t = s.need, s.up, g.cin
+            ftt, Ct, Ut = s.ft, s.C, s.U
+            rt, wt = self.rt_full, self.wt_full
+            wppe_t, wspe_t = g.wppe, g.wspe
+            cost_full = self.cost_full
+        else:
+            tids = np.asarray(tids, _I64)
+            o = s.pe[tids]
+            val_o = s.val_o[tids]
+            base_same, base_flip = s.base_same[tids], s.base_flip[tids]
+            o_is_ppe, s_flip = s.o_is_ppe[tids], s.s_flip[tids]
+            need_t, up_t, cin_t = s.need[tids], s.up[tids], g.cin[tids]
+            ftt, Ct, Ut = s.ft[tids], s.C[tids], s.U[tids]
+            rt, wt = self.rt_full[tids], self.wt_full[tids]
+            wppe_t, wspe_t = g.wppe[tids], g.wspe[tids]
+            cost_full = self.cost_full[tids]
+        o_col = o[:, None]
+
+        # Candidate-side columns.
+        if pes is None:
+            pes_arr = None
+            pe_row = self._ar[None, :nn]
+            p_is_ppe = self.is_ppe
+            p_spe = self.is_spe[None, :]
+            in_p, out_p, comp_p = s.in_bytes, s.out_bytes, s.compute
+            buf_p, dmain_p, dproxy_p = s.buffer, s.dma_in, s.dma_proxy
+            bb_p = s.viol_buf[None, :]
+            bi_p = s.viol_in[None, :]
+            bp_p = s.viol_proxy[None, :]
+            ft, Cp, Up = ftt, Ct, Ut
+            cost_p = cost_full
+        else:
+            pes_arr = np.asarray(pes, _I64)
+            pe_row = pes_arr[None, :]
+            p_is_ppe = self.is_ppe[pes_arr]
+            p_spe = self.is_spe[pes_arr][None, :]
+            in_p, out_p = s.in_bytes[pes_arr], s.out_bytes[pes_arr]
+            comp_p = s.compute[pes_arr]
+            buf_p, dmain_p = s.buffer[pes_arr], s.dma_in[pes_arr]
+            dproxy_p = s.dma_proxy[pes_arr]
+            bb_p = s.viol_buf[pes_arr][None, :]
+            bi_p = s.viol_in[pes_arr][None, :]
+            bp_p = s.viol_proxy[pes_arr][None, :]
+            ft = ftt[:, pes_arr]
+            Cp, Up = Ct[:, pes_arr], Ut[:, pes_arr]
+            cost_p = np.where(
+                p_is_ppe[None, :], wppe_t[:, None], wspe_t[:, None]
+            )
+
+        # "Rest of the platform" peaks: global top-3 (first-index ties),
+        # excluding the origin and the candidate per entry.  The
+        # neighbour formula below holds for non-neighbours too (their
+        # aggregates are exactly 0.0).
+        rest = _rest_max(s.topv, s.topp, o_col, pe_row)
+        p_in = in_p[None, :] + rt[:, None] - ft
+        p_out = out_p[None, :] + wt[:, None] - ft
+        val_p = np.maximum(
+            comp_p[None, :] + cost_p, np.maximum(p_in / bw, p_out / bw)
+        )
+        worst = np.maximum(rest, np.maximum(val_o[:, None], val_p))
+        if self.multi:
+            lm = s.lm if tids is None else s.lm[tids]
+            cells = self.cell if pes_arr is None else self.cell[pes_arr]
+            worst = np.maximum(worst, lm[:, cells])
+
+        # Violation shifts — integer arithmetic, dictionary-free, on top
+        # of the cached origin-side bases.
+        flip = p_is_ppe[None, :] != o_is_ppe[:, None]
+        nviol = np.where(flip, base_flip[:, None], base_same[:, None])
+        t_buf = (
+            (buf_p[None, :] + need_t[:, None]) > self.budget
+        ).astype(np.int8) - bb_p
+        dv_in = cin_t[:, None] - Cp - Up
+        t_in = ((dmain_p[None, :] + dv_in) > self.in_slots).astype(
+            np.int8
+        ) - bi_p
+        sc = s_flip[:, None] * Cp
+        dv_proxy = up_t[:, None] + np.where(flip, sc, 0)
+        t_proxy = (
+            (dproxy_p[None, :] + dv_proxy) > self.proxy_slots
+        ).astype(np.int8) - bp_p
+        # base_flip already counted the target's standalone flip term;
+        # the combined term above replaces it (a no-op where Cp == 0).
+        corr = np.where(
+            flip,
+            ((dproxy_p[None, :] + sc) > self.proxy_slots).astype(np.int8)
+            - bp_p,
+            np.int8(0),
+        )
+        nviol = nviol + np.where(
+            p_spe, t_buf + t_in + t_proxy - corr, np.int8(0)
+        )
+
+        out = SimpleNamespace(
+            worst=worst,
+            nviol=nviol,
+            origin=pe_row == o_col,
+            aworst=None,
+        )
+        if not track_app:
+            return out
+
+        a = self._app_state(s)
+        if tids is None:
+            a_idx = g.app_index
+            aval_o = a.val_o
+        else:
+            a_idx = g.app_index[tids]
+            aval_o = a.val_o[tids]
+        arest = _rest_max(a.topv[a_idx], a.topp[a_idx], o_col, pe_row)
+        ac_t = a.compute[a_idx]
+        ai_t = a.in_bytes[a_idx]
+        ao_t = a.out_bytes[a_idx]
+        if pes_arr is not None:
+            ac_t, ai_t, ao_t = (
+                ac_t[:, pes_arr], ai_t[:, pes_arr], ao_t[:, pes_arr],
+            )
+        ap_in = ai_t + rt[:, None] - ft
+        ap_out = ao_t + wt[:, None] - ft
+        aval_p = np.maximum(
+            ac_t + cost_p, np.maximum(ap_in / bw, ap_out / bw)
+        )
+        aworst = np.maximum(arest, np.maximum(aval_o[:, None], aval_p))
+        if self.multi:
+            alm = a.lm if tids is None else a.lm[tids]
+            cells = self.cell if pes_arr is None else self.cell[pes_arr]
+            aworst = np.maximum(aworst, alm[:, cells])
+        out.aworst = aworst
+        return out
+
+    def _cell_aggregates(self, Ft, Tt):
+        """Per-task inbound/outbound bytes aggregated by neighbour cell."""
+        n_c = self.n_cells
+        k = Ft.shape[0]
+        FCell = np.zeros((k, n_c), _F64)
+        TCell = np.zeros((k, n_c), _F64)
+        for c in range(n_c):
+            mask = self.cell == c
+            FCell[:, c] = Ft[:, mask].sum(axis=1)
+            TCell[:, c] = Tt[:, mask].sum(axis=1)
+        return FCell, TCell
+
+    def _link_max(self, link, FCell, TCell, cell_o):
+        """Worst BIF-link time per (task, target cell): (k, n_cells).
+
+        ``link`` is either the global (C, C) matrix or a per-task
+        (k, C, C) stack (app links).  Dense max over every directed cell
+        pair — zero entries are harmless because the caller maxes the
+        result into an already-non-negative period.
+        """
+        n_c = self.n_cells
+        k = FCell.shape[0]
+        per_task = link.ndim == 3
+        lm = np.empty((k, n_c), _F64)
+        for cp in range(n_c):
+            best = np.full(k, -np.inf)
+            for c1 in range(n_c):
+                for c2 in range(n_c):
+                    if c1 == c2:
+                        continue
+                    dv = np.zeros(k, _F64)
+                    dv -= np.where(cell_o == c2, FCell[:, c1], 0.0)
+                    if c2 == cp:
+                        dv += FCell[:, c1]
+                    dv -= np.where(cell_o == c1, TCell[:, c2], 0.0)
+                    if c1 == cp:
+                        dv += TCell[:, c2]
+                    base = link[:, c1, c2] if per_task else link[c1, c2]
+                    best = np.maximum(best, base + dv)
+            lm[:, cp] = best / self.bif_bw
+        return lm
+
+    # ------------------------------------------------------------------ #
+    # Pairwise swap kernel
+
+    def _pair_lookup(self, ta, tb):
+        """Direct-edge bytes/count from ``ta[i]`` to ``tb[i]`` per pair."""
+        g = self.g
+        if g.pair_keys.size == 0:
+            zeros_f = np.zeros(ta.shape[0], _F64)
+            return zeros_f, np.zeros(ta.shape[0], _I64)
+        key = ta * self.n + tb
+        idx = np.searchsorted(g.pair_keys, key)
+        idx = np.minimum(idx, g.pair_keys.size - 1)
+        found = g.pair_keys[idx] == key
+        return (
+            np.where(found, g.pair_bytes[idx], 0.0),
+            np.where(found, g.pair_counts[idx], 0),
+        )
+
+    def swap_matrix(self, ta: Sequence[int], tb: Sequence[int]):
+        """Score exchanging the PEs of task pairs ``(ta[i], tb[i])``.
+
+        Returns ``(worst, nviol, same)`` — ``same`` marks pairs already
+        sharing a PE (the caller substitutes the current score, as the
+        scalar ``score_swap`` does).  Single-cell platforms only; the
+        caller falls back to the scalar path on multi-cell platforms.
+        """
+        g, bw = self.g, self.bw
+        s = self._state()
+        ta = np.asarray(ta, _I64)
+        tb = np.asarray(tb, _I64)
+        F, C, T, U, up_full = s.F, s.C, s.T, s.U, s.up
+
+        pa, pb = s.pe[ta], s.pe[tb]
+        same = pa == pb
+        d_ab, n_ab = self._pair_lookup(ta, tb)
+        d_ba, n_ba = self._pair_lookup(tb, ta)
+
+        read_a, write_a = g.read[ta], g.write[ta]
+        read_b, write_b = g.read[tb], g.write[tb]
+        tin_a, tout_a = g.tin[ta], g.tout[ta]
+        tin_b, tout_b = g.tin[tb], g.tout[tb]
+        kind_a, kind_b = self.is_ppe[pa], self.is_ppe[pb]
+        ca_pa = np.where(kind_a, g.wppe[ta], g.wspe[ta])
+        ca_pb = np.where(kind_b, g.wppe[ta], g.wspe[ta])
+        cb_pa = np.where(kind_a, g.wppe[tb], g.wspe[tb])
+        cb_pb = np.where(kind_b, g.wppe[tb], g.wspe[tb])
+
+        Fa_pa, Fa_pb = F[ta, pa], F[ta, pb]
+        Fb_pa, Fb_pb = F[tb, pa], F[tb, pb]
+        Ta_pa, Ta_pb = T[ta, pa], T[ta, pb]
+        Tb_pa, Tb_pb = T[tb, pa], T[tb, pb]
+
+        din_pa = (
+            read_b - read_a
+            - (tin_a - Fa_pa) + Ta_pa + d_ab
+            + (tin_b - Fb_pa) - (Tb_pa - d_ba)
+        )
+        dout_pa = (
+            write_b - write_a
+            - (tout_a - Ta_pa) + Fa_pa + d_ba
+            + (tout_b - Tb_pa) - (Fb_pa - d_ab)
+        )
+        din_pb = (
+            read_a - read_b
+            - (tin_b - Fb_pb) + Tb_pb + d_ba
+            + (tin_a - Fa_pb) - (Ta_pb - d_ab)
+        )
+        dout_pb = (
+            write_a - write_b
+            - (tout_b - Tb_pb) + Fb_pb + d_ab
+            + (tout_a - Ta_pb) - (Fa_pb - d_ba)
+        )
+
+        val_pa = np.maximum(
+            s.compute[pa] + (cb_pa - ca_pa),
+            np.maximum(
+                (s.in_bytes[pa] + din_pa) / bw,
+                (s.out_bytes[pa] + dout_pa) / bw,
+            ),
+        )
+        val_pb = np.maximum(
+            s.compute[pb] + (ca_pb - cb_pb),
+            np.maximum(
+                (s.in_bytes[pb] + din_pb) / bw,
+                (s.out_bytes[pb] + dout_pb) / bw,
+            ),
+        )
+        rest = _rest_max(s.topv, s.topp, pa[:, None], pb[:, None])[:, 0]
+        worst = np.maximum(rest, np.maximum(val_pa, val_pb))
+
+        # Violation shift: buffers/queues change at the two endpoints,
+        # plus proxy flips at producer-hosting SPEs on a kind exchange.
+        need_a, need_b = s.need[ta], s.need[tb]
+        up_a, up_b = up_full[ta], up_full[tb]
+        Ca_pa, Ca_pb = C[ta, pa], C[ta, pb]
+        Cb_pa, Cb_pb = C[tb, pa], C[tb, pb]
+        Ua_pa, Ub_pa = U[ta, pa], U[tb, pa]
+        Ua_pb, Ub_pb = U[ta, pb], U[tb, pb]
+        cin_a, cin_b = g.cin[ta], g.cin[tb]
+        kp_a = kind_a.astype(_I64)
+        kp_b = kind_b.astype(_I64)
+
+        ddma_pa = (
+            -(cin_a - Ca_pa) + Ua_pa + n_ab + (cin_b - Cb_pa) - (Ub_pa - n_ba)
+        )
+        ddma_pb = (
+            -(cin_b - Cb_pb) + Ub_pb + n_ba + (cin_a - Ca_pb) - (Ua_pb - n_ab)
+        )
+        dproxy_pa = up_b - up_a + kp_b * (n_ba + Ca_pa - Cb_pa + n_ab)
+        dproxy_pb = up_a - up_b + kp_a * (n_ab + Cb_pb - Ca_pb + n_ba)
+
+        spe_a = self.is_spe[pa]
+        spe_b = self.is_spe[pb]
+        shift = np.where(
+            spe_a,
+            _shift(s.buffer[pa], need_b - need_a, self.budget)
+            + _shift(s.dma_in[pa], ddma_pa, self.in_slots)
+            + _shift(s.dma_proxy[pa], dproxy_pa, self.proxy_slots),
+            0,
+        )
+        shift += np.where(
+            spe_b,
+            _shift(s.buffer[pb], need_a - need_b, self.budget)
+            + _shift(s.dma_in[pb], ddma_pb, self.in_slots)
+            + _shift(s.dma_proxy[pb], dproxy_pb, self.proxy_slots),
+            0,
+        )
+        kd = kp_b - kp_a
+        all_pes = self._ar[: self.n_pes]
+        third = _shift(
+            s.dma_proxy[None, :],
+            kd[:, None] * (C[ta] - C[tb]),
+            self.proxy_slots,
+        )
+        mask_q = (
+            self.is_spe[None, :]
+            & (all_pes[None, :] != pa[:, None])
+            & (all_pes[None, :] != pb[:, None])
+        )
+        shift += np.where(mask_q, third, 0).sum(axis=1)
+
+        nviol = self.an._n_violations + shift
+        return worst, nviol, same
+
+    # ------------------------------------------------------------------ #
+    # Population (assignment) kernel
+
+    def assignment_matrix(self, P, want_apps: bool = False):
+        """Score ``K`` full assignments from scratch in one pass.
+
+        ``P`` is a (K, n) int matrix of task → PE assignments over the
+        analyzer's platform.  Returns ``(period, nviol, app_periods)``
+        with ``app_periods`` a (K, n_apps) matrix (or ``None``).  The
+        from-scratch sums follow ``_rebuild``'s accumulation order
+        (tasks, then edges) per row — bit-identical on integer graphs.
+        """
+        g, nn, bw = self.g, self.n_pes, self.bw
+        P = np.asarray(P, _I64)
+        K, n = P.shape
+        size = K * nn
+        off = (np.arange(K) * nn)[:, None]
+        pbins = P + off
+
+        cost = np.where(self.is_ppe[P], g.wppe[None, :], g.wspe[None, :])
+        src_pe = P[:, g.edge_src]
+        dst_pe = P[:, g.edge_dst]
+        cross = src_pe != dst_pe
+        src_bins = (src_pe + off)[cross]
+        dst_bins = (dst_pe + off)[cross]
+        edge_w = np.broadcast_to(g.edge_data, (K, g.n_edges))[cross]
+
+        compute = np.bincount(
+            pbins.ravel(), weights=cost.ravel(), minlength=size
+        ).reshape(K, nn)
+        # Tasks first, then edges — one bincount keeps the scalar
+        # accumulation order (reads, then cross-edge bytes) per bin.
+        in_bytes = np.bincount(
+            np.concatenate([pbins.ravel(), dst_bins]),
+            weights=np.concatenate(
+                [np.broadcast_to(g.read, (K, n)).ravel(), edge_w]
+            ),
+            minlength=size,
+        ).reshape(K, nn)
+        out_bytes = np.bincount(
+            np.concatenate([pbins.ravel(), src_bins]),
+            weights=np.concatenate(
+                [np.broadcast_to(g.write, (K, n)).ravel(), edge_w]
+            ),
+            minlength=size,
+        ).reshape(K, nn)
+        peaks = np.maximum(
+            compute, np.maximum(in_bytes / bw, out_bytes / bw)
+        )
+        period = peaks.max(axis=1)
+
+        spe_dst = self.is_spe[dst_pe] & cross
+        dma_in = np.bincount(
+            (dst_pe + off)[spe_dst], minlength=size
+        ).reshape(K, nn)
+        proxy_mask = self.is_spe[src_pe] & self.is_ppe[dst_pe]
+        dma_proxy = np.bincount(
+            (src_pe + off)[proxy_mask], minlength=size
+        ).reshape(K, nn)
+        buffer = np.bincount(
+            pbins.ravel(),
+            weights=np.broadcast_to(self.g.need_default, (K, n)).ravel(),
+            minlength=size,
+        ).reshape(K, nn)
+        spe_row = self.is_spe[None, :]
+        nviol = (
+            ((buffer > self.budget) & spe_row).sum(axis=1)
+            + ((dma_in > self.in_slots) & spe_row).sum(axis=1)
+            + ((dma_proxy > self.proxy_slots) & spe_row).sum(axis=1)
+        ).astype(_I64)
+
+        link_cells = None
+        if self.multi:
+            n_c = self.n_cells
+            cs, cd = self.cell[src_pe], self.cell[dst_pe]
+            lmask = cross & (cs != cd)
+            loff = (np.arange(K) * n_c * n_c)[:, None]
+            lbins = (cs * n_c + cd + loff)[lmask]
+            lw = np.broadcast_to(g.edge_data, (K, g.n_edges))[lmask]
+            link_cells = np.bincount(
+                lbins, weights=lw, minlength=K * n_c * n_c
+            ).reshape(K, n_c * n_c)
+            period = np.maximum(
+                period, link_cells.max(axis=1) / self.bif_bw
+            )
+
+        app_periods = None
+        if want_apps and g.app_index is not None:
+            n_apps = self.cg.n_apps
+            asize = K * n_apps * nn
+            aoff = (np.arange(K) * n_apps * nn)[:, None]
+            a_compute = np.bincount(
+                (g.app_index[None, :] * nn + P + aoff).ravel(),
+                weights=cost.ravel(),
+                minlength=asize,
+            ).reshape(K, n_apps, nn)
+            ea = g.app_index[g.edge_src]  # endpoints share the app
+            edst_bins = (ea[None, :] * nn + dst_pe + aoff)[cross]
+            esrc_bins = (ea[None, :] * nn + src_pe + aoff)[cross]
+            a_in = np.bincount(
+                np.concatenate(
+                    [
+                        (g.app_index[None, :] * nn + P + aoff).ravel(),
+                        edst_bins,
+                    ]
+                ),
+                weights=np.concatenate(
+                    [np.broadcast_to(g.read, (K, n)).ravel(), edge_w]
+                ),
+                minlength=asize,
+            ).reshape(K, n_apps, nn)
+            a_out = np.bincount(
+                np.concatenate(
+                    [
+                        (g.app_index[None, :] * nn + P + aoff).ravel(),
+                        esrc_bins,
+                    ]
+                ),
+                weights=np.concatenate(
+                    [np.broadcast_to(g.write, (K, n)).ravel(), edge_w]
+                ),
+                minlength=asize,
+            ).reshape(K, n_apps, nn)
+            a_peaks = np.maximum(
+                a_compute, np.maximum(a_in / bw, a_out / bw)
+            )
+            app_periods = a_peaks.max(axis=2)
+            if self.multi:
+                n_c = self.n_cells
+                cs, cd = self.cell[src_pe], self.cell[dst_pe]
+                lmask = cross & (cs != cd)
+                aloff = (np.arange(K) * n_apps * n_c * n_c)[:, None]
+                albins = (
+                    ea[None, :] * (n_c * n_c) + cs * n_c + cd + aloff
+                )[lmask]
+                alw = np.broadcast_to(g.edge_data, (K, g.n_edges))[lmask]
+                a_link = np.bincount(
+                    albins, weights=alw, minlength=K * n_apps * n_c * n_c
+                ).reshape(K, n_apps, n_c * n_c)
+                app_periods = np.maximum(
+                    app_periods, a_link.max(axis=2) / self.bif_bw
+                )
+        return period, nviol, app_periods

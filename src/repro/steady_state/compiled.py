@@ -88,6 +88,7 @@ class CompiledGraph:
         "need_default",
         "app_names",
         "app_index",
+        "_np",
     )
 
     def __init__(self, graph: StreamGraph) -> None:
@@ -199,9 +200,29 @@ class CompiledGraph:
             self.app_names = ()
             self.app_index = None
 
+        # Lazy numpy mirrors (built on first arrays() call).
+        self._np = None
+
     @property
     def n_apps(self) -> int:
         return len(self.app_names)
+
+    def arrays(self):
+        """Numpy mirrors of the compiled arrays, built once per graph.
+
+        Returns a read-only namespace of mapping-independent ndarrays
+        shared by every numpy-backend analyzer on this graph version:
+        cost tables, edge endpoint/byte arrays, static per-task in/out
+        aggregates, the app index, and the sorted direct-edge pair table
+        the swap kernel looks pairs up in.  Raises ``ImportError`` when
+        numpy is unavailable — callers gate on
+        :func:`~repro.steady_state.backend.numpy_available`.
+        """
+        if self._np is None:
+            from .backend_numpy import build_graph_arrays
+
+            self._np = build_graph_arrays(self)
+        return self._np
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         apps = f", {self.n_apps} apps" if self.app_index is not None else ""

@@ -119,8 +119,10 @@ import math
 from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from ..errors import MappingError
+from .backend import resolve_backend
 from .compiled import CompiledGraph, compile_graph
 from .mapping import Mapping
+from .objective import PeriodObjective
 from .periods import buffer_sizes, first_periods
 from .periods import buffer_requirements as _buffer_requirements
 from .throughput import (
@@ -211,11 +213,17 @@ class DeltaAnalyzer:
     public API speaks task names.
     """
 
+    #: Minimum task-batch size before the dense numpy kernels engage —
+    #: single-task sweeps stay on the scalar kernel under every backend
+    #: (at n_pes ≤ 18 a dense pass costs more than it saves).
+    _VECTOR_MIN_TASKS = 2
+
     def __init__(
         self,
         mapping: Mapping,
         elide_local_comm: bool = False,
         merge_same_pe_buffers: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         self.graph = mapping.graph
         self.platform = mapping.platform
@@ -277,7 +285,22 @@ class DeltaAnalyzer:
         self._app_peak: List[List[float]] = []
         self._app_link_bytes: Dict[Tuple[int, Tuple[int, int]], float] = {}
         self._app_link_count: Dict[Tuple[int, Tuple[int, int]], int] = {}
+        #: Monotone mutation counter — bumped on every apply/rebuild, so
+        #: the numpy kernel can cache its dense state mirrors per state.
+        self._state_version = 0
         self._rebuild()
+
+        #: Resolved kernel backend: ``"python"`` or ``"numpy"`` (see
+        #: :mod:`repro.steady_state.backend` for the selection rules).
+        self.backend: str = resolve_backend(backend)
+        self._kernel = self._make_kernel()
+
+    def _make_kernel(self):
+        if self.backend != "numpy":
+            return None
+        from .backend_numpy import NumpyKernel
+
+        return NumpyKernel(self)
 
     # ------------------------------------------------------------------ #
     # State construction
@@ -419,6 +442,7 @@ class DeltaAnalyzer:
 
     def resync(self) -> None:
         """One O(V+E) rebuild, re-anchoring the incremental state exactly."""
+        self._state_version += 1
         self._rebuild()
 
     def clone(self) -> "DeltaAnalyzer":
@@ -462,6 +486,9 @@ class DeltaAnalyzer:
         new._app_peak = [list(v) for v in self._app_peak]
         new._app_link_bytes = dict(self._app_link_bytes)
         new._app_link_count = dict(self._app_link_count)
+        new._state_version = 0
+        new.backend = self.backend
+        new._kernel = new._make_kernel()
         return new
 
     # ------------------------------------------------------------------ #
@@ -987,6 +1014,7 @@ class DeltaAnalyzer:
          d_dma_in, d_dma_proxy, d_link, d_link_n, bufmodel,
          appdeltas) = deltas
 
+        self._state_version += 1
         self._n_violations += self._violation_shift(d_buf, d_dma_in, d_dma_proxy)
         pe_list = self._pe
         members = self._members
@@ -1546,7 +1574,9 @@ class DeltaAnalyzer:
             self._deltas({a: self.pe_of(b), b: self.pe_of(a)}), objective
         )
 
-    def evaluate_changes(self, changes: Dict[str, int], objective=None) -> ObjectiveScore:
+    def evaluate_changes(
+        self, changes: Dict[str, int], objective=None
+    ) -> ObjectiveScore:
         """Objective score with all of ``changes`` applied at once."""
         return self._evaluate(self._deltas(dict(changes)), objective)
 
@@ -1569,6 +1599,7 @@ class DeltaAnalyzer:
         order, matching the historical per-candidate loops move for move.
         """
         current = self.evaluate(objective)
+        full = tasks is None, pes is None
         if tasks is None:
             tasks = self._cg.names
         if pes is None:
@@ -1577,6 +1608,37 @@ class DeltaAnalyzer:
         best_key = (current.value, current.period)
         cap = period_cap
         cur_period = current.period
+        if (
+            self._kernel is not None
+            and not self._mapping_dependent
+            and len(tasks) >= self._VECTOR_MIN_TASKS
+            and (objective is None or isinstance(objective, PeriodObjective))
+        ):
+            # Dense selection: value == period under the period objective,
+            # so one masked argmin finds the earliest-visit-order minimum
+            # — the exact candidate the scalar scan keeps.
+            import numpy as np
+
+            pes = list(pes)
+            if not full[1]:
+                self._check_pes(pes)
+            res = self._kernel.move_matrix(
+                None if full[0] else [self._tid(name) for name in tasks],
+                None if full[1] else pes,
+                track_app=False,
+            )
+            ok = ~res.origin & (res.nviol == 0)
+            ok &= (res.worst <= cap) | (res.worst < cur_period)
+            if not ok.any():
+                return None
+            cand = np.where(ok, res.worst, np.inf)
+            flat = int(np.argmin(cand))
+            value = float(cand.flat[flat])
+            if not (value, value) < best_key:
+                return None
+            i, j = divmod(flat, len(pes))
+            score = ObjectiveScore(value, value, True, 0)
+            return tasks[i], pes[j], score
         for name in tasks:
             origin = self._pe[self._tid(name)]
             scores = self.evaluate_moves(name, pes, objective)
@@ -1589,6 +1651,285 @@ class DeltaAnalyzer:
                 if key < best_key:
                     best, best_key = (name, pe, score), key
         return best
+
+    # ------------------------------------------------------------------ #
+    # Whole-neighbourhood / population batch API (vectorized backend)
+
+    def _resolve_tasks(
+        self, tasks: Optional[Sequence[str]]
+    ) -> Tuple[List[int], List[str]]:
+        """``tasks`` (default: all, in graph order) as ids + names."""
+        if tasks is None:
+            names = list(self._cg.names)
+            tids = list(range(self._cg.n))
+        else:
+            names = list(tasks)
+            tids = [self._tid(name) for name in names]
+        return tids, names
+
+    def _resolve_pes(self, pes: Optional[Sequence[int]]) -> List[int]:
+        if pes is None:
+            return list(range(self._n_pes))
+        pes = list(pes)
+        self._check_pes(pes)
+        return pes
+
+    def score_move_matrix(self, tasks=None, pes=None):
+        """Periods and violation counts of every (task, PE) move at once.
+
+        Returns ``(period, n_violations)`` shaped ``len(tasks) ×
+        len(pes)`` — ndarrays under the numpy backend, nested lists under
+        the scalar backend (entries compare equal either way).  Entries
+        whose target equals the task's current PE hold the current
+        state's period/violations, mirroring :meth:`score_moves`.  This
+        is the raw whole-neighbourhood kernel; :meth:`evaluate_all_moves`
+        is the objective-aware sibling.
+        """
+        full = tasks is None, pes is None
+        tids, names = self._resolve_tasks(tasks)
+        pes = self._resolve_pes(pes)
+        if self._kernel is not None and not self._mapping_dependent:
+            res = self._kernel.move_matrix(
+                None if full[0] else tids,
+                None if full[1] else pes,
+                track_app=False,
+            )
+            worst, nviol = res.worst, res.nviol
+            if res.origin.any():
+                cur = self.score()
+                worst[res.origin] = cur.period
+                nviol[res.origin] = cur.n_violations
+            return worst, nviol
+        periods: List[List[float]] = []
+        viols: List[List[int]] = []
+        for name in names:
+            scores = self.score_moves(name, pes)
+            periods.append([s.period for s in scores])
+            viols.append([s.n_violations for s in scores])
+        return periods, viols
+
+    def evaluate_all_moves(
+        self,
+        tasks: Optional[Sequence[str]] = None,
+        pes: Optional[Sequence[int]] = None,
+        objective=None,
+    ) -> List[List[ObjectiveScore]]:
+        """Objective scores of every (task, PE) move — one dense pass.
+
+        Row ``i`` equals ``evaluate_moves(tasks[i], pes, objective)``
+        exactly (bit-identical on integer-valued graphs); under the numpy
+        backend all rows come from a single masked cost-matrix pass
+        instead of one kernel sweep per task.
+        """
+        full = tasks is None, pes is None
+        tids, names = self._resolve_tasks(tasks)
+        pes = self._resolve_pes(pes)
+        if (
+            self._kernel is None
+            or self._mapping_dependent
+            or len(tids) < self._VECTOR_MIN_TASKS
+        ):
+            return [self.evaluate_moves(name, pes, objective) for name in names]
+        cg = self._cg
+        track_app = (
+            objective is not None
+            and getattr(objective, "needs_app_periods", False)
+            and cg.app_index is not None
+        )
+        res = self._kernel.move_matrix(
+            None if full[0] else tids, None if full[1] else pes, track_app
+        )
+        base_app = self.app_periods() if track_app else None
+        current: Optional[ObjectiveScore] = None
+        worst, nviol, origin, aworst = res.worst, res.nviol, res.origin, res.aworst
+        rows: List[List[ObjectiveScore]] = []
+        for i, tid in enumerate(tids):
+            row: List[ObjectiveScore] = []
+            for j in range(len(pes)):
+                if origin[i, j]:
+                    if current is None:
+                        current = self._evaluate(None, objective)
+                    row.append(current)
+                    continue
+                w = float(worst[i, j])
+                nv = int(nviol[i, j])
+                if objective is None:
+                    value = w
+                elif not track_app:
+                    value = objective.value(w, None)
+                else:
+                    ap = dict(base_app)
+                    ap[cg.app_names[cg.app_index[tid]]] = float(aworst[i, j])
+                    value = objective.value(w, ap)
+                row.append(ObjectiveScore(value, w, nv == 0, nv))
+            rows.append(row)
+        return rows
+
+    def score_swaps(
+        self, pairs: Sequence[Tuple[str, str]]
+    ) -> List[MoveScore]:
+        """Scores of exchanging each task pair's PEs, batched.
+
+        Entry ``k`` equals ``score_swap(*pairs[k])``.  The numpy swap
+        kernel covers single-cell platforms under the default buffer
+        model; multi-cell platforms and the mapping-dependent modes fall
+        back to the per-pair path.
+        """
+        pairs = [(a, b) for a, b in pairs]
+        if (
+            self._kernel is None
+            or self._mapping_dependent
+            or self._multi
+            or len(pairs) < self._VECTOR_MIN_TASKS
+        ):
+            return [self.score_swap(a, b) for a, b in pairs]
+        ta = [self._tid(a) for a, _ in pairs]
+        tb = [self._tid(b) for _, b in pairs]
+        worst, nviol, same = self._kernel.swap_matrix(ta, tb)
+        cur: Optional[MoveScore] = None
+        out: List[MoveScore] = []
+        for k in range(len(pairs)):
+            if same[k]:
+                if cur is None:
+                    cur = self.score()
+                out.append(cur)
+                continue
+            nv = int(nviol[k])
+            out.append(MoveScore(float(worst[k]), nv == 0, nv))
+        return out
+
+    def evaluate_swaps(
+        self, pairs: Sequence[Tuple[str, str]], objective=None
+    ) -> List[ObjectiveScore]:
+        """Objective scores of each task-pair PE exchange, batched.
+
+        Entry ``k`` equals ``evaluate_swap(*pairs[k], objective)``.
+        Objectives consuming per-application periods fall back to the
+        per-pair path (a swap may perturb two applications at once, so
+        there is no single-app shortcut to vectorize).
+        """
+        pairs = [(a, b) for a, b in pairs]
+        if (
+            self._kernel is None
+            or self._mapping_dependent
+            or self._multi
+            or len(pairs) < self._VECTOR_MIN_TASKS
+            or (
+                objective is not None
+                and getattr(objective, "needs_app_periods", False)
+            )
+        ):
+            return [self.evaluate_swap(a, b, objective) for a, b in pairs]
+        ta = [self._tid(a) for a, _ in pairs]
+        tb = [self._tid(b) for _, b in pairs]
+        worst, nviol, same = self._kernel.swap_matrix(ta, tb)
+        cur: Optional[ObjectiveScore] = None
+        out: List[ObjectiveScore] = []
+        for k in range(len(pairs)):
+            if same[k]:
+                if cur is None:
+                    cur = self._evaluate(None, objective)
+                out.append(cur)
+                continue
+            w = float(worst[k])
+            nv = int(nviol[k])
+            value = w if objective is None else objective.value(w, None)
+            out.append(ObjectiveScore(value, w, nv == 0, nv))
+        return out
+
+    def _assignment_rows(self, assignments: Sequence[Dict[str, int]]):
+        """Candidate full mappings as a (K, n) PE matrix, validated."""
+        import numpy as np
+
+        P = np.tile(
+            np.asarray(self._pe, dtype=np.int64), (len(assignments), 1)
+        )
+        index = self._cg.index
+        n = self._n_pes
+        for k, changes in enumerate(assignments):
+            for name, pe in changes.items():
+                tid = index.get(name)
+                if tid is None:
+                    raise MappingError(f"task {name!r} is not mapped")
+                if not 0 <= pe < n:
+                    raise MappingError(
+                        f"task {name!r} moved to invalid PE {pe!r} "
+                        f"(platform has {n} PEs)"
+                    )
+                P[k, tid] = pe
+        return P
+
+    def score_assignments(
+        self, assignments: Sequence[Dict[str, int]]
+    ) -> List[MoveScore]:
+        """Scores of K whole candidate mappings — one population pass.
+
+        Each element of ``assignments`` is a change set relative to the
+        current state (``{}`` scores the state itself); entry ``k``
+        equals ``score_changes(assignments[k])``.  Under the numpy
+        backend the K clones are scored by a single from-scratch matrix
+        pass — the GA's generation-evaluation hot path.
+        """
+        assignments = [dict(ch) for ch in assignments]
+        if (
+            self._kernel is None
+            or self._mapping_dependent
+            or len(assignments) < self._VECTOR_MIN_TASKS
+        ):
+            return [self.score_changes(ch) for ch in assignments]
+        P = self._assignment_rows(assignments)
+        period, nviol, _apps = self._kernel.assignment_matrix(P, False)
+        out: List[MoveScore] = []
+        for k in range(len(assignments)):
+            nv = int(nviol[k])
+            out.append(MoveScore(float(period[k]), nv == 0, nv))
+        return out
+
+    def evaluate_assignments(
+        self,
+        assignments: Sequence[Dict[str, int]],
+        objective=None,
+    ) -> List[ObjectiveScore]:
+        """Objective scores of K whole candidate mappings, batched.
+
+        Entry ``k`` equals ``evaluate_changes(assignments[k],
+        objective)``; per-application periods (when the objective needs
+        them) come from the same population pass.
+        """
+        assignments = [dict(ch) for ch in assignments]
+        cg = self._cg
+        needs_apps = objective is not None and getattr(
+            objective, "needs_app_periods", False
+        )
+        if (
+            self._kernel is None
+            or self._mapping_dependent
+            or len(assignments) < self._VECTOR_MIN_TASKS
+            or (needs_apps and cg.app_index is None)
+        ):
+            return [
+                self.evaluate_changes(ch, objective) for ch in assignments
+            ]
+        P = self._assignment_rows(assignments)
+        period, nviol, app_mat = self._kernel.assignment_matrix(
+            P, needs_apps
+        )
+        out: List[ObjectiveScore] = []
+        for k in range(len(assignments)):
+            w = float(period[k])
+            nv = int(nviol[k])
+            if objective is None:
+                value = w
+            elif needs_apps:
+                ap = {
+                    app: float(app_mat[k, a])
+                    for a, app in enumerate(cg.app_names)
+                }
+                value = objective.value(w, ap)
+            else:
+                value = objective.value(w, None)
+            out.append(ObjectiveScore(value, w, nv == 0, nv))
+        return out
 
     # ------------------------------------------------------------------ #
     # Full analysis

@@ -1,0 +1,202 @@
+"""Kernel-backend selection and the backend-independence contract.
+
+Covers the selection layer itself (``resolve_backend`` precedence:
+explicit argument > ``REPRO_KERNEL_BACKEND`` > auto-detection, error
+paths when numpy is requested but unavailable), the way
+:class:`DeltaAnalyzer` / the strategies / :class:`OnlineScheduler`
+thread the choice through, the batch-API validation errors, and —
+nightly, gated on ``REPRO_XCHECK_LARGE=1`` — a scaled-up scalar-vs-numpy
+cross-check on large random graphs.  The per-entry bit-exactness
+property suite lives in ``tests/test_compiled.py``.
+"""
+
+import os
+import random
+
+import pytest
+
+from test_delta import PLATFORMS, integer_cost_graph
+
+from repro.errors import KernelBackendError, MappingError
+from repro.heuristics import critical_path_mapping, local_search, tabu_search
+from repro.platform import CellPlatform
+from repro.runtime import OnlineScheduler
+from repro.steady_state import (
+    BACKEND_ENV_VAR,
+    DeltaAnalyzer,
+    KERNEL_BACKENDS,
+    Mapping,
+    available_backends,
+    numpy_available,
+    resolve_backend,
+)
+from repro.steady_state import backend as backend_mod
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend unavailable"
+)
+
+
+class TestResolveBackend:
+    def test_explicit_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert resolve_backend("python") == "python"
+
+    def test_env_var_used_when_no_argument(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        assert resolve_backend() == "python"
+
+    def test_auto_detects(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        expected = "numpy" if numpy_available() else "python"
+        assert resolve_backend() == expected
+        assert resolve_backend("auto") == expected
+        monkeypatch.setenv(BACKEND_ENV_VAR, "auto")
+        assert resolve_backend() == expected
+
+    def test_selection_is_trimmed_and_case_insensitive(self):
+        assert resolve_backend("  PYTHON ") == "python"
+
+    def test_unknown_name_raises_with_source(self, monkeypatch):
+        with pytest.raises(KernelBackendError, match="backend argument"):
+            resolve_backend("fortran")
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fortran")
+        with pytest.raises(KernelBackendError, match=BACKEND_ENV_VAR):
+            resolve_backend()
+
+    def test_numpy_request_without_numpy_raises(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        monkeypatch.setattr(backend_mod, "_NUMPY_OK", False)
+        assert available_backends() == ("python",)
+        assert resolve_backend() == "python"  # auto falls back silently
+        with pytest.raises(KernelBackendError, match="not importable"):
+            resolve_backend("numpy")
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        with pytest.raises(KernelBackendError, match=BACKEND_ENV_VAR):
+            resolve_backend()
+
+    def test_registry_names(self):
+        assert KERNEL_BACKENDS == ("python", "numpy")
+        assert available_backends()[0] == "python"
+
+
+class TestAnalyzerBackend:
+    def _state(self, **kwargs):
+        g = integer_cost_graph(1, n_min=6, n_max=9)
+        mapping = Mapping.all_on_ppe(g, CellPlatform.qs22())
+        return DeltaAnalyzer(mapping, **kwargs)
+
+    def test_python_backend_has_no_kernel(self):
+        state = self._state(backend="python")
+        assert state.backend == "python"
+        assert state._kernel is None
+
+    @needs_numpy
+    def test_numpy_backend_builds_kernel(self):
+        state = self._state(backend="numpy")
+        assert state.backend == "numpy"
+        assert state._kernel is not None
+
+    @needs_numpy
+    def test_env_var_selects_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        assert self._state().backend == "python"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert self._state().backend == "numpy"
+
+    @needs_numpy
+    def test_clone_preserves_backend(self):
+        for backend in KERNEL_BACKENDS:
+            state = self._state(backend=backend)
+            assert state.clone().backend == backend
+
+    def test_batch_validation_errors(self):
+        state = self._state(backend=None)
+        names = state.graph.task_names()
+        with pytest.raises(MappingError, match="not mapped"):
+            state.score_assignments([{}, {"missing-task": 0}])
+        with pytest.raises(MappingError, match="invalid PE"):
+            state.score_assignments([{}, {names[0]: 99}])
+        with pytest.raises(MappingError):
+            state.score_move_matrix(pes=[0, 99])
+        with pytest.raises(MappingError):
+            state.evaluate_swaps([(names[0], "missing-task")] * 2)
+
+
+@needs_numpy
+class TestBackendThreading:
+    """The strategies and the online runtime honour ``backend=``."""
+
+    def test_local_search_backend_independent(self):
+        g = integer_cost_graph(6, n_min=12, n_max=16)
+        start = critical_path_mapping(g, CellPlatform.qs22())
+        a = local_search(start, max_rounds=5, backend="python")
+        b = local_search(start, max_rounds=5, backend="numpy")
+        assert a.to_dict() == b.to_dict()
+
+    def test_tabu_search_backend_independent(self):
+        g = integer_cost_graph(6, n_min=12, n_max=16)
+        a = tabu_search(g, CellPlatform.qs22(), seed=3, rounds=10, backend="python")
+        b = tabu_search(g, CellPlatform.qs22(), seed=3, rounds=10, backend="numpy")
+        assert a.to_dict() == b.to_dict()
+
+    def test_online_scheduler_forwards_backend(self):
+        from repro.runtime.events import AppArrival
+
+        for backend in KERNEL_BACKENDS:
+            sched = OnlineScheduler(CellPlatform.qs22(), backend=backend)
+            sched.run([AppArrival(0.0, "app", integer_cost_graph(2, n_min=6, n_max=9))])
+            assert sched.state.backend == backend
+
+    def test_reference_state_ignores_backend(self):
+        sched = OnlineScheduler(
+            CellPlatform.qs22(), use_delta=False, backend="numpy"
+        )
+        from repro.runtime.events import AppArrival
+
+        sched.run([AppArrival(0.0, "app", integer_cost_graph(2, n_min=6, n_max=9))])
+        assert not hasattr(sched.state, "_kernel")
+
+
+@needs_numpy
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_XCHECK_LARGE"),
+    reason="nightly scale: set REPRO_XCHECK_LARGE=1",
+)
+def test_large_random_graph_cross_check():
+    """Nightly: scalar and numpy kernels agree verdict for verdict on
+    graphs an order of magnitude past the tier-1 sizes, interleaved with
+    applies (exercises the cached-state invalidation paths at scale)."""
+    for seed in range(4):
+        g = integer_cost_graph(seed, n_min=120, n_max=180)
+        platform = PLATFORMS[seed % len(PLATFORMS)]
+        rng = random.Random(1000 + seed)
+        names = g.task_names()
+        n_pes = platform.n_pes
+        assignment = {n: rng.randrange(n_pes) for n in names}
+        mapping = Mapping(g, platform, assignment)
+        scalar = DeltaAnalyzer(mapping, backend="python")
+        vector = DeltaAnalyzer(mapping, backend="numpy")
+        for _ in range(3):
+            worst, nviol = vector.score_move_matrix()
+            for i, name in enumerate(names):
+                for pe, score in enumerate(scalar.score_moves(name)):
+                    assert float(worst[i, pe]) == score.period
+                    assert int(nviol[i, pe]) == score.n_violations
+            assert vector.best_move() == scalar.best_move()
+            pairs = [tuple(rng.sample(names, 2)) for _ in range(64)]
+            assert vector.score_swaps(pairs) == [
+                scalar.score_swap(a, b) for a, b in pairs
+            ]
+            candidates = [
+                {n: rng.randrange(n_pes) for n in rng.sample(names, 10)}
+                for _ in range(32)
+            ]
+            assert vector.score_assignments(candidates) == [
+                scalar.score_changes(ch) for ch in candidates
+            ]
+            for _ in range(5):
+                name = rng.choice(names)
+                pe = rng.randrange(n_pes)
+                scalar.apply_move(name, pe)
+                vector.apply_move(name, pe)

@@ -17,7 +17,14 @@ Three families of guarantees:
   buffer-model modes (where the batched API falls back to the
   per-candidate path) and objectives, interleaved with applies; and the
   incrementally-maintained ``tasks_on`` membership matches the O(V)
-  reference after arbitrary move sequences.
+  reference after arbitrary move sequences;
+* **numpy = scalar = analyze** — a hypothesis property suite: under the
+  vectorized numpy kernel backend, every whole-neighbourhood /
+  swap-pair / population batch returns bit-identical verdicts to the
+  scalar kernel *and* to a fresh ``analyze()`` of the explicitly-built
+  candidate mapping, across all four buffer-model modes, the test
+  platforms and all three objectives (``tests/test_backend.py`` covers
+  the selection layer itself).
 """
 
 import random
@@ -34,8 +41,14 @@ from repro.platform import CellPlatform
 from repro.steady_state import (
     DeltaAnalyzer,
     Mapping,
+    analyze,
     compile_graph,
     make_objective,
+    numpy_available,
+)
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend unavailable"
 )
 
 MODES = (
@@ -287,6 +300,114 @@ class TestMembership:
         state = DeltaAnalyzer(Mapping.all_on_ppe(g, CellPlatform.qs22()))
         with pytest.raises(MappingError):
             state.tasks_on(99)
+
+
+@needs_numpy
+class TestNumpyBackendProperty:
+    """Hypothesis: numpy kernel == scalar kernel == fresh ``analyze()``.
+
+    Every example builds one random integer-cost graph, mapping, buffer
+    mode and platform, then checks the vectorized batches entry for
+    entry against the scalar per-candidate verdicts — plus one
+    explicitly-applied candidate against a from-scratch ``analyze()``,
+    anchoring both kernels to the reference model."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 500),
+        mode_i=st.integers(0, len(MODES) - 1),
+        plat_i=st.integers(0, len(PLATFORMS) - 1),
+        data=st.data(),
+    )
+    def test_move_matrix_matches_scalar_and_analyze(
+        self, seed, mode_i, plat_i, data
+    ):
+        g = integer_cost_graph(seed, n_min=5, n_max=9)
+        platform = PLATFORMS[plat_i]
+        mode = MODES[mode_i]
+        names = g.task_names()
+        n_pes = platform.n_pes
+        assignment = {
+            n: data.draw(st.integers(0, n_pes - 1), label=n) for n in names
+        }
+        mapping = Mapping(g, platform, assignment)
+        scalar = DeltaAnalyzer(mapping, backend="python", **mode)
+        vector = DeltaAnalyzer(mapping, backend="numpy", **mode)
+
+        worst, nviol = vector.score_move_matrix()
+        for i, name in enumerate(names):
+            for pe, score in enumerate(scalar.score_moves(name)):
+                assert float(worst[i][pe]) == score.period
+                assert int(nviol[i][pe]) == score.n_violations
+        assert vector.best_move() == scalar.best_move()
+
+        # Anchor one candidate to the reference model: apply it on both
+        # analyzers and compare the committed state to a fresh analyze().
+        name = data.draw(st.sampled_from(names), label="move-task")
+        pe = data.draw(st.integers(0, n_pes - 1), label="move-pe")
+        scalar.apply_move(name, pe)
+        vector.apply_move(name, pe)
+        reference = analyze(
+            Mapping(g, platform, dict(assignment, **{name: pe})), **mode
+        )
+        for state in (scalar, vector):
+            assert state.period() == reference.period
+            assert state.feasible == reference.feasible
+        # ...and the matrices re-agree on the mutated state.
+        worst, nviol = vector.score_move_matrix()
+        ref_w, ref_v = scalar.score_move_matrix()
+        for i in range(len(names)):
+            for pe in range(n_pes):
+                assert float(worst[i][pe]) == float(ref_w[i][pe])
+                assert int(nviol[i][pe]) == int(ref_v[i][pe])
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 4),
+        objective=st.sampled_from(("period", "weighted", "max_stretch")),
+        dual=st.booleans(),
+        data=st.data(),
+    )
+    def test_objective_batches_match_on_composites(
+        self, seed, objective, dual, data
+    ):
+        composite = build_composite(seed)
+        platform = CellPlatform.qs22_dual() if dual else CellPlatform.qs22()
+        obj = make_objective(objective, composite)
+        names = composite.task_names()
+        n_pes = platform.n_pes
+        assignment = {
+            n: data.draw(st.integers(0, n_pes - 1), label=n) for n in names
+        }
+        mapping = Mapping(composite, platform, assignment)
+        scalar = DeltaAnalyzer(mapping, backend="python")
+        vector = DeltaAnalyzer(mapping, backend="numpy")
+
+        rows = vector.evaluate_all_moves(objective=obj)
+        for i, name in enumerate(names):
+            assert rows[i] == scalar.evaluate_moves(name, objective=obj)
+
+        pairs = [
+            tuple(data.draw(st.permutations(names), label=f"pair{k}")[:2])
+            for k in range(4)
+        ] + [(names[0], names[0])]
+        assert vector.evaluate_swaps(pairs, obj) == [
+            scalar.evaluate_swap(a, b, obj) for a, b in pairs
+        ]
+
+        candidates = [
+            {
+                n: data.draw(st.integers(0, n_pes - 1), label=f"cand{k}-{n}")
+                for n in data.draw(
+                    st.lists(st.sampled_from(names), max_size=5, unique=True),
+                    label=f"cand{k}",
+                )
+            }
+            for k in range(3)
+        ] + [{}]
+        assert vector.evaluate_assignments(candidates, obj) == [
+            scalar.evaluate_changes(ch, obj) for ch in candidates
+        ]
 
 
 def make_graph_with_dangling_cache() -> StreamGraph:
