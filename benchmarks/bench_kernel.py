@@ -19,9 +19,20 @@ the two claims down on the paper's 50-task benchmark graph:
 * ``test_vectorized_speedup_guard`` **fails** if the numpy backend's
   whole-neighbourhood ``score_move_matrix`` pass is less than 5× faster
   than the scalar batched sweep — the acceptance bar of the vectorized
-  kernel-backend PR.  Both guards skip their timing assertion (never the
-  correctness cross-check) under ``REPRO_BENCH_NO_TIMING_ASSERT=1``;
-  nightly CI runs them with the assertion armed.
+  kernel-backend PR;
+* ``test_native_md_scoring_speedup_guard`` /
+  ``test_native_apply_speedup_guard`` **fail** if the compiled
+  extension (``backend="cython"``) is less than 2× faster than the best
+  existing backend on mapping-dependent-mode neighbourhood scoring, or
+  less than 1.5× faster on the apply/resync commit path — the
+  acceptance bars of the compiled-extension PR.  All guards skip their
+  timing assertion (never the correctness cross-check) under
+  ``REPRO_BENCH_NO_TIMING_ASSERT=1``; nightly CI runs them with the
+  assertion armed.
+
+The batch-API benches parametrize over ``available_backends()``, so a
+build with the compiled extension reports ``[cython]`` timings next to
+``[python]`` / ``[numpy]`` without any list to keep in sync.
 
 Run explicitly (benchmarks are not collected by the default test run)::
 
@@ -35,6 +46,7 @@ benchmarks/bench_delta.py benchmarks/bench_kernel.py -q
 """
 
 import os
+import random
 import time
 
 import pytest
@@ -42,11 +54,30 @@ import pytest
 from repro.generator import random_graph_1
 from repro.heuristics import greedy_cpu
 from repro.platform import CellPlatform
-from repro.steady_state import DeltaAnalyzer, make_objective, numpy_available
+from repro.steady_state import (
+    DeltaAnalyzer,
+    available_backends,
+    cython_available,
+    make_objective,
+    numpy_available,
+)
 
 needs_numpy = pytest.mark.skipif(
     not numpy_available(), reason="numpy backend unavailable"
 )
+needs_cython = pytest.mark.skipif(
+    not cython_available(), reason="compiled extension not built"
+)
+
+
+def _time_best_of(fn, repeats=10):
+    fn()  # warm caches outside the timed region
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 @pytest.fixture(scope="module")
@@ -133,8 +164,13 @@ def test_batched_speedup_guard(graph, platform, mapping):
 
     Also cross-checks that the two paths agree verdict for verdict, so
     the speed-up is not bought with a different answer.
+
+    Pinned to ``backend="python"``: under ``auto`` the compiled
+    extension accelerates the per-candidate loop itself, which is a
+    different (and better) story than the batching contract this guard
+    protects.
     """
-    state = DeltaAnalyzer(mapping)
+    state = DeltaAnalyzer(mapping, backend="python")
     names = graph.task_names()
     n_pes = platform.n_pes
 
@@ -143,17 +179,8 @@ def test_batched_speedup_guard(graph, platform, mapping):
         for pe in range(n_pes):
             assert batched[pe] == state.score_move(name, pe)
 
-    def time_best_of(fn, repeats=10):
-        fn()  # warm caches outside the timed region
-        best = float("inf")
-        for _ in range(repeats):
-            start = time.perf_counter()
-            fn()
-            best = min(best, time.perf_counter() - start)
-        return best
-
-    scalar_time = time_best_of(lambda: _scalar_sweep(state, names, n_pes))
-    batched_time = time_best_of(lambda: _batched_sweep(state, names))
+    scalar_time = _time_best_of(lambda: _scalar_sweep(state, names, n_pes))
+    batched_time = _time_best_of(lambda: _batched_sweep(state, names))
     if os.environ.get("REPRO_BENCH_NO_TIMING_ASSERT"):
         return  # noisy shared runners: correctness above still verified
     speedup = scalar_time / batched_time
@@ -167,68 +194,61 @@ def test_batched_speedup_guard(graph, platform, mapping):
 
 
 # ---------------------------------------------------------------------- #
-# Vectorized numpy backend
+# Batch APIs under every available backend (python / numpy / cython)
 
 
-@pytest.fixture(scope="module")
-def np_state(mapping):
-    return DeltaAnalyzer(mapping, backend="numpy")
+@pytest.fixture(scope="module", params=available_backends())
+def backend_state(request, mapping):
+    return DeltaAnalyzer(mapping, backend=request.param)
 
 
-@needs_numpy
-@pytest.mark.benchmark(group="kernel-numpy")
-def test_score_move_matrix_numpy(benchmark, np_state):
-    """Whole move neighbourhood in one dense (tasks × PEs) kernel pass."""
-    worst, _ = benchmark(np_state.score_move_matrix)
-    assert float(worst.min()) > 0
+@pytest.mark.benchmark(group="kernel-backend")
+def test_score_move_matrix_backend(benchmark, backend_state):
+    """Whole move neighbourhood in one (tasks × PEs) matrix pass."""
+    worst, _ = benchmark(backend_state.score_move_matrix)
+    assert float(worst[0][0]) > 0
 
 
-@needs_numpy
-@pytest.mark.benchmark(group="kernel-numpy")
-def test_evaluate_all_moves_numpy(benchmark, graph, np_state):
-    """Dense pass plus the per-candidate ObjectiveScore assembly."""
+@pytest.mark.benchmark(group="kernel-backend")
+def test_evaluate_all_moves_backend(benchmark, graph, backend_state):
+    """Matrix pass plus the per-candidate ObjectiveScore assembly."""
     obj = make_objective("period", graph)
-    rows = benchmark(np_state.evaluate_all_moves, objective=obj)
+    rows = benchmark(backend_state.evaluate_all_moves, objective=obj)
     assert rows[0][0].period > 0
 
 
-@needs_numpy
-@pytest.mark.benchmark(group="kernel-numpy")
-def test_score_swaps_numpy(benchmark, graph, np_state):
-    """Pairwise swap kernel over every distinct-PE task pair."""
+@pytest.mark.benchmark(group="kernel-backend")
+def test_score_swaps_backend(benchmark, graph, backend_state):
+    """Pairwise swap scoring over every distinct-PE task pair."""
     names = graph.task_names()
     pairs = [
         (a, b)
         for i, a in enumerate(names)
         for b in names[i + 1 :]
-        if np_state.pe_of(a) != np_state.pe_of(b)
+        if backend_state.pe_of(a) != backend_state.pe_of(b)
     ]
-    scores = benchmark(np_state.score_swaps, pairs)
+    scores = benchmark(backend_state.score_swaps, pairs)
     assert len(scores) == len(pairs)
 
 
-@needs_numpy
-@pytest.mark.benchmark(group="kernel-numpy")
-def test_score_assignments_numpy(benchmark, graph, platform, np_state):
+@pytest.mark.benchmark(group="kernel-backend")
+def test_score_assignments_backend(benchmark, graph, platform, backend_state):
     """Population pass: 64 whole candidate mappings at once (GA's loop)."""
-    import random
-
     rng = random.Random(0)
     names = graph.task_names()
     assignments = [
         {name: rng.randrange(platform.n_pes) for name in names}
         for _ in range(64)
     ]
-    scores = benchmark(np_state.score_assignments, assignments)
+    scores = benchmark(backend_state.score_assignments, assignments)
     assert len(scores) == 64
 
 
-@needs_numpy
-@pytest.mark.benchmark(group="kernel-numpy")
-def test_best_move_scan_numpy(benchmark, graph, np_state):
-    """`best_move` through the dense masked-argmin fast path."""
+@pytest.mark.benchmark(group="kernel-backend")
+def test_best_move_scan_backend(benchmark, graph, backend_state):
+    """`best_move` through each backend's fastest available path."""
     obj = make_objective("period", graph)
-    benchmark(np_state.best_move, objective=obj)
+    benchmark(backend_state.best_move, objective=obj)
 
 
 @needs_numpy
@@ -260,8 +280,8 @@ def test_vectorized_speedup_guard(graph, platform, mapping):
             best = min(best, time.perf_counter() - start)
         return best
 
-    scalar_time = time_best_of(lambda: _batched_sweep(scalar, names))
-    vector_time = time_best_of(vector.score_move_matrix)
+    scalar_time = _time_best_of(lambda: _batched_sweep(scalar, names))
+    vector_time = _time_best_of(vector.score_move_matrix)
     if os.environ.get("REPRO_BENCH_NO_TIMING_ASSERT"):
         return  # noisy shared runners: correctness above still verified
     speedup = scalar_time / vector_time
@@ -271,4 +291,104 @@ def test_vectorized_speedup_guard(graph, platform, mapping):
         f"{scalar_time * 1e3:.2f} ms for {len(names) * n_pes} candidates) "
         "on the 50-task benchmark graph; the vectorized-backend contract "
         "is broken"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Compiled extension (cython backend) guards
+
+
+def _existing_backends():
+    """Backends predating the compiled extension (its speed baselines)."""
+    return [b for b in available_backends() if b != "cython"]
+
+
+@needs_cython
+def test_native_md_scoring_speedup_guard(graph, mapping):
+    """The compiled extension must sweep the full move neighbourhood in
+    the mapping-dependent buffer modes ≥2× faster than the best existing
+    backend — the acceptance bar of the compiled-extension PR.
+
+    The mapping-dependent modes are where the python/numpy backends fall
+    back to the scalar incremental worklist, so this is the path the
+    extension was built for.  Cross-checks verdict-for-verdict agreement
+    first, so the speed-up is not bought with a different answer.
+    """
+    names = graph.task_names()
+    for elide, merge in [(True, False), (False, True), (True, True)]:
+        kwargs = dict(elide_local_comm=elide, merge_same_pe_buffers=merge)
+        native = DeltaAnalyzer(mapping, backend="cython", **kwargs)
+        baselines = {
+            b: DeltaAnalyzer(mapping, backend=b, **kwargs)
+            for b in _existing_backends()
+        }
+        for name in names:
+            expected = baselines["python"].score_moves(name)
+            assert native.score_moves(name) == expected
+        best_existing = min(
+            _time_best_of(lambda s=s: _batched_sweep(s, names))
+            for s in baselines.values()
+        )
+        native_time = _time_best_of(lambda: _batched_sweep(native, names))
+        if os.environ.get("REPRO_BENCH_NO_TIMING_ASSERT"):
+            continue  # noisy shared runners: correctness still verified
+        speedup = best_existing / native_time
+        assert speedup >= 2.0, (
+            f"native mapping-dependent scoring (elide={elide}, "
+            f"merge={merge}) is only {speedup:.1f}x faster than the best "
+            f"existing backend ({native_time * 1e3:.2f} ms vs "
+            f"{best_existing * 1e3:.2f} ms); the compiled-extension "
+            "contract is broken"
+        )
+
+
+def _apply_chain(state, moves, resync_every=256):
+    """2000-move apply/resync churn: the runtime's commit-path shape."""
+    for i, (name, pe) in enumerate(moves):
+        state.apply_move(name, pe)
+        if (i + 1) % resync_every == 0:
+            state.resync()
+    state.resync()
+    return state.snapshot()
+
+
+@needs_cython
+def test_native_apply_speedup_guard(graph, platform, mapping):
+    """The compiled extension must run the apply/resync commit path
+    ≥1.5× faster than the best existing backend — the second acceptance
+    bar of the compiled-extension PR.
+
+    Cross-checks that every backend lands on the same snapshot after the
+    full churn, so the speed-up is not bought with state drift.
+    """
+    rng = random.Random(7)
+    names = graph.task_names()
+    moves = [
+        (rng.choice(names), rng.randrange(platform.n_pes))
+        for _ in range(2000)
+    ]
+
+    def fresh(backend):
+        return DeltaAnalyzer(mapping, backend=backend)
+
+    reference = _apply_chain(fresh("python"), moves)
+    assert _apply_chain(fresh("cython"), moves) == reference
+    if numpy_available():
+        assert _apply_chain(fresh("numpy"), moves) == reference
+
+    best_existing = min(
+        _time_best_of(lambda b=b: _apply_chain(fresh(b), moves), repeats=5)
+        for b in _existing_backends()
+    )
+    native_time = _time_best_of(
+        lambda: _apply_chain(fresh("cython"), moves), repeats=5
+    )
+    if os.environ.get("REPRO_BENCH_NO_TIMING_ASSERT"):
+        return  # noisy shared runners: correctness above still verified
+    speedup = best_existing / native_time
+    assert speedup >= 1.5, (
+        f"native apply/resync is only {speedup:.1f}x faster than the "
+        f"best existing backend ({native_time * 1e3:.2f} ms vs "
+        f"{best_existing * 1e3:.2f} ms for {len(moves)} applies); the "
+        "compiled-extension contract is broken"
     )

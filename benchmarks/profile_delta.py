@@ -16,11 +16,16 @@ functions by cumulative time:
     An apply-heavy random walk (the simulated-annealing profile),
     including the mapping-dependent buffer models.
 
+``--backend`` pins the kernel backend (any name in
+``available_backends()``, or ``auto``), so the same workload can be
+profiled against the python, numpy, and compiled-extension paths.
+
 Usage (see the README "Performance architecture" section)::
 
     PYTHONPATH=src python benchmarks/profile_delta.py
     PYTHONPATH=src python benchmarks/profile_delta.py --mode scalar --rounds 50
     PYTHONPATH=src python benchmarks/profile_delta.py --mode apply --sort tottime
+    PYTHONPATH=src python benchmarks/profile_delta.py --backend cython
 """
 
 from __future__ import annotations
@@ -33,22 +38,25 @@ import random
 from repro.generator import random_graph_1
 from repro.heuristics import greedy_cpu
 from repro.platform import CellPlatform
-from repro.steady_state import DeltaAnalyzer
+from repro.steady_state import DeltaAnalyzer, available_backends
 
 
-def _state(apply_modes: bool = False) -> DeltaAnalyzer:
+def _state(backend: str, apply_modes: bool = False) -> DeltaAnalyzer:
     graph = random_graph_1()
     platform = CellPlatform.qs22()
     mapping = greedy_cpu(graph, platform)
     if apply_modes:
         return DeltaAnalyzer(
-            mapping, elide_local_comm=True, merge_same_pe_buffers=True
+            mapping,
+            elide_local_comm=True,
+            merge_same_pe_buffers=True,
+            backend=backend,
         )
-    return DeltaAnalyzer(mapping)
+    return DeltaAnalyzer(mapping, backend=backend)
 
 
-def run_batched(rounds: int) -> float:
-    state = _state()
+def run_batched(rounds: int, backend: str) -> float:
+    state = _state(backend)
     names = state.graph.task_names()
     total = 0.0
     for _ in range(rounds):
@@ -58,8 +66,8 @@ def run_batched(rounds: int) -> float:
     return total
 
 
-def run_scalar(rounds: int) -> float:
-    state = _state()
+def run_scalar(rounds: int, backend: str) -> float:
+    state = _state(backend)
     names = state.graph.task_names()
     n_pes = state.platform.n_pes
     total = 0.0
@@ -70,8 +78,8 @@ def run_scalar(rounds: int) -> float:
     return total
 
 
-def run_apply(rounds: int) -> float:
-    state = _state(apply_modes=True)
+def run_apply(rounds: int, backend: str) -> float:
+    state = _state(backend, apply_modes=True)
     names = state.graph.task_names()
     n_pes = state.platform.n_pes
     rng = random.Random(0)
@@ -97,11 +105,17 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--limit", type=int, default=25, help="rows of the stats table"
     )
+    parser.add_argument(
+        "--backend",
+        choices=(*available_backends(), "auto"),
+        default="auto",
+        help="kernel backend to profile (default: auto-detected best)",
+    )
     args = parser.parse_args(argv)
 
     profiler = cProfile.Profile()
     profiler.enable()
-    MODES[args.mode](args.rounds)
+    MODES[args.mode](args.rounds, args.backend)
     profiler.disable()
     stats = pstats.Stats(profiler)
     stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)

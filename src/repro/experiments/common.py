@@ -26,6 +26,7 @@ from ..heuristics import (
 )
 from ..milp import PAPER_MIP_GAP, solve_optimal_mapping
 from ..platform.cell import CellPlatform
+from ..steady_state.backend import resolve_backend
 from ..steady_state.mapping import Mapping
 from ..simulator import SimConfig, SimulationResult, simulate
 
@@ -43,8 +44,19 @@ __all__ = [
     "speedup_of_point",
     "MeasuredPoint",
     "ascii_plot",
+    "kernel_note",
     "to_csv",
 ]
+
+
+def kernel_note() -> str:
+    """``" [kernel: <name>]"`` for sweep table headers.
+
+    Names the resolved kernel backend the sweep's evaluation engine ran
+    on (python | numpy | cython), so archived tables record which code
+    path produced them.
+    """
+    return f" [kernel: {resolve_backend()}]"
 
 
 def _milp_strategy(graph: StreamGraph, platform: CellPlatform) -> Mapping:

@@ -39,7 +39,7 @@ from ..graph.workload import CompositeGraph, Workload
 from ..platform.cell import CellPlatform
 from ..steady_state.objective import OBJECTIVES, make_objective
 from ..steady_state.throughput import analyze
-from .common import build_mapping, validate_strategies
+from .common import build_mapping, kernel_note, validate_strategies
 from .parallel import point_seed, run_sweep
 
 __all__ = [
@@ -133,7 +133,7 @@ class CoscheduleResult:
     def table(self) -> str:
         rows = [
             "Co-schedule — shared and per-app periods (µs) vs #SPEs "
-            f"[objective: {self.objective}]"
+            f"[objective: {self.objective}]" + kernel_note()
         ]
         header = (
             "strategy              nSPE    period  "

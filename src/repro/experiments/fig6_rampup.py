@@ -18,7 +18,12 @@ from ..graph.stream_graph import StreamGraph
 from ..milp import solve_optimal_mapping
 from ..platform.cell import CellPlatform
 from ..simulator import SimConfig, SimulationResult
-from .common import MeasuredPoint, ascii_plot, measure_throughput
+from .common import (
+    MeasuredPoint,
+    ascii_plot,
+    kernel_note,
+    measure_throughput,
+)
 
 __all__ = ["Fig6Result", "run", "main"]
 
@@ -107,7 +112,10 @@ def run(
 def main(n_instances: int = 3000, jobs: Optional[int] = None) -> Fig6Result:
     """CLI entry: print the Fig. 6 table and plot (``jobs`` is a no-op)."""
     result = run(n_instances=n_instances, jobs=jobs)
-    print(f"Figure 6 — ramp-up to steady state ({result.graph_name})")
+    print(
+        f"Figure 6 — ramp-up to steady state ({result.graph_name})"
+        + kernel_note()
+    )
     print(
         ascii_plot(
             result.points(),

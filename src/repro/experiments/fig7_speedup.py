@@ -21,6 +21,7 @@ from .common import (
     MeasuredPoint,
     SweepRef,
     ascii_plot,
+    kernel_note,
     rate_of_point,
     validate_strategies,
 )
@@ -51,7 +52,7 @@ class Fig7Result:
         strategies = sorted(series)
         counts = sorted({x for pts in series.values() for x, _ in pts})
         header = "nSPE  " + "  ".join(f"{s:>12}" for s in strategies)
-        rows = [f"Figure 7 — {self.graph_name}", header]
+        rows = [f"Figure 7 — {self.graph_name}{kernel_note()}", header]
         for count in counts:
             cells = []
             for s in strategies:

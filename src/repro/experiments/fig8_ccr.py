@@ -21,6 +21,7 @@ from .common import (
     MeasuredPoint,
     SweepRef,
     ascii_plot,
+    kernel_note,
     speedup_of_point,
     validate_strategies,
 )
@@ -48,7 +49,11 @@ class Fig8Result:
         names = sorted(series)
         ccrs = sorted({x for pts in series.values() for x, _ in pts})
         header = "  CCR  " + "  ".join(f"{n:>16}" for n in names)
-        rows = ["Figure 8 — speed-up vs CCR (MILP mapping, 8 SPEs)", header]
+        rows = [
+            "Figure 8 — speed-up vs CCR (MILP mapping, 8 SPEs)"
+            + kernel_note(),
+            header,
+        ]
         for ccr in ccrs:
             cells = []
             for name in names:

@@ -38,6 +38,7 @@ from ..runtime.faults import timeline_dumps, timeline_loads
 from ..runtime.scenario import ScenarioGenerator
 from ..runtime.scheduler import SHED_POLICIES, OnlineScheduler
 from ..steady_state.objective import OBJECTIVES
+from .common import kernel_note
 from .parallel import point_seed, run_sweep
 
 __all__ = [
@@ -99,7 +100,7 @@ class OnlineResult:
         rows = [
             "Online scheduling — acceptance and mean period vs load and "
             f"migration budget [objective: {self.objective}, "
-            f"{self.n_events} events/scenario]",
+            f"{self.n_events} events/scenario]" + kernel_note(),
             "    load  budget  accepted    rate  mean period  "
             "migrations  dropped      p99  viol  degr",
         ]

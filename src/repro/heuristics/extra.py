@@ -57,7 +57,7 @@ from typing import Dict, List, Optional, Tuple
 from ..errors import MappingError
 from ..graph.stream_graph import StreamGraph
 from ..platform.cell import CellPlatform
-from ..steady_state.delta import DeltaAnalyzer
+from ..steady_state.delta import ClonePool, DeltaAnalyzer
 from ..steady_state.mapping import Mapping
 from ..steady_state.objective import make_objective
 from ..steady_state.periods import buffer_requirements
@@ -699,6 +699,11 @@ def genetic_algorithm(
                     DeltaAnalyzer(Mapping(graph, platform, assignment), **dflags)
                 )
 
+    # Retired generations are recycled through in-place state copies
+    # (one native call per clone under the cython backend) instead of
+    # allocating a fresh analyzer per offspring.
+    pool = ClonePool()
+
     fitness_cache: Dict[int, float] = {}
 
     if obj.needs_app_periods:
@@ -747,7 +752,7 @@ def genetic_algorithm(
     # feasibility, so the invariant holds).
     while len(population) < pop_size:
         parent = population[rng.randrange(len(population))]
-        child = parent.clone()
+        child = pool.clone(parent)
         mutate(child, 2)
         population.append(child)
 
@@ -760,7 +765,7 @@ def genetic_algorithm(
         return best
 
     def crossover(a: DeltaAnalyzer, b: DeltaAnalyzer) -> DeltaAnalyzer:
-        child = a.clone()
+        child = pool.clone(a)
         inherited = {
             name: b.pe_of(name)
             for name in names
@@ -793,16 +798,21 @@ def genetic_algorithm(
     track(population)
     for _generation in range(n_generations):
         population.sort(key=fitness)
-        offspring = [population[i].clone() for i in range(n_elite)]
+        offspring = [pool.clone(population[i]) for i in range(n_elite)]
         while len(offspring) < pop_size:
             parent = select()
             if rng.random() < crossover_prob:
                 child = crossover(parent, select())
             else:
-                child = parent.clone()
+                child = pool.clone(parent)
             if rng.random() < mutation_prob:
                 mutate(child, 1 + rng.randrange(2))
             offspring.append(child)
+        # The outgoing generation feeds the free-list (never the shared
+        # batch scorer — its id may outlive the cleared fitness cache).
+        for state in population:
+            if state is not scorer:
+                pool.retire(state)
         population = offspring
         track(population)
 

@@ -116,6 +116,10 @@ class RuntimeReport:
     objective: str
     migration_budget: int
     records: List[EventRecord] = field(default_factory=list)
+    #: Resolved kernel backend name of the run's evaluation engine
+    #: ("python" | "numpy" | "cython", or "reference" for the
+    #: full-``analyze()`` path).  "" in archives predating the field.
+    kernel_backend: str = ""
 
     # ------------------------------------------------------------------ #
     # Aggregates (the online experiment's figure axes)
@@ -289,6 +293,7 @@ class RuntimeReport:
                 "platform": self.platform,
                 "objective": self.objective,
                 "migration_budget": self.migration_budget,
+                "kernel_backend": self.kernel_backend,
                 "records": [r.to_dict() for r in self.records],
             },
             indent=indent,
@@ -306,6 +311,8 @@ class RuntimeReport:
                 objective=str(payload["objective"]),
                 migration_budget=int(payload["migration_budget"]),
                 records=records,
+                # Absent in archives predating backend surfacing.
+                kernel_backend=str(payload.get("kernel_backend", "")),
             )
         except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
             raise OnlineSchedulingError(
@@ -316,9 +323,12 @@ class RuntimeReport:
 
     def table(self) -> str:
         """Human-readable timeline (CLI/notebook friendly)."""
+        engine = (
+            f", kernel: {self.kernel_backend}" if self.kernel_backend else ""
+        )
         rows = [
             f"Online run on {self.platform} [objective: {self.objective}, "
-            f"migration budget: {self.migration_budget}]",
+            f"migration budget: {self.migration_budget}{engine}]",
             "  seq      time  event      subject              outcome      "
             "migr    period  apps",
         ]

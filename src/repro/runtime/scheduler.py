@@ -89,6 +89,7 @@ from ..graph.stream_graph import StreamGraph
 from ..graph.workload import Workload
 from ..heuristics import budgeted_descent
 from ..platform.cell import CellPlatform
+from ..steady_state.backend import resolve_backend
 from ..steady_state.delta import DeltaAnalyzer, ObjectiveScore
 from ..steady_state.mapping import Mapping
 from ..steady_state.objective import OBJECTIVES, make_objective
@@ -501,12 +502,25 @@ class OnlineScheduler:
     def snapshot(self) -> Optional[PeriodAnalysis]:
         return self._state.snapshot() if self._state is not None else None
 
+    @property
+    def kernel_backend(self) -> str:
+        """Resolved evaluation-engine name for reporting.
+
+        ``"reference"`` under ``use_delta=False`` (the full-``analyze()``
+        path has no kernel); otherwise the backend the delta engine
+        resolves to ("python" | "numpy" | "cython").
+        """
+        if not self.use_delta:
+            return "reference"
+        return resolve_backend(self.backend)
+
     def report(self) -> RuntimeReport:
         return RuntimeReport(
             platform=self.platform.name,
             objective=self.objective,
             migration_budget=self.migration_budget,
             records=list(self._records),
+            kernel_backend=self.kernel_backend,
         )
 
     # ------------------------------------------------------------------ #

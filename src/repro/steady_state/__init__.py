@@ -13,8 +13,11 @@
   integer-indexed graph arrays (CSR adjacency, flat cost tables) the
   delta engine runs on;
 * :func:`resolve_backend` / :func:`available_backends` /
-  :func:`numpy_available` — kernel-backend selection (scalar reference
-  kernel vs the vectorized numpy kernels, ``REPRO_KERNEL_BACKEND``);
+  :func:`numpy_available` / :func:`cython_available` — kernel-backend
+  selection (scalar reference kernel, vectorized numpy kernels, or the
+  compiled extension; ``REPRO_KERNEL_BACKEND``);
+* :class:`ClonePool` — free-list of analyzer clones recycled through
+  in-place state copies (the GA's allocation-free generations);
 * :mod:`~repro.steady_state.objective` — pluggable scheduling objectives
   (shared period, weighted per-app periods, max stretch) for
   multi-application workloads;
@@ -24,12 +27,14 @@
 from .backend import (
     BACKEND_ENV_VAR,
     KERNEL_BACKENDS,
+    NO_EXTENSION_ENV_VAR,
     available_backends,
+    cython_available,
     numpy_available,
     resolve_backend,
 )
 from .compiled import CompiledGraph, compile_graph
-from .delta import DeltaAnalyzer, MoveScore, ObjectiveScore
+from .delta import ClonePool, DeltaAnalyzer, MoveScore, ObjectiveScore
 from .mapping import Mapping
 from .objective import OBJECTIVES, make_objective
 from .periods import (
@@ -58,11 +63,14 @@ from .throughput import (
 __all__ = [
     "BACKEND_ENV_VAR",
     "KERNEL_BACKENDS",
+    "NO_EXTENSION_ENV_VAR",
     "available_backends",
+    "cython_available",
     "numpy_available",
     "resolve_backend",
     "CompiledGraph",
     "compile_graph",
+    "ClonePool",
     "DeltaAnalyzer",
     "MoveScore",
     "ObjectiveScore",

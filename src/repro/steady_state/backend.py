@@ -1,7 +1,7 @@
 """Kernel-backend selection for the delta engine.
 
 PR 5 compiled graphs into integer CSR arrays (:mod:`.compiled`); the
-neighbourhood arithmetic itself can now run on two interchangeable
+neighbourhood arithmetic itself can now run on three interchangeable
 backends behind the same :class:`~repro.steady_state.delta.DeltaAnalyzer`
 API:
 
@@ -16,22 +16,39 @@ API:
     pass per neighbourhood (all tasks × all PEs), a pairwise
     swap-neighbourhood kernel, and a population-level "score K
     assignments at once" pass for the GA.  Requires numpy at runtime.
+``cython``
+    The compiled extension (:mod:`.backend_cython` over
+    ``repro.steady_state._ckernel``): native scalar hot paths for
+    exactly the work the dense kernels leave to Python — per-candidate
+    scoring in the mapping-dependent buffer modes (including the
+    incremental ``firstPeriod`` worklist), the ``_apply``/resync commit
+    path, and in-place clone-state copies for the GA pool.  Requires
+    the extension to have been built (``pip install .`` compiles it
+    when a C compiler is present; pure-python installs skip it).  When
+    numpy is also importable the dense batch kernels stay active
+    alongside the native scalar paths.
 
 Selection precedence (highest first):
 
 1. an explicit ``backend=`` argument to ``DeltaAnalyzer`` /
    ``OnlineScheduler`` / the strategy entry points;
 2. the ``REPRO_KERNEL_BACKEND`` environment variable
-   (``python`` | ``numpy`` | ``auto``);
-3. ``auto`` — numpy when importable, else the scalar kernel.
+   (``python`` | ``numpy`` | ``cython`` | ``auto``);
+3. ``auto`` — the compiled extension when importable, else numpy when
+   importable, else the scalar kernel.
 
-Requesting ``numpy`` explicitly (argument or env var) in an environment
-without numpy raises :class:`~repro.errors.KernelBackendError`; ``auto``
-silently falls back to ``python``.  The mapping-dependent buffer modes
+Requesting ``numpy`` or ``cython`` explicitly (argument or env var) in
+an environment that cannot satisfy it raises
+:class:`~repro.errors.KernelBackendError` naming the fix; ``auto``
+silently falls back down the precedence chain.  Under the ``python``
+and ``numpy`` backends the mapping-dependent buffer modes
 (``elide_local_comm`` / ``merge_same_pe_buffers``) always evaluate on
-the scalar kernel regardless of the selected backend — the vectorized
-passes cover the default buffer model, where candidate footprints are
-mapping-independent.
+the scalar kernel — the vectorized passes cover the default buffer
+model, where candidate footprints are mapping-independent; the
+``cython`` backend is the one that accelerates those modes.
+
+Setting ``REPRO_NO_EXTENSION=1`` makes the process behave as if the
+extension were never built (CI's forced no-extension leg).
 """
 
 from __future__ import annotations
@@ -44,7 +61,9 @@ from ..errors import KernelBackendError
 __all__ = [
     "BACKEND_ENV_VAR",
     "KERNEL_BACKENDS",
+    "NO_EXTENSION_ENV_VAR",
     "available_backends",
+    "cython_available",
     "numpy_available",
     "resolve_backend",
 ]
@@ -52,11 +71,16 @@ __all__ = [
 #: Environment variable consulted when no explicit backend is passed.
 BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
 
+#: When set (to anything non-empty), the compiled extension is treated
+#: as unavailable even if built — the CI no-extension leg sets this.
+NO_EXTENSION_ENV_VAR = "REPRO_NO_EXTENSION"
+
 #: The recognised backend names (``auto`` additionally accepted as a
 #: selector meaning "pick for me").
-KERNEL_BACKENDS: Tuple[str, ...] = ("python", "numpy")
+KERNEL_BACKENDS: Tuple[str, ...] = ("python", "numpy", "cython")
 
 _NUMPY_OK: Optional[bool] = None
+_CYTHON_OK: Optional[bool] = None
 
 
 def numpy_available() -> bool:
@@ -72,11 +96,33 @@ def numpy_available() -> bool:
     return _NUMPY_OK
 
 
+def cython_available() -> bool:
+    """Whether the compiled kernel extension can be used in this process.
+
+    False when the extension was never built (pure-python install, no
+    C compiler) and when ``REPRO_NO_EXTENSION`` is set.
+    """
+    global _CYTHON_OK
+    if os.environ.get(NO_EXTENSION_ENV_VAR):
+        return False
+    if _CYTHON_OK is None:
+        try:
+            from . import _ckernel  # noqa: F401
+
+            _CYTHON_OK = True
+        except ImportError:  # pragma: no cover - exercised via stubbing
+            _CYTHON_OK = False
+    return _CYTHON_OK
+
+
 def available_backends() -> Tuple[str, ...]:
     """The backend names usable in this process, scalar kernel first."""
+    names = ["python"]
     if numpy_available():
-        return KERNEL_BACKENDS
-    return ("python",)  # pragma: no cover - exercised via stubbing
+        names.append("numpy")
+    if cython_available():
+        names.append("cython")
+    return tuple(names)
 
 
 def resolve_backend(backend: Optional[str] = None) -> str:
@@ -84,7 +130,7 @@ def resolve_backend(backend: Optional[str] = None) -> str:
 
     ``backend`` is the explicit argument (wins when given); ``None``
     defers to ``REPRO_KERNEL_BACKEND``, and an unset/``auto`` selection
-    auto-detects.  Returns ``"python"`` or ``"numpy"``.
+    auto-detects.  Returns ``"python"``, ``"numpy"`` or ``"cython"``.
     """
     source = "backend argument"
     choice = backend
@@ -93,6 +139,8 @@ def resolve_backend(backend: Optional[str] = None) -> str:
         source = f"{BACKEND_ENV_VAR} environment variable"
     choice = choice.strip().lower()
     if choice == "auto":
+        if cython_available():
+            return "cython"
         return "numpy" if numpy_available() else "python"
     if choice not in KERNEL_BACKENDS:
         names = ", ".join(KERNEL_BACKENDS + ("auto",))
@@ -104,5 +152,12 @@ def resolve_backend(backend: Optional[str] = None) -> str:
         raise KernelBackendError(
             f"kernel backend 'numpy' requested via {source} "
             "but numpy is not importable in this environment"
+        )
+    if choice == "cython" and not cython_available():
+        raise KernelBackendError(
+            f"kernel backend 'cython' requested via {source} but the "
+            "compiled extension is not built in this environment; "
+            "build it with `pip install .` (needs a C compiler) or "
+            "`python setup.py build_ext --inplace` for a source tree"
         )
     return choice

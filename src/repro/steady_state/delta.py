@@ -133,7 +133,7 @@ from .throughput import (
     app_periods_from_loads,
 )
 
-__all__ = ["DeltaAnalyzer", "MoveScore", "ObjectiveScore"]
+__all__ = ["ClonePool", "DeltaAnalyzer", "MoveScore", "ObjectiveScore"]
 
 
 class MoveScore(NamedTuple):
@@ -288,22 +288,64 @@ class DeltaAnalyzer:
         #: Monotone mutation counter — bumped on every apply/rebuild, so
         #: the numpy kernel can cache its dense state mirrors per state.
         self._state_version = 0
-        self._rebuild()
 
-        #: Resolved kernel backend: ``"python"`` or ``"numpy"`` (see
-        #: :mod:`repro.steady_state.backend` for the selection rules).
+        #: Resolved kernel backend: ``"python"``, ``"numpy"`` or
+        #: ``"cython"`` (see :mod:`repro.steady_state.backend` for the
+        #: selection rules).  Resolved before the first ``_rebuild`` so
+        #: the compiled extension can run the initial accumulation too.
         self.backend: str = resolve_backend(backend)
+        self._ck = self._make_ckernel()
+        self._rebuild()
         self._kernel = self._make_kernel()
 
     def _make_kernel(self):
-        if self.backend != "numpy":
-            return None
-        from .backend_numpy import NumpyKernel
+        """The dense numpy batch kernel, active under ``numpy`` and —
+        when numpy is importable — under ``cython`` too (the extension
+        covers the scalar paths, the dense kernels the batch ones)."""
+        from .backend import numpy_available
 
-        return NumpyKernel(self)
+        if self.backend == "numpy" or (
+            self.backend == "cython" and numpy_available()
+        ):
+            from .backend_numpy import NumpyKernel
+
+            return NumpyKernel(self)
+        return None
+
+    def _make_ckernel(self):
+        if self.backend != "cython":
+            return None
+        from .backend_cython import CKernel
+
+        return CKernel(self)
 
     # ------------------------------------------------------------------ #
     # State construction
+
+    def _rebuild_buffer_model(self) -> None:
+        """Re-derive the mapping-dependent buffer model through the
+        same code paths ``analyze`` uses, so every cached float is
+        the exact value the reference computation produces."""
+        cg = self._cg
+        mapping = self.mapping()
+        if self.elide_local_comm:
+            fp = first_periods(
+                self.graph, mapping, elide_local_comm=True
+            )
+            self._fp = [fp[name] for name in cg.names]
+        esize = buffer_sizes(
+            self.graph,
+            mapping if self.elide_local_comm else None,
+            elide_local_comm=self.elide_local_comm,
+        )
+        self._esize = [esize[key] for key in cg.edge_keys]
+        need = _buffer_requirements(
+            self.graph,
+            mapping,
+            elide_local_comm=self.elide_local_comm,
+            merge_same_pe_buffers=self.merge_same_pe_buffers,
+        )
+        self._need = [need[name] for name in cg.names]
 
     def _rebuild(self) -> None:
         """Recompute all cached loads from scratch (same order as analyze)."""
@@ -313,28 +355,14 @@ class DeltaAnalyzer:
         n = self._n_pes
 
         if self._mapping_dependent:
-            # Re-derive the mapping-dependent buffer model through the
-            # same code paths ``analyze`` uses, so every cached float is
-            # the exact value the reference computation produces.
-            mapping = self.mapping()
-            if self.elide_local_comm:
-                fp = first_periods(
-                    self.graph, mapping, elide_local_comm=True
-                )
-                self._fp = [fp[name] for name in cg.names]
-            esize = buffer_sizes(
-                self.graph,
-                mapping if self.elide_local_comm else None,
-                elide_local_comm=self.elide_local_comm,
-            )
-            self._esize = [esize[key] for key in cg.edge_keys]
-            need = _buffer_requirements(
-                self.graph,
-                mapping,
-                elide_local_comm=self.elide_local_comm,
-                merge_same_pe_buffers=self.merge_same_pe_buffers,
-            )
-            self._need = [need[name] for name in cg.names]
+            self._rebuild_buffer_model()
+
+        if self._ck is not None:
+            # Native accumulation: identical task/edge/buffer passes in
+            # the compiled extension (the buffer model above stays in
+            # Python — it is the analyze() reference derivation).
+            self._ck.rebuild()
+            return
 
         app_index = cg.app_index
         n_apps = cg.n_apps
@@ -488,8 +516,76 @@ class DeltaAnalyzer:
         new._app_link_count = dict(self._app_link_count)
         new._state_version = 0
         new.backend = self.backend
+        new._ck = new._make_ckernel()
         new._kernel = new._make_kernel()
         return new
+
+    def compatible_with(self, other: "DeltaAnalyzer") -> bool:
+        """Whether :meth:`copy_from` may copy ``other`` into this one:
+        same compiled graph object, platform, buffer-model flags and
+        backend (everything :meth:`clone` shares by reference)."""
+        return (
+            self._cg is other._cg
+            and self.platform is other.platform
+            and self.elide_local_comm == other.elide_local_comm
+            and self.merge_same_pe_buffers == other.merge_same_pe_buffers
+            and self.backend == other.backend
+        )
+
+    def copy_from(self, other: "DeltaAnalyzer") -> "DeltaAnalyzer":
+        """Overwrite this analyzer's mutable state in place from ``other``.
+
+        The allocation-free sibling of :meth:`clone`: every list is
+        slice-assigned and every dict refilled into the existing
+        containers, so a pooled analyzer reused across GA generations
+        costs no new allocations beyond dict resizes.  Requires
+        :meth:`compatible_with`; under the ``cython`` backend the whole
+        copy is one native call.
+        """
+        if not self.compatible_with(other):
+            raise MappingError(
+                "copy_from requires clones of the same analyzer "
+                "(same compiled graph, platform, flags and backend)"
+            )
+        if self._ck is not None:
+            self._ck.copy_state(other)
+        else:
+            self._pe[:] = other._pe
+            for mine, theirs in zip(self._members, other._members):
+                mine.clear()
+                mine.update(theirs)
+            if self._mapping_dependent:
+                self._need[:] = other._need
+            if other._fp is not None:
+                self._fp[:] = other._fp
+            if other._esize is not None:
+                self._esize[:] = other._esize
+            self._compute[:] = other._compute
+            self._in_bytes[:] = other._in_bytes
+            self._out_bytes[:] = other._out_bytes
+            self._peak[:] = other._peak
+            for mine_d, theirs_d in (
+                (self._buffer, other._buffer),
+                (self._dma_in, other._dma_in),
+                (self._dma_proxy, other._dma_proxy),
+                (self._link_bytes, other._link_bytes),
+                (self._link_count, other._link_count),
+                (self._app_link_bytes, other._app_link_bytes),
+                (self._app_link_count, other._app_link_count),
+            ):
+                mine_d.clear()
+                mine_d.update(theirs_d)
+            for mine_rows, theirs_rows in (
+                (self._app_compute, other._app_compute),
+                (self._app_in, other._app_in),
+                (self._app_out, other._app_out),
+                (self._app_peak, other._app_peak),
+            ):
+                for mine_row, theirs_row in zip(mine_rows, theirs_rows):
+                    mine_row[:] = theirs_row
+            self._n_violations = other._n_violations
+        self._state_version += 1
+        return self
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -1427,8 +1523,36 @@ class DeltaAnalyzer:
         The firstPeriod cone a move shifts depends on the *target* PE, so
         there is no shared precomputation to exploit — each candidate runs
         the (integer-indexed) delta path.  Same result types as
-        :meth:`_sweep`.
+        :meth:`_sweep`.  Under the ``cython`` backend the whole sweep
+        runs natively (except for objectives that need per-app periods,
+        which stay on the Python delta path).
         """
+        if self._ck is not None and (
+            objective is None
+            or not getattr(objective, "needs_app_periods", False)
+        ):
+            verdicts = self._ck.sweep(tid, pes)
+            if not as_objective:
+                return [
+                    MoveScore(period=d, feasible=v == 0, n_violations=v)
+                    for d, v in verdicts
+                ]
+            if objective is None:
+                return [
+                    ObjectiveScore(
+                        value=d, period=d, feasible=v == 0, n_violations=v
+                    )
+                    for d, v in verdicts
+                ]
+            return [
+                ObjectiveScore(
+                    value=objective.value(d, None),
+                    period=d,
+                    feasible=v == 0,
+                    n_violations=v,
+                )
+                for d, v in verdicts
+            ]
         pe_list = self._pe
         origin = pe_list[tid]
         out = []
@@ -1442,6 +1566,37 @@ class DeltaAnalyzer:
         return out
 
     # ------------------------------------------------------------------ #
+    # Compiled-extension dispatch helpers (``cython`` backend only)
+
+    def _ck_score(self, changes: Dict[str, int]) -> MoveScore:
+        moved = self._to_moved(changes)
+        if not moved:
+            return self.score()
+        period, nviol = self._ck.score_ids(moved)
+        return MoveScore(
+            period=period, feasible=nviol == 0, n_violations=nviol
+        )
+
+    def _ck_evaluate(self, changes: Dict[str, int], objective) -> ObjectiveScore:
+        score = self._ck_score(changes)
+        value = (
+            score.period
+            if objective is None
+            else objective.value(score.period, None)
+        )
+        return ObjectiveScore(
+            value=value,
+            period=score.period,
+            feasible=score.feasible,
+            n_violations=score.n_violations,
+        )
+
+    def _ck_apply(self, changes: Dict[str, int]) -> None:
+        moved = self._to_moved(changes)
+        if moved:
+            self._ck.apply_ids(moved)
+
+    # ------------------------------------------------------------------ #
     # Public move/swap API
 
     def score_move(self, task: str, pe: int) -> MoveScore:
@@ -1451,6 +1606,13 @@ class DeltaAnalyzer:
             raise MappingError(
                 f"task {task!r} moved to invalid PE {pe!r} "
                 f"(platform has {self._n_pes} PEs)"
+            )
+        if self._ck is not None:
+            if pe == self._pe[tid]:
+                return self.score()
+            period, nviol = self._ck.score_ids({tid: pe})
+            return MoveScore(
+                period=period, feasible=nviol == 0, n_violations=nviol
             )
         if self._mapping_dependent:
             if pe == self._pe[tid]:
@@ -1480,7 +1642,10 @@ class DeltaAnalyzer:
 
     def score_swap(self, a: str, b: str) -> MoveScore:
         """Score of the mapping with tasks ``a`` and ``b`` exchanging PEs."""
-        return self._score(self._deltas({a: self.pe_of(b), b: self.pe_of(a)}))
+        changes = {a: self.pe_of(b), b: self.pe_of(a)}
+        if self._ck is not None:
+            return self._ck_score(changes)
+        return self._score(self._deltas(changes))
 
     def score_changes(self, changes: Dict[str, int]) -> MoveScore:
         """Score of the mapping with all of ``changes`` applied at once.
@@ -1489,18 +1654,30 @@ class DeltaAnalyzer:
         target are ignored.  This is the bulk interface population
         metaheuristics use to evaluate crossover offspring in one pass.
         """
+        if self._ck is not None:
+            return self._ck_score(dict(changes))
         return self._score(self._deltas(dict(changes)))
 
     def apply_move(self, task: str, pe: int) -> None:
         """Commit a single-task move into the cached state — O(deg(task))."""
+        if self._ck is not None:
+            self._ck_apply({task: pe})
+            return
         self._apply(self._deltas({task: pe}))
 
     def apply_swap(self, a: str, b: str) -> None:
         """Commit a task-pair PE exchange into the cached state."""
-        self._apply(self._deltas({a: self.pe_of(b), b: self.pe_of(a)}))
+        changes = {a: self.pe_of(b), b: self.pe_of(a)}
+        if self._ck is not None:
+            self._ck_apply(changes)
+            return
+        self._apply(self._deltas(changes))
 
     def apply_changes(self, changes: Dict[str, int]) -> None:
         """Commit a set of simultaneous task moves into the cached state."""
+        if self._ck is not None:
+            self._ck_apply(dict(changes))
+            return
         self._apply(self._deltas(dict(changes)))
 
     def try_apply_changes(self, changes: Dict[str, int]) -> MoveScore:
@@ -1511,6 +1688,14 @@ class DeltaAnalyzer:
         population-search hot path.  Returns the score of the candidate
         state whether or not it was committed.
         """
+        if self._ck is not None:
+            moved = self._to_moved(dict(changes))
+            if not moved:
+                return self.score()
+            period, nviol, _applied = self._ck.try_apply_ids(moved)
+            return MoveScore(
+                period=period, feasible=nviol == 0, n_violations=nviol
+            )
         deltas = self._deltas(dict(changes))
         score = self._score(deltas)
         if score.feasible:
@@ -1538,6 +1723,12 @@ class DeltaAnalyzer:
                 f"task {task!r} moved to invalid PE {pe!r} "
                 f"(platform has {self._n_pes} PEs)"
             )
+        if self._ck is not None and not getattr(
+            objective, "needs_app_periods", False
+        ):
+            if pe == self._pe[tid]:
+                return self._evaluate(None, objective)
+            return self._ck_evaluate({task: pe}, objective)
         if self._mapping_dependent:
             deltas = (
                 None if pe == self._pe[tid] else self._deltas_ids({tid: pe})
@@ -1570,14 +1761,21 @@ class DeltaAnalyzer:
 
     def evaluate_swap(self, a: str, b: str, objective=None) -> ObjectiveScore:
         """Objective score with tasks ``a`` and ``b`` exchanging PEs."""
-        return self._evaluate(
-            self._deltas({a: self.pe_of(b), b: self.pe_of(a)}), objective
-        )
+        changes = {a: self.pe_of(b), b: self.pe_of(a)}
+        if self._ck is not None and not getattr(
+            objective, "needs_app_periods", False
+        ):
+            return self._ck_evaluate(changes, objective)
+        return self._evaluate(self._deltas(changes), objective)
 
     def evaluate_changes(
         self, changes: Dict[str, int], objective=None
     ) -> ObjectiveScore:
         """Objective score with all of ``changes`` applied at once."""
+        if self._ck is not None and not getattr(
+            objective, "needs_app_periods", False
+        ):
+            return self._ck_evaluate(dict(changes), objective)
         return self._evaluate(self._deltas(dict(changes)), objective)
 
     def best_move(
@@ -2000,3 +2198,44 @@ class DeltaAnalyzer:
             f"DeltaAnalyzer({self.graph.name!r}, period={self.period():.3f}, "
             f"violations={self._n_violations}{suffix})"
         )
+
+
+class ClonePool:
+    """Free-list of :class:`DeltaAnalyzer` clones reused across
+    generations.
+
+    Population metaheuristics allocate one clone per offspring per
+    generation and drop the whole previous generation on the floor; the
+    pool instead recycles retired analyzers through
+    :meth:`DeltaAnalyzer.copy_from` (array slice-assignment, one native
+    call under the ``cython`` backend) so steady-state GA generations
+    allocate nothing but dict resizes.  Retired analyzers whose
+    structure no longer matches the parent (different compiled graph,
+    platform, flags or backend) are discarded on reuse.
+    """
+
+    __slots__ = ("_free", "max_free")
+
+    def __init__(self, max_free: int = 256) -> None:
+        self._free: List[DeltaAnalyzer] = []
+        #: Retired analyzers beyond this many are dropped (a workload
+        #: change can orphan a whole generation of incompatible clones).
+        self.max_free = max_free
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def clone(self, parent: DeltaAnalyzer) -> DeltaAnalyzer:
+        """A state-copy of ``parent`` — recycled when possible."""
+        free = self._free
+        while free:
+            candidate = free.pop()
+            if candidate.compatible_with(parent):
+                return candidate.copy_from(parent)
+        return parent.clone()
+
+    def retire(self, analyzer: DeltaAnalyzer) -> None:
+        """Hand an analyzer back for reuse; its state may be clobbered
+        by any later :meth:`clone` call."""
+        if len(self._free) < self.max_free:
+            self._free.append(analyzer)

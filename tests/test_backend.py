@@ -23,10 +23,12 @@ from repro.platform import CellPlatform
 from repro.runtime import OnlineScheduler
 from repro.steady_state import (
     BACKEND_ENV_VAR,
+    NO_EXTENSION_ENV_VAR,
     DeltaAnalyzer,
     KERNEL_BACKENDS,
     Mapping,
     available_backends,
+    cython_available,
     numpy_available,
     resolve_backend,
 )
@@ -34,6 +36,9 @@ from repro.steady_state import backend as backend_mod
 
 needs_numpy = pytest.mark.skipif(
     not numpy_available(), reason="numpy backend unavailable"
+)
+needs_cython = pytest.mark.skipif(
+    not cython_available(), reason="compiled extension not built"
 )
 
 
@@ -48,11 +53,27 @@ class TestResolveBackend:
 
     def test_auto_detects(self, monkeypatch):
         monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
-        expected = "numpy" if numpy_available() else "python"
+        if cython_available():
+            expected = "cython"
+        else:
+            expected = "numpy" if numpy_available() else "python"
         assert resolve_backend() == expected
         assert resolve_backend("auto") == expected
         monkeypatch.setenv(BACKEND_ENV_VAR, "auto")
         assert resolve_backend() == expected
+
+    def test_auto_precedence_pinned(self, monkeypatch):
+        """auto resolves cython > numpy > python, degrading one step at
+        a time as backends become unavailable."""
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        monkeypatch.delenv(NO_EXTENSION_ENV_VAR, raising=False)
+        monkeypatch.setattr(backend_mod, "_CYTHON_OK", True)
+        monkeypatch.setattr(backend_mod, "_NUMPY_OK", True)
+        assert resolve_backend("auto") == "cython"
+        monkeypatch.setattr(backend_mod, "_CYTHON_OK", False)
+        assert resolve_backend("auto") == "numpy"
+        monkeypatch.setattr(backend_mod, "_NUMPY_OK", False)
+        assert resolve_backend("auto") == "python"
 
     def test_selection_is_trimmed_and_case_insensitive(self):
         assert resolve_backend("  PYTHON ") == "python"
@@ -67,6 +88,7 @@ class TestResolveBackend:
     def test_numpy_request_without_numpy_raises(self, monkeypatch):
         monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
         monkeypatch.setattr(backend_mod, "_NUMPY_OK", False)
+        monkeypatch.setattr(backend_mod, "_CYTHON_OK", False)
         assert available_backends() == ("python",)
         assert resolve_backend() == "python"  # auto falls back silently
         with pytest.raises(KernelBackendError, match="not importable"):
@@ -75,8 +97,42 @@ class TestResolveBackend:
         with pytest.raises(KernelBackendError, match=BACKEND_ENV_VAR):
             resolve_backend()
 
+    def test_cython_request_without_extension_raises(self, monkeypatch):
+        """Explicit cython selection in a pure-python install fails with
+        an error that names the fix (how to build the extension)."""
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        monkeypatch.setattr(backend_mod, "_CYTHON_OK", False)
+        assert "cython" not in available_backends()
+        with pytest.raises(KernelBackendError, match="pip install"):
+            resolve_backend("cython")
+        with pytest.raises(KernelBackendError, match="build_ext"):
+            resolve_backend("cython")
+        monkeypatch.setenv(BACKEND_ENV_VAR, "cython")
+        with pytest.raises(KernelBackendError, match=BACKEND_ENV_VAR):
+            resolve_backend()
+
+    def test_no_extension_env_disables_cython(self, monkeypatch):
+        """REPRO_NO_EXTENSION makes a built extension invisible (the CI
+        no-extension leg)."""
+        monkeypatch.setenv(NO_EXTENSION_ENV_VAR, "1")
+        assert not cython_available()
+        assert "cython" not in available_backends()
+        with pytest.raises(KernelBackendError, match="not built"):
+            resolve_backend("cython")
+
+    def test_available_backends_reflect_build_state(self, monkeypatch):
+        monkeypatch.delenv(NO_EXTENSION_ENV_VAR, raising=False)
+        monkeypatch.setattr(backend_mod, "_NUMPY_OK", True)
+        monkeypatch.setattr(backend_mod, "_CYTHON_OK", True)
+        assert available_backends() == ("python", "numpy", "cython")
+        monkeypatch.setattr(backend_mod, "_CYTHON_OK", False)
+        assert available_backends() == ("python", "numpy")
+        # and the real build state is what cython_available() reports
+        monkeypatch.undo()
+        assert ("cython" in available_backends()) == cython_available()
+
     def test_registry_names(self):
-        assert KERNEL_BACKENDS == ("python", "numpy")
+        assert KERNEL_BACKENDS == ("python", "numpy", "cython")
         assert available_backends()[0] == "python"
 
 
@@ -104,9 +160,22 @@ class TestAnalyzerBackend:
         monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
         assert self._state().backend == "numpy"
 
+    @needs_cython
+    def test_cython_backend_builds_ckernel(self):
+        state = self._state(backend="cython")
+        assert state.backend == "cython"
+        assert state._ck is not None
+        # the dense numpy batch kernels stay active alongside
+        assert (state._kernel is not None) == numpy_available()
+
+    def test_non_cython_backends_have_no_ckernel(self):
+        assert self._state(backend="python")._ck is None
+        if numpy_available():
+            assert self._state(backend="numpy")._ck is None
+
     @needs_numpy
     def test_clone_preserves_backend(self):
-        for backend in KERNEL_BACKENDS:
+        for backend in available_backends():
             state = self._state(backend=backend)
             assert state.clone().backend == backend
 
@@ -143,7 +212,7 @@ class TestBackendThreading:
     def test_online_scheduler_forwards_backend(self):
         from repro.runtime.events import AppArrival
 
-        for backend in KERNEL_BACKENDS:
+        for backend in available_backends():
             sched = OnlineScheduler(CellPlatform.qs22(), backend=backend)
             sched.run([AppArrival(0.0, "app", integer_cost_graph(2, n_min=6, n_max=9))])
             assert sched.state.backend == backend
@@ -164,9 +233,11 @@ class TestBackendThreading:
     reason="nightly scale: set REPRO_XCHECK_LARGE=1",
 )
 def test_large_random_graph_cross_check():
-    """Nightly: scalar and numpy kernels agree verdict for verdict on
-    graphs an order of magnitude past the tier-1 sizes, interleaved with
-    applies (exercises the cached-state invalidation paths at scale)."""
+    """Nightly: the scalar kernel and every other available backend
+    agree verdict for verdict on graphs an order of magnitude past the
+    tier-1 sizes, interleaved with applies (exercises the cached-state
+    invalidation paths at scale)."""
+    others = [b for b in available_backends() if b != "python"]
     for seed in range(4):
         g = integer_cost_graph(seed, n_min=120, n_max=180)
         platform = PLATFORMS[seed % len(PLATFORMS)]
@@ -176,27 +247,40 @@ def test_large_random_graph_cross_check():
         assignment = {n: rng.randrange(n_pes) for n in names}
         mapping = Mapping(g, platform, assignment)
         scalar = DeltaAnalyzer(mapping, backend="python")
-        vector = DeltaAnalyzer(mapping, backend="numpy")
+        states = [DeltaAnalyzer(mapping, backend=b) for b in others]
         for _ in range(3):
-            worst, nviol = vector.score_move_matrix()
-            for i, name in enumerate(names):
-                for pe, score in enumerate(scalar.score_moves(name)):
-                    assert float(worst[i, pe]) == score.period
-                    assert int(nviol[i, pe]) == score.n_violations
-            assert vector.best_move() == scalar.best_move()
             pairs = [tuple(rng.sample(names, 2)) for _ in range(64)]
-            assert vector.score_swaps(pairs) == [
-                scalar.score_swap(a, b) for a, b in pairs
-            ]
             candidates = [
                 {n: rng.randrange(n_pes) for n in rng.sample(names, 10)}
                 for _ in range(32)
             ]
-            assert vector.score_assignments(candidates) == [
-                scalar.score_changes(ch) for ch in candidates
-            ]
+            ref_moves = {n: scalar.score_moves(n) for n in names}
+            ref_best = scalar.best_move()
+            ref_swaps = [scalar.score_swap(a, b) for a, b in pairs]
+            ref_changes = [scalar.score_changes(ch) for ch in candidates]
+            for other in states:
+                worst, nviol = other.score_move_matrix()
+                for i, name in enumerate(names):
+                    for pe, score in enumerate(ref_moves[name]):
+                        assert float(worst[i, pe]) == score.period
+                        assert int(nviol[i, pe]) == score.n_violations
+                assert other.best_move() == ref_best
+                assert other.score_swaps(pairs) == ref_swaps
+                assert other.score_assignments(candidates) == ref_changes
+                assert [
+                    (s.period, s.n_violations)
+                    for n in names[:16]
+                    for s in other.score_moves(n)
+                ] == [
+                    (s.period, s.n_violations)
+                    for n in names[:16]
+                    for s in ref_moves[n]
+                ]
             for _ in range(5):
                 name = rng.choice(names)
                 pe = rng.randrange(n_pes)
                 scalar.apply_move(name, pe)
-                vector.apply_move(name, pe)
+                for other in states:
+                    other.apply_move(name, pe)
+            for other in states:
+                assert other.snapshot() == scalar.snapshot()

@@ -230,7 +230,10 @@ class TestEndToEndAcceptance:
 
         fast_report, fast_assign = play(True)
         slow_report, slow_assign = play(False)
-        assert fast_report == slow_report
+        # The engine label differs by design; the timeline must not.
+        assert fast_report.kernel_backend != "reference"
+        assert slow_report.kernel_backend == "reference"
+        assert fast_report.records == slow_report.records
         assert fast_assign == slow_assign
 
     def test_multi_cell_platform(self):
