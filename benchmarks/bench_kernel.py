@@ -25,10 +25,14 @@ the two claims down on the paper's 50-task benchmark graph:
   extension (``backend="cython"``) is less than 2× faster than the best
   existing backend on mapping-dependent-mode neighbourhood scoring, or
   less than 1.5× faster on the apply/resync commit path — the
-  acceptance bars of the compiled-extension PR.  All guards skip their
-  timing assertion (never the correctness cross-check) under
-  ``REPRO_BENCH_NO_TIMING_ASSERT=1``; nightly CI runs them with the
-  assertion armed.
+  acceptance bars of the compiled-extension PR;
+* ``test_instrumentation_overhead_guard`` **fails** if the metrics
+  layer breaks its cost contract on the batched-scoring sweep:
+  disabled instrumentation must stay ≤2% (the gate cost measured
+  directly) and enabled instrumentation ≤10% — the acceptance bars of
+  the observability PR.  All guards skip their timing assertion (never
+  the correctness cross-check) under ``REPRO_BENCH_NO_TIMING_ASSERT=1``;
+  nightly CI runs them with the assertion armed.
 
 The batch-API benches parametrize over ``available_backends()``, so a
 build with the compiled extension reports ``[cython]`` timings next to
@@ -391,4 +395,86 @@ def test_native_apply_speedup_guard(graph, platform, mapping):
         f"best existing backend ({native_time * 1e3:.2f} ms vs "
         f"{best_existing * 1e3:.2f} ms for {len(moves)} applies); the "
         "compiled-extension contract is broken"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Instrumentation overhead guard (the observability PR's acceptance bar)
+
+
+def test_instrumentation_overhead_guard(graph, platform, mapping):
+    """Instrumentation must be ≈ free when disabled and cheap when
+    enabled on the 50-task batched-scoring bench — the acceptance bars
+    of the observability PR:
+
+    * **disabled ≤2%** — the per-call cost of the disabled gate (one
+      module-global read and a ``None`` branch), times the number of
+      instrumented call sites a sweep crosses, must stay under 2% of
+      the sweep itself.  Measured on the gate primitive directly, not
+      by diffing two sweep timings — a 2% delta between two runs of the
+      same code is indistinguishable from noise, the gate cost is not;
+    * **enabled ≤10%** — a sweep with a live registry must stay within
+      1.10× of the uninstrumented sweep.
+
+    The correctness cross-check (metrics never change a verdict, and the
+    counters balance the candidate count exactly) always runs; the two
+    timing assertions respect ``REPRO_BENCH_NO_TIMING_ASSERT`` like
+    every other guard here.
+    """
+    from repro.obs import metrics
+
+    state = DeltaAnalyzer(mapping)
+    names = graph.task_names()
+    n_pes = platform.n_pes
+
+    # Correctness cross-check: always on.
+    metrics.disable()
+    expected = {name: state.score_moves(name) for name in names}
+    registry = metrics.enable(metrics.MetricsRegistry())
+    try:
+        for name in names:
+            assert state.score_moves(name) == expected[name], (
+                "enabling metrics changed a scoring verdict"
+            )
+    finally:
+        metrics.disable()
+    assert registry.counters["moves_scored"] == len(names) * n_pes, (
+        "moves_scored disagrees with the number of candidates swept"
+    )
+
+    t_off = _time_best_of(lambda: _batched_sweep(state, names))
+    metrics.enable(metrics.MetricsRegistry())
+    try:
+        t_on = _time_best_of(lambda: _batched_sweep(state, names))
+    finally:
+        metrics.disable()
+
+    # The disabled gate, timed in isolation: the exact per-call check
+    # every instrumented hot path performs when metrics are off.
+    n_gate = 100_000
+
+    def gate_loop():
+        for _ in range(n_gate):
+            if metrics.REGISTRY is not None:  # pragma: no cover
+                raise AssertionError("registry left enabled")
+
+    gate_cost = _time_best_of(gate_loop) / n_gate
+    # One gate per score_moves call (the batch API amortizes the per-PE
+    # candidates behind a single counter update).
+    n_sites = len(names)
+
+    if os.environ.get("REPRO_BENCH_NO_TIMING_ASSERT"):
+        return  # noisy shared runners: correctness above still verified
+    disabled_share = gate_cost * n_sites / t_off
+    assert disabled_share <= 0.02, (
+        f"the disabled instrumentation gate costs {gate_cost * 1e9:.0f} ns "
+        f"per call — {100 * disabled_share:.2f}% of the "
+        f"{t_off * 1e3:.2f} ms batched sweep across {n_sites} call sites; "
+        "the disabled-≈-free contract is broken"
+    )
+    overhead = t_on / t_off
+    assert overhead <= 1.10, (
+        f"the batched sweep with metrics enabled takes {overhead:.2f}x "
+        f"the uninstrumented sweep ({t_on * 1e3:.2f} ms vs "
+        f"{t_off * 1e3:.2f} ms); the enabled-≤10% contract is broken"
     )

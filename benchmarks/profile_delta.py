@@ -19,6 +19,10 @@ functions by cumulative time:
 ``--backend`` pins the kernel backend (any name in
 ``available_backends()``, or ``auto``), so the same workload can be
 profiled against the python, numpy, and compiled-extension paths.
+``--trace`` additionally records the kernel spans of the profiled run
+as a Chrome trace-event file (Perfetto / ``chrome://tracing``) — the
+same instrumentation the online sweep's ``--trace`` flag uses, here as
+a timeline view to complement the cProfile call-graph totals.
 
 Usage (see the README "Performance architecture" section)::
 
@@ -26,6 +30,7 @@ Usage (see the README "Performance architecture" section)::
     PYTHONPATH=src python benchmarks/profile_delta.py --mode scalar --rounds 50
     PYTHONPATH=src python benchmarks/profile_delta.py --mode apply --sort tottime
     PYTHONPATH=src python benchmarks/profile_delta.py --backend cython
+    PYTHONPATH=src python benchmarks/profile_delta.py --trace delta.trace.json
 """
 
 from __future__ import annotations
@@ -34,9 +39,11 @@ import argparse
 import cProfile
 import pstats
 import random
+from pathlib import Path
 
 from repro.generator import random_graph_1
 from repro.heuristics import greedy_cpu
+from repro.obs import tracing
 from repro.platform import CellPlatform
 from repro.steady_state import DeltaAnalyzer, available_backends
 
@@ -59,10 +66,14 @@ def run_batched(rounds: int, backend: str) -> float:
     state = _state(backend)
     names = state.graph.task_names()
     total = 0.0
-    for _ in range(rounds):
-        for name in names:
-            for score in state.score_moves(name):
-                total += score.period
+    for rnd in range(rounds):
+        # The per-candidate kernels are counters-only hot paths (no
+        # spans of their own), so the profile harness brackets each
+        # full-neighbourhood sweep to give --trace a timeline.
+        with tracing.span("profile:batched.round", round=rnd):
+            for name in names:
+                for score in state.score_moves(name):
+                    total += score.period
     return total
 
 
@@ -71,10 +82,11 @@ def run_scalar(rounds: int, backend: str) -> float:
     names = state.graph.task_names()
     n_pes = state.platform.n_pes
     total = 0.0
-    for _ in range(rounds):
-        for name in names:
-            for pe in range(n_pes):
-                total += state.score_move(name, pe).period
+    for rnd in range(rounds):
+        with tracing.span("profile:scalar.round", round=rnd):
+            for name in names:
+                for pe in range(n_pes):
+                    total += state.score_move(name, pe).period
     return total
 
 
@@ -83,8 +95,12 @@ def run_apply(rounds: int, backend: str) -> float:
     names = state.graph.task_names()
     n_pes = state.platform.n_pes
     rng = random.Random(0)
-    for _ in range(rounds * 100):
-        state.apply_move(names[rng.randrange(len(names))], rng.randrange(n_pes))
+    for rnd in range(rounds):
+        with tracing.span("profile:apply.round", round=rnd):
+            for _ in range(100):
+                state.apply_move(
+                    names[rng.randrange(len(names))], rng.randrange(n_pes)
+                )
     return state.period()
 
 
@@ -111,14 +127,28 @@ def main(argv=None) -> int:
         default="auto",
         help="kernel backend to profile (default: auto-detected best)",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="also write the run's kernel spans as Chrome trace-event "
+        "JSON (load in Perfetto or chrome://tracing)",
+    )
     args = parser.parse_args(argv)
 
+    tracer = tracing.start(tracing.Tracer()) if args.trace else None
     profiler = cProfile.Profile()
     profiler.enable()
     MODES[args.mode](args.rounds, args.backend)
     profiler.disable()
+    if tracer is not None:
+        tracing.stop()
     stats = pstats.Stats(profiler)
     stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
+    if tracer is not None:
+        Path(args.trace).write_text(tracer.to_json() + "\n")
+        print(
+            f"{len(tracer.events)} spans written to {args.trace} "
+            "(load in Perfetto)"
+        )
     return 0
 
 

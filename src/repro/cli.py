@@ -271,6 +271,17 @@ def main_experiment(argv: Optional[list] = None) -> int:
         "generating scenarios (contradicts --loads/--events/--seed/"
         "--failures/--mean-downtime)",
     )
+    parser.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="online only: run with instrumentation and write the "
+        "merged cross-worker metrics registry (counters, gauges, "
+        "latency histograms) as JSON",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="online only: run with span tracing and write a Chrome "
+        "trace-event JSON file (load in Perfetto or chrome://tracing)",
+    )
     args = parser.parse_args(argv)
     if args.which in ("fig6", "tables") and args.jobs not in (None, 0, 1):
         print(
@@ -309,6 +320,8 @@ def main_experiment(argv: Optional[list] = None) -> int:
             ("--failures", args.failures is not None),
             ("--mean-downtime", args.mean_downtime is not None),
             ("--timeline", args.timeline is not None),
+            ("--metrics", args.metrics is not None),
+            ("--trace", args.trace is not None),
         ):
             if given:
                 print(
@@ -462,6 +475,8 @@ def main_experiment(argv: Optional[list] = None) -> int:
                 n_failures=args.failures,
                 mean_downtime=args.mean_downtime,
                 timeline=timeline,
+                metrics=args.metrics,
+                trace=args.trace,
             )
         else:
             tables.main()

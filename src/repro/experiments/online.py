@@ -29,17 +29,21 @@ counts) of its :class:`~repro.runtime.report.RuntimeReport`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError
+from ..obs import metrics as _metrics
 from ..platform.cell import CellPlatform
 from ..runtime.faults import timeline_dumps, timeline_loads
 from ..runtime.scenario import ScenarioGenerator
 from ..runtime.scheduler import SHED_POLICIES, OnlineScheduler
 from ..steady_state.objective import OBJECTIVES
 from .common import kernel_note
-from .parallel import point_seed, run_sweep
+from .parallel import point_seed, run_sweep, run_sweep_telemetry
 
 __all__ = [
     "DEFAULT_LOADS",
@@ -86,23 +90,46 @@ class OnlinePoint:
     degraded_fraction: float = 0.0
     availability: float = 1.0
     retries: int = 0
+    #: Telemetry sidecars, filled only when the sweep runs with a
+    #: metrics registry active.  ``compare=False``: wall-clock rates
+    #: never participate in point equality, so serial == parallel (and
+    #: metrics-on == metrics-off) result comparisons stay exact.
+    candidates_per_sec: Optional[float] = field(default=None, compare=False)
+    mean_admission_latency: Optional[float] = field(
+        default=None, compare=False
+    )
 
 
 @dataclass(frozen=True)
 class OnlineResult:
-    """The acceptance/period table of one online sweep."""
+    """The acceptance/period table of one online sweep.
+
+    ``metrics`` (a merged :meth:`~repro.obs.metrics.MetricsRegistry.
+    snapshot` across every sweep worker) and ``trace_events`` (Chrome
+    trace events from every worker) ride along only when the sweep ran
+    with telemetry; both are ``compare=False`` so result equality stays
+    a statement about scheduling decisions.
+    """
 
     objective: str
     n_events: int
     points: List[OnlinePoint]
+    metrics: Optional[Dict] = field(default=None, compare=False)
+    trace_events: Optional[List[Dict]] = field(default=None, compare=False)
 
     def table(self) -> str:
+        telemetry = any(p.candidates_per_sec is not None for p in self.points)
+        header = (
+            "    load  budget  accepted    rate  mean period  "
+            "migrations  dropped      p99  viol  degr"
+        )
+        if telemetry:
+            header += "    cand/s  adm ms"
         rows = [
             "Online scheduling — acceptance and mean period vs load and "
             f"migration budget [objective: {self.objective}, "
             f"{self.n_events} events/scenario]" + kernel_note(),
-            "    load  budget  accepted    rate  mean period  "
-            "migrations  dropped      p99  viol  degr",
+            header,
         ]
         ordered = sorted(
             self.points,
@@ -111,14 +138,20 @@ class OnlineResult:
         for p in ordered:
             flag = "" if p.all_feasible else "  !! infeasible state"
             load = "replay" if p.load is None else f"{p.load:6.2f}"
-            rows.append(
+            row = (
                 f"  {load:>6}  {p.budget:6d}  "
                 f"{p.accepted:3d}/{p.arrivals:<4d}  "
                 f"{100.0 * p.acceptance_rate:5.1f}%  {p.mean_period:11.2f}  "
                 f"{p.migrations:10d}  {p.dropped:7d}  {p.period_p99:7.1f}  "
                 f"{100.0 * p.violation_rate:3.0f}%  "
-                f"{100.0 * p.degraded_fraction:3.0f}%{flag}"
+                f"{100.0 * p.degraded_fraction:3.0f}%"
             )
+            if telemetry:
+                row += (
+                    f"  {p.candidates_per_sec or 0.0:8.0f}"
+                    f"  {1e3 * (p.mean_admission_latency or 0.0):6.2f}"
+                )
+            rows.append(row + flag)
         return "\n".join(rows)
 
 
@@ -159,7 +192,30 @@ def online_point(spec) -> OnlinePoint:
         retry_backoff=spec.get("retry_backoff", 8.0),
         brownout_threshold=spec.get("brownout_threshold", 0.0),
     )
+    # Telemetry sidecars (None unless a metrics registry is active —
+    # e.g. under run_sweep_telemetry or REPRO_METRICS=1).  Counter
+    # deltas around the run make the rate per-point even when one
+    # process-global registry spans many specs.
+    reg = _metrics.REGISTRY
+    candidates_per_sec = None
+    mean_admission_latency = None
+    if reg is not None:
+        scored_before = (
+            reg.counters.get("moves_scored", 0)
+            + reg.counters.get("swaps_scored", 0)
+            + reg.counters.get("bulk_changes", 0)
+        )
+        t0 = perf_counter()
     report = scheduler.run(events)
+    if reg is not None:
+        wall = perf_counter() - t0
+        scored = (
+            reg.counters.get("moves_scored", 0)
+            + reg.counters.get("swaps_scored", 0)
+            + reg.counters.get("bulk_changes", 0)
+        ) - scored_before
+        candidates_per_sec = scored / wall if wall > 0.0 else 0.0
+        mean_admission_latency = report.mean_admission_latency
     return OnlinePoint(
         load=load,
         budget=budget,
@@ -177,6 +233,8 @@ def online_point(spec) -> OnlinePoint:
         degraded_fraction=report.degraded_fraction,
         availability=report.availability,
         retries=report.n_retries,
+        candidates_per_sec=candidates_per_sec,
+        mean_admission_latency=mean_admission_latency,
     )
 
 
@@ -195,12 +253,22 @@ def run(
     retry_limit: int = 0,
     retry_backoff: float = 8.0,
     brownout_threshold: float = 0.0,
+    metrics: bool = False,
+    trace: bool = False,
 ) -> OnlineResult:
     """Sweep scenarios over offered loads and migration budgets.
 
     With ``timeline`` (a validated event list, e.g. from
     :func:`repro.runtime.faults.load_timeline`), the saved events replace
     scenario generation: one replay point per budget, ``load=None``.
+
+    ``metrics``/``trace`` run the sweep through
+    :func:`repro.experiments.parallel.run_sweep_telemetry`: every point
+    gets a fresh registry (and tracer), the result carries the merged
+    cross-worker snapshot and concatenated trace events, and the table
+    gains scored-candidates/sec and mean-admission-latency columns.
+    Telemetry is passive — the scheduling decisions, and therefore the
+    comparable fields of every point, are identical with it on or off.
     """
     if timeline is None:
         if not loads:
@@ -268,6 +336,17 @@ def run(
                          n_failures=n_failures, mean_downtime=mean_downtime,
                          **knobs)
                 )
+    if metrics or trace:
+        points, merged, trace_events = run_sweep_telemetry(
+            online_point, specs, jobs=jobs, trace=trace
+        )
+        return OnlineResult(
+            objective=objective,
+            n_events=len(timeline) if timeline is not None else n_events,
+            points=list(points),
+            metrics=merged.snapshot() if metrics else None,
+            trace_events=trace_events if trace else None,
+        )
     points = run_sweep(online_point, specs, jobs=jobs)
     return OnlineResult(
         objective=objective,
@@ -286,6 +365,8 @@ def main(
     n_failures: Optional[int] = None,
     mean_downtime: Optional[float] = None,
     timeline: Optional[Sequence] = None,
+    metrics: Optional[str] = None,
+    trace: Optional[str] = None,
 ) -> OnlineResult:
     """CLI entry: print the deterministic acceptance/period table.
 
@@ -293,6 +374,11 @@ def main(
     scenario-generation parameter: combining it with explicit loads,
     events, seed or failure knobs raises :class:`UsageError` rather than
     silently ignoring one of the two.
+
+    ``metrics``/``trace`` are output paths: the sweep runs with
+    telemetry and writes the merged cross-worker metrics snapshot
+    (JSON) and/or the Chrome trace-event file (loadable in Perfetto or
+    ``chrome://tracing``).
     """
     if timeline is not None:
         from ..errors import UsageError
@@ -326,6 +412,24 @@ def main(
         n_failures=n_failures if n_failures is not None else 1,
         mean_downtime=mean_downtime,
         timeline=timeline,
+        metrics=metrics is not None,
+        trace=trace is not None,
     )
     print(result.table())
+    if metrics is not None:
+        Path(metrics).write_text(
+            json.dumps(result.metrics, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"merged metrics written to {metrics}")
+    if trace is not None:
+        Path(trace).write_text(
+            json.dumps(
+                {
+                    "traceEvents": result.trace_events,
+                    "displayTimeUnit": "ms",
+                }
+            )
+            + "\n"
+        )
+        print(f"trace written to {trace} (load in Perfetto)")
     return result

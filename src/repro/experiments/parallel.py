@@ -39,12 +39,16 @@ import math
 import multiprocessing
 import os
 import zlib
-from typing import Any, Callable, Dict, Iterable, List, Optional, TypeVar
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, TypeVar
+
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 
 __all__ = [
     "effective_jobs",
     "point_seed",
     "run_sweep",
+    "run_sweep_telemetry",
     "sweep_common",
 ]
 
@@ -128,3 +132,81 @@ def run_sweep(
         initargs=(common,),
     ) as pool:
         return pool.map(worker, specs, chunksize=chunksize)
+
+
+class _TelemetryWorker:
+    """Per-spec telemetry harness around a sweep worker.
+
+    Top-level class so instances pickle into pool workers (the wrapped
+    worker itself pickles by reference, as ``run_sweep`` requires).
+    Each call installs a **fresh** metrics registry (and, with
+    ``trace=True``, a fresh tracer) for exactly the duration of the
+    spec, then restores whatever was active before — so the returned
+    ``(result, metrics_snapshot, trace_events)`` triple measures one
+    point and nothing else, and the parent's merged totals are
+    independent of worker count and chunking.
+    """
+
+    __slots__ = ("worker", "trace")
+
+    def __init__(self, worker: Callable, trace: bool = False) -> None:
+        self.worker = worker
+        self.trace = bool(trace)
+
+    def __call__(self, spec) -> Tuple[Any, Dict, List[Dict]]:
+        previous_registry = _metrics.REGISTRY
+        previous_tracer = _tracing.TRACER
+        registry = _metrics.enable(_metrics.MetricsRegistry())
+        tracer = _tracing.start(_tracing.Tracer()) if self.trace else None
+        try:
+            result = self.worker(spec)
+        finally:
+            if previous_registry is not None:
+                _metrics.enable(previous_registry)
+            else:
+                _metrics.disable()
+            if self.trace:
+                # A trace=False wrapper leaves any user-installed tracer
+                # (REPRO_TRACE=1) untouched.
+                if previous_tracer is not None:
+                    _tracing.start(previous_tracer)
+                else:
+                    _tracing.stop()
+        events = tracer.events if tracer is not None else []
+        return result, registry.snapshot(), events
+
+
+def run_sweep_telemetry(
+    worker: Callable[[S], R],
+    specs: Iterable[S],
+    jobs: Optional[int] = None,
+    common: Optional[Dict[str, Any]] = None,
+    chunksize: Optional[int] = None,
+    trace: bool = False,
+) -> Tuple[List[R], "_metrics.MetricsRegistry", List[Dict]]:
+    """:func:`run_sweep` plus per-point metrics (and optional tracing).
+
+    Every spec runs under a fresh :class:`~repro.obs.metrics.
+    MetricsRegistry`; the workers ship their snapshots back through the
+    ordinary ``Pool.map`` result channel and the parent folds them into
+    one merged registry.  Counter totals and histogram counts in the
+    merged view are identical for any ``jobs`` value (they count
+    decisions, not wall time); histogram sums record per-worker
+    wall-clock latencies.  With ``trace=True`` each spec also runs
+    under a fresh :class:`~repro.obs.tracing.Tracer` and the
+    concatenated event lists come back ready for a Chrome trace-event
+    file (one track per worker pid).
+
+    Returns ``(results, merged_registry, trace_events)`` with
+    ``results`` in spec order, exactly as :func:`run_sweep` would give.
+    """
+    wrapped = _TelemetryWorker(worker, trace=trace)
+    triples = run_sweep(
+        wrapped, specs, jobs=jobs, common=common, chunksize=chunksize
+    )
+    merged = _metrics.MetricsRegistry()
+    trace_events: List[Dict] = []
+    for _, snapshot, events in triples:
+        merged.merge(snapshot)
+        trace_events.extend(events)
+    return [triple[0] for triple in triples], merged, trace_events

@@ -56,6 +56,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import MappingError
 from ..graph.stream_graph import StreamGraph
+from ..obs.tracing import span as _span
 from ..platform.cell import CellPlatform
 from ..steady_state.delta import ClonePool, DeltaAnalyzer
 from ..steady_state.mapping import Mapping
@@ -247,47 +248,52 @@ def local_search(
     names = mapping.graph.task_names()
     n_pes = platform.n_pes
 
-    for _ in range(max_rounds):
-        best: Optional[Tuple[str, ...]] = None
-        best_value = current_value
-        # One dense pass over the whole move neighbourhood (every task ×
-        # every PE): a single masked cost-matrix kernel call under the
-        # numpy backend, per-task batched sweeps under the scalar one.
-        all_scores = state.evaluate_all_moves(objective=obj)
-        for i, name in enumerate(names):
-            origin = state.pe_of(name)
-            scores = all_scores[i]
-            for pe in range(n_pes):
-                if pe == origin:
-                    continue
-                score = scores[pe]
-                if score.feasible and score.value < best_value:
-                    best, best_value = ("move", name, pe), score.value
-        if try_swaps:
-            # Same deal for the swap neighbourhood: all distinct-PE
-            # pairs scored by one pairwise kernel pass, in the exact
-            # (a_idx < b_idx) visit order of the reference loops.
-            pairs = [
-                (names[a_idx], names[b_idx])
-                for a_idx in range(len(names))
-                for b_idx in range(a_idx + 1, len(names))
-                if state.pe_of(names[a_idx]) != state.pe_of(names[b_idx])
-            ]
-            for pair, score in zip(pairs, state.evaluate_swaps(pairs, obj)):
-                if score.feasible and score.value < best_value:
-                    best, best_value = ("swap", *pair), score.value
-        if best is None:
-            break
-        if best[0] == "move":
-            state.apply_move(best[1], int(best[2]))
-        else:
-            state.apply_swap(best[1], best[2])
-        # One O(V+E) rebuild per round: re-anchors the incremental sums so
-        # the scores of the next round match a fresh analyze() exactly.
-        state.resync()
-        current_value = (
-            state.evaluate(obj).value if state.feasible else float("inf")
-        )
+    for rnd in range(max_rounds):
+        with _span("strategy:local_search.round", round=rnd):
+            best: Optional[Tuple[str, ...]] = None
+            best_value = current_value
+            # One dense pass over the whole move neighbourhood (every
+            # task × every PE): a single masked cost-matrix kernel call
+            # under the numpy backend, per-task batched sweeps under
+            # the scalar one.
+            all_scores = state.evaluate_all_moves(objective=obj)
+            for i, name in enumerate(names):
+                origin = state.pe_of(name)
+                scores = all_scores[i]
+                for pe in range(n_pes):
+                    if pe == origin:
+                        continue
+                    score = scores[pe]
+                    if score.feasible and score.value < best_value:
+                        best, best_value = ("move", name, pe), score.value
+            if try_swaps:
+                # Same deal for the swap neighbourhood: all distinct-PE
+                # pairs scored by one pairwise kernel pass, in the exact
+                # (a_idx < b_idx) visit order of the reference loops.
+                pairs = [
+                    (names[a_idx], names[b_idx])
+                    for a_idx in range(len(names))
+                    for b_idx in range(a_idx + 1, len(names))
+                    if state.pe_of(names[a_idx]) != state.pe_of(names[b_idx])
+                ]
+                for pair, score in zip(
+                    pairs, state.evaluate_swaps(pairs, obj)
+                ):
+                    if score.feasible and score.value < best_value:
+                        best, best_value = ("swap", *pair), score.value
+            if best is None:
+                break
+            if best[0] == "move":
+                state.apply_move(best[1], int(best[2]))
+            else:
+                state.apply_swap(best[1], best[2])
+            # One O(V+E) rebuild per round: re-anchors the incremental
+            # sums so the scores of the next round match a fresh
+            # analyze() exactly.
+            state.resync()
+            current_value = (
+                state.evaluate(obj).value if state.feasible else float("inf")
+            )
     return state.mapping()
 
 
@@ -481,37 +487,43 @@ def simulated_annealing(
     alpha = (1e-3) ** (1.0 / max(n_iter, 1))
     applied = 0
 
-    for _ in range(n_iter):
-        if len(names) >= 2 and rng.random() < swap_prob:
-            a, b = rng.sample(names, 2)
-            if state.pe_of(a) == state.pe_of(b):
-                temperature *= alpha
-                continue
-            score = state.evaluate_swap(a, b, obj)
-            candidate = ("swap", a, b)
-        else:
-            name = names[rng.randrange(len(names))]
-            pe = rng.randrange(n_pes)
-            if pe == state.pe_of(name):
-                temperature *= alpha
-                continue
-            score = state.evaluate_move(name, pe, obj)
-            candidate = ("move", name, pe)
-        if score.feasible:
-            delta_t = score.value - current
-            if delta_t <= 0 or rng.random() < math.exp(-delta_t / temperature):
-                if candidate[0] == "move":
-                    state.apply_move(candidate[1], int(candidate[2]))
-                else:
-                    state.apply_swap(candidate[1], candidate[2])
-                applied += 1
-                if applied % _RESYNC_EVERY == 0:
-                    state.resync()
-                current = state.evaluate(obj).value
-                if current < best_value:
-                    best_value = current
-                    best_assignment = state.assignment()
-        temperature *= alpha
+    # One span over the whole anneal: per-iteration spans (thousands of
+    # ~10 µs proposals) would dominate the trace; proposal counts land
+    # in the moves/swaps-scored metrics instead.
+    with _span("strategy:simulated_annealing", iterations=n_iter):
+        for _ in range(n_iter):
+            if len(names) >= 2 and rng.random() < swap_prob:
+                a, b = rng.sample(names, 2)
+                if state.pe_of(a) == state.pe_of(b):
+                    temperature *= alpha
+                    continue
+                score = state.evaluate_swap(a, b, obj)
+                candidate = ("swap", a, b)
+            else:
+                name = names[rng.randrange(len(names))]
+                pe = rng.randrange(n_pes)
+                if pe == state.pe_of(name):
+                    temperature *= alpha
+                    continue
+                score = state.evaluate_move(name, pe, obj)
+                candidate = ("move", name, pe)
+            if score.feasible:
+                delta_t = score.value - current
+                if delta_t <= 0 or rng.random() < math.exp(
+                    -delta_t / temperature
+                ):
+                    if candidate[0] == "move":
+                        state.apply_move(candidate[1], int(candidate[2]))
+                    else:
+                        state.apply_swap(candidate[1], candidate[2])
+                    applied += 1
+                    if applied % _RESYNC_EVERY == 0:
+                        state.resync()
+                    current = state.evaluate(obj).value
+                    if current < best_value:
+                        best_value = current
+                        best_assignment = state.assignment()
+            temperature *= alpha
     return Mapping(graph, platform, best_assignment)
 
 
@@ -563,39 +575,41 @@ def tabu_search(
     applied = 0
 
     for rnd in range(n_rounds):
-        scan = list(names)
-        rng.shuffle(scan)  # deterministic per seed; diversifies tie wins
-        best_move: Optional[Tuple[str, int]] = None
-        best_move_value = float("inf")
-        # The whole round's neighbourhood in one dense pass, rows in the
-        # shuffled scan order so tie wins match the per-task loops.
-        all_scores = state.evaluate_all_moves(scan, objective=obj)
-        for i, name in enumerate(scan):
-            origin = state.pe_of(name)
-            is_tabu = tabu_until.get(name, 0) > rnd
-            scores = all_scores[i]
-            for pe in range(n_pes):
-                if pe == origin:
-                    continue
-                score = scores[pe]
-                if not score.feasible:
-                    continue
-                if is_tabu and score.value >= best_value:
-                    continue  # tabu, and no aspiration
-                if score.value < best_move_value:
-                    best_move, best_move_value = (name, pe), score.value
-        if best_move is None:
-            break  # neighbourhood exhausted (all tabu and non-aspiring)
-        name, pe = best_move
-        state.apply_move(name, pe)
-        applied += 1
-        if applied % _RESYNC_EVERY == 0:
-            state.resync()
-        tabu_until[name] = rnd + 1 + tabu_tenure
-        value = state.evaluate(obj).value
-        if value < best_value:
-            best_value = value
-            best_assignment = state.assignment()
+        with _span("strategy:tabu_search.round", round=rnd):
+            scan = list(names)
+            rng.shuffle(scan)  # deterministic per seed; diversifies ties
+            best_move: Optional[Tuple[str, int]] = None
+            best_move_value = float("inf")
+            # The whole round's neighbourhood in one dense pass, rows in
+            # the shuffled scan order so tie wins match the per-task
+            # loops.
+            all_scores = state.evaluate_all_moves(scan, objective=obj)
+            for i, name in enumerate(scan):
+                origin = state.pe_of(name)
+                is_tabu = tabu_until.get(name, 0) > rnd
+                scores = all_scores[i]
+                for pe in range(n_pes):
+                    if pe == origin:
+                        continue
+                    score = scores[pe]
+                    if not score.feasible:
+                        continue
+                    if is_tabu and score.value >= best_value:
+                        continue  # tabu, and no aspiration
+                    if score.value < best_move_value:
+                        best_move, best_move_value = (name, pe), score.value
+            if best_move is None:
+                break  # neighbourhood exhausted (tabu and non-aspiring)
+            name, pe = best_move
+            state.apply_move(name, pe)
+            applied += 1
+            if applied % _RESYNC_EVERY == 0:
+                state.resync()
+            tabu_until[name] = rnd + 1 + tabu_tenure
+            value = state.evaluate(obj).value
+            if value < best_value:
+                best_value = value
+                best_assignment = state.assignment()
     return Mapping(graph, platform, best_assignment)
 
 
@@ -797,24 +811,26 @@ def genetic_algorithm(
 
     track(population)
     for _generation in range(n_generations):
-        population.sort(key=fitness)
-        offspring = [pool.clone(population[i]) for i in range(n_elite)]
-        while len(offspring) < pop_size:
-            parent = select()
-            if rng.random() < crossover_prob:
-                child = crossover(parent, select())
-            else:
-                child = pool.clone(parent)
-            if rng.random() < mutation_prob:
-                mutate(child, 1 + rng.randrange(2))
-            offspring.append(child)
-        # The outgoing generation feeds the free-list (never the shared
-        # batch scorer — its id may outlive the cleared fitness cache).
-        for state in population:
-            if state is not scorer:
-                pool.retire(state)
-        population = offspring
-        track(population)
+        with _span("strategy:genetic_algorithm.generation", gen=_generation):
+            population.sort(key=fitness)
+            offspring = [pool.clone(population[i]) for i in range(n_elite)]
+            while len(offspring) < pop_size:
+                parent = select()
+                if rng.random() < crossover_prob:
+                    child = crossover(parent, select())
+                else:
+                    child = pool.clone(parent)
+                if rng.random() < mutation_prob:
+                    mutate(child, 1 + rng.randrange(2))
+                offspring.append(child)
+            # The outgoing generation feeds the free-list (never the
+            # shared batch scorer — its id may outlive the cleared
+            # fitness cache).
+            for state in population:
+                if state is not scorer:
+                    pool.retire(state)
+            population = offspring
+            track(population)
 
     best = Mapping(graph, platform, best_assignment)
     # Guard against ulp-level drift on non-integer graphs misjudging

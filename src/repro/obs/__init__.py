@@ -1,0 +1,58 @@
+"""Observability: metrics registry, span tracing, structured logging.
+
+Three small, independent, all-off-by-default facilities (see the
+README's "Observability" section for the walkthrough):
+
+* :mod:`repro.obs.metrics` — process-local counters, gauges and
+  fixed-bucket latency histograms with a picklable
+  ``snapshot()``/``merge()`` protocol so parallel-sweep workers ship
+  their registries back to the parent.  Enable with
+  :func:`enable_metrics` or ``REPRO_METRICS=1``.
+* :mod:`repro.obs.tracing` — a ``with span(...)`` timer emitting
+  Chrome trace-event JSON (Perfetto / ``chrome://tracing`` loadable).
+  Enable with :func:`start_tracing` or ``REPRO_TRACE=1``.
+* :mod:`repro.obs.logging` — one structured-logging config
+  (``REPRO_LOG=json|text``).
+
+The shared contract: instrumentation off is ≈ free (a global load and
+a branch per instrumented call), and instrumentation on is *passive* —
+it never consumes randomness or perturbs the measured computation, so
+mappings, seeded strategies and ``RuntimeReport`` decisions are
+bit-identical with and without it.
+"""
+
+from .logging import configure as configure_logging
+from .logging import get_logger
+from .metrics import (
+    LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    disable as disable_metrics,
+    enable as enable_metrics,
+    enabled as metrics_enabled,
+)
+from .metrics import active as active_metrics
+from .tracing import (
+    Tracer,
+    span,
+    start as start_tracing,
+    stop as stop_tracing,
+)
+from .tracing import active as active_tracer
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "active_metrics",
+    "active_tracer",
+    "configure_logging",
+    "disable_metrics",
+    "enable_metrics",
+    "get_logger",
+    "metrics_enabled",
+    "span",
+    "start_tracing",
+    "stop_tracing",
+]

@@ -1,0 +1,101 @@
+"""Opt-in structured logging: one config, selected by ``REPRO_LOG``.
+
+The library is silent by default (loggers propagate to the root with no
+handler of their own — standard library-citizen behaviour).  Setting
+``REPRO_LOG=text`` or ``REPRO_LOG=json`` in the environment, or calling
+:func:`configure` directly, attaches a single stderr handler to the
+``repro`` logger tree:
+
+* ``text`` — conventional ``time level logger: message`` lines;
+* ``json`` — one JSON object per line (``ts``/``level``/``logger``/
+  ``msg`` plus any ``extra={...}`` fields), ready for ``jq`` or a log
+  shipper.
+
+Instrumented layers obtain loggers via :func:`get_logger` and guard
+per-event records with ``isEnabledFor``, so an unconfigured run pays
+one boolean check per log site and allocates nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+from typing import Optional
+
+__all__ = ["configure", "get_logger"]
+
+_STANDARD_ATTRS = frozenset(
+    logging.LogRecord(
+        "", logging.INFO, "", 0, "", (), None
+    ).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class _JsonFormatter(logging.Formatter):
+    """One JSON object per record; ``extra`` kwargs become fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(time.time(), 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _STANDARD_ATTRS and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def configure(
+    mode: Optional[str] = None, level: int = logging.INFO
+) -> Optional[logging.Logger]:
+    """Attach the structured stderr handler to the ``repro`` logger.
+
+    ``mode`` defaults to the ``REPRO_LOG`` environment variable; with
+    neither set this is a no-op returning ``None`` (the library stays
+    silent).  Idempotent: reconfiguring replaces the previously
+    attached handler instead of stacking duplicates.
+    """
+    if mode is None:
+        mode = os.environ.get("REPRO_LOG", "")
+    mode = mode.strip().lower()
+    if not mode:
+        return None
+    if mode not in ("json", "text"):
+        raise ValueError(
+            f"REPRO_LOG must be 'json' or 'text' (got {mode!r})"
+        )
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler._repro_obs = True
+    if mode == "json":
+        handler.setFormatter(_JsonFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter(
+                "%(asctime)s %(levelname)s %(name)s: %(message)s",
+                datefmt="%H:%M:%S",
+            )
+        )
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` tree (``repro.<name>``)."""
+    return logging.getLogger(f"repro.{name}")
+
+
+if os.environ.get("REPRO_LOG", "").strip():
+    configure()

@@ -1,0 +1,155 @@
+"""Span tracing: Chrome trace-event JSON from ``with span(...)`` blocks.
+
+A :class:`Tracer` collects *complete* trace events (``"ph": "X"`` —
+one dict per span with a start timestamp and a duration, both in
+microseconds) in the format `chrome://tracing` and Perfetto load
+directly.  Spans wrap the coarse units of work: strategy rounds, dense
+kernel batch passes, apply/resync re-anchors and each online-runtime
+event — granularities of microseconds to milliseconds, so the trace
+stays small and the per-span overhead (two ``perf_counter`` calls and
+one dict) is invisible next to the work it brackets.
+
+Like the metrics registry, tracing is off by default and ≈ free when
+off: :func:`span` returns a shared no-op context manager unless a
+tracer is installed (:func:`start`, or ``REPRO_TRACE=1`` in the
+environment).  Spans are passive — no randomness, no mutation of the
+traced state — so enabling tracing never changes results.
+
+Worker spans from a parallel sweep merge naturally: every event
+carries its producing process id, so the parent just concatenates the
+workers' event lists (:meth:`Tracer.absorb`) and Perfetto renders one
+track per process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from time import perf_counter
+from typing import Dict, List, Optional
+
+__all__ = ["Tracer", "TRACER", "active", "span", "start", "stop"]
+
+
+class _Span:
+    """One timed block; append-on-exit so nesting needs no stack."""
+
+    __slots__ = ("_tracer", "_name", "_args", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._args = args
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        t1 = perf_counter()
+        tracer = self._tracer
+        event = {
+            "name": self._name,
+            "ph": "X",
+            "ts": (self._t0 - tracer.epoch) * 1e6,
+            "dur": (t1 - self._t0) * 1e6,
+            "pid": tracer.pid,
+            "tid": threading.get_ident() & 0x7FFFFFFF,
+            "cat": self._name.partition(":")[0],
+        }
+        if self._args:
+            event["args"] = self._args
+        tracer.events.append(event)
+
+
+class _NullSpan:
+    """The shared disabled-mode span: enter/exit do nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects trace events for one process.
+
+    ``epoch`` anchors timestamps: spans report microseconds since the
+    tracer was created, so a parent and its pool workers (each with
+    their own epoch) render as parallel tracks starting near zero.
+    """
+
+    __slots__ = ("events", "epoch", "pid")
+
+    def __init__(self) -> None:
+        self.events: List[Dict] = []
+        self.epoch = perf_counter()
+        self.pid = os.getpid()
+
+    def span(self, name: str, **args) -> _Span:
+        return _Span(self, name, args)
+
+    def absorb(self, events: List[Dict]) -> None:
+        """Append another tracer's exported events (sweep workers)."""
+        self.events.extend(events)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The collected spans as a Chrome trace-event JSON document."""
+        return json.dumps(
+            {"traceEvents": self.events, "displayTimeUnit": "ms"},
+            indent=indent,
+        )
+
+
+#: The active tracer, or ``None`` when tracing is disabled.
+TRACER: Optional[Tracer] = None
+
+
+def active() -> Optional[Tracer]:
+    return TRACER
+
+
+def start(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install (and return) the process's active tracer.
+
+    Idempotent without arguments; passing ``tracer`` installs that
+    instance.
+    """
+    global TRACER
+    if tracer is not None:
+        TRACER = tracer
+    elif TRACER is None:
+        TRACER = Tracer()
+    return TRACER
+
+
+def stop() -> Optional[Tracer]:
+    """Uninstall and return the active tracer (``None`` if none was)."""
+    global TRACER
+    tracer, TRACER = TRACER, None
+    return tracer
+
+
+def span(name: str, **args):
+    """A context-manager timer: records one trace event when enabled.
+
+    The instrumentation entry point — ``with span("strategy:tabu",
+    round=3): ...``.  When tracing is disabled this returns a shared
+    no-op, so call sites need no conditional of their own.
+    """
+    tracer = TRACER
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **args)
+
+
+if os.environ.get("REPRO_TRACE", "").lower() not in ("", "0", "false"):
+    start()

@@ -44,6 +44,13 @@ class EventRecord:
     period misses (only non-zero in degraded mode — full-service states
     always meet every target), and ``app_periods`` carries the per-app
     periods of the committed state for quantile aggregation.
+
+    ``decision_latency`` is the wall-clock seconds the scheduler spent
+    deciding this event, measured only while instrumentation is on
+    (:mod:`repro.obs`) and 0.0 otherwise.  It is telemetry, not state:
+    ``compare=False`` keeps it out of record equality, so two runs of
+    the same seed compare equal record for record whether or not either
+    was instrumented.
     """
 
     seq: int
@@ -63,6 +70,7 @@ class EventRecord:
     degraded: bool = False
     target_misses: int = 0
     app_periods: Tuple[Tuple[str, float], ...] = ()
+    decision_latency: float = field(default=0.0, compare=False)
 
     def to_dict(self) -> Dict:
         payload = asdict(self)
@@ -101,6 +109,9 @@ class EventRecord:
                     (str(name), float(period))
                     for name, period in payload.get("app_periods", [])
                 ),
+                # Telemetry field: absent in pre-instrumentation (PR 6)
+                # archives, which load with no latency recorded.
+                decision_latency=float(payload.get("decision_latency", 0.0)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise OnlineSchedulingError(
@@ -283,6 +294,31 @@ class RuntimeReport:
             for r in self.records
             if r.event == "retry" and r.accepted is True
         )
+
+    @property
+    def mean_decision_latency(self) -> float:
+        """Mean recorded per-event decision seconds (0.0 uninstrumented)."""
+        samples = [
+            r.decision_latency
+            for r in self.records
+            if r.decision_latency > 0.0
+        ]
+        return sum(samples) / len(samples) if samples else 0.0
+
+    @property
+    def mean_admission_latency(self) -> float:
+        """Mean decision seconds over arrival/retry events.
+
+        Non-zero only for instrumented runs (``repro.obs`` metrics or
+        tracing enabled while the scheduler ran) — the online sweep's
+        admission-latency column.
+        """
+        samples = [
+            r.decision_latency
+            for r in self.records
+            if r.event in ("arrival", "retry") and r.decision_latency > 0.0
+        ]
+        return sum(samples) / len(samples) if samples else 0.0
 
     # ------------------------------------------------------------------ #
     # Serialization (replay/diff without re-running the scheduler)

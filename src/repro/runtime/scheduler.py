@@ -80,11 +80,16 @@ and the ≥5× speed-up guard in ``benchmarks/bench_online.py``.
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass, field, replace
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import MappingError, ObjectiveError, OnlineSchedulingError
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
+from ..obs.logging import get_logger
 from ..graph.stream_graph import StreamGraph
 from ..graph.workload import Workload
 from ..heuristics import budgeted_descent
@@ -108,6 +113,8 @@ from .report import EventRecord, RuntimeReport
 from .scenario import solo_period_bound
 
 __all__ = ["OnlineScheduler", "SHED_POLICIES"]
+
+_LOG = get_logger("runtime")
 
 
 def _score_analysis(analysis: PeriodAnalysis, objective) -> ObjectiveScore:
@@ -452,6 +459,10 @@ class OnlineScheduler:
         self._retry_seq = 0
         self._perturbation: Optional[_ActivePerturbation] = None
         self._degraded = False
+        #: Decision-clock start of the event being handled; ``None``
+        #: while instrumentation is off, so uninstrumented runs record
+        #: ``decision_latency == 0.0`` and stay byte-deterministic.
+        self._t0: Optional[float] = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -546,19 +557,27 @@ class OnlineScheduler:
             )
         self._drain_retries(event.time)
         self._time = event.time
-        if isinstance(event, AppArrival):
-            return self._on_arrival(event)
-        if isinstance(event, AppDeparture):
-            return self._on_departure(event)
-        if isinstance(event, SpeFailure):
-            return self._on_failure(event)
-        if isinstance(event, SpeRecovery):
-            return self._on_recovery(event)
-        if isinstance(event, CostPerturbation):
-            return self._on_perturb(event)
-        if isinstance(event, CostRestore):
-            return self._on_restore(event)
-        raise OnlineSchedulingError(f"unknown event {event!r}")
+        self._t0 = (
+            perf_counter()
+            if _metrics.REGISTRY is not None or _tracing.TRACER is not None
+            else None
+        )
+        with _tracing.span(
+            "runtime:" + event.event_type, subject=event.subject
+        ):
+            if isinstance(event, AppArrival):
+                return self._on_arrival(event)
+            if isinstance(event, AppDeparture):
+                return self._on_departure(event)
+            if isinstance(event, SpeFailure):
+                return self._on_failure(event)
+            if isinstance(event, SpeRecovery):
+                return self._on_recovery(event)
+            if isinstance(event, CostPerturbation):
+                return self._on_perturb(event)
+            if isinstance(event, CostRestore):
+                return self._on_restore(event)
+            raise OnlineSchedulingError(f"unknown event {event!r}")
 
     def _drain_retries(self, upto: float) -> None:
         """Fire every queued retry due at or before ``upto``, in due order."""
@@ -569,11 +588,18 @@ class OnlineScheduler:
                 break
             self._pending.pop(0)
             self._time = head.due  # due > its rejection time: monotone
-            self._on_arrival(
-                replace(head.event, time=head.due),
-                attempt=head.attempt,
-                kind="retry",
+            self._t0 = (
+                perf_counter()
+                if _metrics.REGISTRY is not None
+                or _tracing.TRACER is not None
+                else None
             )
+            with _tracing.span("runtime:retry", subject=head.event.name):
+                self._on_arrival(
+                    replace(head.event, time=head.due),
+                    attempt=head.attempt,
+                    kind="retry",
+                )
 
     # ------------------------------------------------------------------ #
     # Shared machinery
@@ -742,6 +768,10 @@ class OnlineScheduler:
             misses = len(self._violated_targets(state))
             per_app = getattr(state.snapshot(), "app_periods", None) or {}
             app_periods = tuple(sorted(per_app.items()))
+        latency = 0.0
+        if self._t0 is not None:
+            latency = perf_counter() - self._t0
+            self._t0 = None
         record = EventRecord(
             seq=len(self._records),
             time=event.time,
@@ -759,8 +789,46 @@ class OnlineScheduler:
             degraded=self._degraded,
             target_misses=misses,
             app_periods=app_periods,
+            decision_latency=latency,
         )
         self._records.append(record)
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            if accepted is True:
+                reg.inc("admissions.accepted")
+            elif accepted is False:
+                reg.inc("admissions.rejected")
+            if dropped:
+                reg.inc("admissions.shed", len(dropped))
+            if reason in ("brownout-enter", "brownout-exit"):
+                reg.inc("brownout_transitions")
+            reg.set_gauge("retry_queue_depth", float(len(self._pending)))
+            if latency > 0.0:
+                if record.event in ("arrival", "retry"):
+                    reg.observe("admission_latency", latency)
+                elif record.event == "failure":
+                    reg.observe("evacuation_latency", latency)
+                else:
+                    reg.observe("repair_latency", latency)
+        if _LOG.isEnabledFor(logging.INFO):
+            _LOG.info(
+                "t=%g %s %s: %s",
+                record.time,
+                record.event,
+                record.subject,
+                reason
+                or ("accepted" if accepted else "ok"),
+                extra={
+                    "event_kind": record.event,
+                    "subject": record.subject,
+                    "accepted": record.accepted,
+                    "period": record.period,
+                    "n_apps": record.n_apps,
+                    "migrations": record.migrations,
+                    "dropped": list(record.dropped),
+                    "degraded": record.degraded,
+                },
+            )
         return record
 
     # ------------------------------------------------------------------ #

@@ -114,11 +114,14 @@ single-application graphs skip all of this.
 
 from __future__ import annotations
 
+import functools
 import heapq
 import math
 from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from ..errors import MappingError
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from .backend import resolve_backend
 from .compiled import CompiledGraph, compile_graph
 from .mapping import Mapping
@@ -134,6 +137,31 @@ from .throughput import (
 )
 
 __all__ = ["ClonePool", "DeltaAnalyzer", "MoveScore", "ObjectiveScore"]
+
+
+def _traced(name: str):
+    """Span-wrap a batch entry point when tracing is on.
+
+    The instrumentation contract (see :mod:`repro.obs`): with tracing
+    disabled the wrapper is one module-global read and a branch — no
+    span object, no kwargs dict — so decorating the once-per-round
+    batch APIs costs nothing measurable on the kernel hot path (the
+    nightly overhead guard in ``benchmarks/bench_kernel.py`` bounds
+    it).
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            tracer = _tracing.TRACER
+            if tracer is None:
+                return fn(*args, **kwargs)
+            with tracer.span(name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
 
 
 class MoveScore(NamedTuple):
@@ -294,6 +322,9 @@ class DeltaAnalyzer:
         #: selection rules).  Resolved before the first ``_rebuild`` so
         #: the compiled extension can run the initial accumulation too.
         self.backend: str = resolve_backend(backend)
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            reg.inc("backend_dispatches." + self.backend)
         self._ck = self._make_ckernel()
         self._rebuild()
         self._kernel = self._make_kernel()
@@ -468,8 +499,12 @@ class DeltaAnalyzer:
             violations += dma_proxy[spe] > self._proxy_slots
         self._n_violations = violations
 
+    @_traced("kernel:resync")
     def resync(self) -> None:
         """One O(V+E) rebuild, re-anchoring the incremental state exactly."""
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            reg.inc("resyncs")
         self._state_version += 1
         self._rebuild()
 
@@ -1601,6 +1636,9 @@ class DeltaAnalyzer:
 
     def score_move(self, task: str, pe: int) -> MoveScore:
         """Score of the mapping with ``task`` moved to ``pe`` — O(deg(task))."""
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            reg.inc("moves_scored")
         tid = self._tid(task)
         if not 0 <= pe < self._n_pes:
             raise MappingError(
@@ -1636,12 +1674,18 @@ class DeltaAnalyzer:
             pes = range(self._n_pes)
         else:
             self._check_pes(pes)
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            reg.inc("moves_scored", len(pes))
         if self._mapping_dependent:
             return self._sweep_fallback(tid, pes, None, False)
         return self._sweep(tid, pes, None, False)
 
     def score_swap(self, a: str, b: str) -> MoveScore:
         """Score of the mapping with tasks ``a`` and ``b`` exchanging PEs."""
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            reg.inc("swaps_scored")
         changes = {a: self.pe_of(b), b: self.pe_of(a)}
         if self._ck is not None:
             return self._ck_score(changes)
@@ -1654,6 +1698,9 @@ class DeltaAnalyzer:
         target are ignored.  This is the bulk interface population
         metaheuristics use to evaluate crossover offspring in one pass.
         """
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            reg.inc("bulk_changes")
         if self._ck is not None:
             return self._ck_score(dict(changes))
         return self._score(self._deltas(dict(changes)))
@@ -1673,6 +1720,7 @@ class DeltaAnalyzer:
             return
         self._apply(self._deltas(changes))
 
+    @_traced("kernel:apply_changes")
     def apply_changes(self, changes: Dict[str, int]) -> None:
         """Commit a set of simultaneous task moves into the cached state."""
         if self._ck is not None:
@@ -1688,6 +1736,9 @@ class DeltaAnalyzer:
         population-search hot path.  Returns the score of the candidate
         state whether or not it was committed.
         """
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            reg.inc("bulk_changes")
         if self._ck is not None:
             moved = self._to_moved(dict(changes))
             if not moved:
@@ -1717,6 +1768,9 @@ class DeltaAnalyzer:
 
     def evaluate_move(self, task: str, pe: int, objective=None) -> ObjectiveScore:
         """Objective score with ``task`` moved to ``pe`` — O(deg(task))."""
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            reg.inc("moves_scored")
         tid = self._tid(task)
         if not 0 <= pe < self._n_pes:
             raise MappingError(
@@ -1755,12 +1809,18 @@ class DeltaAnalyzer:
             pes = range(self._n_pes)
         else:
             self._check_pes(pes)
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            reg.inc("moves_scored", len(pes))
         if self._mapping_dependent:
             return self._sweep_fallback(tid, pes, objective, True)
         return self._sweep(tid, pes, objective, True)
 
     def evaluate_swap(self, a: str, b: str, objective=None) -> ObjectiveScore:
         """Objective score with tasks ``a`` and ``b`` exchanging PEs."""
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            reg.inc("swaps_scored")
         changes = {a: self.pe_of(b), b: self.pe_of(a)}
         if self._ck is not None and not getattr(
             objective, "needs_app_periods", False
@@ -1772,12 +1832,16 @@ class DeltaAnalyzer:
         self, changes: Dict[str, int], objective=None
     ) -> ObjectiveScore:
         """Objective score with all of ``changes`` applied at once."""
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            reg.inc("bulk_changes")
         if self._ck is not None and not getattr(
             objective, "needs_app_periods", False
         ):
             return self._ck_evaluate(dict(changes), objective)
         return self._evaluate(self._deltas(dict(changes)), objective)
 
+    @_traced("kernel:best_move")
     def best_move(
         self,
         tasks: Optional[Sequence[str]] = None,
@@ -1820,6 +1884,9 @@ class DeltaAnalyzer:
             pes = list(pes)
             if not full[1]:
                 self._check_pes(pes)
+            reg = _metrics.REGISTRY
+            if reg is not None:
+                reg.inc("moves_scored", len(tasks) * len(pes))
             res = self._kernel.move_matrix(
                 None if full[0] else [self._tid(name) for name in tasks],
                 None if full[1] else pes,
@@ -1872,6 +1939,7 @@ class DeltaAnalyzer:
         self._check_pes(pes)
         return pes
 
+    @_traced("kernel:score_move_matrix")
     def score_move_matrix(self, tasks=None, pes=None):
         """Periods and violation counts of every (task, PE) move at once.
 
@@ -1887,6 +1955,9 @@ class DeltaAnalyzer:
         tids, names = self._resolve_tasks(tasks)
         pes = self._resolve_pes(pes)
         if self._kernel is not None and not self._mapping_dependent:
+            reg = _metrics.REGISTRY
+            if reg is not None:
+                reg.inc("moves_scored", len(tids) * len(pes))
             res = self._kernel.move_matrix(
                 None if full[0] else tids,
                 None if full[1] else pes,
@@ -1906,6 +1977,7 @@ class DeltaAnalyzer:
             viols.append([s.n_violations for s in scores])
         return periods, viols
 
+    @_traced("kernel:evaluate_all_moves")
     def evaluate_all_moves(
         self,
         tasks: Optional[Sequence[str]] = None,
@@ -1928,6 +2000,9 @@ class DeltaAnalyzer:
             or len(tids) < self._VECTOR_MIN_TASKS
         ):
             return [self.evaluate_moves(name, pes, objective) for name in names]
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            reg.inc("moves_scored", len(tids) * len(pes))
         cg = self._cg
         track_app = (
             objective is not None
@@ -1963,6 +2038,7 @@ class DeltaAnalyzer:
             rows.append(row)
         return rows
 
+    @_traced("kernel:score_swaps")
     def score_swaps(
         self, pairs: Sequence[Tuple[str, str]]
     ) -> List[MoveScore]:
@@ -1981,6 +2057,9 @@ class DeltaAnalyzer:
             or len(pairs) < self._VECTOR_MIN_TASKS
         ):
             return [self.score_swap(a, b) for a, b in pairs]
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            reg.inc("swaps_scored", len(pairs))
         ta = [self._tid(a) for a, _ in pairs]
         tb = [self._tid(b) for _, b in pairs]
         worst, nviol, same = self._kernel.swap_matrix(ta, tb)
@@ -1996,6 +2075,7 @@ class DeltaAnalyzer:
             out.append(MoveScore(float(worst[k]), nv == 0, nv))
         return out
 
+    @_traced("kernel:evaluate_swaps")
     def evaluate_swaps(
         self, pairs: Sequence[Tuple[str, str]], objective=None
     ) -> List[ObjectiveScore]:
@@ -2018,6 +2098,9 @@ class DeltaAnalyzer:
             )
         ):
             return [self.evaluate_swap(a, b, objective) for a, b in pairs]
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            reg.inc("swaps_scored", len(pairs))
         ta = [self._tid(a) for a, _ in pairs]
         tb = [self._tid(b) for _, b in pairs]
         worst, nviol, same = self._kernel.swap_matrix(ta, tb)
@@ -2057,6 +2140,7 @@ class DeltaAnalyzer:
                 P[k, tid] = pe
         return P
 
+    @_traced("kernel:score_assignments")
     def score_assignments(
         self, assignments: Sequence[Dict[str, int]]
     ) -> List[MoveScore]:
@@ -2075,6 +2159,9 @@ class DeltaAnalyzer:
             or len(assignments) < self._VECTOR_MIN_TASKS
         ):
             return [self.score_changes(ch) for ch in assignments]
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            reg.inc("bulk_changes", len(assignments))
         P = self._assignment_rows(assignments)
         period, nviol, _apps = self._kernel.assignment_matrix(P, False)
         out: List[MoveScore] = []
@@ -2083,6 +2170,7 @@ class DeltaAnalyzer:
             out.append(MoveScore(float(period[k]), nv == 0, nv))
         return out
 
+    @_traced("kernel:evaluate_assignments")
     def evaluate_assignments(
         self,
         assignments: Sequence[Dict[str, int]],
@@ -2108,6 +2196,9 @@ class DeltaAnalyzer:
             return [
                 self.evaluate_changes(ch, objective) for ch in assignments
             ]
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            reg.inc("bulk_changes", len(assignments))
         P = self._assignment_rows(assignments)
         period, nviol, app_mat = self._kernel.assignment_matrix(
             P, needs_apps
@@ -2227,11 +2318,16 @@ class ClonePool:
 
     def clone(self, parent: DeltaAnalyzer) -> DeltaAnalyzer:
         """A state-copy of ``parent`` — recycled when possible."""
+        reg = _metrics.REGISTRY
         free = self._free
         while free:
             candidate = free.pop()
             if candidate.compatible_with(parent):
+                if reg is not None:
+                    reg.inc("clone_pool_hits")
                 return candidate.copy_from(parent)
+        if reg is not None:
+            reg.inc("clone_pool_misses")
         return parent.clone()
 
     def retire(self, analyzer: DeltaAnalyzer) -> None:
