@@ -1,0 +1,167 @@
+"""Scheduler-service benchmarks: serving-loop overhead and latency.
+
+The :class:`~repro.runtime.service.SchedulerService` promises that the
+asyncio serving loop adds queueing, backpressure and durability *around*
+the scheduler without changing a single decision, and that its overhead
+stays small next to the admission work itself:
+
+* ``test_service_equivalence_overhead`` replays the same seeded
+  scenario offline and through the service (queue sized to the
+  timeline, so no shedding) and **fails** if the reports differ or the
+  service takes more than 5× the offline wall time — the serving loop
+  must not dominate the decisions it serves.
+* ``test_service_latency_profile`` drives the service with the metrics
+  registry enabled and reports the **p50/p99 admission latency** (from
+  the :mod:`repro.obs` ``admission_latency`` histogram), the p50/p99
+  end-to-end service latency (``service_latency``: queueing included),
+  and **admissions/sec** over the wall clock.
+* ``test_durable_service_overhead`` measures what the write-ahead
+  journal + periodic checkpoints cost on top of the plain service
+  (``fsync=False``, so it prices serialization, not the disk).
+
+Run explicitly (benchmarks are not collected by the default test run)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py -q -s
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.obs import metrics
+from repro.platform import CellPlatform
+from repro.runtime import (
+    DurableScheduler,
+    OnlineScheduler,
+    ScenarioGenerator,
+    SchedulerService,
+    play,
+)
+
+N_EVENTS = 24
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CellPlatform.qs22()
+
+
+def make_events(platform, n_events=N_EVENTS):
+    return ScenarioGenerator(platform, seed=5, load=2.5).generate(n_events)
+
+
+def make_scheduler(platform):
+    return OnlineScheduler(platform, migration_budget=3, retry_limit=1)
+
+
+async def drive(service, events):
+    await service.start()
+    responses = await play(service, events)
+    report = await service.stop()
+    return responses, report
+
+
+def run_service(platform, events, **service_knobs):
+    service = SchedulerService(
+        make_scheduler(platform),
+        admission_batch=4,
+        max_queue=len(events) + 1,
+        high_watermark=len(events) + 1,
+        **service_knobs,
+    )
+    t0 = time.perf_counter()
+    responses, report = asyncio.run(drive(service, events))
+    wall = time.perf_counter() - t0
+    return responses, report, wall
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_equivalence_overhead(platform):
+    """The serving loop changes nothing and costs little."""
+    events = make_events(platform)
+    t0 = time.perf_counter()
+    baseline = make_scheduler(platform).run(events)
+    offline = time.perf_counter() - t0
+    responses, report, wall = run_service(platform, events)
+    assert report == baseline
+    assert all(r.status == "ok" for r in responses)
+    overhead = wall / offline if offline > 0 else float("inf")
+    print(
+        f"\nservice vs offline: {1e3 * offline:.1f} ms offline, "
+        f"{1e3 * wall:.1f} ms served ({overhead:.2f}x)"
+    )
+    assert overhead < 5.0, (
+        f"serving loop overhead {overhead:.2f}x exceeds the 5x budget "
+        f"({1e3 * wall:.1f} ms vs {1e3 * offline:.1f} ms offline)"
+    )
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_latency_profile(platform):
+    """p50/p99 admission + service latency and admissions/sec."""
+    events = make_events(platform)
+    registry = metrics.MetricsRegistry()
+    metrics.enable(registry)
+    try:
+        responses, report, wall = run_service(platform, events)
+    finally:
+        metrics.disable()
+    admission = registry.histograms.get("admission_latency")
+    service_hist = registry.histograms.get("service_latency")
+    assert admission is not None and admission.count > 0
+    assert service_hist is not None
+    assert service_hist.count == len(events)
+    adm_per_sec = report.n_arrivals / wall if wall > 0 else 0.0
+    print(
+        f"\nadmission latency: p50 {1e3 * admission.quantile(0.5):.3f} ms, "
+        f"p99 {1e3 * admission.quantile(0.99):.3f} ms "
+        f"({admission.count} decisions)"
+    )
+    print(
+        f"service latency:   p50 {1e3 * service_hist.quantile(0.5):.3f} ms, "
+        f"p99 {1e3 * service_hist.quantile(0.99):.3f} ms "
+        f"(queueing included)"
+    )
+    print(
+        f"throughput:        {adm_per_sec:.0f} admissions/s "
+        f"({len(events)} requests in {1e3 * wall:.1f} ms)"
+    )
+    # Quantiles are ordered and bounded by the recorded extremes.
+    assert (
+        admission.min
+        <= admission.quantile(0.5)
+        <= admission.quantile(0.99)
+        <= admission.max
+    )
+
+
+@pytest.mark.benchmark(group="service")
+def test_durable_service_overhead(platform, tmp_path):
+    """Journal + checkpoints priced against the plain service."""
+    events = make_events(platform)
+    _, baseline, plain_wall = run_service(platform, events)
+    journal = tmp_path / "bench.jsonl"
+    checkpoint = tmp_path / "bench.json"
+    _, report, durable_wall = run_service(
+        platform,
+        events,
+        journal_path=journal,
+        checkpoint_path=checkpoint,
+        checkpoint_every=4,
+        fsync=False,
+    )
+    assert report == baseline
+    with DurableScheduler.recover(
+        journal, checkpoint_path=checkpoint, fsync=False
+    ) as recovered:
+        assert recovered.scheduler.report() == report
+    overhead = durable_wall / plain_wall if plain_wall > 0 else float("inf")
+    print(
+        f"\ndurable service: {1e3 * plain_wall:.1f} ms plain, "
+        f"{1e3 * durable_wall:.1f} ms journaled ({overhead:.2f}x, "
+        f"fsync off)"
+    )
+    assert overhead < 5.0, (
+        f"durability overhead {overhead:.2f}x exceeds the 5x budget"
+    )

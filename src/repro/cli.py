@@ -1,10 +1,13 @@
 """Command-line interface.
 
-Three entry points (installed as console scripts):
+Four entry points (installed as console scripts):
 
 * ``repro-solve``      — compute a mapping (MILP or heuristic) for a graph;
 * ``repro-simulate``   — run the discrete-event simulator on a mapping;
-* ``repro-experiment`` — regenerate a figure/table of the paper.
+* ``repro-experiment`` — regenerate a figure/table of the paper;
+* ``repro-serve``      — run the durable asyncio scheduler service over a
+  seeded (or replayed) event timeline, with optional journal, checkpoint
+  and ``/stats`` endpoint.
 
 Graphs are referenced either by a built-in name (``graph1``, ``graph2``,
 ``graph3``, ``audio``, ``video``, ``crypto``) or by a path to a JSON file
@@ -14,6 +17,7 @@ produced by :func:`repro.graph.save`.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 from typing import Optional
@@ -36,16 +40,21 @@ from .experiments import (
     fig7_speedup,
     fig8_ccr,
     online,
+    service as service_experiment,
     tables,
 )
+from .obs import metrics as _metrics
 from .runtime.faults import load_timeline
+from .runtime.scenario import ScenarioGenerator
+from .runtime.scheduler import OnlineScheduler
+from .runtime.service import SchedulerService, play
 from .steady_state.objective import OBJECTIVES
 from .platform.cell import CellPlatform
 from .simulator import SimConfig, simulate
 from .steady_state.mapping import Mapping
 from .steady_state.throughput import analyze
 
-__all__ = ["main_solve", "main_simulate", "main_experiment"]
+__all__ = ["main_solve", "main_simulate", "main_experiment", "main_serve"]
 
 _BUILTIN_GRAPHS = {
     "graph1": random_graph_1,
@@ -200,10 +209,14 @@ def main_experiment(argv: Optional[list] = None) -> int:
     )
     parser.add_argument(
         "which",
-        choices=("fig6", "fig7", "fig8", "tables", "coschedule", "online"),
+        choices=(
+            "fig6", "fig7", "fig8", "tables", "coschedule", "online",
+            "service",
+        ),
         help="which artefact to regenerate (coschedule: the workload-layer "
         "experiment beyond the paper; online: the dynamic "
-        "arrival/departure/failure runtime sweep)",
+        "arrival/departure/failure runtime sweep; service: the asyncio "
+        "serving-loop latency sweep over admission batch sizes)",
     )
     parser.add_argument(
         "--instances", type=int, default=None,
@@ -237,27 +250,34 @@ def main_experiment(argv: Optional[list] = None) -> int:
     )
     parser.add_argument(
         "--loads", default=None, metavar="L,L,...",
-        help="online only: offered loads (expected concurrently-resident "
-        "apps) to sweep "
-        f"(default: {','.join(map(str, online.DEFAULT_LOADS))})",
+        help="online/service: offered loads (expected concurrently-resident "
+        "apps); online sweeps several, service takes exactly one "
+        f"(defaults: {','.join(map(str, online.DEFAULT_LOADS))} / "
+        f"{service_experiment.DEFAULT_LOAD})",
     )
     parser.add_argument(
         "--budgets", default=None, metavar="B,B,...",
-        help="online only: migration budgets to sweep "
+        help="online/service: migration budgets to sweep "
         f"(default: {','.join(map(str, online.DEFAULT_BUDGETS))})",
     )
     parser.add_argument(
+        "--batches", default=None, metavar="B,B,...",
+        help="service only: admission batch sizes to sweep "
+        f"(default: {','.join(map(str, service_experiment.DEFAULT_BATCHES))})",
+    )
+    parser.add_argument(
         "--events", type=int, default=None, metavar="N",
-        help="online only: events per scenario "
-        f"(default: {online.DEFAULT_EVENTS})",
+        help="online/service: events per scenario "
+        f"(defaults: {online.DEFAULT_EVENTS} / "
+        f"{service_experiment.DEFAULT_EVENTS})",
     )
     parser.add_argument(
         "--seed", type=int, default=None, metavar="N",
-        help="online only: base scenario seed (default: 0)",
+        help="online/service: base scenario seed (default: 0)",
     )
     parser.add_argument(
         "--failures", type=int, default=None, metavar="N",
-        help="online only: SPE failure/recovery pairs per scenario "
+        help="online/service: SPE failure/recovery pairs per scenario "
         "(default: 1)",
     )
     parser.add_argument(
@@ -273,7 +293,7 @@ def main_experiment(argv: Optional[list] = None) -> int:
     )
     parser.add_argument(
         "--metrics", default=None, metavar="FILE",
-        help="online only: run with instrumentation and write the "
+        help="online/service: run with instrumentation and write the "
         "merged cross-worker metrics registry (counters, gauges, "
         "latency histograms) as JSON",
     )
@@ -281,6 +301,17 @@ def main_experiment(argv: Optional[list] = None) -> int:
         "--trace", default=None, metavar="FILE",
         help="online only: run with span tracing and write a Chrome "
         "trace-event JSON file (load in Perfetto or chrome://tracing)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="online only: wrap every sweep point in a durable scheduler "
+        "writing a journal plus a checkpoint every N events "
+        "(see --checkpoint-dir)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="online only: directory for the per-point journals and "
+        "checkpoints (default: online-checkpoints, created on demand)",
     )
     args = parser.parse_args(argv)
     if args.which in ("fig6", "tables") and args.jobs not in (None, 0, 1):
@@ -298,11 +329,11 @@ def main_experiment(argv: Optional[list] = None) -> int:
                     f"note: {flag} only applies to coschedule; ignored",
                     file=sys.stderr,
                 )
-    if args.which not in ("coschedule", "online"):
+    if args.which not in ("coschedule", "online", "service"):
         if args.objective != "period":
             print(
-                "note: --objective only applies to coschedule/online; "
-                "ignored",
+                "note: --objective only applies to coschedule/online/"
+                "service; ignored",
                 file=sys.stderr,
             )
     elif args.instances is not None:
@@ -311,26 +342,42 @@ def main_experiment(argv: Optional[list] = None) -> int:
             "--instances ignored",
             file=sys.stderr,
         )
-    if args.which != "online":
+    if args.which not in ("online", "service"):
         for flag, given in (
             ("--loads", args.loads is not None),
             ("--budgets", args.budgets is not None),
             ("--events", args.events is not None),
             ("--seed", args.seed is not None),
             ("--failures", args.failures is not None),
+            ("--metrics", args.metrics is not None),
+        ):
+            if given:
+                print(
+                    f"note: {flag} only applies to online/service; ignored",
+                    file=sys.stderr,
+                )
+    elif args.strategies is not None:
+        print(
+            f"note: {args.which} has no strategy sweep; "
+            "--strategies ignored",
+            file=sys.stderr,
+        )
+    if args.which != "online":
+        for flag, given in (
             ("--mean-downtime", args.mean_downtime is not None),
             ("--timeline", args.timeline is not None),
-            ("--metrics", args.metrics is not None),
             ("--trace", args.trace is not None),
+            ("--checkpoint-every", args.checkpoint_every is not None),
+            ("--checkpoint-dir", args.checkpoint_dir is not None),
         ):
             if given:
                 print(
                     f"note: {flag} only applies to online; ignored",
                     file=sys.stderr,
                 )
-    elif args.strategies is not None:
+    if args.which != "service" and args.batches is not None:
         print(
-            "note: online has no strategy sweep; --strategies ignored",
+            "note: --batches only applies to service; ignored",
             file=sys.stderr,
         )
     strategies = None
@@ -430,9 +477,46 @@ def main_experiment(argv: Optional[list] = None) -> int:
                 file=sys.stderr,
             )
             return 1
-    if args.which == "online" and args.events is not None and args.events < 2:
+    batches = None
+    if args.batches is not None:
+        try:
+            batches = tuple(
+                int(part) for part in args.batches.split(",") if part.strip()
+            )
+        except ValueError:
+            print(
+                f"error: bad --batches {args.batches!r}; "
+                "want comma-separated positive integers",
+                file=sys.stderr,
+            )
+            return 1
+        if not batches or any(batch < 1 for batch in batches):
+            print(
+                "error: --batches wants one or more positive integers",
+                file=sys.stderr,
+            )
+            return 1
+    if (
+        args.which in ("online", "service")
+        and args.events is not None
+        and args.events < 2
+    ):
         print(
             f"error: --events must be at least 2 (got {args.events})",
+            file=sys.stderr,
+        )
+        return 1
+    if args.which == "service" and loads is not None and len(loads) != 1:
+        print(
+            "error: service sweeps admission batches at one offered load; "
+            "give a single --loads value",
+            file=sys.stderr,
+        )
+        return 1
+    if args.checkpoint_every is not None and args.checkpoint_every < 0:
+        print(
+            "error: --checkpoint-every must be non-negative "
+            f"(got {args.checkpoint_every})",
             file=sys.stderr,
         )
         return 1
@@ -465,6 +549,9 @@ def main_experiment(argv: Optional[list] = None) -> int:
                 if args.timeline is not None
                 else None
             )
+            checkpoint_dir = args.checkpoint_dir
+            if args.checkpoint_every and checkpoint_dir is None:
+                checkpoint_dir = "online-checkpoints"
             online.main(
                 loads=loads,
                 budgets=budgets,
@@ -477,6 +564,20 @@ def main_experiment(argv: Optional[list] = None) -> int:
                 timeline=timeline,
                 metrics=args.metrics,
                 trace=args.trace,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_dir=checkpoint_dir,
+            )
+        elif args.which == "service":
+            service_experiment.main(
+                batches=batches,
+                budgets=budgets,
+                load=loads[0] if loads else None,
+                n_events=args.events,
+                objective=args.objective,
+                seed=args.seed,
+                jobs=args.jobs,
+                n_failures=args.failures,
+                metrics=args.metrics,
             )
         else:
             tables.main()
@@ -484,3 +585,176 @@ def main_experiment(argv: Optional[list] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     return 0
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    platform = _platform_from_args(args)
+    if args.timeline is not None:
+        events = load_timeline(args.timeline)
+    else:
+        events = ScenarioGenerator(
+            platform,
+            seed=args.seed,
+            load=args.load,
+            n_failures=args.failures,
+        ).generate(args.events)
+    if args.metrics:
+        _metrics.enable()
+    scheduler = OnlineScheduler(
+        platform,
+        objective=args.objective,
+        migration_budget=args.budget,
+    )
+    # Default queue sizing admits the whole timeline without shedding
+    # (the replay is a burst); an explicit --max-queue exercises the
+    # watermark backpressure instead.
+    if args.max_queue is not None:
+        queue_kwargs = dict(max_queue=args.max_queue)
+    else:
+        queue_kwargs = dict(
+            max_queue=len(events) + 1, high_watermark=len(events) + 1
+        )
+    service = SchedulerService(
+        scheduler,
+        admission_batch=args.batch,
+        default_timeout=args.timeout,
+        journal_path=args.journal,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        **queue_kwargs,
+    )
+    server = None
+    try:
+        if args.stats_port is not None:
+            server, port = await service.serve_stats(port=args.stats_port)
+            print(f"stats endpoint: http://127.0.0.1:{port}/stats")
+        await service.start()
+        responses = await play(service, events, timeout=args.timeout)
+        report = await service.stop()
+    finally:
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+    print(report.table())
+    rejected = [r for r in responses if r.status == "rejected"]
+    errored = [r for r in responses if r.status == "error"]
+    line = (
+        f"service: {len(responses)} requests, "
+        f"{len(responses) - len(rejected) - len(errored)} processed, "
+        f"{len(rejected)} rejected, {len(errored)} errored"
+    )
+    reasons = sorted({r.reason for r in rejected})
+    if reasons:
+        line += f" (rejection reasons: {', '.join(reasons)})"
+    print(line)
+    if args.stats_json:
+        print(json.dumps(service.stats(), indent=2, sort_keys=True))
+    if args.journal:
+        print(f"journal written to {args.journal}")
+    if args.checkpoint:
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def main_serve(argv: Optional[list] = None) -> int:
+    """Run the durable asyncio scheduler service over an event timeline.
+
+    Generates a seeded scenario (or replays ``--timeline``), feeds it
+    through :class:`~repro.runtime.service.SchedulerService` with the
+    requested admission batch, queue bound and per-request timeout, and
+    prints the final runtime report plus the service counters.  With
+    ``--journal``/``--checkpoint`` the run is durable: kill it at any
+    point and ``DurableScheduler.recover`` replays to the identical
+    report.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-serve", description=main_serve.__doc__
+    )
+    parser.add_argument(
+        "--platform", choices=("qs22", "ps3"), default="qs22",
+        help="hardware preset (default qs22: 1 PPE + 8 SPEs)",
+    )
+    parser.add_argument(
+        "--spes", type=int, default=None, help="restrict the number of SPEs"
+    )
+    parser.add_argument(
+        "--objective", choices=OBJECTIVES, default="period",
+        help="scheduling objective (default: period)",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=4, metavar="N",
+        help="migration budget per repair event (default: 4)",
+    )
+    parser.add_argument(
+        "--events", type=int, default=32, metavar="N",
+        help="events in the generated scenario (default: 32)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="scenario seed (default: 0)",
+    )
+    parser.add_argument(
+        "--load", type=float, default=2.0, metavar="L",
+        help="offered load of the generated scenario (default: 2.0)",
+    )
+    parser.add_argument(
+        "--failures", type=int, default=1, metavar="N",
+        help="SPE failure/recovery pairs in the scenario (default: 1)",
+    )
+    parser.add_argument(
+        "--timeline", default=None, metavar="FILE",
+        help="replay a saved JSON timeline instead of generating one "
+        "(contradicts --events/--seed/--load/--failures)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=4, metavar="N",
+        help="admission batch per serving-loop iteration (default: 4)",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=None, metavar="N",
+        help="bound the request queue (watermark backpressure kicks in "
+        "at 3/4 of this); default: sized to admit the whole timeline",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline; requests unresolved at the deadline "
+        "are rejected with reason deadline-exceeded (default: none)",
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="write the fsync'd event journal to FILE (enables recovery)",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help="write recovery checkpoints to FILE (requires --journal)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="checkpoint every N committed events (0: only at shutdown)",
+    )
+    parser.add_argument(
+        "--stats-port", type=int, default=None, metavar="PORT",
+        help="serve /stats, /metrics and /healthz on this port while "
+        "running (0 picks a free port)",
+    )
+    parser.add_argument(
+        "--stats-json", action="store_true",
+        help="print the final service counters as JSON",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="enable the in-process metrics registry (feeds /metrics "
+        "and the latency histograms)",
+    )
+    args = parser.parse_args(argv)
+    if args.events < 2:
+        print(
+            f"error: --events must be at least 2 (got {args.events})",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        return asyncio.run(_serve(args))
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

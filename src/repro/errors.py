@@ -24,6 +24,9 @@ __all__ = [
     "ExperimentError",
     "UsageError",
     "OnlineSchedulingError",
+    "JournalError",
+    "CheckpointError",
+    "ServiceError",
 ]
 
 
@@ -103,3 +106,22 @@ class UsageError(ExperimentError):
 class OnlineSchedulingError(ReproError):
     """The online scheduling runtime was driven inconsistently
     (malformed event timeline, failing an unknown or already-failed SPE...)."""
+
+
+class JournalError(OnlineSchedulingError):
+    """A write-ahead event journal is unreadable or inconsistent.
+
+    Raised for corruption that recovery must *not* paper over: a bad or
+    missing header, a malformed record before the final line, or
+    out-of-order record indices.  A torn final line (the mid-write-crash
+    signature) is explicitly **not** an error — recovery truncates it."""
+
+
+class CheckpointError(OnlineSchedulingError):
+    """A scheduler state checkpoint is unreadable, malformed, or does
+    not match the journal it is being recovered against."""
+
+
+class ServiceError(OnlineSchedulingError):
+    """The scheduler service was driven inconsistently
+    (started twice, submitted to after shutdown, bad configuration...)."""

@@ -8,7 +8,10 @@
   applications co-scheduled on one platform (per-app period table);
 * :mod:`repro.experiments.online` — beyond the paper: the online
   scheduling runtime swept over offered load and migration budget
-  (acceptance rate + mean period table).
+  (acceptance rate + mean period table);
+* :mod:`repro.experiments.service` — beyond the paper: the asyncio
+  scheduler service swept over admission batch and migration budget
+  (p50/p99 admission latency + admissions/sec table).
 
 Each module exposes ``run(...)`` returning structured results and
 ``main(...)`` printing paper-style tables and ASCII plots; the sweeping
@@ -23,6 +26,7 @@ from . import (
     fig8_ccr,
     online,
     parallel,
+    service,
     tables,
 )
 from .common import (
@@ -46,6 +50,7 @@ __all__ = [
     "online",
     "parallel",
     "run_sweep",
+    "service",
     "tables",
     "PAPER_STRATEGIES",
     "STRATEGIES",

@@ -25,6 +25,14 @@ replay rows carry ``load=None`` and every budget column plays the
 identical saved events.  Each point also reports the robustness metrics
 (period p50/p99, QoS violation rate, degraded fraction, shed and retry
 counts) of its :class:`~repro.runtime.report.RuntimeReport`.
+
+``checkpoint_every=N`` runs every point through a
+:class:`~repro.runtime.checkpoint.DurableScheduler`: per-point journal
+and checkpoint files land in ``checkpoint_dir`` (named after the point,
+e.g. ``load2-budget4.journal.jsonl``), a checkpoint every N events —
+so an interrupted sweep point can be recovered and replayed
+(:meth:`~repro.runtime.checkpoint.DurableScheduler.recover`) to the
+exact report the uninterrupted point produces.
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..errors import ExperimentError
 from ..obs import metrics as _metrics
 from ..platform.cell import CellPlatform
+from ..runtime.checkpoint import DurableScheduler
 from ..runtime.faults import timeline_dumps, timeline_loads
 from ..runtime.scenario import ScenarioGenerator
 from ..runtime.scheduler import SHED_POLICIES, OnlineScheduler
@@ -192,6 +201,19 @@ def online_point(spec) -> OnlinePoint:
         retry_backoff=spec.get("retry_backoff", 8.0),
         brownout_threshold=spec.get("brownout_threshold", 0.0),
     )
+    runner = scheduler
+    checkpoint_every = spec.get("checkpoint_every", 0)
+    if checkpoint_every:
+        label = (
+            "replay" if load is None else f"load{load:g}".replace(".", "p")
+        ) + f"-budget{budget}"
+        stem = Path(spec["checkpoint_dir"]) / label
+        runner = DurableScheduler(
+            scheduler,
+            str(stem) + ".journal.jsonl",
+            checkpoint_path=str(stem) + ".checkpoint.json",
+            checkpoint_every=checkpoint_every,
+        )
     # Telemetry sidecars (None unless a metrics registry is active —
     # e.g. under run_sweep_telemetry or REPRO_METRICS=1).  Counter
     # deltas around the run make the rate per-point even when one
@@ -206,7 +228,11 @@ def online_point(spec) -> OnlinePoint:
             + reg.counters.get("bulk_changes", 0)
         )
         t0 = perf_counter()
-    report = scheduler.run(events)
+    if runner is scheduler:
+        report = scheduler.run(events)
+    else:
+        with runner:
+            report = runner.run(events)
     if reg is not None:
         wall = perf_counter() - t0
         scored = (
@@ -255,6 +281,8 @@ def run(
     brownout_threshold: float = 0.0,
     metrics: bool = False,
     trace: bool = False,
+    checkpoint_every: int = 0,
+    checkpoint_dir: Optional[str] = None,
 ) -> OnlineResult:
     """Sweep scenarios over offered loads and migration budgets.
 
@@ -269,6 +297,12 @@ def run(
     gains scored-candidates/sec and mean-admission-latency columns.
     Telemetry is passive — the scheduling decisions, and therefore the
     comparable fields of every point, are identical with it on or off.
+
+    ``checkpoint_every=N`` (with ``checkpoint_dir``) makes every point
+    durable: a per-point journal plus a checkpoint every N events (see
+    the module docstring).  Durability is write-only bookkeeping — it
+    changes no scheduling decision, so results are identical with it on
+    or off.
     """
     if timeline is None:
         if not loads:
@@ -305,6 +339,18 @@ def run(
             f"unknown shed_policy {shed_policy!r}; "
             f"pick from {', '.join(SHED_POLICIES)}"
         )
+    if checkpoint_every < 0:
+        raise ExperimentError(
+            f"checkpoint_every must be non-negative (got {checkpoint_every!r})"
+        )
+    if checkpoint_every and checkpoint_dir is None:
+        raise ExperimentError(
+            "checkpoint_every needs checkpoint_dir (where the per-point "
+            "journal/checkpoint files go)"
+        )
+    if checkpoint_dir is not None:
+        # Created up front: sweep workers race otherwise.
+        Path(checkpoint_dir).mkdir(parents=True, exist_ok=True)
     platform = base_platform or CellPlatform.qs22()
     knobs = dict(
         objective=objective,
@@ -313,6 +359,11 @@ def run(
         retry_backoff=retry_backoff,
         brownout_threshold=brownout_threshold,
     )
+    if checkpoint_every:
+        knobs.update(
+            checkpoint_every=int(checkpoint_every),
+            checkpoint_dir=str(checkpoint_dir),
+        )
 
     specs = []
     if timeline is not None:
@@ -367,6 +418,8 @@ def main(
     timeline: Optional[Sequence] = None,
     metrics: Optional[str] = None,
     trace: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> OnlineResult:
     """CLI entry: print the deterministic acceptance/period table.
 
@@ -414,8 +467,15 @@ def main(
         timeline=timeline,
         metrics=metrics is not None,
         trace=trace is not None,
+        checkpoint_every=checkpoint_every if checkpoint_every is not None else 0,
+        checkpoint_dir=checkpoint_dir,
     )
     print(result.table())
+    if checkpoint_every:
+        print(
+            f"per-point journals and checkpoints "
+            f"(every {checkpoint_every} events) written to {checkpoint_dir}"
+        )
     if metrics is not None:
         Path(metrics).write_text(
             json.dumps(result.metrics, indent=2, sort_keys=True) + "\n"

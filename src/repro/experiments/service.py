@@ -1,0 +1,295 @@
+"""Service experiment: admission batching × migration budget vs latency.
+
+The serving-loop companion of :mod:`repro.experiments.online`: each
+point boots a :class:`~repro.runtime.service.SchedulerService` around a
+fresh :class:`~repro.runtime.scheduler.OnlineScheduler`, replays a
+seeded scenario through the async load driver
+(:func:`repro.runtime.service.play`), and reads the p50/p99 admission
+latency off the :mod:`repro.obs` histograms plus the admissions/sec
+wall rate.  The grid is **admission batch** (requests drained per
+serving-loop iteration) × **migration budget**; the scenario seed
+derives from ``(seed, load, n_events)`` only, so every grid point
+replays the identical timeline — the batch/budget axes are isolated.
+
+Every point runs under :func:`repro.experiments.parallel.
+run_sweep_telemetry` (a fresh metrics registry per point), because the
+latency columns *are* the telemetry.  The queue is sized to the
+timeline (no shedding, no deadlines), so the scheduler sees every event
+exactly as an offline run would: the comparable fields of a point —
+acceptance, periods, feasibility — are deterministic and identical for
+any ``jobs`` value, while the latency/throughput columns are
+wall-clock sidecars (``compare=False``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ExperimentError
+from ..obs import metrics as _metrics
+from ..platform.cell import CellPlatform
+from ..runtime.scenario import ScenarioGenerator
+from ..runtime.scheduler import OnlineScheduler
+from ..runtime.service import SchedulerService, play
+from ..steady_state.objective import OBJECTIVES
+from .common import kernel_note
+from .parallel import point_seed, run_sweep_telemetry
+
+__all__ = [
+    "DEFAULT_BATCHES",
+    "DEFAULT_BUDGETS",
+    "DEFAULT_EVENTS",
+    "DEFAULT_LOAD",
+    "ServicePoint",
+    "ServiceResult",
+    "service_point",
+    "run",
+    "main",
+]
+
+#: Admission batch sizes swept by default: per-request, paired, bulk.
+DEFAULT_BATCHES: Tuple[int, ...] = (1, 2, 8)
+
+#: Migration budgets swept by default (mirrors the online sweep).
+DEFAULT_BUDGETS: Tuple[int, ...] = (0, 2, 6)
+
+#: Timeline length per scenario.
+DEFAULT_EVENTS: int = 24
+
+#: Offered load of the shared scenario (over-subscribed: admission
+#: control is exercised, some arrivals are rejected).
+DEFAULT_LOAD: float = 2.0
+
+
+@dataclass(frozen=True)
+class ServicePoint:
+    """One (admission batch, migration budget) point of the sweep."""
+
+    batch: int
+    budget: int
+    n_requests: int
+    processed: int
+    rejected: int  # service-level rejections (0 with the sized queue)
+    arrivals: int
+    accepted: int
+    acceptance_rate: float
+    mean_period: float
+    all_feasible: bool
+    batches: int
+    #: Wall-clock sidecars (``compare=False``): admission-latency
+    #: quantiles from the obs histogram and the admissions/sec rate.
+    p50_admission_ms: Optional[float] = field(default=None, compare=False)
+    p99_admission_ms: Optional[float] = field(default=None, compare=False)
+    admissions_per_sec: Optional[float] = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """The latency/throughput table of one service sweep."""
+
+    objective: str
+    load: float
+    n_events: int
+    points: List[ServicePoint]
+    metrics: Optional[Dict] = field(default=None, compare=False)
+
+    def table(self) -> str:
+        rows = [
+            "Scheduler service — admission latency vs batch size and "
+            f"migration budget [objective: {self.objective}, "
+            f"load {self.load:g}, {self.n_events} events/scenario]"
+            + kernel_note(),
+            "   batch  budget  processed  accepted    rate  mean period"
+            "  p50 ms  p99 ms    adm/s",
+        ]
+        for p in sorted(self.points, key=lambda p: (p.batch, p.budget)):
+            flag = "" if p.all_feasible else "  !! infeasible state"
+            rows.append(
+                f"  {p.batch:6d}  {p.budget:6d}  "
+                f"{p.processed:4d}/{p.n_requests:<4d}  "
+                f"{p.accepted:3d}/{p.arrivals:<4d}  "
+                f"{100.0 * p.acceptance_rate:5.1f}%  {p.mean_period:11.2f}"
+                f"  {p.p50_admission_ms or 0.0:6.2f}"
+                f"  {p.p99_admission_ms or 0.0:6.2f}"
+                f"  {p.admissions_per_sec or 0.0:7.0f}{flag}"
+            )
+        return "\n".join(rows)
+
+
+# ---------------------------------------------------------------------- #
+# Sweep worker (top-level: pickles by reference into pool workers)
+
+
+async def _drive(spec, events) -> Tuple:
+    service = SchedulerService(
+        OnlineScheduler(
+            spec["platform"],
+            objective=spec["objective"],
+            migration_budget=spec["budget"],
+            retry_limit=spec.get("retry_limit", 0),
+            retry_backoff=spec.get("retry_backoff", 8.0),
+        ),
+        admission_batch=spec["batch"],
+        # Sized to the whole timeline: no shedding, no deadline — the
+        # scheduler sees every event, exactly like an offline run.
+        max_queue=len(events) + 1,
+        high_watermark=len(events) + 1,
+    )
+    await service.start()
+    responses = await play(service, events)
+    report = await service.stop()
+    return responses, report, service.stats()
+
+
+def service_point(spec) -> ServicePoint:
+    """Boot a service, replay one seeded scenario, measure latency."""
+    platform = spec["platform"]
+    generator = ScenarioGenerator(
+        platform,
+        seed=spec["seed"],
+        load=spec["load"],
+        n_failures=spec["n_failures"],
+    )
+    events = generator.generate(spec["n_events"])
+    t0 = perf_counter()
+    responses, report, stats = asyncio.run(_drive(spec, events))
+    wall = perf_counter() - t0
+    p50 = p99 = rate = None
+    reg = _metrics.REGISTRY
+    if reg is not None:
+        hist = reg.histograms.get("admission_latency")
+        if hist is not None and hist.count:
+            p50 = 1e3 * hist.quantile(0.5)
+            p99 = 1e3 * hist.quantile(0.99)
+        if wall > 0.0:
+            rate = report.n_arrivals / wall
+    return ServicePoint(
+        batch=spec["batch"],
+        budget=spec["budget"],
+        n_requests=len(events),
+        processed=stats["processed"],
+        rejected=len([r for r in responses if r.status == "rejected"]),
+        arrivals=report.n_arrivals,
+        accepted=report.n_accepted,
+        acceptance_rate=report.acceptance_rate,
+        mean_period=report.mean_period,
+        all_feasible=report.all_feasible,
+        batches=stats["batches"],
+        p50_admission_ms=p50,
+        p99_admission_ms=p99,
+        admissions_per_sec=rate,
+    )
+
+
+def run(
+    batches: Sequence[int] = DEFAULT_BATCHES,
+    budgets: Sequence[int] = DEFAULT_BUDGETS,
+    load: float = DEFAULT_LOAD,
+    n_events: int = DEFAULT_EVENTS,
+    objective: str = "period",
+    base_platform: Optional[CellPlatform] = None,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    n_failures: int = 1,
+    metrics: bool = False,
+) -> ServiceResult:
+    """Sweep the service over admission batches and migration budgets.
+
+    Telemetry always runs (fresh registry per point — the latency
+    columns come from the obs histograms); ``metrics=True`` additionally
+    attaches the merged cross-worker snapshot to the result.
+    """
+    if not batches:
+        raise ExperimentError("no batches given; want positive integers")
+    if any(batch < 1 for batch in batches):
+        raise ExperimentError(
+            f"batches must be >= 1 (got {tuple(batches)!r})"
+        )
+    if not budgets:
+        raise ExperimentError("no budgets given; want non-negative integers")
+    if any(budget < 0 for budget in budgets):
+        raise ExperimentError(
+            f"budgets must be non-negative (got {tuple(budgets)!r})"
+        )
+    if load <= 0:
+        raise ExperimentError(f"load must be positive (got {load!r})")
+    if n_events < 2:
+        raise ExperimentError(
+            f"n_events must be at least 2 (got {n_events!r})"
+        )
+    if n_failures < 0:
+        raise ExperimentError(
+            f"n_failures must be non-negative (got {n_failures!r})"
+        )
+    if objective not in OBJECTIVES:
+        raise ExperimentError(
+            f"unknown objective {objective!r}; "
+            f"pick from {', '.join(OBJECTIVES)}"
+        )
+    platform = base_platform or CellPlatform.qs22()
+    # Batch/budget-independent scenario seed: the whole grid replays
+    # the identical timeline, isolating the batch/budget axes.
+    scenario_seed = point_seed("service", seed, load, n_events)
+    specs = [
+        dict(
+            platform=platform,
+            batch=batch,
+            budget=budget,
+            load=load,
+            n_events=n_events,
+            seed=scenario_seed,
+            n_failures=n_failures,
+            objective=objective,
+        )
+        for batch in batches
+        for budget in budgets
+    ]
+    points, merged, _ = run_sweep_telemetry(service_point, specs, jobs=jobs)
+    return ServiceResult(
+        objective=objective,
+        load=load,
+        n_events=n_events,
+        points=list(points),
+        metrics=merged.snapshot() if metrics else None,
+    )
+
+
+def main(
+    batches: Optional[Sequence[int]] = None,
+    budgets: Optional[Sequence[int]] = None,
+    load: Optional[float] = None,
+    n_events: Optional[int] = None,
+    objective: str = "period",
+    seed: Optional[int] = None,
+    jobs: Optional[int] = None,
+    n_failures: Optional[int] = None,
+    metrics: Optional[str] = None,
+) -> ServiceResult:
+    """CLI entry: print the service latency/throughput table.
+
+    ``metrics`` is an output path for the merged cross-worker metrics
+    snapshot (JSON), exactly like the online experiment's flag.
+    """
+    result = run(
+        batches=tuple(batches) if batches is not None else DEFAULT_BATCHES,
+        budgets=tuple(budgets) if budgets is not None else DEFAULT_BUDGETS,
+        load=load if load is not None else DEFAULT_LOAD,
+        n_events=n_events if n_events is not None else DEFAULT_EVENTS,
+        objective=objective,
+        seed=seed if seed is not None else 0,
+        jobs=jobs,
+        n_failures=n_failures if n_failures is not None else 1,
+        metrics=metrics is not None,
+    )
+    print(result.table())
+    if metrics is not None:
+        Path(metrics).write_text(
+            json.dumps(result.metrics, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"merged metrics written to {metrics}")
+    return result

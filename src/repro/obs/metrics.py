@@ -111,6 +111,34 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile by interpolation inside buckets.
+
+        The estimate interpolates linearly within the bucket holding
+        the ``q``-th sample (bucket lower bound → upper bound), then
+        clamps to the exact ``min``/``max`` sidecars so the extremes
+        never overshoot the observed range.  0.0 for an empty
+        histogram.  This is the service experiment's p50/p99 source —
+        deterministic given the bucket counts, which are themselves
+        deterministic only for deterministic workloads (latency buckets
+        are wall-clock).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be within [0, 1] (got {q!r})")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for i, bound in enumerate(self.buckets):
+            if self.counts[i] and cumulative + self.counts[i] >= rank:
+                fraction = (rank - cumulative) / self.counts[i]
+                value = lower + fraction * (bound - lower)
+                return min(max(value, self.min), self.max)
+            cumulative += self.counts[i]
+            lower = bound
+        return self.max
+
     def to_dict(self) -> Dict:
         return {
             "buckets": list(self.buckets),

@@ -24,10 +24,20 @@ fail and recover, and costs drift:
 * :mod:`~repro.runtime.report` — :class:`RuntimeReport`: the
   JSON-round-trippable per-event audit trail, its aggregate metrics and
   the robustness metrics (period quantiles, QoS violation rate,
-  time-in-degraded-mode, availability, shed/retry counts).
+  time-in-degraded-mode, availability, shed/retry counts);
+* :mod:`~repro.runtime.journal` — :class:`EventJournal`: the fsync'd
+  JSONL write-ahead journal of committed events, with torn-tail repair;
+* :mod:`~repro.runtime.checkpoint` — :class:`DurableScheduler` and the
+  atomic checkpoint files: kill at any committed-event boundary,
+  recover, replay the journal, and the report is bit-identical;
+* :mod:`~repro.runtime.service` — :class:`SchedulerService`: the
+  long-running asyncio serving loop with bounded queueing, watermark
+  backpressure, per-request deadlines, admission batching and the
+  ``/stats`` endpoint.
 
-The experiment driver lives in :mod:`repro.experiments.online`
-(``repro-experiment online`` on the command line).
+The experiment drivers live in :mod:`repro.experiments.online` and
+:mod:`repro.experiments.service` (``repro-experiment online|service``
+and ``repro-serve`` on the command line).
 """
 
 from .events import (
@@ -40,8 +50,16 @@ from .events import (
     SpeRecovery,
     validate_timeline,
 )
+from .checkpoint import (
+    DurableScheduler,
+    read_checkpoint,
+    scheduler_from_config,
+    write_checkpoint,
+)
 from .faults import (
     FaultInjector,
+    event_from_dict,
+    event_to_dict,
     load_timeline,
     save_timeline,
     timeline_dumps,
@@ -49,9 +67,11 @@ from .faults import (
     timeline_loads,
     timeline_to_dict,
 )
+from .journal import EventJournal
 from .report import EventRecord, RuntimeReport
 from .scenario import DEFAULT_BUILDERS, ScenarioGenerator, solo_period_bound
 from .scheduler import SHED_POLICIES, OnlineScheduler
+from .service import SchedulerService, ServiceResponse, play
 
 __all__ = [
     "AppArrival",
@@ -63,6 +83,8 @@ __all__ = [
     "SpeRecovery",
     "validate_timeline",
     "FaultInjector",
+    "event_to_dict",
+    "event_from_dict",
     "timeline_to_dict",
     "timeline_from_dict",
     "timeline_dumps",
@@ -76,4 +98,12 @@ __all__ = [
     "solo_period_bound",
     "SHED_POLICIES",
     "OnlineScheduler",
+    "EventJournal",
+    "DurableScheduler",
+    "write_checkpoint",
+    "read_checkpoint",
+    "scheduler_from_config",
+    "SchedulerService",
+    "ServiceResponse",
+    "play",
 ]

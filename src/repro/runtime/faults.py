@@ -62,8 +62,24 @@ The runtime's notion of time obeys five rules; the chaos harness
    translating or uniformly stretching every timestamp (and retry
    backoff) changes no admission, placement, shedding or brownout
    decision — only the timestamps and duration-weighted aggregates.
-   The only time-*derived* decisions are deferred-retry due times,
-   which stretch along with the timeline.
+
+   *The retry due-time carve-out* — the one time-derived decision in
+   the runtime.  A rejected arrival's ``k``-th retry (1-based) fires at
+
+       ``due = rejection_time + retry_backoff · 2^(k-1)``
+
+   so due times are *absolute* timestamps computed from the backoff
+   knob, not from event order.  Stretching the timeline by ``s``
+   **without** scaling ``retry_backoff`` therefore moves each retry
+   relative to the surrounding events (a retry that used to fire
+   before the next arrival may now fire after it), which can change
+   the decision sequence itself — dt-invariance holds only when the
+   backoff is stretched along with the timestamps, in which case every
+   due time scales exactly (``s·t + (s·b)·2^(k-1) = s·(t + b·2^(k-1))``,
+   exact in floats for power-of-two ``s``).
+   ``tests/test_chaos.py::TestRetryDueTimeCarveOut`` pins both halves:
+   the due-time formula itself, and scaled-backoff equivariance versus
+   unscaled-backoff divergence.
 5. **Pairing.**  ``SpeFailure``/``SpeRecovery`` and
    ``CostPerturbation``/``CostRestore`` come in ordered pairs: an SPE
    fails only while up and recovers only while down; perturbation
@@ -94,6 +110,8 @@ from .events import (
 
 __all__ = [
     "FaultInjector",
+    "event_to_dict",
+    "event_from_dict",
     "timeline_to_dict",
     "timeline_from_dict",
     "timeline_dumps",
@@ -329,91 +347,94 @@ class FaultInjector:
 # JSON timeline save/replay
 
 
+def event_to_dict(event: Event) -> Dict[str, Any]:
+    """JSON-serialisable form of one event (arrival graphs embedded).
+
+    The per-record unit the write-ahead journal
+    (:mod:`repro.runtime.journal`) appends; :func:`timeline_to_dict` is
+    this over a whole validated timeline.
+    """
+    if isinstance(event, AppArrival):
+        return {
+            "type": "arrival",
+            "time": event.time,
+            "name": event.name,
+            "graph": graph_io.to_dict(event.graph),
+            "weight": event.weight,
+            "target_period": event.target_period,
+            "app_kind": event.app_kind,
+        }
+    if isinstance(event, AppDeparture):
+        return {"type": "departure", "time": event.time, "name": event.name}
+    if isinstance(event, SpeFailure):
+        return {"type": "failure", "time": event.time, "spe": event.spe}
+    if isinstance(event, SpeRecovery):
+        return {"type": "recovery", "time": event.time, "spe": event.spe}
+    if isinstance(event, CostPerturbation):
+        return {
+            "type": "perturb",
+            "time": event.time,
+            "compute_scale": event.compute_scale,
+            "bw_scale": event.bw_scale,
+        }
+    if isinstance(event, CostRestore):
+        return {"type": "restore", "time": event.time}
+    raise OnlineSchedulingError(f"unknown event {event!r}")
+
+
+def event_from_dict(entry: Dict[str, Any]) -> Event:
+    """Rebuild one event from :func:`event_to_dict` output."""
+    try:
+        kind = entry["type"]
+        time = float(entry["time"])
+        if kind == "arrival":
+            return AppArrival(
+                time=time,
+                name=str(entry["name"]),
+                graph=graph_io.from_dict(entry["graph"]),
+                weight=float(entry.get("weight", 1.0)),
+                target_period=(
+                    None
+                    if entry.get("target_period") is None
+                    else float(entry["target_period"])
+                ),
+                app_kind=str(entry.get("app_kind", "")),
+            )
+        if kind == "departure":
+            return AppDeparture(time=time, name=str(entry["name"]))
+        if kind == "failure":
+            return SpeFailure(time=time, spe=int(entry["spe"]))
+        if kind == "recovery":
+            return SpeRecovery(time=time, spe=int(entry["spe"]))
+        if kind == "perturb":
+            return CostPerturbation(
+                time=time,
+                compute_scale=float(entry.get("compute_scale", 1.0)),
+                bw_scale=float(entry.get("bw_scale", 1.0)),
+            )
+        if kind == "restore":
+            return CostRestore(time=time)
+        raise OnlineSchedulingError(f"unknown timeline event type {kind!r}")
+    except OnlineSchedulingError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise OnlineSchedulingError(
+            f"malformed timeline event payload: {exc}"
+        ) from exc
+
+
 def timeline_to_dict(events: Sequence[Event]) -> Dict[str, Any]:
     """JSON-serialisable form of a timeline (arrival graphs embedded)."""
-    payload: List[Dict[str, Any]] = []
-    for event in validate_timeline(events):
-        if isinstance(event, AppArrival):
-            payload.append(
-                {
-                    "type": "arrival",
-                    "time": event.time,
-                    "name": event.name,
-                    "graph": graph_io.to_dict(event.graph),
-                    "weight": event.weight,
-                    "target_period": event.target_period,
-                    "app_kind": event.app_kind,
-                }
-            )
-        elif isinstance(event, AppDeparture):
-            payload.append(
-                {"type": "departure", "time": event.time, "name": event.name}
-            )
-        elif isinstance(event, SpeFailure):
-            payload.append(
-                {"type": "failure", "time": event.time, "spe": event.spe}
-            )
-        elif isinstance(event, SpeRecovery):
-            payload.append(
-                {"type": "recovery", "time": event.time, "spe": event.spe}
-            )
-        elif isinstance(event, CostPerturbation):
-            payload.append(
-                {
-                    "type": "perturb",
-                    "time": event.time,
-                    "compute_scale": event.compute_scale,
-                    "bw_scale": event.bw_scale,
-                }
-            )
-        else:  # CostRestore — validate_timeline admits nothing else
-            payload.append({"type": "restore", "time": event.time})
-    return {"schema": _SCHEMA_VERSION, "events": payload}
+    return {
+        "schema": _SCHEMA_VERSION,
+        "events": [event_to_dict(e) for e in validate_timeline(events)],
+    }
 
 
 def timeline_from_dict(payload: Dict[str, Any]) -> List[Event]:
     """Rebuild a validated timeline from :func:`timeline_to_dict` output."""
     try:
-        entries = payload["events"]
-        events: List[Event] = []
-        for entry in entries:
-            kind = entry["type"]
-            time = float(entry["time"])
-            if kind == "arrival":
-                events.append(
-                    AppArrival(
-                        time=time,
-                        name=str(entry["name"]),
-                        graph=graph_io.from_dict(entry["graph"]),
-                        weight=float(entry.get("weight", 1.0)),
-                        target_period=(
-                            None
-                            if entry.get("target_period") is None
-                            else float(entry["target_period"])
-                        ),
-                        app_kind=str(entry.get("app_kind", "")),
-                    )
-                )
-            elif kind == "departure":
-                events.append(AppDeparture(time=time, name=str(entry["name"])))
-            elif kind == "failure":
-                events.append(SpeFailure(time=time, spe=int(entry["spe"])))
-            elif kind == "recovery":
-                events.append(SpeRecovery(time=time, spe=int(entry["spe"])))
-            elif kind == "perturb":
-                events.append(
-                    CostPerturbation(
-                        time=time,
-                        compute_scale=float(entry.get("compute_scale", 1.0)),
-                        bw_scale=float(entry.get("bw_scale", 1.0)),
-                    )
-                )
-            elif kind == "restore":
-                events.append(CostRestore(time=time))
-            else:
-                raise OnlineSchedulingError(
-                    f"unknown timeline event type {kind!r}"
-                )
+        events = [event_from_dict(entry) for entry in payload["events"]]
     except OnlineSchedulingError:
         raise
     except (KeyError, TypeError, ValueError) as exc:

@@ -82,11 +82,17 @@ from __future__ import annotations
 
 import logging
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..errors import MappingError, ObjectiveError, OnlineSchedulingError
+from ..errors import (
+    MappingError,
+    ObjectiveError,
+    OnlineSchedulingError,
+    ReproError,
+)
+from ..graph import io as graph_io
 from ..obs import metrics as _metrics
 from ..obs import tracing as _tracing
 from ..obs.logging import get_logger
@@ -112,7 +118,10 @@ from .events import (
 from .report import EventRecord, RuntimeReport
 from .scenario import solo_period_bound
 
-__all__ = ["OnlineScheduler", "SHED_POLICIES"]
+__all__ = ["OnlineScheduler", "SHED_POLICIES", "STATE_SCHEMA"]
+
+#: Schema version of :meth:`OnlineScheduler.snapshot_state` payloads.
+STATE_SCHEMA = 1
 
 _LOG = get_logger("runtime")
 
@@ -533,6 +542,217 @@ class OnlineScheduler:
             records=list(self._records),
             kernel_backend=self.kernel_backend,
         )
+
+    # ------------------------------------------------------------------ #
+    # Durability: state capture / restore (the checkpoint layer's hooks)
+
+    def config(self) -> Dict:
+        """The constructor configuration as a JSON-able dict.
+
+        Everything a fresh, equivalent scheduler needs — the *base*
+        (unperturbed) platform's full field set, the objective, budget,
+        buffer-model flags and degradation knobs.  Evaluation-engine
+        choices (``use_delta``/``backend``) are deliberately excluded:
+        they never influence a decision (backend interchangeability is a
+        repo invariant), so recovery is free to pick any engine.
+        """
+        base = (
+            self._perturbation.base_platform
+            if self._perturbation is not None
+            else self.platform
+        )
+        return {
+            "platform": asdict(base),
+            "objective": self.objective,
+            "migration_budget": self.migration_budget,
+            "elide_local_comm": self.elide_local_comm,
+            "merge_same_pe_buffers": self.merge_same_pe_buffers,
+            "name": self.workload.name,
+            "shed_policy": self.shed_policy,
+            "retry_limit": self.retry_limit,
+            "retry_backoff": self.retry_backoff,
+            "brownout_threshold": self.brownout_threshold,
+        }
+
+    def snapshot_state(self) -> Dict:
+        """JSON-able capture of every committed decision input.
+
+        The payload holds the clock, the resident workload with its
+        graphs (inside a perturbation window these are the *scaled*
+        copies — what the next decision actually sees), the committed
+        assignment, the failed-SPE set, the brownout flag, the
+        deferred-admission retry queue, the open perturbation window
+        (parameters plus the saved original graphs), and the full record
+        history.  ``json.dump`` round-trips floats exactly (repr-based),
+        so :meth:`restore_state` on the parsed payload reproduces the
+        committed state bit for bit — the checkpoint/recovery
+        equivalence the chaos harness asserts.
+        """
+        perturbation = None
+        if self._perturbation is not None:
+            perturbation = {
+                "time": self._perturbation.event.time,
+                "compute_scale": self._perturbation.event.compute_scale,
+                "bw_scale": self._perturbation.event.bw_scale,
+                "saved": [
+                    {"name": name, "graph": graph_io.to_dict(graph)}
+                    for name, graph in self._perturbation.saved.items()
+                ],
+            }
+        return {
+            "schema": STATE_SCHEMA,
+            "time": self._time,
+            "apps": [
+                {
+                    "name": app.name,
+                    "graph": graph_io.to_dict(app.graph),
+                    "weight": app.weight,
+                    "target_period": app.target_period,
+                }
+                for app in self.workload
+            ],
+            "assignment": dict(self._assign),
+            "failed_spes": sorted(self._failed),
+            "degraded": self._degraded,
+            "retry_seq": self._retry_seq,
+            "pending": [
+                {
+                    "due": p.due,
+                    "seq": p.seq,
+                    "attempt": p.attempt,
+                    "arrival": {
+                        "time": p.event.time,
+                        "name": p.event.name,
+                        "graph": graph_io.to_dict(p.event.graph),
+                        "weight": p.event.weight,
+                        "target_period": p.event.target_period,
+                        "app_kind": p.event.app_kind,
+                    },
+                }
+                for p in self._pending
+            ],
+            "perturbation": perturbation,
+            "records": [r.to_dict() for r in self._records],
+        }
+
+    def restore_state(self, payload: Dict) -> None:
+        """Reinstate a :meth:`snapshot_state` capture on this scheduler.
+
+        The scheduler must have been constructed with the same
+        configuration the capture was taken under (see :meth:`config`);
+        any prior state on this instance is discarded.  Inside a
+        restored perturbation window the scaled platform is recomputed
+        from the base platform with the same float operations the live
+        path used — bit-identical, because float multiplication is
+        deterministic — and the saved original graphs are reinstated so
+        a later :class:`CostRestore` is exact.
+        """
+        if payload.get("schema") != STATE_SCHEMA:
+            raise OnlineSchedulingError(
+                f"unsupported scheduler state schema "
+                f"{payload.get('schema')!r} (this build reads "
+                f"{STATE_SCHEMA})"
+            )
+        base = (
+            self._perturbation.base_platform
+            if self._perturbation is not None
+            else self.platform
+        )
+        try:
+            workload = Workload(self.workload.name)
+            for spec in payload["apps"]:
+                workload.add_app(
+                    str(spec["name"]),
+                    graph_io.from_dict(spec["graph"]),
+                    weight=float(spec["weight"]),
+                    target_period=(
+                        None
+                        if spec["target_period"] is None
+                        else float(spec["target_period"])
+                    ),
+                )
+            pending = [
+                _PendingRetry(
+                    due=float(spec["due"]),
+                    seq=int(spec["seq"]),
+                    attempt=int(spec["attempt"]),
+                    event=AppArrival(
+                        time=float(spec["arrival"]["time"]),
+                        name=str(spec["arrival"]["name"]),
+                        graph=graph_io.from_dict(spec["arrival"]["graph"]),
+                        weight=float(spec["arrival"]["weight"]),
+                        target_period=(
+                            None
+                            if spec["arrival"]["target_period"] is None
+                            else float(spec["arrival"]["target_period"])
+                        ),
+                        app_kind=str(spec["arrival"]["app_kind"]),
+                    ),
+                )
+                for spec in payload["pending"]
+            ]
+            records = [EventRecord.from_dict(r) for r in payload["records"]]
+            assignment = {
+                str(task): int(pe)
+                for task, pe in payload["assignment"].items()
+            }
+            failed = {int(spe) for spe in payload["failed_spes"]}
+            degraded = bool(payload["degraded"])
+            retry_seq = int(payload["retry_seq"])
+            time = float(payload["time"])
+            pert_spec = payload["perturbation"]
+            perturbation = None
+            if pert_spec is not None:
+                perturbation = _ActivePerturbation(
+                    event=CostPerturbation(
+                        time=float(pert_spec["time"]),
+                        compute_scale=float(pert_spec["compute_scale"]),
+                        bw_scale=float(pert_spec["bw_scale"]),
+                    ),
+                    base_platform=base,
+                    saved={
+                        str(entry["name"]): graph_io.from_dict(entry["graph"])
+                        for entry in pert_spec["saved"]
+                    },
+                )
+        except OnlineSchedulingError:
+            raise
+        except (KeyError, TypeError, ValueError, ReproError) as exc:
+            raise OnlineSchedulingError(
+                f"malformed scheduler state payload: {exc}"
+            ) from exc
+        for spe in failed:
+            if not 0 <= spe < base.n_pes or not base.is_spe(spe):
+                raise OnlineSchedulingError(
+                    f"state payload fails PE {spe!r}, which is not an SPE "
+                    f"of {base.name}"
+                )
+        self.workload = workload
+        self._failed = failed
+        self._degraded = degraded
+        self._retry_seq = retry_seq
+        self._pending = pending
+        self._records = records
+        self._time = time
+        self._perturbation = perturbation
+        if perturbation is None:
+            self.platform = base
+        else:
+            event = perturbation.event
+            self.platform = replace(
+                base,
+                bw=base.bw * event.bw_scale,
+                eib_bw=base.eib_bw * event.bw_scale,
+                bif_bw=base.bif_bw * event.bw_scale,
+            )
+        self._t0 = None
+        try:
+            state = self._rebuild(assignment)
+        except KeyError as exc:
+            raise OnlineSchedulingError(
+                f"state payload assignment is missing task {exc}"
+            ) from None
+        self._commit(state)
 
     # ------------------------------------------------------------------ #
     # Event consumption

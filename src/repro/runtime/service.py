@@ -1,0 +1,549 @@
+"""Long-running asyncio scheduler service: the ROADMAP serving loop.
+
+:class:`SchedulerService` wraps an
+:class:`~repro.runtime.scheduler.OnlineScheduler` behind an async
+submit/response surface with explicit overload protection, optional
+durability, and a stats endpoint:
+
+* **Bounded queue + backpressure.**  Requests beyond ``max_queue`` are
+  rejected outright (``"queue-full"``); crossing the high watermark
+  flips the service into *shedding* mode, where new submissions are
+  rejected (``"backpressure"``) until the queue drains below the low
+  watermark — hysteresis, so overload sheds in runs instead of
+  flapping per request.
+* **Per-request deadlines.**  A request whose deadline passes — still
+  queued or not — resolves with ``"deadline-exceeded"`` at the deadline
+  instead of hanging; nothing ever blocks past its timeout.
+* **Admission batching.**  The serving loop drains up to
+  ``admission_batch`` requests per iteration, yielding to the event
+  loop between batches — batching amortises loop overhead, the yield
+  keeps the loop responsive (and lets deadline timers fire).
+* **Durability.**  With ``journal_path`` set, events run through a
+  :class:`~repro.runtime.checkpoint.DurableScheduler`: each committed
+  event is journaled (fsync before the response resolves) and
+  checkpointed every ``checkpoint_every`` events, so a killed service
+  recovers to the exact committed state (see
+  :meth:`~repro.runtime.checkpoint.DurableScheduler.recover`).
+* **Observability.**  :meth:`stats` is always live (plain counters);
+  when the :mod:`repro.obs` registry is enabled the service also feeds
+  it (``service.*`` counters, queue-depth gauge, ``service_latency``
+  histogram) on top of the scheduler's own admission metrics.
+  :meth:`serve_stats` exports everything over a minimal HTTP endpoint
+  (``/stats``, ``/metrics``, ``/healthz``) with no extra dependencies.
+
+Scheduler-level rejections (infeasible, target-missed, duplicate-name)
+are *successful* service responses — ``status="ok"`` with the record
+carrying the admission verdict.  ``status="rejected"`` is reserved for
+the overload path (the request never reached the scheduler), and
+``status="error"`` for requests the scheduler refused as inconsistent
+(e.g. out-of-time-order events); neither is journaled.
+
+Retry-with-backoff for rejected admissions is the scheduler's own PR 6
+deferred-admission machinery (``retry_limit``/``retry_backoff`` on the
+wrapped scheduler) — the service adds nothing on top, it just keeps the
+event clock moving so due retries fire.
+
+:func:`play` is the canonical load driver (experiments, benchmarks,
+CLI): it submits a timeline in order, interleaving with the serving
+loop, and returns every response — offline equivalence (service run ==
+``scheduler.run(events)``) holds whenever nothing is shed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import OnlineSchedulingError, ServiceError
+from ..obs import metrics as _metrics
+from ..obs.logging import get_logger
+from .checkpoint import DurableScheduler
+from .events import Event
+from .report import EventRecord, RuntimeReport
+from .scheduler import OnlineScheduler
+
+__all__ = ["SchedulerService", "ServiceResponse", "play"]
+
+_LOG = get_logger("service")
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """Outcome of one submitted event.
+
+    ``status`` is ``"ok"`` (the scheduler processed the event — the
+    record carries the admission verdict), ``"rejected"`` (overload
+    protection turned the request away: ``reason`` is ``"queue-full"``,
+    ``"backpressure"``, ``"deadline-exceeded"`` or ``"shutdown"``), or
+    ``"error"`` (the scheduler refused the event as inconsistent).
+    ``latency`` is wall-clock seconds from submission to resolution —
+    telemetry, excluded from equality like
+    :attr:`~repro.runtime.report.EventRecord.decision_latency`.
+    """
+
+    status: str
+    reason: str = ""
+    record: Optional[EventRecord] = None
+    latency: float = field(default=0.0, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class _Request:
+    event: Event
+    future: "asyncio.Future[ServiceResponse]"
+    enqueued: float
+    deadline: Optional[float]
+    timer: Optional[asyncio.TimerHandle] = None
+
+
+class SchedulerService:
+    """Async serving loop around one scheduler (see module docstring).
+
+    Parameters
+    ----------
+    scheduler:
+        The wrapped :class:`~repro.runtime.scheduler.OnlineScheduler`.
+    admission_batch:
+        Requests drained per serving-loop iteration (≥ 1).
+    max_queue:
+        Hard queue bound; submissions beyond it get ``"queue-full"``.
+    high_watermark / low_watermark:
+        Shedding hysteresis thresholds.  Defaults: ¾ of ``max_queue``
+        and half of the high watermark.  ``high_watermark=None`` with an
+        explicit ``max_queue`` keeps the defaults; pass
+        ``high_watermark=max_queue`` to disable early shedding and rely
+        on the hard bound alone.
+    default_timeout:
+        Deadline (seconds from submission) applied when ``submit`` gets
+        no explicit timeout; ``None`` or ``math.inf`` means no deadline.
+    journal_path / checkpoint_path / checkpoint_every / fsync:
+        Durability wiring, forwarded to
+        :class:`~repro.runtime.checkpoint.DurableScheduler`.  Without a
+        ``journal_path`` the service runs in-memory only.
+    """
+
+    def __init__(
+        self,
+        scheduler: OnlineScheduler,
+        admission_batch: int = 4,
+        max_queue: int = 256,
+        high_watermark: Optional[int] = None,
+        low_watermark: Optional[int] = None,
+        default_timeout: Optional[float] = None,
+        journal_path=None,
+        checkpoint_path=None,
+        checkpoint_every: int = 0,
+        fsync: bool = True,
+    ) -> None:
+        if admission_batch < 1:
+            raise ServiceError(
+                f"admission_batch must be >= 1 (got {admission_batch!r})"
+            )
+        if max_queue < 1:
+            raise ServiceError(
+                f"max_queue must be >= 1 (got {max_queue!r})"
+            )
+        if high_watermark is None:
+            high_watermark = max(1, (3 * max_queue) // 4)
+        if not 1 <= high_watermark <= max_queue:
+            raise ServiceError(
+                f"high_watermark must be within [1, max_queue] "
+                f"(got {high_watermark!r} with max_queue={max_queue})"
+            )
+        if low_watermark is None:
+            low_watermark = high_watermark // 2
+        if not 0 <= low_watermark < high_watermark:
+            raise ServiceError(
+                f"low_watermark must be within [0, high_watermark) "
+                f"(got {low_watermark!r} with "
+                f"high_watermark={high_watermark})"
+            )
+        if default_timeout is not None and default_timeout <= 0:
+            raise ServiceError(
+                f"default_timeout must be positive (got {default_timeout!r})"
+            )
+        self.scheduler = scheduler
+        self.admission_batch = int(admission_batch)
+        self.max_queue = int(max_queue)
+        self.high_watermark = int(high_watermark)
+        self.low_watermark = int(low_watermark)
+        self.default_timeout = default_timeout
+        self._engine: Union[OnlineScheduler, DurableScheduler] = scheduler
+        if journal_path is not None:
+            self._engine = DurableScheduler(
+                scheduler,
+                journal_path,
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=checkpoint_every,
+                fsync=fsync,
+            )
+        elif checkpoint_path is not None:
+            raise ServiceError(
+                "checkpoint_path requires journal_path (checkpoints are "
+                "replay cursors into the journal)"
+            )
+        self._queue: List[_Request] = []
+        self._wake = asyncio.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._task: Optional[asyncio.Task] = None
+        self._accepting = True
+        self._shedding = False
+        self._stats: Dict[str, int] = {
+            "submitted": 0,
+            "processed": 0,
+            "errors": 0,
+            "rejected_queue_full": 0,
+            "rejected_backpressure": 0,
+            "rejected_deadline": 0,
+            "rejected_shutdown": 0,
+            "batches": 0,
+            "max_depth": 0,
+            "shed_entries": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+
+    @property
+    def durable(self) -> bool:
+        return isinstance(self._engine, DurableScheduler)
+
+    @property
+    def running(self) -> bool:
+        """Whether the serving loop is live (started and not stopped)."""
+        return self._task is not None and not self._task.done()
+
+    @property
+    def depth(self) -> int:
+        """Current queue depth (expired-but-unpopped requests included)."""
+        return len(self._queue)
+
+    @property
+    def shedding(self) -> bool:
+        """Whether backpressure shedding is currently engaged."""
+        return self._shedding
+
+    def report(self) -> RuntimeReport:
+        return self.scheduler.report()
+
+    def stats(self) -> Dict:
+        """Live service counters plus scheduler aggregates (JSON-able)."""
+        report = self.report()
+        return {
+            **self._stats,
+            "depth": len(self._queue),
+            "shedding": self._shedding,
+            "accepting": self._accepting,
+            "durable": self.durable,
+            "scheduler": {
+                "events": report.n_events,
+                "arrivals": report.n_arrivals,
+                "accepted": report.n_accepted,
+                "acceptance_rate": report.acceptance_rate,
+                "shed_count": report.shed_count,
+                "retries": report.n_retries,
+                "degraded": self.scheduler.degraded,
+                "time": self.scheduler.time,
+                "kernel_backend": self.scheduler.kernel_backend,
+            },
+        }
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+
+    async def start(self) -> None:
+        """Start the serving loop (idempotent restart is an error)."""
+        if self._task is not None:
+            raise ServiceError("service already started")
+        self._loop = asyncio.get_running_loop()
+        self._task = asyncio.create_task(self._serve(), name="repro-serve")
+
+    async def stop(self, drain: bool = True) -> RuntimeReport:
+        """Stop the loop; returns the final report.
+
+        ``drain=True`` (graceful) processes everything already queued
+        before stopping; ``drain=False`` rejects the queue with
+        ``"shutdown"``.  Either way new submissions are refused from
+        this call on, a final checkpoint is written and the journal is
+        closed when the service is durable.
+        """
+        self._accepting = False
+        if not drain:
+            for request in self._queue:
+                self._resolve(
+                    request, ServiceResponse("rejected", "shutdown")
+                )
+                self._stats["rejected_shutdown"] += 1
+            self._queue.clear()
+            self._update_shedding()
+        if self._task is not None:
+            self._wake.set()
+            await self._task
+            self._task = None
+        if isinstance(self._engine, DurableScheduler):
+            self._engine.close()
+        return self.report()
+
+    # ------------------------------------------------------------------ #
+    # Submission
+
+    async def submit(
+        self,
+        event: Event,
+        timeout: Optional[float] = None,
+    ) -> ServiceResponse:
+        """Queue one event; resolves with its :class:`ServiceResponse`.
+
+        ``timeout`` (seconds, default :attr:`default_timeout`) bounds
+        the wait: a request still unresolved at its deadline resolves
+        ``"rejected"/"deadline-exceeded"`` right then — it never hangs.
+        Submissions are accepted before :meth:`start`; they queue until
+        the loop runs.
+        """
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+        if not self._accepting:
+            self._count_reject("shutdown")
+            return ServiceResponse("rejected", "shutdown")
+        self._stats["submitted"] += 1
+        if len(self._queue) >= self.max_queue:
+            self._count_reject("queue-full")
+            return ServiceResponse("rejected", "queue-full")
+        if self._shedding:
+            self._count_reject("backpressure")
+            return ServiceResponse("rejected", "backpressure")
+        if timeout is None:
+            timeout = self.default_timeout
+        now = loop.time()
+        deadline = (
+            now + timeout
+            if timeout is not None and math.isfinite(timeout)
+            else None
+        )
+        request = _Request(
+            event=event,
+            future=loop.create_future(),
+            enqueued=now,
+            deadline=deadline,
+        )
+        if deadline is not None:
+            request.timer = loop.call_at(deadline, self._expire, request)
+        self._queue.append(request)
+        depth = len(self._queue)
+        if depth > self._stats["max_depth"]:
+            self._stats["max_depth"] = depth
+        self._update_shedding()
+        self._wake.set()
+        return await request.future
+
+    def _count_reject(self, reason: str) -> None:
+        key = "rejected_" + reason.replace("-", "_")
+        if reason == "deadline-exceeded":
+            key = "rejected_deadline"
+        elif reason == "queue-full":
+            key = "rejected_queue_full"
+        self._stats[key] = self._stats.get(key, 0) + 1
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            reg.inc("service.rejected." + reason)
+        _LOG.debug("request rejected: %s", reason)
+
+    def _update_shedding(self) -> None:
+        depth = len(self._queue)
+        if not self._shedding and depth >= self.high_watermark:
+            self._shedding = True
+            self._stats["shed_entries"] += 1
+            reg = _metrics.REGISTRY
+            if reg is not None:
+                reg.inc("service.shed_entries")
+            _LOG.warning(
+                "backpressure engaged: depth %d >= high watermark %d",
+                depth,
+                self.high_watermark,
+            )
+        elif self._shedding and depth <= self.low_watermark:
+            self._shedding = False
+            _LOG.info(
+                "backpressure released: depth %d <= low watermark %d",
+                depth,
+                self.low_watermark,
+            )
+
+    def _resolve(self, request: _Request, response: ServiceResponse) -> None:
+        if request.timer is not None:
+            request.timer.cancel()
+            request.timer = None
+        if not request.future.done():
+            request.future.set_result(response)
+
+    def _expire(self, request: _Request) -> None:
+        """Deadline timer callback: resolve a still-queued request now.
+
+        The request object stays in the queue until the serving loop
+        pops (and then skips) it — O(1) here, and the depth accounting
+        errs on the safe (higher) side until then.
+        """
+        if not request.future.done():
+            assert self._loop is not None
+            latency = self._loop.time() - request.enqueued
+            self._resolve(
+                request,
+                ServiceResponse(
+                    "rejected", "deadline-exceeded", latency=latency
+                ),
+            )
+            self._count_reject("deadline-exceeded")
+
+    # ------------------------------------------------------------------ #
+    # Serving loop
+
+    async def _serve(self) -> None:
+        assert self._loop is not None
+        while True:
+            if not self._queue:
+                if not self._accepting:
+                    return
+                self._wake.clear()
+                # Re-check after clear: a submit between the check and
+                # the clear must not be lost.
+                if not self._queue and self._accepting:
+                    await self._wake.wait()
+                continue
+            batch = self._queue[: self.admission_batch]
+            del self._queue[: self.admission_batch]
+            self._update_shedding()
+            self._stats["batches"] += 1
+            for request in batch:
+                self._process(request)
+            # Yield between batches: deadline timers and new submissions
+            # get the loop even under a saturating backlog.
+            await asyncio.sleep(0)
+
+    def _process(self, request: _Request) -> None:
+        assert self._loop is not None
+        if request.future.done():
+            return  # expired at its deadline while queued
+        now = self._loop.time()
+        if request.deadline is not None and now >= request.deadline:
+            self._expire(request)
+            return
+        try:
+            record = self._engine.process(request.event)
+        except OnlineSchedulingError as exc:
+            self._stats["errors"] += 1
+            reg = _metrics.REGISTRY
+            if reg is not None:
+                reg.inc("service.errors")
+            self._resolve(
+                request,
+                ServiceResponse(
+                    "error",
+                    str(exc),
+                    latency=self._loop.time() - request.enqueued,
+                ),
+            )
+            return
+        latency = self._loop.time() - request.enqueued
+        self._stats["processed"] += 1
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            reg.inc("service.processed")
+            reg.set_gauge("service_queue_depth", float(len(self._queue)))
+            reg.observe("service_latency", latency)
+        self._resolve(
+            request,
+            ServiceResponse(
+                "ok", record.reason, record=record, latency=latency
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Stats endpoint
+
+    async def serve_stats(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> Tuple[asyncio.AbstractServer, int]:
+        """Serve ``/stats``, ``/metrics`` and ``/healthz`` over HTTP.
+
+        A dependency-free ``asyncio.start_server`` endpoint: GET paths
+        answer JSON (``/metrics`` is the :mod:`repro.obs` registry
+        snapshot, ``{}`` while metrics are disabled).  Returns the
+        server and its bound port (``port=0`` picks a free one); the
+        caller closes the server.
+        """
+        server = await asyncio.start_server(self._handle_http, host, port)
+        bound = server.sockets[0].getsockname()[1]
+        return server, bound
+
+    async def _handle_http(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            while True:  # drain headers; the endpoint is GET-only
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            status = "200 OK"
+            if path in ("/", "/stats"):
+                body = json.dumps(self.stats(), sort_keys=True)
+            elif path == "/metrics":
+                reg = _metrics.REGISTRY
+                body = json.dumps(
+                    reg.snapshot() if reg is not None else {}, sort_keys=True
+                )
+            elif path == "/healthz":
+                body = json.dumps(
+                    {"ok": self.running, "accepting": self._accepting}
+                )
+            else:
+                status = "404 Not Found"
+                body = json.dumps({"error": f"unknown path {path}"})
+            payload = body.encode("utf-8")
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    f"Connection: close\r\n\r\n"
+                ).encode("latin-1")
+                + payload
+            )
+            await writer.drain()
+        finally:
+            writer.close()
+
+
+async def play(
+    service: SchedulerService,
+    events: Sequence[Event],
+    timeout: Optional[float] = None,
+) -> List[ServiceResponse]:
+    """Submit a timeline through a started service, in order.
+
+    Each event's submission task is created before the next event is
+    offered and the driver yields to the loop between submissions, so
+    events enter the queue in timeline order while the serving loop
+    runs concurrently — the async load-generator shape the experiments,
+    benchmarks and CLI all share.  Returns one response per event, in
+    timeline order.
+    """
+    pending = [
+        asyncio.ensure_future(service.submit(event, timeout=timeout))
+        for event in events
+    ]
+    # ensure_future queues the coroutines in order; submissions enqueue
+    # in that same order on the first loop pass.
+    return list(await asyncio.gather(*pending))

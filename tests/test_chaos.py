@@ -28,12 +28,16 @@ are driven by hypothesis when it is installed, and skipped otherwise.
 """
 
 import os
+import random
+from dataclasses import replace
 
 import pytest
 
 from repro.graph import DataEdge, StreamGraph, Task
+from repro.obs import metrics as _metrics
 from repro.platform import CellPlatform
 from repro.runtime import (
+    DurableScheduler,
     FaultInjector,
     OnlineScheduler,
     ScenarioGenerator,
@@ -61,6 +65,10 @@ ALL_MODES = (
 #: Total randomized timelines thrown at the scheduler (the acceptance
 #: bar is >= 200; the nightly chaos job raises it via the env var).
 N_TIMELINES = int(os.environ.get("CHAOS_TIMELINES", "200"))
+
+#: Kill/recover cycles injected per crash-recovery case (the nightly
+#: chaos job raises it via the env var).
+N_KILLS = int(os.environ.get("CHAOS_KILLS", "1"))
 
 SHED_POLICIES = ("lowest-weight", "highest-stretch", "newest-first")
 PATTERNS = ("poisson", "bursty", "diurnal")
@@ -221,6 +229,144 @@ def test_chaos_covers_the_fault_surface(platform):
         saw["shed"] += report.shed_count
         saw["degraded"] += sum(r.degraded for r in report.records)
     assert all(count > 0 for count in saw.values()), saw
+
+
+@pytest.mark.parametrize("case", range(N_TIMELINES))
+def test_crash_recovery_equivalence(platform, case, tmp_path):
+    """Kill the durable scheduler at random committed-event boundaries
+    (optionally tearing the journal tail, as a real crash mid-write
+    would), recover, replay — the final report must be bit-identical to
+    the uninterrupted run, per seed, in all four buffer modes."""
+    mode = ALL_MODES[case % len(ALL_MODES)]
+    events = chaos_timeline(platform, case)
+    baseline = chaos_scheduler(platform, case, mode).run(events)
+    rng = random.Random(10_000 + case)
+    kills = sorted(
+        rng.sample(range(1, len(events) + 1), min(N_KILLS, len(events)))
+    )
+    journal_path = tmp_path / "wal.jsonl"
+    checkpoint_path = tmp_path / "wal.json"
+    durable = DurableScheduler(
+        chaos_scheduler(platform, case, mode),
+        journal_path,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=1 + rng.randrange(4),
+        fsync=False,
+    )
+    done = 0
+    for kill in kills:
+        for event in events[done:kill]:
+            durable.process(event)
+        done = kill
+        # Crash: no close(), no final checkpoint; half the time the
+        # journal additionally has a torn final line.
+        if rng.random() < 0.5:
+            with open(journal_path, "ab") as fh:
+                fh.write(b'{"idx": 999999, "event": {"ty')
+        durable = DurableScheduler.recover(
+            journal_path,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=1 + rng.randrange(4),
+            fsync=False,
+        )
+        assert durable.n_applied == done
+    for event in events[done:]:
+        durable.process(event)
+    report = durable.scheduler.report()
+    durable.close()
+    assert report == baseline
+    if _metrics.REGISTRY is None:
+        assert report.to_json() == baseline.to_json()
+
+
+class TestRetryDueTimeCarveOut:
+    """The event/time semantics contract's rule-4 carve-out (see
+    :mod:`repro.runtime.faults`): a deferred admission's due time is the
+    absolute ``rejection_time + retry_backoff · 2^(k-1)``, so stretching
+    a timeline's timestamps preserves the decision sequence only when
+    the backoff is stretched by the same factor — exactly so for
+    power-of-two factors."""
+
+    BACKOFF = 4.0
+
+    def scheduler(self, platform, backoff):
+        return OnlineScheduler(
+            platform,
+            migration_budget=2,
+            retry_limit=2,
+            retry_backoff=backoff,
+        )
+
+    def retryful_timeline(self, platform):
+        # Over-subscribed: rejections feed the retry queue (this seed
+        # fires several retries and leaves one queued at the end).
+        return ScenarioGenerator(
+            platform,
+            seed=7,
+            load=6.0,
+            builders=BUILDERS,
+            n_failures=1,
+            target_probability=0.9,
+        ).generate(18)
+
+    def test_due_times_follow_the_formula(self, platform):
+        events = self.retryful_timeline(platform)
+        report = self.scheduler(platform, self.BACKOFF).run(events)
+        assert report.n_retries > 0
+        records = list(report.records)
+        rejections = {}  # name -> retry-queued rejections so far
+        expected = {}  # name -> due time of its pending retry
+        fired = 0
+        for record in records:
+            if record.event == "retry":
+                # A firing consumes exactly the due time the formula
+                # predicted at its rejection — bitwise.
+                assert record.time == expected.pop(record.subject)
+                fired += 1
+            elif record.reason == "retry-cancelled":
+                # The stream departed while its admission was queued.
+                expected.pop(record.subject, None)
+            if record.reason and "retry-queued" in record.reason:
+                k = rejections.get(record.subject, 0) + 1
+                rejections[record.subject] = k
+                expected[record.subject] = (
+                    record.time + self.BACKOFF * 2.0 ** (k - 1)
+                )
+        assert fired > 0
+        # Whatever never fired was still pending when the timeline ended.
+        assert all(due > records[-1].time for due in expected.values())
+
+    def test_power_of_two_stretch_with_scaled_backoff_is_exact(
+        self, platform
+    ):
+        s = 2.0
+        events = self.retryful_timeline(platform)
+        base = self.scheduler(platform, self.BACKOFF).run(events)
+        assert base.n_retries > 0
+        stretched = self.scheduler(platform, self.BACKOFF * s).run(
+            [replace(e, time=e.time * s) for e in events]
+        )
+        assert [r.time for r in stretched.records] == [
+            r.time * s for r in base.records
+        ]
+        key = lambda r: (r.event, r.subject, r.accepted, r.reason)  # noqa: E731
+        assert list(map(key, stretched.records)) == list(
+            map(key, base.records)
+        )
+
+    def test_unscaled_backoff_diverges(self, platform):
+        s = 2.0
+        events = self.retryful_timeline(platform)
+        base = self.scheduler(platform, self.BACKOFF).run(events)
+        assert base.n_retries > 0
+        stretched = self.scheduler(platform, self.BACKOFF).run(
+            [replace(e, time=e.time * s) for e in events]
+        )
+        # The retry due times no longer stretch with the timeline: the
+        # record clocks diverge from a pure rescaling.
+        assert [r.time for r in stretched.records] != [
+            r.time * s for r in base.records
+        ]
 
 
 if HAVE_HYPOTHESIS:

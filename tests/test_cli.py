@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro import cli
-from repro.cli import main_experiment, main_simulate, main_solve
+from repro.cli import main_experiment, main_serve, main_simulate, main_solve
 from repro.graph import save
 from repro.generator import assign_costs, random_topology
 
@@ -125,6 +125,74 @@ class TestExperimentCli:
         assert main_experiment(["fig8", "--strategies", "nope"]) == 1
         assert "unknown strategies" in capsys.readouterr().err
 
+    def test_service_flags_forwarded(self, monkeypatch):
+        called = {}
+
+        def fake_main(**kwargs):
+            called.update(kwargs)
+
+        monkeypatch.setattr(cli.service_experiment, "main", fake_main)
+        assert (
+            main_experiment(
+                [
+                    "service", "--batches", "1,4", "--budgets", "0,2",
+                    "--loads", "3", "--events", "10", "--seed", "5",
+                    "--jobs", "2",
+                ]
+            )
+            == 0
+        )
+        assert called["batches"] == (1, 4)
+        assert called["budgets"] == (0, 2)
+        assert called["load"] == 3.0
+        assert called["n_events"] == 10
+        assert called["seed"] == 5
+        assert called["jobs"] == 2
+
+    def test_service_rejects_multiple_loads(self, capsys):
+        assert main_experiment(["service", "--loads", "1,2"]) == 1
+        assert "single --loads" in capsys.readouterr().err
+
+    def test_service_rejects_bad_batches(self, capsys):
+        assert main_experiment(["service", "--batches", "0,2"]) == 1
+        assert "--batches" in capsys.readouterr().err
+
+    def test_batches_warns_outside_service(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            cli.online, "main", lambda **kwargs: None
+        )
+        assert main_experiment(["online", "--batches", "2"]) == 0
+        assert "--batches only applies to service" in capsys.readouterr().err
+
+    def test_online_checkpoint_replay_smoke(self, capsys, tmp_path):
+        """--checkpoint-every writes recoverable journals/checkpoints:
+        recovery from the sweep's own files reproduces the point."""
+        from repro.runtime import DurableScheduler
+
+        ckpt_dir = tmp_path / "ckpt"
+        code = main_experiment(
+            [
+                "online", "--loads", "2", "--budgets", "1", "--events",
+                "10", "--checkpoint-every", "3", "--checkpoint-dir",
+                str(ckpt_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "checkpoints (every 3 events)" in out
+        journals = sorted(ckpt_dir.glob("*.journal.jsonl"))
+        assert len(journals) == 1
+        checkpoint = journals[0].with_name(
+            journals[0].name.replace(".journal.jsonl", ".checkpoint.json")
+        )
+        assert checkpoint.exists()
+        with DurableScheduler.recover(
+            journals[0], checkpoint_path=checkpoint
+        ) as recovered:
+            report = recovered.scheduler.report()
+        assert report.n_events >= 10
+        assert report.all_feasible
+
     def test_jobs_noop_warns_on_single_point_experiments(self, monkeypatch, capsys):
         monkeypatch.setattr(
             cli.fig6_rampup, "main", lambda n_instances, jobs=None: None
@@ -186,6 +254,59 @@ class TestSimulateCli:
         mapping_file.write_text('{"graph": "other", "assignment": {}}')
         code = main_simulate(
             [small_graph_file, "--mapping", str(mapping_file)]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestServeCli:
+    def test_serve_smoke(self, capsys):
+        code = main_serve(["--events", "8", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "8 requests" in out
+        assert "0 rejected" in out
+
+    def test_serve_durable_journal_validates(self, capsys, tmp_path):
+        from repro.runtime import DurableScheduler, EventJournal
+
+        journal = tmp_path / "serve.jsonl"
+        checkpoint = tmp_path / "serve.json"
+        code = main_serve(
+            [
+                "--events", "10", "--seed", "2", "--journal", str(journal),
+                "--checkpoint", str(checkpoint), "--checkpoint-every", "4",
+                "--stats-json",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "journal written to" in out
+        _, entries, torn = EventJournal.read(journal)
+        assert not torn
+        assert len(entries) == 10
+        with DurableScheduler.recover(
+            journal, checkpoint_path=checkpoint
+        ) as recovered:
+            assert recovered.n_applied == 10
+
+    def test_serve_overload_reports_rejections(self, capsys):
+        code = main_serve(
+            ["--events", "16", "--seed", "3", "--max-queue", "4",
+             "--batch", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rejection reasons" in out
+        assert "backpressure" in out or "queue-full" in out
+
+    def test_serve_rejects_bad_events(self, capsys):
+        assert main_serve(["--events", "1"]) == 1
+        assert "--events" in capsys.readouterr().err
+
+    def test_serve_checkpoint_without_journal_errors(self, capsys, tmp_path):
+        code = main_serve(
+            ["--events", "8", "--checkpoint", str(tmp_path / "c.json")]
         )
         assert code == 1
         assert "error" in capsys.readouterr().err

@@ -1,0 +1,306 @@
+"""Asyncio scheduler service: equivalence, overload, durability.
+
+pytest-asyncio is not a dependency, so every test drives its coroutine
+with ``asyncio.run`` — which also matches how the CLI and experiment
+harness run the service.  The properties:
+
+* a service with the queue sized to the timeline produces the
+  bit-identical report to ``OnlineScheduler.run`` — the serving loop
+  adds no decisions of its own;
+* overload is *protective*: a small bounded queue sheds with recorded
+  reasons (``backpressure``/``queue-full``), the depth never exceeds
+  the bound, and every future resolves — no hung requests;
+* a per-request deadline resolves ``deadline-exceeded`` instead of
+  hanging;
+* graceful shutdown drains; ``drain=False`` rejects with ``shutdown``;
+* a durable service's journal validates and recovery reproduces the
+  service's own final report;
+* the ``/stats`` endpoint answers JSON over a plain socket;
+* a bad event resolves ``"error"`` and the loop keeps serving.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs import metrics as _metrics
+from repro.platform import CellPlatform
+from repro.runtime import (
+    DurableScheduler,
+    EventJournal,
+    OnlineScheduler,
+    ScenarioGenerator,
+    SchedulerService,
+    SpeFailure,
+    play,
+)
+from repro.errors import ServiceError
+
+
+def make_events(platform, n=14, seed=2, load=2.0):
+    return ScenarioGenerator(
+        platform, seed=seed, load=load, n_failures=1
+    ).generate(n)
+
+
+def make_scheduler(platform):
+    return OnlineScheduler(platform, migration_budget=2, retry_limit=1)
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CellPlatform.qs22()
+
+
+# ------------------------------------------------------------------ #
+# Equivalence
+
+
+def test_service_matches_offline_run(platform):
+    events = make_events(platform)
+    baseline = make_scheduler(platform).run(events)
+
+    async def drive():
+        service = SchedulerService(
+            make_scheduler(platform),
+            admission_batch=3,
+            max_queue=len(events) + 1,
+            high_watermark=len(events) + 1,
+        )
+        await service.start()
+        responses = await play(service, events)
+        report = await service.stop()
+        return responses, report
+
+    responses, report = asyncio.run(drive())
+    assert all(r.status == "ok" for r in responses)
+    assert report == baseline
+    if _metrics.REGISTRY is None:
+        assert report.to_json() == baseline.to_json()
+
+
+def test_batch_size_does_not_change_decisions(platform):
+    events = make_events(platform, seed=4)
+
+    async def drive(batch):
+        service = SchedulerService(
+            make_scheduler(platform),
+            admission_batch=batch,
+            max_queue=len(events) + 1,
+            high_watermark=len(events) + 1,
+        )
+        await service.start()
+        await play(service, events)
+        return await service.stop()
+
+    reports = [asyncio.run(drive(batch)) for batch in (1, 4, len(events))]
+    assert reports[0] == reports[1] == reports[2]
+
+
+# ------------------------------------------------------------------ #
+# Overload protection
+
+
+def test_backpressure_sheds_with_reasons_and_resolves_everything(platform):
+    events = make_events(platform, n=16, seed=6)
+
+    async def drive():
+        service = SchedulerService(
+            make_scheduler(platform),
+            admission_batch=1,
+            max_queue=6,
+            high_watermark=4,
+            low_watermark=1,
+        )
+        await service.start()
+        responses = await play(service, events)
+        report = await service.stop()
+        return responses, report, service.stats()
+
+    responses, report, stats = asyncio.run(drive())
+    assert len(responses) == len(events)  # every future resolved
+    ok = [r for r in responses if r.status == "ok"]
+    rejected = [r for r in responses if r.status == "rejected"]
+    assert ok and rejected
+    assert {r.reason for r in rejected} <= {"backpressure", "queue-full"}
+    assert stats["max_depth"] <= 6  # the queue never grew past its bound
+    assert stats["shed_entries"] >= 1
+    assert (
+        stats["rejected_backpressure"] + stats["rejected_queue_full"]
+        == len(rejected)
+    )
+    assert stats["processed"] == len(ok)
+    assert report.n_events >= len(ok)  # retries may add records
+
+
+def test_deadline_exceeded_rejects_instead_of_hanging(platform):
+    event = make_events(platform, n=2)[0]
+
+    async def drive():
+        service = SchedulerService(make_scheduler(platform))
+        # Submitted before start: queues until the loop runs, so the
+        # deadline fires deterministically while the request waits.
+        pending = asyncio.ensure_future(service.submit(event, timeout=0.02))
+        await asyncio.sleep(0.08)
+        await service.start()
+        response = await pending
+        report = await service.stop()
+        return response, report, service.stats()
+
+    response, report, stats = asyncio.run(drive())
+    assert response.status == "rejected"
+    assert response.reason == "deadline-exceeded"
+    assert stats["rejected_deadline"] == 1
+    assert report.n_events == 0  # never reached the scheduler
+
+
+def test_shutdown_rejects_new_and_queued_requests(platform):
+    events = make_events(platform, n=8, seed=8)
+
+    async def drive():
+        service = SchedulerService(
+            make_scheduler(platform),
+            max_queue=len(events) + 1,
+            high_watermark=len(events) + 1,
+        )
+        # Queue everything before the loop ever runs, then abort.
+        pending = [
+            asyncio.ensure_future(service.submit(e)) for e in events
+        ]
+        await asyncio.sleep(0)
+        report = await service.stop(drain=False)
+        responses = await asyncio.gather(*pending)
+        late = await service.submit(events[0])
+        return responses, late, report
+
+    responses, late, report = asyncio.run(drive())
+    assert all(r.status == "rejected" for r in responses)
+    assert {r.reason for r in responses} == {"shutdown"}
+    assert late.status == "rejected" and late.reason == "shutdown"
+    assert report.n_events == 0
+
+
+# ------------------------------------------------------------------ #
+# Durability through the service
+
+
+def test_durable_service_journal_recovers_to_same_report(
+    tmp_path, platform
+):
+    events = make_events(platform, n=12, seed=10)
+    journal_path = tmp_path / "svc.jsonl"
+    checkpoint_path = tmp_path / "svc.json"
+
+    async def drive():
+        service = SchedulerService(
+            make_scheduler(platform),
+            admission_batch=2,
+            max_queue=len(events) + 1,
+            high_watermark=len(events) + 1,
+            journal_path=journal_path,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=4,
+        )
+        await service.start()
+        responses = await play(service, events)
+        report = await service.stop()
+        return responses, report
+
+    responses, report = asyncio.run(drive())
+    assert all(r.status == "ok" for r in responses)
+    _, entries, torn = EventJournal.read(journal_path)
+    assert not torn
+    assert len(entries) == len(events)
+    with DurableScheduler.recover(
+        journal_path, checkpoint_path=checkpoint_path
+    ) as recovered:
+        assert recovered.scheduler.report() == report
+
+
+def test_checkpoint_without_journal_is_an_error(platform):
+    with pytest.raises(ServiceError):
+        SchedulerService(
+            make_scheduler(platform), checkpoint_path="orphan.json"
+        )
+
+
+# ------------------------------------------------------------------ #
+# Stats endpoint
+
+
+def test_stats_endpoint_serves_json(platform):
+    events = make_events(platform, n=6, seed=12)
+
+    async def fetch(port, path):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(
+            f"GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n".encode()
+        )
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        await writer.wait_closed()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        return head.split(b"\r\n")[0].decode(), body
+
+    async def drive():
+        service = SchedulerService(
+            make_scheduler(platform),
+            max_queue=len(events) + 1,
+            high_watermark=len(events) + 1,
+        )
+        server, port = await service.serve_stats(port=0)
+        try:
+            await service.start()
+            await play(service, events)
+            status, body = await fetch(port, "/stats")
+            health_status, health = await fetch(port, "/healthz")
+            missing_status, _ = await fetch(port, "/nope")
+            await service.stop()
+        finally:
+            server.close()
+            await server.wait_closed()
+        return status, json.loads(body), health_status, health, missing_status
+
+    status, stats, health_status, health, missing_status = asyncio.run(
+        drive()
+    )
+    assert "200" in status
+    assert stats["processed"] == len(events)
+    assert stats["scheduler"]["events"] >= len(events)
+    assert "200" in health_status and json.loads(health)["ok"] is True
+    assert "404" in missing_status
+
+
+# ------------------------------------------------------------------ #
+# Error responses keep the loop alive
+
+
+def test_bad_event_errors_and_service_continues(platform):
+    events = make_events(platform, n=6, seed=14)
+    # An event whose clock runs backwards violates the scheduler's
+    # monotone-time contract and must surface as an "error" response.
+    stale = SpeFailure(time=-1.0, spe=0)
+
+    async def drive():
+        service = SchedulerService(
+            make_scheduler(platform),
+            max_queue=len(events) + 2,
+            high_watermark=len(events) + 2,
+        )
+        await service.start()
+        first = await service.submit(events[0])
+        bad = await service.submit(stale)
+        rest = await play(service, events[1:])
+        report = await service.stop()
+        return first, bad, rest, report, service.stats()
+
+    first, bad, rest, report, stats = asyncio.run(drive())
+    assert first.status == "ok"
+    assert bad.status == "error" and bad.reason
+    assert all(r.status == "ok" for r in rest)
+    assert stats["errors"] == 1
+    assert stats["processed"] == len(events)
+    # The failed event was never journaled nor recorded.
+    assert report == make_scheduler(platform).run(events)
